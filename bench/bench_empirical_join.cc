@@ -1,0 +1,137 @@
+// Experiment E2 — the real join strategies end-to-end on synthetic data
+// over the simulated disk: blocked nested loop, Algorithm JOIN over two
+// R-trees, index nested loop, z-order sort-merge, and a precomputed join
+// index, all computing the same overlap join. Reported per strategy:
+// result size, θ/Θ evaluations, page reads (cold buffer pool), and the
+// cost in the paper's units (C_θ·tests + C_IO·reads).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/index_nested_loop.h"
+#include "core/join_index.h"
+#include "core/spatial_join.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+using namespace spatialjoin;
+
+namespace {
+
+constexpr double kCio = 1000.0;  // paper Table 3
+
+struct Fixture {
+  DiskManager disk{2000};
+  BufferPool pool{&disk, 512};
+  std::unique_ptr<Relation> r;
+  std::unique_ptr<Relation> s;
+  std::unique_ptr<RTree> r_rtree;
+  std::unique_ptr<RTree> s_rtree;
+  std::unique_ptr<RTreeGenTree> r_tree;
+  std::unique_ptr<RTreeGenTree> s_tree;
+  std::unique_ptr<QuadTree> r_quadtree;
+  std::unique_ptr<JoinIndex> join_index;
+  ZGrid grid{Rectangle(0, 0, 2000, 2000)};
+  int64_t join_index_build_tests = 0;
+};
+
+std::unique_ptr<Fixture> MakeFixture(int n_tuples, double min_ext,
+                                     double max_ext) {
+  auto f = std::make_unique<Fixture>();
+  Schema schema({{"id", ValueType::kInt64},
+                 {"box", ValueType::kRectangle}});
+  f->r = std::make_unique<Relation>("r", schema, &f->pool,
+                                    RelationLayout::kClustered, 300);
+  f->s = std::make_unique<Relation>("s", schema, &f->pool,
+                                    RelationLayout::kClustered, 300);
+  f->r_rtree = std::make_unique<RTree>(&f->pool, RTreeSplit::kQuadratic);
+  f->s_rtree = std::make_unique<RTree>(&f->pool, RTreeSplit::kQuadratic);
+  RectGenerator gen_r(f->grid.world(), 11);
+  RectGenerator gen_s(f->grid.world(), 22);
+  for (int64_t i = 0; i < n_tuples; ++i) {
+    Rectangle br = gen_r.NextRect(min_ext, max_ext);
+    Rectangle bs = gen_s.NextRect(min_ext, max_ext);
+    f->r_rtree->Insert(br, f->r->Insert(Tuple({Value(i), Value(br)})));
+    f->s_rtree->Insert(bs, f->s->Insert(Tuple({Value(i), Value(bs)})));
+  }
+  f->r_tree = std::make_unique<RTreeGenTree>(f->r_rtree.get(), f->r.get(), 1);
+  f->s_tree = std::make_unique<RTreeGenTree>(f->s_rtree.get(), f->s.get(), 1);
+  f->r_quadtree = std::make_unique<QuadTree>(f->grid.world(), 10);
+  f->r->Scan([&](TupleId tid, const Tuple& t) {
+    f->r_quadtree->Insert(t.value(1).Mbr(), tid);
+  });
+  f->r_quadtree->AttachRelation(f->r.get(), 1);
+  f->join_index = std::make_unique<JoinIndex>(&f->pool, 100);
+  OverlapsOp op;
+  f->join_index_build_tests = f->join_index->Build(*f->r, 1, *f->s, 1, op);
+  return f;
+}
+
+void Report(const char* name, const JoinResult& result, int64_t reads) {
+  double tests =
+      static_cast<double>(result.theta_tests + result.theta_upper_tests);
+  double cost = tests + kCio * static_cast<double>(reads);
+  std::printf("%-20s matches=%7zu theta=%9lld Theta=%9lld reads=%7lld "
+              "cost=%.3e\n",
+              name, result.matches.size(),
+              static_cast<long long>(result.theta_tests),
+              static_cast<long long>(result.theta_upper_tests),
+              static_cast<long long>(reads), cost);
+}
+
+void RunScale(int n_tuples, double min_ext, double max_ext) {
+  auto f = MakeFixture(n_tuples, min_ext, max_ext);
+  OverlapsOp op;
+  SpatialJoinContext ctx;
+  ctx.r = f->r.get();
+  ctx.col_r = 1;
+  ctx.s = f->s.get();
+  ctx.col_s = 1;
+  ctx.r_tree = f->r_tree.get();
+  ctx.s_tree = f->s_tree.get();
+  ctx.join_index = f->join_index.get();
+  ctx.zgrid = &f->grid;
+  ctx.nested_loop_options.memory_pages = 64;  // scaled-down M
+
+  std::cout << "\n|R| = |S| = " << n_tuples << ", object extent ["
+            << min_ext << ", " << max_ext << "] in a 2000x2000 world"
+            << " (join-index precompute: " << f->join_index_build_tests
+            << " theta tests, " << f->join_index->num_pages()
+            << " index pages)\n";
+  for (JoinStrategy strategy :
+       {JoinStrategy::kNestedLoop, JoinStrategy::kTreeJoin,
+        JoinStrategy::kIndexNestedLoop, JoinStrategy::kSortMergeZOrder,
+        JoinStrategy::kJoinIndex}) {
+    f->pool.Clear();
+    f->disk.ResetStats();
+    JoinResult result = ExecuteJoin(strategy, ctx, op);
+    NormalizeMatches(&result);
+    Report(JoinStrategyName(strategy), result, f->disk.stats().page_reads);
+  }
+  // Algorithm JOIN across tree families: quadtree on R, R-tree on S.
+  f->pool.Clear();
+  f->disk.ResetStats();
+  JoinResult mixed = TreeJoin(*f->r_quadtree, *f->s_tree, op);
+  NormalizeMatches(&mixed);
+  Report("tree_join(quad+R)", mixed, f->disk.stats().page_reads);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2 — measured join strategies on the simulated disk "
+               "(cold buffer pool; cost = theta-tests + 1000 * reads)\n";
+  RunScale(500, 5, 40);    // moderately selective
+  RunScale(1500, 5, 40);   // larger relations
+  RunScale(800, 30, 120);  // low selectivity (many matches)
+  std::cout << "\nExpected shape (paper §4.5): nested loop never "
+               "competitive; the join index wins at query time when the "
+               "result is small, at the price of the precompute column; "
+               "tree strategies sit in between and need no "
+               "precomputation.\n";
+  return 0;
+}

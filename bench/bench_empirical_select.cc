@@ -1,0 +1,88 @@
+// Experiment E1 — model validation for the SELECT cost formulas: runs the
+// Monte-Carlo simulator (Algorithm SELECT on a virtual balanced k-ary
+// tree whose Θ-oracle draws at the model's marginal probabilities) and
+// compares measured means against the closed-form predictions that the
+// Fig. 8–10 benches plot.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/math_util.h"
+#include "common/stats.h"
+#include "costmodel/select_cost.h"
+#include "costmodel/yao.h"
+#include "workload/model_simulator.h"
+
+using namespace spatialjoin;
+
+namespace {
+
+void RunValidation(MatchDistribution dist, const ModelParameters& base) {
+  std::cout << "-- " << MatchDistributionName(dist) << " --\n";
+  std::printf("%10s %11s %8s %13s %12s %12s %10s %10s\n", "p",
+              "exam(sim)", "+-SE", "exam(fml)", "io-u(sim)", "io-u(fml)",
+              "io-c(sim)", "io-c(fml)");
+  for (double p : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    ModelParameters params = base;
+    params.p = p;
+    PiTable pi(dist, params.n, params.k, params.p);
+
+    // Closed forms (in node counts / page counts, no C_θ / C_IO scaling).
+    double examined_formula = 1.0;
+    double io_uncl_formula = 0.0;
+    double io_cl_formula = 0.0;
+    for (int i = 0; i < params.n; ++i) {
+      examined_formula += pi.pi(params.h, i) * DPow(params.k, i + 1);
+      io_uncl_formula +=
+          Yao(std::ceil(pi.pi(params.h, i) * DPow(params.k, i + 1)),
+              static_cast<double>(params.RelationPages()),
+              static_cast<double>(params.N()));
+      io_cl_formula +=
+          Yao(std::ceil(pi.pi(params.h, i) * DPow(params.k, i)),
+              std::ceil(DPow(params.k, i + 1) /
+                        static_cast<double>(params.m())),
+              DPow(params.k, i));
+    }
+
+    RunningStat examined, io_uncl, io_cl;
+    const int trials = 1000;
+    for (int t = 0; t < trials; ++t) {
+      SimulatedSelect sim =
+          SimulateSelect(params, dist, 90000 + 1000 * t);
+      examined.Add(static_cast<double>(sim.nodes_examined));
+      io_uncl.Add(static_cast<double>(sim.pages_unclustered));
+      io_cl.Add(static_cast<double>(sim.pages_clustered));
+    }
+    double se = examined.stddev() / std::sqrt(static_cast<double>(trials));
+    std::printf("%10.3f %11.1f %8.1f %13.1f %12.1f %12.1f %10.1f %10.1f\n",
+                p, examined.mean(), se, examined_formula, io_uncl.mean(),
+                io_uncl_formula, io_cl.mean(), io_cl_formula);
+  }
+  std::cout << "(simulated means carry the printed standard error; the "
+               "formula's per-level ceilings make it conservative at "
+               "low p)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  ModelParameters params;  // paper tree shape, but h follows n
+  params.n = 6;
+  params.k = 10;
+  params.h = 6;
+  std::cout << "E1 — Monte-Carlo validation of the SELECT cost model\n"
+            << "virtual tree: n=" << params.n << " k=" << params.k
+            << " (N=" << params.N() << "), selector at height " << params.h
+            << ", 1000 trials per point\n"
+            << "formulas: examined = 1 + sum pi(h,i)k^(i+1); I/O = the "
+               "per-level Yao sums of C_IIa / C_IIb\n\n";
+  RunValidation(MatchDistribution::kNoLoc, params);
+  RunValidation(MatchDistribution::kHiLoc, params);
+  // UNIFORM couples the whole tree to the root draw: huge variance, so
+  // use more trials at a tamer p.
+  std::cout << "(UNIFORM omitted from the table: the hierarchical "
+               "coupling makes one draw decide the whole traversal; see "
+               "tests/model_simulator_test.cc for its mean-convergence "
+               "check.)\n";
+  return 0;
+}

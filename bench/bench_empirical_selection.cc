@@ -1,0 +1,134 @@
+// Experiment E3 — the measured counterpart of Figs. 8–10: spatial
+// *selections* executed for real over the simulated disk, comparing
+// strategy I (exhaustive scan), strategy II on clustered and unclustered
+// storage (Algorithm SELECT over the attached hierarchy), and strategy
+// III (join-index lookup for stored selectors). Costs in the paper's
+// units: θ/Θ tests + 1000 per page read, cold pool per query.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/join_index.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+#include "workload/rect_generator.h"
+
+using namespace spatialjoin;
+
+namespace {
+
+constexpr double kCio = 1000.0;
+
+struct Totals {
+  int64_t tests = 0;
+  int64_t reads = 0;
+  int64_t matches = 0;
+
+  double cost() const {
+    return static_cast<double>(tests) + kCio * static_cast<double>(reads);
+  }
+};
+
+void Report(const char* name, const Totals& t, int queries) {
+  std::printf("%-26s matches=%6lld  tests=%8lld  reads=%6lld  "
+              "cost/query=%.3e\n",
+              name, static_cast<long long>(t.matches),
+              static_cast<long long>(t.tests),
+              static_cast<long long>(t.reads), t.cost() / queries);
+}
+
+}  // namespace
+
+int main() {
+  const Rectangle world(0, 0, 1024, 1024);
+  HierarchyOptions options;
+  options.height = 5;
+  options.fanout = 4;  // 1365 application objects
+
+  // Two physical copies of the same logical hierarchy.
+  DiskManager disk_cl(2000);
+  BufferPool pool_cl(&disk_cl, 64);
+  GeneratedHierarchy clustered = GenerateHierarchy(
+      world, options, &pool_cl, RelationLayout::kClustered,
+      /*pad_tuples_to=*/300);
+  DiskManager disk_uc(2000);
+  BufferPool pool_uc(&disk_uc, 64);
+  GeneratedHierarchy unclustered = GenerateHierarchy(
+      world, options, &pool_uc, RelationLayout::kHeap,
+      /*pad_tuples_to=*/300, /*shuffle_storage_order=*/true);
+
+  // Strategy III support: a self join-index on `overlaps`, so stored
+  // selectors can be answered by lookup.
+  OverlapsOp op;
+  DiskManager disk_ji(2000);
+  BufferPool pool_ji(&disk_ji, 4096);
+  JoinIndex index(&pool_ji, 100);
+  int64_t precompute = index.Build(*clustered.relation,
+                                   clustered.spatial_column,
+                                   *clustered.relation,
+                                   clustered.spatial_column, op);
+
+  std::cout << "E3 — measured spatial selections (operator: overlaps; "
+            << clustered.relation->num_tuples()
+            << " objects; 40 stored selectors; cold pool per query; "
+               "join-index precompute: "
+            << precompute << " theta tests)\n\n";
+
+  const int queries = 40;
+  Totals exhaustive, tree_cl, tree_uc, ji_lookup;
+  Rng selector_rng(2024);
+  for (int q = 0; q < queries; ++q) {
+    TupleId selector_tid = static_cast<TupleId>(selector_rng.NextUint64(
+        static_cast<uint64_t>(clustered.relation->num_tuples())));
+    Value selector =
+        clustered.relation->Read(selector_tid).value(
+            clustered.spatial_column);
+
+    pool_cl.Clear();
+    disk_cl.ResetStats();
+    JoinResult scan = NestedLoopSelect(selector, *clustered.relation,
+                                       clustered.spatial_column, op);
+    exhaustive.tests += scan.theta_tests;
+    exhaustive.reads += disk_cl.stats().page_reads;
+    exhaustive.matches += static_cast<int64_t>(scan.matches.size());
+
+    pool_cl.Clear();
+    disk_cl.ResetStats();
+    SelectResult cl = SpatialSelect(selector, *clustered.tree, op);
+    tree_cl.tests += cl.theta_tests + cl.theta_upper_tests;
+    tree_cl.reads += disk_cl.stats().page_reads;
+    tree_cl.matches += static_cast<int64_t>(cl.matching_tuples.size());
+
+    pool_uc.Clear();
+    disk_uc.ResetStats();
+    SelectResult uc = SpatialSelect(selector, *unclustered.tree, op);
+    tree_uc.tests += uc.theta_tests + uc.theta_upper_tests;
+    tree_uc.reads += disk_uc.stats().page_reads;
+    tree_uc.matches += static_cast<int64_t>(uc.matching_tuples.size());
+
+    pool_ji.Clear();
+    disk_ji.ResetStats();
+    std::vector<TupleId> hits = index.SMatchesOf(selector_tid);
+    for (TupleId tid : hits) {
+      (void)clustered.relation->Read(tid);  // fetch matching tuples
+    }
+    ji_lookup.reads += disk_ji.stats().page_reads +
+                       disk_cl.stats().page_reads;
+    ji_lookup.matches += static_cast<int64_t>(hits.size());
+  }
+
+  Report("I: exhaustive scan", exhaustive, queries);
+  Report("IIa: tree, unclustered", tree_uc, queries);
+  Report("IIb: tree, clustered", tree_cl, queries);
+  Report("III: join-index lookup", ji_lookup, queries);
+  std::cout << "\nExpected shape (Figs. 8-10): exhaustive never "
+               "competitive; clustered beats unclustered on reads at "
+               "equal logical work; the join index answers with zero "
+               "theta tests but amortizes the precompute column and "
+               "N-test updates.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 7: the match probabilities ρ(o1, o2) for o1 the
+// leftmost leaf of a k-ary tree of height n, under the UNIFORM, NO-LOC,
+// and HI-LOC distributions. For each height of o2 and each possible
+// lowest-common-ancestor height we print ρ (HI-LOC depends on the LCA;
+// the other two do not).
+#include <cstdio>
+#include <iostream>
+
+#include "costmodel/distributions.h"
+#include "costmodel/parameters.h"
+
+using spatialjoin::MatchDistribution;
+using spatialjoin::MatchProbability;
+using spatialjoin::ModelParameters;
+using spatialjoin::PaperParameters;
+using spatialjoin::PiTable;
+
+int main() {
+  ModelParameters params = PaperParameters();
+  params.p = 0.1;
+  const int n = params.n;
+  std::cout << "Figure 7 — match probabilities rho(o1, o2), o1 = leftmost "
+               "leaf (height "
+            << n << "), p = " << params.p << "\n\n";
+
+  for (MatchDistribution dist :
+       {MatchDistribution::kUniform, MatchDistribution::kNoLoc,
+        MatchDistribution::kHiLoc}) {
+    std::cout << "(" << MatchDistributionName(dist) << ")\n";
+    std::cout << "  o2 height | lca height -> rho\n";
+    for (int j = 0; j <= n; ++j) {
+      std::printf("  %9d |", j);
+      int max_lca = std::min(n, j);
+      for (int lca = 0; lca <= max_lca; ++lca) {
+        std::printf(" %d:%.2e", lca,
+                    MatchProbability(dist, params.p, n, j, lca));
+      }
+      std::printf("\n");
+    }
+    // Level averages π_{n,j} — the quantities the cost model consumes.
+    PiTable pi(dist, n, params.k, params.p);
+    std::cout << "  level averages pi(n, j):";
+    for (int j = 0; j <= n; ++j) std::printf(" %.2e", pi.pi(n, j));
+    std::cout << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 8: expected cost of a spatial selection under the
+// UNIFORM matching distribution, strategies I / IIa / IIb / III.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunSelectFigure(
+      "Figure 8 — SELECT, UNIFORM distribution",
+      spatialjoin::MatchDistribution::kUniform);
+  return 0;
+}

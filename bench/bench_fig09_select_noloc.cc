@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 9: expected cost of a spatial selection under the
+// NO-LOC matching distribution, strategies I / IIa / IIb / III.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunSelectFigure(
+      "Figure 9 — SELECT, NO-LOC distribution",
+      spatialjoin::MatchDistribution::kNoLoc);
+  return 0;
+}

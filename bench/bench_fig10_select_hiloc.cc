@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 10: expected cost of a spatial selection under the
+// HI-LOC matching distribution, strategies I / IIa / IIb / III.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunSelectFigure(
+      "Figure 10 — SELECT, HI-LOC distribution",
+      spatialjoin::MatchDistribution::kHiLoc);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 11: expected cost of a general spatial join under
+// the UNIFORM matching distribution; the paper reports a join-index
+// crossover near p ≈ 1e-9.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunJoinFigure(
+      "Figure 11 — JOIN, UNIFORM distribution",
+      spatialjoin::MatchDistribution::kUniform);
+  return 0;
+}

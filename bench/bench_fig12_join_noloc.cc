@@ -1,0 +1,13 @@
+// Reproduces paper Fig. 12: expected cost of a general spatial join under
+// the NO-LOC matching distribution. The paper reports a crossover near
+// p ≈ 1e-8; our D_III reconstruction moves it to p ≈ 5e-2 (see
+// EXPERIMENTS.md), so the sweep extends into that regime.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunJoinFigure(
+      "Figure 12 — JOIN, NO-LOC distribution",
+      spatialjoin::MatchDistribution::kNoLoc,
+      /*p_lo=*/1e-12, /*p_hi=*/0.3);
+  return 0;
+}

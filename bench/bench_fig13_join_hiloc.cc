@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 13: expected cost of a general spatial join under
+// the HI-LOC matching distribution; the paper reports a near-tie between
+// the strategies for any reasonable selectivity.
+#include "figure_common.h"
+
+int main() {
+  spatialjoin::bench::RunJoinFigure(
+      "Figure 13 — JOIN, HI-LOC distribution",
+      spatialjoin::MatchDistribution::kHiLoc,
+      /*p_lo=*/1e-12, /*p_hi=*/0.3);
+  return 0;
+}

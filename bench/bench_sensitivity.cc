@@ -1,0 +1,103 @@
+// Sensitivity analysis — the paper's §5 future work ("more detailed cost
+// formulas and more comparative studies are required"): how the strategy
+// ranking shifts when the Table-3 parameters move. For each knob we sweep
+// one parameter at a fixed NO-LOC selectivity and report the winning
+// join strategy plus the II/III cost ratio.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "costmodel/join_cost.h"
+#include "costmodel/parameters.h"
+#include "costmodel/select_cost.h"
+#include "figure_common.h"
+
+using namespace spatialjoin;
+
+namespace {
+
+const char* Winner(const JoinCosts& costs) {
+  double best = std::min(std::min(costs.d_i, costs.d_iia),
+                         std::min(costs.d_iib, costs.d_iii));
+  if (best == costs.d_iib) return "IIb";
+  if (best == costs.d_iia) return "IIa";
+  if (best == costs.d_iii) return "III";
+  return "I";
+}
+
+void Row(const char* label, const ModelParameters& params,
+         MatchDistribution dist) {
+  JoinCosts join = ComputeJoinCosts(params, dist);
+  SelectCosts select = ComputeSelectCosts(params, dist);
+  std::printf("%-24s D_IIb=%.3e D_III=%.3e III/IIb=%6.2f  join-winner=%-4s"
+              " C_IIb=%.3e\n",
+              label, join.d_iib, join.d_iii, join.d_iii / join.d_iib,
+              Winner(join), select.c_iib);
+}
+
+}  // namespace
+
+int main() {
+  MatchDistribution dist = MatchDistribution::kNoLoc;
+  std::cout << "Sensitivity of the strategy ranking to the model "
+               "parameters (NO-LOC, p = 1e-4 unless noted)\n\n";
+
+  std::cout << "-- tree fan-out k (n adjusted to keep N ~ 10^6) --\n";
+  for (int k : {4, 8, 10, 16, 32}) {
+    ModelParameters params = PaperParameters();
+    params.k = k;
+    // Pick n so k^n stays near 1e6.
+    params.n = static_cast<int>(std::round(
+        std::log(1e6) / std::log(static_cast<double>(k))));
+    params.h = params.n;
+    params.p = 1e-4;
+    char label[32];
+    std::snprintf(label, sizeof(label), "k=%d n=%d", k, params.n);
+    Row(label, params, dist);
+  }
+
+  std::cout << "\n-- main memory M (pages) --\n";
+  for (int64_t m_pages : {100, 1000, 4000, 20000, 100000}) {
+    ModelParameters params = PaperParameters();
+    params.M = m_pages;
+    params.p = 1e-4;
+    char label[32];
+    std::snprintf(label, sizeof(label), "M=%lld",
+                  static_cast<long long>(m_pages));
+    Row(label, params, dist);
+  }
+
+  std::cout << "\n-- join-index page capacity z --\n";
+  for (int64_t z : {10, 50, 100, 500}) {
+    ModelParameters params = PaperParameters();
+    params.z = z;
+    params.p = 1e-4;
+    char label[32];
+    std::snprintf(label, sizeof(label), "z=%lld",
+                  static_cast<long long>(z));
+    Row(label, params, dist);
+  }
+
+  std::cout << "\n-- I/O-to-compute cost ratio C_IO/C_theta --\n";
+  for (double c_io : {10.0, 100.0, 1000.0, 10000.0}) {
+    ModelParameters params = PaperParameters();
+    params.c_io = c_io;
+    params.p = 1e-4;
+    char label[32];
+    std::snprintf(label, sizeof(label), "C_IO=%g", c_io);
+    Row(label, params, dist);
+  }
+
+  std::cout << "\nReading: the paper's conclusion is robust across the "
+               "grid — the clustered tree holds the moderate-selectivity "
+               "regime under every knob tried. Fan-out moves both "
+               "strategies together; larger z helps the index (fewer "
+               "index pages) but never enough; the C_IO ratio barely "
+               "shifts the ranking. The M sweep exposes a model artifact "
+               "worth knowing: with the pass count already 1, growing M "
+               "only inflates D_III's per-pass fetch estimate "
+               "q = 1-(1-W/N^2)^{m(M-10)} without helping anything, so "
+               "the index looks worse — the formula overestimates "
+               "re-fetches exactly as §4.4 warns for D_II.\n";
+  return 0;
+}

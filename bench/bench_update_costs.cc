@@ -1,0 +1,40 @@
+// Reproduces the paper's update-cost analysis (§4.2, plotted alongside
+// Figs. 8–13): U_I, U_IIa, U_IIb, and U_III(T) for varying database
+// sizes T. Updates are distribution-independent.
+#include <iostream>
+
+#include "costmodel/parameters.h"
+#include "costmodel/report.h"
+#include "costmodel/update_cost.h"
+#include "figure_common.h"
+
+using spatialjoin::ComputeUpdateCosts;
+using spatialjoin::ModelParameters;
+using spatialjoin::PaperParameters;
+using spatialjoin::TableReport;
+using spatialjoin::UpdateCosts;
+
+int main() {
+  ModelParameters params = PaperParameters();
+  spatialjoin::bench::PrintHeader("Update costs (paper §4.2)", params);
+
+  UpdateCosts base = ComputeUpdateCosts(params);
+  std::cout << "At Table-3 defaults (T = N = " << params.N() << "):\n";
+  TableReport single({"U_I", "U_IIa", "U_IIb", "U_III"});
+  single.AddRow({base.u_i, base.u_iia, base.u_iib, base.u_iii});
+  single.Print(std::cout);
+  std::cout << "\nU_III / U_IIb ratio: " << base.u_iii / base.u_iib
+            << "  (the paper: join-index updates are 'almost "
+               "prohibitively high')\n\n";
+
+  std::cout << "Scaling with total database size T:\n";
+  TableReport sweep({"T", "U_I", "U_IIa", "U_IIb", "U_III"});
+  for (int64_t t = 10000; t <= 100000000; t *= 10) {
+    params.T = t;
+    UpdateCosts costs = ComputeUpdateCosts(params);
+    sweep.AddRow({static_cast<double>(t), costs.u_i, costs.u_iia,
+                  costs.u_iib, costs.u_iii});
+  }
+  sweep.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef SPATIALJOIN_BENCH_FIGURE_COMMON_H_
+#define SPATIALJOIN_BENCH_FIGURE_COMMON_H_
+
+// Shared sweep drivers for the figure-reproduction benches (Figs. 8–13).
+// Each bench prints the paper's parameter block (Table 3), then one row
+// per selectivity with the cost series the corresponding figure plots,
+// and finally the winner per regime so the "who wins where" shape is
+// machine-checkable from the output.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "costmodel/distributions.h"
+#include "costmodel/join_cost.h"
+#include "costmodel/parameters.h"
+#include "costmodel/report.h"
+#include "costmodel/select_cost.h"
+#include "costmodel/update_cost.h"
+
+namespace spatialjoin {
+namespace bench {
+
+inline void PrintHeader(const std::string& title,
+                        const ModelParameters& params) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "Parameters (Table 3): " << params.ToString() << "\n"
+            << "==========================================================\n";
+}
+
+/// Reproduces one SELECT figure (Fig. 8/9/10): C_I, C_IIa, C_IIb, C_III
+/// against selectivity p on a log grid, plus the per-row winner.
+inline void RunSelectFigure(const std::string& title, MatchDistribution dist,
+                            double p_lo = 1e-4, double p_hi = 1.0,
+                            int points = 17) {
+  ModelParameters params = PaperParameters();
+  PrintHeader(title, params);
+  TableReport table({"p", "C_I", "C_IIa", "C_IIb", "C_III"});
+  for (double p : LogSpace(p_lo, p_hi, points)) {
+    params.p = p;
+    SelectCosts costs = ComputeSelectCosts(params, dist);
+    table.AddRow({p, costs.c_i, costs.c_iia, costs.c_iib, costs.c_iii});
+  }
+  table.Print(std::cout);
+  std::cout << "winners:";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    std::cout << " " << table.columns()[table.ArgMinOfRow(row)];
+  }
+  std::cout << "\n\n";
+}
+
+/// Reproduces one JOIN figure (Fig. 11/12/13): D_I, D_IIa, D_IIb, D_III.
+inline void RunJoinFigure(const std::string& title, MatchDistribution dist,
+                          double p_lo = 1e-12, double p_hi = 1e-2,
+                          int points = 21) {
+  ModelParameters params = PaperParameters();
+  PrintHeader(title, params);
+  TableReport table({"p", "D_I", "D_IIa", "D_IIb", "D_III"});
+  for (double p : LogSpace(p_lo, p_hi, points)) {
+    params.p = p;
+    JoinCosts costs = ComputeJoinCosts(params, dist);
+    table.AddRow({p, costs.d_i, costs.d_iia, costs.d_iib, costs.d_iii});
+  }
+  table.Print(std::cout);
+  std::cout << "winners:";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    std::cout << " " << table.columns()[table.ArgMinOfRow(row)];
+  }
+  // Locate the II/III crossover (first p where the tree beats the index).
+  double crossover = -1.0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const auto& r = table.row(row);
+    if (r[4] > r[2]) {  // D_III > D_IIa
+      crossover = r[0];
+      break;
+    }
+  }
+  std::cout << "\nD_III/D_IIa crossover near p = ";
+  if (crossover < 0) {
+    std::cout << "(none in sweep)";
+  } else {
+    std::printf("%.2e", crossover);
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace bench
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_BENCH_FIGURE_COMMON_H_

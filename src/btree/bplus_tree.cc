@@ -1,0 +1,287 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+// On-page layout:
+//   [is_leaf:u8][count:u16][next:i64]                      (header, 11 B)
+//   leaf:      count × [key:u64][value:u64]
+//   internal:  [child0:i64] + count × [key:u64][child:i64]
+// An internal node with `count` keys has count+1 children; keys[i]
+// separates children[i] (keys < keys[i]) from children[i+1] (keys >=
+// keys[i]).
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  PageId next = kInvalidPageId;  // leaf chain
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;   // leaf payloads
+  std::vector<PageId> children;   // internal pointers (keys.size() + 1)
+};
+
+namespace {
+
+constexpr size_t kHeaderSize = 1 + 2 + 8;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 16;  // key + child
+constexpr size_t kInternalBaseSize = kHeaderSize + 8;  // + child0
+
+template <typename T>
+void StorePod(Page* page, size_t* pos, const T& v) {
+  SJ_CHECK_LE(*pos + sizeof(T), page->size());
+  std::memcpy(page->bytes() + *pos, &v, sizeof(T));
+  *pos += sizeof(T);
+}
+
+template <typename T>
+T LoadPod(const Page& page, size_t* pos) {
+  SJ_CHECK_LE(*pos + sizeof(T), page.size());
+  T v;
+  std::memcpy(&v, page.bytes() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(BufferPool* pool, int max_leaf_entries,
+                     int max_internal_entries)
+    : pool_(pool) {
+  SJ_CHECK(pool != nullptr);
+  size_t page_size = pool->disk()->page_size();
+  int leaf_fit =
+      static_cast<int>((page_size - kHeaderSize) / kLeafEntrySize);
+  int internal_fit =
+      static_cast<int>((page_size - kInternalBaseSize) / kInternalEntrySize);
+  max_leaf_entries_ =
+      max_leaf_entries > 0 ? std::min(max_leaf_entries, leaf_fit) : leaf_fit;
+  max_internal_entries_ = max_internal_entries > 0
+                              ? std::min(max_internal_entries, internal_fit)
+                              : internal_fit;
+  SJ_CHECK_GE(max_leaf_entries_, 2);
+  SJ_CHECK_GE(max_internal_entries_, 2);
+  root_ = NewNodePage();
+  StoreNode(root_, Node{});
+}
+
+PageId BPlusTree::NewNodePage() {
+  ++num_pages_;
+  return pool_->NewPage();
+}
+
+BPlusTree::Node BPlusTree::LoadNode(PageId pid) const {
+  const Page* page = pool_->GetPage(pid);
+  Node node;
+  size_t pos = 0;
+  node.is_leaf = LoadPod<uint8_t>(*page, &pos) != 0;
+  uint16_t count = LoadPod<uint16_t>(*page, &pos);
+  node.next = LoadPod<PageId>(*page, &pos);
+  if (node.is_leaf) {
+    node.keys.reserve(count);
+    node.values.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      node.keys.push_back(LoadPod<uint64_t>(*page, &pos));
+      node.values.push_back(LoadPod<uint64_t>(*page, &pos));
+    }
+  } else {
+    node.children.reserve(count + 1);
+    node.children.push_back(LoadPod<PageId>(*page, &pos));
+    node.keys.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      node.keys.push_back(LoadPod<uint64_t>(*page, &pos));
+      node.children.push_back(LoadPod<PageId>(*page, &pos));
+    }
+  }
+  return node;
+}
+
+void BPlusTree::StoreNode(PageId pid, const Node& node) {
+  Page* page = pool_->GetMutablePage(pid);
+  std::fill(page->data.begin(), page->data.end(), 0);
+  size_t pos = 0;
+  StorePod(page, &pos, static_cast<uint8_t>(node.is_leaf ? 1 : 0));
+  StorePod(page, &pos, static_cast<uint16_t>(node.keys.size()));
+  StorePod(page, &pos, node.next);
+  if (node.is_leaf) {
+    SJ_CHECK_EQ(node.keys.size(), node.values.size());
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      StorePod(page, &pos, node.keys[i]);
+      StorePod(page, &pos, node.values[i]);
+    }
+  } else {
+    SJ_CHECK_EQ(node.children.size(), node.keys.size() + 1);
+    StorePod(page, &pos, node.children[0]);
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      StorePod(page, &pos, node.keys[i]);
+      StorePod(page, &pos, node.children[i + 1]);
+    }
+  }
+}
+
+std::optional<std::pair<uint64_t, PageId>> BPlusTree::InsertInto(
+    PageId pid, uint64_t key, uint64_t value) {
+  Node node = LoadNode(pid);
+  if (node.is_leaf) {
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+    size_t idx = static_cast<size_t>(it - node.keys.begin());
+    node.keys.insert(it, key);
+    node.values.insert(node.values.begin() + static_cast<long>(idx), value);
+    if (static_cast<int>(node.keys.size()) <= max_leaf_entries_) {
+      StoreNode(pid, node);
+      return std::nullopt;
+    }
+    // Split the leaf: right half moves to a fresh page.
+    size_t mid = node.keys.size() / 2;
+    Node right;
+    right.is_leaf = true;
+    right.keys.assign(node.keys.begin() + static_cast<long>(mid),
+                      node.keys.end());
+    right.values.assign(node.values.begin() + static_cast<long>(mid),
+                        node.values.end());
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    PageId right_pid = NewNodePage();
+    right.next = node.next;
+    node.next = right_pid;
+    StoreNode(right_pid, right);
+    StoreNode(pid, node);
+    return std::make_pair(right.keys.front(), right_pid);
+  }
+
+  // Internal node: descend into the child whose range covers `key`.
+  auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  size_t child_idx = static_cast<size_t>(it - node.keys.begin());
+  auto split = InsertInto(node.children[child_idx], key, value);
+  if (!split.has_value()) return std::nullopt;
+  node.keys.insert(node.keys.begin() + static_cast<long>(child_idx),
+                   split->first);
+  node.children.insert(
+      node.children.begin() + static_cast<long>(child_idx) + 1,
+      split->second);
+  if (static_cast<int>(node.keys.size()) <= max_internal_entries_) {
+    StoreNode(pid, node);
+    return std::nullopt;
+  }
+  // Split the internal node; the middle key moves up.
+  size_t mid = node.keys.size() / 2;
+  uint64_t up_key = node.keys[mid];
+  Node right;
+  right.is_leaf = false;
+  right.keys.assign(node.keys.begin() + static_cast<long>(mid) + 1,
+                    node.keys.end());
+  right.children.assign(node.children.begin() + static_cast<long>(mid) + 1,
+                        node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  PageId right_pid = NewNodePage();
+  StoreNode(right_pid, right);
+  StoreNode(pid, node);
+  return std::make_pair(up_key, right_pid);
+}
+
+void BPlusTree::Insert(uint64_t key, uint64_t value) {
+  auto split = InsertInto(root_, key, value);
+  if (split.has_value()) {
+    Node new_root;
+    new_root.is_leaf = false;
+    new_root.keys = {split->first};
+    new_root.children = {root_, split->second};
+    PageId new_root_pid = NewNodePage();
+    StoreNode(new_root_pid, new_root);
+    root_ = new_root_pid;
+    ++height_;
+  }
+  ++num_entries_;
+}
+
+bool BPlusTree::Delete(uint64_t key, uint64_t value) {
+  // Duplicates of `key` may span several leaves (a split can cut a run of
+  // equal keys), so descend with lower_bound — like ScanRange — to reach
+  // the leftmost leaf that can hold `key`, then walk the chain.
+  PageId pid = root_;
+  for (;;) {
+    Node node = LoadNode(pid);
+    if (node.is_leaf) break;
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    pid = node.children[static_cast<size_t>(it - node.keys.begin())];
+  }
+  while (pid != kInvalidPageId) {
+    Node node = LoadNode(pid);
+    bool past_key = false;
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] > key) {
+        past_key = true;
+        break;
+      }
+      if (node.keys[i] == key && node.values[i] == value) {
+        node.keys.erase(node.keys.begin() + static_cast<long>(i));
+        node.values.erase(node.values.begin() + static_cast<long>(i));
+        StoreNode(pid, node);
+        --num_entries_;
+        return true;
+      }
+    }
+    if (past_key) return false;
+    pid = node.next;
+  }
+  return false;
+}
+
+void BPlusTree::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  if (lo > hi) return;
+  // Find the leaf that may contain `lo`. A leaf reached via upper_bound
+  // holds keys >= all separators on the path; keys equal to lo may start
+  // in this leaf.
+  PageId pid = root_;
+  for (;;) {
+    Node node = LoadNode(pid);
+    if (node.is_leaf) break;
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), lo);
+    // lower_bound: first separator >= lo; descend left of it so we do not
+    // skip duplicates equal to lo that sit at the start of the right node.
+    pid = node.children[static_cast<size_t>(it - node.keys.begin())];
+  }
+  while (pid != kInvalidPageId) {
+    Node node = LoadNode(pid);
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] < lo) continue;
+      if (node.keys[i] > hi) return;
+      fn(node.keys[i], node.values[i]);
+    }
+    pid = node.next;
+  }
+}
+
+std::vector<uint64_t> BPlusTree::Lookup(uint64_t key) const {
+  std::vector<uint64_t> out;
+  ScanRange(key, key, [&](uint64_t, uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+void BPlusTree::ScanAll(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  ScanRange(0, ~uint64_t{0}, fn);
+}
+
+int64_t BPlusTree::num_leaf_pages() const {
+  // Walk down the leftmost spine, then along the leaf chain.
+  PageId pid = root_;
+  for (;;) {
+    Node node = LoadNode(pid);
+    if (node.is_leaf) break;
+    pid = node.children.front();
+  }
+  int64_t count = 0;
+  while (pid != kInvalidPageId) {
+    ++count;
+    pid = LoadNode(pid).next;
+  }
+  return count;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,84 @@
+#ifndef SPATIALJOIN_BTREE_BPLUS_TREE_H_
+#define SPATIALJOIN_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace spatialjoin {
+
+/// A disk-resident B⁺-tree with uint64 keys and uint64 values, supporting
+/// duplicate keys. This is the index structure the paper assumes for join
+/// indices (modeling assumption S4: "join indices are implemented using
+/// B⁺-trees"); the cost model's parameter z (index entries per page,
+/// Table 3: z = 100) corresponds to `max_leaf_entries`.
+///
+/// Leaves are chained for range scans. Deletion is by lazy removal from
+/// the leaf (no rebalancing): join indices in this workload shrink rarely,
+/// and the paper charges updates through insert costs only.
+class BPlusTree {
+ public:
+  /// Creates an empty tree. `max_leaf_entries` / `max_internal_entries`
+  /// cap fan-out (0 = as many as fit on a page).
+  BPlusTree(BufferPool* pool, int max_leaf_entries = 0,
+            int max_internal_entries = 0);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (key, value); duplicates of both key and (key,value) allowed.
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Removes one occurrence of (key, value); false if not present.
+  bool Delete(uint64_t key, uint64_t value);
+
+  /// Calls `fn(key, value)` for all entries with key in [lo, hi],
+  /// in key order.
+  void ScanRange(uint64_t lo, uint64_t hi,
+                 const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  /// All values stored under `key`.
+  std::vector<uint64_t> Lookup(uint64_t key) const;
+
+  /// Calls `fn(key, value)` over the whole tree in key order.
+  void ScanAll(const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  int64_t num_entries() const { return num_entries_; }
+  /// Height in levels (1 = root is a leaf). Matches the paper's join-index
+  /// B⁺-tree height d (Table 3: d = 4 at N ≈ 10^6, z = 100).
+  int height() const { return height_; }
+  /// Number of pages occupied by the tree (leaves + internals).
+  int64_t num_pages() const { return num_pages_; }
+  /// Number of leaf pages only.
+  int64_t num_leaf_pages() const;
+
+ private:
+  struct Node;  // defined in the .cc
+
+  // Returns the decoded node stored on `pid`.
+  Node LoadNode(PageId pid) const;
+  void StoreNode(PageId pid, const Node& node);
+  PageId NewNodePage();
+
+  // Recursive insert; returns (separator_key, new_right_page) on split.
+  std::optional<std::pair<uint64_t, PageId>> InsertInto(PageId pid,
+                                                        uint64_t key,
+                                                        uint64_t value);
+
+  BufferPool* pool_;
+  int max_leaf_entries_;
+  int max_internal_entries_;
+  PageId root_;
+  int height_ = 1;
+  int64_t num_entries_ = 0;
+  int64_t num_pages_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,50 @@
+#ifndef SPATIALJOIN_COMMON_CHECK_H_
+#define SPATIALJOIN_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace spatialjoin {
+
+namespace internal_check {
+
+/// Aborts the process after printing `message` (with source location).
+/// Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace internal_check
+
+/// SJ_CHECK(cond) aborts with a diagnostic if `cond` is false. Used for
+/// programmer errors and invariant violations; the library does not use
+/// exceptions (see DESIGN.md conventions).
+#define SJ_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spatialjoin::internal_check::CheckFailed(__FILE__, __LINE__, #cond, \
+                                                 "");                       \
+    }                                                                       \
+  } while (0)
+
+/// SJ_CHECK_MSG(cond, msg) is SJ_CHECK with an additional streamed message.
+#define SJ_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream sj_check_stream_;                                  \
+      sj_check_stream_ << msg;                                              \
+      ::spatialjoin::internal_check::CheckFailed(__FILE__, __LINE__, #cond, \
+                                                 sj_check_stream_.str());   \
+    }                                                                       \
+  } while (0)
+
+#define SJ_CHECK_EQ(a, b) SJ_CHECK_MSG((a) == (b), "expected equality")
+#define SJ_CHECK_NE(a, b) SJ_CHECK_MSG((a) != (b), "expected inequality")
+#define SJ_CHECK_LT(a, b) SJ_CHECK_MSG((a) < (b), "expected less-than")
+#define SJ_CHECK_LE(a, b) SJ_CHECK_MSG((a) <= (b), "expected less-or-equal")
+#define SJ_CHECK_GT(a, b) SJ_CHECK_MSG((a) > (b), "expected greater-than")
+#define SJ_CHECK_GE(a, b) SJ_CHECK_MSG((a) >= (b), "expected greater-or-equal")
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COMMON_CHECK_H_

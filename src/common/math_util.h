@@ -1,0 +1,53 @@
+#ifndef SPATIALJOIN_COMMON_MATH_UTIL_H_
+#define SPATIALJOIN_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+/// Ceiling division for non-negative integers; CeilDiv(7,2) == 4.
+constexpr int64_t CeilDiv(int64_t numerator, int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Ceiling of a non-negative double as int64 with guard against negative
+/// inputs produced by floating-point noise.
+inline int64_t CeilToInt64(double x) {
+  if (x <= 0.0) return 0;
+  return static_cast<int64_t>(std::ceil(x));
+}
+
+/// Integer power base^exp for small exponents (exp >= 0). Checked against
+/// overflow only by the caller's choice of ranges; used for k^i with
+/// k <= 16, i <= 12 in the cost model.
+constexpr int64_t IPow(int64_t base, int exp) {
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+/// Double-precision power base^exp for integer exponents (exp may be large).
+inline double DPow(double base, int exp) {
+  return std::pow(base, static_cast<double>(exp));
+}
+
+/// Clamps `x` into [lo, hi].
+template <typename T>
+constexpr T Clamp(T x, T lo, T hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Approximate equality for doubles, |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+inline bool AlmostEqual(double a, double b, double rel_tol = 1e-9,
+                        double abs_tol = 1e-12) {
+  double diff = std::fabs(a - b);
+  double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COMMON_MATH_UTIL_H_

@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean_ << " sd=" << stddev()
+     << " min=" << min_ << " max=" << max_;
+  return os.str();
+}
+
+double Quantile(const std::vector<double>& values, double q) {
+  SJ_CHECK(!values.empty());
+  SJ_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace spatialjoin

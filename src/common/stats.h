@@ -1,0 +1,46 @@
+#ifndef SPATIALJOIN_COMMON_STATS_H_
+#define SPATIALJOIN_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Online accumulator for mean / variance / min / max (Welford's method).
+/// Used by benches to summarize measured counter series.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Renders "n=… mean=… sd=… min=… max=…".
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// `values` need not be sorted; the function copies and sorts internally.
+double Quantile(const std::vector<double>& values, double q);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COMMON_STATS_H_

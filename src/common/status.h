@@ -1,0 +1,110 @@
+#ifndef SPATIALJOIN_COMMON_STATUS_H_
+#define SPATIALJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+/// Error categories used across the library. The library does not throw;
+/// fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "NOT_FOUND").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight status object carrying a code and optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m = "") {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status. Accessing the value of an
+/// error result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call sites
+  /// terse (`return value;` / `return Status::NotFound();`).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    SJ_CHECK_MSG(!status_.ok(), "Result built from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SJ_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    SJ_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    SJ_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return std::move(value_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COMMON_STATUS_H_

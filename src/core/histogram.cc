@@ -1,0 +1,77 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace spatialjoin {
+
+GridHistogram::GridHistogram(const Rectangle& world, int cells_per_axis)
+    : world_(world), cells_per_axis_(cells_per_axis) {
+  SJ_CHECK(!world.is_empty());
+  SJ_CHECK(world.width() > 0 && world.height() > 0);
+  SJ_CHECK_GE(cells_per_axis, 1);
+  SJ_CHECK_LE(cells_per_axis, 4096);
+  cell_w_ = world.width() / cells_per_axis;
+  cell_h_ = world.height() / cells_per_axis;
+  counts_.assign(
+      static_cast<size_t>(cells_per_axis) * cells_per_axis, 0);
+}
+
+int64_t GridHistogram::IndexOf(double coord, double lo, double width) const {
+  int64_t idx = static_cast<int64_t>(std::floor((coord - lo) / width));
+  return Clamp<int64_t>(idx, 0, cells_per_axis_ - 1);
+}
+
+void GridHistogram::Add(const Rectangle& mbr) {
+  SJ_CHECK(!mbr.is_empty());
+  int64_t x_lo = IndexOf(mbr.min_x(), world_.min_x(), cell_w_);
+  int64_t x_hi = IndexOf(mbr.max_x(), world_.min_x(), cell_w_);
+  int64_t y_lo = IndexOf(mbr.min_y(), world_.min_y(), cell_h_);
+  int64_t y_hi = IndexOf(mbr.max_y(), world_.min_y(), cell_h_);
+  for (int64_t y = y_lo; y <= y_hi; ++y) {
+    for (int64_t x = x_lo; x <= x_hi; ++x) {
+      ++counts_[static_cast<size_t>(y * cells_per_axis_ + x)];
+    }
+  }
+  ++num_objects_;
+}
+
+GridHistogram GridHistogram::Build(const Relation& relation, size_t column,
+                                   const Rectangle& world,
+                                   int cells_per_axis) {
+  GridHistogram histogram(world, cells_per_axis);
+  relation.Scan([&](TupleId, const Tuple& tuple) {
+    histogram.Add(tuple.value(column).Mbr());
+  });
+  return histogram;
+}
+
+int64_t GridHistogram::CellCount(int x, int y) const {
+  SJ_CHECK_GE(x, 0);
+  SJ_CHECK_LT(x, cells_per_axis_);
+  SJ_CHECK_GE(y, 0);
+  SJ_CHECK_LT(y, cells_per_axis_);
+  return counts_[static_cast<size_t>(y) *
+                     static_cast<size_t>(cells_per_axis_) +
+                 static_cast<size_t>(x)];
+}
+
+double GridHistogram::EstimateOverlapSelectivity(const GridHistogram& r,
+                                                 const GridHistogram& s) {
+  SJ_CHECK_EQ(r.cells_per_axis_, s.cells_per_axis_);
+  SJ_CHECK(r.world_ == s.world_);
+  if (r.num_objects_ == 0 || s.num_objects_ == 0) return 0.0;
+  double total = 0.0;
+  double nr = static_cast<double>(r.num_objects_);
+  double ns = static_cast<double>(s.num_objects_);
+  for (size_t i = 0; i < r.counts_.size(); ++i) {
+    total += (static_cast<double>(r.counts_[i]) / nr) *
+             (static_cast<double>(s.counts_[i]) / ns);
+  }
+  return Clamp(total, 0.0, 1.0);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,58 @@
+#ifndef SPATIALJOIN_CORE_HISTOGRAM_H_
+#define SPATIALJOIN_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// An equi-width 2-D grid histogram over object MBRs — catalog-style
+/// statistics for the strategy planner. Where `EstimateJoinStatistics`
+/// θ-samples both relations at plan time (paying C_θ per probe), a
+/// histogram is built once per relation during loading and lets the
+/// planner estimate overlap-join selectivity from counts alone.
+class GridHistogram {
+ public:
+  /// `cells_per_axis` equi-width cells over `world` per axis.
+  GridHistogram(const Rectangle& world, int cells_per_axis);
+
+  /// Registers one object: every cell its MBR touches is incremented.
+  void Add(const Rectangle& mbr);
+
+  /// Builds a histogram from a relation's spatial column in one scan.
+  static GridHistogram Build(const Relation& relation, size_t column,
+                             const Rectangle& world, int cells_per_axis);
+
+  int64_t num_objects() const { return num_objects_; }
+  int cells_per_axis() const { return cells_per_axis_; }
+  const Rectangle& world() const { return world_; }
+
+  /// Count of objects touching cell (x, y).
+  int64_t CellCount(int x, int y) const;
+
+  /// Estimated probability that a random object of `r` overlaps a random
+  /// object of `s`: Σ_cells P_r(touch cell)·P_s(touch cell), clamped to
+  /// [0, 1]. Touching a common cell is necessary for overlap and (at
+  /// adequate resolution) nearly sufficient, so the estimate brackets
+  /// the true selectivity from above at the granularity of one cell.
+  /// Histograms must share world and resolution.
+  static double EstimateOverlapSelectivity(const GridHistogram& r,
+                                           const GridHistogram& s);
+
+ private:
+  int64_t IndexOf(double coord, double lo, double width) const;
+
+  Rectangle world_;
+  int cells_per_axis_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<int64_t> counts_;  // row-major
+  int64_t num_objects_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#include "core/index_nested_loop.h"
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Flips the operand order so a probe with selector s still evaluates
+// θ(r, s) / Θ(r', s').
+class SwappedTheta : public ThetaOperator {
+ public:
+  explicit SwappedTheta(const ThetaOperator* inner) : inner_(inner) {}
+  std::string name() const override { return "swapped(" + inner_->name() + ")"; }
+  bool Theta(const Value& a, const Value& b) const override {
+    return inner_->Theta(b, a);
+  }
+  bool ThetaUpper(const Rectangle& a, const Rectangle& b) const override {
+    return inner_->ThetaUpper(b, a);
+  }
+  bool is_symmetric() const override { return inner_->is_symmetric(); }
+
+ private:
+  const ThetaOperator* inner_;
+};
+
+}  // namespace
+
+JoinResult IndexNestedLoopJoin(const GeneralizationTree& r_tree,
+                               const Relation& s, size_t col_s,
+                               const ThetaOperator& op, Traversal traversal) {
+  SJ_CHECK_LT(col_s, s.schema().num_columns());
+  SwappedTheta probe_op(&op);
+  JoinResult result;
+  s.Scan([&](TupleId s_tid, const Tuple& s_tuple) {
+    ++result.nodes_accessed;
+    SelectResult probe =
+        SpatialSelect(s_tuple.value(col_s), r_tree, probe_op, traversal);
+    result.theta_tests += probe.theta_tests;
+    result.theta_upper_tests += probe.theta_upper_tests;
+    result.nodes_accessed += probe.nodes_accessed;
+    for (TupleId r_tid : probe.matching_tuples) {
+      result.matches.emplace_back(r_tid, s_tid);
+    }
+  });
+  return result;
+}
+
+}  // namespace spatialjoin

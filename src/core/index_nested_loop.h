@@ -1,0 +1,26 @@
+#ifndef SPATIALJOIN_CORE_INDEX_NESTED_LOOP_H_
+#define SPATIALJOIN_CORE_INDEX_NESTED_LOOP_H_
+
+#include "core/gentree.h"
+#include "core/join.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// Index-supported join (paper §2.1/§2.2, the strategy Rotem demonstrated
+/// for grid files): scan the unindexed relation S and, for each S tuple,
+/// probe R's generalization tree with Algorithm SELECT. Requires only one
+/// index; complements TreeJoin, which needs one per side.
+///
+/// The result pairs are ordered (R tuple, S tuple) and θ is applied as
+/// θ(r, s) even though the probe runs with s as the selector.
+JoinResult IndexNestedLoopJoin(const GeneralizationTree& r_tree,
+                               const Relation& s, size_t col_s,
+                               const ThetaOperator& op,
+                               Traversal traversal = Traversal::kBreadthFirst);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_INDEX_NESTED_LOOP_H_

@@ -1,0 +1,80 @@
+#ifndef SPATIALJOIN_CORE_JOIN_INDEX_H_
+#define SPATIALJOIN_CORE_JOIN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// Strategy III: a precomputed join index [Vald87] (paper §2.1, §4).
+/// "A join index is nothing but a two-column relation that stores the
+/// tuple IDs of matching tuples." It is kept in two B⁺-trees (assumption
+/// S4) — forward (R-tid → S-tid) and backward (S-tid → R-tid) — so both
+/// join directions and both update directions are O(log) lookups.
+///
+/// Join computation is then a scan of the index plus retrieval of the
+/// matching tuples; no θ evaluations are needed at query time. The price
+/// is paid on update: a new tuple must be θ-tested against the *entire*
+/// other relation (§4.2: U_III grows with the total database size T).
+class JoinIndex {
+ public:
+  /// `entries_per_page` models the paper's parameter z (Table 3: z = 100);
+  /// 0 packs as many as fit.
+  JoinIndex(BufferPool* pool, int entries_per_page = 0);
+
+  JoinIndex(const JoinIndex&) = delete;
+  JoinIndex& operator=(const JoinIndex&) = delete;
+
+  /// Precomputes the index for R ⋈_θ S by exhaustive θ evaluation
+  /// (the paper's maintenance model). Returns the number of θ tests.
+  int64_t Build(const Relation& r, size_t col_r, const Relation& s,
+                size_t col_s, const ThetaOperator& op);
+
+  /// Registers one matching pair.
+  void Add(TupleId r_tid, TupleId s_tid);
+
+  /// Removes one matching pair; false if absent.
+  bool Remove(TupleId r_tid, TupleId s_tid);
+
+  /// Maintenance after inserting a new R tuple: θ-tests it against every
+  /// S tuple and records matches. Returns the number of θ tests (= |S|).
+  int64_t OnInsertR(TupleId new_r, const Value& geometry, const Relation& s,
+                    size_t col_s, const ThetaOperator& op);
+
+  /// Symmetric maintenance for a new S tuple.
+  int64_t OnInsertS(TupleId new_s, const Value& geometry, const Relation& r,
+                    size_t col_r, const ThetaOperator& op);
+
+  /// Computes the join from the index alone: scans the forward tree and
+  /// fetches the matching tuples from both relations (charging their I/O).
+  /// θ is never evaluated.
+  JoinResult Execute(const Relation& r, const Relation& s) const;
+
+  /// All S tuples matching `r_tid` (spatial-selection support when the
+  /// selector is a stored R tuple).
+  std::vector<TupleId> SMatchesOf(TupleId r_tid) const;
+
+  /// All R tuples matching `s_tid`.
+  std::vector<TupleId> RMatchesOf(TupleId s_tid) const;
+
+  int64_t num_pairs() const { return forward_.num_entries(); }
+  /// Height of the forward B⁺-tree — the model's parameter d.
+  int height() const { return forward_.height(); }
+  /// Pages used by both direction trees (the index's space cost).
+  int64_t num_pages() const {
+    return forward_.num_pages() + backward_.num_pages();
+  }
+
+ private:
+  BPlusTree forward_;
+  BPlusTree backward_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_JOIN_INDEX_H_

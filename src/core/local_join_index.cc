@@ -1,0 +1,122 @@
+#include "core/local_join_index.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+LocalJoinIndex::LocalJoinIndex(BufferPool* pool,
+                               const GeneralizationTree* tree,
+                               int partition_height, int entries_per_page)
+    : tree_(tree),
+      partition_height_(partition_height),
+      pairs_(pool, entries_per_page, entries_per_page) {
+  SJ_CHECK(tree != nullptr);
+  SJ_CHECK_GE(partition_height, 1);
+  SJ_CHECK_LE(partition_height, tree->height());
+}
+
+void LocalJoinIndex::CollectPartitions() {
+  partitions_.clear();
+  // BFS down to partition_height; everything at that height roots a
+  // partition. Shallower application nodes are rejected (see header).
+  std::deque<NodeId> worklist{tree_->root()};
+  std::vector<NodeId> roots;
+  while (!worklist.empty()) {
+    NodeId node = worklist.front();
+    worklist.pop_front();
+    int h = tree_->HeightOf(node);
+    if (h == partition_height_) {
+      roots.push_back(node);
+      continue;
+    }
+    SJ_CHECK_MSG(!tree_->IsApplicationNode(node),
+                 "application object above partition height "
+                     << partition_height_);
+    for (NodeId child : tree_->Children(node)) worklist.push_back(child);
+  }
+  for (NodeId root : roots) {
+    Partition partition;
+    partition.root = root;
+    partition.mbr = tree_->MbrOf(root);
+    std::deque<NodeId> sub{root};
+    while (!sub.empty()) {
+      NodeId node = sub.front();
+      sub.pop_front();
+      if (tree_->IsApplicationNode(node)) {
+        partition.members.push_back(
+            Member{node, tree_->TupleOf(node), tree_->MbrOf(node)});
+      }
+      for (NodeId child : tree_->Children(node)) sub.push_back(child);
+    }
+    partitions_.push_back(std::move(partition));
+  }
+}
+
+int64_t LocalJoinIndex::Build(const ThetaOperator& op) {
+  CollectPartitions();
+  int64_t tests = 0;
+  for (const Partition& partition : partitions_) {
+    for (size_t i = 0; i < partition.members.size(); ++i) {
+      Value gi = tree_->Geometry(partition.members[i].node);
+      for (size_t j = 0; j < partition.members.size(); ++j) {
+        if (i == j) continue;
+        ++tests;
+        if (op.Theta(gi, tree_->Geometry(partition.members[j].node))) {
+          pairs_.Insert(
+              static_cast<uint64_t>(partition.members[i].node),
+              static_cast<uint64_t>(partition.members[j].node));
+        }
+      }
+    }
+  }
+  built_ = true;
+  return tests;
+}
+
+JoinResult LocalJoinIndex::Execute(const ThetaOperator& op) const {
+  SJ_CHECK_MSG(built_, "Execute before Build");
+  JoinResult result;
+  // Intra-partition: read off the precomputed pairs.
+  pairs_.ScanAll([&](uint64_t a, uint64_t b) {
+    result.matches.emplace_back(tree_->TupleOf(static_cast<NodeId>(a)),
+                                tree_->TupleOf(static_cast<NodeId>(b)));
+  });
+  // Cross-partition: Θ-pruned live computation.
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    for (size_t q = 0; q < partitions_.size(); ++q) {
+      if (p == q) continue;
+      const Partition& pp = partitions_[p];
+      const Partition& qq = partitions_[q];
+      ++result.theta_upper_tests;
+      if (!op.ThetaUpper(pp.mbr, qq.mbr)) continue;
+      for (const Member& a : pp.members) {
+        Value ga = tree_->Geometry(a.node);
+        ++result.nodes_accessed;
+        for (const Member& b : qq.members) {
+          ++result.theta_upper_tests;
+          if (!op.ThetaUpper(a.mbr, b.mbr)) continue;
+          ++result.theta_tests;
+          ++result.nodes_accessed;
+          if (op.Theta(ga, tree_->Geometry(b.node))) {
+            result.matches.emplace_back(a.tuple, b.tuple);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int64_t LocalJoinIndex::UpdateCost(const Rectangle& mbr) const {
+  SJ_CHECK_MSG(built_, "UpdateCost before Build");
+  for (const Partition& partition : partitions_) {
+    if (partition.mbr.Contains(mbr)) {
+      return static_cast<int64_t>(partition.members.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,91 @@
+#ifndef SPATIALJOIN_CORE_MEMORY_GENTREE_H_
+#define SPATIALJOIN_CORE_MEMORY_GENTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gentree.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// An explicitly built generalization tree — the representation for
+/// application-specific hierarchies of detail (paper Fig. 3: a map divided
+/// into countries, countries into regions, regions into cities). Every
+/// node may carry an application object; containment between a node and
+/// its parent is the application's PART-OF relationship.
+///
+/// Structure (parent/child links, MBRs, heights) lives in memory; the
+/// node *objects* can optionally be backed by a stored Relation, in which
+/// case `Geometry(node)` reads the tuple from disk and the tree behaves
+/// like the paper's strategy IIa/IIb index depending on the relation's
+/// layout.
+class MemoryGenTree : public GeneralizationTree {
+ public:
+  MemoryGenTree() = default;
+
+  MemoryGenTree(const MemoryGenTree&) = delete;
+  MemoryGenTree& operator=(const MemoryGenTree&) = delete;
+
+  /// Adds a node under `parent` (pass kInvalidNodeId exactly once, for the
+  /// root). `geometry` is the node's spatial object; `tuple` links it to a
+  /// relation tuple (kInvalidTupleId for technical nodes); `label` is a
+  /// display name ("Germany", "Bavaria", …).
+  NodeId AddNode(NodeId parent, Value geometry,
+                 TupleId tuple = kInvalidTupleId, std::string label = "");
+
+  /// Backs application nodes by `relation`: Geometry(node) for a node with
+  /// a valid tuple id reads column `column` of that tuple from storage
+  /// (paying I/O). Must be called before queries that should count I/O.
+  void AttachRelation(const Relation* relation, size_t column);
+
+  /// Inserts a new object below the deepest node whose geometry MBR
+  /// contains it, scanning children in order (the paper's §4.2 update
+  /// model searches an expected k/2 children per level). Returns the new
+  /// node and reports how many child MBR tests were made in
+  /// `*tests_out` (may be null).
+  NodeId InsertByContainment(Value geometry, TupleId tuple,
+                             int64_t* tests_out = nullptr);
+
+  /// True iff every non-root node's MBR lies inside its parent's MBR —
+  /// the generalization-tree invariant.
+  bool ValidateContainment() const;
+
+  const std::string& LabelOf(NodeId node) const;
+  NodeId ParentOf(NodeId node) const;
+
+  // GeneralizationTree interface.
+  NodeId root() const override;
+  int height() const override { return height_; }
+  int HeightOf(NodeId node) const override;
+  std::vector<NodeId> Children(NodeId node) const override;
+  Value Geometry(NodeId node) const override;
+  Rectangle MbrOf(NodeId node) const override;
+  bool IsApplicationNode(NodeId node) const override;
+  TupleId TupleOf(NodeId node) const override;
+  int64_t num_nodes() const override {
+    return static_cast<int64_t>(nodes_.size());
+  }
+
+ private:
+  struct Node {
+    NodeId parent = kInvalidNodeId;
+    std::vector<NodeId> children;
+    Value geometry;
+    Rectangle mbr;
+    TupleId tuple = kInvalidTupleId;
+    int height = 0;
+    std::string label;
+  };
+
+  const Node& NodeAt(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  int height_ = 0;
+  const Relation* relation_ = nullptr;
+  size_t relation_column_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_MEMORY_GENTREE_H_

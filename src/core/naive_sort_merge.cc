@@ -1,0 +1,75 @@
+#include "core/naive_sort_merge.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "zorder/hilbert.h"
+
+namespace spatialjoin {
+
+namespace {
+
+struct SortedEntry {
+  uint64_t z = 0;
+  TupleId tid = kInvalidTupleId;
+  Value value;
+};
+
+std::vector<SortedEntry> SortRelation(const Relation& rel, size_t col,
+                                      const ZGrid& grid, SortCurve curve,
+                                      JoinResult* result) {
+  std::vector<SortedEntry> entries;
+  entries.reserve(static_cast<size_t>(rel.num_tuples()));
+  rel.Scan([&](TupleId tid, const Tuple& tuple) {
+    ++result->nodes_accessed;
+    const Value& v = tuple.value(col);
+    Point center = CenterpointOf(v);
+    uint64_t key = curve == SortCurve::kZOrder
+                       ? grid.ZValueOf(center)
+                       : HilbertValueOf(grid, center);
+    entries.push_back(SortedEntry{key, tid, v});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const SortedEntry& a, const SortedEntry& b) {
+              return a.z < b.z;
+            });
+  return entries;
+}
+
+}  // namespace
+
+JoinResult NaiveCentroidSortMergeJoin(const Relation& r, size_t col_r,
+                                      const Relation& s, size_t col_s,
+                                      const ThetaOperator& op,
+                                      const ZGrid& grid, int band,
+                                      SortCurve curve) {
+  SJ_CHECK_GE(band, 0);
+  JoinResult result;
+  std::vector<SortedEntry> r_sorted =
+      SortRelation(r, col_r, grid, curve, &result);
+  std::vector<SortedEntry> s_sorted =
+      SortRelation(s, col_s, grid, curve, &result);
+  if (r_sorted.empty() || s_sorted.empty()) return result;
+
+  // Merge: walk R in sort order, keeping an S cursor at the first entry
+  // with z >= current R z; test the band around the cursor.
+  size_t cursor = 0;
+  for (const SortedEntry& re : r_sorted) {
+    while (cursor < s_sorted.size() && s_sorted[cursor].z < re.z) ++cursor;
+    int64_t lo = static_cast<int64_t>(cursor) - band;
+    int64_t hi = static_cast<int64_t>(cursor) + band;
+    lo = std::max<int64_t>(lo, 0);
+    hi = std::min<int64_t>(hi, static_cast<int64_t>(s_sorted.size()) - 1);
+    for (int64_t i = lo; i <= hi; ++i) {
+      const SortedEntry& se = s_sorted[static_cast<size_t>(i)];
+      ++result.theta_tests;
+      if (op.Theta(re.value, se.value)) {
+        result.matches.emplace_back(re.tid, se.tid);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spatialjoin

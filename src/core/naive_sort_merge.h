@@ -1,0 +1,39 @@
+#ifndef SPATIALJOIN_CORE_NAIVE_SORT_MERGE_H_
+#define SPATIALJOIN_CORE_NAIVE_SORT_MERGE_H_
+
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+
+/// The total order used by the naive sort-merge strawman. Hilbert has
+/// strictly better locality than z-order, but the paper's impossibility
+/// argument applies to both (and the tests show both stay incomplete).
+enum class SortCurve {
+  kZOrder,
+  kHilbert,
+};
+
+/// The strawman the paper dismantles in §2.2: a classical sort-merge
+/// join transplanted to spatial data by sorting both relations along a
+/// space-filling curve (z-order of the objects' centerpoints) and merging
+/// with a bounded band — each R object is θ-tested only against the S
+/// objects whose sort positions fall within `band` ranks of its own.
+///
+/// Because *no total ordering preserves spatial proximity*, this is
+/// INCOMPLETE for every proximity-dependent θ: objects adjacent in space
+/// can lie arbitrarily far apart in the z-sequence (the paper's Fig. 1
+/// pair o3/o9), so some matches are missed no matter the band width
+/// short of |S|. Provided for demonstration and tests; never use it as a
+/// real strategy — that is exactly the paper's point.
+JoinResult NaiveCentroidSortMergeJoin(const Relation& r, size_t col_r,
+                                      const Relation& s, size_t col_s,
+                                      const ThetaOperator& op,
+                                      const ZGrid& grid, int band,
+                                      SortCurve curve = SortCurve::kZOrder);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_NAIVE_SORT_MERGE_H_

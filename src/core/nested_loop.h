@@ -1,0 +1,36 @@
+#ifndef SPATIALJOIN_CORE_NESTED_LOOP_H_
+#define SPATIALJOIN_CORE_NESTED_LOOP_H_
+
+#include <cstdint>
+
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// Memory budget for the blocked nested-loop strategy (paper §4.4 /
+/// [Vald87]): `memory_pages` is the paper's M; `reserved_pages` the 10
+/// pages held back for the inner scan, giving M−10 pages per outer block.
+struct NestedLoopOptions {
+  int64_t memory_pages = 4000;
+  int64_t reserved_pages = 10;
+};
+
+/// Strategy I for the general spatial join: blocked nested loop. Fills
+/// M−10 pages worth of R tuples into memory, scans S once per block, and
+/// θ-tests every pair. No Θ pruning — every pair costs a full θ test,
+/// which is why the paper finds the strategy "never really competitive".
+JoinResult NestedLoopJoin(const Relation& r, size_t col_r, const Relation& s,
+                          size_t col_s, const ThetaOperator& op,
+                          const NestedLoopOptions& options = {});
+
+/// Strategy I for the spatial selection: exhaustive scan of the relation,
+/// θ-testing the selector against every tuple (§4.3: "the nested loop
+/// strategy degenerates to an exhaustive search").
+JoinResult NestedLoopSelect(const Value& selector, const Relation& r,
+                            size_t col_r, const ThetaOperator& op);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_NESTED_LOOP_H_

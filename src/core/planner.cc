@@ -1,0 +1,121 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "costmodel/join_cost.h"
+#include "costmodel/update_cost.h"
+
+namespace spatialjoin {
+
+JoinStatistics EstimateJoinStatistics(const Relation& r, size_t col_r,
+                                      const Relation& s, size_t col_s,
+                                      const ThetaOperator& op,
+                                      int sample_pairs, uint64_t seed) {
+  SJ_CHECK_GE(sample_pairs, 1);
+  JoinStatistics stats;
+  stats.r_tuples = r.num_tuples();
+  stats.s_tuples = s.num_tuples();
+  if (stats.r_tuples == 0 || stats.s_tuples == 0) return stats;
+  Rng rng(seed);
+  int64_t hits = 0;
+  for (int i = 0; i < sample_pairs; ++i) {
+    TupleId r_tid = static_cast<TupleId>(
+        rng.NextUint64(static_cast<uint64_t>(stats.r_tuples)));
+    TupleId s_tid = static_cast<TupleId>(
+        rng.NextUint64(static_cast<uint64_t>(stats.s_tuples)));
+    ++stats.sample_tests;
+    if (op.Theta(r.Read(r_tid).value(col_r), s.Read(s_tid).value(col_s))) {
+      ++hits;
+    }
+  }
+  stats.selectivity =
+      static_cast<double>(hits) / static_cast<double>(sample_pairs);
+  // Zero hits in the sample still leaves p > 0 plausible; use the rule-
+  // of-three upper bound so the planner does not assume an empty result.
+  if (hits == 0) {
+    stats.selectivity = 1.0 / (3.0 * static_cast<double>(sample_pairs));
+  }
+  return stats;
+}
+
+namespace {
+
+// Maps observed relation sizes onto the model's balanced k-ary tree:
+// keep the paper's fan-out, derive the height from N.
+ModelParameters FitParameters(const JoinStatistics& stats) {
+  ModelParameters params = PaperParameters();
+  int64_t n_tuples = std::max<int64_t>(
+      {stats.r_tuples, stats.s_tuples, 2});
+  params.n = std::max(
+      1, static_cast<int>(std::ceil(std::log(static_cast<double>(n_tuples)) /
+                                    std::log(static_cast<double>(params.k)))));
+  params.h = params.n;
+  params.p = Clamp(stats.selectivity, 1e-15, 1.0);
+  params.T = n_tuples;
+  return params;
+}
+
+}  // namespace
+
+std::string JoinPlan::ToString() const {
+  std::ostringstream os;
+  os << "plan: " << JoinStrategyName(strategy) << " (est. cost "
+     << estimated_cost << ")";
+  for (const PlannedAlternative& alt : alternatives) {
+    os << "\n  " << JoinStrategyName(alt.strategy) << ": ";
+    if (alt.feasible) {
+      os << alt.estimated_cost;
+    } else {
+      os << "infeasible";
+    }
+  }
+  return os.str();
+}
+
+JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
+  ModelParameters params = FitParameters(stats);
+  // The planner has no locality knowledge — score with UNIFORM, the
+  // conservative choice (locality only helps the tree strategies).
+  JoinCosts join_costs = ComputeJoinCosts(params, MatchDistribution::kUniform);
+  UpdateCosts update_costs = ComputeUpdateCosts(params);
+
+  JoinPlan plan;
+  auto& alts = plan.alternatives;
+  alts[0] = {JoinStrategy::kNestedLoop, true,
+             join_costs.d_i + ctx.updates_per_query * update_costs.u_i};
+  alts[1] = {JoinStrategy::kTreeJoin,
+             ctx.r_tree_available && ctx.s_tree_available,
+             join_costs.d_iib + ctx.updates_per_query * update_costs.u_iib};
+  alts[2] = {JoinStrategy::kIndexNestedLoop,
+             ctx.r_tree_available || ctx.s_tree_available,
+             // One side scans, the other probes: between I and II; charge
+             // the tree cost plus a full scan of the probing side.
+             join_costs.d_iib +
+                 static_cast<double>(params.RelationPages()) * params.c_io +
+                 ctx.updates_per_query * update_costs.u_iib};
+  alts[3] = {JoinStrategy::kSortMergeZOrder, ctx.overlap_like,
+             // Sort both sides (z-decomposition ≈ one pass each) plus the
+             // candidate verification ≈ result size.
+             2.0 * static_cast<double>(params.RelationPages()) * params.c_io +
+                 params.p * static_cast<double>(params.N()) *
+                     static_cast<double>(params.N()) * params.c_theta};
+  alts[4] = {JoinStrategy::kJoinIndex, ctx.join_index_available,
+             join_costs.d_iii + ctx.updates_per_query * update_costs.u_iii};
+
+  plan.strategy = JoinStrategy::kNestedLoop;
+  plan.estimated_cost = alts[0].estimated_cost;
+  for (const PlannedAlternative& alt : alts) {
+    if (alt.feasible && alt.estimated_cost < plan.estimated_cost) {
+      plan.strategy = alt.strategy;
+      plan.estimated_cost = alt.estimated_cost;
+    }
+  }
+  return plan;
+}
+
+}  // namespace spatialjoin

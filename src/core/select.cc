@@ -1,0 +1,72 @@
+#include "core/select.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Visits `node`: Θ-test, then on success θ-test + match bookkeeping, and
+// returns whether the children should be expanded.
+bool VisitNode(const Value& selector, const GeneralizationTree& tree,
+               const ThetaOperator& op, NodeId node, SelectResult* result) {
+  ++result->theta_upper_tests;
+  if (!op.ThetaUpper(selector.Mbr(), tree.MbrOf(node))) return false;
+  // The node qualifies at index level; fetch its object and apply θ.
+  Value geometry = tree.Geometry(node);
+  ++result->nodes_accessed;
+  ++result->theta_tests;
+  if (op.Theta(selector, geometry)) {
+    result->matching_nodes.push_back(node);
+    if (tree.IsApplicationNode(node)) {
+      result->matching_tuples.push_back(tree.TupleOf(node));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SelectResult SpatialSelectFrom(const Value& selector,
+                               const GeneralizationTree& tree,
+                               const std::vector<NodeId>& start_nodes,
+                               const ThetaOperator& op, Traversal traversal) {
+  SelectResult result;
+  if (traversal == Traversal::kBreadthFirst) {
+    // The paper's SELECT1/SELECT2: QualNodes[j] per height, processed in
+    // height order. A deque models the concatenated QualNodes lists.
+    std::deque<NodeId> worklist(start_nodes.begin(), start_nodes.end());
+    while (!worklist.empty()) {
+      NodeId node = worklist.front();
+      worklist.pop_front();
+      if (VisitNode(selector, tree, op, node, &result)) {
+        for (NodeId child : tree.Children(node)) worklist.push_back(child);
+      }
+    }
+  } else {
+    // Depth-first variant: LIFO stack, children pushed in reverse so the
+    // leftmost subtree is explored first.
+    std::vector<NodeId> stack(start_nodes.rbegin(), start_nodes.rend());
+    while (!stack.empty()) {
+      NodeId node = stack.back();
+      stack.pop_back();
+      if (VisitNode(selector, tree, op, node, &result)) {
+        std::vector<NodeId> children = tree.Children(node);
+        for (auto it = children.rbegin(); it != children.rend(); ++it) {
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SelectResult SpatialSelect(const Value& selector,
+                           const GeneralizationTree& tree,
+                           const ThetaOperator& op, Traversal traversal) {
+  return SpatialSelectFrom(selector, tree, {tree.root()}, op, traversal);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,61 @@
+#ifndef SPATIALJOIN_CORE_SELECT_H_
+#define SPATIALJOIN_CORE_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gentree.h"
+#include "core/theta_ops.h"
+
+namespace spatialjoin {
+
+/// Traversal order for Algorithm SELECT. The paper formulates the
+/// breadth-first variant (QualNodes[j] per height) and notes a depth-first
+/// variant is equally possible, their relative efficiency depending on the
+/// physical clustering of the tree (§3.2); the ablation bench measures
+/// exactly that.
+enum class Traversal {
+  kBreadthFirst,
+  kDepthFirst,
+};
+
+/// Outcome of a spatial selection, with the counters the cost model prices.
+struct SelectResult {
+  /// Matching nodes, in traversal order.
+  std::vector<NodeId> matching_nodes;
+  /// Tuples of matching application nodes (subset of matching_nodes).
+  std::vector<TupleId> matching_tuples;
+  /// Number of Θ evaluations performed (each visited node costs one).
+  int64_t theta_upper_tests = 0;
+  /// Number of θ evaluations performed (one per Θ-qualifying node).
+  int64_t theta_tests = 0;
+  /// Nodes whose geometry was accessed.
+  int64_t nodes_accessed = 0;
+};
+
+/// Algorithm SELECT (paper §3.2): computes all nodes a of `tree` with
+/// `selector` θ a, by pruning with Θ top-down.
+///
+/// Per the paper's SELECT2 step, for each node a on the worklist the
+/// algorithm tests selector Θ a; on success it (1) tests selector θ a and
+/// reports a match if the node is an application node, and (2) expands a's
+/// children into the next worklist. Θ's defining property guarantees no
+/// matching descendant is pruned. Works whether or not the selector object
+/// is stored in the indexed relation.
+SelectResult SpatialSelect(const Value& selector,
+                           const GeneralizationTree& tree,
+                           const ThetaOperator& op,
+                           Traversal traversal = Traversal::kBreadthFirst);
+
+/// As SpatialSelect, but starting from an explicit set of root nodes
+/// (used by Algorithm JOIN's step JOIN4 to search the subtrees below a
+/// qualifying node without re-testing that node).
+SelectResult SpatialSelectFrom(const Value& selector,
+                               const GeneralizationTree& tree,
+                               const std::vector<NodeId>& start_nodes,
+                               const ThetaOperator& op,
+                               Traversal traversal = Traversal::kBreadthFirst);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_SELECT_H_

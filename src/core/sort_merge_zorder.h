@@ -1,0 +1,42 @@
+#ifndef SPATIALJOIN_CORE_SORT_MERGE_ZORDER_H_
+#define SPATIALJOIN_CORE_SORT_MERGE_ZORDER_H_
+
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+#include "zorder/zdecompose.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+
+/// Statistics specific to the z-order sort-merge join.
+struct ZOrderJoinStats {
+  int64_t z_cells_r = 0;
+  int64_t z_cells_s = 0;
+  int64_t candidate_pairs = 0;
+  int64_t duplicates_suppressed = 0;
+};
+
+/// The one sort-merge strategy that works for spatial data (paper §2.2):
+/// Orenstein's z-ordering join for the `overlaps` operator. Each object's
+/// MBR is decomposed into quadtree cells; cells map to z-intervals that
+/// are pairwise disjoint or nested, so a single sorted sweep with a stack
+/// of open intervals finds every pair of objects sharing a cell. As the
+/// paper notes, "any overlap is likely to be reported more than once"
+/// (once per shared cell); duplicates are suppressed and counted, and
+/// candidates are verified with the exact θ test.
+///
+/// `op` must be an overlap-like operator: sort-merge is *only* sound when
+/// θ(a, b) implies the objects' MBRs share a z-cell, which holds for
+/// `overlaps` (and `includes`/`contained_in`, whose matches overlap) but
+/// not for distance or direction operators — the paper's Fig. 1 example
+/// of sort-merge missing the adjacent pair (o3, o9).
+JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
+                               const Relation& s, size_t col_s,
+                               const ThetaOperator& op, const ZGrid& grid,
+                               const ZDecomposeOptions& options = {},
+                               ZOrderJoinStats* stats = nullptr);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_SORT_MERGE_ZORDER_H_

@@ -1,0 +1,120 @@
+#include "core/spatial_join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/index_nested_loop.h"
+#include "core/sort_merge_zorder.h"
+
+namespace spatialjoin {
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kNestedLoop:
+      return "nested_loop";
+    case JoinStrategy::kTreeJoin:
+      return "tree_join";
+    case JoinStrategy::kIndexNestedLoop:
+      return "index_nested_loop";
+    case JoinStrategy::kSortMergeZOrder:
+      return "sort_merge_zorder";
+    case JoinStrategy::kJoinIndex:
+      return "join_index";
+  }
+  return "unknown";
+}
+
+const char* SelectStrategyName(SelectStrategy strategy) {
+  switch (strategy) {
+    case SelectStrategy::kExhaustive:
+      return "exhaustive";
+    case SelectStrategy::kTree:
+      return "tree_select";
+    case SelectStrategy::kJoinIndexLookup:
+      return "join_index_lookup";
+  }
+  return "unknown";
+}
+
+JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
+                       const ThetaOperator& op) {
+  switch (strategy) {
+    case JoinStrategy::kNestedLoop:
+      SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
+      return NestedLoopJoin(*ctx.r, ctx.col_r, *ctx.s, ctx.col_s, op,
+                            ctx.nested_loop_options);
+    case JoinStrategy::kTreeJoin:
+      SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s_tree != nullptr,
+                   "tree_join needs generalization trees on both inputs");
+      return TreeJoin(*ctx.r_tree, *ctx.s_tree, op, ctx.traversal);
+    case JoinStrategy::kIndexNestedLoop:
+      SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s != nullptr,
+                   "index_nested_loop needs a tree on R and relation S");
+      return IndexNestedLoopJoin(*ctx.r_tree, *ctx.s, ctx.col_s, op,
+                                 ctx.traversal);
+    case JoinStrategy::kSortMergeZOrder:
+      SJ_CHECK_MSG(ctx.zgrid != nullptr, "sort_merge_zorder needs a ZGrid");
+      SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
+      return SortMergeZOrderJoin(*ctx.r, ctx.col_r, *ctx.s, ctx.col_s, op,
+                                 *ctx.zgrid, ctx.zorder_options);
+    case JoinStrategy::kJoinIndex:
+      SJ_CHECK_MSG(ctx.join_index != nullptr,
+                   "join_index strategy needs a prebuilt JoinIndex");
+      SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
+      return ctx.join_index->Execute(*ctx.r, *ctx.s);
+  }
+  SJ_CHECK_MSG(false, "unreachable");
+  return JoinResult{};
+}
+
+JoinResult ExecuteSelect(SelectStrategy strategy,
+                         const SpatialJoinContext& ctx, const Value& selector,
+                         TupleId selector_tid, const ThetaOperator& op) {
+  switch (strategy) {
+    case SelectStrategy::kExhaustive: {
+      SJ_CHECK(ctx.s != nullptr);
+      JoinResult result =
+          NestedLoopSelect(selector, *ctx.s, ctx.col_s, op);
+      // NestedLoopSelect reports matches on the left; reorient to S side.
+      for (auto& m : result.matches) m = {selector_tid, m.first};
+      return result;
+    }
+    case SelectStrategy::kTree: {
+      SJ_CHECK_MSG(ctx.s_tree != nullptr, "tree select needs a tree on S");
+      SelectResult sel =
+          SpatialSelect(selector, *ctx.s_tree, op, ctx.traversal);
+      JoinResult result;
+      result.theta_tests = sel.theta_tests;
+      result.theta_upper_tests = sel.theta_upper_tests;
+      result.nodes_accessed = sel.nodes_accessed;
+      for (TupleId tid : sel.matching_tuples) {
+        result.matches.emplace_back(selector_tid, tid);
+      }
+      return result;
+    }
+    case SelectStrategy::kJoinIndexLookup: {
+      SJ_CHECK_MSG(ctx.join_index != nullptr && ctx.s != nullptr,
+                   "join-index lookup needs the index and relation S");
+      SJ_CHECK_MSG(selector_tid != kInvalidTupleId,
+                   "join-index lookup requires a stored selector tuple");
+      JoinResult result;
+      for (TupleId s_tid : ctx.join_index->SMatchesOf(selector_tid)) {
+        (void)ctx.s->Read(s_tid);
+        ++result.nodes_accessed;
+        result.matches.emplace_back(selector_tid, s_tid);
+      }
+      return result;
+    }
+  }
+  SJ_CHECK_MSG(false, "unreachable");
+  return JoinResult{};
+}
+
+void NormalizeMatches(JoinResult* result) {
+  std::sort(result->matches.begin(), result->matches.end());
+  result->matches.erase(
+      std::unique(result->matches.begin(), result->matches.end()),
+      result->matches.end());
+}
+
+}  // namespace spatialjoin

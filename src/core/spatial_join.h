@@ -1,0 +1,77 @@
+#ifndef SPATIALJOIN_CORE_SPATIAL_JOIN_H_
+#define SPATIALJOIN_CORE_SPATIAL_JOIN_H_
+
+#include <string>
+
+#include "core/gentree.h"
+#include "core/join.h"
+#include "core/join_index.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "relational/relation.h"
+#include "zorder/zdecompose.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+
+/// The join-processing strategies compared in the paper (§2, §4) plus the
+/// index-supported strategy of §2.2.
+enum class JoinStrategy {
+  kNestedLoop,       // strategy I
+  kTreeJoin,         // strategy II (Algorithm JOIN over two trees)
+  kIndexNestedLoop,  // index-supported join with one tree
+  kSortMergeZOrder,  // Orenstein sort-merge; overlap-like θ only
+  kJoinIndex,        // strategy III (precomputed)
+};
+
+/// Display name ("nested_loop", "tree_join", …).
+const char* JoinStrategyName(JoinStrategy strategy);
+
+/// All inputs a strategy might need; unused fields may stay null, but
+/// dispatching to a strategy whose prerequisites are missing is a checked
+/// error (e.g. kTreeJoin without both trees).
+struct SpatialJoinContext {
+  const Relation* r = nullptr;
+  size_t col_r = 0;
+  const Relation* s = nullptr;
+  size_t col_s = 0;
+  const GeneralizationTree* r_tree = nullptr;
+  const GeneralizationTree* s_tree = nullptr;
+  const JoinIndex* join_index = nullptr;
+  const ZGrid* zgrid = nullptr;
+  NestedLoopOptions nested_loop_options;
+  ZDecomposeOptions zorder_options;
+  Traversal traversal = Traversal::kBreadthFirst;
+};
+
+/// Runs R ⋈_θ S with the chosen strategy. All strategies produce the same
+/// match set (sort-merge only for overlap-like θ); they differ in the
+/// counters, which the benches translate into paper-comparable costs.
+JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
+                       const ThetaOperator& op);
+
+/// Strategies for the degenerate join (spatial selection, §4.3).
+enum class SelectStrategy {
+  kExhaustive,       // strategy I
+  kTree,             // strategy II (Algorithm SELECT)
+  kJoinIndexLookup,  // strategy III; selector must be a stored R tuple
+};
+
+/// Display name for a selection strategy.
+const char* SelectStrategyName(SelectStrategy strategy);
+
+/// Runs a spatial selection over S: all S tuples with selector θ s.
+/// For kJoinIndexLookup, `selector_tid` names the stored R tuple whose
+/// matches are read from ctx.join_index; other strategies use `selector`.
+JoinResult ExecuteSelect(SelectStrategy strategy,
+                         const SpatialJoinContext& ctx, const Value& selector,
+                         TupleId selector_tid, const ThetaOperator& op);
+
+/// Sorts matches lexicographically and removes duplicates, for comparing
+/// strategies' outputs.
+void NormalizeMatches(JoinResult* result);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_SPATIAL_JOIN_H_

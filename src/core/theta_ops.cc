@@ -1,0 +1,413 @@
+#include "core/theta_ops.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "common/check.h"
+#include "geometry/buffer.h"
+#include "geometry/distance.h"
+#include "geometry/polygon.h"
+#include "geometry/polyline.h"
+#include "geometry/predicates.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Converts any spatial value to a polygon for mixed-type geometry tests.
+// Points become tiny degenerate handling via dedicated branches instead.
+Polygon AsPolygon(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kRectangle:
+      return Polygon::FromRectangle(v.AsRectangle());
+    case ValueType::kPolygon:
+      return v.AsPolygon();
+    default:
+      SJ_CHECK_MSG(false, "AsPolygon on " << v.ToString());
+  }
+  return Polygon();
+}
+
+bool IsPoint(const Value& v) { return v.type() == ValueType::kPoint; }
+
+bool IsPolyline(const Value& v) {
+  return v.type() == ValueType::kPolyline;
+}
+
+// True iff `p` lies on the boundary ring of `poly`.
+bool PointOnAnyEdge(const Polygon& poly, const Point& p) {
+  const auto& ring = poly.ring();
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (PointOnSegment(p, ring[i], ring[(i + 1) % ring.size()])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Minimum distance between a polyline and an areal value (rectangle or
+// polygon): 0 when a vertex is inside or an edge crosses the boundary,
+// otherwise the closest edge pair.
+double PolylineArealDistance(const Polyline& line, const Polygon& area) {
+  for (const Point& p : line.vertices()) {
+    if (area.ContainsPoint(p)) return 0.0;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const auto& vs = line.vertices();
+  const auto& ring = area.ring();
+  for (size_t i = 0; i + 1 < vs.size(); ++i) {
+    for (size_t j = 0; j < ring.size(); ++j) {
+      best = std::min(best,
+                      DistanceSegmentSegment(vs[i], vs[i + 1], ring[j],
+                                             ring[(j + 1) % ring.size()]));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Point CenterpointOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kPoint:
+      return v.AsPoint();
+    case ValueType::kRectangle:
+      return v.AsRectangle().Center();
+    case ValueType::kPolygon:
+      return v.AsPolygon().Centroid();
+    case ValueType::kPolyline:
+      // The arc-length midpoint — the natural centerpoint of a curve.
+      return v.AsPolyline().Midpoint();
+    default:
+      SJ_CHECK_MSG(false, "CenterpointOf on non-spatial " << v.ToString());
+  }
+  return Point();
+}
+
+double MinDistanceBetween(const Value& a, const Value& b) {
+  if (IsPolyline(a)) {
+    const Polyline& line = a.AsPolyline();
+    if (IsPoint(b)) return line.DistanceToPoint(b.AsPoint());
+    if (IsPolyline(b)) return line.DistanceToPolyline(b.AsPolyline());
+    return PolylineArealDistance(line, AsPolygon(b));
+  }
+  if (IsPolyline(b)) return MinDistanceBetween(b, a);
+  if (IsPoint(a) && IsPoint(b)) return Distance(a.AsPoint(), b.AsPoint());
+  if (IsPoint(a)) {
+    if (b.type() == ValueType::kRectangle) {
+      return b.AsRectangle().MinDistanceToPoint(a.AsPoint());
+    }
+    return b.AsPolygon().DistanceToPoint(a.AsPoint());
+  }
+  if (IsPoint(b)) return MinDistanceBetween(b, a);
+  if (a.type() == ValueType::kRectangle &&
+      b.type() == ValueType::kRectangle) {
+    return a.AsRectangle().MinDistance(b.AsRectangle());
+  }
+  return AsPolygon(a).DistanceToPolygon(AsPolygon(b));
+}
+
+bool GeometriesOverlap(const Value& a, const Value& b) {
+  if (IsPolyline(a) || IsPolyline(b)) {
+    return MinDistanceBetween(a, b) == 0.0;
+  }
+  if (IsPoint(a) && IsPoint(b)) return a.AsPoint() == b.AsPoint();
+  if (IsPoint(a)) {
+    if (b.type() == ValueType::kRectangle) {
+      return b.AsRectangle().ContainsPoint(a.AsPoint());
+    }
+    return b.AsPolygon().ContainsPoint(a.AsPoint());
+  }
+  if (IsPoint(b)) return GeometriesOverlap(b, a);
+  if (a.type() == ValueType::kRectangle &&
+      b.type() == ValueType::kRectangle) {
+    return a.AsRectangle().Overlaps(b.AsRectangle());
+  }
+  return AsPolygon(a).Intersects(AsPolygon(b));
+}
+
+bool GeometryContains(const Value& a, const Value& b) {
+  if (IsPolyline(a)) {
+    // A curve has no interior: it contains exactly the points on it and
+    // itself.
+    if (IsPoint(b)) return a.AsPolyline().DistanceToPoint(b.AsPoint()) == 0.0;
+    return IsPolyline(b) &&
+           a.AsPolyline().vertices() == b.AsPolyline().vertices();
+  }
+  if (IsPolyline(b)) {
+    if (IsPoint(a)) return false;
+    // An areal value contains a curve iff it contains every vertex and
+    // no edge escapes (convexity not assumed: check edge crossings too).
+    const Polyline& line = b.AsPolyline();
+    Polygon area = AsPolygon(a);
+    for (const Point& p : line.vertices()) {
+      if (!area.ContainsPoint(p)) return false;
+    }
+    // Vertices inside + distance-0 boundary contact is still inside for
+    // closed regions; a proper escape requires a vertex outside, which
+    // simple (convex or monotone) areas guarantee. For concave areas we
+    // additionally reject edges that properly cross the boundary.
+    const auto& vs = line.vertices();
+    const auto& ring = area.ring();
+    for (size_t i = 0; i + 1 < vs.size(); ++i) {
+      for (size_t j = 0; j < ring.size(); ++j) {
+        const Point& r1 = ring[j];
+        const Point& r2 = ring[(j + 1) % ring.size()];
+        int o1 = Orientation(r1, r2, vs[i]);
+        int o2 = Orientation(r1, r2, vs[i + 1]);
+        int o3 = Orientation(vs[i], vs[i + 1], r1);
+        int o4 = Orientation(vs[i], vs[i + 1], r2);
+        if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 &&
+            o4 != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+  if (IsPoint(a)) {
+    // A point contains only an identical point.
+    return IsPoint(b) && a.AsPoint() == b.AsPoint();
+  }
+  if (a.type() == ValueType::kRectangle) {
+    if (IsPoint(b)) return a.AsRectangle().ContainsPoint(b.AsPoint());
+    return a.AsRectangle().Contains(b.Mbr());
+  }
+  // a is a polygon.
+  if (IsPoint(b)) return a.AsPolygon().ContainsPoint(b.AsPoint());
+  return a.AsPolygon().ContainsPolygon(AsPolygon(b));
+}
+
+// --------------------------------------------------------------------------
+// WithinDistanceOp
+// --------------------------------------------------------------------------
+
+WithinDistanceOp::WithinDistanceOp(double distance) : distance_(distance) {
+  SJ_CHECK_GE(distance, 0.0);
+}
+
+std::string WithinDistanceOp::name() const {
+  std::ostringstream os;
+  os << "within_distance(" << distance_ << ")";
+  return os.str();
+}
+
+bool WithinDistanceOp::Theta(const Value& a, const Value& b) const {
+  return Distance(CenterpointOf(a), CenterpointOf(b)) <= distance_;
+}
+
+bool WithinDistanceOp::ThetaUpper(const Rectangle& a,
+                                  const Rectangle& b) const {
+  return RectanglesWithinDistance(a, b, distance_);
+}
+
+std::optional<Rectangle> WithinDistanceOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  // Θ(a, b) means minDist(a, b) <= d, so a must reach into the d-buffer.
+  return BufferMbr(b, distance_);
+}
+
+// --------------------------------------------------------------------------
+// OverlapsOp
+// --------------------------------------------------------------------------
+
+bool OverlapsOp::Theta(const Value& a, const Value& b) const {
+  return GeometriesOverlap(a, b);
+}
+
+bool OverlapsOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+  return a.Overlaps(b);
+}
+
+std::optional<Rectangle> OverlapsOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  return b;
+}
+
+// --------------------------------------------------------------------------
+// IncludesOp / ContainedInOp
+// --------------------------------------------------------------------------
+
+bool IncludesOp::Theta(const Value& a, const Value& b) const {
+  return GeometryContains(a, b);
+}
+
+bool IncludesOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+  // Fig. 4: o1' and o2' merely overlapping already admits a subobject of
+  // o1 including a subobject of o2.
+  return a.Overlaps(b);
+}
+
+std::optional<Rectangle> IncludesOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  return b;
+}
+
+bool ContainedInOp::Theta(const Value& a, const Value& b) const {
+  return GeometryContains(b, a);
+}
+
+bool ContainedInOp::ThetaUpper(const Rectangle& a,
+                               const Rectangle& b) const {
+  return a.Overlaps(b);
+}
+
+std::optional<Rectangle> ContainedInOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  return b;
+}
+
+// --------------------------------------------------------------------------
+// NorthwestOfOp
+// --------------------------------------------------------------------------
+
+bool NorthwestOfOp::Theta(const Value& a, const Value& b) const {
+  return NorthwestOf(CenterpointOf(a), CenterpointOf(b));
+}
+
+bool NorthwestOfOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+  if (a.is_empty() || b.is_empty()) return false;
+  // The NW quadrant of b is bounded by b's right vertical tangent
+  // (x = b.max_x) and b's lower horizontal tangent (y = b.min_y).
+  // a overlaps it iff some part of a has x <= b.max_x and y >= b.min_y.
+  return a.min_x() <= b.max_x() && a.max_y() >= b.min_y();
+}
+
+std::optional<Rectangle> NorthwestOfOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  // The NW quadrant clipped to the indexed world. Degenerate if b lies
+  // outside the world entirely; callers clip objects to the world.
+  if (b.is_empty() || world.is_empty()) return std::nullopt;
+  double min_x = std::min(world.min_x(), b.min_x());
+  double max_x = b.max_x();
+  double min_y = b.min_y();
+  double max_y = std::max(world.max_y(), b.max_y());
+  return Rectangle(min_x, min_y, max_x, max_y);
+}
+
+// --------------------------------------------------------------------------
+// AdjacentOp
+// --------------------------------------------------------------------------
+
+bool AdjacentOp::Theta(const Value& a, const Value& b) const {
+  if (MinDistanceBetween(a, b) != 0.0) return false;
+  // Contact without shared interior. For rectangle pairs the shared
+  // region's area decides; for other combinations a point or curve can
+  // only ever share boundary, so contact alone suffices; polygon pairs
+  // approximate interior sharing by the MBR intersection having positive
+  // area AND mutual containment of some vertex (conservative for convex
+  // shapes, exact for rectangles — the Fig. 1 setting).
+  if (a.type() == ValueType::kRectangle &&
+      b.type() == ValueType::kRectangle) {
+    return a.AsRectangle().Intersection(b.AsRectangle()).Area() == 0.0;
+  }
+  if (a.type() == ValueType::kPoint || b.type() == ValueType::kPoint ||
+      a.type() == ValueType::kPolyline ||
+      b.type() == ValueType::kPolyline) {
+    return true;
+  }
+  // Polygon-involved: interiors are shared iff a vertex of one lies
+  // strictly inside the other, or their boundaries properly cross.
+  const Polygon pa = AsPolygon(a);
+  const Polygon pb = AsPolygon(b);
+  for (const Point& v : pb.ring()) {
+    if (pa.ContainsPoint(v) && !PointOnAnyEdge(pa, v)) return false;
+  }
+  for (const Point& v : pa.ring()) {
+    if (pb.ContainsPoint(v) && !PointOnAnyEdge(pb, v)) return false;
+  }
+  const auto& ra = pa.ring();
+  const auto& rb = pb.ring();
+  for (size_t i = 0; i < ra.size(); ++i) {
+    for (size_t j = 0; j < rb.size(); ++j) {
+      int o1 = Orientation(ra[i], ra[(i + 1) % ra.size()], rb[j]);
+      int o2 = Orientation(ra[i], ra[(i + 1) % ra.size()],
+                           rb[(j + 1) % rb.size()]);
+      int o3 = Orientation(rb[j], rb[(j + 1) % rb.size()], ra[i]);
+      int o4 = Orientation(rb[j], rb[(j + 1) % rb.size()],
+                           ra[(i + 1) % ra.size()]);
+      if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 &&
+          o4 != 0) {
+        return false;  // proper boundary crossing => shared interior
+      }
+    }
+  }
+  return true;
+}
+
+bool AdjacentOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+  return a.Overlaps(b);
+}
+
+std::optional<Rectangle> AdjacentOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  return b;
+}
+
+// --------------------------------------------------------------------------
+// ReachableWithinOp
+// --------------------------------------------------------------------------
+
+ReachableWithinOp::ReachableWithinOp(double minutes, double speed_per_minute)
+    : minutes_(minutes), speed_per_minute_(speed_per_minute) {
+  SJ_CHECK_GE(minutes, 0.0);
+  SJ_CHECK_GT(speed_per_minute, 0.0);
+}
+
+std::string ReachableWithinOp::name() const {
+  std::ostringstream os;
+  os << "reachable_within(" << minutes_ << "min @" << speed_per_minute_
+     << ")";
+  return os.str();
+}
+
+bool ReachableWithinOp::Theta(const Value& a, const Value& b) const {
+  return MinDistanceBetween(a, b) <= minutes_ * speed_per_minute_;
+}
+
+bool ReachableWithinOp::ThetaUpper(const Rectangle& a,
+                                   const Rectangle& b) const {
+  // "o1' overlaps the x-minute buffer of o2'": expand b's MBR by the
+  // crow-flies travel radius and test overlap.
+  if (a.is_empty() || b.is_empty()) return false;
+  return a.Overlaps(BufferMbr(b, minutes_ * speed_per_minute_));
+}
+
+std::optional<Rectangle> ReachableWithinOp::ProbeWindow(
+    const Rectangle& b, const Rectangle& world) const {
+  (void)world;
+  return BufferMbr(b, minutes_ * speed_per_minute_);
+}
+
+// --------------------------------------------------------------------------
+// CountingTheta
+// --------------------------------------------------------------------------
+
+CountingTheta::CountingTheta(const ThetaOperator* inner) : inner_(inner) {
+  SJ_CHECK(inner != nullptr);
+}
+
+bool CountingTheta::Theta(const Value& a, const Value& b) const {
+  ++theta_count_;
+  return inner_->Theta(a, b);
+}
+
+bool CountingTheta::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+  ++theta_upper_count_;
+  return inner_->ThetaUpper(a, b);
+}
+
+void CountingTheta::Reset() {
+  theta_count_ = 0;
+  theta_upper_count_ = 0;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,37 @@
+#ifndef SPATIALJOIN_CORE_WINDOW_JOIN_H_
+#define SPATIALJOIN_CORE_WINDOW_JOIN_H_
+
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "gridfile/grid_file.h"
+#include "relational/relation.h"
+#include "rtree/rtree.h"
+
+namespace spatialjoin {
+
+/// Window-probe joins: the index-supported strategy in the form Rotem
+/// demonstrated for grid files (paper §2.2) — scan one relation and, for
+/// each tuple, issue a rectangular window query against the other
+/// relation's access method. The window comes from the operator's
+/// ProbeWindow derivation (Θ(a,b) ⇒ MBR(a) overlaps W(b)), so the probe
+/// is complete; candidates are verified with the exact θ.
+///
+/// Both functions are checked errors if the operator has no finite probe
+/// window (use Algorithm SELECT / JOIN instead — tree descent supports
+/// every Θ).
+
+/// R indexed by a native R-tree: for each S tuple, window-search the
+/// R-tree, then θ-verify against the R tuples.
+JoinResult RTreeWindowJoin(const RTree& r_index, const Relation& r,
+                           size_t col_r, const Relation& s, size_t col_s,
+                           const ThetaOperator& op, const Rectangle& world);
+
+/// R's points indexed by a grid file (point geometry only): for each S
+/// tuple, window-search the grid file, then θ-verify.
+JoinResult GridFileWindowJoin(const GridFile& r_index, const Relation& r,
+                              size_t col_r, const Relation& s, size_t col_s,
+                              const ThetaOperator& op);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_CORE_WINDOW_JOIN_H_

@@ -1,0 +1,111 @@
+#include "costmodel/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace spatialjoin {
+
+const char* MatchDistributionName(MatchDistribution dist) {
+  switch (dist) {
+    case MatchDistribution::kUniform:
+      return "UNIFORM";
+    case MatchDistribution::kNoLoc:
+      return "NO-LOC";
+    case MatchDistribution::kHiLoc:
+      return "HI-LOC";
+  }
+  return "UNKNOWN";
+}
+
+double MatchProbability(MatchDistribution dist, double p, int i1, int i2,
+                        int lca) {
+  SJ_CHECK_GE(i1, 0);
+  SJ_CHECK_GE(i2, 0);
+  SJ_CHECK(p >= 0.0 && p <= 1.0);
+  switch (dist) {
+    case MatchDistribution::kUniform:
+      return p;
+    case MatchDistribution::kNoLoc:
+      return DPow(p, std::max(std::min(i1, i2), 1));
+    case MatchDistribution::kHiLoc: {
+      SJ_CHECK_LE(lca, std::min(i1, i2));
+      SJ_CHECK_GE(lca, 0);
+      int d1 = i1 - lca;
+      int d2 = i2 - lca;
+      return DPow(p, d1 * d2);
+    }
+  }
+  return 0.0;
+}
+
+PiTable::PiTable(MatchDistribution dist, int n, int k, double p)
+    : dist_(dist), n_(n), k_(k), p_(p) {
+  SJ_CHECK_GE(n, 1);
+  SJ_CHECK_GE(k, 2);
+  SJ_CHECK(p >= 0.0 && p <= 1.0);
+  table_.resize(static_cast<size_t>((n + 1) * (n + 1)));
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      table_[static_cast<size_t>(i * (n + 1) + j)] = ComputePi(i, j);
+    }
+  }
+}
+
+double PiTable::ComputePi(int i, int j) const {
+  switch (dist_) {
+    case MatchDistribution::kUniform:
+      return p_;
+    case MatchDistribution::kNoLoc:
+      return DPow(p_, std::max(std::min(i, j), 1));
+    case MatchDistribution::kHiLoc: {
+      // Average ρ = p^{d1·d2} over all positions of a node at height j
+      // relative to a fixed node at height i. Grouping the k^j candidate
+      // nodes by the height a of the lowest common ancestor:
+      //   a < min(i,j): (k^{j−a} − k^{j−a−1}) nodes under the height-a
+      //                 ancestor but not the height-(a+1) one;
+      //   a = min(i,j): k^{j−min(i,j)} nodes (ancestor or descendants),
+      //                 matching with probability p^0 = 1.
+      // Dividing by k^j gives a form independent of which argument is
+      // larger (symmetric in i, j).
+      int lo = std::min(i, j);
+      double total = DPow(static_cast<double>(k_), -lo);
+      double one_minus_inv_k = 1.0 - 1.0 / static_cast<double>(k_);
+      for (int a = 0; a < lo; ++a) {
+        double weight =
+            one_minus_inv_k * DPow(static_cast<double>(k_), -a);
+        total += weight * DPow(p_, (i - a) * (j - a));
+      }
+      return std::min(total, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double PiTable::pi(int i, int j) const {
+  // The paper's technical convention for the JOIN cost sum (§4.4).
+  if ((i == 0 && j == -1) || (i == -1 && j == 0)) return 1.0;
+  SJ_CHECK_GE(i, 0);
+  SJ_CHECK_GE(j, 0);
+  SJ_CHECK_LE(i, n_);
+  SJ_CHECK_LE(j, n_);
+  return table_[static_cast<size_t>(i * (n_ + 1) + j)];
+}
+
+double PiTable::sigma(int i) const {
+  SJ_CHECK_GE(i, 1);  // siblings need a parent
+  SJ_CHECK_LE(i, n_);
+  switch (dist_) {
+    case MatchDistribution::kUniform:
+      return p_;
+    case MatchDistribution::kNoLoc:
+      return DPow(p_, std::max(i, 1));
+    case MatchDistribution::kHiLoc:
+      return p_;  // d1 = d2 = 1
+  }
+  return 0.0;
+}
+
+}  // namespace spatialjoin

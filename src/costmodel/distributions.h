@@ -1,0 +1,67 @@
+#ifndef SPATIALJOIN_COSTMODEL_DISTRIBUTIONS_H_
+#define SPATIALJOIN_COSTMODEL_DISTRIBUTIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+
+/// The three match-probability distributions of the comparative study
+/// (paper §4.1, Fig. 7). The parameter p is the join selectivity: low p
+/// means few matching pairs.
+enum class MatchDistribution {
+  /// ρ(o1, o2) = p for every pair — operators with no notion of spatial
+  /// proximity at all ("to the Northwest of").
+  kUniform,
+  /// ρ = p^{max(min(i1,i2),1)} for heights i1, i2 — no locality, but
+  /// larger (higher) objects match more easily ("between 50 and 100 km").
+  kNoLoc,
+  /// ρ = p^{d1·d2} with d1, d2 the height distances to the lowest common
+  /// ancestor — strong locality; ancestors/descendants always match.
+  /// Only meaningful when both objects live in the same tree (self-join /
+  /// selection with a stored selector). The exponent is reconstructed
+  /// from the paper's constraints (σ_i = p, ancestor probability 1); see
+  /// DESIGN.md §3.1.
+  kHiLoc,
+};
+
+/// Display name ("UNIFORM", "NO-LOC", "HI-LOC").
+const char* MatchDistributionName(MatchDistribution dist);
+
+/// Pairwise match probability ρ(o1, o2) for objects at heights i1, i2
+/// whose lowest common ancestor sits at height `lca` (lca <= min(i1,i2)).
+/// For UNIFORM and NO-LOC the lca argument is ignored.
+double MatchProbability(MatchDistribution dist, double p, int i1, int i2,
+                        int lca);
+
+/// Precomputed level-average match probabilities π_ij for a balanced
+/// k-ary tree of height n: the probability that a random node at height i
+/// Θ-matches a random node at height j. Supports the paper's boundary
+/// convention π_{0,−1} = π_{−1,0} = 1 (§4.4).
+class PiTable {
+ public:
+  PiTable(MatchDistribution dist, int n, int k, double p);
+
+  double pi(int i, int j) const;
+
+  /// σ_i: match probability of two *siblings* at height i (Fig. 7
+  /// cross-check: σ_i = p for UNIFORM/HI-LOC, p^{max(1,i)} for NO-LOC).
+  double sigma(int i) const;
+
+  int n() const { return n_; }
+  double p() const { return p_; }
+  MatchDistribution distribution() const { return dist_; }
+
+ private:
+  double ComputePi(int i, int j) const;
+
+  MatchDistribution dist_;
+  int n_;
+  int k_;
+  double p_;
+  std::vector<double> table_;  // (n+1) × (n+1)
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COSTMODEL_DISTRIBUTIONS_H_

@@ -1,0 +1,64 @@
+#include "costmodel/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+std::vector<double> LogSpace(double lo, double hi, int count) {
+  SJ_CHECK_GT(lo, 0.0);
+  SJ_CHECK_GE(hi, lo);
+  SJ_CHECK_GE(count, 2);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  double log_lo = std::log10(lo);
+  double log_hi = std::log10(hi);
+  for (int i = 0; i < count; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    out.push_back(std::pow(10.0, log_lo + t * (log_hi - log_lo)));
+  }
+  return out;
+}
+
+TableReport::TableReport(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  SJ_CHECK(!columns_.empty());
+}
+
+void TableReport::AddRow(const std::vector<double>& values) {
+  SJ_CHECK_EQ(values.size(), columns_.size());
+  rows_.push_back(values);
+}
+
+const std::vector<double>& TableReport::row(size_t i) const {
+  SJ_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+size_t TableReport::ArgMinOfRow(size_t i) const {
+  const std::vector<double>& r = row(i);
+  SJ_CHECK_GE(r.size(), 2u);
+  size_t best = 1;
+  for (size_t c = 2; c < r.size(); ++c) {
+    if (r[c] < r[best]) best = c;
+  }
+  return best;
+}
+
+void TableReport::Print(std::ostream& os) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(14) << columns_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << std::scientific << std::setprecision(4);
+    for (double v : row) os << std::setw(14) << v;
+    os << "\n";
+  }
+  os.copyfmt(std::ios(nullptr));
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,41 @@
+#ifndef SPATIALJOIN_COSTMODEL_REPORT_H_
+#define SPATIALJOIN_COSTMODEL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Logarithmically spaced values in [lo, hi] inclusive, for selectivity
+/// sweeps along the paper's log-scaled x axes.
+std::vector<double> LogSpace(double lo, double hi, int count);
+
+/// A simple column-aligned numeric table, used by the figure benches to
+/// print the same series the paper plots (one row per selectivity).
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> column_names);
+
+  /// Appends a row; must have one value per column.
+  void AddRow(const std::vector<double>& values);
+
+  /// Prints the header and all rows in scientific notation.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<double>& row(size_t i) const;
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Index of the column with the smallest value in row `i`, skipping
+  /// column 0 (the x axis) — "who wins" at that selectivity.
+  size_t ArgMinOfRow(size_t i) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COSTMODEL_REPORT_H_

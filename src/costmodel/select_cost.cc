@@ -1,0 +1,75 @@
+#include "costmodel/select_cost.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "costmodel/yao.h"
+
+namespace spatialjoin {
+
+SelectCosts ComputeSelectCosts(const ModelParameters& params,
+                               MatchDistribution dist) {
+  PiTable pi(dist, params.n, params.k, params.p);
+  return ComputeSelectCosts(params, pi);
+}
+
+SelectCosts ComputeSelectCosts(const ModelParameters& params,
+                               const PiTable& pi) {
+  SJ_CHECK_EQ(pi.n(), params.n);
+  SelectCosts costs;
+  const int n = params.n;
+  const int h = params.h;
+  const double n_tuples = static_cast<double>(params.N());
+  const double m = static_cast<double>(params.m());
+  const double pages = static_cast<double>(params.RelationPages());
+
+  // Strategy I: exhaustive search — θ-test all N tuples, scan all pages.
+  costs.c_i = n_tuples * params.c_theta +
+              std::ceil(n_tuples / m) * params.c_io;
+
+  // Strategy II computation: the root is always tested; a Θ-match at
+  // height i expands its k children, so height i+1 examines
+  // π_{h,i}·k^{i+1} nodes.
+  double compute = 1.0;
+  for (int i = 0; i < n; ++i) {
+    compute += pi.pi(h, i) * DPow(params.k, i + 1);
+  }
+  costs.c_ii_compute = params.c_theta * compute;
+
+  // Strategy IIa I/O: the π_{h,i}·k^{i+1} nodes visited at height i+1 are
+  // scattered uniformly over the relation's pages (root pinned in memory).
+  double io_unclustered = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double fetched = std::ceil(pi.pi(h, i) * DPow(params.k, i + 1));
+    io_unclustered += Yao(fetched, pages, n_tuples);
+  }
+  costs.c_iia = costs.c_ii_compute + params.c_io * io_unclustered;
+
+  // Strategy IIb I/O: siblings are stored contiguously; each of the
+  // π_{h,i}·k^i matching height-i nodes pulls one k-child "record" from
+  // the ⌈k^{i+1}/m⌉ pages storing the k^i records of that level.
+  double io_clustered = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double matching_parents = std::ceil(pi.pi(h, i) * DPow(params.k, i));
+    double level_records = DPow(params.k, i);
+    double level_pages = std::ceil(DPow(params.k, i + 1) / m);
+    io_clustered += Yao(matching_parents, level_pages, level_records);
+  }
+  costs.c_iib = costs.c_ii_compute + params.c_io * io_clustered;
+
+  // Strategy III: Σ_{i=0..n} π_{h,i}·k^i index entries relate to the
+  // selector; descend the B⁺-tree (d levels, root pinned), read the
+  // entry pages, then fetch the matching tuples.
+  double entries = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    entries += pi.pi(h, i) * DPow(params.k, i);
+  }
+  costs.c_iii =
+      params.c_io * (static_cast<double>(params.d()) +
+                     std::ceil(entries / static_cast<double>(params.z)) +
+                     Yao(std::ceil(entries), pages, n_tuples));
+  return costs;
+}
+
+}  // namespace spatialjoin

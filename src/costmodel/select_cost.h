@@ -1,0 +1,33 @@
+#ifndef SPATIALJOIN_COSTMODEL_SELECT_COST_H_
+#define SPATIALJOIN_COSTMODEL_SELECT_COST_H_
+
+#include "costmodel/distributions.h"
+#include "costmodel/parameters.h"
+
+namespace spatialjoin {
+
+/// Expected costs of one spatial selection (paper §4.3, Figs. 8–10): a
+/// degenerate join whose one selector object sits at height h of its own
+/// generalization tree (the study uses h = n, a leaf).
+struct SelectCosts {
+  double c_i = 0.0;    ///< strategy I: exhaustive scan
+  double c_iia = 0.0;  ///< strategy IIa: SELECT over an unclustered tree
+  double c_iib = 0.0;  ///< strategy IIb: SELECT over a clustered tree
+  double c_iii = 0.0;  ///< strategy III: join-index lookup
+  /// Shared computation term C_II^Θ(h) (identical for IIa and IIb).
+  double c_ii_compute = 0.0;
+};
+
+/// Evaluates C_I, C_IIa, C_IIb, C_III for the given parameters and
+/// matching distribution, using the level probabilities π_{h,i}.
+SelectCosts ComputeSelectCosts(const ModelParameters& params,
+                               MatchDistribution dist);
+
+/// As above but with a caller-supplied π table (for sensitivity studies
+/// that perturb π directly).
+SelectCosts ComputeSelectCosts(const ModelParameters& params,
+                               const PiTable& pi_table);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COSTMODEL_SELECT_COST_H_

@@ -1,0 +1,43 @@
+#include "costmodel/update_cost.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "costmodel/yao.h"
+
+namespace spatialjoin {
+
+UpdateCosts ComputeUpdateCosts(const ModelParameters& params) {
+  UpdateCosts costs;
+  const double k = params.k;
+  const double n_tuples = static_cast<double>(params.N());
+  const double m = static_cast<double>(params.m());
+  const double pages = static_cast<double>(params.RelationPages());
+
+  costs.u_i = 0.0;
+
+  // Expected height of the new object: (1/N)·Σ_{i=1..n} i·k^i.
+  double expected_height = 0.0;
+  for (int i = 1; i <= params.n; ++i) {
+    expected_height += static_cast<double>(i) * params.NodesAtHeight(i);
+  }
+  expected_height /= n_tuples;
+
+  // Per level: k/2 child tests; unclustered trees pay a Yao-number of
+  // random page fetches for those k/2 nodes, clustered trees only
+  // (k/2)/m sequential page fetches.
+  double compute_per_level = k / 2.0 * params.c_u;
+  double io_unclustered =
+      Yao(std::ceil(k / 2.0), pages, n_tuples) * params.c_io;
+  double io_clustered = k / (2.0 * m) * params.c_io;
+
+  costs.u_iia = (compute_per_level + io_unclustered) * expected_height;
+  costs.u_iib = (compute_per_level + io_clustered) * expected_height;
+
+  // Join indices maintained for all T spatial tuples in the database.
+  costs.u_iii = static_cast<double>(params.T) *
+                (params.c_u + params.c_io / m);
+  return costs;
+}
+
+}  // namespace spatialjoin

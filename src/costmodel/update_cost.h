@@ -1,0 +1,28 @@
+#ifndef SPATIALJOIN_COSTMODEL_UPDATE_COST_H_
+#define SPATIALJOIN_COSTMODEL_UPDATE_COST_H_
+
+#include "costmodel/parameters.h"
+
+namespace spatialjoin {
+
+/// Expected costs of inserting one new tuple (paper §4.2). Updates do not
+/// depend on the matching distribution.
+struct UpdateCosts {
+  double u_i = 0.0;    ///< strategy I (nested loop): nothing to maintain
+  double u_iia = 0.0;  ///< strategy IIa: unclustered generalization tree
+  double u_iib = 0.0;  ///< strategy IIb: clustered generalization tree
+  double u_iii = 0.0;  ///< strategy III: join indices over all T tuples
+};
+
+/// Evaluates U_I, U_IIa, U_IIb, U_III(T) for the given parameters.
+///
+/// The expected storage height of a new object,
+/// (1/N)·Σ_{i=1..n} i·k^i, weights the per-level cost
+/// (k/2 child tests plus the level's page fetches). U_III charges a θ test
+/// against every one of the T spatial tuples in the database plus the
+/// pages holding them (§4.2's prohibitively high join-index update cost).
+UpdateCosts ComputeUpdateCosts(const ModelParameters& params);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COSTMODEL_UPDATE_COST_H_

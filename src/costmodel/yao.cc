@@ -1,0 +1,46 @@
+#include "costmodel/yao.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+double Yao(double x, double y, double z) {
+  SJ_CHECK_GE(y, 0.0);
+  SJ_CHECK_GE(z, 0.0);
+  if (x <= 0.0 || y <= 0.0 || z <= 0.0) return 0.0;
+  if (y <= 1.0) return 1.0;
+  // No x >= z shortcut: when records are sparser than pages (z/y < 1) the
+  // raw product correctly charges less than y even for x = z; for dense
+  // files the product reaches zero on its own and yields y.
+
+  double records_per_page = z / y;
+  double product = 1.0;
+  int64_t iterations = static_cast<int64_t>(std::floor(x));
+  for (int64_t i = 1; i <= iterations; ++i) {
+    double numerator = z - records_per_page - static_cast<double>(i) + 1.0;
+    double denominator = z - static_cast<double>(i) + 1.0;
+    if (numerator <= 0.0 || denominator <= 0.0) {
+      product = 0.0;
+      break;
+    }
+    product *= numerator / denominator;
+    // Once the hit probability is ~1 for every page, stop early: the
+    // result is y to double precision.
+    if (product < 1e-18) {
+      product = 0.0;
+      break;
+    }
+  }
+  double expected = y * (1.0 - product);
+  return std::min({expected, x, y});
+}
+
+double Yao(int64_t x, int64_t y, int64_t z) {
+  return Yao(static_cast<double>(x), static_cast<double>(y),
+             static_cast<double>(z));
+}
+
+}  // namespace spatialjoin

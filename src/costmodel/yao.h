@@ -1,0 +1,24 @@
+#ifndef SPATIALJOIN_COSTMODEL_YAO_H_
+#define SPATIALJOIN_COSTMODEL_YAO_H_
+
+#include <cstdint>
+
+namespace spatialjoin {
+
+/// Yao's formula [Yao77] (paper §4.2): the expected number of page
+/// accesses when retrieving `x` records randomly chosen among `z` records
+/// stored on `y` pages,
+///
+///   Y(x, y, z) = y · [ 1 − Π_{i=1..x} (z − z/y − i + 1) / (z − i + 1) ].
+///
+/// Guards (DESIGN.md §3.3): Y(0,·,·) = 0; x ≥ z retrieves every page
+/// (Y = y); the result never exceeds min(x, y); degenerate small inputs
+/// short-circuit before the product loop can misbehave.
+double Yao(double x, double y, double z);
+
+/// Integer-argument convenience overload.
+double Yao(int64_t x, int64_t y, int64_t z);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COSTMODEL_YAO_H_

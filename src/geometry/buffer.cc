@@ -1,0 +1,24 @@
+#include "geometry/buffer.h"
+
+namespace spatialjoin {
+
+bool WithinBufferOfPolygon(const Point& p, const Polygon& poly, double d) {
+  return poly.DistanceToPoint(p) <= d;
+}
+
+bool WithinBufferOfRectangle(const Point& p, const Rectangle& r, double d) {
+  return r.MinDistanceToPoint(p) <= d;
+}
+
+bool PolygonsWithinDistance(const Polygon& a, const Polygon& b, double d) {
+  return a.DistanceToPolygon(b) <= d;
+}
+
+bool RectanglesWithinDistance(const Rectangle& a, const Rectangle& b,
+                              double d) {
+  return a.MinDistance(b) <= d;
+}
+
+Rectangle BufferMbr(const Rectangle& r, double d) { return r.Expanded(d); }
+
+}  // namespace spatialjoin

@@ -1,0 +1,39 @@
+#ifndef SPATIALJOIN_GEOMETRY_BUFFER_H_
+#define SPATIALJOIN_GEOMETRY_BUFFER_H_
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/rectangle.h"
+
+namespace spatialjoin {
+
+/// Distance-buffer predicates. The paper's flagship query, "find all houses
+/// within 10 kilometers from a lake" (§1, §2.2), is a point-in-buffer test:
+/// house.hlocation within the d-buffer of lake.larea. We implement buffers
+/// as distance predicates rather than materializing offset polygons — the
+/// two are equivalent for the membership tests the join algorithms need,
+/// and the predicate form is exact (no arc discretization error).
+
+/// True iff point `p` lies within distance `d` of polygon `poly`
+/// (inside counts as distance 0).
+bool WithinBufferOfPolygon(const Point& p, const Polygon& poly, double d);
+
+/// True iff point `p` lies within distance `d` of rectangle `r`.
+bool WithinBufferOfRectangle(const Point& p, const Rectangle& r, double d);
+
+/// True iff the two polygons come within distance `d` of each other.
+bool PolygonsWithinDistance(const Polygon& a, const Polygon& b, double d);
+
+/// True iff the two rectangles come within distance `d` of each other —
+/// the Θ-level test for "within distance d" on MBRs (Table 1: distance
+/// measured between *closest* points of the enclosing objects).
+bool RectanglesWithinDistance(const Rectangle& a, const Rectangle& b,
+                              double d);
+
+/// Conservative buffer of a rectangle: the MBR of the true d-buffer.
+/// Useful for index-level pruning ("overlaps the x-minute buffer of o2").
+Rectangle BufferMbr(const Rectangle& r, double d);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GEOMETRY_BUFFER_H_

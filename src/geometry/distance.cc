@@ -1,0 +1,29 @@
+#include "geometry/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/predicates.h"
+
+namespace spatialjoin {
+
+double DistancePointSegment(const Point& p, const Point& a, const Point& b) {
+  Point ab = b - a;
+  double len2 = ab.Norm2();
+  if (len2 == 0.0) return Distance(p, a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point closest = a + ab * t;
+  return Distance(p, closest);
+}
+
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min({DistancePointSegment(a1, b1, b2),
+                   DistancePointSegment(a2, b1, b2),
+                   DistancePointSegment(b1, a1, a2),
+                   DistancePointSegment(b2, a1, a2)});
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,18 @@
+#ifndef SPATIALJOIN_GEOMETRY_DISTANCE_H_
+#define SPATIALJOIN_GEOMETRY_DISTANCE_H_
+
+#include "geometry/point.h"
+
+namespace spatialjoin {
+
+/// Minimum distance from point `p` to the closed segment [a, b].
+double DistancePointSegment(const Point& p, const Point& a, const Point& b);
+
+/// Minimum distance between closed segments [a1,a2] and [b1,b2]
+/// (0 when they intersect).
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GEOMETRY_DISTANCE_H_

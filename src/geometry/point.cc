@@ -1,0 +1,17 @@
+#include "geometry/point.h"
+
+#include <sstream>
+
+namespace spatialjoin {
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(Distance2(a, b));
+}
+
+std::string ToString(const Point& p) {
+  std::ostringstream os;
+  os << "(" << p.x << ", " << p.y << ")";
+  return os.str();
+}
+
+}  // namespace spatialjoin

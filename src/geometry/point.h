@@ -1,0 +1,59 @@
+#ifndef SPATIALJOIN_GEOMETRY_POINT_H_
+#define SPATIALJOIN_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace spatialjoin {
+
+/// A point in the Euclidean plane. Passive value type (paper §2.2: spatial
+/// data types include points; the `house.hlocation` attribute is a point).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+
+  /// Dot product with `o`.
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+
+  /// 2D cross product (z-component of the 3D cross product).
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  /// Squared Euclidean norm.
+  constexpr double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+constexpr double Distance2(const Point& a, const Point& b) {
+  return (a - b).Norm2();
+}
+
+/// Renders "(x, y)".
+std::string ToString(const Point& p);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GEOMETRY_POINT_H_

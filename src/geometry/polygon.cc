@@ -1,0 +1,186 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "geometry/distance.h"
+#include "geometry/predicates.h"
+
+namespace spatialjoin {
+
+Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
+  SJ_CHECK_MSG(ring_.size() >= 3, "polygon needs at least 3 vertices, got "
+                                      << ring_.size());
+  for (const Point& p : ring_) bbox_.ExtendPoint(p);
+}
+
+Polygon Polygon::FromRectangle(const Rectangle& r) {
+  SJ_CHECK(!r.is_empty());
+  return Polygon({{r.min_x(), r.min_y()},
+                  {r.max_x(), r.min_y()},
+                  {r.max_x(), r.max_y()},
+                  {r.min_x(), r.max_y()}});
+}
+
+Polygon Polygon::RegularNGon(const Point& center, double radius,
+                             int num_vertices) {
+  SJ_CHECK_GE(num_vertices, 3);
+  SJ_CHECK_GT(radius, 0.0);
+  std::vector<Point> ring;
+  ring.reserve(static_cast<size_t>(num_vertices));
+  for (int i = 0; i < num_vertices; ++i) {
+    double angle = 2.0 * M_PI * static_cast<double>(i) /
+                   static_cast<double>(num_vertices);
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(std::move(ring));
+}
+
+double Polygon::SignedArea() const {
+  double twice_area = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    twice_area += a.Cross(b);
+  }
+  return twice_area / 2.0;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+Point Polygon::Centroid() const {
+  SJ_CHECK(!ring_.empty());
+  double twice_area = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    double cross = a.Cross(b);
+    twice_area += cross;
+    cx += (a.x + b.x) * cross;
+    cy += (a.y + b.y) * cross;
+  }
+  if (std::fabs(twice_area) < 1e-12) {
+    // Degenerate ring: fall back to the vertex average.
+    Point sum(0, 0);
+    for (const Point& p : ring_) sum = sum + p;
+    return sum * (1.0 / static_cast<double>(ring_.size()));
+  }
+  double scale = 1.0 / (3.0 * twice_area);
+  return Point(cx * scale, cy * scale);
+}
+
+bool Polygon::ContainsPoint(const Point& p) const {
+  if (ring_.empty() || !bbox_.ContainsPoint(p)) return false;
+  // Boundary counts as inside.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    if (PointOnSegment(p, a, b)) return true;
+  }
+  // Ray casting towards +x, with the usual half-open edge rule to count
+  // vertex crossings exactly once.
+  bool inside = false;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    double x_at_y = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+    if (x_at_y > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+bool Polygon::Intersects(const Polygon& o) const {
+  if (ring_.empty() || o.ring_.empty()) return false;
+  if (!bbox_.Overlaps(o.bbox_)) return false;
+  // Any pair of boundary edges crossing?
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a1 = ring_[i];
+    const Point& a2 = ring_[(i + 1) % ring_.size()];
+    for (size_t j = 0; j < o.ring_.size(); ++j) {
+      const Point& b1 = o.ring_[j];
+      const Point& b2 = o.ring_[(j + 1) % o.ring_.size()];
+      if (SegmentsIntersect(a1, a2, b1, b2)) return true;
+    }
+  }
+  // Otherwise one polygon may contain the other entirely.
+  return ContainsPoint(o.ring_[0]) || o.ContainsPoint(ring_[0]);
+}
+
+bool Polygon::ContainsPolygon(const Polygon& o) const {
+  if (ring_.empty() || o.ring_.empty()) return false;
+  if (!bbox_.Contains(o.bbox_)) return false;
+  // All vertices of o inside, and no boundary crossing that would take a
+  // part of o outside.
+  for (const Point& p : o.ring_) {
+    if (!ContainsPoint(p)) return false;
+  }
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a1 = ring_[i];
+    const Point& a2 = ring_[(i + 1) % ring_.size()];
+    for (size_t j = 0; j < o.ring_.size(); ++j) {
+      const Point& b1 = o.ring_[j];
+      const Point& b2 = o.ring_[(j + 1) % o.ring_.size()];
+      // Touching is permitted (closed containment); proper crossings are not.
+      int o1 = Orientation(a1, a2, b1);
+      int o2 = Orientation(a1, a2, b2);
+      int o3 = Orientation(b1, b2, a1);
+      int o4 = Orientation(b1, b2, a2);
+      if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Polygon::DistanceToPoint(const Point& p) const {
+  SJ_CHECK(!ring_.empty());
+  if (ContainsPoint(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    best = std::min(best, DistancePointSegment(p, a, b));
+  }
+  return best;
+}
+
+double Polygon::DistanceToPolygon(const Polygon& o) const {
+  SJ_CHECK(!ring_.empty());
+  SJ_CHECK(!o.ring_.empty());
+  if (Intersects(o)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a1 = ring_[i];
+    const Point& a2 = ring_[(i + 1) % ring_.size()];
+    for (size_t j = 0; j < o.ring_.size(); ++j) {
+      const Point& b1 = o.ring_[j];
+      const Point& b2 = o.ring_[(j + 1) % o.ring_.size()];
+      best = std::min(best, DistanceSegmentSegment(a1, a2, b1, b2));
+    }
+  }
+  return best;
+}
+
+void Polygon::Reverse() { std::reverse(ring_.begin(), ring_.end()); }
+
+std::string Polygon::ToString() const {
+  std::ostringstream os;
+  os << "Polygon[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << spatialjoin::ToString(ring_[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace spatialjoin

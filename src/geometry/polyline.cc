@@ -1,0 +1,93 @@
+#include "geometry/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "geometry/distance.h"
+#include "geometry/predicates.h"
+
+namespace spatialjoin {
+
+Polyline::Polyline(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  SJ_CHECK_MSG(vertices_.size() >= 2, "polyline needs at least 2 vertices");
+  for (const Point& p : vertices_) bbox_.ExtendPoint(p);
+}
+
+double Polyline::Length() const {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    total += Distance(vertices_[i], vertices_[i + 1]);
+  }
+  return total;
+}
+
+Point Polyline::Midpoint() const {
+  SJ_CHECK(!vertices_.empty());
+  double half = Length() / 2.0;
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    double seg = Distance(vertices_[i], vertices_[i + 1]);
+    if (walked + seg >= half && seg > 0.0) {
+      double t = (half - walked) / seg;
+      return vertices_[i] + (vertices_[i + 1] - vertices_[i]) * t;
+    }
+    walked += seg;
+  }
+  return vertices_.back();
+}
+
+double Polyline::DistanceToPoint(const Point& p) const {
+  SJ_CHECK_GE(vertices_.size(), 2u);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    best = std::min(best, DistancePointSegment(p, vertices_[i],
+                                               vertices_[i + 1]));
+  }
+  return best;
+}
+
+double Polyline::DistanceToPolyline(const Polyline& o) const {
+  SJ_CHECK_GE(vertices_.size(), 2u);
+  SJ_CHECK_GE(o.vertices_.size(), 2u);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    for (size_t j = 0; j + 1 < o.vertices_.size(); ++j) {
+      best = std::min(best,
+                      DistanceSegmentSegment(vertices_[i], vertices_[i + 1],
+                                             o.vertices_[j],
+                                             o.vertices_[j + 1]));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+bool Polyline::Intersects(const Polyline& o) const {
+  if (!bbox_.Overlaps(o.bbox_)) return false;
+  for (size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    for (size_t j = 0; j + 1 < o.vertices_.size(); ++j) {
+      if (SegmentsIntersect(vertices_[i], vertices_[i + 1], o.vertices_[j],
+                            o.vertices_[j + 1])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Polyline::ToString() const {
+  std::ostringstream os;
+  os << "Polyline[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << spatialjoin::ToString(vertices_[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,54 @@
+#ifndef SPATIALJOIN_GEOMETRY_POLYLINE_H_
+#define SPATIALJOIN_GEOMETRY_POLYLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+
+namespace spatialjoin {
+
+/// An open polygonal chain (e.g. a road or river in the cartographic
+/// scenarios). The paper's spatial data types include "lines … and curves";
+/// polylines are our piecewise-linear curve representation.
+class Polyline {
+ public:
+  Polyline() = default;
+
+  /// Builds a polyline from at least two vertices.
+  explicit Polyline(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool is_empty() const { return vertices_.empty(); }
+
+  /// Total arc length.
+  double Length() const;
+
+  /// Minimum bounding rectangle.
+  const Rectangle& BoundingBox() const { return bbox_; }
+
+  /// Arc-length midpoint — the "centerpoint" for curve objects.
+  Point Midpoint() const;
+
+  /// Minimum distance to a point.
+  double DistanceToPoint(const Point& p) const;
+
+  /// Minimum distance to another polyline (0 when they cross).
+  double DistanceToPolyline(const Polyline& o) const;
+
+  /// True iff any segments of the two polylines intersect.
+  bool Intersects(const Polyline& o) const;
+
+  /// Renders the vertex list.
+  std::string ToString() const;
+
+ private:
+  std::vector<Point> vertices_;
+  Rectangle bbox_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GEOMETRY_POLYLINE_H_

@@ -1,0 +1,35 @@
+#ifndef SPATIALJOIN_GEOMETRY_PREDICATES_H_
+#define SPATIALJOIN_GEOMETRY_PREDICATES_H_
+
+#include "geometry/point.h"
+
+namespace spatialjoin {
+
+/// Sign of the orientation of the ordered triple (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear (within `eps`).
+int Orientation(const Point& a, const Point& b, const Point& c,
+                double eps = 1e-12);
+
+/// True iff point `p` lies on the closed segment [a, b].
+bool PointOnSegment(const Point& p, const Point& a, const Point& b,
+                    double eps = 1e-12);
+
+/// True iff the closed segments [a1,a2] and [b1,b2] share at least one
+/// point (proper or improper intersection).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Compass-quadrant predicate used by the paper's example operator
+/// "o1 to the Northwest of o2" (measured between centerpoints, §3.1 /
+/// Fig. 5): true iff `a` is strictly to the left of and strictly above `b`.
+bool NorthwestOf(const Point& a, const Point& b);
+
+/// The Θ-counterpart construction from Fig. 5: true iff rectangle-corner
+/// test "a overlaps the NW quadrant formed by the right vertical and the
+/// lower horizontal tangent on b" holds, expressed on raw coordinates:
+/// the quadrant is { (x,y) : x <= quad_x, y >= quad_y }.
+bool PointInNwQuadrant(const Point& p, double quad_x, double quad_y);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GEOMETRY_PREDICATES_H_

@@ -1,0 +1,274 @@
+#include "gridfile/grid_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+constexpr size_t kRecordSize = 24;  // x, y, tid
+constexpr size_t kBucketHeaderSize = 2;
+
+}  // namespace
+
+GridFile::GridFile(BufferPool* pool, const Rectangle& world,
+                   int bucket_capacity)
+    : pool_(pool), world_(world) {
+  SJ_CHECK(pool != nullptr);
+  SJ_CHECK(!world.is_empty());
+  int fit = static_cast<int>(
+      (pool->disk()->page_size() - kBucketHeaderSize) / kRecordSize);
+  bucket_capacity_ =
+      bucket_capacity > 0 ? std::min(bucket_capacity, fit) : fit;
+  SJ_CHECK_GE(bucket_capacity_, 2);
+  PageId first = pool_->NewPage();
+  StoreBucket(first, {});
+  ++num_buckets_;
+  directory_ = {first};  // 1×1 directory
+}
+
+PageId& GridFile::DirAt(int64_t xi, int64_t yi) {
+  SJ_CHECK_GE(xi, 0);
+  SJ_CHECK_LT(xi, directory_cells_x());
+  SJ_CHECK_GE(yi, 0);
+  SJ_CHECK_LT(yi, directory_cells_y());
+  return directory_[static_cast<size_t>(yi * directory_cells_x() + xi)];
+}
+
+PageId GridFile::DirAt(int64_t xi, int64_t yi) const {
+  return const_cast<GridFile*>(this)->DirAt(xi, yi);
+}
+
+int64_t GridFile::XIndexOf(double x) const {
+  return std::upper_bound(x_scale_.begin(), x_scale_.end(), x) -
+         x_scale_.begin();
+}
+
+int64_t GridFile::YIndexOf(double y) const {
+  return std::upper_bound(y_scale_.begin(), y_scale_.end(), y) -
+         y_scale_.begin();
+}
+
+std::vector<GridFile::BucketRecord> GridFile::LoadBucket(PageId pid) const {
+  const Page* page = pool_->GetPage(pid);
+  uint16_t count;
+  std::memcpy(&count, page->bytes(), sizeof(count));
+  std::vector<BucketRecord> records(count);
+  size_t pos = kBucketHeaderSize;
+  for (uint16_t i = 0; i < count; ++i) {
+    std::memcpy(&records[i].point.x, page->bytes() + pos, 8);
+    std::memcpy(&records[i].point.y, page->bytes() + pos + 8, 8);
+    std::memcpy(&records[i].tid, page->bytes() + pos + 16, 8);
+    pos += kRecordSize;
+  }
+  return records;
+}
+
+void GridFile::StoreBucket(PageId pid,
+                           const std::vector<BucketRecord>& records) {
+  SJ_CHECK_LE(static_cast<int>(records.size()), bucket_capacity_);
+  Page* page = pool_->GetMutablePage(pid);
+  std::fill(page->data.begin(), page->data.end(), 0);
+  uint16_t count = static_cast<uint16_t>(records.size());
+  std::memcpy(page->bytes(), &count, sizeof(count));
+  size_t pos = kBucketHeaderSize;
+  for (const BucketRecord& r : records) {
+    std::memcpy(page->bytes() + pos, &r.point.x, 8);
+    std::memcpy(page->bytes() + pos + 8, &r.point.y, 8);
+    std::memcpy(page->bytes() + pos + 16, &r.tid, 8);
+    pos += kRecordSize;
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> GridFile::CellsOfBucket(
+    PageId pid) const {
+  std::vector<std::pair<int64_t, int64_t>> cells;
+  for (int64_t yi = 0; yi < directory_cells_y(); ++yi) {
+    for (int64_t xi = 0; xi < directory_cells_x(); ++xi) {
+      if (DirAt(xi, yi) == pid) cells.emplace_back(xi, yi);
+    }
+  }
+  return cells;
+}
+
+void GridFile::SplitBucket(int64_t xi, int64_t yi) {
+  PageId pid = DirAt(xi, yi);
+  std::vector<std::pair<int64_t, int64_t>> cells = CellsOfBucket(pid);
+  SJ_CHECK(!cells.empty());
+
+  if (cells.size() > 1) {
+    // Bucket region spans several directory cells: give half the cells a
+    // fresh bucket (split along the axis where the region is wider).
+    int64_t min_x = cells[0].first, max_x = cells[0].first;
+    int64_t min_y = cells[0].second, max_y = cells[0].second;
+    for (const auto& [cx, cy] : cells) {
+      min_x = std::min(min_x, cx);
+      max_x = std::max(max_x, cx);
+      min_y = std::min(min_y, cy);
+      max_y = std::max(max_y, cy);
+    }
+    bool split_x = (max_x - min_x) >= (max_y - min_y);
+    int64_t mid = split_x ? (min_x + max_x + 1) / 2 : (min_y + max_y + 1) / 2;
+    PageId fresh = pool_->NewPage();
+    ++num_buckets_;
+    for (const auto& [cx, cy] : cells) {
+      int64_t coord = split_x ? cx : cy;
+      if (coord >= mid) DirAt(cx, cy) = fresh;
+    }
+    // Redistribute records between the two buckets by cell membership.
+    std::vector<BucketRecord> records = LoadBucket(pid);
+    std::vector<BucketRecord> keep;
+    std::vector<BucketRecord> moved;
+    for (const BucketRecord& r : records) {
+      int64_t coord = split_x ? XIndexOf(r.point.x) : YIndexOf(r.point.y);
+      (coord >= mid ? moved : keep).push_back(r);
+    }
+    StoreBucket(pid, keep);
+    StoreBucket(fresh, moved);
+    return;
+  }
+
+  // Single-cell bucket: refine a scale. Split the cell's wider side at
+  // its midpoint; the new directory row/column initially shares the old
+  // buckets except for the split cell.
+  double x_lo = xi == 0 ? world_.min_x() : x_scale_[static_cast<size_t>(xi - 1)];
+  double x_hi = xi == static_cast<int64_t>(x_scale_.size())
+                    ? world_.max_x()
+                    : x_scale_[static_cast<size_t>(xi)];
+  double y_lo = yi == 0 ? world_.min_y() : y_scale_[static_cast<size_t>(yi - 1)];
+  double y_hi = yi == static_cast<int64_t>(y_scale_.size())
+                    ? world_.max_y()
+                    : y_scale_[static_cast<size_t>(yi)];
+  bool split_x = (x_hi - x_lo) >= (y_hi - y_lo);
+
+  int64_t old_cells_x = directory_cells_x();
+  int64_t old_cells_y = directory_cells_y();
+  std::vector<PageId> old_directory = directory_;
+
+  if (split_x) {
+    double boundary = (x_lo + x_hi) / 2.0;
+    x_scale_.insert(x_scale_.begin() + xi, boundary);
+    directory_.assign(
+        static_cast<size_t>((old_cells_x + 1) * old_cells_y),
+        kInvalidPageId);
+    for (int64_t y = 0; y < old_cells_y; ++y) {
+      for (int64_t x = 0; x < old_cells_x + 1; ++x) {
+        int64_t src_x = x <= xi ? x : x - 1;
+        DirAt(x, y) =
+            old_directory[static_cast<size_t>(y * old_cells_x + src_x)];
+      }
+    }
+  } else {
+    double boundary = (y_lo + y_hi) / 2.0;
+    y_scale_.insert(y_scale_.begin() + yi, boundary);
+    directory_.assign(
+        static_cast<size_t>(old_cells_x * (old_cells_y + 1)),
+        kInvalidPageId);
+    for (int64_t y = 0; y < old_cells_y + 1; ++y) {
+      int64_t src_y = y <= yi ? y : y - 1;
+      for (int64_t x = 0; x < old_cells_x; ++x) {
+        DirAt(x, y) =
+            old_directory[static_cast<size_t>(src_y * old_cells_x + x)];
+      }
+    }
+  }
+
+  // The overflowing cell now spans two directory cells; split the bucket
+  // region between them.
+  SplitBucket(xi, yi);
+}
+
+void GridFile::Insert(const Point& p, TupleId tid) {
+  SJ_CHECK_MSG(world_.ContainsPoint(p),
+               "point " << ToString(p) << " outside the grid world");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int64_t xi = XIndexOf(p.x);
+    int64_t yi = YIndexOf(p.y);
+    PageId pid = DirAt(xi, yi);
+    std::vector<BucketRecord> records = LoadBucket(pid);
+    if (static_cast<int>(records.size()) < bucket_capacity_) {
+      records.push_back(BucketRecord{p, tid});
+      StoreBucket(pid, records);
+      ++num_records_;
+      return;
+    }
+    SplitBucket(xi, yi);
+  }
+  SJ_CHECK_MSG(false, "grid-file split did not converge (duplicate-heavy "
+                      "data beyond bucket capacity?)");
+}
+
+bool GridFile::Delete(const Point& p, TupleId tid) {
+  int64_t xi = XIndexOf(p.x);
+  int64_t yi = YIndexOf(p.y);
+  PageId pid = DirAt(xi, yi);
+  std::vector<BucketRecord> records = LoadBucket(pid);
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].tid == tid && records[i].point == p) {
+      records.erase(records.begin() + static_cast<long>(i));
+      StoreBucket(pid, records);
+      --num_records_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void GridFile::Search(
+    const Rectangle& window,
+    const std::function<void(const Point&, TupleId)>& fn) const {
+  if (window.is_empty()) return;
+  int64_t x_lo = XIndexOf(window.min_x());
+  int64_t x_hi = XIndexOf(window.max_x());
+  int64_t y_lo = YIndexOf(window.min_y());
+  int64_t y_hi = YIndexOf(window.max_y());
+  x_lo = std::clamp<int64_t>(x_lo, 0, directory_cells_x() - 1);
+  x_hi = std::clamp<int64_t>(x_hi, 0, directory_cells_x() - 1);
+  y_lo = std::clamp<int64_t>(y_lo, 0, directory_cells_y() - 1);
+  y_hi = std::clamp<int64_t>(y_hi, 0, directory_cells_y() - 1);
+  std::vector<PageId> visited;
+  for (int64_t yi = y_lo; yi <= y_hi; ++yi) {
+    for (int64_t xi = x_lo; xi <= x_hi; ++xi) {
+      PageId pid = DirAt(xi, yi);
+      if (std::find(visited.begin(), visited.end(), pid) != visited.end()) {
+        continue;
+      }
+      visited.push_back(pid);
+      for (const BucketRecord& r : LoadBucket(pid)) {
+        if (window.ContainsPoint(r.point)) fn(r.point, r.tid);
+      }
+    }
+  }
+}
+
+std::vector<TupleId> GridFile::SearchTids(const Rectangle& window) const {
+  std::vector<TupleId> out;
+  Search(window, [&](const Point&, TupleId tid) { out.push_back(tid); });
+  return out;
+}
+
+void GridFile::CheckInvariants() const {
+  int64_t total = 0;
+  std::vector<PageId> seen;
+  for (int64_t yi = 0; yi < directory_cells_y(); ++yi) {
+    for (int64_t xi = 0; xi < directory_cells_x(); ++xi) {
+      PageId pid = DirAt(xi, yi);
+      SJ_CHECK_NE(pid, kInvalidPageId);
+      if (std::find(seen.begin(), seen.end(), pid) != seen.end()) continue;
+      seen.push_back(pid);
+      std::vector<BucketRecord> records = LoadBucket(pid);
+      SJ_CHECK_LE(static_cast<int>(records.size()), bucket_capacity_);
+      total += static_cast<int64_t>(records.size());
+      for (const BucketRecord& r : records) {
+        SJ_CHECK_EQ(DirAt(XIndexOf(r.point.x), YIndexOf(r.point.y)), pid);
+      }
+    }
+  }
+  SJ_CHECK_EQ(total, num_records_);
+  SJ_CHECK_EQ(static_cast<int64_t>(seen.size()), num_buckets_);
+}
+
+}  // namespace spatialjoin

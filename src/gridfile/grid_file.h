@@ -1,0 +1,103 @@
+#ifndef SPATIALJOIN_GRIDFILE_GRID_FILE_H_
+#define SPATIALJOIN_GRIDFILE_GRID_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+#include "relational/tuple.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace spatialjoin {
+
+/// A grid file [Niev84] over point data — the address-computation spatial
+/// access method whose join potential Rotem demonstrated (paper §2.2).
+/// Included as the non-hierarchical baseline to the generalization-tree
+/// strategies.
+///
+/// Linear scales partition each axis; the directory maps grid cells to
+/// bucket pages, several cells may share a bucket ("buddy" regions). An
+/// overflowing bucket shared by multiple cells is split by dividing its
+/// cell region; an overflowing single-cell bucket refines the finer axis
+/// scale (adding one boundary, i.e. one directory row/column). The
+/// two-disk-access principle holds: an exact-match query reads one
+/// directory entry (in memory here) and one bucket page.
+class GridFile {
+ public:
+  /// `world` bounds the indexed space; `bucket_capacity` of 0 derives the
+  /// per-page record capacity from the page size (24-byte records).
+  GridFile(BufferPool* pool, const Rectangle& world, int bucket_capacity = 0);
+
+  GridFile(const GridFile&) = delete;
+  GridFile& operator=(const GridFile&) = delete;
+
+  /// Inserts a point record. The point must lie inside the world.
+  void Insert(const Point& p, TupleId tid);
+
+  /// Removes one record with exactly this point and tid; false if absent.
+  bool Delete(const Point& p, TupleId tid);
+
+  /// Calls `fn(point, tid)` for every record inside `window`.
+  void Search(const Rectangle& window,
+              const std::function<void(const Point&, TupleId)>& fn) const;
+
+  /// All tuple ids inside `window`.
+  std::vector<TupleId> SearchTids(const Rectangle& window) const;
+
+  int64_t num_records() const { return num_records_; }
+  int64_t num_buckets() const { return num_buckets_; }
+  /// The indexed space.
+  const Rectangle& world() const { return world_; }
+  /// Directory extent (cells per axis).
+  int64_t directory_cells_x() const {
+    return static_cast<int64_t>(x_scale_.size()) + 1;
+  }
+  int64_t directory_cells_y() const {
+    return static_cast<int64_t>(y_scale_.size()) + 1;
+  }
+
+  /// Verifies directory/bucket consistency (every record in the bucket of
+  /// its cell, capacities respected). For tests.
+  void CheckInvariants() const;
+
+ private:
+  struct BucketRecord {
+    Point point;
+    TupleId tid = kInvalidTupleId;
+  };
+
+  // Directory accessors (row-major: x index + y index * cells_x).
+  PageId& DirAt(int64_t xi, int64_t yi);
+  PageId DirAt(int64_t xi, int64_t yi) const;
+
+  int64_t XIndexOf(double x) const;
+  int64_t YIndexOf(double y) const;
+
+  std::vector<BucketRecord> LoadBucket(PageId pid) const;
+  void StoreBucket(PageId pid, const std::vector<BucketRecord>& records);
+
+  // Splits the overflowing bucket holding cell (xi, yi); may refine a
+  // scale. Returns true if a split happened (insert retries after).
+  void SplitBucket(int64_t xi, int64_t yi);
+
+  // The set of directory cells currently sharing bucket `pid`.
+  std::vector<std::pair<int64_t, int64_t>> CellsOfBucket(PageId pid) const;
+
+  BufferPool* pool_;
+  Rectangle world_;
+  int bucket_capacity_;
+  // Interior boundaries per axis, sorted; cells are the gaps between
+  // -inf/world edges and boundaries.
+  std::vector<double> x_scale_;
+  std::vector<double> y_scale_;
+  std::vector<PageId> directory_;  // (x_scale+1) × (y_scale+1)
+  int64_t num_records_ = 0;
+  int64_t num_buckets_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_GRIDFILE_GRID_FILE_H_

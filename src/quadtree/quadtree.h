@@ -1,0 +1,103 @@
+#ifndef SPATIALJOIN_QUADTREE_QUADTREE_H_
+#define SPATIALJOIN_QUADTREE_QUADTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/gentree.h"
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// An MX-CIF-style quadtree over rectangles: every cell is a square
+/// region; each object lives at the *smallest* cell that fully contains
+/// its MBR; cells split lazily into four quadrants up to `max_depth`.
+///
+/// Like the R-tree, the quadtree is a generalization tree (paper §3.1):
+/// cells are technical objects nested by containment, the stored objects
+/// hang below the cell containing them, and dead space abounds — so the
+/// paper's SELECT and JOIN run on it unchanged through the
+/// GeneralizationTree interface this class implements directly. Unlike
+/// the R-tree, cell boundaries are fixed by space (not data), so large
+/// objects straddling quadrant seams stay high in the tree — the classic
+/// MX-CIF trade-off, observable in the join benches.
+///
+/// The structure is memory-resident; attaching a Relation makes
+/// `Geometry()` fetch object tuples from storage (counting I/O), the
+/// same discipline as MemoryGenTree.
+class QuadTree : public GeneralizationTree {
+ public:
+  /// `world` must be non-degenerate; objects must lie inside it.
+  explicit QuadTree(const Rectangle& world, int max_depth = 12);
+
+  QuadTree(const QuadTree&) = delete;
+  QuadTree& operator=(const QuadTree&) = delete;
+
+  /// Backs object geometry by `relation` (see class comment).
+  void AttachRelation(const Relation* relation, size_t column);
+
+  /// Inserts an object; returns its node id.
+  NodeId Insert(const Rectangle& mbr, TupleId tid);
+
+  /// Removes one object with exactly this (mbr, tid); false if absent.
+  bool Remove(const Rectangle& mbr, TupleId tid);
+
+  /// All objects whose MBR overlaps `window` (native window search).
+  std::vector<TupleId> SearchTids(const Rectangle& window) const;
+
+  int64_t num_objects() const { return num_objects_; }
+  int64_t num_cells() const { return num_cells_; }
+  int max_depth() const { return max_depth_; }
+
+  /// Structural invariants (objects inside their cells, cells nested,
+  /// object at the smallest containing cell). Aborts on violation.
+  void CheckInvariants() const;
+
+  // GeneralizationTree interface.
+  NodeId root() const override { return 0; }
+  int height() const override { return height_; }
+  int HeightOf(NodeId node) const override;
+  std::vector<NodeId> Children(NodeId node) const override;
+  Value Geometry(NodeId node) const override;
+  Rectangle MbrOf(NodeId node) const override;
+  bool IsApplicationNode(NodeId node) const override;
+  TupleId TupleOf(NodeId node) const override;
+  int64_t num_nodes() const override {
+    return static_cast<int64_t>(nodes_.size());
+  }
+
+ private:
+  struct Node {
+    bool is_object = false;
+    Rectangle rect;  // cell region, or the object's MBR
+    TupleId tid = kInvalidTupleId;
+    NodeId parent = kInvalidNodeId;
+    int depth = 0;  // cells: quadtree depth; objects: cell depth + 1
+    std::array<NodeId, 4> quadrants{kInvalidNodeId, kInvalidNodeId,
+                                    kInvalidNodeId, kInvalidNodeId};
+    std::vector<NodeId> objects;  // object nodes resident at this cell
+  };
+
+  const Node& NodeAt(NodeId id) const;
+  Node& MutableNodeAt(NodeId id);
+
+  // Quadrant q (0..3, z-order) of cell `rect`.
+  static Rectangle QuadrantRect(const Rectangle& rect, int q);
+
+  // Index of the quadrant of `cell` that fully contains `mbr`, or -1.
+  int FittingQuadrant(NodeId cell, const Rectangle& mbr) const;
+
+  std::vector<Node> nodes_;
+  int max_depth_;
+  int height_ = 0;
+  int64_t num_objects_ = 0;
+  int64_t num_cells_ = 0;
+  const Relation* relation_ = nullptr;
+  size_t column_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_QUADTREE_QUADTREE_H_

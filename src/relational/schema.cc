@@ -1,0 +1,64 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    SJ_CHECK_MSG(!columns_[i].name.empty(), "column " << i << " is unnamed");
+    for (size_t j = 0; j < i; ++j) {
+      SJ_CHECK_MSG(columns_[j].name != columns_[i].name,
+                   "duplicate column name " << columns_[i].name);
+    }
+  }
+}
+
+const Column& Schema::column(size_t i) const {
+  SJ_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::IsSpatial(size_t i) const {
+  ValueType t = column(i).type;
+  return t == ValueType::kPoint || t == ValueType::kRectangle ||
+         t == ValueType::kPolygon || t == ValueType::kPolyline;
+}
+
+int Schema::FirstSpatialColumn() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IsSpatial(i)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << " " << ValueTypeName(columns_[i].type);
+  }
+  return os.str();
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spatialjoin

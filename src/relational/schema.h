@@ -1,0 +1,51 @@
+#ifndef SPATIALJOIN_RELATIONAL_SCHEMA_H_
+#define SPATIALJOIN_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace spatialjoin {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered column list of a relation, e.g. the paper's running example
+/// house(hid INT64, hprice DOUBLE, hlocation POINT).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// True iff column `i` holds a spatial type (point/rectangle/polygon).
+  bool IsSpatial(size_t i) const;
+
+  /// Index of the first spatial column, or -1 when the schema has none.
+  int FirstSpatialColumn() const;
+
+  /// Renders "name TYPE, name TYPE, …".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,104 @@
+#include "rtree/rtree_gentree.h"
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+RTreeGenTree::RTreeGenTree(const RTree* rtree, const Relation* relation,
+                           size_t column)
+    : rtree_(rtree), relation_(relation), column_(column) {
+  SJ_CHECK(rtree != nullptr);
+  SJ_CHECK_MSG(rtree->max_entries() <= kMaxSlots,
+               "node fan-out exceeds the adapter's slot encoding");
+  if (relation_ != nullptr) {
+    SJ_CHECK_LT(column, relation_->schema().num_columns());
+    SJ_CHECK(relation_->schema().IsSpatial(column));
+  }
+}
+
+RTreeGenTree::Entry RTreeGenTree::Decode(NodeId id) {
+  SJ_CHECK_GT(id, 0);
+  int64_t v = id - 1;
+  Entry entry;
+  entry.page = v / kMaxSlots;
+  entry.slot = static_cast<int>(v % kMaxSlots);
+  return entry;
+}
+
+int RTreeGenTree::height() const {
+  // R-tree node levels run root=height-1 … leaf=0; data entries hang one
+  // below the leaves, so the generalization tree is one level deeper.
+  return rtree_->height();
+}
+
+int RTreeGenTree::HeightOf(NodeId node) const {
+  if (node == kRootId) return 0;
+  Entry e = Decode(node);
+  RTree::NodeView view = rtree_->ReadNode(e.page);
+  // An entry of a node at R-tree level L sits at depth root_level - L + 1.
+  return (rtree_->height() - 1) - view.level + 1;
+}
+
+std::vector<NodeId> RTreeGenTree::Children(NodeId node) const {
+  PageId page_to_expand;
+  if (node == kRootId) {
+    page_to_expand = rtree_->root_page();
+  } else {
+    Entry e = Decode(node);
+    RTree::NodeView view = rtree_->ReadNode(e.page);
+    SJ_CHECK_LT(static_cast<size_t>(e.slot), view.payloads.size());
+    if (view.is_leaf) return {};  // data entries are the leaves
+    page_to_expand = view.payloads[static_cast<size_t>(e.slot)];
+  }
+  RTree::NodeView child_view = rtree_->ReadNode(page_to_expand);
+  std::vector<NodeId> children;
+  children.reserve(child_view.payloads.size());
+  for (size_t i = 0; i < child_view.payloads.size(); ++i) {
+    children.push_back(Encode(page_to_expand, static_cast<int>(i)));
+  }
+  return children;
+}
+
+Value RTreeGenTree::Geometry(NodeId node) const {
+  if (node == kRootId) return Value(rtree_->RootMbr());
+  Entry e = Decode(node);
+  RTree::NodeView view = rtree_->ReadNode(e.page);
+  SJ_CHECK_LT(static_cast<size_t>(e.slot), view.payloads.size());
+  if (view.is_leaf && relation_ != nullptr) {
+    Tuple t =
+        relation_->Read(view.payloads[static_cast<size_t>(e.slot)]);
+    return t.value(column_);
+  }
+  return Value(view.mbrs[static_cast<size_t>(e.slot)]);
+}
+
+Rectangle RTreeGenTree::MbrOf(NodeId node) const {
+  if (node == kRootId) return rtree_->RootMbr();
+  Entry e = Decode(node);
+  RTree::NodeView view = rtree_->ReadNode(e.page);
+  SJ_CHECK_LT(static_cast<size_t>(e.slot), view.mbrs.size());
+  return view.mbrs[static_cast<size_t>(e.slot)];
+}
+
+bool RTreeGenTree::IsApplicationNode(NodeId node) const {
+  if (node == kRootId) return false;
+  Entry e = Decode(node);
+  RTree::NodeView view = rtree_->ReadNode(e.page);
+  return view.is_leaf;
+}
+
+TupleId RTreeGenTree::TupleOf(NodeId node) const {
+  if (node == kRootId) return kInvalidTupleId;
+  Entry e = Decode(node);
+  RTree::NodeView view = rtree_->ReadNode(e.page);
+  if (!view.is_leaf) return kInvalidTupleId;
+  SJ_CHECK_LT(static_cast<size_t>(e.slot), view.payloads.size());
+  return view.payloads[static_cast<size_t>(e.slot)];
+}
+
+int64_t RTreeGenTree::num_nodes() const {
+  // Synthetic root + one node per entry ≈ data entries + interior entries.
+  return 1 + rtree_->num_entries() + (rtree_->num_nodes() - 1);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,92 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  SJ_CHECK(disk != nullptr);
+  SJ_CHECK_GE(capacity_pages, 1);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+BufferPool::Frame& BufferPool::Touch(std::list<Frame>::iterator it) {
+  frames_.splice(frames_.begin(), frames_, it);
+  index_[frames_.front().id] = frames_.begin();
+  return frames_.front();
+}
+
+void BufferPool::EvictIfFull() {
+  while (static_cast<int64_t>(frames_.size()) >= capacity_) {
+    Frame& victim = frames_.back();
+    if (victim.dirty) disk_->WritePage(victim.id, victim.page);
+    index_.erase(victim.id);
+    frames_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+BufferPool::Frame& BufferPool::Fault(PageId id) {
+  EvictIfFull();
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.id = id;
+  disk_->ReadPage(id, &frame.page);
+  index_[id] = frames_.begin();
+  return frame;
+}
+
+const Page* BufferPool::GetPage(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    return &Touch(it->second).page;
+  }
+  ++stats_.misses;
+  return &Fault(id).page;
+}
+
+Page* BufferPool::GetMutablePage(PageId id) {
+  auto it = index_.find(id);
+  Frame* frame;
+  if (it != index_.end()) {
+    ++stats_.hits;
+    frame = &Touch(it->second);
+  } else {
+    ++stats_.misses;
+    frame = &Fault(id);
+  }
+  frame->dirty = true;
+  return &frame->page;
+}
+
+PageId BufferPool::NewPage() {
+  PageId id = disk_->AllocatePage();
+  EvictIfFull();
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.id = id;
+  frame.page = Page(disk_->page_size());
+  frame.dirty = true;
+  index_[id] = frames_.begin();
+  return id;
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      disk_->WritePage(frame.id, frame.page);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  FlushAll();
+  frames_.clear();
+  index_.clear();
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,86 @@
+#include "storage/disk_manager.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'S', 'J', 'D', 'I', 'S', 'K', '0',
+                                    '1'};
+
+}  // namespace
+
+DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {
+  SJ_CHECK_GE(page_size, 64u);
+}
+
+PageId DiskManager::AllocatePage() {
+  pages_.emplace_back(page_size_);
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size()) - 1;
+}
+
+void DiskManager::ReadPage(PageId id, Page* out) {
+  SJ_CHECK_GE(id, 0);
+  SJ_CHECK_LT(id, num_pages());
+  *out = pages_[static_cast<size_t>(id)];
+  ++stats_.page_reads;
+}
+
+void DiskManager::WritePage(PageId id, const Page& in) {
+  SJ_CHECK_GE(id, 0);
+  SJ_CHECK_LT(id, num_pages());
+  SJ_CHECK_EQ(in.size(), page_size_);
+  pages_[static_cast<size_t>(id)] = in;
+  ++stats_.page_writes;
+}
+
+bool DiskManager::SaveSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  uint64_t page_size = page_size_;
+  uint64_t page_count = pages_.size();
+  out.write(reinterpret_cast<const char*>(&page_size), sizeof(page_size));
+  out.write(reinterpret_cast<const char*>(&page_count),
+            sizeof(page_count));
+  for (const Page& page : pages_) {
+    out.write(reinterpret_cast<const char*>(page.bytes()),
+              static_cast<std::streamsize>(page.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+bool DiskManager::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return false;
+  }
+  uint64_t page_size = 0;
+  uint64_t page_count = 0;
+  in.read(reinterpret_cast<char*>(&page_size), sizeof(page_size));
+  in.read(reinterpret_cast<char*>(&page_count), sizeof(page_count));
+  if (!in || page_size != page_size_) return false;
+  std::vector<Page> pages;
+  pages.reserve(page_count);
+  for (uint64_t i = 0; i < page_count; ++i) {
+    Page page(page_size_);
+    in.read(reinterpret_cast<char*>(page.bytes()),
+            static_cast<std::streamsize>(page_size_));
+    if (!in) return false;
+    pages.push_back(std::move(page));
+  }
+  pages_ = std::move(pages);
+  stats_ = IoStats{};
+  return true;
+}
+
+}  // namespace spatialjoin

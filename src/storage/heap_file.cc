@@ -1,0 +1,65 @@
+#include "storage/heap_file.h"
+
+#include "common/check.h"
+#include "storage/slotted_page.h"
+
+namespace spatialjoin {
+
+HeapFile::HeapFile(BufferPool* pool) : pool_(pool) {
+  SJ_CHECK(pool != nullptr);
+}
+
+RecordId HeapFile::Insert(std::string_view record) {
+  SJ_CHECK_MSG(record.size() + 8 <= pool_->disk()->page_size(),
+               "record of " << record.size()
+                            << " bytes does not fit on a page");
+  if (!pages_.empty()) {
+    PageId last = pages_.back();
+    Page* page = pool_->GetMutablePage(last);
+    if (auto slot = slotted::Insert(page, record)) {
+      ++num_records_;
+      return RecordId{last, *slot};
+    }
+  }
+  PageId fresh = pool_->NewPage();
+  Page* page = pool_->GetMutablePage(fresh);
+  slotted::Init(page);
+  auto slot = slotted::Insert(page, record);
+  SJ_CHECK(slot.has_value());
+  pages_.push_back(fresh);
+  ++num_records_;
+  return RecordId{fresh, *slot};
+}
+
+bool HeapFile::Read(const RecordId& rid, std::string* out) {
+  SJ_CHECK(rid.is_valid());
+  const Page* page = pool_->GetPage(rid.page_id);
+  auto bytes = slotted::Read(*page, rid.slot);
+  if (!bytes.has_value()) return false;
+  out->assign(bytes->data(), bytes->size());
+  return true;
+}
+
+bool HeapFile::Delete(const RecordId& rid) {
+  SJ_CHECK(rid.is_valid());
+  Page* page = pool_->GetMutablePage(rid.page_id);
+  if (!slotted::Delete(page, rid.slot)) return false;
+  --num_records_;
+  return true;
+}
+
+void HeapFile::Scan(
+    const std::function<void(const RecordId&, std::string_view)>& fn) {
+  for (PageId pid : pages_) {
+    const Page* page = pool_->GetPage(pid);
+    uint16_t slots = slotted::NumSlots(*page);
+    for (uint16_t s = 0; s < slots; ++s) {
+      auto bytes = slotted::Read(*page, s);
+      if (bytes.has_value()) fn(RecordId{pid, s}, *bytes);
+      // Re-fetch in case `fn` touched the pool and invalidated the frame.
+      page = pool_->GetPage(pid);
+    }
+  }
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,55 @@
+#ifndef SPATIALJOIN_STORAGE_HEAP_FILE_H_
+#define SPATIALJOIN_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace spatialjoin {
+
+/// An unordered record file over slotted pages. This is the physical
+/// representation of an *unclustered* relation (the paper's strategy IIa
+/// setting: "no clustering at all … participating nodes are randomly
+/// distributed in the file containing the relation", §4.2).
+///
+/// The page directory is kept in memory (not on meta-pages); directory
+/// traffic is excluded from I/O counts just as the paper's model excludes
+/// catalog access.
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record, returns its id. Records larger than a page are a
+  /// checked error.
+  RecordId Insert(std::string_view record);
+
+  /// Copies the record into `out`; false if the record was deleted.
+  bool Read(const RecordId& rid, std::string* out);
+
+  /// Deletes a record; false if already gone.
+  bool Delete(const RecordId& rid);
+
+  /// Calls `fn(rid, bytes)` for every live record in file order.
+  void Scan(const std::function<void(const RecordId&,
+                                     std::string_view)>& fn);
+
+  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+  int64_t num_records() const { return num_records_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+ private:
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  int64_t num_records_ = 0;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,33 @@
+#ifndef SPATIALJOIN_STORAGE_IO_STATS_H_
+#define SPATIALJOIN_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spatialjoin {
+
+/// Counters for simulated disk traffic. The paper's cost unit charges
+/// C_IO = 1000·C_θ per page access (Table 3); benches combine these
+/// counters with comparison counts to produce paper-comparable costs.
+struct IoStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+  int64_t pages_allocated = 0;
+
+  int64_t total_io() const { return page_reads + page_writes; }
+
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{page_reads - o.page_reads, page_writes - o.page_writes,
+                   pages_allocated - o.pages_allocated};
+  }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(page_reads) +
+           " writes=" + std::to_string(page_writes) +
+           " allocated=" + std::to_string(pages_allocated);
+  }
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_STORAGE_IO_STATS_H_

@@ -1,0 +1,50 @@
+#ifndef SPATIALJOIN_STORAGE_PAGE_H_
+#define SPATIALJOIN_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Identifier of a disk page. Pages are numbered densely from 0 within one
+/// DiskManager.
+using PageId = int64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = -1;
+
+/// Raw page image. The default size follows the paper's Table 3 (s = 2000
+/// bytes); DiskManager instances may choose another size.
+struct Page {
+  std::vector<uint8_t> data;
+
+  explicit Page(size_t size) : data(size, 0) {}
+  Page() = default;
+
+  size_t size() const { return data.size(); }
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+};
+
+/// Location of a record inside a paged file: page + slot index.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool is_valid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator!=(const RecordId& a, const RecordId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const RecordId& a, const RecordId& b) {
+    if (a.page_id != b.page_id) return a.page_id < b.page_id;
+    return a.slot < b.slot;
+  }
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_STORAGE_PAGE_H_

@@ -1,0 +1,82 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+namespace slotted {
+
+namespace {
+
+constexpr size_t kHeaderSize = 4;   // num_slots + free_end
+constexpr size_t kSlotSize = 4;     // offset + length
+
+uint16_t LoadU16(const Page& page, size_t pos) {
+  uint16_t v;
+  std::memcpy(&v, page.bytes() + pos, sizeof(v));
+  return v;
+}
+
+void StoreU16(Page* page, size_t pos, uint16_t v) {
+  std::memcpy(page->bytes() + pos, &v, sizeof(v));
+}
+
+size_t SlotPos(uint16_t slot) { return kHeaderSize + kSlotSize * slot; }
+
+}  // namespace
+
+void Init(Page* page) {
+  SJ_CHECK(page != nullptr);
+  SJ_CHECK_GE(page->size(), 64u);
+  SJ_CHECK_LE(page->size(), 65535u);
+  StoreU16(page, 0, 0);                                   // num_slots
+  StoreU16(page, 2, static_cast<uint16_t>(page->size())); // free_end
+}
+
+uint16_t NumSlots(const Page& page) { return LoadU16(page, 0); }
+
+size_t FreeSpace(const Page& page) {
+  uint16_t num_slots = NumSlots(page);
+  uint16_t free_end = LoadU16(page, 2);
+  size_t slots_end = SlotPos(num_slots);
+  if (free_end < slots_end + kSlotSize) return 0;
+  return free_end - slots_end - kSlotSize;
+}
+
+std::optional<uint16_t> Insert(Page* page, std::string_view record) {
+  SJ_CHECK(page != nullptr);
+  if (record.size() > 65535u) return std::nullopt;
+  if (FreeSpace(*page) < record.size()) return std::nullopt;
+  uint16_t num_slots = NumSlots(*page);
+  uint16_t free_end = LoadU16(*page, 2);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page->bytes() + offset, record.data(), record.size());
+  StoreU16(page, SlotPos(num_slots), offset);
+  StoreU16(page, SlotPos(num_slots) + 2,
+           static_cast<uint16_t>(record.size()));
+  StoreU16(page, 0, static_cast<uint16_t>(num_slots + 1));
+  StoreU16(page, 2, offset);
+  return num_slots;
+}
+
+std::optional<std::string_view> Read(const Page& page, uint16_t slot) {
+  if (slot >= NumSlots(page)) return std::nullopt;
+  uint16_t offset = LoadU16(page, SlotPos(slot));
+  uint16_t length = LoadU16(page, SlotPos(slot) + 2);
+  if (offset == 0) return std::nullopt;  // deleted
+  return std::string_view(
+      reinterpret_cast<const char*>(page.bytes()) + offset, length);
+}
+
+bool Delete(Page* page, uint16_t slot) {
+  SJ_CHECK(page != nullptr);
+  if (slot >= NumSlots(*page)) return false;
+  if (LoadU16(*page, SlotPos(slot)) == 0) return false;
+  StoreU16(page, SlotPos(slot), 0);
+  StoreU16(page, SlotPos(slot) + 2, 0);
+  return true;
+}
+
+}  // namespace slotted
+}  // namespace spatialjoin

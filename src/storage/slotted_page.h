@@ -1,0 +1,48 @@
+#ifndef SPATIALJOIN_STORAGE_SLOTTED_PAGE_H_
+#define SPATIALJOIN_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "storage/page.h"
+
+namespace spatialjoin {
+
+/// Classic slotted-page layout over a raw Page:
+///
+///   [num_slots:u16][free_end:u16][slot 0][slot 1]…        records grow ←
+///   each slot: [offset:u16][length:u16]; a deleted slot has offset 0.
+///
+/// Records are byte strings up to page_size − 8 bytes. All functions are
+/// free functions so the same code path serves buffer-pool frames and
+/// privately held pages.
+namespace slotted {
+
+/// Formats an empty slotted page in place.
+void Init(Page* page);
+
+/// Number of slots ever allocated on the page (including deleted ones).
+uint16_t NumSlots(const Page& page);
+
+/// Bytes still available for one more record (slot entry included).
+size_t FreeSpace(const Page& page);
+
+/// Appends a record; returns its slot, or nullopt if it does not fit.
+std::optional<uint16_t> Insert(Page* page, std::string_view record);
+
+/// Returns the record bytes in `slot`, or nullopt if the slot is deleted
+/// or out of range. The view points into `page` and is invalidated by any
+/// mutation of the page.
+std::optional<std::string_view> Read(const Page& page, uint16_t slot);
+
+/// Marks `slot` deleted. Space is not reclaimed (records in this engine
+/// are bulk-loaded and rarely deleted); returns false if already deleted
+/// or out of range.
+bool Delete(Page* page, uint16_t slot);
+
+}  // namespace slotted
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_STORAGE_SLOTTED_PAGE_H_

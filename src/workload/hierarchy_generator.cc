@@ -1,0 +1,108 @@
+#include "workload/hierarchy_generator.h"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+struct ProtoNode {
+  int64_t parent = -1;  // index in BFS order
+  Rectangle rect;
+  int height = 0;
+};
+
+// Splits `parent` into a near-square grid of `fanout` cells, each shrunk
+// around its center.
+std::vector<Rectangle> SplitCell(const Rectangle& parent, int fanout,
+                                 double shrink) {
+  int cols = static_cast<int>(std::ceil(std::sqrt(fanout)));
+  int rows = (fanout + cols - 1) / cols;
+  double cell_w = parent.width() / cols;
+  double cell_h = parent.height() / rows;
+  std::vector<Rectangle> cells;
+  cells.reserve(static_cast<size_t>(fanout));
+  for (int i = 0; i < fanout; ++i) {
+    int cx = i % cols;
+    int cy = i / cols;
+    double x0 = parent.min_x() + cell_w * cx;
+    double y0 = parent.min_y() + cell_h * cy;
+    double margin_w = cell_w * (1.0 - shrink) / 2.0;
+    double margin_h = cell_h * (1.0 - shrink) / 2.0;
+    cells.emplace_back(x0 + margin_w, y0 + margin_h,
+                       x0 + cell_w - margin_w, y0 + cell_h - margin_h);
+  }
+  return cells;
+}
+
+}  // namespace
+
+GeneratedHierarchy GenerateHierarchy(const Rectangle& world,
+                                     const HierarchyOptions& options,
+                                     BufferPool* pool, RelationLayout layout,
+                                     size_t pad_tuples_to,
+                                     bool shuffle_storage_order) {
+  SJ_CHECK(!world.is_empty());
+  SJ_CHECK_GE(options.height, 1);
+  SJ_CHECK_GE(options.fanout, 2);
+  SJ_CHECK(options.shrink > 0.0 && options.shrink <= 1.0);
+
+  // Lay out the balanced k-ary tree in BFS order.
+  std::vector<ProtoNode> nodes;
+  nodes.push_back(ProtoNode{-1, world, 0});
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].height >= options.height) continue;
+    std::vector<Rectangle> cells =
+        SplitCell(nodes[i].rect, options.fanout, options.shrink);
+    for (const Rectangle& cell : cells) {
+      nodes.push_back(ProtoNode{static_cast<int64_t>(i), cell,
+                                nodes[i].height + 1});
+    }
+  }
+
+  GeneratedHierarchy out;
+  Schema schema({{"id", ValueType::kInt64},
+                 {"label", ValueType::kString},
+                 {"area", ValueType::kRectangle}});
+  out.relation = std::make_unique<Relation>(
+      "hierarchy", schema, pool, layout, pad_tuples_to);
+
+  // Storage order: BFS (the paper's clustered order) or a deterministic
+  // shuffle (strategy IIa's "randomly distributed in the file").
+  std::vector<int64_t> storage_order(nodes.size());
+  std::iota(storage_order.begin(), storage_order.end(), 0);
+  if (shuffle_storage_order) {
+    Rng rng(options.seed);
+    rng.Shuffle(storage_order);
+  }
+  std::vector<TupleId> tid_of(nodes.size(), kInvalidTupleId);
+  for (int64_t node_idx : storage_order) {
+    const ProtoNode& node = nodes[static_cast<size_t>(node_idx)];
+    std::string label = "node-" + std::to_string(node_idx) + "-h" +
+                        std::to_string(node.height);
+    Tuple tuple({Value(static_cast<int64_t>(node_idx)), Value(label),
+                 Value(node.rect)});
+    tid_of[static_cast<size_t>(node_idx)] = out.relation->Insert(tuple);
+  }
+
+  // Build the generalization tree (BFS order keeps parents before
+  // children) and back it by the relation.
+  out.tree = std::make_unique<MemoryGenTree>();
+  std::vector<NodeId> tree_id(nodes.size(), kInvalidNodeId);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId parent = nodes[i].parent < 0
+                        ? kInvalidNodeId
+                        : tree_id[static_cast<size_t>(nodes[i].parent)];
+    tree_id[i] = out.tree->AddNode(parent, Value(nodes[i].rect), tid_of[i],
+                                   "node-" + std::to_string(i));
+  }
+  out.tree->AttachRelation(out.relation.get(), out.spatial_column);
+  return out;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,51 @@
+#ifndef SPATIALJOIN_WORKLOAD_HIERARCHY_GENERATOR_H_
+#define SPATIALJOIN_WORKLOAD_HIERARCHY_GENERATOR_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/memory_gentree.h"
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+
+/// Parameters for a synthetic cartographic hierarchy (paper Fig. 3 /
+/// model assumptions S1–S2: a balanced k-ary tree of height n where every
+/// node is an application object).
+struct HierarchyOptions {
+  int height = 3;   ///< the model's n (root at 0)
+  int fanout = 4;   ///< the model's k
+  /// Each child rectangle is the parent cell scaled by this factor around
+  /// its center, creating the dead space real hierarchies have. 1.0 tiles
+  /// the parent exactly.
+  double shrink = 0.9;
+  uint64_t seed = 42;
+};
+
+/// A generated hierarchy: the relation storing one tuple per node
+/// (columns: id INT64, label STRING, area RECTANGLE) plus the
+/// generalization tree over it (attached, so Geometry() pays tuple I/O).
+struct GeneratedHierarchy {
+  std::unique_ptr<Relation> relation;
+  std::unique_ptr<MemoryGenTree> tree;
+  /// Column of the spatial attribute in `relation`.
+  size_t spatial_column = 2;
+};
+
+/// Builds a balanced k-ary hierarchy of nested rectangles over `world`.
+/// Children split their parent's cell in a near-square grid and shrink by
+/// `options.shrink`. Tuples are inserted in breadth-first tree order, so
+/// with RelationLayout::kClustered the physical layout is exactly the
+/// paper's strategy-IIb clustering; kHeap gives IIa after shuffling is
+/// not needed (heap order is BFS too, so IIa uses a shuffled insertion —
+/// see `shuffle_storage_order`).
+GeneratedHierarchy GenerateHierarchy(const Rectangle& world,
+                                     const HierarchyOptions& options,
+                                     BufferPool* pool, RelationLayout layout,
+                                     size_t pad_tuples_to = 0,
+                                     bool shuffle_storage_order = false);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_WORKLOAD_HIERARCHY_GENERATOR_H_

@@ -1,0 +1,62 @@
+#ifndef SPATIALJOIN_WORKLOAD_MODEL_SIMULATOR_H_
+#define SPATIALJOIN_WORKLOAD_MODEL_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "costmodel/distributions.h"
+#include "costmodel/parameters.h"
+
+namespace spatialjoin {
+
+/// Monte-Carlo validation of the analytical cost model (experiment E1):
+/// runs Algorithm SELECT / the JOIN worklist process on a *virtual*
+/// balanced k-ary tree whose Θ-oracle draws matches at exactly the
+/// marginal probabilities π_{h,i} of the chosen distribution.
+///
+/// Draws are hierarchically coupled — a node can only Θ-match if its
+/// parent did, with conditional probability π_{h,i}/π_{h,i−1} — which is
+/// the coupling under which the paper's level-by-level expectations
+/// (π_{h,i}·k^{i+1} nodes examined at height i+1) are exact: for real,
+/// containment-monotone Θ operators a match implies all ancestors match,
+/// so every matching node is reached by the traversal. Means over seeds
+/// therefore converge to the closed-form predictions.
+
+/// Counters from one simulated spatial selection.
+struct SimulatedSelect {
+  /// Nodes examined (= Θ evaluations), including the root.
+  int64_t nodes_examined = 0;
+  /// Θ-matching nodes.
+  int64_t matches = 0;
+  /// Distinct data pages touched, unclustered placement (per-level
+  /// distinct counts summed, matching the model's per-level Yao sum;
+  /// root excluded — it is pinned in memory).
+  int64_t pages_unclustered = 0;
+  /// Fetches with breadth-first clustering, in the model's unit: one
+  /// k-sibling "record" per matching parent (paper §4.3).
+  int64_t pages_clustered = 0;
+};
+
+/// Simulates one SELECT with the given parameters, distribution, and
+/// seed. The selector sits at height params.h of its own tree (leftmost
+/// branch), as in the study.
+SimulatedSelect SimulateSelect(const ModelParameters& params,
+                               MatchDistribution dist, uint64_t seed);
+
+/// Counters from one simulated general-join computation (computation
+/// cost only; the I/O model reuses the SELECT machinery).
+struct SimulatedJoin {
+  /// Pairs that entered the QualPairs worklists.
+  int64_t qual_pairs = 0;
+  /// Total Θ/θ evaluations across JOIN2/JOIN3/JOIN4 (the model's D_II^Θ
+  /// in units of C_θ).
+  int64_t theta_evaluations = 0;
+};
+
+/// Simulates the JOIN worklist process. Intended for scaled-down
+/// parameters (e.g. n = 3, k = 4): the pair population grows as k^{2i}.
+SimulatedJoin SimulateJoin(const ModelParameters& params,
+                           MatchDistribution dist, uint64_t seed);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_WORKLOAD_MODEL_SIMULATOR_H_

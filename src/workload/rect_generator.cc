@@ -1,0 +1,89 @@
+#include "workload/rect_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+RectGenerator::RectGenerator(const Rectangle& world, uint64_t seed)
+    : world_(world), rng_(seed) {
+  SJ_CHECK(!world.is_empty());
+  SJ_CHECK(world.width() > 0 && world.height() > 0);
+}
+
+Point RectGenerator::NextPoint() {
+  return Point(rng_.NextDouble(world_.min_x(), world_.max_x()),
+               rng_.NextDouble(world_.min_y(), world_.max_y()));
+}
+
+Rectangle RectGenerator::NextRect(double min_extent, double max_extent) {
+  SJ_CHECK(0 <= min_extent && min_extent <= max_extent);
+  double w = rng_.NextDouble(min_extent, max_extent);
+  double h = rng_.NextDouble(min_extent, max_extent);
+  w = std::min(w, world_.width());
+  h = std::min(h, world_.height());
+  double x = rng_.NextDouble(world_.min_x(), world_.max_x() - w);
+  double y = rng_.NextDouble(world_.min_y(), world_.max_y() - h);
+  return Rectangle(x, y, x + w, y + h);
+}
+
+Polygon RectGenerator::NextPolygon(double min_radius, double max_radius,
+                                   int num_vertices) {
+  SJ_CHECK(0 < min_radius && min_radius <= max_radius);
+  SJ_CHECK_GE(num_vertices, 3);
+  // Keep the whole disk inside the world.
+  Point center(
+      rng_.NextDouble(world_.min_x() + max_radius,
+                      world_.max_x() - max_radius),
+      rng_.NextDouble(world_.min_y() + max_radius,
+                      world_.max_y() - max_radius));
+  std::vector<Point> ring;
+  ring.reserve(static_cast<size_t>(num_vertices));
+  for (int i = 0; i < num_vertices; ++i) {
+    double angle = 2.0 * M_PI * static_cast<double>(i) /
+                   static_cast<double>(num_vertices);
+    double radius = rng_.NextDouble(min_radius, max_radius);
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(std::move(ring));
+}
+
+std::vector<Rectangle> RectGenerator::Rects(int count, double min_extent,
+                                            double max_extent) {
+  std::vector<Rectangle> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(NextRect(min_extent,
+                                                         max_extent));
+  return out;
+}
+
+std::vector<Point> RectGenerator::Points(int count) {
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(NextPoint());
+  return out;
+}
+
+std::vector<Point> RectGenerator::ClusteredPoints(int count,
+                                                  int cluster_count,
+                                                  double cluster_sigma) {
+  SJ_CHECK_GE(cluster_count, 1);
+  SJ_CHECK_GT(cluster_sigma, 0.0);
+  std::vector<Point> centers = Points(cluster_count);
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(out.size()) < count) {
+    const Point& c =
+        centers[static_cast<size_t>(rng_.NextUint64(
+            static_cast<uint64_t>(cluster_count)))];
+    Point p(c.x + rng_.NextGaussian() * cluster_sigma,
+            c.y + rng_.NextGaussian() * cluster_sigma);
+    if (world_.ContainsPoint(p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace spatialjoin

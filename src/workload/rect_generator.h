@@ -1,0 +1,54 @@
+#ifndef SPATIALJOIN_WORKLOAD_RECT_GENERATOR_H_
+#define SPATIALJOIN_WORKLOAD_RECT_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/rectangle.h"
+
+namespace spatialjoin {
+
+/// Synthetic spatial data for the empirical experiments: uniformly placed
+/// rectangles, points, and simple polygons inside a world rectangle.
+/// Extent parameters control selectivity (bigger objects ⇒ more overlap
+/// matches).
+class RectGenerator {
+ public:
+  RectGenerator(const Rectangle& world, uint64_t seed);
+
+  const Rectangle& world() const { return world_; }
+
+  /// A random point uniform in the world.
+  Point NextPoint();
+
+  /// A random rectangle with side lengths uniform in
+  /// [min_extent, max_extent], clipped to stay inside the world.
+  Rectangle NextRect(double min_extent, double max_extent);
+
+  /// A random convex polygon: a regular n-gon with per-vertex radius
+  /// jitter (stays simple because vertices keep their angular order).
+  Polygon NextPolygon(double min_radius, double max_radius,
+                      int num_vertices);
+
+  /// `count` rectangles at once.
+  std::vector<Rectangle> Rects(int count, double min_extent,
+                               double max_extent);
+
+  /// `count` points at once.
+  std::vector<Point> Points(int count);
+
+  /// A point set with `cluster_count` Gaussian clusters (for skewed-data
+  /// experiments); points falling outside the world are re-drawn.
+  std::vector<Point> ClusteredPoints(int count, int cluster_count,
+                                     double cluster_sigma);
+
+ private:
+  Rectangle world_;
+  Rng rng_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_WORKLOAD_RECT_GENERATOR_H_

@@ -1,0 +1,66 @@
+#include "workload/scenario_houses_lakes.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+
+Rectangle HousesLakesWorld(const HousesLakesOptions& options) {
+  return Rectangle(0, 0, options.world_km, options.world_km);
+}
+
+HousesLakesScenario GenerateHousesLakes(const HousesLakesOptions& options,
+                                        BufferPool* pool) {
+  SJ_CHECK_GE(options.num_houses, 1);
+  SJ_CHECK_GE(options.num_lakes, 1);
+  Rectangle world = HousesLakesWorld(options);
+  RectGenerator gen(world, options.seed);
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  HousesLakesScenario scenario;
+  Schema lake_schema({{"lid", ValueType::kInt64},
+                      {"name", ValueType::kString},
+                      {"larea", ValueType::kPolygon}});
+  scenario.lakes = std::make_unique<Relation>("lake", lake_schema, pool);
+  std::vector<Polygon> lake_shapes;
+  for (int i = 0; i < options.num_lakes; ++i) {
+    Polygon shape = gen.NextPolygon(options.lake_min_radius,
+                                    options.lake_max_radius,
+                                    options.lake_vertices);
+    lake_shapes.push_back(shape);
+    Tuple tuple({Value(static_cast<int64_t>(i)),
+                 Value("lake-" + std::to_string(i)), Value(shape)});
+    scenario.lakes->Insert(tuple);
+  }
+
+  Schema house_schema({{"hid", ValueType::kInt64},
+                       {"hprice", ValueType::kDouble},
+                       {"hlocation", ValueType::kPoint}});
+  scenario.houses = std::make_unique<Relation>("house", house_schema, pool);
+  for (int i = 0; i < options.num_houses; ++i) {
+    Point location;
+    if (rng.NextBernoulli(2.0 / 3.0)) {
+      // Lakeside house: Gaussian scatter around a lake centroid.
+      const Polygon& lake = lake_shapes[static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(options.num_lakes)))];
+      Point c = lake.Centroid();
+      double sigma = options.lake_max_radius;
+      do {
+        location = Point(c.x + rng.NextGaussian() * sigma,
+                         c.y + rng.NextGaussian() * sigma);
+      } while (!world.ContainsPoint(location));
+    } else {
+      location = gen.NextPoint();
+    }
+    double price = 100000.0 + rng.NextDouble() * 900000.0;
+    Tuple tuple({Value(static_cast<int64_t>(i)), Value(price),
+                 Value(location)});
+    scenario.houses->Insert(tuple);
+  }
+  return scenario;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,45 @@
+#ifndef SPATIALJOIN_WORKLOAD_SCENARIO_HOUSES_LAKES_H_
+#define SPATIALJOIN_WORKLOAD_SCENARIO_HOUSES_LAKES_H_
+
+#include <memory>
+
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+
+namespace spatialjoin {
+
+/// The paper's running example (§1, §2.2):
+///   house(hid INT64, hprice DOUBLE, hlocation POINT)
+///   lake(lid INT64, name STRING, larea POLYGON)
+/// and the query "find all houses within 10 kilometers from a lake".
+struct HousesLakesScenario {
+  std::unique_ptr<Relation> houses;
+  std::unique_ptr<Relation> lakes;
+  size_t house_location_column = 2;
+  size_t lake_area_column = 2;
+};
+
+/// Options for the generator. Coordinates are in kilometers.
+struct HousesLakesOptions {
+  int num_houses = 2000;
+  int num_lakes = 50;
+  double world_km = 200.0;       ///< square world side length
+  double lake_min_radius = 1.0;  ///< km
+  double lake_max_radius = 8.0;  ///< km
+  int lake_vertices = 12;
+  uint64_t seed = 7;
+};
+
+/// Generates the scenario: houses cluster around lakes (two thirds) and
+/// scatter uniformly elsewhere (one third), so distance joins have
+/// realistic locality.
+HousesLakesScenario GenerateHousesLakes(const HousesLakesOptions& options,
+                                        BufferPool* pool);
+
+/// The world rectangle of a scenario generated with `options`.
+Rectangle HousesLakesWorld(const HousesLakesOptions& options);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_WORKLOAD_SCENARIO_HOUSES_LAKES_H_

@@ -1,0 +1,94 @@
+#include "workload/scenario_roads_towns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace spatialjoin {
+
+Rectangle RoadsTownsWorld(const RoadsTownsOptions& options) {
+  return Rectangle(0, 0, options.world_km, options.world_km);
+}
+
+RoadsTownsScenario GenerateRoadsTowns(const RoadsTownsOptions& options,
+                                      BufferPool* pool) {
+  SJ_CHECK_GE(options.num_roads, 1);
+  SJ_CHECK_GE(options.num_towns, 1);
+  SJ_CHECK_GE(options.road_waypoints, 2);
+  Rectangle world = RoadsTownsWorld(options);
+  Rng rng(options.seed);
+
+  RoadsTownsScenario scenario;
+  Schema road_schema({{"rid", ValueType::kInt64},
+                      {"name", ValueType::kString},
+                      {"course", ValueType::kPolyline}});
+  scenario.roads = std::make_unique<Relation>("road", road_schema, pool);
+
+  std::vector<Polyline> courses;
+  for (int i = 0; i < options.num_roads; ++i) {
+    // Random walk with momentum: heading drifts, steps clamp into the
+    // world so the polyline never escapes.
+    Point position(rng.NextDouble(world.min_x(), world.max_x()),
+                   rng.NextDouble(world.min_y(), world.max_y()));
+    double heading = rng.NextDouble(0, 2.0 * M_PI);
+    std::vector<Point> waypoints{position};
+    for (int w = 1; w < options.road_waypoints; ++w) {
+      heading += rng.NextGaussian() * 0.5;
+      position.x += options.road_step_km * std::cos(heading);
+      position.y += options.road_step_km * std::sin(heading);
+      position.x = Clamp(position.x, world.min_x(), world.max_x());
+      position.y = Clamp(position.y, world.min_y(), world.max_y());
+      // Clamping can create zero-length steps; nudge to keep the
+      // polyline simple enough for distance computations.
+      if (position == waypoints.back()) {
+        heading += M_PI / 2.0;
+        continue;
+      }
+      waypoints.push_back(position);
+    }
+    if (waypoints.size() < 2) {
+      waypoints.push_back(Point(waypoints[0].x + 1.0, waypoints[0].y));
+    }
+    Polyline course(waypoints);
+    courses.push_back(course);
+    scenario.roads->Insert(Tuple({Value(static_cast<int64_t>(i)),
+                                  Value("road-" + std::to_string(i)),
+                                  Value(course)}));
+  }
+
+  Schema town_schema({{"tid", ValueType::kInt64},
+                      {"name", ValueType::kString},
+                      {"area", ValueType::kRectangle}});
+  scenario.towns = std::make_unique<Relation>("town", town_schema, pool);
+  for (int i = 0; i < options.num_towns; ++i) {
+    double side = rng.NextDouble(options.town_min_km, options.town_max_km);
+    Point center;
+    if (rng.NextBernoulli(options.roadside_fraction)) {
+      const Polyline& road = courses[static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(courses.size())))];
+      const auto& vs = road.vertices();
+      const Point& anchor = vs[static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(vs.size())))];
+      center = Point(anchor.x + rng.NextGaussian() * 4.0,
+                     anchor.y + rng.NextGaussian() * 4.0);
+    } else {
+      center = Point(rng.NextDouble(world.min_x(), world.max_x()),
+                     rng.NextDouble(world.min_y(), world.max_y()));
+    }
+    double half = side / 2.0;
+    double x0 = Clamp(center.x - half, world.min_x(), world.max_x() - side);
+    double y0 = Clamp(center.y - half, world.min_y(), world.max_y() - side);
+    Rectangle area(x0, y0, x0 + side, y0 + side);
+    scenario.towns->Insert(Tuple({Value(static_cast<int64_t>(i)),
+                                  Value("town-" + std::to_string(i)),
+                                  Value(area)}));
+  }
+  return scenario;
+}
+
+}  // namespace spatialjoin

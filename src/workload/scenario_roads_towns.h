@@ -1,0 +1,52 @@
+#ifndef SPATIALJOIN_WORKLOAD_SCENARIO_ROADS_TOWNS_H_
+#define SPATIALJOIN_WORKLOAD_SCENARIO_ROADS_TOWNS_H_
+
+#include <memory>
+
+#include "geometry/polyline.h"
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+
+namespace spatialjoin {
+
+/// A second end-to-end scenario exercising curve geometry (the paper's
+/// "lines … and curves" data types):
+///   road(rid INT64, name STRING, course POLYLINE)
+///   town(tid INT64, name STRING, area RECTANGLE)
+/// with queries like "towns crossed by a road" (overlaps) and "towns
+/// reachable from road X in t minutes" (the Table-1 buffer operator).
+struct RoadsTownsScenario {
+  std::unique_ptr<Relation> roads;
+  std::unique_ptr<Relation> towns;
+  size_t road_course_column = 2;
+  size_t town_area_column = 2;
+};
+
+struct RoadsTownsOptions {
+  int num_roads = 30;
+  int num_towns = 200;
+  double world_km = 300.0;
+  /// Roads are random walks with this many waypoints.
+  int road_waypoints = 12;
+  /// Step length between waypoints (km).
+  double road_step_km = 25.0;
+  /// Town square side lengths (km).
+  double town_min_km = 1.0;
+  double town_max_km = 6.0;
+  /// Fraction of towns snapped near a road (the rest scatter uniformly).
+  double roadside_fraction = 0.6;
+  uint64_t seed = 17;
+};
+
+/// Generates the scenario; roadside towns cluster within a few km of a
+/// road waypoint so distance/overlap joins have realistic locality.
+RoadsTownsScenario GenerateRoadsTowns(const RoadsTownsOptions& options,
+                                      BufferPool* pool);
+
+/// The world rectangle of a scenario generated with `options`.
+Rectangle RoadsTownsWorld(const RoadsTownsOptions& options);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_WORKLOAD_SCENARIO_ROADS_TOWNS_H_

@@ -1,0 +1,65 @@
+#include "zorder/hilbert.h"
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// One Gray-code rotation step of the classic Hilbert transform.
+void Rotate(uint32_t side, uint32_t* x, uint32_t* y, uint32_t rx,
+            uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = side - 1 - *x;
+      *y = side - 1 - *y;
+    }
+    uint32_t tmp = *x;
+    *x = *y;
+    *y = tmp;
+  }
+}
+
+}  // namespace
+
+uint64_t XYToHilbert(uint32_t x, uint32_t y, int order) {
+  SJ_CHECK_GE(order, 1);
+  SJ_CHECK_LE(order, 31);
+  SJ_CHECK_LT(x, uint32_t{1} << order);
+  SJ_CHECK_LT(y, uint32_t{1} << order);
+  uint64_t d = 0;
+  for (uint32_t s = uint32_t{1} << (order - 1); s > 0; s /= 2) {
+    uint32_t rx = (x & s) > 0 ? 1 : 0;
+    uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertToXY(uint64_t d, int order, uint32_t* x, uint32_t* y) {
+  SJ_CHECK_GE(order, 1);
+  SJ_CHECK_LE(order, 31);
+  SJ_CHECK_LT(d, uint64_t{1} << (2 * order));
+  uint32_t rx, ry;
+  uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (uint32_t s = 1; s < (uint32_t{1} << order); s *= 2) {
+    rx = static_cast<uint32_t>(1 & (t / 2));
+    ry = static_cast<uint32_t>(1 & (t ^ rx));
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint64_t HilbertValueOf(const ZGrid& grid, const Point& p) {
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  grid.CellCoords(p, &cx, &cy);
+  return XYToHilbert(cx, cy, ZCell::kMaxLevel);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,30 @@
+#ifndef SPATIALJOIN_ZORDER_HILBERT_H_
+#define SPATIALJOIN_ZORDER_HILBERT_H_
+
+#include <cstdint>
+
+#include "geometry/point.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+
+/// Hilbert curve encoding — the other classic space-filling total order.
+/// The paper's §2.2 argument is order-agnostic ("similar examples can be
+/// constructed for any other spatial ordering"): Hilbert has better
+/// locality than z-order (every curve step is a unit step in space) yet
+/// still cannot preserve proximity globally; the tests demonstrate both
+/// facts.
+
+/// Maps grid coordinates (x, y) in [0, 2^order) to the Hilbert index.
+uint64_t XYToHilbert(uint32_t x, uint32_t y, int order);
+
+/// Inverse of XYToHilbert.
+void HilbertToXY(uint64_t d, int order, uint32_t* x, uint32_t* y);
+
+/// Hilbert index of the grid cell of `p` under `grid`'s discretization
+/// (order = ZCell::kMaxLevel, matching ZGrid::ZValueOf's resolution).
+uint64_t HilbertValueOf(const ZGrid& grid, const Point& p);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_ZORDER_HILBERT_H_

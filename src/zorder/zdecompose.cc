@@ -1,0 +1,83 @@
+#include "zorder/zdecompose.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Quadtree cells are half-open: [x0, x1) × [y0, y1). A cell participates
+// only if its open interior meets the query rectangle; otherwise exact
+// power-of-two rectangles would drag in all their boundary neighbors.
+// Degenerate (zero-extent) query axes fall back to closed comparison.
+bool CellOverlaps(const Rectangle& cell, const Rectangle& query) {
+  bool x_ok = query.width() == 0.0
+                  ? (cell.min_x() <= query.max_x() &&
+                     query.min_x() < cell.max_x())
+                  : (cell.min_x() < query.max_x() &&
+                     query.min_x() < cell.max_x());
+  bool y_ok = query.height() == 0.0
+                  ? (cell.min_y() <= query.max_y() &&
+                     query.min_y() < cell.max_y())
+                  : (cell.min_y() < query.max_y() &&
+                     query.min_y() < cell.max_y());
+  return x_ok && y_ok;
+}
+
+}  // namespace
+
+std::vector<ZCell> DecomposeRectangle(const Rectangle& r, const ZGrid& grid,
+                                      const ZDecomposeOptions& options) {
+  SJ_CHECK(!r.is_empty());
+  SJ_CHECK_GE(options.max_level, 0);
+  SJ_CHECK_LE(options.max_level, ZCell::kMaxLevel);
+  SJ_CHECK_GE(options.max_cells, 1);
+
+  // Clip to the world; everything outside maps to boundary cells anyway.
+  Rectangle clipped = r.Intersection(grid.world());
+  if (clipped.is_empty()) {
+    // Degenerate: the object lies entirely outside the indexed world.
+    // Cover it with the boundary cell nearest to it.
+    ZCell cell = grid.CellOf(Point(r.Center()));
+    cell.level = options.max_level;
+    // Re-derive the prefix at the coarser level by masking.
+    uint64_t size = uint64_t{1} << (2 * (ZCell::kMaxLevel - cell.level));
+    cell.prefix -= cell.prefix % size;
+    return {cell};
+  }
+
+  std::vector<ZCell> result;
+  std::deque<ZCell> frontier;
+  frontier.push_back(ZCell{});  // root cell: whole world
+
+  while (!frontier.empty()) {
+    ZCell cell = frontier.front();
+    frontier.pop_front();
+    Rectangle cell_rect = grid.CellRect(cell);
+    if (!CellOverlaps(cell_rect, clipped)) continue;
+    bool at_limit =
+        cell.level >= options.max_level ||
+        static_cast<int>(result.size() + frontier.size()) + 1 >=
+            options.max_cells;
+    if (at_limit || clipped.Contains(cell_rect)) {
+      result.push_back(cell);
+      continue;
+    }
+    for (int q = 0; q < 4; ++q) frontier.push_back(cell.Child(q));
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const ZCell& a, const ZCell& b) {
+              if (a.interval_lo() != b.interval_lo()) {
+                return a.interval_lo() < b.interval_lo();
+              }
+              return a.level < b.level;
+            });
+  SJ_CHECK(!result.empty());
+  return result;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,35 @@
+#ifndef SPATIALJOIN_ZORDER_ZDECOMPOSE_H_
+#define SPATIALJOIN_ZORDER_ZDECOMPOSE_H_
+
+#include <vector>
+
+#include "geometry/rectangle.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+
+/// Options controlling the quadtree decomposition of an object's MBR into
+/// z-cells (Orenstein-style redundant decomposition).
+struct ZDecomposeOptions {
+  /// Do not subdivide beyond this quadtree level.
+  int max_level = 10;
+  /// Stop refining once this many cells have been produced; remaining
+  /// frontier cells are emitted unrefined (conservative covering).
+  int max_cells = 16;
+};
+
+/// Decomposes rectangle `r` into a small set of quadtree cells that
+/// together cover it. Cells are maximal: a cell fully inside `r` is not
+/// subdivided. The result is sorted by z-interval start and the cells'
+/// intervals are pairwise disjoint.
+///
+/// Two objects' MBRs overlap ⇒ their cell sets contain at least one pair of
+/// cells whose z-intervals nest (ancestor/descendant in the quadtree) — the
+/// property the sort-merge join relies on. As the paper notes, an overlap
+/// may be reported once per shared cell; callers deduplicate.
+std::vector<ZCell> DecomposeRectangle(const Rectangle& r, const ZGrid& grid,
+                                      const ZDecomposeOptions& options = {});
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_ZORDER_ZDECOMPOSE_H_

@@ -1,0 +1,106 @@
+#include "zorder/zorder.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Spreads the low 32 bits of v so bit i moves to position 2i.
+uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Inverse of SpreadBits: collects bits at even positions.
+uint32_t CompactBits(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t InterleaveBits(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void DeinterleaveBits(uint64_t z, uint32_t* x, uint32_t* y) {
+  *x = CompactBits(z);
+  *y = CompactBits(z >> 1);
+}
+
+ZCell ZCell::Child(int q) const {
+  SJ_CHECK_GE(q, 0);
+  SJ_CHECK_LT(q, 4);
+  SJ_CHECK_LT(level, kMaxLevel);
+  ZCell child;
+  child.level = level + 1;
+  uint64_t quarter = (interval_hi() - interval_lo()) / 4;
+  child.prefix = prefix + quarter * static_cast<uint64_t>(q);
+  return child;
+}
+
+std::string ZCell::ToString() const {
+  std::ostringstream os;
+  os << "z=" << prefix << "/L" << level;
+  return os.str();
+}
+
+ZGrid::ZGrid(const Rectangle& world) : world_(world) {
+  SJ_CHECK(!world.is_empty());
+  SJ_CHECK_MSG(world.width() > 0 && world.height() > 0,
+               "ZGrid world must have positive extent");
+  cell_w_ = world.width() / static_cast<double>(CellsPerAxis());
+  cell_h_ = world.height() / static_cast<double>(CellsPerAxis());
+}
+
+void ZGrid::CellCoords(const Point& p, uint32_t* cx, uint32_t* cy) const {
+  double fx = (p.x - world_.min_x()) / cell_w_;
+  double fy = (p.y - world_.min_y()) / cell_h_;
+  int64_t ix = static_cast<int64_t>(std::floor(fx));
+  int64_t iy = static_cast<int64_t>(std::floor(fy));
+  int64_t max_cell = static_cast<int64_t>(CellsPerAxis()) - 1;
+  *cx = static_cast<uint32_t>(Clamp<int64_t>(ix, 0, max_cell));
+  *cy = static_cast<uint32_t>(Clamp<int64_t>(iy, 0, max_cell));
+}
+
+uint64_t ZGrid::ZValueOf(const Point& p) const {
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  CellCoords(p, &cx, &cy);
+  return InterleaveBits(cx, cy);
+}
+
+ZCell ZGrid::CellOf(const Point& p) const {
+  ZCell cell;
+  cell.prefix = ZValueOf(p);
+  cell.level = ZCell::kMaxLevel;
+  return cell;
+}
+
+Rectangle ZGrid::CellRect(const ZCell& cell) const {
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  DeinterleaveBits(cell.prefix, &cx, &cy);
+  uint32_t span = uint32_t{1} << (ZCell::kMaxLevel - cell.level);
+  double x0 = world_.min_x() + cell_w_ * static_cast<double>(cx);
+  double y0 = world_.min_y() + cell_h_ * static_cast<double>(cy);
+  return Rectangle(x0, y0, x0 + cell_w_ * static_cast<double>(span),
+                   y0 + cell_h_ * static_cast<double>(span));
+}
+
+}  // namespace spatialjoin

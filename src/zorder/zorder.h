@@ -1,0 +1,97 @@
+#ifndef SPATIALJOIN_ZORDER_ZORDER_H_
+#define SPATIALJOIN_ZORDER_ZORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+
+namespace spatialjoin {
+
+/// Z-ordering (Peano curves, paper Fig. 1 / Orenstein [Oren86]): a mapping
+/// from 2-D grid cells to a 1-D sort key by bit interleaving. The paper uses
+/// z-ordering both to illustrate why no spatial total order preserves
+/// proximity (§2.2) and as the one workable sort-merge strategy for the
+/// `overlaps` operator. This module provides the bit-level machinery; the
+/// sort-merge join itself lives in core/sort_merge_zorder.
+
+/// Interleaves the low 32 bits of x and y: bit i of x lands at position 2i,
+/// bit i of y at position 2i+1.
+uint64_t InterleaveBits(uint32_t x, uint32_t y);
+
+/// Inverse of InterleaveBits.
+void DeinterleaveBits(uint64_t z, uint32_t* x, uint32_t* y);
+
+/// A quadtree cell in z-space, identified by its z-prefix and level.
+/// Level 0 is the whole space; each level splits every cell in four.
+/// The cell covers the half-open z-interval [interval_lo, interval_hi).
+struct ZCell {
+  /// Z-value of the cell's lowest point at full (kMaxLevel) resolution.
+  uint64_t prefix = 0;
+  /// Depth in the quadtree; 0 = root cell covering everything.
+  int level = 0;
+
+  /// Finest supported subdivision: 2^kMaxLevel × 2^kMaxLevel grid cells.
+  static constexpr int kMaxLevel = 24;
+
+  /// First z-value covered by this cell.
+  uint64_t interval_lo() const { return prefix; }
+  /// One past the last z-value covered by this cell.
+  uint64_t interval_hi() const {
+    return prefix + (uint64_t{1} << (2 * (kMaxLevel - level)));
+  }
+
+  /// True iff this cell contains (or equals) `o` in the quadtree.
+  bool ContainsCell(const ZCell& o) const {
+    return level <= o.level && interval_lo() <= o.interval_lo() &&
+           o.interval_hi() <= interval_hi();
+  }
+
+  /// The child cell with index q in 0..3 (z-order of quadrants).
+  ZCell Child(int q) const;
+
+  friend bool operator==(const ZCell& a, const ZCell& b) {
+    return a.prefix == b.prefix && a.level == b.level;
+  }
+
+  /// Renders "z=<prefix>/L<level>".
+  std::string ToString() const;
+};
+
+/// Maps world coordinates onto the integer grid that z-values index.
+/// The grid has 2^kMaxLevel cells per axis over the world rectangle.
+class ZGrid {
+ public:
+  /// `world` is the finite region the grid covers; points outside are
+  /// clamped onto the boundary cells.
+  explicit ZGrid(const Rectangle& world);
+
+  const Rectangle& world() const { return world_; }
+
+  /// Grid cell coordinates (column, row) of a point.
+  void CellCoords(const Point& p, uint32_t* cx, uint32_t* cy) const;
+
+  /// Z-value of the finest-level cell containing `p`.
+  uint64_t ZValueOf(const Point& p) const;
+
+  /// The finest-level ZCell containing `p`.
+  ZCell CellOf(const Point& p) const;
+
+  /// World-space rectangle covered by a cell.
+  Rectangle CellRect(const ZCell& cell) const;
+
+  /// Number of cells per axis at the finest level.
+  static constexpr uint32_t CellsPerAxis() {
+    return uint32_t{1} << ZCell::kMaxLevel;
+  }
+
+ private:
+  Rectangle world_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_ZORDER_ZORDER_H_

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : disk_(2000), pool_(&disk_, 256) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree(&pool_);
+  EXPECT_EQ(tree.num_entries(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Lookup(42).empty());
+}
+
+TEST_F(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree(&pool_);
+  tree.Insert(10, 100);
+  tree.Insert(20, 200);
+  tree.Insert(10, 101);  // duplicate key
+  EXPECT_EQ(tree.num_entries(), 3);
+  std::vector<uint64_t> v10 = tree.Lookup(10);
+  EXPECT_EQ(v10.size(), 2u);
+  EXPECT_EQ(tree.Lookup(20), std::vector<uint64_t>{200});
+  EXPECT_TRUE(tree.Lookup(30).empty());
+}
+
+TEST_F(BPlusTreeTest, GrowsInHeight) {
+  BPlusTree tree(&pool_, /*max_leaf_entries=*/4, /*max_internal=*/4);
+  for (uint64_t i = 0; i < 200; ++i) tree.Insert(i, i * 10);
+  EXPECT_GE(tree.height(), 3);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(tree.Lookup(i), std::vector<uint64_t>{i * 10}) << i;
+  }
+}
+
+TEST_F(BPlusTreeTest, RangeScanOrdered) {
+  BPlusTree tree(&pool_, 4, 4);
+  for (uint64_t i = 100; i > 0; --i) tree.Insert(i, i);
+  std::vector<uint64_t> keys;
+  tree.ScanRange(25, 75, [&](uint64_t k, uint64_t) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 51u);
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(keys[i], 25 + i);
+}
+
+TEST_F(BPlusTreeTest, DuplicatesAcrossLeafSplits) {
+  BPlusTree tree(&pool_, 4, 4);
+  // 30 duplicates of one key forces the run to span several leaves.
+  for (uint64_t v = 0; v < 30; ++v) tree.Insert(7, v);
+  tree.Insert(3, 33);
+  tree.Insert(9, 99);
+  std::vector<uint64_t> values = tree.Lookup(7);
+  EXPECT_EQ(values.size(), 30u);
+  std::set<uint64_t> distinct(values.begin(), values.end());
+  EXPECT_EQ(distinct.size(), 30u);
+}
+
+TEST_F(BPlusTreeTest, DeleteRemovesOneOccurrence) {
+  BPlusTree tree(&pool_, 4, 4);
+  tree.Insert(5, 50);
+  tree.Insert(5, 51);
+  EXPECT_TRUE(tree.Delete(5, 50));
+  EXPECT_EQ(tree.Lookup(5), std::vector<uint64_t>{51});
+  EXPECT_FALSE(tree.Delete(5, 50));  // already gone
+  EXPECT_TRUE(tree.Delete(5, 51));
+  EXPECT_TRUE(tree.Lookup(5).empty());
+  EXPECT_EQ(tree.num_entries(), 0);
+}
+
+TEST_F(BPlusTreeTest, DeleteDuplicateSpanningLeaves) {
+  BPlusTree tree(&pool_, 4, 4);
+  for (uint64_t v = 0; v < 20; ++v) tree.Insert(7, v);
+  // Delete every copy; each must be found even across leaf boundaries.
+  for (uint64_t v = 0; v < 20; ++v) {
+    EXPECT_TRUE(tree.Delete(7, v)) << v;
+  }
+  EXPECT_TRUE(tree.Lookup(7).empty());
+}
+
+TEST_F(BPlusTreeTest, ScanAllIsSorted) {
+  BPlusTree tree(&pool_, 4, 4);
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) tree.Insert(rng.NextUint64(1000), 0);
+  uint64_t prev = 0;
+  int count = 0;
+  tree.ScanAll([&](uint64_t k, uint64_t) {
+    EXPECT_GE(k, prev);
+    prev = k;
+    ++count;
+  });
+  EXPECT_EQ(count, 300);
+}
+
+TEST_F(BPlusTreeTest, MaxLeafEntriesModelsPaperZ) {
+  // The paper's z = 100 join-index entries per page.
+  BPlusTree tree(&pool_, 100, 100);
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(i, i);
+  EXPECT_EQ(tree.num_leaf_pages(), 1);
+  tree.Insert(100, 100);
+  EXPECT_EQ(tree.num_leaf_pages(), 2);
+}
+
+// Property test: random interleaving of inserts and deletes matches a
+// std::multimap reference.
+TEST_F(BPlusTreeTest, RandomOperationsMatchReference) {
+  BPlusTree tree(&pool_, 6, 6);
+  std::multimap<uint64_t, uint64_t> reference;
+  Rng rng(4242);
+  for (int op = 0; op < 3000; ++op) {
+    uint64_t key = rng.NextUint64(200);
+    if (reference.empty() || rng.NextBernoulli(0.65)) {
+      uint64_t value = rng.NextUint64(1000);
+      tree.Insert(key, value);
+      reference.emplace(key, value);
+    } else {
+      // Delete a random existing pair.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(
+                           rng.NextUint64(reference.size())));
+      EXPECT_TRUE(tree.Delete(it->first, it->second));
+      reference.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.num_entries(),
+            static_cast<int64_t>(reference.size()));
+  // Full content comparison via ScanAll (multiset semantics per key).
+  std::multimap<uint64_t, uint64_t> scanned;
+  tree.ScanAll([&](uint64_t k, uint64_t v) { scanned.emplace(k, v); });
+  // Compare as sorted multisets of pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> a(scanned.begin(),
+                                               scanned.end());
+  std::vector<std::pair<uint64_t, uint64_t>> b(reference.begin(),
+                                               reference.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  DiskManager disk(256);
+  PageId p0 = disk.AllocatePage();
+  PageId p1 = disk.AllocatePage();
+  EXPECT_EQ(p0, 0);
+  EXPECT_EQ(p1, 1);
+  Page page(256);
+  page.data[0] = 0xAB;
+  disk.WritePage(p1, page);
+  Page read_back;
+  disk.ReadPage(p1, &read_back);
+  EXPECT_EQ(read_back.data[0], 0xAB);
+  EXPECT_EQ(disk.stats().page_reads, 1);
+  EXPECT_EQ(disk.stats().page_writes, 1);
+  EXPECT_EQ(disk.stats().pages_allocated, 2);
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetPage(pid);  // miss
+  pool.GetPage(pid);  // hit
+  pool.GetPage(pid);  // hit
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().hits, 2);
+  EXPECT_EQ(disk.stats().page_reads, 1);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  DiskManager disk(256);
+  PageId pids[4];
+  for (auto& pid : pids) pid = disk.AllocatePage();
+  BufferPool pool(&disk, 3);
+  pool.GetPage(pids[0]);
+  pool.GetPage(pids[1]);
+  pool.GetPage(pids[2]);
+  // Touch 0 so 1 is the LRU victim.
+  pool.GetPage(pids[0]);
+  pool.GetPage(pids[3]);  // evicts 1
+  disk.ResetStats();
+  pool.GetPage(pids[0]);  // still cached
+  pool.GetPage(pids[2]);  // still cached
+  EXPECT_EQ(disk.stats().page_reads, 0);
+  pool.GetPage(pids[1]);  // was evicted → re-read
+  EXPECT_EQ(disk.stats().page_reads, 1);
+}
+
+TEST(BufferPoolTest, DirtyPagesWrittenOnEviction) {
+  DiskManager disk(256);
+  PageId target = disk.AllocatePage();
+  PageId fillers[3];
+  for (auto& pid : fillers) pid = disk.AllocatePage();
+  BufferPool pool(&disk, 2);
+  Page* page = pool.GetMutablePage(target);
+  page->data[7] = 0x77;
+  // Evict `target` by touching more pages than the capacity.
+  for (PageId pid : fillers) pool.GetPage(pid);
+  Page verify;
+  disk.ReadPage(target, &verify);
+  EXPECT_EQ(verify.data[7], 0x77);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetMutablePage(pid)->data[3] = 0x42;
+  pool.FlushAll();
+  Page verify;
+  disk.ReadPage(pid, &verify);
+  EXPECT_EQ(verify.data[3], 0x42);
+}
+
+TEST(BufferPoolTest, ClearDropsCache) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetPage(pid);
+  pool.Clear();
+  disk.ResetStats();
+  pool.GetPage(pid);
+  EXPECT_EQ(disk.stats().page_reads, 1);  // cold again
+}
+
+TEST(BufferPoolTest, NewPageIsCachedAndDirty) {
+  DiskManager disk(256);
+  BufferPool pool(&disk, 4);
+  PageId pid = pool.NewPage();
+  disk.ResetStats();
+  Page* page = pool.GetMutablePage(pid);
+  page->data[0] = 1;
+  EXPECT_EQ(disk.stats().page_reads, 0);  // no fault needed
+  pool.FlushAll();
+  Page verify;
+  disk.ReadPage(pid, &verify);
+  EXPECT_EQ(verify.data[0], 1);
+}
+
+TEST(DiskSnapshotTest, RoundTripPreservesPages) {
+  DiskManager disk(512);
+  for (int i = 0; i < 20; ++i) {
+    PageId pid = disk.AllocatePage();
+    Page page(512);
+    for (size_t b = 0; b < page.size(); ++b) {
+      page.data[b] = static_cast<uint8_t>((i * 37 + b) % 251);
+    }
+    disk.WritePage(pid, page);
+  }
+  const std::string path = "/tmp/sj_snapshot_test.bin";
+  ASSERT_TRUE(disk.SaveSnapshot(path));
+
+  // Trash the live disk, then restore.
+  Page zero(512);
+  for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
+    disk.WritePage(pid, zero);
+  }
+  ASSERT_TRUE(disk.LoadSnapshot(path));
+  EXPECT_EQ(disk.num_pages(), 20);
+  for (int i = 0; i < 20; ++i) {
+    Page page;
+    disk.ReadPage(i, &page);
+    for (size_t b = 0; b < page.size(); ++b) {
+      ASSERT_EQ(page.data[b], static_cast<uint8_t>((i * 37 + b) % 251))
+          << "page " << i << " byte " << b;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskSnapshotTest, RejectsMismatchedPageSize) {
+  DiskManager small(512);
+  small.AllocatePage();
+  const std::string path = "/tmp/sj_snapshot_mismatch.bin";
+  ASSERT_TRUE(small.SaveSnapshot(path));
+  DiskManager large(2000);
+  EXPECT_FALSE(large.LoadSnapshot(path));
+  std::remove(path.c_str());
+}
+
+TEST(DiskSnapshotTest, RejectsMissingOrCorruptFile) {
+  DiskManager disk(512);
+  EXPECT_FALSE(disk.LoadSnapshot("/tmp/sj_does_not_exist.bin"));
+  const std::string path = "/tmp/sj_snapshot_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a snapshot";
+  }
+  EXPECT_FALSE(disk.LoadSnapshot(path));
+  std::remove(path.c_str());
+}
+
+TEST(DiskSnapshotTest, RelationSurvivesSnapshotAndRestore) {
+  // End-to-end: a buffer-pooled relation's pages persist byte-exactly.
+  DiskManager disk(2000);
+  const std::string path = "/tmp/sj_snapshot_relation.bin";
+  {
+    BufferPool pool(&disk, 64);
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    Relation rel("r", schema, &pool, RelationLayout::kClustered);
+    for (int64_t i = 0; i < 40; ++i) {
+      rel.Insert(Tuple({Value(i), Value(Rectangle(i, 0, i + 1.0, 1))}));
+    }
+    pool.FlushAll();
+    ASSERT_TRUE(disk.SaveSnapshot(path));
+    // Corrupt everything on "disk".
+    Page zero(2000);
+    for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
+      disk.WritePage(pid, zero);
+    }
+    ASSERT_TRUE(disk.LoadSnapshot(path));
+    // The relation's in-memory directory still points at the right
+    // pages; reads see the restored bytes.
+    BufferPool fresh_pool(&disk, 64);
+    // (Relation holds the original pool; re-read through it after
+    // clearing so nothing stale is cached.)
+    pool.Clear();
+    for (int64_t i = 0; i < 40; ++i) {
+      Tuple t = rel.Read(i);
+      EXPECT_EQ(t.value(0).AsInt64(), i);
+      EXPECT_EQ(t.value(1).AsRectangle(), Rectangle(i, 0, i + 1.0, 1));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoStatsTest, Difference) {
+  IoStats a{10, 5, 3};
+  IoStats b{4, 2, 1};
+  IoStats diff = a - b;
+  EXPECT_EQ(diff.page_reads, 6);
+  EXPECT_EQ(diff.page_writes, 3);
+  EXPECT_EQ(diff.pages_allocated, 2);
+  EXPECT_EQ(diff.total_io(), 9);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "costmodel/join_cost.h"
+#include "costmodel/parameters.h"
+#include "costmodel/report.h"
+#include "costmodel/select_cost.h"
+#include "costmodel/update_cost.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(ParametersTest, Table3DerivedValues) {
+  ModelParameters params = PaperParameters();
+  EXPECT_EQ(params.n, 6);
+  EXPECT_EQ(params.k, 10);
+  EXPECT_EQ(params.v, 300);
+  EXPECT_DOUBLE_EQ(params.l, 0.75);
+  EXPECT_EQ(params.h, 6);
+  EXPECT_EQ(params.s, 2000);
+  EXPECT_EQ(params.z, 100);
+  EXPECT_EQ(params.M, 4000);
+  // The paper's derived values: N = 1,111,111, m = 5, d = 4.
+  EXPECT_EQ(params.N(), 1111111);
+  EXPECT_EQ(params.m(), 5);
+  EXPECT_EQ(params.d(), 4);
+  EXPECT_EQ(params.RelationPages(), 222223);
+}
+
+TEST(UpdateCostTest, OrderingMatchesPaper) {
+  ModelParameters params = PaperParameters();
+  UpdateCosts costs = ComputeUpdateCosts(params);
+  // §4.2 / §5: U_I = 0; clustered ≤ unclustered trees; the join index is
+  // "almost prohibitively high" — orders of magnitude above the trees.
+  EXPECT_DOUBLE_EQ(costs.u_i, 0.0);
+  EXPECT_GT(costs.u_iib, 0.0);
+  EXPECT_LE(costs.u_iib, costs.u_iia);
+  EXPECT_GT(costs.u_iii, 100.0 * costs.u_iia);
+}
+
+TEST(UpdateCostTest, JoinIndexCostScalesWithT) {
+  ModelParameters params = PaperParameters();
+  UpdateCosts base = ComputeUpdateCosts(params);
+  params.T *= 10;
+  UpdateCosts bigger = ComputeUpdateCosts(params);
+  EXPECT_NEAR(bigger.u_iii / base.u_iii, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bigger.u_iia, base.u_iia);  // tree costs unaffected
+}
+
+class SelectCostTest
+    : public ::testing::TestWithParam<MatchDistribution> {};
+
+TEST_P(SelectCostTest, BasicSanity) {
+  ModelParameters params = PaperParameters();
+  for (double p : LogSpace(1e-4, 1.0, 9)) {
+    params.p = p;
+    SelectCosts costs = ComputeSelectCosts(params, GetParam());
+    EXPECT_GT(costs.c_i, 0.0);
+    EXPECT_GT(costs.c_iia, 0.0);
+    EXPECT_GT(costs.c_iib, 0.0);
+    EXPECT_GT(costs.c_iii, 0.0);
+    // Shared computation term never exceeds the full strategy costs.
+    EXPECT_LE(costs.c_ii_compute, costs.c_iia + 1e-9);
+    EXPECT_LE(costs.c_ii_compute, costs.c_iib + 1e-9);
+    // Clustering can only reduce I/O.
+    EXPECT_LE(costs.c_iib, costs.c_iia + 1e-9);
+  }
+}
+
+TEST_P(SelectCostTest, ExhaustiveSearchNeverCompetitive) {
+  // The paper: "the nested loop or exhaustive search strategy is never
+  // really competitive" for selections.
+  ModelParameters params = PaperParameters();
+  for (double p : LogSpace(1e-4, 0.5, 7)) {
+    params.p = p;
+    SelectCosts costs = ComputeSelectCosts(params, GetParam());
+    EXPECT_GT(costs.c_i, costs.c_iib);
+  }
+}
+
+TEST_P(SelectCostTest, CostsGrowWithSelectivity) {
+  ModelParameters params = PaperParameters();
+  params.p = 0.001;
+  SelectCosts low = ComputeSelectCosts(params, GetParam());
+  params.p = 0.5;
+  SelectCosts high = ComputeSelectCosts(params, GetParam());
+  EXPECT_GE(high.c_iia, low.c_iia);
+  EXPECT_GE(high.c_iib, low.c_iib);
+  EXPECT_GE(high.c_iii, low.c_iii);
+  EXPECT_DOUBLE_EQ(high.c_i, low.c_i);  // exhaustive cost is flat
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, SelectCostTest,
+                         ::testing::Values(MatchDistribution::kUniform,
+                                           MatchDistribution::kNoLoc,
+                                           MatchDistribution::kHiLoc),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MatchDistribution::kUniform:
+                               return "Uniform";
+                             case MatchDistribution::kNoLoc:
+                               return "NoLoc";
+                             default:
+                               return "HiLoc";
+                           }
+                         });
+
+TEST(SelectCostPaperClaimsTest, UniformClusteringWinsUpToOrderOfMagnitude) {
+  // Fig. 8: "If a clustered generalization tree is available, search
+  // costs may be cut by up to an order of magnitude" vs unclustered, and
+  // C_III ≈ C_IIa.
+  ModelParameters params = PaperParameters();
+  double best_ratio = 1.0;
+  for (double p : LogSpace(1e-4, 1.0, 17)) {
+    params.p = p;
+    SelectCosts costs =
+        ComputeSelectCosts(params, MatchDistribution::kUniform);
+    best_ratio = std::max(best_ratio, costs.c_iia / costs.c_iib);
+    // Join index within a small factor of the unclustered tree.
+    EXPECT_LT(costs.c_iii, 10.0 * costs.c_iia);
+  }
+  EXPECT_GT(best_ratio, 3.0);
+}
+
+TEST(SelectCostPaperClaimsTest, NoLocRegimesMatchFig9Shape) {
+  // Fig. 9's two regimes. High selectivity: C_III between C_IIa and
+  // C_IIb. Low selectivity (below the paper's p ≈ 0.08): the join
+  // index's advantage evaporates and all strategies converge — the
+  // clustered/unclustered gap becomes marginal. (In our reconstruction
+  // the convergence is to a near-tie rather than C_III strictly above
+  // C_IIb; see EXPERIMENTS.md.)
+  ModelParameters params = PaperParameters();
+  params.p = 0.3;
+  SelectCosts high = ComputeSelectCosts(params, MatchDistribution::kNoLoc);
+  EXPECT_LT(high.c_iib, high.c_iii);
+  EXPECT_LT(high.c_iii, high.c_iia);
+
+  params.p = 0.01;
+  SelectCosts low = ComputeSelectCosts(params, MatchDistribution::kNoLoc);
+  EXPECT_LT(low.c_iia / low.c_iib, 1.2);
+  EXPECT_GT(low.c_iii / low.c_iib, 0.8);
+  EXPECT_LT(low.c_iii / low.c_iib, 1.2);
+}
+
+TEST(SelectCostPaperClaimsTest, HiLocJoinIndexBetweenTreeVariants) {
+  // Fig. 10: C_III consistently between C_IIa and C_IIb.
+  ModelParameters params = PaperParameters();
+  int between = 0;
+  int total = 0;
+  for (double p : LogSpace(1e-3, 0.9, 9)) {
+    params.p = p;
+    SelectCosts costs =
+        ComputeSelectCosts(params, MatchDistribution::kHiLoc);
+    ++total;
+    if (costs.c_iii >= costs.c_iib && costs.c_iii <= costs.c_iia) {
+      ++between;
+    }
+  }
+  EXPECT_GE(between * 2, total);  // holds for the majority of the sweep
+}
+
+class JoinCostTest : public ::testing::TestWithParam<MatchDistribution> {};
+
+TEST_P(JoinCostTest, BasicSanity) {
+  ModelParameters params = PaperParameters();
+  for (double p : LogSpace(1e-12, 1e-2, 6)) {
+    params.p = p;
+    JoinCosts costs = ComputeJoinCosts(params, GetParam());
+    EXPECT_GT(costs.d_i, 0.0);
+    EXPECT_GT(costs.d_iia, 0.0);
+    EXPECT_GT(costs.d_iib, 0.0);
+    EXPECT_GT(costs.d_iii, 0.0);
+    EXPECT_LE(costs.d_ii_compute, costs.d_iia + 1e-9);
+  }
+}
+
+TEST_P(JoinCostTest, NestedLoopNeverCompetitive) {
+  ModelParameters params = PaperParameters();
+  for (double p : LogSpace(1e-12, 1e-3, 5)) {
+    params.p = p;
+    JoinCosts costs = ComputeJoinCosts(params, GetParam());
+    EXPECT_GT(costs.d_i, costs.d_iib);
+    EXPECT_GT(costs.d_i, costs.d_iii);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, JoinCostTest,
+                         ::testing::Values(MatchDistribution::kUniform,
+                                           MatchDistribution::kNoLoc,
+                                           MatchDistribution::kHiLoc),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MatchDistribution::kUniform:
+                               return "Uniform";
+                             case MatchDistribution::kNoLoc:
+                               return "NoLoc";
+                             default:
+                               return "HiLoc";
+                           }
+                         });
+
+TEST(JoinCostPaperClaimsTest, UniformCrossoverNearTenToMinusNine) {
+  // Fig. 11: the join index wins below a crossover around p ≈ 1e-9 and
+  // loses above it.
+  ModelParameters params = PaperParameters();
+  params.p = 1e-11;
+  JoinCosts low = ComputeJoinCosts(params, MatchDistribution::kUniform);
+  EXPECT_LT(low.d_iii, low.d_iia);
+  params.p = 1e-6;
+  JoinCosts high = ComputeJoinCosts(params, MatchDistribution::kUniform);
+  EXPECT_GT(high.d_iii, high.d_iia);
+}
+
+TEST(JoinCostPaperClaimsTest, NoLocCrossoverExists) {
+  // Fig. 12's qualitative shape: the join index wins at low selectivity
+  // and loses to the generalization tree at high selectivity. (The paper
+  // locates the crossover near p ≈ 1e-8; our D_III reconstruction moves
+  // it to p ≈ 0.05 — the NO-LOC π collapses deep-pair probabilities so
+  // the index stays small far longer. Documented in EXPERIMENTS.md.)
+  ModelParameters params = PaperParameters();
+  params.p = 1e-10;
+  JoinCosts low = ComputeJoinCosts(params, MatchDistribution::kNoLoc);
+  EXPECT_LT(low.d_iii, low.d_iia);
+  params.p = 0.2;
+  JoinCosts high = ComputeJoinCosts(params, MatchDistribution::kNoLoc);
+  EXPECT_GT(high.d_iii, high.d_iia);
+}
+
+TEST(JoinCostPaperClaimsTest, ClusteredUnclusteredGapUsuallyNegligible) {
+  // §4.5: "The difference between the unclustered and clustered
+  // generalization tree is usually negligible."
+  ModelParameters params = PaperParameters();
+  for (double p : LogSpace(1e-12, 1e-6, 5)) {
+    params.p = p;
+    JoinCosts costs =
+        ComputeJoinCosts(params, MatchDistribution::kUniform);
+    EXPECT_LT(costs.d_iia / costs.d_iib, 30.0);
+    EXPECT_GE(costs.d_iia, costs.d_iib - 1e-9);
+  }
+}
+
+TEST(ReportTest, LogSpaceEndpoints) {
+  std::vector<double> values = LogSpace(1e-4, 1.0, 5);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_NEAR(values.front(), 1e-4, 1e-12);
+  EXPECT_NEAR(values.back(), 1.0, 1e-12);
+  EXPECT_NEAR(values[2], 1e-2, 1e-10);
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GT(values[i], values[i - 1]);
+  }
+}
+
+TEST(ReportTest, TableReportTracksRows) {
+  TableReport report({"p", "A", "B"});
+  report.AddRow({0.1, 5.0, 3.0});
+  report.AddRow({0.2, 1.0, 9.0});
+  EXPECT_EQ(report.num_rows(), 2u);
+  EXPECT_EQ(report.ArgMinOfRow(0), 2u);  // B wins row 0
+  EXPECT_EQ(report.ArgMinOfRow(1), 1u);  // A wins row 1
+  EXPECT_EQ(report.columns()[0], "p");
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/distributions.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(MatchProbabilityTest, Uniform) {
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kUniform, 0.3, 2, 5, 1), 0.3);
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kUniform, 0.3, 0, 0, 0), 0.3);
+}
+
+TEST(MatchProbabilityTest, NoLoc) {
+  // ρ = p^{max(min(i1,i2),1)}.
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kNoLoc, 0.5, 3, 5, 0), 0.125);
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kNoLoc, 0.5, 0, 5, 0), 0.5);
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kNoLoc, 0.5, 1, 1, 0), 0.5);
+}
+
+TEST(MatchProbabilityTest, HiLocAncestorsAlwaysMatch) {
+  // d2 = 0 (o2 is an ancestor of o1) → probability 1.
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kHiLoc, 0.1, 5, 2, 2), 1.0);
+  // Siblings: d1 = d2 = 1 → p (the paper's σ_i = p).
+  EXPECT_DOUBLE_EQ(
+      MatchProbability(MatchDistribution::kHiLoc, 0.1, 3, 3, 2), 0.1);
+  // Cousins: d1 = d2 = 2 → p^4.
+  EXPECT_NEAR(
+      MatchProbability(MatchDistribution::kHiLoc, 0.1, 4, 4, 2), 1e-4,
+      1e-18);
+}
+
+TEST(PiTableTest, UniformIsConstant) {
+  PiTable pi(MatchDistribution::kUniform, 6, 10, 0.07);
+  for (int i = 0; i <= 6; ++i) {
+    for (int j = 0; j <= 6; ++j) {
+      EXPECT_DOUBLE_EQ(pi.pi(i, j), 0.07);
+    }
+  }
+}
+
+TEST(PiTableTest, NoLocFollowsFormula) {
+  PiTable pi(MatchDistribution::kNoLoc, 6, 10, 0.5);
+  EXPECT_DOUBLE_EQ(pi.pi(0, 6), 0.5);
+  EXPECT_DOUBLE_EQ(pi.pi(3, 6), std::pow(0.5, 3));
+  EXPECT_DOUBLE_EQ(pi.pi(6, 6), std::pow(0.5, 6));
+  EXPECT_DOUBLE_EQ(pi.pi(2, 1), 0.5);
+}
+
+TEST(PiTableTest, BoundaryConvention) {
+  PiTable pi(MatchDistribution::kNoLoc, 6, 10, 0.5);
+  EXPECT_DOUBLE_EQ(pi.pi(0, -1), 1.0);
+  EXPECT_DOUBLE_EQ(pi.pi(-1, 0), 1.0);
+}
+
+TEST(PiTableTest, HiLocProperties) {
+  PiTable pi(MatchDistribution::kHiLoc, 6, 10, 0.1);
+  // Root pairs always match (the root is everyone's ancestor).
+  for (int j = 0; j <= 6; ++j) {
+    EXPECT_DOUBLE_EQ(pi.pi(0, j), 1.0);
+    EXPECT_DOUBLE_EQ(pi.pi(j, 0), 1.0);
+  }
+  // Symmetry.
+  for (int i = 0; i <= 6; ++i) {
+    for (int j = 0; j <= 6; ++j) {
+      EXPECT_NEAR(pi.pi(i, j), pi.pi(j, i), 1e-15) << i << "," << j;
+    }
+  }
+  // Probabilities stay in (0, 1].
+  for (int i = 0; i <= 6; ++i) {
+    for (int j = 0; j <= 6; ++j) {
+      EXPECT_GT(pi.pi(i, j), 0.0);
+      EXPECT_LE(pi.pi(i, j), 1.0);
+    }
+  }
+  // Deeper pairs are less likely to match (locality decays).
+  EXPECT_LT(pi.pi(6, 6), pi.pi(1, 1));
+}
+
+TEST(PiTableTest, HiLocLimits) {
+  // p → 1: everything matches.
+  PiTable all(MatchDistribution::kHiLoc, 4, 8, 1.0);
+  for (int i = 0; i <= 4; ++i) {
+    for (int j = 0; j <= 4; ++j) {
+      EXPECT_DOUBLE_EQ(all.pi(i, j), 1.0);
+    }
+  }
+  // p → 0: only ancestor/descendant pairs survive, k^{−min(i,j)} of the
+  // level pairs.
+  PiTable none(MatchDistribution::kHiLoc, 4, 8, 0.0);
+  EXPECT_DOUBLE_EQ(none.pi(2, 3), std::pow(8.0, -2));
+  EXPECT_DOUBLE_EQ(none.pi(4, 4), std::pow(8.0, -4));
+}
+
+TEST(PiTableTest, HiLocMatchesDirectEnumerationOnSmallTree) {
+  // Exhaustively average ρ over a k=3, n=3 tree and compare with the
+  // closed form. Nodes at height j are indexed 0..3^j−1; the ancestor of
+  // node x at height a is x / 3^{j−a}.
+  const int n = 3;
+  const int k = 3;
+  const double p = 0.3;
+  PiTable pi(MatchDistribution::kHiLoc, n, k, p);
+  auto ipow = [](int b, int e) {
+    int r = 1;
+    for (int i = 0; i < e; ++i) r *= b;
+    return r;
+  };
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      // Fix o1 as node 0 at height i (symmetry makes the choice free).
+      double sum = 0.0;
+      for (int x = 0; x < ipow(k, j); ++x) {
+        // LCA height: largest a <= min(i,j) with equal ancestors.
+        int lca = 0;
+        for (int a = std::min(i, j); a >= 0; --a) {
+          int anc_o1 = 0;  // node 0's ancestors are all index 0
+          int anc_o2 = x / ipow(k, j - a);
+          if (anc_o1 == anc_o2) {
+            lca = a;
+            break;
+          }
+        }
+        sum += MatchProbability(MatchDistribution::kHiLoc, p, i, j, lca);
+      }
+      double expected = sum / ipow(k, j);
+      EXPECT_NEAR(pi.pi(i, j), expected, 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(PiTableTest, SigmaMatchesPaper) {
+  PiTable uniform(MatchDistribution::kUniform, 6, 10, 0.2);
+  PiTable noloc(MatchDistribution::kNoLoc, 6, 10, 0.2);
+  PiTable hiloc(MatchDistribution::kHiLoc, 6, 10, 0.2);
+  EXPECT_DOUBLE_EQ(uniform.sigma(3), 0.2);
+  EXPECT_DOUBLE_EQ(noloc.sigma(3), std::pow(0.2, 3));
+  EXPECT_DOUBLE_EQ(noloc.sigma(1), 0.2);
+  EXPECT_DOUBLE_EQ(hiloc.sigma(3), 0.2);  // σ_i = p for HI-LOC
+}
+
+TEST(DistributionNameTest, Names) {
+  EXPECT_STREQ(MatchDistributionName(MatchDistribution::kUniform),
+               "UNIFORM");
+  EXPECT_STREQ(MatchDistributionName(MatchDistribution::kNoLoc), "NO-LOC");
+  EXPECT_STREQ(MatchDistributionName(MatchDistribution::kHiLoc), "HI-LOC");
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,273 @@
+// Degenerate and boundary inputs across the stack: empty relations,
+// single tuples, zero-extent geometry, extreme model parameters, and
+// operator corner cases. Every component must degrade gracefully, never
+// silently wrongly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_nested_loop.h"
+#include "core/join.h"
+#include "core/join_index.h"
+#include "core/memory_gentree.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/sort_merge_zorder.h"
+#include "core/theta_ops.h"
+#include "costmodel/join_cost.h"
+#include "costmodel/select_cost.h"
+#include "costmodel/update_cost.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace {
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  EdgeCasesTest() : disk_(2000), pool_(&disk_, 256) {}
+
+  std::unique_ptr<Relation> EmptyRects(const std::string& name) {
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    return std::make_unique<Relation>(name, schema, &pool_);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Geometry degeneracies.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, ZeroExtentRectanglesBehave) {
+  Rectangle point_rect(5, 5, 5, 5);
+  EXPECT_DOUBLE_EQ(point_rect.Area(), 0.0);
+  EXPECT_TRUE(point_rect.Overlaps(point_rect));
+  EXPECT_TRUE(point_rect.ContainsPoint(Point(5, 5)));
+  Rectangle line_rect(0, 3, 10, 3);  // zero height
+  EXPECT_TRUE(line_rect.Overlaps(Rectangle(4, 0, 6, 6)));
+  EXPECT_DOUBLE_EQ(line_rect.MinDistance(point_rect), 2.0);
+  // Degenerate rectangles index and search correctly.
+  RTree tree(&pool_, RTreeSplit::kQuadratic, 8);
+  tree.Insert(point_rect, 1);
+  tree.Insert(line_rect, 2);
+  std::vector<TupleId> hits = tree.SearchTids(Rectangle(5, 3, 5, 5));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<TupleId>{1, 2}));
+}
+
+TEST_F(EdgeCasesTest, CollinearPolygonCentroidFallsBack) {
+  // A degenerate "polygon" with zero area: centroid falls back to the
+  // vertex average instead of dividing by zero.
+  Polygon degenerate({{0, 0}, {2, 0}, {4, 0}});
+  Point c = degenerate.Centroid();
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+  EXPECT_DOUBLE_EQ(degenerate.Area(), 0.0);
+}
+
+TEST_F(EdgeCasesTest, TouchingGeometriesCountAsOverlap) {
+  OverlapsOp op;
+  // Closed semantics at every type combination.
+  EXPECT_TRUE(op.Theta(Value(Rectangle(0, 0, 1, 1)),
+                       Value(Rectangle(1, 1, 2, 2))));  // corner touch
+  EXPECT_TRUE(op.Theta(Value(Point(1, 0.5)),
+                       Value(Rectangle(1, 0, 2, 1))));  // point on edge
+  Polygon triangle({{0, 0}, {2, 0}, {1, 2}});
+  EXPECT_TRUE(op.Theta(Value(Point(1, 0)), Value(triangle)));
+}
+
+// ---------------------------------------------------------------------------
+// Empty and singleton inputs through the strategies.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, JoinsWithEmptyRelations) {
+  auto empty_r = EmptyRects("r");
+  auto empty_s = EmptyRects("s");
+  auto one = EmptyRects("one");
+  one->Insert(Tuple({Value(int64_t{0}), Value(Rectangle(0, 0, 1, 1))}));
+  OverlapsOp op;
+  EXPECT_TRUE(NestedLoopJoin(*empty_r, 1, *empty_s, 1, op).matches.empty());
+  EXPECT_TRUE(NestedLoopJoin(*empty_r, 1, *one, 1, op).matches.empty());
+  EXPECT_TRUE(NestedLoopJoin(*one, 1, *empty_s, 1, op).matches.empty());
+  ZGrid grid(Rectangle(0, 0, 10, 10));
+  EXPECT_TRUE(
+      SortMergeZOrderJoin(*empty_r, 1, *one, 1, op, grid).matches.empty());
+  JoinIndex index(&pool_, 100);
+  EXPECT_EQ(index.Build(*empty_r, 1, *one, 1, op), 0);
+  EXPECT_TRUE(index.Execute(*empty_r, *one).matches.empty());
+}
+
+TEST_F(EdgeCasesTest, SelectOnEmptyIndexes) {
+  OverlapsOp op;
+  Value selector(Rectangle(0, 0, 5, 5));
+  // Empty R-tree.
+  RTree rtree(&pool_, RTreeSplit::kQuadratic, 8);
+  RTreeGenTree rtree_adapter(&rtree, nullptr, 0);
+  SelectResult rt = SpatialSelect(selector, rtree_adapter, op);
+  EXPECT_TRUE(rt.matching_tuples.empty());
+  // Empty quadtree.
+  QuadTree quad(Rectangle(0, 0, 10, 10), 4);
+  SelectResult qt = SpatialSelect(selector, quad, op);
+  EXPECT_TRUE(qt.matching_tuples.empty());
+}
+
+TEST_F(EdgeCasesTest, SingleTupleEverywhere) {
+  auto r = EmptyRects("r");
+  auto s = EmptyRects("s");
+  r->Insert(Tuple({Value(int64_t{0}), Value(Rectangle(0, 0, 4, 4))}));
+  s->Insert(Tuple({Value(int64_t{0}), Value(Rectangle(2, 2, 6, 6))}));
+  OverlapsOp op;
+  RTree rtree(&pool_, RTreeSplit::kLinear, 8);
+  rtree.Insert(Rectangle(0, 0, 4, 4), 0);
+  RTreeGenTree r_tree(&rtree, r.get(), 1);
+  JoinResult probe = IndexNestedLoopJoin(r_tree, *s, 1, op);
+  ASSERT_EQ(probe.matches.size(), 1u);
+  EXPECT_EQ(probe.matches[0], std::make_pair(TupleId{0}, TupleId{0}));
+}
+
+// ---------------------------------------------------------------------------
+// Identical / duplicated data.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, ManyIdenticalRectangles) {
+  auto r = EmptyRects("r");
+  Rectangle same(3, 3, 5, 5);
+  for (int64_t i = 0; i < 30; ++i) {
+    r->Insert(Tuple({Value(i), Value(same)}));
+  }
+  RTree rtree(&pool_, RTreeSplit::kQuadratic, 8);
+  for (TupleId t = 0; t < 30; ++t) rtree.Insert(same, t);
+  rtree.CheckInvariants();
+  EXPECT_EQ(rtree.SearchTids(same).size(), 30u);
+  // Self-join: every ordered pair matches (30×30).
+  OverlapsOp op;
+  JoinResult self = NestedLoopJoin(*r, 1, *r, 1, op);
+  EXPECT_EQ(self.matches.size(), 900u);
+  // Quadtree piles them into one cell and still answers.
+  QuadTree quad(Rectangle(0, 0, 10, 10), 6);
+  for (TupleId t = 0; t < 30; ++t) quad.Insert(same, t);
+  quad.CheckInvariants();
+  EXPECT_EQ(quad.SearchTids(same).size(), 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Generalization-tree corner shapes.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, RootOnlyTreesJoin) {
+  MemoryGenTree a;
+  a.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 2, 2)), 0);
+  MemoryGenTree b;
+  b.AddNode(kInvalidNodeId, Value(Rectangle(5, 5, 6, 6)), 0);
+  OverlapsOp op;
+  JoinResult disjoint = TreeJoin(a, b, op);
+  EXPECT_TRUE(disjoint.matches.empty());
+  JoinResult self = TreeJoin(a, a, op);
+  ASSERT_EQ(self.matches.size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, DeepChainTree) {
+  // A pathological unary chain (every node one child): SELECT must walk
+  // it without worklist issues and match at every level.
+  MemoryGenTree chain;
+  NodeId parent = chain.AddNode(kInvalidNodeId,
+                                Value(Rectangle(0, 0, 1024, 1024)), 0);
+  for (int64_t depth = 1; depth <= 40; ++depth) {
+    double inset = static_cast<double>(depth);
+    parent = chain.AddNode(
+        parent,
+        Value(Rectangle(inset, inset, 1024 - inset, 1024 - inset)), depth);
+  }
+  EXPECT_EQ(chain.height(), 40);
+  OverlapsOp op;
+  SelectResult all =
+      SpatialSelect(Value(Rectangle(500, 500, 510, 510)), chain, op);
+  EXPECT_EQ(all.matching_tuples.size(), 41u);  // every level matches
+  SelectResult none =
+      SpatialSelect(Value(Rectangle(2000, 2000, 2001, 2001)), chain, op);
+  EXPECT_TRUE(none.matching_tuples.empty());
+  EXPECT_EQ(none.theta_upper_tests, 1);  // pruned at the root
+}
+
+// ---------------------------------------------------------------------------
+// Cost model under extreme parameters.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, CostModelAtSelectivityExtremes) {
+  ModelParameters params = PaperParameters();
+  for (MatchDistribution dist :
+       {MatchDistribution::kUniform, MatchDistribution::kNoLoc,
+        MatchDistribution::kHiLoc}) {
+    params.p = 0.0;
+    SelectCosts zero = ComputeSelectCosts(params, dist);
+    EXPECT_GT(zero.c_iib, 0.0);  // root work remains
+    EXPECT_TRUE(std::isfinite(zero.c_iia));
+    JoinCosts join_zero = ComputeJoinCosts(params, dist);
+    EXPECT_TRUE(std::isfinite(join_zero.d_iii));
+    params.p = 1.0;
+    SelectCosts one = ComputeSelectCosts(params, dist);
+    // At p=1 the tree strategies degrade toward exhaustive behavior and
+    // stay within a constant of C_I (they touch every node).
+    EXPECT_GT(one.c_iia, zero.c_iia);
+    EXPECT_TRUE(std::isfinite(one.c_iia));
+    JoinCosts join_one = ComputeJoinCosts(params, dist);
+    EXPECT_TRUE(std::isfinite(join_one.d_ii_compute));
+    EXPECT_GT(join_one.d_ii_compute, join_zero.d_ii_compute);
+  }
+}
+
+TEST_F(EdgeCasesTest, CostModelTinyTree) {
+  ModelParameters params;
+  params.n = 1;
+  params.k = 2;
+  params.h = 1;
+  params.p = 0.5;
+  params.T = params.N();
+  EXPECT_EQ(params.N(), 3);
+  UpdateCosts update = ComputeUpdateCosts(params);
+  EXPECT_GE(update.u_iia, 0.0);
+  SelectCosts select = ComputeSelectCosts(params, MatchDistribution::kHiLoc);
+  EXPECT_GT(select.c_iib, 0.0);
+  JoinCosts join = ComputeJoinCosts(params, MatchDistribution::kHiLoc);
+  EXPECT_TRUE(std::isfinite(join.d_iia));
+}
+
+// ---------------------------------------------------------------------------
+// Operator corner cases.
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCasesTest, NorthwestOfSelfIsFalse) {
+  NorthwestOfOp op;
+  Value v(Point(3, 3));
+  EXPECT_FALSE(op.Theta(v, v));
+  // But Θ on the identical MBR is true (a box always overlaps its own NW
+  // quadrant) — conservatism, not a bug.
+  EXPECT_TRUE(op.ThetaUpper(v.Mbr(), v.Mbr()));
+}
+
+TEST_F(EdgeCasesTest, WithinDistanceZero) {
+  WithinDistanceOp op(0.0);
+  EXPECT_TRUE(op.Theta(Value(Point(1, 1)), Value(Point(1, 1))));
+  EXPECT_FALSE(op.Theta(Value(Point(1, 1)), Value(Point(1, 1.001))));
+  EXPECT_TRUE(op.ThetaUpper(Rectangle(0, 0, 2, 2), Rectangle(2, 2, 3, 3)));
+}
+
+TEST_F(EdgeCasesTest, IncludesIsReflexiveContainedInMirrors) {
+  IncludesOp includes;
+  ContainedInOp contained;
+  Value rect(Rectangle(1, 1, 4, 4));
+  Value poly(Polygon({{0, 0}, {5, 0}, {5, 5}, {0, 5}}));
+  EXPECT_TRUE(includes.Theta(rect, rect));
+  EXPECT_TRUE(includes.Theta(poly, poly));
+  EXPECT_EQ(includes.Theta(poly, rect), contained.Theta(rect, poly));
+  EXPECT_EQ(includes.Theta(rect, poly), contained.Theta(poly, rect));
+}
+
+}  // namespace
+}  // namespace spatialjoin

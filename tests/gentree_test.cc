@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_gentree.h"
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(MemoryGenTreeTest, BuildAndNavigate) {
+  MemoryGenTree tree;
+  NodeId root = tree.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 10, 10)),
+                             kInvalidTupleId, "world");
+  NodeId left = tree.AddNode(root, Value(Rectangle(0, 0, 5, 10)), 0, "west");
+  NodeId right = tree.AddNode(root, Value(Rectangle(5, 0, 10, 10)), 1,
+                              "east");
+  NodeId leaf = tree.AddNode(left, Value(Rectangle(1, 1, 2, 2)), 2, "town");
+
+  EXPECT_EQ(tree.root(), root);
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_EQ(tree.HeightOf(root), 0);
+  EXPECT_EQ(tree.HeightOf(leaf), 2);
+  EXPECT_EQ(tree.Children(root), (std::vector<NodeId>{left, right}));
+  EXPECT_TRUE(tree.Children(leaf).empty());
+  EXPECT_EQ(tree.ParentOf(leaf), left);
+  EXPECT_EQ(tree.LabelOf(right), "east");
+  EXPECT_EQ(tree.num_nodes(), 4);
+  EXPECT_FALSE(tree.IsApplicationNode(root));  // no tuple
+  EXPECT_TRUE(tree.IsApplicationNode(leaf));
+  EXPECT_EQ(tree.TupleOf(leaf), 2);
+  EXPECT_EQ(tree.MbrOf(left), Rectangle(0, 0, 5, 10));
+  EXPECT_TRUE(tree.ValidateContainment());
+}
+
+TEST(MemoryGenTreeDeathTest, RejectsEscapingChild) {
+  MemoryGenTree tree;
+  NodeId root = tree.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 5, 5)));
+  EXPECT_DEATH(tree.AddNode(root, Value(Rectangle(4, 4, 6, 6))),
+               "not contained");
+}
+
+TEST(MemoryGenTreeTest, InsertByContainmentDescends) {
+  MemoryGenTree tree;
+  NodeId root = tree.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 16, 16)));
+  NodeId q1 = tree.AddNode(root, Value(Rectangle(0, 0, 8, 8)), 1);
+  tree.AddNode(root, Value(Rectangle(8, 0, 16, 8)), 2);
+  NodeId q11 = tree.AddNode(q1, Value(Rectangle(0, 0, 4, 4)), 3);
+
+  int64_t tests = 0;
+  NodeId inserted =
+      tree.InsertByContainment(Value(Rectangle(1, 1, 2, 2)), 99, &tests);
+  EXPECT_EQ(tree.ParentOf(inserted), q11);
+  EXPECT_EQ(tree.HeightOf(inserted), 3);
+  EXPECT_GT(tests, 0);
+  EXPECT_TRUE(tree.ValidateContainment());
+
+  // An object spanning quadrants stays directly below the root.
+  NodeId spanning =
+      tree.InsertByContainment(Value(Rectangle(6, 6, 10, 10)), 100);
+  EXPECT_EQ(tree.ParentOf(spanning), root);
+}
+
+TEST(MemoryGenTreeTest, GeometryReadsFromAttachedRelation) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 64);
+  Schema schema({{"id", ValueType::kInt64},
+                 {"area", ValueType::kRectangle}});
+  Relation rel("r", schema, &pool, RelationLayout::kHeap,
+               /*pad_tuples_to=*/300);
+  TupleId t0 =
+      rel.Insert(Tuple({Value(int64_t{0}), Value(Rectangle(0, 0, 4, 4))}));
+
+  MemoryGenTree tree;
+  NodeId root = tree.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 10, 10)));
+  NodeId node = tree.AddNode(root, Value(Rectangle(0, 0, 4, 4)), t0);
+  tree.AttachRelation(&rel, 1);
+
+  pool.Clear();
+  int64_t reads_before = disk.stats().page_reads;
+  Value geom = tree.Geometry(node);
+  EXPECT_EQ(geom.AsRectangle(), Rectangle(0, 0, 4, 4));
+  EXPECT_GT(disk.stats().page_reads, reads_before);  // paid tuple I/O
+  // Technical nodes stay in memory: no additional reads.
+  int64_t reads_mid = disk.stats().page_reads;
+  (void)tree.Geometry(root);
+  EXPECT_EQ(disk.stats().page_reads, reads_mid);
+}
+
+TEST(HierarchyGeneratorTest, BuildsBalancedTree) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  HierarchyOptions options;
+  options.height = 3;
+  options.fanout = 4;
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 100, 100), options, &pool, RelationLayout::kClustered);
+  // N = 1 + 4 + 16 + 64 = 85 nodes, all application objects.
+  EXPECT_EQ(h.tree->num_nodes(), 85);
+  EXPECT_EQ(h.relation->num_tuples(), 85);
+  EXPECT_EQ(h.tree->height(), 3);
+  EXPECT_TRUE(h.tree->ValidateContainment());
+  EXPECT_EQ(h.tree->Children(h.tree->root()).size(), 4u);
+  EXPECT_TRUE(h.tree->IsApplicationNode(h.tree->root()));
+}
+
+TEST(HierarchyGeneratorTest, ShuffledStorageKeepsLogicalStructure) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  HierarchyOptions options;
+  options.height = 2;
+  options.fanout = 3;
+  GeneratedHierarchy ordered = GenerateHierarchy(
+      Rectangle(0, 0, 10, 10), options, &pool, RelationLayout::kHeap,
+      /*pad_tuples_to=*/0, /*shuffle_storage_order=*/false);
+  GeneratedHierarchy shuffled = GenerateHierarchy(
+      Rectangle(0, 0, 10, 10), options, &pool, RelationLayout::kHeap,
+      /*pad_tuples_to=*/0, /*shuffle_storage_order=*/true);
+  EXPECT_EQ(ordered.tree->num_nodes(), shuffled.tree->num_nodes());
+  // Same geometry per logical node regardless of physical order.
+  for (NodeId n = 0; n < ordered.tree->num_nodes(); ++n) {
+    EXPECT_EQ(ordered.tree->MbrOf(n), shuffled.tree->MbrOf(n));
+  }
+}
+
+}  // namespace
+}  // namespace spatialjoin

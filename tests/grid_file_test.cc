@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gridfile/grid_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+class GridFileTest : public ::testing::Test {
+ protected:
+  GridFileTest() : disk_(512), pool_(&disk_, 256) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(GridFileTest, InsertAndExactSearch) {
+  GridFile grid(&pool_, Rectangle(0, 0, 100, 100), 4);
+  grid.Insert(Point(10, 10), 1);
+  grid.Insert(Point(50, 50), 2);
+  grid.Insert(Point(90, 90), 3);
+  EXPECT_EQ(grid.num_records(), 3);
+  EXPECT_EQ(grid.SearchTids(Rectangle(45, 45, 55, 55)),
+            std::vector<TupleId>{2});
+  EXPECT_TRUE(grid.SearchTids(Rectangle(20, 20, 30, 30)).empty());
+  grid.CheckInvariants();
+}
+
+TEST_F(GridFileTest, SplitsOnOverflow) {
+  GridFile grid(&pool_, Rectangle(0, 0, 100, 100), 4);
+  RectGenerator gen(Rectangle(0, 0, 100, 100), 21);
+  for (int i = 0; i < 100; ++i) grid.Insert(gen.NextPoint(), i);
+  EXPECT_GT(grid.num_buckets(), 10);
+  EXPECT_GT(grid.directory_cells_x() * grid.directory_cells_y(), 4);
+  grid.CheckInvariants();
+}
+
+TEST_F(GridFileTest, SearchMatchesBruteForce) {
+  GridFile grid(&pool_, Rectangle(0, 0, 1000, 1000), 8);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 33);
+  std::vector<Point> data = gen.Points(800);
+  for (size_t i = 0; i < data.size(); ++i) {
+    grid.Insert(data[i], static_cast<TupleId>(i));
+  }
+  grid.CheckInvariants();
+  for (int q = 0; q < 50; ++q) {
+    Rectangle window = gen.NextRect(20, 200);
+    std::vector<TupleId> hits = grid.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (window.ContainsPoint(data[i])) {
+        expected.push_back(static_cast<TupleId>(i));
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected) << "window " << window.ToString();
+  }
+}
+
+TEST_F(GridFileTest, SkewedDataStillSplits) {
+  GridFile grid(&pool_, Rectangle(0, 0, 1000, 1000), 4);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 55);
+  std::vector<Point> data = gen.ClusteredPoints(300, 3, 15.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    grid.Insert(data[i], static_cast<TupleId>(i));
+  }
+  grid.CheckInvariants();
+  EXPECT_EQ(grid.num_records(), 300);
+  EXPECT_EQ(grid.SearchTids(Rectangle(0, 0, 1000, 1000)).size(), 300u);
+}
+
+TEST_F(GridFileTest, DeleteRemovesRecord) {
+  GridFile grid(&pool_, Rectangle(0, 0, 10, 10), 4);
+  grid.Insert(Point(5, 5), 1);
+  grid.Insert(Point(5, 5), 2);  // same point, different tid
+  EXPECT_TRUE(grid.Delete(Point(5, 5), 1));
+  EXPECT_EQ(grid.SearchTids(Rectangle(4, 4, 6, 6)),
+            std::vector<TupleId>{2});
+  EXPECT_FALSE(grid.Delete(Point(5, 5), 1));
+  EXPECT_FALSE(grid.Delete(Point(1, 1), 2));
+  grid.CheckInvariants();
+}
+
+TEST_F(GridFileTest, BoundaryPointsIndexed) {
+  GridFile grid(&pool_, Rectangle(0, 0, 10, 10), 4);
+  grid.Insert(Point(0, 0), 1);
+  grid.Insert(Point(10, 10), 2);
+  EXPECT_EQ(grid.SearchTids(Rectangle(0, 0, 10, 10)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "zorder/hilbert.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(HilbertTest, SmallOrderKnownValues) {
+  // Order 1: the 2x2 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+  EXPECT_EQ(XYToHilbert(0, 0, 1), 0u);
+  EXPECT_EQ(XYToHilbert(0, 1, 1), 1u);
+  EXPECT_EQ(XYToHilbert(1, 1, 1), 2u);
+  EXPECT_EQ(XYToHilbert(1, 0, 1), 3u);
+}
+
+TEST(HilbertTest, BijectionOnFullSmallGrid) {
+  const int order = 4;  // 16x16
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      uint64_t d = XYToHilbert(x, y, order);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << "collision at " << x << ","
+                                         << y;
+      uint32_t rx, ry;
+      HilbertToXY(d, order, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HilbertTest, RoundTripAtFullResolution) {
+  Rng rng(71);
+  const int order = ZCell::kMaxLevel;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t x = static_cast<uint32_t>(
+        rng.NextUint64(uint64_t{1} << order));
+    uint32_t y = static_cast<uint32_t>(
+        rng.NextUint64(uint64_t{1} << order));
+    uint64_t d = XYToHilbert(x, y, order);
+    uint32_t rx, ry;
+    HilbertToXY(d, order, &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(HilbertTest, CurveStepsAreUnitSteps) {
+  // The defining locality property z-order lacks: consecutive Hilbert
+  // indices are always spatially adjacent (Manhattan distance 1).
+  const int order = 5;  // 32x32 = 1024 cells
+  for (uint64_t d = 0; d + 1 < 1024; ++d) {
+    uint32_t x1, y1, x2, y2;
+    HilbertToXY(d, order, &x1, &y1);
+    HilbertToXY(d + 1, order, &x2, &y2);
+    int dx = std::abs(static_cast<int>(x1) - static_cast<int>(x2));
+    int dy = std::abs(static_cast<int>(y1) - static_cast<int>(y2));
+    EXPECT_EQ(dx + dy, 1) << "at d=" << d;
+  }
+}
+
+TEST(HilbertTest, ZOrderStepsAreNotUnitSteps) {
+  // Contrast: z-order consecutive indices jump (the paper's Fig. 1).
+  int jumps = 0;
+  for (uint64_t z = 0; z + 1 < 1024; ++z) {
+    uint32_t x1, y1, x2, y2;
+    // Inverse of InterleaveBits restricted to `bits` bits.
+    DeinterleaveBits(z, &x1, &y1);
+    DeinterleaveBits(z + 1, &x2, &y2);
+    int dx = std::abs(static_cast<int>(x1) - static_cast<int>(x2));
+    int dy = std::abs(static_cast<int>(y1) - static_cast<int>(y2));
+    if (dx + dy > 1) ++jumps;
+  }
+  EXPECT_GT(jumps, 100);
+}
+
+TEST(HilbertTest, BetterAverageLocalityThanZOrder) {
+  // Mean spatial distance between curve-consecutive cells: Hilbert = 1
+  // by construction, z-order strictly worse. (Neither fixes the paper's
+  // global impossibility — see the naive sort-merge tests.)
+  const int order = 6;
+  const uint64_t cells = 1 << (2 * order);
+  double z_total = 0;
+  for (uint64_t v = 0; v + 1 < cells; ++v) {
+    uint32_t x1, y1, x2, y2;
+    DeinterleaveBits(v, &x1, &y1);
+    DeinterleaveBits(v + 1, &x2, &y2);
+    z_total += std::hypot(static_cast<double>(x1) - x2,
+                          static_cast<double>(y1) - y2);
+  }
+  double z_mean = z_total / static_cast<double>(cells - 1);
+  EXPECT_GT(z_mean, 1.3);  // hilbert's mean is exactly 1.0
+}
+
+TEST(HilbertTest, GridHelperMatchesManualEncoding) {
+  ZGrid grid(Rectangle(0, 0, 100, 100));
+  Point p(12.5, 81.25);
+  uint32_t cx, cy;
+  grid.CellCoords(p, &cx, &cy);
+  EXPECT_EQ(HilbertValueOf(grid, p),
+            XYToHilbert(cx, cy, ZCell::kMaxLevel));
+}
+
+}  // namespace
+}  // namespace spatialjoin

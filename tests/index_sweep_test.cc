@@ -1,0 +1,213 @@
+// Parameterized correctness sweeps across index tuning knobs: whatever
+// the fan-out / node order / bucket capacity, every access method must
+// return exactly the brute-force answer and keep its invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "gridfile/grid_file.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// R-tree fan-out sweep.
+// ---------------------------------------------------------------------------
+
+class RTreeFanoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeFanoutSweep, SearchExactUnderAnyFanout) {
+  int fanout = GetParam();
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 2048);
+  RTree tree(&pool, RTreeSplit::kQuadratic, fanout);
+  RectGenerator gen(Rectangle(0, 0, 400, 400), 100 + fanout);
+  std::vector<Rectangle> data = gen.Rects(400, 1, 12);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], static_cast<TupleId>(i));
+  }
+  tree.CheckInvariants();
+  for (int q = 0; q < 20; ++q) {
+    Rectangle window = gen.NextRect(10, 80);
+    std::vector<TupleId> hits = tree.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Overlaps(window)) expected.push_back(static_cast<TupleId>(i));
+    }
+    std::sort(hits.begin(), hits.end());
+    EXPECT_EQ(hits, expected) << "fanout " << fanout;
+  }
+  // Smaller fan-out ⇒ taller tree; sanity bound.
+  EXPECT_GE(tree.height(), fanout <= 8 ? 3 : 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutSweep,
+                         ::testing::Values(4, 6, 8, 16, 32));
+
+// ---------------------------------------------------------------------------
+// B⁺-tree order sweep.
+// ---------------------------------------------------------------------------
+
+class BTreeOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeOrderSweep, RangeScansMatchReference) {
+  int order = GetParam();
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 1024);
+  BPlusTree tree(&pool, order, order);
+  std::multimap<uint64_t, uint64_t> reference;
+  Rng rng(200 + static_cast<uint64_t>(order));
+  for (int i = 0; i < 1500; ++i) {
+    uint64_t key = rng.NextUint64(500);
+    uint64_t value = rng.NextUint64();
+    tree.Insert(key, value);
+    reference.emplace(key, value);
+  }
+  for (int q = 0; q < 25; ++q) {
+    uint64_t lo = rng.NextUint64(500);
+    uint64_t hi = lo + rng.NextUint64(100);
+    std::vector<std::pair<uint64_t, uint64_t>> scanned;
+    tree.ScanRange(lo, hi, [&](uint64_t k, uint64_t v) {
+      scanned.emplace_back(k, v);
+    });
+    std::vector<std::pair<uint64_t, uint64_t>> expected(
+        reference.lower_bound(lo), reference.upper_bound(hi));
+    std::sort(scanned.begin(), scanned.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(scanned, expected) << "order " << order;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BTreeOrderSweep,
+                         ::testing::Values(3, 4, 8, 50, 100));
+
+// ---------------------------------------------------------------------------
+// Grid-file bucket-capacity sweep.
+// ---------------------------------------------------------------------------
+
+class GridFileCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridFileCapacitySweep, SearchExactUnderAnyCapacity) {
+  int capacity = GetParam();
+  DiskManager disk(512);
+  BufferPool pool(&disk, 512);
+  GridFile grid(&pool, Rectangle(0, 0, 300, 300), capacity);
+  RectGenerator gen(Rectangle(0, 0, 300, 300), 300 + capacity);
+  std::vector<Point> data = gen.Points(400);
+  for (size_t i = 0; i < data.size(); ++i) {
+    grid.Insert(data[i], static_cast<TupleId>(i));
+  }
+  grid.CheckInvariants();
+  for (int q = 0; q < 20; ++q) {
+    Rectangle window = gen.NextRect(10, 100);
+    std::vector<TupleId> hits = grid.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (window.ContainsPoint(data[i])) {
+        expected.push_back(static_cast<TupleId>(i));
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected) << "capacity " << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, GridFileCapacitySweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Buffer pool vs a reference LRU simulation.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Memory-pressure stress: the paged structures must stay correct when the
+// buffer pool is barely larger than a single page (every access evicts).
+// ---------------------------------------------------------------------------
+
+TEST(MemoryPressureStressTest, BTreeCorrectUnderTinyPool) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 2);
+  BPlusTree tree(&pool, 8, 8);
+  std::multimap<uint64_t, uint64_t> reference;
+  Rng rng(888);
+  for (int i = 0; i < 800; ++i) {
+    uint64_t key = rng.NextUint64(300);
+    tree.Insert(key, key * 2);
+    reference.emplace(key, key * 2);
+  }
+  EXPECT_GT(pool.stats().evictions, 100);  // the pool really thrashed
+  for (uint64_t key = 0; key < 300; ++key) {
+    EXPECT_EQ(tree.Lookup(key).size(), reference.count(key)) << key;
+  }
+}
+
+TEST(MemoryPressureStressTest, RTreeCorrectUnderTinyPool) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 2);
+  RTree tree(&pool, RTreeSplit::kQuadratic, 6);
+  RectGenerator gen(Rectangle(0, 0, 200, 200), 999);
+  std::vector<Rectangle> data = gen.Rects(250, 1, 10);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], static_cast<TupleId>(i));
+  }
+  tree.CheckInvariants();
+  Rectangle window(50, 50, 120, 120);
+  std::vector<TupleId> hits = tree.SearchTids(window);
+  std::vector<TupleId> expected;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].Overlaps(window)) expected.push_back(static_cast<TupleId>(i));
+  }
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, expected);
+}
+
+TEST(BufferPoolReferenceTest, MissCountMatchesIdealLru) {
+  const int64_t capacity = 16;
+  const int64_t pages = 100;
+  DiskManager disk(256);
+  std::vector<PageId> ids;
+  for (int64_t i = 0; i < pages; ++i) ids.push_back(disk.AllocatePage());
+  BufferPool pool(&disk, capacity);
+
+  // Reference LRU on the same access trace.
+  std::list<PageId> lru;
+  auto reference_access = [&](PageId id) -> bool {  // returns miss
+    auto it = std::find(lru.begin(), lru.end(), id);
+    if (it != lru.end()) {
+      lru.erase(it);
+      lru.push_front(id);
+      return false;
+    }
+    if (static_cast<int64_t>(lru.size()) >= capacity) lru.pop_back();
+    lru.push_front(id);
+    return true;
+  };
+
+  Rng rng(77);
+  int64_t reference_misses = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Skewed trace: 80% of accesses to 20% of pages.
+    PageId id = rng.NextBernoulli(0.8)
+                    ? ids[static_cast<size_t>(rng.NextUint64(pages / 5))]
+                    : ids[static_cast<size_t>(rng.NextUint64(pages))];
+    pool.GetPage(id);
+    reference_misses += reference_access(id);
+  }
+  EXPECT_EQ(pool.stats().misses, reference_misses);
+  EXPECT_EQ(pool.stats().hits, 5000 - reference_misses);
+  // The skew must make the pool effective.
+  EXPECT_GT(pool.stats().hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,241 @@
+// End-to-end tests exercising the whole stack: simulated disk → buffer
+// pool → relations → spatial indices → join strategies, on the paper's
+// running example ("find all houses within 10 kilometers from a lake").
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_nested_loop.h"
+#include "core/join.h"
+#include "core/memory_gentree.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/spatial_join.h"
+#include "core/theta_ops.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+#include "workload/scenario_houses_lakes.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+// The paper's query (2): house within 10 km of a lake, as a θ-operator
+// on (point, polygon) pairs measured between closest points.
+class WithinBufferOp : public ThetaOperator {
+ public:
+  explicit WithinBufferOp(double d) : d_(d) {}
+  std::string name() const override { return "within_buffer"; }
+  bool Theta(const Value& a, const Value& b) const override {
+    return MinDistanceBetween(a, b) <= d_;
+  }
+  bool ThetaUpper(const Rectangle& a, const Rectangle& b) const override {
+    return a.MinDistance(b) <= d_;
+  }
+  bool is_symmetric() const override { return true; }
+
+ private:
+  double d_;
+};
+
+class HousesLakesIntegrationTest : public ::testing::Test {
+ protected:
+  HousesLakesIntegrationTest() : disk_(2000), pool_(&disk_, 4000) {
+    HousesLakesOptions options;
+    options.num_houses = 500;
+    options.num_lakes = 20;
+    scenario_ = GenerateHousesLakes(options, &pool_);
+
+    // R-tree on the houses' locations.
+    houses_rtree_ = std::make_unique<RTree>(&pool_,
+                                            RTreeSplit::kQuadratic, 8);
+    scenario_.houses->Scan([&](TupleId tid, const Tuple& t) {
+      houses_rtree_->Insert(t.value(2).Mbr(), tid);
+    });
+    houses_tree_ = std::make_unique<RTreeGenTree>(
+        houses_rtree_.get(), scenario_.houses.get(), 2);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  HousesLakesScenario scenario_;
+  std::unique_ptr<RTree> houses_rtree_;
+  std::unique_ptr<RTreeGenTree> houses_tree_;
+};
+
+TEST_F(HousesLakesIntegrationTest, PaperQueryAcrossStrategies) {
+  WithinBufferOp op(10.0);
+  // Ground truth by blocked nested loop (strategy I).
+  JoinResult nested = NestedLoopJoin(*scenario_.houses, 2,
+                                     *scenario_.lakes, 2, op);
+  EXPECT_FALSE(nested.matches.empty());
+
+  // Index-supported join probing the houses' R-tree per lake.
+  JoinResult indexed =
+      IndexNestedLoopJoin(*houses_tree_, *scenario_.lakes, 2, op);
+  EXPECT_EQ(AsSet(indexed), AsSet(nested));
+  EXPECT_LT(indexed.theta_tests, nested.theta_tests);
+}
+
+TEST_F(HousesLakesIntegrationTest, SpatialSelectionForOneLake) {
+  // Query (1)-style degenerate join: one selector object against the
+  // houses relation, via the R-tree and by exhaustive scan.
+  WithinBufferOp op(10.0);
+  Value lake = scenario_.lakes->Read(3).value(2);
+  SelectResult tree_result = SpatialSelect(lake, *houses_tree_, op);
+  JoinResult scan = NestedLoopSelect(lake, *scenario_.houses, 2, op);
+  std::set<TupleId> tree_tids(tree_result.matching_tuples.begin(),
+                              tree_result.matching_tuples.end());
+  std::set<TupleId> scan_tids;
+  for (const auto& m : scan.matches) scan_tids.insert(m.first);
+  EXPECT_EQ(tree_tids, scan_tids);
+  EXPECT_LT(tree_result.theta_tests, scenario_.houses->num_tuples());
+}
+
+TEST_F(HousesLakesIntegrationTest, IoAccountingFlowsThroughStack) {
+  WithinBufferOp op(10.0);
+  pool_.Clear();
+  disk_.ResetStats();
+  pool_.ResetStats();
+  Value lake = scenario_.lakes->Read(0).value(2);
+  int64_t reads_after_lake = disk_.stats().page_reads;
+  SpatialSelect(lake, *houses_tree_, op);
+  // The selection must fault in index pages + qualifying house tuples,
+  // but not the whole database.
+  int64_t select_reads = disk_.stats().page_reads - reads_after_lake;
+  EXPECT_GT(select_reads, 0);
+  EXPECT_LT(select_reads, disk_.num_pages());
+  EXPECT_GT(pool_.stats().hit_rate(), 0.0);
+}
+
+TEST(CartographicIntegrationTest, SelfJoinOnHierarchy) {
+  // Fig. 3-style hierarchy joined with itself: overlapping regions.
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 2048);
+  HierarchyOptions options;
+  options.height = 3;
+  options.fanout = 4;
+  options.shrink = 1.0;  // exact tiling → rich adjacency
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 128, 128), options, &pool,
+      RelationLayout::kClustered, /*pad_tuples_to=*/300,
+      /*shuffle=*/false);
+  OverlapsOp op;
+  JoinResult tree_join = TreeJoin(*h.tree, *h.tree, op);
+  JoinResult ground_truth = NestedLoopJoin(
+      *h.relation, h.spatial_column, *h.relation, h.spatial_column, op);
+  EXPECT_EQ(AsSet(tree_join), AsSet(ground_truth));
+  // Hierarchy property: every region overlaps its ancestors, so the
+  // result must contain all ancestor-descendant pairs.
+  MatchSet set = AsSet(tree_join);
+  for (NodeId n = 0; n < h.tree->num_nodes(); ++n) {
+    NodeId parent = h.tree->ParentOf(n);
+    if (parent == kInvalidNodeId) continue;
+    EXPECT_TRUE(set.count({h.tree->TupleOf(n), h.tree->TupleOf(parent)}));
+  }
+}
+
+TEST(PolylineIntegrationTest, RiversCrossRegionsAcrossStrategies) {
+  // Heterogeneous geometry end-to-end: polyline rivers joined with
+  // rectangle regions, via nested loop and Algorithm JOIN over two
+  // hand-built hierarchies.
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 512);
+  Schema region_schema({{"id", ValueType::kInt64},
+                        {"area", ValueType::kRectangle}});
+  Schema river_schema({{"id", ValueType::kInt64},
+                       {"course", ValueType::kPolyline}});
+  Relation regions("regions", region_schema, &pool);
+  Relation rivers("rivers", river_schema, &pool);
+
+  MemoryGenTree region_tree;
+  NodeId region_root = region_tree.AddNode(
+      kInvalidNodeId, Value(Rectangle(0, 0, 100, 100)),
+      regions.Insert(
+          Tuple({Value(int64_t{0}), Value(Rectangle(0, 0, 100, 100))})));
+  for (int i = 0; i < 4; ++i) {
+    double x = 10.0 + 20.0 * i;
+    Rectangle cell(x, 20, x + 15, 80);
+    region_tree.AddNode(
+        region_root, Value(cell),
+        regions.Insert(Tuple({Value(int64_t{i + 1}), Value(cell)})));
+  }
+
+  MemoryGenTree river_tree;
+  NodeId river_root = river_tree.AddNode(
+      kInvalidNodeId, Value(Rectangle(0, 0, 100, 100)), kInvalidTupleId);
+  Polyline crossing({{5, 50}, {95, 55}});    // crosses every column
+  Polyline vertical({{12, 25}, {14, 75}});   // stays inside column 1
+  Polyline outside({{5, 5}, {95, 8}});       // below all columns
+  for (const Polyline& course : {crossing, vertical, outside}) {
+    river_tree.AddNode(
+        river_root, Value(course),
+        rivers.Insert(Tuple({Value(rivers.num_tuples()), Value(course)})));
+  }
+
+  OverlapsOp op;
+  JoinResult tree_join = TreeJoin(region_tree, river_tree, op);
+  JoinResult ground_truth = NestedLoopJoin(regions, 1, rivers, 1, op);
+  MatchSet tree_set = AsSet(tree_join);
+  EXPECT_EQ(tree_set, AsSet(ground_truth));
+  // The crossing river matches all five regions, the vertical one
+  // exactly two (root + its column), the outside one only the root.
+  int crossing_matches = 0;
+  for (const auto& m : tree_set) crossing_matches += m.second == 0;
+  EXPECT_EQ(crossing_matches, 5);
+  EXPECT_TRUE(tree_set.count({1, 1}));
+  EXPECT_FALSE(tree_set.count({2, 1}));
+  EXPECT_TRUE(tree_set.count({0, 2}));
+  EXPECT_FALSE(tree_set.count({1, 2}));
+}
+
+TEST(ClusteringIntegrationTest, ClusteredLayoutReducesSelectIo) {
+  // Strategy IIb vs IIa (paper §4.3): the same SELECT pays fewer page
+  // faults when tuples are clustered in breadth-first tree order.
+  HierarchyOptions options;
+  options.height = 5;
+  options.fanout = 4;  // 1365 nodes
+
+  DiskManager disk_clustered(2000);
+  BufferPool pool_clustered(&disk_clustered, 64);
+  GeneratedHierarchy clustered = GenerateHierarchy(
+      Rectangle(0, 0, 1024, 1024), options, &pool_clustered,
+      RelationLayout::kClustered, /*pad_tuples_to=*/300);
+
+  DiskManager disk_heap(2000);
+  BufferPool pool_heap(&disk_heap, 64);
+  GeneratedHierarchy shuffled = GenerateHierarchy(
+      Rectangle(0, 0, 1024, 1024), options, &pool_heap,
+      RelationLayout::kHeap, /*pad_tuples_to=*/300,
+      /*shuffle_storage_order=*/true);
+
+  OverlapsOp op;
+  Value selector(Rectangle(100, 100, 400, 400));
+
+  pool_clustered.Clear();
+  disk_clustered.ResetStats();
+  SelectResult a = SpatialSelect(selector, *clustered.tree, op);
+  int64_t io_clustered = disk_clustered.stats().page_reads;
+
+  pool_heap.Clear();
+  disk_heap.ResetStats();
+  SelectResult b = SpatialSelect(selector, *shuffled.tree, op);
+  int64_t io_unclustered = disk_heap.stats().page_reads;
+
+  // Same logical work...
+  EXPECT_EQ(a.theta_tests, b.theta_tests);
+  EXPECT_EQ(a.matching_tuples.size(), b.matching_tuples.size());
+  // ...less physical I/O for the clustered layout.
+  EXPECT_LT(io_clustered, io_unclustered);
+}
+
+}  // namespace
+}  // namespace spatialjoin

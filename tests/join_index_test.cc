@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/join_index.h"
+#include "core/nested_loop.h"
+#include "core/theta_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+class JoinIndexTest : public ::testing::Test {
+ protected:
+  JoinIndexTest() : disk_(2000), pool_(&disk_, 1024) {}
+
+  std::unique_ptr<Relation> MakeRects(const std::string& name, int count,
+                                      uint64_t seed) {
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    auto rel = std::make_unique<Relation>(name, schema, &pool_);
+    RectGenerator gen(Rectangle(0, 0, 500, 500), seed);
+    for (int64_t i = 0; i < count; ++i) {
+      rel->Insert(Tuple({Value(i), Value(gen.NextRect(2, 30))}));
+    }
+    return rel;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(JoinIndexTest, BuildThenExecuteMatchesGroundTruth) {
+  auto r = MakeRects("r", 200, 1);
+  auto s = MakeRects("s", 200, 2);
+  OverlapsOp op;
+  JoinIndex index(&pool_, /*entries_per_page=*/100);
+  int64_t tests = index.Build(*r, 1, *s, 1, op);
+  EXPECT_EQ(tests, 200 * 200);  // precomputation is exhaustive
+  JoinResult from_index = index.Execute(*r, *s);
+  JoinResult ground_truth = NestedLoopJoin(*r, 1, *s, 1, op);
+  EXPECT_EQ(AsSet(from_index), AsSet(ground_truth));
+  // Query-time θ work is zero — that is the strategy's selling point.
+  EXPECT_EQ(from_index.theta_tests, 0);
+  EXPECT_EQ(index.num_pairs(),
+            static_cast<int64_t>(ground_truth.matches.size()));
+}
+
+TEST_F(JoinIndexTest, LookupBothDirections) {
+  auto r = MakeRects("r", 50, 3);
+  auto s = MakeRects("s", 50, 4);
+  OverlapsOp op;
+  JoinIndex index(&pool_, 100);
+  index.Build(*r, 1, *s, 1, op);
+  JoinResult ground_truth = NestedLoopJoin(*r, 1, *s, 1, op);
+  MatchSet truth = AsSet(ground_truth);
+  for (TupleId r_tid = 0; r_tid < 50; ++r_tid) {
+    for (TupleId s_tid : index.SMatchesOf(r_tid)) {
+      EXPECT_TRUE(truth.count({r_tid, s_tid}));
+    }
+  }
+  for (TupleId s_tid = 0; s_tid < 50; ++s_tid) {
+    for (TupleId r_tid : index.RMatchesOf(s_tid)) {
+      EXPECT_TRUE(truth.count({r_tid, s_tid}));
+    }
+  }
+  // Totals agree with the match count in both directions.
+  int64_t fwd = 0, bwd = 0;
+  for (TupleId t = 0; t < 50; ++t) {
+    fwd += static_cast<int64_t>(index.SMatchesOf(t).size());
+    bwd += static_cast<int64_t>(index.RMatchesOf(t).size());
+  }
+  EXPECT_EQ(fwd, static_cast<int64_t>(truth.size()));
+  EXPECT_EQ(bwd, static_cast<int64_t>(truth.size()));
+}
+
+TEST_F(JoinIndexTest, MaintenanceOnInsert) {
+  auto r = MakeRects("r", 40, 5);
+  auto s = MakeRects("s", 40, 6);
+  OverlapsOp op;
+  JoinIndex index(&pool_, 100);
+  index.Build(*r, 1, *s, 1, op);
+
+  // Insert a new R tuple covering the middle of the world.
+  Rectangle new_box(200, 200, 300, 300);
+  TupleId new_r = r->Insert(
+      Tuple({Value(int64_t{40}), Value(new_box)}));
+  int64_t tests = index.OnInsertR(new_r, Value(new_box), *s, 1, op);
+  EXPECT_EQ(tests, s->num_tuples());  // the paper's U_III: test all of S
+
+  JoinResult from_index = index.Execute(*r, *s);
+  JoinResult ground_truth = NestedLoopJoin(*r, 1, *s, 1, op);
+  EXPECT_EQ(AsSet(from_index), AsSet(ground_truth));
+}
+
+TEST_F(JoinIndexTest, RemovePair) {
+  auto r = MakeRects("r", 30, 7);
+  auto s = MakeRects("s", 30, 8);
+  OverlapsOp op;
+  JoinIndex index(&pool_, 100);
+  index.Build(*r, 1, *s, 1, op);
+  ASSERT_GT(index.num_pairs(), 0);
+  JoinResult before = index.Execute(*r, *s);
+  auto victim = before.matches.front();
+  EXPECT_TRUE(index.Remove(victim.first, victim.second));
+  EXPECT_FALSE(index.Remove(victim.first, victim.second));
+  JoinResult after = index.Execute(*r, *s);
+  EXPECT_EQ(after.matches.size(), before.matches.size() - 1);
+  EXPECT_FALSE(AsSet(after).count(victim));
+}
+
+TEST_F(JoinIndexTest, ExecutePaysTupleFetchIo) {
+  auto r = MakeRects("r", 150, 9);
+  auto s = MakeRects("s", 150, 10);
+  OverlapsOp op;
+  JoinIndex index(&pool_, 100);
+  index.Build(*r, 1, *s, 1, op);
+  pool_.Clear();
+  int64_t reads_before = disk_.stats().page_reads;
+  JoinResult result = index.Execute(*r, *s);
+  int64_t reads = disk_.stats().page_reads - reads_before;
+  EXPECT_GT(reads, 0);  // index pages + matching tuples were fetched
+  EXPECT_EQ(result.nodes_accessed,
+            2 * static_cast<int64_t>(result.matches.size()));
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_nested_loop.h"
+#include "core/spatial_join.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+// End-to-end fixture: two rectangle relations, R-trees on both, a ZGrid,
+// and a prebuilt join index — everything the dispatcher can need.
+class StrategiesTest : public ::testing::Test {
+ protected:
+  StrategiesTest()
+      : disk_(2000),
+        pool_(&disk_, 2048),
+        world_(0, 0, 600, 600),
+        grid_(world_) {
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    r_ = std::make_unique<Relation>("r", schema, &pool_);
+    s_ = std::make_unique<Relation>("s", schema, &pool_);
+    r_rtree_ = std::make_unique<RTree>(&pool_, RTreeSplit::kQuadratic, 8);
+    s_rtree_ = std::make_unique<RTree>(&pool_, RTreeSplit::kQuadratic, 8);
+    RectGenerator gen_r(world_, 21);
+    RectGenerator gen_s(world_, 22);
+    for (int64_t i = 0; i < 250; ++i) {
+      Rectangle box_r = gen_r.NextRect(2, 30);
+      Rectangle box_s = gen_s.NextRect(2, 30);
+      r_rtree_->Insert(box_r, r_->Insert(Tuple({Value(i), Value(box_r)})));
+      s_rtree_->Insert(box_s, s_->Insert(Tuple({Value(i), Value(box_s)})));
+    }
+    r_adapter_ = std::make_unique<RTreeGenTree>(r_rtree_.get(), r_.get(), 1);
+    s_adapter_ = std::make_unique<RTreeGenTree>(s_rtree_.get(), s_.get(), 1);
+    join_index_ = std::make_unique<JoinIndex>(&pool_, 100);
+    OverlapsOp op;
+    join_index_->Build(*r_, 1, *s_, 1, op);
+
+    ctx_.r = r_.get();
+    ctx_.col_r = 1;
+    ctx_.s = s_.get();
+    ctx_.col_s = 1;
+    ctx_.r_tree = r_adapter_.get();
+    ctx_.s_tree = s_adapter_.get();
+    ctx_.join_index = join_index_.get();
+    ctx_.zgrid = &grid_;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Rectangle world_;
+  ZGrid grid_;
+  std::unique_ptr<Relation> r_;
+  std::unique_ptr<Relation> s_;
+  std::unique_ptr<RTree> r_rtree_;
+  std::unique_ptr<RTree> s_rtree_;
+  std::unique_ptr<RTreeGenTree> r_adapter_;
+  std::unique_ptr<RTreeGenTree> s_adapter_;
+  std::unique_ptr<JoinIndex> join_index_;
+  SpatialJoinContext ctx_;
+};
+
+TEST_F(StrategiesTest, AllStrategiesAgreeForOverlaps) {
+  OverlapsOp op;
+  JoinResult baseline = ExecuteJoin(JoinStrategy::kNestedLoop, ctx_, op);
+  MatchSet truth = AsSet(baseline);
+  EXPECT_FALSE(truth.empty());
+  for (JoinStrategy strategy :
+       {JoinStrategy::kTreeJoin, JoinStrategy::kIndexNestedLoop,
+        JoinStrategy::kSortMergeZOrder, JoinStrategy::kJoinIndex}) {
+    JoinResult result = ExecuteJoin(strategy, ctx_, op);
+    EXPECT_EQ(AsSet(result), truth) << JoinStrategyName(strategy);
+  }
+}
+
+TEST_F(StrategiesTest, NonOverlapStrategiesAgreeForDistanceJoin) {
+  WithinDistanceOp op(12.0);
+  JoinResult baseline = ExecuteJoin(JoinStrategy::kNestedLoop, ctx_, op);
+  MatchSet truth = AsSet(baseline);
+  for (JoinStrategy strategy :
+       {JoinStrategy::kTreeJoin, JoinStrategy::kIndexNestedLoop}) {
+    JoinResult result = ExecuteJoin(strategy, ctx_, op);
+    EXPECT_EQ(AsSet(result), truth) << JoinStrategyName(strategy);
+  }
+}
+
+TEST_F(StrategiesTest, IndexNestedLoopPrunesThetaTests) {
+  WithinDistanceOp op(10.0);
+  JoinResult nl = ExecuteJoin(JoinStrategy::kNestedLoop, ctx_, op);
+  JoinResult inl = ExecuteJoin(JoinStrategy::kIndexNestedLoop, ctx_, op);
+  EXPECT_EQ(AsSet(nl), AsSet(inl));
+  // The index probe must beat |R|·|S| θ evaluations.
+  EXPECT_LT(inl.theta_tests, nl.theta_tests);
+}
+
+TEST_F(StrategiesTest, SelectStrategiesAgree) {
+  OverlapsOp op;
+  RectGenerator gen(world_, 99);
+  for (int q = 0; q < 5; ++q) {
+    Value selector(gen.NextRect(20, 80));
+    JoinResult exhaustive = ExecuteSelect(SelectStrategy::kExhaustive, ctx_,
+                                          selector, kInvalidTupleId, op);
+    // Tree select probes S's generalization tree.
+    JoinResult tree = ExecuteSelect(SelectStrategy::kTree, ctx_, selector,
+                                    kInvalidTupleId, op);
+    EXPECT_EQ(AsSet(exhaustive), AsSet(tree));
+  }
+}
+
+TEST_F(StrategiesTest, JoinIndexSelectLookup) {
+  OverlapsOp op;
+  // For a stored R tuple, the join-index lookup answers the selection.
+  TupleId selector_tid = 17;
+  Value selector = r_->Read(selector_tid).value(1);
+  JoinResult lookup = ExecuteSelect(SelectStrategy::kJoinIndexLookup, ctx_,
+                                    selector, selector_tid, op);
+  JoinResult exhaustive = ExecuteSelect(SelectStrategy::kExhaustive, ctx_,
+                                        selector, selector_tid, op);
+  EXPECT_EQ(AsSet(lookup), AsSet(exhaustive));
+  EXPECT_EQ(lookup.theta_tests, 0);
+}
+
+TEST_F(StrategiesTest, NormalizeMatchesSortsAndDedups) {
+  JoinResult result;
+  result.matches = {{2, 1}, {1, 1}, {2, 1}, {0, 5}};
+  NormalizeMatches(&result);
+  EXPECT_EQ(result.matches,
+            (std::vector<std::pair<TupleId, TupleId>>{
+                {0, 5}, {1, 1}, {2, 1}}));
+}
+
+TEST_F(StrategiesTest, StrategyNamesAreStable) {
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kNestedLoop), "nested_loop");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kTreeJoin), "tree_join");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kJoinIndex), "join_index");
+  EXPECT_STREQ(SelectStrategyName(SelectStrategy::kTree), "tree_select");
+}
+
+}  // namespace
+}  // namespace spatialjoin

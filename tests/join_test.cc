@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/join.h"
+#include "core/memory_gentree.h"
+#include "core/nested_loop.h"
+#include "core/spatial_join.h"
+#include "core/theta_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+class TreeJoinTest : public ::testing::Test {
+ protected:
+  TreeJoinTest() : disk_(2000), pool_(&disk_, 1024) {}
+
+  GeneratedHierarchy MakeHierarchy(int height, int fanout, uint64_t seed,
+                                   const Rectangle& world) {
+    HierarchyOptions options;
+    options.height = height;
+    options.fanout = fanout;
+    options.seed = seed;
+    options.shrink = 0.95;
+    return GenerateHierarchy(world, options, &pool_,
+                             RelationLayout::kClustered);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(TreeJoinTest, MatchesNestedLoopGroundTruth) {
+  // Two different hierarchies over overlapping worlds.
+  GeneratedHierarchy r =
+      MakeHierarchy(3, 3, 1, Rectangle(0, 0, 100, 100));
+  GeneratedHierarchy s =
+      MakeHierarchy(3, 4, 2, Rectangle(30, 30, 130, 130));
+
+  WithinDistanceOp within(15.0);
+  OverlapsOp overlaps;
+  NorthwestOfOp northwest;
+  const ThetaOperator* ops[] = {&within, &overlaps, &northwest};
+  for (const ThetaOperator* op : ops) {
+    JoinResult tree_result = TreeJoin(*r.tree, *s.tree, *op);
+    JoinResult ground_truth =
+        NestedLoopJoin(*r.relation, r.spatial_column, *s.relation,
+                       s.spatial_column, *op);
+    EXPECT_EQ(AsSet(tree_result), AsSet(ground_truth)) << op->name();
+  }
+}
+
+TEST_F(TreeJoinTest, EmitsEachMatchExactlyOnce) {
+  GeneratedHierarchy r =
+      MakeHierarchy(3, 3, 5, Rectangle(0, 0, 80, 80));
+  GeneratedHierarchy s =
+      MakeHierarchy(3, 3, 6, Rectangle(10, 10, 90, 90));
+  OverlapsOp op;
+  JoinResult result = TreeJoin(*r.tree, *s.tree, op);
+  MatchSet distinct = AsSet(result);
+  EXPECT_EQ(distinct.size(), result.matches.size())
+      << "duplicate join results";
+  EXPECT_FALSE(result.matches.empty());
+}
+
+TEST_F(TreeJoinTest, HandlesTreesOfDifferentHeights) {
+  GeneratedHierarchy shallow =
+      MakeHierarchy(2, 4, 7, Rectangle(0, 0, 60, 60));
+  GeneratedHierarchy deep =
+      MakeHierarchy(4, 3, 8, Rectangle(0, 0, 60, 60));
+  WithinDistanceOp op(10.0);
+  JoinResult forward = TreeJoin(*shallow.tree, *deep.tree, op);
+  JoinResult ground_truth =
+      NestedLoopJoin(*shallow.relation, shallow.spatial_column,
+                     *deep.relation, deep.spatial_column, op);
+  EXPECT_EQ(AsSet(forward), AsSet(ground_truth));
+  EXPECT_EQ(AsSet(forward).size(), forward.matches.size());
+}
+
+TEST_F(TreeJoinTest, AsymmetricOperatorKeepsOrientation) {
+  GeneratedHierarchy r =
+      MakeHierarchy(2, 3, 9, Rectangle(0, 0, 50, 50));
+  GeneratedHierarchy s =
+      MakeHierarchy(2, 3, 10, Rectangle(0, 0, 50, 50));
+  NorthwestOfOp op;  // asymmetric: θ(a,b) ≠ θ(b,a)
+  JoinResult ab = TreeJoin(*r.tree, *s.tree, op);
+  JoinResult ground_truth =
+      NestedLoopJoin(*r.relation, r.spatial_column, *s.relation,
+                     s.spatial_column, op);
+  EXPECT_EQ(AsSet(ab), AsSet(ground_truth));
+}
+
+TEST_F(TreeJoinTest, SelfJoinWorks) {
+  GeneratedHierarchy r =
+      MakeHierarchy(3, 3, 11, Rectangle(0, 0, 100, 100));
+  OverlapsOp op;
+  JoinResult self = TreeJoin(*r.tree, *r.tree, op);
+  JoinResult ground_truth =
+      NestedLoopJoin(*r.relation, r.spatial_column, *r.relation,
+                     r.spatial_column, op);
+  EXPECT_EQ(AsSet(self), AsSet(ground_truth));
+  // Every object overlaps itself: the diagonal must be present.
+  for (TupleId t = 0; t < r.relation->num_tuples(); ++t) {
+    EXPECT_TRUE(AsSet(self).count({t, t}));
+  }
+}
+
+TEST_F(TreeJoinTest, DisjointWorldsPruneAtRoot) {
+  GeneratedHierarchy r =
+      MakeHierarchy(3, 4, 12, Rectangle(0, 0, 50, 50));
+  GeneratedHierarchy s =
+      MakeHierarchy(3, 4, 13, Rectangle(1000, 1000, 1050, 1050));
+  OverlapsOp op;
+  JoinResult result = TreeJoin(*r.tree, *s.tree, op);
+  EXPECT_TRUE(result.matches.empty());
+  // One Θ test on the root pair suffices.
+  EXPECT_EQ(result.theta_upper_tests, 1);
+  EXPECT_EQ(result.qual_pairs_examined, 1);
+}
+
+TEST_F(TreeJoinTest, CountersAreConsistent) {
+  GeneratedHierarchy r =
+      MakeHierarchy(3, 3, 14, Rectangle(0, 0, 100, 100));
+  GeneratedHierarchy s =
+      MakeHierarchy(3, 3, 15, Rectangle(20, 20, 120, 120));
+  OverlapsOp op;
+  JoinResult result = TreeJoin(*r.tree, *s.tree, op);
+  EXPECT_GT(result.theta_upper_tests, 0);
+  EXPECT_GE(result.theta_tests, 1);
+  // Every θ test follows a successful Θ test.
+  EXPECT_LE(result.theta_tests, result.theta_upper_tests);
+  EXPECT_GE(result.nodes_accessed, result.theta_tests);
+}
+
+TEST_F(TreeJoinTest, SingleNodeTrees) {
+  MemoryGenTree r_tree;
+  r_tree.AddNode(kInvalidNodeId, Value(Rectangle(0, 0, 10, 10)), 0);
+  MemoryGenTree s_tree;
+  s_tree.AddNode(kInvalidNodeId, Value(Rectangle(5, 5, 15, 15)), 0);
+  OverlapsOp op;
+  JoinResult result = TreeJoin(r_tree, s_tree, op);
+  ASSERT_EQ(result.matches.size(), 1u);
+  EXPECT_EQ(result.matches[0], std::make_pair(TupleId{0}, TupleId{0}));
+}
+
+}  // namespace
+}  // namespace spatialjoin

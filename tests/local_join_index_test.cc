@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/local_join_index.h"
+#include "core/nested_loop.h"
+#include "core/theta_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+class LocalJoinIndexTest : public ::testing::Test {
+ protected:
+  LocalJoinIndexTest() : disk_(2000), pool_(&disk_, 1024) {}
+
+  // A leaf-only hierarchy: interior nodes are technical so every
+  // application object sits at the partition height or below.
+  GeneratedHierarchy MakeLeafHierarchy(int height, int fanout,
+                                       uint64_t seed) {
+    HierarchyOptions options;
+    options.height = height;
+    options.fanout = fanout;
+    options.seed = seed;
+    GeneratedHierarchy h = GenerateHierarchy(
+        Rectangle(0, 0, 200, 200), options, &pool_,
+        RelationLayout::kClustered);
+    return h;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+// Builds a tree whose application objects are only the leaves by copying
+// a generated hierarchy and dropping tuple links above `height`.
+std::unique_ptr<MemoryGenTree> LeafOnlyCopy(const MemoryGenTree& src,
+                                            int app_height) {
+  auto out = std::make_unique<MemoryGenTree>();
+  // BFS over src so parents precede children; node ids map 1:1 because
+  // MemoryGenTree assigns ids in insertion order.
+  for (NodeId n = 0; n < src.num_nodes(); ++n) {
+    NodeId parent = src.ParentOf(n);
+    TupleId tuple = src.HeightOf(n) >= app_height ? src.TupleOf(n)
+                                                  : kInvalidTupleId;
+    out->AddNode(parent, src.Geometry(n), tuple, src.LabelOf(n));
+  }
+  return out;
+}
+
+TEST_F(LocalJoinIndexTest, SelfJoinMatchesGroundTruth) {
+  GeneratedHierarchy h = MakeLeafHierarchy(3, 3, 42);
+  auto tree = LeafOnlyCopy(*h.tree, 2);  // application objects at h>=2
+  OverlapsOp op;
+  LocalJoinIndex index(&pool_, tree.get(), /*partition_height=*/1, 100);
+  int64_t build_tests = index.Build(op);
+  EXPECT_GT(build_tests, 0);
+
+  JoinResult result = index.Execute(op);
+  // Ground truth: ordered pairs of distinct application tuples.
+  MatchSet truth;
+  for (NodeId a = 0; a < tree->num_nodes(); ++a) {
+    if (!tree->IsApplicationNode(a)) continue;
+    for (NodeId b = 0; b < tree->num_nodes(); ++b) {
+      if (b == a || !tree->IsApplicationNode(b)) continue;
+      if (op.Theta(tree->Geometry(a), tree->Geometry(b))) {
+        truth.insert({tree->TupleOf(a), tree->TupleOf(b)});
+      }
+    }
+  }
+  EXPECT_EQ(MatchSet(result.matches.begin(), result.matches.end()), truth);
+  EXPECT_FALSE(truth.empty());
+}
+
+TEST_F(LocalJoinIndexTest, PartitionCountMatchesFanout) {
+  GeneratedHierarchy h = MakeLeafHierarchy(3, 4, 43);
+  auto tree = LeafOnlyCopy(*h.tree, 2);
+  OverlapsOp op;
+  LocalJoinIndex index(&pool_, tree.get(), 1, 100);
+  index.Build(op);
+  EXPECT_EQ(index.num_partitions(), 4);
+  EXPECT_GT(index.num_indexed_pairs(), 0);
+}
+
+TEST_F(LocalJoinIndexTest, UpdateCostIsPartitionLocal) {
+  GeneratedHierarchy h = MakeLeafHierarchy(3, 4, 44);
+  auto tree = LeafOnlyCopy(*h.tree, 2);
+  OverlapsOp op;
+  LocalJoinIndex index(&pool_, tree.get(), 1, 100);
+  index.Build(op);
+  // An object inside one partition is tested only against that
+  // partition's members — far fewer than all application objects.
+  int64_t app_objects = 4 * (4 + 16);  // heights 2 and 3 under 4 roots
+  // Inside the first partition's (shrunken) cell.
+  Rectangle small(20, 20, 25, 25);
+  int64_t cost = index.UpdateCost(small);
+  EXPECT_GT(cost, 0);
+  EXPECT_LT(cost, app_objects);
+  EXPECT_EQ(cost, app_objects / 4);  // exactly one partition's members
+}
+
+TEST_F(LocalJoinIndexTest, RejectsShallowApplicationObjects) {
+  GeneratedHierarchy h = MakeLeafHierarchy(2, 3, 45);
+  // Every node is an application object, including the root above the
+  // partition height — Build must refuse.
+  OverlapsOp op;
+  LocalJoinIndex index(&pool_, h.tree.get(), 1, 100);
+  EXPECT_DEATH(index.Build(op), "application object above");
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/stats.h"
+#include "costmodel/join_cost.h"
+#include "costmodel/select_cost.h"
+#include "workload/model_simulator.h"
+
+namespace spatialjoin {
+namespace {
+
+// Closed-form expected nodes examined by SELECT: 1 + Σ π_{h,i}·k^{i+1}.
+double ExpectedExamined(const ModelParameters& params,
+                        MatchDistribution dist) {
+  PiTable pi(dist, params.n, params.k, params.p);
+  double total = 1.0;
+  for (int i = 0; i < params.n; ++i) {
+    total += pi.pi(params.h, i) * DPow(params.k, i + 1);
+  }
+  return total;
+}
+
+ModelParameters SmallParams() {
+  ModelParameters params;
+  params.n = 4;
+  params.k = 5;
+  params.h = 4;
+  params.p = 0.3;
+  return params;
+}
+
+TEST(SimulateSelectTest, Deterministic) {
+  ModelParameters params = SmallParams();
+  SimulatedSelect a = SimulateSelect(params, MatchDistribution::kNoLoc, 7);
+  SimulatedSelect b = SimulateSelect(params, MatchDistribution::kNoLoc, 7);
+  EXPECT_EQ(a.nodes_examined, b.nodes_examined);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.pages_unclustered, b.pages_unclustered);
+}
+
+TEST(SimulateSelectTest, CountersConsistent) {
+  ModelParameters params = SmallParams();
+  SimulatedSelect sim =
+      SimulateSelect(params, MatchDistribution::kHiLoc, 11);
+  EXPECT_GE(sim.nodes_examined, 1);
+  EXPECT_LE(sim.matches, sim.nodes_examined);
+  // Clustered placement never touches more pages than unclustered.
+  EXPECT_LE(sim.pages_clustered, sim.pages_unclustered);
+  // Pages touched cannot exceed non-root nodes examined.
+  EXPECT_LE(sim.pages_unclustered, sim.nodes_examined - 1);
+}
+
+class SimulatorValidationTest
+    : public ::testing::TestWithParam<MatchDistribution> {};
+
+TEST_P(SimulatorValidationTest, MeanExaminedMatchesClosedForm) {
+  // E1: Monte-Carlo means converge to the model's expectation.
+  ModelParameters params = SmallParams();
+  if (GetParam() == MatchDistribution::kUniform) {
+    // Keep the variance manageable (UNIFORM couples at the root).
+    params.p = 0.5;
+  }
+  double expected = ExpectedExamined(params, GetParam());
+  RunningStat stat;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    stat.Add(static_cast<double>(
+        SimulateSelect(params, GetParam(), 1000 + t).nodes_examined));
+  }
+  // Allow 5 standard errors.
+  double stderr_mean = stat.stddev() / std::sqrt(double(trials));
+  EXPECT_NEAR(stat.mean(), expected, 5.0 * stderr_mean + 1e-9)
+      << MatchDistributionName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, SimulatorValidationTest,
+                         ::testing::Values(MatchDistribution::kUniform,
+                                           MatchDistribution::kNoLoc,
+                                           MatchDistribution::kHiLoc),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MatchDistribution::kUniform:
+                               return "Uniform";
+                             case MatchDistribution::kNoLoc:
+                               return "NoLoc";
+                             default:
+                               return "HiLoc";
+                           }
+                         });
+
+TEST(SimulateJoinTest, DeterministicAndConsistent) {
+  ModelParameters params;
+  params.n = 3;
+  params.k = 4;
+  params.p = 0.05;
+  SimulatedJoin a = SimulateJoin(params, MatchDistribution::kNoLoc, 3);
+  SimulatedJoin b = SimulateJoin(params, MatchDistribution::kNoLoc, 3);
+  EXPECT_EQ(a.qual_pairs, b.qual_pairs);
+  EXPECT_EQ(a.theta_evaluations, b.theta_evaluations);
+  EXPECT_GE(a.qual_pairs, 1);  // the root pair always qualifies
+  EXPECT_GE(a.theta_evaluations, a.qual_pairs);
+}
+
+TEST(SimulateJoinTest, MeanMatchesJoinComputeFormula) {
+  ModelParameters params;
+  params.n = 3;
+  params.k = 4;
+  params.p = 0.08;
+  MatchDistribution dist = MatchDistribution::kNoLoc;
+  JoinCosts costs = ComputeJoinCosts(params, dist);
+  RunningStat stat;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    stat.Add(static_cast<double>(
+        SimulateJoin(params, dist, 5000 + t).theta_evaluations));
+  }
+  double stderr_mean = stat.stddev() / std::sqrt(double(trials));
+  EXPECT_NEAR(stat.mean(), costs.d_ii_compute / params.c_theta,
+              5.0 * stderr_mean + 0.02 * costs.d_ii_compute)
+      << "simulated mean " << stat.mean();
+}
+
+}  // namespace
+}  // namespace spatialjoin

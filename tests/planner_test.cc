@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/theta_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : disk_(2000), pool_(&disk_, 512) {}
+
+  std::unique_ptr<Relation> MakeRects(const std::string& name, int count,
+                                      double max_ext, uint64_t seed) {
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    auto rel = std::make_unique<Relation>(name, schema, &pool_);
+    RectGenerator gen(Rectangle(0, 0, 1000, 1000), seed);
+    for (int64_t i = 0; i < count; ++i) {
+      rel->Insert(Tuple({Value(i), Value(gen.NextRect(1, max_ext))}));
+    }
+    return rel;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(PlannerTest, SelectivityEstimateTracksObjectSize) {
+  auto small = MakeRects("small", 300, 5, 1);
+  auto large = MakeRects("large", 300, 200, 2);
+  OverlapsOp op;
+  JoinStatistics s_small =
+      EstimateJoinStatistics(*small, 1, *small, 1, op, 2000, 7);
+  JoinStatistics s_large =
+      EstimateJoinStatistics(*large, 1, *large, 1, op, 2000, 7);
+  EXPECT_LT(s_small.selectivity, s_large.selectivity);
+  EXPECT_GT(s_large.selectivity, 0.001);
+  EXPECT_EQ(s_small.sample_tests, 2000);
+  EXPECT_EQ(s_small.r_tuples, 300);
+}
+
+TEST_F(PlannerTest, ZeroHitSampleStillGivesPositiveSelectivity) {
+  auto a = MakeRects("a", 50, 2, 3);
+  // Far-away relation: no overlaps at all.
+  Schema schema({{"id", ValueType::kInt64},
+                 {"box", ValueType::kRectangle}});
+  Relation b("b", schema, &pool_);
+  for (int64_t i = 0; i < 50; ++i) {
+    b.Insert(Tuple({Value(i), Value(Rectangle(5000 + i, 5000, 5001 + i,
+                                              5001))}));
+  }
+  OverlapsOp op;
+  JoinStatistics stats = EstimateJoinStatistics(*a, 1, b, 1, op, 300, 5);
+  EXPECT_GT(stats.selectivity, 0.0);       // rule-of-three bound
+  EXPECT_LT(stats.selectivity, 0.01);
+}
+
+TEST_F(PlannerTest, PrefersJoinIndexOnlyAtLowSelectivityAndNoUpdates) {
+  JoinStatistics stats;
+  stats.r_tuples = 1000000;
+  stats.s_tuples = 1000000;
+  stats.selectivity = 1e-12;
+  PlannerContext ctx;
+  ctx.r_tree_available = true;
+  ctx.s_tree_available = true;
+  ctx.join_index_available = true;
+  JoinPlan plan = PlanJoin(stats, ctx);
+  EXPECT_EQ(plan.strategy, JoinStrategy::kJoinIndex) << plan.ToString();
+
+  // The same point with updates flips to the tree (paper §5: join
+  // indices only when update ratios are very low).
+  ctx.updates_per_query = 10.0;
+  JoinPlan updated = PlanJoin(stats, ctx);
+  EXPECT_EQ(updated.strategy, JoinStrategy::kTreeJoin)
+      << updated.ToString();
+}
+
+TEST_F(PlannerTest, PrefersTreeAtModerateSelectivity) {
+  JoinStatistics stats;
+  stats.r_tuples = 1000000;
+  stats.s_tuples = 1000000;
+  stats.selectivity = 1e-6;
+  PlannerContext ctx;
+  ctx.r_tree_available = true;
+  ctx.s_tree_available = true;
+  ctx.join_index_available = true;
+  JoinPlan plan = PlanJoin(stats, ctx);
+  EXPECT_EQ(plan.strategy, JoinStrategy::kTreeJoin) << plan.ToString();
+}
+
+TEST_F(PlannerTest, FallsBackToNestedLoopWhenNothingAvailable) {
+  JoinStatistics stats;
+  stats.r_tuples = 1000;
+  stats.s_tuples = 1000;
+  stats.selectivity = 0.01;
+  PlannerContext ctx;  // nothing available
+  JoinPlan plan = PlanJoin(stats, ctx);
+  EXPECT_EQ(plan.strategy, JoinStrategy::kNestedLoop);
+  // All infeasible alternatives are marked as such.
+  int feasible = 0;
+  for (const auto& alt : plan.alternatives) feasible += alt.feasible;
+  EXPECT_EQ(feasible, 1);
+}
+
+TEST_F(PlannerTest, NeverPicksInfeasibleStrategy) {
+  JoinStatistics stats;
+  stats.r_tuples = 100000;
+  stats.s_tuples = 100000;
+  PlannerContext ctx;
+  ctx.s_tree_available = true;  // only one tree → no TreeJoin
+  for (double p : {1e-10, 1e-6, 1e-3, 0.1}) {
+    stats.selectivity = p;
+    JoinPlan plan = PlanJoin(stats, ctx);
+    EXPECT_NE(plan.strategy, JoinStrategy::kTreeJoin);
+    EXPECT_NE(plan.strategy, JoinStrategy::kJoinIndex);
+    EXPECT_NE(plan.strategy, JoinStrategy::kSortMergeZOrder);
+  }
+}
+
+TEST_F(PlannerTest, PlanToStringListsAlternatives) {
+  JoinStatistics stats;
+  stats.r_tuples = 1000;
+  stats.s_tuples = 1000;
+  stats.selectivity = 0.001;
+  PlannerContext ctx;
+  ctx.r_tree_available = true;
+  ctx.s_tree_available = true;
+  JoinPlan plan = PlanJoin(stats, ctx);
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("plan:"), std::string::npos);
+  EXPECT_NE(text.find("nested_loop"), std::string::npos);
+  EXPECT_NE(text.find("infeasible"), std::string::npos);
+}
+
+TEST_F(PlannerTest, EndToEndPlanAndExecute) {
+  auto r = MakeRects("r", 400, 30, 11);
+  auto s = MakeRects("s", 400, 30, 12);
+  OverlapsOp op;
+  JoinStatistics stats = EstimateJoinStatistics(*r, 1, *s, 1, op, 500, 9);
+  PlannerContext ctx;
+  ctx.overlap_like = true;  // only sort-merge (and NL) available
+  JoinPlan plan = PlanJoin(stats, ctx);
+  // Whatever it picked must execute and agree with ground truth.
+  SpatialJoinContext exec_ctx;
+  exec_ctx.r = r.get();
+  exec_ctx.col_r = 1;
+  exec_ctx.s = s.get();
+  exec_ctx.col_s = 1;
+  ZGrid grid(Rectangle(0, 0, 1000, 1000));
+  exec_ctx.zgrid = &grid;
+  JoinResult planned = ExecuteJoin(plan.strategy, exec_ctx, op);
+  JoinResult truth =
+      ExecuteJoin(JoinStrategy::kNestedLoop, exec_ctx, op);
+  NormalizeMatches(&planned);
+  NormalizeMatches(&truth);
+  EXPECT_EQ(planned.matches, truth.matches);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geometry/buffer.h"
+#include "geometry/polygon.h"
+#include "geometry/polyline.h"
+
+namespace spatialjoin {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+Polygon Triangle() { return Polygon({{0, 0}, {4, 0}, {0, 4}}); }
+
+TEST(PolygonTest, AreaAndOrientation) {
+  EXPECT_DOUBLE_EQ(UnitSquare().Area(), 1.0);
+  EXPECT_DOUBLE_EQ(Triangle().Area(), 8.0);
+  EXPECT_TRUE(UnitSquare().IsCounterClockwise());
+  Polygon cw = UnitSquare();
+  cw.Reverse();
+  EXPECT_FALSE(cw.IsCounterClockwise());
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);  // area is orientation-free
+}
+
+TEST(PolygonTest, Centroid) {
+  EXPECT_EQ(UnitSquare().Centroid(), Point(0.5, 0.5));
+  Point c = Triangle().Centroid();
+  EXPECT_NEAR(c.x, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.y, 4.0 / 3.0, 1e-12);
+}
+
+TEST(PolygonTest, BoundingBox) {
+  EXPECT_EQ(Triangle().BoundingBox(), Rectangle(0, 0, 4, 4));
+}
+
+TEST(PolygonTest, ContainsPoint) {
+  Polygon square = UnitSquare();
+  EXPECT_TRUE(square.ContainsPoint(Point(0.5, 0.5)));
+  EXPECT_TRUE(square.ContainsPoint(Point(0, 0)));      // vertex
+  EXPECT_TRUE(square.ContainsPoint(Point(0.5, 0)));    // edge
+  EXPECT_FALSE(square.ContainsPoint(Point(1.5, 0.5)));
+  EXPECT_FALSE(square.ContainsPoint(Point(-0.001, 0.5)));
+}
+
+TEST(PolygonTest, ContainsPointConcave) {
+  // A "C" shape: contains (0.5, 2.5) in the arm but not (2, 2) in the
+  // notch.
+  Polygon c_shape({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {3, 3},
+                   {3, 4}, {0, 4}});
+  EXPECT_TRUE(c_shape.ContainsPoint(Point(0.5, 2.5)));
+  EXPECT_FALSE(c_shape.ContainsPoint(Point(2, 2)));
+  EXPECT_TRUE(c_shape.ContainsPoint(Point(2, 0.5)));
+}
+
+TEST(PolygonTest, Intersects) {
+  Polygon a = UnitSquare();
+  Polygon shifted({{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}});
+  Polygon apart({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  Polygon inner({{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}});
+  EXPECT_TRUE(a.Intersects(shifted));
+  EXPECT_FALSE(a.Intersects(apart));
+  EXPECT_TRUE(a.Intersects(inner));  // containment counts as intersection
+  EXPECT_TRUE(inner.Intersects(a));
+}
+
+TEST(PolygonTest, ContainsPolygon) {
+  Polygon outer({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Polygon inner({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  Polygon crossing({{8, 8}, {12, 8}, {12, 12}, {8, 12}});
+  EXPECT_TRUE(outer.ContainsPolygon(inner));
+  EXPECT_FALSE(inner.ContainsPolygon(outer));
+  EXPECT_FALSE(outer.ContainsPolygon(crossing));
+  EXPECT_TRUE(outer.ContainsPolygon(outer));
+}
+
+TEST(PolygonTest, DistanceToPoint) {
+  Polygon square = UnitSquare();
+  EXPECT_DOUBLE_EQ(square.DistanceToPoint(Point(0.5, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(square.DistanceToPoint(Point(2, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(square.DistanceToPoint(Point(4, 5)), 5.0);
+}
+
+TEST(PolygonTest, DistanceToPolygon) {
+  Polygon a = UnitSquare();
+  Polygon b({{3, 0}, {4, 0}, {4, 1}, {3, 1}});
+  EXPECT_DOUBLE_EQ(a.DistanceToPolygon(b), 2.0);
+  Polygon overlapping({{0.5, 0.5}, {2, 0.5}, {2, 2}, {0.5, 2}});
+  EXPECT_DOUBLE_EQ(a.DistanceToPolygon(overlapping), 0.0);
+}
+
+TEST(PolygonTest, RegularNGon) {
+  Polygon hex = Polygon::RegularNGon(Point(0, 0), 2.0, 6);
+  EXPECT_EQ(hex.size(), 6u);
+  // Area of a regular hexagon with circumradius r: (3√3/2)·r².
+  EXPECT_NEAR(hex.Area(), 3.0 * std::sqrt(3.0) / 2.0 * 4.0, 1e-9);
+  Point c = hex.Centroid();
+  EXPECT_NEAR(c.x, 0.0, 1e-9);
+  EXPECT_NEAR(c.y, 0.0, 1e-9);
+}
+
+TEST(PolygonTest, FromRectangleRoundTrip) {
+  Rectangle r(1, 2, 5, 7);
+  Polygon poly = Polygon::FromRectangle(r);
+  EXPECT_EQ(poly.BoundingBox(), r);
+  EXPECT_DOUBLE_EQ(poly.Area(), r.Area());
+}
+
+TEST(PolylineTest, LengthAndMidpoint) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(line.Length(), 7.0);
+  EXPECT_EQ(line.Midpoint(), Point(3, 0.5));
+  EXPECT_EQ(line.BoundingBox(), Rectangle(0, 0, 3, 4));
+}
+
+TEST(PolylineTest, Distances) {
+  Polyline line({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(line.DistanceToPoint(Point(5, 3)), 3.0);
+  Polyline other({{0, 2}, {10, 2}});
+  EXPECT_DOUBLE_EQ(line.DistanceToPolyline(other), 2.0);
+  Polyline crossing({{5, -1}, {5, 1}});
+  EXPECT_DOUBLE_EQ(line.DistanceToPolyline(crossing), 0.0);
+  EXPECT_TRUE(line.Intersects(crossing));
+  EXPECT_FALSE(line.Intersects(other));
+}
+
+TEST(BufferTest, PointInPolygonBuffer) {
+  Polygon square = UnitSquare();
+  // The paper's flagship predicate: point within d of a polygon.
+  EXPECT_TRUE(WithinBufferOfPolygon(Point(0.5, 0.5), square, 0.0));
+  EXPECT_TRUE(WithinBufferOfPolygon(Point(2, 0.5), square, 1.0));
+  EXPECT_FALSE(WithinBufferOfPolygon(Point(2, 0.5), square, 0.9));
+}
+
+TEST(BufferTest, RectangleBuffers) {
+  Rectangle r(0, 0, 1, 1);
+  EXPECT_TRUE(WithinBufferOfRectangle(Point(1.5, 0.5), r, 0.5));
+  EXPECT_FALSE(WithinBufferOfRectangle(Point(1.6, 0.5), r, 0.5));
+  EXPECT_TRUE(RectanglesWithinDistance(r, Rectangle(2, 0, 3, 1), 1.0));
+  EXPECT_FALSE(RectanglesWithinDistance(r, Rectangle(2.5, 0, 3, 1), 1.0));
+  EXPECT_EQ(BufferMbr(r, 1.0), Rectangle(-1, -1, 2, 2));
+}
+
+// Property: for random convex polygons, Intersects agrees with a
+// distance-0 check, and the centroid lies inside.
+TEST(PolygonPropertyTest, IntersectsAgreesWithDistance) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point ca(rng.NextDouble(0, 20), rng.NextDouble(0, 20));
+    Point cb(rng.NextDouble(0, 20), rng.NextDouble(0, 20));
+    Polygon a = Polygon::RegularNGon(ca, rng.NextDouble(0.5, 3), 8);
+    Polygon b = Polygon::RegularNGon(cb, rng.NextDouble(0.5, 3), 8);
+    EXPECT_EQ(a.Intersects(b), a.DistanceToPolygon(b) == 0.0);
+    EXPECT_TRUE(a.ContainsPoint(a.Centroid()));
+  }
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/join.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+TEST(QuadTreeTest, InsertPlacesAtSmallestCell) {
+  QuadTree tree(Rectangle(0, 0, 100, 100), 8);
+  // A tiny object in the lower-left corner descends deep.
+  NodeId small = tree.Insert(Rectangle(1, 1, 2, 2), 0);
+  EXPECT_GT(tree.HeightOf(small), 4);
+  // An object straddling the center cannot leave the root cell.
+  NodeId straddling = tree.Insert(Rectangle(49, 49, 51, 51), 1);
+  EXPECT_EQ(tree.HeightOf(straddling), 1);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_objects(), 2);
+}
+
+TEST(QuadTreeTest, SearchMatchesBruteForce) {
+  QuadTree tree(Rectangle(0, 0, 1000, 1000), 10);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 61);
+  std::vector<Rectangle> data = gen.Rects(600, 1, 40);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], static_cast<TupleId>(i));
+  }
+  tree.CheckInvariants();
+  for (int q = 0; q < 40; ++q) {
+    Rectangle window = gen.NextRect(10, 150);
+    std::vector<TupleId> hits = tree.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Overlaps(window)) {
+        expected.push_back(static_cast<TupleId>(i));
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+TEST(QuadTreeTest, RemoveWorks) {
+  QuadTree tree(Rectangle(0, 0, 64, 64), 6);
+  std::vector<Rectangle> data;
+  for (int i = 0; i < 50; ++i) {
+    double x = (i % 8) * 8.0;
+    double y = (i / 8) * 8.0;
+    data.emplace_back(x + 0.5, y + 0.5, x + 3.0, y + 3.0);
+    tree.Insert(data.back(), i);
+  }
+  for (int i = 0; i < 50; i += 2) {
+    EXPECT_TRUE(tree.Remove(data[static_cast<size_t>(i)], i)) << i;
+  }
+  EXPECT_FALSE(tree.Remove(data[0], 0));  // already gone
+  EXPECT_FALSE(tree.Remove(Rectangle(60, 60, 63, 63), 999));
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_objects(), 25);
+  std::vector<TupleId> all = tree.SearchTids(Rectangle(0, 0, 64, 64));
+  EXPECT_EQ(all.size(), 25u);
+  for (TupleId tid : all) EXPECT_EQ(tid % 2, 1);
+}
+
+TEST(QuadTreeTest, DepthCapRespected) {
+  QuadTree tree(Rectangle(0, 0, 100, 100), 3);
+  // Many tiny co-located objects: all pile up at the depth cap.
+  for (int i = 0; i < 30; ++i) {
+    tree.Insert(Rectangle(1, 1, 1.5, 1.5), i);
+  }
+  tree.CheckInvariants();
+  EXPECT_LE(tree.height(), 4);  // cells to depth 3 + object level
+  EXPECT_EQ(tree.SearchTids(Rectangle(0, 0, 2, 2)).size(), 30u);
+}
+
+TEST(QuadTreeTest, WorksAsGeneralizationTreeForSelect) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 512);
+  Schema schema({{"id", ValueType::kInt64},
+                 {"box", ValueType::kRectangle}});
+  Relation rel("data", schema, &pool);
+  QuadTree tree(Rectangle(0, 0, 500, 500), 9);
+  RectGenerator gen(Rectangle(0, 0, 500, 500), 63);
+  for (int64_t i = 0; i < 300; ++i) {
+    Rectangle r = gen.NextRect(1, 25);
+    TupleId tid = rel.Insert(Tuple({Value(i), Value(r)}));
+    tree.Insert(r, tid);
+  }
+  tree.AttachRelation(&rel, 1);
+
+  WithinDistanceOp op(20.0);
+  for (int q = 0; q < 10; ++q) {
+    Value selector(gen.NextRect(5, 60));
+    SelectResult result = SpatialSelect(selector, tree, op);
+    JoinResult truth = NestedLoopSelect(selector, rel, 1, op);
+    std::set<TupleId> tree_tids(result.matching_tuples.begin(),
+                                result.matching_tuples.end());
+    std::set<TupleId> truth_tids;
+    for (const auto& m : truth.matches) truth_tids.insert(m.first);
+    EXPECT_EQ(tree_tids, truth_tids);
+    EXPECT_LT(result.theta_tests, rel.num_tuples());  // pruning happened
+  }
+}
+
+TEST(QuadTreeTest, JoinsAgainstAnRTree) {
+  // Algorithm JOIN across *different* generalization-tree families: a
+  // quadtree on R, an R-tree on S — the point of the paper's abstraction.
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 1024);
+  Schema schema({{"id", ValueType::kInt64},
+                 {"box", ValueType::kRectangle}});
+  Relation r("r", schema, &pool);
+  Relation s("s", schema, &pool);
+  QuadTree r_tree(Rectangle(0, 0, 400, 400), 8);
+  RTree s_rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen_r(Rectangle(0, 0, 400, 400), 65);
+  RectGenerator gen_s(Rectangle(0, 0, 400, 400), 66);
+  for (int64_t i = 0; i < 250; ++i) {
+    Rectangle br = gen_r.NextRect(1, 20);
+    Rectangle bs = gen_s.NextRect(1, 20);
+    r_tree.Insert(br, r.Insert(Tuple({Value(i), Value(br)})));
+    s_rtree.Insert(bs, s.Insert(Tuple({Value(i), Value(bs)})));
+  }
+  r_tree.AttachRelation(&r, 1);
+  RTreeGenTree s_tree(&s_rtree, &s, 1);
+
+  OverlapsOp op;
+  JoinResult heterogeneous = TreeJoin(r_tree, s_tree, op);
+  JoinResult truth = NestedLoopJoin(r, 1, s, 1, op);
+  EXPECT_EQ(AsSet(heterogeneous), AsSet(truth));
+  EXPECT_EQ(AsSet(heterogeneous).size(), heterogeneous.matches.size());
+}
+
+TEST(QuadTreeDeathTest, RejectsOutOfWorldObject) {
+  QuadTree tree(Rectangle(0, 0, 10, 10), 4);
+  EXPECT_DEATH(tree.Insert(Rectangle(5, 5, 15, 15), 0), "outside");
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedValuesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble(2.5, 3.5);
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 3.5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.NextGaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(QuantileTest, InterpolatesSorted) {
+  std::vector<double> values{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+}
+
+TEST(MathUtilTest, CeilDivAndPow) {
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(8, 2), 4);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(IPow(10, 6), 1000000);
+  EXPECT_EQ(IPow(2, 0), 1);
+  EXPECT_EQ(CeilToInt64(2.1), 3);
+  EXPECT_EQ(CeilToInt64(-1.0), 0);
+  EXPECT_EQ(Clamp(5, 0, 3), 3);
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status nf = Status::NotFound("tuple 7");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ(nf.code(), StatusCode::kNotFound);
+  EXPECT_EQ(nf.ToString(), "NOT_FOUND: tuple 7");
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad(Status::OutOfRange("x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(good.value_or(-1), 42);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,145 @@
+// Scenario tests for the roads-and-towns workload (curve geometry), plus
+// an operator × strategy consistency matrix over it: every applicable
+// strategy must return the nested-loop answer for every Table-1 operator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/index_nested_loop.h"
+#include "core/join.h"
+#include "core/nested_loop.h"
+#include "core/theta_ops.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/scenario_roads_towns.h"
+
+namespace spatialjoin {
+namespace {
+
+using MatchSet = std::set<std::pair<TupleId, TupleId>>;
+
+MatchSet AsSet(const JoinResult& result) {
+  return MatchSet(result.matches.begin(), result.matches.end());
+}
+
+class RoadsTownsTest : public ::testing::Test {
+ protected:
+  RoadsTownsTest() : disk_(2000), pool_(&disk_, 2048) {
+    options_.num_roads = 15;
+    options_.num_towns = 120;
+    scenario_ = GenerateRoadsTowns(options_, &pool_);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  RoadsTownsOptions options_;
+  RoadsTownsScenario scenario_;
+};
+
+TEST_F(RoadsTownsTest, SchemasAndBounds) {
+  EXPECT_EQ(scenario_.roads->schema().ToString(),
+            "rid INT64, name STRING, course POLYLINE");
+  EXPECT_EQ(scenario_.towns->schema().ToString(),
+            "tid INT64, name STRING, area RECTANGLE");
+  EXPECT_EQ(scenario_.roads->num_tuples(), 15);
+  EXPECT_EQ(scenario_.towns->num_tuples(), 120);
+  Rectangle world = RoadsTownsWorld(options_);
+  scenario_.roads->Scan([&](TupleId, const Tuple& t) {
+    const Polyline& course = t.value(2).AsPolyline();
+    EXPECT_GE(course.size(), 2u);
+    EXPECT_TRUE(world.Contains(course.BoundingBox()));
+    EXPECT_GT(course.Length(), 0.0);
+  });
+  scenario_.towns->Scan([&](TupleId, const Tuple& t) {
+    EXPECT_TRUE(world.Contains(t.value(2).AsRectangle()));
+  });
+}
+
+TEST_F(RoadsTownsTest, RoadsideTownsAreNearRoads) {
+  // With roadside_fraction = 0.6, a majority of towns must sit within a
+  // small buffer of some road.
+  std::vector<Polyline> courses;
+  scenario_.roads->Scan([&](TupleId, const Tuple& t) {
+    courses.push_back(t.value(2).AsPolyline());
+  });
+  int near = 0;
+  scenario_.towns->Scan([&](TupleId, const Tuple& t) {
+    Point center = t.value(2).AsRectangle().Center();
+    for (const Polyline& road : courses) {
+      if (road.DistanceToPoint(center) <= 12.0) {
+        ++near;
+        break;
+      }
+    }
+  });
+  EXPECT_GT(near, 50);
+}
+
+TEST_F(RoadsTownsTest, DeterministicPerSeed) {
+  DiskManager disk2(2000);
+  BufferPool pool2(&disk2, 2048);
+  RoadsTownsScenario again = GenerateRoadsTowns(options_, &pool2);
+  for (TupleId t = 0; t < scenario_.roads->num_tuples(); ++t) {
+    EXPECT_EQ(scenario_.roads->Read(t), again.roads->Read(t));
+  }
+  for (TupleId t = 0; t < scenario_.towns->num_tuples(); ++t) {
+    EXPECT_EQ(scenario_.towns->Read(t), again.towns->Read(t));
+  }
+}
+
+// Operator × strategy matrix over curve geometry: roads (R) joined with
+// towns (S) under four Table-1 operators; tree join on a quadtree×R-tree
+// pair and index nested loop must match the nested loop everywhere.
+TEST_F(RoadsTownsTest, OperatorStrategyMatrix) {
+  Rectangle world = RoadsTownsWorld(options_);
+  QuadTree roads_tree(world, 8);
+  scenario_.roads->Scan([&](TupleId tid, const Tuple& t) {
+    roads_tree.Insert(t.value(2).Mbr(), tid);
+  });
+  roads_tree.AttachRelation(scenario_.roads.get(), 2);
+
+  DiskManager idx_disk(2000);
+  BufferPool idx_pool(&idx_disk, 2048);
+  RTree towns_rtree(&idx_pool, RTreeSplit::kRStar, 8);
+  scenario_.towns->Scan([&](TupleId tid, const Tuple& t) {
+    towns_rtree.Insert(t.value(2).Mbr(), tid);
+  });
+  RTreeGenTree towns_tree(&towns_rtree, scenario_.towns.get(), 2);
+
+  OverlapsOp overlaps;
+  WithinDistanceOp within(20.0);
+  ReachableWithinOp reachable(3.0, 2.0);
+  NorthwestOfOp northwest;
+  const ThetaOperator* ops[] = {&overlaps, &within, &reachable, &northwest};
+  for (const ThetaOperator* op : ops) {
+    JoinResult truth = NestedLoopJoin(*scenario_.roads, 2,
+                                      *scenario_.towns, 2, *op);
+    JoinResult tree = TreeJoin(roads_tree, towns_tree, *op);
+    EXPECT_EQ(AsSet(tree), AsSet(truth)) << op->name();
+    JoinResult probe = IndexNestedLoopJoin(
+        roads_tree, *scenario_.towns, 2, *op);
+    EXPECT_EQ(AsSet(probe), AsSet(truth)) << op->name();
+  }
+}
+
+TEST_F(RoadsTownsTest, ReachabilityQueryHasSensibleShape) {
+  // "Towns reachable from road 0 in 3 minutes at 2 km/min": widening the
+  // time budget can only add towns (monotone operator family).
+  Value road0 = scenario_.roads->Read(0).value(2);
+  std::set<TupleId> narrow_set, wide_set;
+  ReachableWithinOp narrow(2.0, 2.0);
+  ReachableWithinOp wide(8.0, 2.0);
+  scenario_.towns->Scan([&](TupleId tid, const Tuple& t) {
+    if (narrow.Theta(road0, t.value(2))) narrow_set.insert(tid);
+    if (wide.Theta(road0, t.value(2))) wide_set.insert(tid);
+  });
+  for (TupleId tid : narrow_set) EXPECT_TRUE(wide_set.count(tid));
+  EXPECT_GE(wide_set.size(), narrow_set.size());
+  EXPECT_FALSE(wide_set.empty());
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+// Parameterized over both split algorithms.
+class RTreeSplitTest : public ::testing::TestWithParam<RTreeSplit> {
+ protected:
+  RTreeSplitTest() : disk_(2000), pool_(&disk_, 512) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_P(RTreeSplitTest, InsertSearchSmall) {
+  RTree tree(&pool_, GetParam(), 8);
+  tree.Insert(Rectangle(0, 0, 1, 1), 1);
+  tree.Insert(Rectangle(5, 5, 6, 6), 2);
+  tree.Insert(Rectangle(0.5, 0.5, 2, 2), 3);
+  std::vector<TupleId> hits = tree.SearchTids(Rectangle(0, 0, 1.2, 1.2));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<TupleId>{1, 3}));
+  EXPECT_TRUE(tree.SearchTids(Rectangle(10, 10, 11, 11)).empty());
+  tree.CheckInvariants();
+}
+
+TEST_P(RTreeSplitTest, SearchMatchesBruteForce) {
+  RTree tree(&pool_, GetParam(), 8);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 17);
+  std::vector<Rectangle> data = gen.Rects(500, 1, 30);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], static_cast<TupleId>(i));
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_entries(), 500);
+  EXPECT_GE(tree.height(), 2);
+  for (int q = 0; q < 50; ++q) {
+    Rectangle window = gen.NextRect(10, 150);
+    std::vector<TupleId> hits = tree.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Overlaps(window)) {
+        expected.push_back(static_cast<TupleId>(i));
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    EXPECT_EQ(hits, expected) << "window " << window.ToString();
+  }
+}
+
+TEST_P(RTreeSplitTest, DeleteMaintainsInvariantsAndResults) {
+  RTree tree(&pool_, GetParam(), 8);
+  RectGenerator gen(Rectangle(0, 0, 500, 500), 29);
+  std::vector<Rectangle> data = gen.Rects(300, 1, 20);
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree.Insert(data[i], static_cast<TupleId>(i));
+  }
+  // Delete every third entry.
+  std::set<TupleId> deleted;
+  for (size_t i = 0; i < data.size(); i += 3) {
+    ASSERT_TRUE(tree.Delete(data[i], static_cast<TupleId>(i))) << i;
+    deleted.insert(static_cast<TupleId>(i));
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_entries(), 200);
+  // Deleted entries are gone, others remain findable.
+  Rectangle everything(0, 0, 500, 500);
+  std::vector<TupleId> hits = tree.SearchTids(everything);
+  EXPECT_EQ(hits.size(), 200u);
+  for (TupleId tid : hits) EXPECT_FALSE(deleted.count(tid));
+  // Deleting a non-existent entry fails cleanly.
+  EXPECT_FALSE(tree.Delete(Rectangle(0, 0, 1, 1), 99999));
+}
+
+TEST_P(RTreeSplitTest, DeleteToEmptyAndReuse) {
+  RTree tree(&pool_, GetParam(), 4);
+  std::vector<Rectangle> rects;
+  for (int i = 0; i < 40; ++i) {
+    Rectangle r(i, i, i + 1.0, i + 1.0);
+    rects.push_back(r);
+    tree.Insert(r, i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(tree.Delete(rects[static_cast<size_t>(i)], i));
+  }
+  EXPECT_EQ(tree.num_entries(), 0);
+  EXPECT_TRUE(tree.SearchTids(Rectangle(0, 0, 100, 100)).empty());
+  // The tree remains usable.
+  tree.Insert(Rectangle(1, 1, 2, 2), 7);
+  EXPECT_EQ(tree.SearchTids(Rectangle(0, 0, 3, 3)),
+            std::vector<TupleId>{7});
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, RTreeSplitTest,
+                         ::testing::Values(RTreeSplit::kLinear,
+                                           RTreeSplit::kQuadratic,
+                                           RTreeSplit::kRStar),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case RTreeSplit::kLinear:
+                               return "Linear";
+                             case RTreeSplit::kQuadratic:
+                               return "Quadratic";
+                             default:
+                               return "RStar";
+                           }
+                         });
+
+TEST(RTreeTest, RootMbrCoversEverything) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 128);
+  RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen(Rectangle(0, 0, 100, 100), 3);
+  Rectangle bound;
+  for (int i = 0; i < 100; ++i) {
+    Rectangle r = gen.NextRect(1, 5);
+    bound.Extend(r);
+    tree.Insert(r, i);
+  }
+  EXPECT_EQ(tree.RootMbr(), bound);
+}
+
+TEST(RTreeTest, SearchCountsPageIo) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 512);
+  RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 5);
+  for (int i = 0; i < 1000; ++i) tree.Insert(gen.NextRect(1, 5), i);
+  pool.Clear();
+  BufferPoolStats before = pool.stats();
+  tree.SearchTids(Rectangle(0, 0, 50, 50));
+  BufferPoolStats after = pool.stats();
+  int64_t faults = after.misses - before.misses;
+  // A small window touches few pages; a full scan touches all nodes.
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, tree.num_nodes());
+}
+
+TEST(RTreeBulkLoadTest, StrPackingMatchesBruteForce) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 1024);
+  RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 41);
+  std::vector<std::pair<Rectangle, TupleId>> entries;
+  for (int64_t i = 0; i < 700; ++i) {
+    entries.emplace_back(gen.NextRect(1, 20), i);
+  }
+  tree.BulkLoadStr(entries);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_entries(), 700);
+  for (int q = 0; q < 30; ++q) {
+    Rectangle window = gen.NextRect(20, 150);
+    std::vector<TupleId> hits = tree.SearchTids(window);
+    std::vector<TupleId> expected;
+    for (const auto& [mbr, tid] : entries) {
+      if (mbr.Overlaps(window)) expected.push_back(tid);
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+TEST(RTreeBulkLoadTest, PacksTighterThanInsertion) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 2048);
+  RectGenerator gen(Rectangle(0, 0, 1000, 1000), 43);
+  std::vector<std::pair<Rectangle, TupleId>> entries;
+  for (int64_t i = 0; i < 2000; ++i) {
+    entries.emplace_back(gen.NextRect(1, 10), i);
+  }
+  RTree inserted(&pool, RTreeSplit::kQuadratic, 8);
+  for (const auto& [mbr, tid] : entries) inserted.Insert(mbr, tid);
+  RTree packed(&pool, RTreeSplit::kQuadratic, 8);
+  packed.BulkLoadStr(entries);
+  packed.CheckInvariants();
+  // Full packing needs strictly fewer nodes than ~60%-full insertion.
+  EXPECT_LT(packed.num_nodes(), inserted.num_nodes());
+}
+
+TEST(RTreeBulkLoadTest, SmallAndDegenerateInputs) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  {
+    RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+    tree.BulkLoadStr({});
+    EXPECT_EQ(tree.num_entries(), 0);
+    EXPECT_TRUE(tree.SearchTids(Rectangle(0, 0, 1, 1)).empty());
+  }
+  {
+    RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+    tree.BulkLoadStr({{Rectangle(1, 1, 2, 2), 7}});
+    EXPECT_EQ(tree.num_entries(), 1);
+    EXPECT_EQ(tree.height(), 1);
+    EXPECT_EQ(tree.SearchTids(Rectangle(0, 0, 3, 3)),
+              std::vector<TupleId>{7});
+    tree.CheckInvariants();
+  }
+  {
+    // 9 entries with fan-out 8: the 1-entry remainder must be folded so
+    // no node underflows.
+    RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+    std::vector<std::pair<Rectangle, TupleId>> entries;
+    for (int64_t i = 0; i < 9; ++i) {
+      entries.emplace_back(Rectangle(i, 0, i + 0.5, 1), i);
+    }
+    tree.BulkLoadStr(entries);
+    tree.CheckInvariants();
+    EXPECT_EQ(tree.SearchTids(Rectangle(0, 0, 10, 1)).size(), 9u);
+  }
+}
+
+TEST(RTreeBulkLoadTest, FillFactorControlsPacking) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 1024);
+  RectGenerator gen(Rectangle(0, 0, 500, 500), 45);
+  std::vector<std::pair<Rectangle, TupleId>> entries;
+  for (int64_t i = 0; i < 640; ++i) {
+    entries.emplace_back(gen.NextRect(1, 5), i);
+  }
+  RTree full(&pool, RTreeSplit::kQuadratic, 8);
+  full.BulkLoadStr(entries, 1.0);
+  RTree loose(&pool, RTreeSplit::kQuadratic, 8);
+  loose.BulkLoadStr(entries, 0.5);
+  full.CheckInvariants();
+  loose.CheckInvariants();
+  EXPECT_LT(full.num_nodes(), loose.num_nodes());
+}
+
+TEST(RTreeBulkLoadDeathTest, RejectsNonEmptyTree) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  RTree tree(&pool, RTreeSplit::kQuadratic, 8);
+  tree.Insert(Rectangle(0, 0, 1, 1), 0);
+  EXPECT_DEATH(tree.BulkLoadStr({{Rectangle(2, 2, 3, 3), 1}}),
+               "empty tree");
+}
+
+class RTreeGenTreeTest : public ::testing::Test {
+ protected:
+  RTreeGenTreeTest() : disk_(2000), pool_(&disk_, 512) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(RTreeGenTreeTest, StructureMatchesRTree) {
+  RTree rtree(&pool_, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen(Rectangle(0, 0, 100, 100), 9);
+  for (int i = 0; i < 200; ++i) rtree.Insert(gen.NextRect(1, 5), i);
+  RTreeGenTree adapter(&rtree, nullptr, 0);
+
+  EXPECT_EQ(adapter.height(), rtree.height());
+  EXPECT_EQ(adapter.HeightOf(adapter.root()), 0);
+  EXPECT_FALSE(adapter.IsApplicationNode(adapter.root()));
+
+  // Walk the whole tree; count application nodes = data entries, check
+  // the containment invariant and height bookkeeping.
+  int64_t app_nodes = 0;
+  std::vector<NodeId> stack{adapter.root()};
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    Rectangle mbr = adapter.MbrOf(node);
+    for (NodeId child : adapter.Children(node)) {
+      EXPECT_TRUE(mbr.Contains(adapter.MbrOf(child)));
+      EXPECT_EQ(adapter.HeightOf(child), adapter.HeightOf(node) + 1);
+      stack.push_back(child);
+    }
+    if (adapter.IsApplicationNode(node)) {
+      ++app_nodes;
+      EXPECT_EQ(adapter.HeightOf(node), adapter.height());
+      EXPECT_NE(adapter.TupleOf(node), kInvalidTupleId);
+      EXPECT_TRUE(adapter.Children(node).empty());
+    } else {
+      EXPECT_EQ(adapter.TupleOf(node), kInvalidTupleId);
+    }
+  }
+  EXPECT_EQ(app_nodes, rtree.num_entries());
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/memory_gentree.h"
+#include "core/nested_loop.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/hierarchy_generator.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+// Ground truth: exhaustively θ-test the selector against all application
+// tuples of the tree.
+std::vector<TupleId> BruteForceSelect(const Value& selector,
+                                      const GeneralizationTree& tree,
+                                      const ThetaOperator& op) {
+  std::vector<TupleId> out;
+  std::vector<NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    if (tree.IsApplicationNode(node) &&
+        op.Theta(selector, tree.Geometry(node))) {
+      out.push_back(tree.TupleOf(node));
+    }
+    for (NodeId child : tree.Children(node)) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TupleId> Sorted(std::vector<TupleId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class SelectOnHierarchyTest : public ::testing::TestWithParam<Traversal> {
+ protected:
+  SelectOnHierarchyTest() : disk_(2000), pool_(&disk_, 256) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_P(SelectOnHierarchyTest, MatchesBruteForceAcrossOperators) {
+  HierarchyOptions options;
+  options.height = 4;
+  options.fanout = 3;
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 100, 100), options, &pool_,
+      RelationLayout::kClustered);
+
+  WithinDistanceOp within(12.0);
+  OverlapsOp overlaps;
+  NorthwestOfOp northwest;
+  ContainedInOp contained;
+  const ThetaOperator* ops[] = {&within, &overlaps, &northwest, &contained};
+
+  RectGenerator gen(Rectangle(0, 0, 100, 100), 404);
+  for (const ThetaOperator* op : ops) {
+    for (int q = 0; q < 10; ++q) {
+      Value selector(gen.NextRect(2, 30));
+      SelectResult result =
+          SpatialSelect(selector, *h.tree, *op, GetParam());
+      EXPECT_EQ(Sorted(result.matching_tuples),
+                BruteForceSelect(selector, *h.tree, *op))
+          << op->name();
+    }
+  }
+}
+
+TEST_P(SelectOnHierarchyTest, PrunesComparedToExhaustive) {
+  HierarchyOptions options;
+  options.height = 4;
+  options.fanout = 4;  // N = 341 nodes
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 1000, 1000), options, &pool_,
+      RelationLayout::kClustered);
+  // A small selector in one corner prunes most of the tree.
+  Value selector(Rectangle(10, 10, 20, 20));
+  OverlapsOp op;
+  SelectResult result = SpatialSelect(selector, *h.tree, op, GetParam());
+  EXPECT_LT(result.theta_upper_tests, h.tree->num_nodes() / 2);
+  EXPECT_GT(result.theta_upper_tests, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traversals, SelectOnHierarchyTest,
+                         ::testing::Values(Traversal::kBreadthFirst,
+                                           Traversal::kDepthFirst),
+                         [](const auto& info) {
+                           return info.param == Traversal::kBreadthFirst
+                                      ? "Bfs"
+                                      : "Dfs";
+                         });
+
+TEST(SelectTest, BfsAndDfsFindSameMatches) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  HierarchyOptions options;
+  options.height = 3;
+  options.fanout = 5;
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 100, 100), options, &pool,
+      RelationLayout::kClustered);
+  OverlapsOp op;
+  Value selector(Rectangle(20, 20, 60, 60));
+  SelectResult bfs =
+      SpatialSelect(selector, *h.tree, op, Traversal::kBreadthFirst);
+  SelectResult dfs =
+      SpatialSelect(selector, *h.tree, op, Traversal::kDepthFirst);
+  EXPECT_EQ(Sorted(bfs.matching_tuples), Sorted(dfs.matching_tuples));
+  // Identical work, different order.
+  EXPECT_EQ(bfs.theta_upper_tests, dfs.theta_upper_tests);
+  EXPECT_EQ(bfs.theta_tests, dfs.theta_tests);
+}
+
+TEST(SelectTest, WorksOnRTreeAdapter) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 512);
+  Schema schema({{"id", ValueType::kInt64},
+                 {"box", ValueType::kRectangle}});
+  Relation rel("data", schema, &pool);
+  RTree rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen(Rectangle(0, 0, 500, 500), 808);
+  for (int64_t i = 0; i < 400; ++i) {
+    Rectangle r = gen.NextRect(1, 15);
+    TupleId tid = rel.Insert(Tuple({Value(i), Value(r)}));
+    rtree.Insert(r, tid);
+  }
+  RTreeGenTree adapter(&rtree, &rel, 1);
+
+  OverlapsOp op;
+  for (int q = 0; q < 10; ++q) {
+    Value selector(gen.NextRect(10, 80));
+    SelectResult result = SpatialSelect(selector, adapter, op);
+    // Ground truth from the R-tree's native search (overlap windows).
+    std::vector<TupleId> expected =
+        rtree.SearchTids(selector.AsRectangle());
+    EXPECT_EQ(Sorted(result.matching_tuples), Sorted(expected));
+  }
+}
+
+TEST(SelectTest, SelectorOutsideWorldFindsNothingCheaply) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  HierarchyOptions options;
+  options.height = 3;
+  options.fanout = 4;
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 100, 100), options, &pool,
+      RelationLayout::kClustered);
+  OverlapsOp op;
+  SelectResult result =
+      SpatialSelect(Value(Rectangle(500, 500, 510, 510)), *h.tree, op);
+  EXPECT_TRUE(result.matching_tuples.empty());
+  EXPECT_EQ(result.theta_upper_tests, 1);  // pruned at the root
+}
+
+TEST(SelectTest, AgreesWithNestedLoopSelectOnRelation) {
+  DiskManager disk(2000);
+  BufferPool pool(&disk, 256);
+  HierarchyOptions options;
+  options.height = 3;
+  options.fanout = 4;
+  GeneratedHierarchy h = GenerateHierarchy(
+      Rectangle(0, 0, 100, 100), options, &pool,
+      RelationLayout::kClustered);
+  WithinDistanceOp op(20.0);
+  Value selector(Rectangle(40, 40, 50, 50));
+  SelectResult tree_result = SpatialSelect(selector, *h.tree, op);
+  JoinResult scan_result =
+      NestedLoopSelect(selector, *h.relation, h.spatial_column, op);
+  std::vector<TupleId> scan_tids;
+  for (const auto& m : scan_result.matches) scan_tids.push_back(m.first);
+  EXPECT_EQ(Sorted(tree_result.matching_tuples), Sorted(scan_tids));
+  // The scan θ-tests everything; the tree must not do worse.
+  EXPECT_LE(tree_result.theta_tests, scan_result.theta_tests);
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(SlottedPageTest, InitEmpty) {
+  Page page(2000);
+  slotted::Init(&page);
+  EXPECT_EQ(slotted::NumSlots(page), 0);
+  EXPECT_GT(slotted::FreeSpace(page), 1900u);
+}
+
+TEST(SlottedPageTest, InsertRead) {
+  Page page(2000);
+  slotted::Init(&page);
+  auto s0 = slotted::Insert(&page, "hello");
+  auto s1 = slotted::Insert(&page, "world!");
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(*s0, 0);
+  EXPECT_EQ(*s1, 1);
+  EXPECT_EQ(*slotted::Read(page, 0), "hello");
+  EXPECT_EQ(*slotted::Read(page, 1), "world!");
+  EXPECT_FALSE(slotted::Read(page, 2).has_value());
+}
+
+TEST(SlottedPageTest, BinaryPayloadSurvives) {
+  Page page(2000);
+  slotted::Init(&page);
+  std::string payload("\x00\x01\xff\x7f binary \x00 data", 20);
+  auto slot = slotted::Insert(&page, payload);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slotted::Read(page, *slot), payload);
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page page(256);
+  slotted::Init(&page);
+  std::string record(20, 'x');
+  int inserted = 0;
+  while (slotted::Insert(&page, record).has_value()) ++inserted;
+  // 256 bytes: 4 header + n*(4 slot + 20 record) → ~10 records.
+  EXPECT_GE(inserted, 9);
+  EXPECT_LE(inserted, 11);
+  EXPECT_LT(slotted::FreeSpace(page), record.size());
+}
+
+TEST(SlottedPageTest, DeleteMarksSlot) {
+  Page page(512);
+  slotted::Init(&page);
+  slotted::Insert(&page, "a");
+  slotted::Insert(&page, "b");
+  EXPECT_TRUE(slotted::Delete(&page, 0));
+  EXPECT_FALSE(slotted::Read(page, 0).has_value());
+  EXPECT_EQ(*slotted::Read(page, 1), "b");
+  EXPECT_FALSE(slotted::Delete(&page, 0));  // double delete
+  EXPECT_FALSE(slotted::Delete(&page, 9));  // out of range
+}
+
+TEST(SlottedPageTest, EmptyRecordAllowed) {
+  Page page(256);
+  slotted::Init(&page);
+  auto slot = slotted::Insert(&page, "");
+  ASSERT_TRUE(slot.has_value());
+  auto view = slotted::Read(page, *slot);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->empty());
+}
+
+}  // namespace
+}  // namespace spatialjoin

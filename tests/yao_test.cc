@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/yao.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(YaoTest, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(Yao(0.0, 100.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(Yao(1000.0, 100.0, 1000.0), 100.0);  // x = z: all pages
+  EXPECT_DOUBLE_EQ(Yao(2000.0, 100.0, 1000.0), 100.0);  // x > z clamps
+  EXPECT_DOUBLE_EQ(Yao(5.0, 1.0, 100.0), 1.0);          // one page
+}
+
+TEST(YaoTest, SingleRecordTouchesOnePage) {
+  // One random record out of z on y pages touches exactly one page:
+  // Y(1,y,z) = y·(1 − (z − z/y)/z) = y·(z/y)/z = 1.
+  EXPECT_NEAR(Yao(1.0, 50.0, 500.0), 1.0, 1e-9);
+  EXPECT_NEAR(Yao(1.0, 222223.0, 1111111.0), 1.0, 1e-6);
+}
+
+TEST(YaoTest, NeverExceedsMinOfXAndY) {
+  for (double x : {1.0, 3.0, 10.0, 50.0, 400.0}) {
+    double y = 100.0;
+    double z = 1000.0;
+    double result = Yao(x, y, z);
+    EXPECT_LE(result, x);
+    EXPECT_LE(result, y);
+    EXPECT_GE(result, 0.0);
+  }
+}
+
+TEST(YaoTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 1.0; x <= 500.0; x += 7.0) {
+    double cur = Yao(x, 100.0, 1000.0);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(YaoTest, ApproachesAllPagesForLargeX) {
+  // Retrieving half the records of a densely packed file touches almost
+  // every page (10 records per page).
+  EXPECT_GT(Yao(500.0, 100.0, 1000.0), 99.0);
+}
+
+TEST(YaoTest, SparseFileDegeneratesToOnePagePerRecord) {
+  // ~1 record per page: x records touch about x pages.
+  EXPECT_NEAR(Yao(10.0, 1000.0, 1000.0), 10.0, 0.1);
+}
+
+TEST(YaoTest, MatchesHandComputedSmallCase) {
+  // z=4 records on y=2 pages (2 per page), x=2:
+  // product terms (z − z/y − i + 1)/(z − i + 1): i=1 → 2/4, i=2 → 1/3;
+  // Y = 2·(1 − 1/6) = 5/3 — the combinatorial expectation (the second
+  // record shares the first record's page with probability 1/3).
+  EXPECT_NEAR(Yao(2.0, 2.0, 4.0), 5.0 / 3.0, 1e-12);
+}
+
+TEST(YaoTest, IntegerOverloadAgrees) {
+  EXPECT_DOUBLE_EQ(Yao(int64_t{7}, int64_t{10}, int64_t{100}),
+                   Yao(7.0, 10.0, 100.0));
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "zorder/zdecompose.h"
+#include "zorder/zorder.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(InterleaveTest, KnownValues) {
+  EXPECT_EQ(InterleaveBits(0, 0), 0u);
+  EXPECT_EQ(InterleaveBits(1, 0), 1u);
+  EXPECT_EQ(InterleaveBits(0, 1), 2u);
+  EXPECT_EQ(InterleaveBits(1, 1), 3u);
+  EXPECT_EQ(InterleaveBits(2, 0), 4u);
+  EXPECT_EQ(InterleaveBits(3, 3), 15u);
+}
+
+TEST(InterleaveTest, RoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.NextUint64());
+    uint32_t y = static_cast<uint32_t>(rng.NextUint64());
+    uint32_t rx, ry;
+    DeinterleaveBits(InterleaveBits(x, y), &rx, &ry);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+  }
+}
+
+TEST(ZCellTest, IntervalNesting) {
+  ZCell root;  // whole space
+  EXPECT_EQ(root.interval_lo(), 0u);
+  EXPECT_EQ(root.interval_hi(), uint64_t{1} << (2 * ZCell::kMaxLevel));
+  ZCell c0 = root.Child(0);
+  ZCell c3 = root.Child(3);
+  EXPECT_TRUE(root.ContainsCell(c0));
+  EXPECT_TRUE(root.ContainsCell(c3));
+  EXPECT_FALSE(c0.ContainsCell(root));
+  EXPECT_FALSE(c0.ContainsCell(c3));
+  // The four children tile the parent interval.
+  uint64_t covered = 0;
+  for (int q = 0; q < 4; ++q) {
+    ZCell child = root.Child(q);
+    covered += child.interval_hi() - child.interval_lo();
+  }
+  EXPECT_EQ(covered, root.interval_hi() - root.interval_lo());
+}
+
+TEST(ZGridTest, CellOfCorners) {
+  ZGrid grid(Rectangle(0, 0, 100, 100));
+  EXPECT_EQ(grid.ZValueOf(Point(0, 0)), 0u);
+  uint32_t cx, cy;
+  grid.CellCoords(Point(100, 100), &cx, &cy);  // clamped to last cell
+  EXPECT_EQ(cx, ZGrid::CellsPerAxis() - 1);
+  EXPECT_EQ(cy, ZGrid::CellsPerAxis() - 1);
+  // Out-of-world points clamp instead of crashing.
+  grid.CellCoords(Point(-5, 105), &cx, &cy);
+  EXPECT_EQ(cx, 0u);
+  EXPECT_EQ(cy, ZGrid::CellsPerAxis() - 1);
+}
+
+TEST(ZGridTest, CellRectRoundTrip) {
+  ZGrid grid(Rectangle(0, 0, 64, 64));
+  Point p(13.7, 42.1);
+  ZCell cell = grid.CellOf(p);
+  Rectangle r = grid.CellRect(cell);
+  EXPECT_TRUE(r.ContainsPoint(p));
+  // Finest cells are tiny.
+  EXPECT_LT(r.width(), 1e-4);
+}
+
+TEST(ZGridTest, ProximityFailureExistsAlongCurve) {
+  // The paper's Fig. 1 point: spatially adjacent cells can be far apart
+  // in z-order. Cells (0, 1) and (1, 0)... actually take the classic
+  // discontinuity: (2^{k-1}-1, 0) and (2^{k-1}, 0) are neighbors in
+  // space but half the curve apart.
+  uint32_t half = ZGrid::CellsPerAxis() / 2;
+  uint64_t za = InterleaveBits(half - 1, 0);
+  uint64_t zb = InterleaveBits(half, 0);
+  EXPECT_GT(zb - za, uint64_t{1} << (2 * ZCell::kMaxLevel - 3));
+}
+
+TEST(ZDecomposeTest, FullWorldIsOneCell) {
+  ZGrid grid(Rectangle(0, 0, 10, 10));
+  std::vector<ZCell> cells = DecomposeRectangle(grid.world(), grid);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].level, 0);
+}
+
+TEST(ZDecomposeTest, QuadrantIsOneCell) {
+  ZGrid grid(Rectangle(0, 0, 16, 16));
+  std::vector<ZCell> cells =
+      DecomposeRectangle(Rectangle(0, 0, 8, 8), grid);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].level, 1);
+  EXPECT_EQ(cells[0].prefix, 0u);
+}
+
+TEST(ZDecomposeTest, RespectsMaxCells) {
+  ZGrid grid(Rectangle(0, 0, 100, 100));
+  ZDecomposeOptions options;
+  options.max_level = 12;
+  options.max_cells = 8;
+  std::vector<ZCell> cells =
+      DecomposeRectangle(Rectangle(13.1, 17.2, 55.5, 61.3), grid, options);
+  EXPECT_LE(cells.size(), 8u);
+  EXPECT_GE(cells.size(), 1u);
+}
+
+// Properties of the decomposition: cells cover the rectangle, are sorted,
+// and have pairwise disjoint z-intervals.
+TEST(ZDecomposePropertyTest, CoverSortedDisjoint) {
+  ZGrid grid(Rectangle(0, 0, 1000, 1000));
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    double x = rng.NextDouble(0, 900);
+    double y = rng.NextDouble(0, 900);
+    Rectangle r(x, y, x + rng.NextDouble(0.5, 100),
+                y + rng.NextDouble(0.5, 100));
+    std::vector<ZCell> cells = DecomposeRectangle(r, grid);
+    ASSERT_FALSE(cells.empty());
+    Rectangle covered;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      covered.Extend(grid.CellRect(cells[i]));
+      if (i > 0) {
+        EXPECT_LE(cells[i - 1].interval_hi(), cells[i].interval_lo());
+      }
+    }
+    EXPECT_TRUE(covered.Contains(r));
+  }
+}
+
+// Property: overlapping rectangles always produce at least one nested
+// cell pair — the completeness basis of the sort-merge join.
+TEST(ZDecomposePropertyTest, OverlapImpliesNestedCells) {
+  ZGrid grid(Rectangle(0, 0, 1000, 1000));
+  Rng rng(13);
+  int overlapping_found = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto rand_rect = [&] {
+      double x = rng.NextDouble(0, 750);
+      double y = rng.NextDouble(0, 750);
+      return Rectangle(x, y, x + rng.NextDouble(50, 250),
+                       y + rng.NextDouble(50, 250));
+    };
+    Rectangle a = rand_rect();
+    Rectangle b = rand_rect();
+    if (!a.Overlaps(b)) continue;
+    ++overlapping_found;
+    std::vector<ZCell> ca = DecomposeRectangle(a, grid);
+    std::vector<ZCell> cb = DecomposeRectangle(b, grid);
+    bool nested = false;
+    for (const ZCell& x : ca) {
+      for (const ZCell& y : cb) {
+        if (x.ContainsCell(y) || y.ContainsCell(x)) nested = true;
+      }
+    }
+    EXPECT_TRUE(nested) << "a=" << a.ToString() << " b=" << b.ToString();
+  }
+  EXPECT_GT(overlapping_found, 10);
+}
+
+}  // namespace
+}  // namespace spatialjoin

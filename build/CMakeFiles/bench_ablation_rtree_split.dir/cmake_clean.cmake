@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rtree_split.dir/bench/bench_ablation_rtree_split.cc.o"
+  "CMakeFiles/bench_ablation_rtree_split.dir/bench/bench_ablation_rtree_split.cc.o.d"
+  "bench/bench_ablation_rtree_split"
+  "bench/bench_ablation_rtree_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtree_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

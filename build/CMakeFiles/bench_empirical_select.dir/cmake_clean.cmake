@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_empirical_select.dir/bench/bench_empirical_select.cc.o"
+  "CMakeFiles/bench_empirical_select.dir/bench/bench_empirical_select.cc.o.d"
+  "bench/bench_empirical_select"
+  "bench/bench_empirical_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_empirical_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

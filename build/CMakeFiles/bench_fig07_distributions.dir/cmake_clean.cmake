@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_distributions.dir/bench/bench_fig07_distributions.cc.o"
+  "CMakeFiles/bench_fig07_distributions.dir/bench/bench_fig07_distributions.cc.o.d"
+  "bench/bench_fig07_distributions"
+  "bench/bench_fig07_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_select_noloc.dir/bench/bench_fig09_select_noloc.cc.o"
+  "CMakeFiles/bench_fig09_select_noloc.dir/bench/bench_fig09_select_noloc.cc.o.d"
+  "bench/bench_fig09_select_noloc"
+  "bench/bench_fig09_select_noloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_select_noloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

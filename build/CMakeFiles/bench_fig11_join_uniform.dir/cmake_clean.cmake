@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_join_uniform.dir/bench/bench_fig11_join_uniform.cc.o"
+  "CMakeFiles/bench_fig11_join_uniform.dir/bench/bench_fig11_join_uniform.cc.o.d"
+  "bench/bench_fig11_join_uniform"
+  "bench/bench_fig11_join_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_join_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

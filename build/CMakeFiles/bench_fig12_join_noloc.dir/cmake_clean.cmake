@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_join_noloc.dir/bench/bench_fig12_join_noloc.cc.o"
+  "CMakeFiles/bench_fig12_join_noloc.dir/bench/bench_fig12_join_noloc.cc.o.d"
+  "bench/bench_fig12_join_noloc"
+  "bench/bench_fig12_join_noloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_join_noloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_join_hiloc.dir/bench/bench_fig13_join_hiloc.cc.o"
+  "CMakeFiles/bench_fig13_join_hiloc.dir/bench/bench_fig13_join_hiloc.cc.o.d"
+  "bench/bench_fig13_join_hiloc"
+  "bench/bench_fig13_join_hiloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_join_hiloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_join_index.dir/bench/bench_local_join_index.cc.o"
+  "CMakeFiles/bench_local_join_index.dir/bench/bench_local_join_index.cc.o.d"
+  "bench/bench_local_join_index"
+  "bench/bench_local_join_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_join_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

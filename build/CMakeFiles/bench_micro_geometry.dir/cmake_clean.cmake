@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_geometry.dir/bench/bench_micro_geometry.cc.o"
+  "CMakeFiles/bench_micro_geometry.dir/bench/bench_micro_geometry.cc.o.d"
+  "bench/bench_micro_geometry"
+  "bench/bench_micro_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_costs.dir/bench/bench_update_costs.cc.o"
+  "CMakeFiles/bench_update_costs.dir/bench/bench_update_costs.cc.o.d"
+  "bench/bench_update_costs"
+  "bench/bench_update_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

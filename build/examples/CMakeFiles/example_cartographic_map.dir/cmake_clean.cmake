@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cartographic_map.dir/cartographic_map.cpp.o"
+  "CMakeFiles/example_cartographic_map.dir/cartographic_map.cpp.o.d"
+  "example_cartographic_map"
+  "example_cartographic_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cartographic_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

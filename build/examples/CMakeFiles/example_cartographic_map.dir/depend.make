@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cartographic_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_houses_near_lakes.dir/houses_near_lakes.cpp.o"
+  "CMakeFiles/example_houses_near_lakes.dir/houses_near_lakes.cpp.o.d"
+  "example_houses_near_lakes"
+  "example_houses_near_lakes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_houses_near_lakes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

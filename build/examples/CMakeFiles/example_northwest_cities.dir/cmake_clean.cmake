@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_northwest_cities.dir/northwest_cities.cpp.o"
+  "CMakeFiles/example_northwest_cities.dir/northwest_cities.cpp.o.d"
+  "example_northwest_cities"
+  "example_northwest_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_northwest_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

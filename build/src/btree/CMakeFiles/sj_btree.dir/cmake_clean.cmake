@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/sj_btree.dir/bplus_tree.cc.o.d"
+  "libsj_btree.a"
+  "libsj_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_common.dir/check.cc.o"
+  "CMakeFiles/sj_common.dir/check.cc.o.d"
+  "CMakeFiles/sj_common.dir/random.cc.o"
+  "CMakeFiles/sj_common.dir/random.cc.o.d"
+  "CMakeFiles/sj_common.dir/stats.cc.o"
+  "CMakeFiles/sj_common.dir/stats.cc.o.d"
+  "CMakeFiles/sj_common.dir/status.cc.o"
+  "CMakeFiles/sj_common.dir/status.cc.o.d"
+  "libsj_common.a"
+  "libsj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/histogram.cc" "src/core/CMakeFiles/sj_core.dir/histogram.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/histogram.cc.o.d"
+  "/root/repo/src/core/index_nested_loop.cc" "src/core/CMakeFiles/sj_core.dir/index_nested_loop.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/index_nested_loop.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/core/CMakeFiles/sj_core.dir/join.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/join.cc.o.d"
+  "/root/repo/src/core/join_index.cc" "src/core/CMakeFiles/sj_core.dir/join_index.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/join_index.cc.o.d"
+  "/root/repo/src/core/local_join_index.cc" "src/core/CMakeFiles/sj_core.dir/local_join_index.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/local_join_index.cc.o.d"
+  "/root/repo/src/core/memory_gentree.cc" "src/core/CMakeFiles/sj_core.dir/memory_gentree.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/memory_gentree.cc.o.d"
+  "/root/repo/src/core/naive_sort_merge.cc" "src/core/CMakeFiles/sj_core.dir/naive_sort_merge.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/naive_sort_merge.cc.o.d"
+  "/root/repo/src/core/nested_loop.cc" "src/core/CMakeFiles/sj_core.dir/nested_loop.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/nested_loop.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/sj_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/select.cc" "src/core/CMakeFiles/sj_core.dir/select.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/select.cc.o.d"
+  "/root/repo/src/core/sort_merge_zorder.cc" "src/core/CMakeFiles/sj_core.dir/sort_merge_zorder.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/sort_merge_zorder.cc.o.d"
+  "/root/repo/src/core/spatial_join.cc" "src/core/CMakeFiles/sj_core.dir/spatial_join.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/spatial_join.cc.o.d"
+  "/root/repo/src/core/theta_ops.cc" "src/core/CMakeFiles/sj_core.dir/theta_ops.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/theta_ops.cc.o.d"
+  "/root/repo/src/core/window_join.cc" "src/core/CMakeFiles/sj_core.dir/window_join.cc.o" "gcc" "src/core/CMakeFiles/sj_core.dir/window_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/zorder/CMakeFiles/sj_zorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sj_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/sj_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/sj_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridfile/CMakeFiles/sj_gridfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/sj_rtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_core.dir/histogram.cc.o"
+  "CMakeFiles/sj_core.dir/histogram.cc.o.d"
+  "CMakeFiles/sj_core.dir/index_nested_loop.cc.o"
+  "CMakeFiles/sj_core.dir/index_nested_loop.cc.o.d"
+  "CMakeFiles/sj_core.dir/join.cc.o"
+  "CMakeFiles/sj_core.dir/join.cc.o.d"
+  "CMakeFiles/sj_core.dir/join_index.cc.o"
+  "CMakeFiles/sj_core.dir/join_index.cc.o.d"
+  "CMakeFiles/sj_core.dir/local_join_index.cc.o"
+  "CMakeFiles/sj_core.dir/local_join_index.cc.o.d"
+  "CMakeFiles/sj_core.dir/memory_gentree.cc.o"
+  "CMakeFiles/sj_core.dir/memory_gentree.cc.o.d"
+  "CMakeFiles/sj_core.dir/naive_sort_merge.cc.o"
+  "CMakeFiles/sj_core.dir/naive_sort_merge.cc.o.d"
+  "CMakeFiles/sj_core.dir/nested_loop.cc.o"
+  "CMakeFiles/sj_core.dir/nested_loop.cc.o.d"
+  "CMakeFiles/sj_core.dir/planner.cc.o"
+  "CMakeFiles/sj_core.dir/planner.cc.o.d"
+  "CMakeFiles/sj_core.dir/select.cc.o"
+  "CMakeFiles/sj_core.dir/select.cc.o.d"
+  "CMakeFiles/sj_core.dir/sort_merge_zorder.cc.o"
+  "CMakeFiles/sj_core.dir/sort_merge_zorder.cc.o.d"
+  "CMakeFiles/sj_core.dir/spatial_join.cc.o"
+  "CMakeFiles/sj_core.dir/spatial_join.cc.o.d"
+  "CMakeFiles/sj_core.dir/theta_ops.cc.o"
+  "CMakeFiles/sj_core.dir/theta_ops.cc.o.d"
+  "CMakeFiles/sj_core.dir/window_join.cc.o"
+  "CMakeFiles/sj_core.dir/window_join.cc.o.d"
+  "libsj_core.a"
+  "libsj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsj_core.a"
+)

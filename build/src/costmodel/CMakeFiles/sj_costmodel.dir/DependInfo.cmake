@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/distributions.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/distributions.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/distributions.cc.o.d"
+  "/root/repo/src/costmodel/join_cost.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/join_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/join_cost.cc.o.d"
+  "/root/repo/src/costmodel/parameters.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/parameters.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/parameters.cc.o.d"
+  "/root/repo/src/costmodel/report.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/report.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/report.cc.o.d"
+  "/root/repo/src/costmodel/select_cost.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/select_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/select_cost.cc.o.d"
+  "/root/repo/src/costmodel/update_cost.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/update_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/update_cost.cc.o.d"
+  "/root/repo/src/costmodel/yao.cc" "src/costmodel/CMakeFiles/sj_costmodel.dir/yao.cc.o" "gcc" "src/costmodel/CMakeFiles/sj_costmodel.dir/yao.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_costmodel.dir/distributions.cc.o"
+  "CMakeFiles/sj_costmodel.dir/distributions.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/join_cost.cc.o"
+  "CMakeFiles/sj_costmodel.dir/join_cost.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/parameters.cc.o"
+  "CMakeFiles/sj_costmodel.dir/parameters.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/report.cc.o"
+  "CMakeFiles/sj_costmodel.dir/report.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/select_cost.cc.o"
+  "CMakeFiles/sj_costmodel.dir/select_cost.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/update_cost.cc.o"
+  "CMakeFiles/sj_costmodel.dir/update_cost.cc.o.d"
+  "CMakeFiles/sj_costmodel.dir/yao.cc.o"
+  "CMakeFiles/sj_costmodel.dir/yao.cc.o.d"
+  "libsj_costmodel.a"
+  "libsj_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

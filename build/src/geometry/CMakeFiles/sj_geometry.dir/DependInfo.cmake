@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/buffer.cc" "src/geometry/CMakeFiles/sj_geometry.dir/buffer.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/buffer.cc.o.d"
+  "/root/repo/src/geometry/distance.cc" "src/geometry/CMakeFiles/sj_geometry.dir/distance.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/distance.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/geometry/CMakeFiles/sj_geometry.dir/point.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/point.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/geometry/CMakeFiles/sj_geometry.dir/polygon.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/polygon.cc.o.d"
+  "/root/repo/src/geometry/polyline.cc" "src/geometry/CMakeFiles/sj_geometry.dir/polyline.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/polyline.cc.o.d"
+  "/root/repo/src/geometry/predicates.cc" "src/geometry/CMakeFiles/sj_geometry.dir/predicates.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/predicates.cc.o.d"
+  "/root/repo/src/geometry/rectangle.cc" "src/geometry/CMakeFiles/sj_geometry.dir/rectangle.cc.o" "gcc" "src/geometry/CMakeFiles/sj_geometry.dir/rectangle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

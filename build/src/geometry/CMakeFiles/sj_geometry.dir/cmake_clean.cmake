@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_geometry.dir/buffer.cc.o"
+  "CMakeFiles/sj_geometry.dir/buffer.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/distance.cc.o"
+  "CMakeFiles/sj_geometry.dir/distance.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/point.cc.o"
+  "CMakeFiles/sj_geometry.dir/point.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/polygon.cc.o"
+  "CMakeFiles/sj_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/polyline.cc.o"
+  "CMakeFiles/sj_geometry.dir/polyline.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/predicates.cc.o"
+  "CMakeFiles/sj_geometry.dir/predicates.cc.o.d"
+  "CMakeFiles/sj_geometry.dir/rectangle.cc.o"
+  "CMakeFiles/sj_geometry.dir/rectangle.cc.o.d"
+  "libsj_geometry.a"
+  "libsj_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridfile/grid_file.cc" "src/gridfile/CMakeFiles/sj_gridfile.dir/grid_file.cc.o" "gcc" "src/gridfile/CMakeFiles/sj_gridfile.dir/grid_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sj_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

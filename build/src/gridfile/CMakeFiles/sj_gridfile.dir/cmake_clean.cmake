@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_gridfile.dir/grid_file.cc.o"
+  "CMakeFiles/sj_gridfile.dir/grid_file.cc.o.d"
+  "libsj_gridfile.a"
+  "libsj_gridfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_gridfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_quadtree.dir/quadtree.cc.o"
+  "CMakeFiles/sj_quadtree.dir/quadtree.cc.o.d"
+  "libsj_quadtree.a"
+  "libsj_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

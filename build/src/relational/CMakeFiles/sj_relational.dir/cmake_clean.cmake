@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_relational.dir/relation.cc.o"
+  "CMakeFiles/sj_relational.dir/relation.cc.o.d"
+  "CMakeFiles/sj_relational.dir/schema.cc.o"
+  "CMakeFiles/sj_relational.dir/schema.cc.o.d"
+  "CMakeFiles/sj_relational.dir/tuple.cc.o"
+  "CMakeFiles/sj_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/sj_relational.dir/value.cc.o"
+  "CMakeFiles/sj_relational.dir/value.cc.o.d"
+  "libsj_relational.a"
+  "libsj_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

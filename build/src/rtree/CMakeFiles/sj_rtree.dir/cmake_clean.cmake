@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_rtree.dir/rtree.cc.o"
+  "CMakeFiles/sj_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/sj_rtree.dir/rtree_gentree.cc.o"
+  "CMakeFiles/sj_rtree.dir/rtree_gentree.cc.o.d"
+  "libsj_rtree.a"
+  "libsj_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

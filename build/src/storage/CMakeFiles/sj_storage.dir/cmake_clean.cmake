@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/sj_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/sj_storage.dir/clustered_file.cc.o"
+  "CMakeFiles/sj_storage.dir/clustered_file.cc.o.d"
+  "CMakeFiles/sj_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/sj_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/sj_storage.dir/heap_file.cc.o"
+  "CMakeFiles/sj_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/sj_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/sj_storage.dir/slotted_page.cc.o.d"
+  "libsj_storage.a"
+  "libsj_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

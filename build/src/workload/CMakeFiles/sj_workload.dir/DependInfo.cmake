@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/hierarchy_generator.cc" "src/workload/CMakeFiles/sj_workload.dir/hierarchy_generator.cc.o" "gcc" "src/workload/CMakeFiles/sj_workload.dir/hierarchy_generator.cc.o.d"
+  "/root/repo/src/workload/model_simulator.cc" "src/workload/CMakeFiles/sj_workload.dir/model_simulator.cc.o" "gcc" "src/workload/CMakeFiles/sj_workload.dir/model_simulator.cc.o.d"
+  "/root/repo/src/workload/rect_generator.cc" "src/workload/CMakeFiles/sj_workload.dir/rect_generator.cc.o" "gcc" "src/workload/CMakeFiles/sj_workload.dir/rect_generator.cc.o.d"
+  "/root/repo/src/workload/scenario_houses_lakes.cc" "src/workload/CMakeFiles/sj_workload.dir/scenario_houses_lakes.cc.o" "gcc" "src/workload/CMakeFiles/sj_workload.dir/scenario_houses_lakes.cc.o.d"
+  "/root/repo/src/workload/scenario_roads_towns.cc" "src/workload/CMakeFiles/sj_workload.dir/scenario_roads_towns.cc.o" "gcc" "src/workload/CMakeFiles/sj_workload.dir/scenario_roads_towns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sj_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/sj_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/zorder/CMakeFiles/sj_zorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/sj_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridfile/CMakeFiles/sj_gridfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/sj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sj_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

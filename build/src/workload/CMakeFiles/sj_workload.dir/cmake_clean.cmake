@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_workload.dir/hierarchy_generator.cc.o"
+  "CMakeFiles/sj_workload.dir/hierarchy_generator.cc.o.d"
+  "CMakeFiles/sj_workload.dir/model_simulator.cc.o"
+  "CMakeFiles/sj_workload.dir/model_simulator.cc.o.d"
+  "CMakeFiles/sj_workload.dir/rect_generator.cc.o"
+  "CMakeFiles/sj_workload.dir/rect_generator.cc.o.d"
+  "CMakeFiles/sj_workload.dir/scenario_houses_lakes.cc.o"
+  "CMakeFiles/sj_workload.dir/scenario_houses_lakes.cc.o.d"
+  "CMakeFiles/sj_workload.dir/scenario_roads_towns.cc.o"
+  "CMakeFiles/sj_workload.dir/scenario_roads_towns.cc.o.d"
+  "libsj_workload.a"
+  "libsj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zorder/hilbert.cc" "src/zorder/CMakeFiles/sj_zorder.dir/hilbert.cc.o" "gcc" "src/zorder/CMakeFiles/sj_zorder.dir/hilbert.cc.o.d"
+  "/root/repo/src/zorder/zdecompose.cc" "src/zorder/CMakeFiles/sj_zorder.dir/zdecompose.cc.o" "gcc" "src/zorder/CMakeFiles/sj_zorder.dir/zdecompose.cc.o.d"
+  "/root/repo/src/zorder/zorder.cc" "src/zorder/CMakeFiles/sj_zorder.dir/zorder.cc.o" "gcc" "src/zorder/CMakeFiles/sj_zorder.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sj_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sj_zorder.dir/hilbert.cc.o"
+  "CMakeFiles/sj_zorder.dir/hilbert.cc.o.d"
+  "CMakeFiles/sj_zorder.dir/zdecompose.cc.o"
+  "CMakeFiles/sj_zorder.dir/zdecompose.cc.o.d"
+  "CMakeFiles/sj_zorder.dir/zorder.cc.o"
+  "CMakeFiles/sj_zorder.dir/zorder.cc.o.d"
+  "libsj_zorder.a"
+  "libsj_zorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sj_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentree_test.dir/gentree_test.cc.o"
+  "CMakeFiles/gentree_test.dir/gentree_test.cc.o.d"
+  "gentree_test"
+  "gentree_test.pdb"
+  "gentree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_sweep_test.dir/index_sweep_test.cc.o"
+  "CMakeFiles/index_sweep_test.dir/index_sweep_test.cc.o.d"
+  "index_sweep_test"
+  "index_sweep_test.pdb"
+  "index_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

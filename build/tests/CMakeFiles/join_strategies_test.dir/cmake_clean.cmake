@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_strategies_test.dir/join_strategies_test.cc.o"
+  "CMakeFiles/join_strategies_test.dir/join_strategies_test.cc.o.d"
+  "join_strategies_test"
+  "join_strategies_test.pdb"
+  "join_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/local_join_index_test.cc" "tests/CMakeFiles/local_join_index_test.dir/local_join_index_test.cc.o" "gcc" "tests/CMakeFiles/local_join_index_test.dir/local_join_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quadtree/CMakeFiles/sj_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zorder/CMakeFiles/sj_zorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/sj_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/sj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridfile/CMakeFiles/sj_gridfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/sj_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sj_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/sj_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_join_index_test.dir/local_join_index_test.cc.o"
+  "CMakeFiles/local_join_index_test.dir/local_join_index_test.cc.o.d"
+  "local_join_index_test"
+  "local_join_index_test.pdb"
+  "local_join_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_join_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

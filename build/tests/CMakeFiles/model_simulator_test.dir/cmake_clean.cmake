@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_simulator_test.dir/model_simulator_test.cc.o"
+  "CMakeFiles/model_simulator_test.dir/model_simulator_test.cc.o.d"
+  "model_simulator_test"
+  "model_simulator_test.pdb"
+  "model_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roads_towns_test.dir/roads_towns_test.cc.o"
+  "CMakeFiles/roads_towns_test.dir/roads_towns_test.cc.o.d"
+  "roads_towns_test"
+  "roads_towns_test.pdb"
+  "roads_towns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roads_towns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_ops_test.dir/theta_ops_test.cc.o"
+  "CMakeFiles/theta_ops_test.dir/theta_ops_test.cc.o.d"
+  "theta_ops_test"
+  "theta_ops_test.pdb"
+  "theta_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,7 @@
 int main() {
   spatialjoin::bench::RunSelectFigure(
       "Figure 8 — SELECT, UNIFORM distribution",
-      spatialjoin::MatchDistribution::kUniform);
+      spatialjoin::MatchDistribution::kUniform,
+      "bench_fig08_select_uniform");
   return 0;
 }

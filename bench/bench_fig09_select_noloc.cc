@@ -5,6 +5,7 @@
 int main() {
   spatialjoin::bench::RunSelectFigure(
       "Figure 9 — SELECT, NO-LOC distribution",
-      spatialjoin::MatchDistribution::kNoLoc);
+      spatialjoin::MatchDistribution::kNoLoc,
+      "bench_fig09_select_noloc");
   return 0;
 }

@@ -5,6 +5,7 @@
 int main() {
   spatialjoin::bench::RunSelectFigure(
       "Figure 10 — SELECT, HI-LOC distribution",
-      spatialjoin::MatchDistribution::kHiLoc);
+      spatialjoin::MatchDistribution::kHiLoc,
+      "bench_fig10_select_hiloc");
   return 0;
 }

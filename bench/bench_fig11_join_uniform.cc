@@ -6,6 +6,7 @@
 int main() {
   spatialjoin::bench::RunJoinFigure(
       "Figure 11 — JOIN, UNIFORM distribution",
-      spatialjoin::MatchDistribution::kUniform);
+      spatialjoin::MatchDistribution::kUniform,
+      "bench_fig11_join_uniform");
   return 0;
 }

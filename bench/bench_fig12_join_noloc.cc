@@ -8,6 +8,6 @@ int main() {
   spatialjoin::bench::RunJoinFigure(
       "Figure 12 — JOIN, NO-LOC distribution",
       spatialjoin::MatchDistribution::kNoLoc,
-      /*p_lo=*/1e-12, /*p_hi=*/0.3);
+      "bench_fig12_join_noloc", /*p_lo=*/1e-12, /*p_hi=*/0.3);
   return 0;
 }

@@ -7,6 +7,6 @@ int main() {
   spatialjoin::bench::RunJoinFigure(
       "Figure 13 — JOIN, HI-LOC distribution",
       spatialjoin::MatchDistribution::kHiLoc,
-      /*p_lo=*/1e-12, /*p_hi=*/0.3);
+      "bench_fig13_join_hiloc", /*p_lo=*/1e-12, /*p_hi=*/0.3);
   return 0;
 }

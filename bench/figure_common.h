@@ -6,18 +6,38 @@
 // per selectivity with the cost series the corresponding figure plots,
 // and finally the winner per regime so the "who wins where" shape is
 // machine-checkable from the output.
+//
+// When a bench passes its name as `artifact`, the driver additionally
+// runs a small seeded *empirical* probe of the matching algorithm (real
+// R-trees over the simulated disk) with full observability enabled, and
+// writes `<artifact>.metrics.json` next to the binary: per-level
+// worklist/QualPairs sizes, Θ/θ-test counts, buffer-pool hit rate,
+// wall-clock timings, the explain-analyze predicted-vs-measured report,
+// and the global metrics registry.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/planner.h"
+#include "core/spatial_join.h"
 #include "costmodel/distributions.h"
 #include "costmodel/join_cost.h"
 #include "costmodel/parameters.h"
 #include "costmodel/report.h"
 #include "costmodel/select_cost.h"
 #include "costmodel/update_cost.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
 
 namespace spatialjoin {
 namespace bench {
@@ -30,9 +50,139 @@ inline void PrintHeader(const std::string& title,
             << "==========================================================\n";
 }
 
+/// Seeded empirical fixture shared by the metrics probes: two 200-tuple
+/// relations of random rectangles, R-tree indexed, on a cold simulated
+/// disk. Small enough to add negligible time to an analytical sweep.
+struct MetricsProbeFixture {
+  DiskManager disk{2000};
+  BufferPool pool{&disk, 128};
+  std::unique_ptr<Relation> r;
+  std::unique_ptr<Relation> s;
+  std::unique_ptr<RTree> r_rtree;
+  std::unique_ptr<RTree> s_rtree;
+  std::unique_ptr<RTreeGenTree> r_tree;
+  std::unique_ptr<RTreeGenTree> s_tree;
+};
+
+inline std::unique_ptr<MetricsProbeFixture> MakeMetricsProbeFixture() {
+  auto f = std::make_unique<MetricsProbeFixture>();
+  Schema schema({{"id", ValueType::kInt64}, {"box", ValueType::kRectangle}});
+  f->r = std::make_unique<Relation>("r", schema, &f->pool,
+                                    RelationLayout::kClustered, 300);
+  f->s = std::make_unique<Relation>("s", schema, &f->pool,
+                                    RelationLayout::kClustered, 300);
+  f->r_rtree = std::make_unique<RTree>(&f->pool, RTreeSplit::kQuadratic);
+  f->s_rtree = std::make_unique<RTree>(&f->pool, RTreeSplit::kQuadratic);
+  Rectangle world(0, 0, 1000, 1000);
+  RectGenerator gen_r(world, 7);
+  RectGenerator gen_s(world, 13);
+  for (int64_t i = 0; i < 200; ++i) {
+    Rectangle br = gen_r.NextRect(5, 40);
+    Rectangle bs = gen_s.NextRect(5, 40);
+    f->r_rtree->Insert(br, f->r->Insert(Tuple({Value(i), Value(br)})));
+    f->s_rtree->Insert(bs, f->s->Insert(Tuple({Value(i), Value(bs)})));
+  }
+  f->r_tree = std::make_unique<RTreeGenTree>(f->r_rtree.get(), f->r.get(), 1);
+  f->s_tree = std::make_unique<RTreeGenTree>(f->s_rtree.get(), f->s.get(), 1);
+  return f;
+}
+
+/// Writes `<artifact>.metrics.json` containing the given pre-serialized
+/// sections (each a complete JSON document) plus the registry dump.
+inline void WriteMetricsArtifact(
+    const std::string& artifact,
+    const std::vector<std::pair<std::string, std::string>>& sections) {
+  std::string path = artifact + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  auto trim = [](std::string s) {
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+    return s;
+  };
+  out << "{\n  \"bench\": \"" << artifact << "\"";
+  for (const auto& [key, json] : sections) {
+    out << ",\n  \"" << key << "\": " << trim(json);
+  }
+  out << ",\n  \"registry\": " << trim(MetricsRegistry::Global().ToJson())
+      << "\n}\n";
+  std::cout << "metrics artifact: " << path << "\n";
+}
+
+/// Empirical probe for the JOIN figures: Algorithm JOIN over two seeded
+/// R-trees, traced per QualPairs level, followed by the explain-analyze
+/// comparison against the cost model fit to the observed workload.
+inline void RunJoinMetricsProbe(const std::string& artifact,
+                                MatchDistribution dist) {
+  MetricsRegistry::Global().ResetAll();
+  auto f = MakeMetricsProbeFixture();
+  OverlapsOp op;
+
+  f->pool.Clear();
+  f->pool.ResetStats();
+  f->disk.ResetStats();
+  IoStats io_before = f->disk.stats();
+
+  QueryTrace trace("join", MatchDistributionName(dist));
+  SpatialJoinContext ctx;
+  ctx.r = f->r.get();
+  ctx.col_r = 1;
+  ctx.s = f->s.get();
+  ctx.col_s = 1;
+  ctx.r_tree = f->r_tree.get();
+  ctx.s_tree = f->s_tree.get();
+  ctx.trace = &trace;
+  JoinResult result = ExecuteJoin(JoinStrategy::kTreeJoin, ctx, op);
+
+  IoStats io_delta = f->disk.stats() - io_before;
+  JoinStatistics stats =
+      EstimateJoinStatistics(*f->r, 1, *f->s, 1, op, 200, 42);
+  PlannerContext pctx;
+  pctx.r_tree_available = true;
+  pctx.s_tree_available = true;
+  pctx.overlap_like = true;
+  JoinPlan plan = PlanJoin(stats, pctx);
+  ModelParameters params = FitModelParameters(stats);
+  MeasuredJoin measured =
+      MeasureJoin(result, io_delta, f->pool.stats(), trace.wall_ns());
+  ExplainReport report = ExplainAnalyzeJoin(JoinStrategy::kTreeJoin, plan,
+                                            params, dist, measured, &trace);
+  std::cout << "\n" << report.ToString();
+  WriteMetricsArtifact(artifact, {{"trace", trace.ToJson()},
+                                  {"explain", report.ToJson()}});
+}
+
+/// Empirical probe for the SELECT figures: Algorithm SELECT over a seeded
+/// R-tree, traced per height.
+inline void RunSelectMetricsProbe(const std::string& artifact,
+                                  MatchDistribution dist) {
+  MetricsRegistry::Global().ResetAll();
+  auto f = MakeMetricsProbeFixture();
+  OverlapsOp op;
+
+  f->pool.Clear();
+  f->pool.ResetStats();
+  f->disk.ResetStats();
+
+  QueryTrace trace("select", MatchDistributionName(dist));
+  SpatialJoinContext ctx;
+  ctx.s = f->s.get();
+  ctx.col_s = 1;
+  ctx.s_tree = f->s_tree.get();
+  ctx.trace = &trace;
+  Value selector(Rectangle(400, 400, 600, 600));
+  ExecuteSelect(SelectStrategy::kTree, ctx, selector, kInvalidTupleId, op);
+  WriteMetricsArtifact(artifact, {{"trace", trace.ToJson()}});
+}
+
 /// Reproduces one SELECT figure (Fig. 8/9/10): C_I, C_IIa, C_IIb, C_III
-/// against selectivity p on a log grid, plus the per-row winner.
+/// against selectivity p on a log grid, plus the per-row winner. A
+/// non-empty `artifact` also runs the empirical probe and dumps
+/// `<artifact>.metrics.json`.
 inline void RunSelectFigure(const std::string& title, MatchDistribution dist,
+                            const std::string& artifact = "",
                             double p_lo = 1e-4, double p_hi = 1.0,
                             int points = 17) {
   ModelParameters params = PaperParameters();
@@ -49,10 +199,14 @@ inline void RunSelectFigure(const std::string& title, MatchDistribution dist,
     std::cout << " " << table.columns()[table.ArgMinOfRow(row)];
   }
   std::cout << "\n\n";
+  if (!artifact.empty()) RunSelectMetricsProbe(artifact, dist);
 }
 
 /// Reproduces one JOIN figure (Fig. 11/12/13): D_I, D_IIa, D_IIb, D_III.
+/// A non-empty `artifact` also runs the empirical probe, prints the
+/// explain-analyze report, and dumps `<artifact>.metrics.json`.
 inline void RunJoinFigure(const std::string& title, MatchDistribution dist,
+                          const std::string& artifact = "",
                           double p_lo = 1e-12, double p_hi = 1e-2,
                           int points = 21) {
   ModelParameters params = PaperParameters();
@@ -84,6 +238,7 @@ inline void RunJoinFigure(const std::string& title, MatchDistribution dist,
     std::printf("%.2e", crossover);
   }
   std::cout << "\n\n";
+  if (!artifact.empty()) RunJoinMetricsProbe(artifact, dist);
 }
 
 }  // namespace bench

@@ -1,5 +1,6 @@
 #include "core/join.h"
 
+#include <chrono>
 #include <deque>
 
 #include "common/check.h"
@@ -61,7 +62,7 @@ std::vector<NodeId> SelectPass(const GeneralizationTree& selector_tree,
 
 JoinResult TreeJoin(const GeneralizationTree& r_tree,
                     const GeneralizationTree& s_tree, const ThetaOperator& op,
-                    Traversal traversal) {
+                    Traversal traversal, QueryTrace* trace) {
   (void)traversal;  // JOIN4's internal passes are BFS; kept for symmetry.
   JoinResult result;
   int max_level = std::min(r_tree.height(), s_tree.height());
@@ -71,12 +72,36 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
   current_level.emplace_back(r_tree.root(), s_tree.root());
 
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
+    // Trace bookkeeping: snapshot counters at level entry, attribute the
+    // level's deltas on exit. The JOIN4 passes descend into deeper
+    // subtrees, but their cost is charged to the QualPairs level that
+    // triggered them — matching how the model charges the per-pair
+    // selection term to the pair's height (§4.4).
+    PoolSnapshot pool_before;
+    std::chrono::steady_clock::time_point level_start;
+    int64_t theta_upper_before = 0;
+    int64_t theta_before = 0;
+    if (trace != nullptr) {
+      trace->Level(j).worklist +=
+          static_cast<int64_t>(current_level.size());
+      pool_before = PoolSnapshot::Take();
+      theta_upper_before = result.theta_upper_tests;
+      theta_before = result.theta_tests;
+      level_start = std::chrono::steady_clock::now();
+    }
+    int64_t level_pruned = 0;
+    int64_t level_descended = 0;
+
     std::vector<std::pair<NodeId, NodeId>> next_level;
     for (const auto& [a, b] : current_level) {
       ++result.qual_pairs_examined;
       // JOIN2: Θ-test the pair itself.
       ++result.theta_upper_tests;
-      if (!op.ThetaUpper(r_tree.MbrOf(a), s_tree.MbrOf(b))) continue;
+      if (!op.ThetaUpper(r_tree.MbrOf(a), s_tree.MbrOf(b))) {
+        ++level_pruned;
+        continue;
+      }
+      ++level_descended;
 
       Value geom_a = r_tree.Geometry(a);
       Value geom_b = s_tree.Geometry(b);
@@ -98,6 +123,22 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
       for (NodeId a2 : qual_a) {
         for (NodeId b2 : qual_b) next_level.emplace_back(a2, b2);
       }
+    }
+
+    if (trace != nullptr) {
+      TraceLevel& level = trace->Level(j);
+      level.theta_upper_tests += result.theta_upper_tests -
+                                 theta_upper_before;
+      level.theta_tests += result.theta_tests - theta_before;
+      level.pruned += level_pruned;
+      level.descended += level_descended;
+      PoolSnapshot pool_delta = PoolSnapshot::Take() - pool_before;
+      level.pool_hits += pool_delta.hits;
+      level.pool_misses += pool_delta.misses;
+      level.wall_ns += static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - level_start)
+              .count());
     }
     current_level = std::move(next_level);
   }

@@ -35,10 +35,16 @@ struct JoinResult {
 /// against the subtree below a — to catch matches at unequal heights,
 /// while recording which direct children cross-qualify to seed the next
 /// worklist.
+///
+/// When `trace` is non-null, each QualPairs level j contributes one trace
+/// level: worklist size (|QualPairs[j]|), Θ/θ tests (including the JOIN4
+/// selection passes triggered from that level), pairs pruned vs.
+/// descended at JOIN2, buffer-pool traffic, and wall-clock time.
 JoinResult TreeJoin(const GeneralizationTree& r_tree,
                     const GeneralizationTree& s_tree,
                     const ThetaOperator& op,
-                    Traversal traversal = Traversal::kBreadthFirst);
+                    Traversal traversal = Traversal::kBreadthFirst,
+                    QueryTrace* trace = nullptr);
 
 }  // namespace spatialjoin
 

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "costmodel/join_cost.h"
 #include "costmodel/update_cost.h"
+#include "obs/metrics.h"
 
 namespace spatialjoin {
 
@@ -40,14 +41,13 @@ JoinStatistics EstimateJoinStatistics(const Relation& r, size_t col_r,
   if (hits == 0) {
     stats.selectivity = 1.0 / (3.0 * static_cast<double>(sample_pairs));
   }
+  MetricsRegistry::Global()
+      .GetCounter("planner.sample_theta_tests")
+      ->Increment(stats.sample_tests);
   return stats;
 }
 
-namespace {
-
-// Maps observed relation sizes onto the model's balanced k-ary tree:
-// keep the paper's fan-out, derive the height from N.
-ModelParameters FitParameters(const JoinStatistics& stats) {
+ModelParameters FitModelParameters(const JoinStatistics& stats) {
   ModelParameters params = PaperParameters();
   int64_t n_tuples = std::max<int64_t>(
       {stats.r_tuples, stats.s_tuples, 2});
@@ -59,8 +59,6 @@ ModelParameters FitParameters(const JoinStatistics& stats) {
   params.T = n_tuples;
   return params;
 }
-
-}  // namespace
 
 std::string JoinPlan::ToString() const {
   std::ostringstream os;
@@ -78,7 +76,7 @@ std::string JoinPlan::ToString() const {
 }
 
 JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
-  ModelParameters params = FitParameters(stats);
+  ModelParameters params = FitModelParameters(stats);
   // The planner has no locality knowledge — score with UNIFORM, the
   // conservative choice (locality only helps the tree strategies).
   JoinCosts join_costs = ComputeJoinCosts(params, MatchDistribution::kUniform);
@@ -115,6 +113,12 @@ JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
       plan.estimated_cost = alt.estimated_cost;
     }
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("planner.plans")->Increment();
+  registry
+      .GetCounter(std::string("planner.chosen.") +
+                  JoinStrategyName(plan.strategy))
+      ->Increment();
   return plan;
 }
 

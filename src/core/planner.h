@@ -27,6 +27,12 @@ JoinStatistics EstimateJoinStatistics(const Relation& r, size_t col_r,
                                       const ThetaOperator& op,
                                       int sample_pairs, uint64_t seed);
 
+/// Maps observed relation sizes and selectivity onto the paper's balanced
+/// k-ary model tree: keeps the paper's fan-out, derives the height from N,
+/// clamps p into (0, 1]. Used by the planner to price strategies and by
+/// ExplainAnalyze to produce the predicted side of its report.
+ModelParameters FitModelParameters(const JoinStatistics& stats);
+
 /// What the planner may choose between, and the workload context that
 /// shifts the trade-off (the paper's §5: "join indices are only
 /// efficient if update ratios are very low and join selectivities are

@@ -1,5 +1,6 @@
 #include "core/select.h"
 
+#include <chrono>
 #include <deque>
 
 #include "common/check.h"
@@ -9,22 +10,54 @@ namespace spatialjoin {
 namespace {
 
 // Visits `node`: Θ-test, then on success θ-test + match bookkeeping, and
-// returns whether the children should be expanded.
+// returns whether the children should be expanded. When tracing, the
+// visit is attributed to the trace level of the node's height (for the
+// breadth-first variant that height is exactly the QualNodes[j] index).
 bool VisitNode(const Value& selector, const GeneralizationTree& tree,
-               const ThetaOperator& op, NodeId node, SelectResult* result) {
+               const ThetaOperator& op, NodeId node, SelectResult* result,
+               QueryTrace* trace) {
+  TraceLevel* level = nullptr;
+  PoolSnapshot pool_before;
+  std::chrono::steady_clock::time_point start;
+  if (trace != nullptr) {
+    level = &trace->Level(tree.HeightOf(node));
+    ++level->worklist;
+    pool_before = PoolSnapshot::Take();
+    start = std::chrono::steady_clock::now();
+  }
+
   ++result->theta_upper_tests;
-  if (!op.ThetaUpper(selector.Mbr(), tree.MbrOf(node))) return false;
-  // The node qualifies at index level; fetch its object and apply θ.
-  Value geometry = tree.Geometry(node);
-  ++result->nodes_accessed;
-  ++result->theta_tests;
-  if (op.Theta(selector, geometry)) {
-    result->matching_nodes.push_back(node);
-    if (tree.IsApplicationNode(node)) {
-      result->matching_tuples.push_back(tree.TupleOf(node));
+  bool expand = op.ThetaUpper(selector.Mbr(), tree.MbrOf(node));
+  if (expand) {
+    // The node qualifies at index level; fetch its object and apply θ.
+    Value geometry = tree.Geometry(node);
+    ++result->nodes_accessed;
+    ++result->theta_tests;
+    if (op.Theta(selector, geometry)) {
+      result->matching_nodes.push_back(node);
+      if (tree.IsApplicationNode(node)) {
+        result->matching_tuples.push_back(tree.TupleOf(node));
+      }
     }
   }
-  return true;
+
+  if (level != nullptr) {
+    ++level->theta_upper_tests;
+    if (expand) {
+      ++level->theta_tests;
+      ++level->descended;
+    } else {
+      ++level->pruned;
+    }
+    PoolSnapshot pool_delta = PoolSnapshot::Take() - pool_before;
+    level->pool_hits += pool_delta.hits;
+    level->pool_misses += pool_delta.misses;
+    level->wall_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return expand;
 }
 
 }  // namespace
@@ -32,7 +65,8 @@ bool VisitNode(const Value& selector, const GeneralizationTree& tree,
 SelectResult SpatialSelectFrom(const Value& selector,
                                const GeneralizationTree& tree,
                                const std::vector<NodeId>& start_nodes,
-                               const ThetaOperator& op, Traversal traversal) {
+                               const ThetaOperator& op, Traversal traversal,
+                               QueryTrace* trace) {
   SelectResult result;
   if (traversal == Traversal::kBreadthFirst) {
     // The paper's SELECT1/SELECT2: QualNodes[j] per height, processed in
@@ -41,7 +75,7 @@ SelectResult SpatialSelectFrom(const Value& selector,
     while (!worklist.empty()) {
       NodeId node = worklist.front();
       worklist.pop_front();
-      if (VisitNode(selector, tree, op, node, &result)) {
+      if (VisitNode(selector, tree, op, node, &result, trace)) {
         for (NodeId child : tree.Children(node)) worklist.push_back(child);
       }
     }
@@ -52,7 +86,7 @@ SelectResult SpatialSelectFrom(const Value& selector,
     while (!stack.empty()) {
       NodeId node = stack.back();
       stack.pop_back();
-      if (VisitNode(selector, tree, op, node, &result)) {
+      if (VisitNode(selector, tree, op, node, &result, trace)) {
         std::vector<NodeId> children = tree.Children(node);
         for (auto it = children.rbegin(); it != children.rend(); ++it) {
           stack.push_back(*it);
@@ -65,8 +99,10 @@ SelectResult SpatialSelectFrom(const Value& selector,
 
 SelectResult SpatialSelect(const Value& selector,
                            const GeneralizationTree& tree,
-                           const ThetaOperator& op, Traversal traversal) {
-  return SpatialSelectFrom(selector, tree, {tree.root()}, op, traversal);
+                           const ThetaOperator& op, Traversal traversal,
+                           QueryTrace* trace) {
+  return SpatialSelectFrom(selector, tree, {tree.root()}, op, traversal,
+                           trace);
 }
 
 }  // namespace spatialjoin

@@ -6,6 +6,7 @@
 
 #include "core/gentree.h"
 #include "core/theta_ops.h"
+#include "obs/trace.h"
 
 namespace spatialjoin {
 
@@ -42,10 +43,16 @@ struct SelectResult {
 /// children into the next worklist. Θ's defining property guarantees no
 /// matching descendant is pruned. Works whether or not the selector object
 /// is stored in the indexed relation.
+///
+/// When `trace` is non-null, every visited node is recorded into the
+/// trace level of its height: worklist membership (the QualNodes[j]
+/// analog), Θ/θ test counts, pruned vs. descended, buffer-pool traffic,
+/// and wall-clock time. A null trace adds no work to the hot path.
 SelectResult SpatialSelect(const Value& selector,
                            const GeneralizationTree& tree,
                            const ThetaOperator& op,
-                           Traversal traversal = Traversal::kBreadthFirst);
+                           Traversal traversal = Traversal::kBreadthFirst,
+                           QueryTrace* trace = nullptr);
 
 /// As SpatialSelect, but starting from an explicit set of root nodes
 /// (used by Algorithm JOIN's step JOIN4 to search the subtrees below a
@@ -54,7 +61,8 @@ SelectResult SpatialSelectFrom(const Value& selector,
                                const GeneralizationTree& tree,
                                const std::vector<NodeId>& start_nodes,
                                const ThetaOperator& op,
-                               Traversal traversal = Traversal::kBreadthFirst);
+                               Traversal traversal = Traversal::kBreadthFirst,
+                               QueryTrace* trace = nullptr);
 
 }  // namespace spatialjoin
 

@@ -1,10 +1,13 @@
 #include "core/spatial_join.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/sort_merge_zorder.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace spatialjoin {
 
@@ -36,8 +39,10 @@ const char* SelectStrategyName(SelectStrategy strategy) {
   return "unknown";
 }
 
-JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
-                       const ThetaOperator& op) {
+namespace {
+
+JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
+                        const ThetaOperator& op) {
   switch (strategy) {
     case JoinStrategy::kNestedLoop:
       SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
@@ -46,7 +51,8 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
     case JoinStrategy::kTreeJoin:
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s_tree != nullptr,
                    "tree_join needs generalization trees on both inputs");
-      return TreeJoin(*ctx.r_tree, *ctx.s_tree, op, ctx.traversal);
+      return TreeJoin(*ctx.r_tree, *ctx.s_tree, op, ctx.traversal,
+                      ctx.trace);
     case JoinStrategy::kIndexNestedLoop:
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s != nullptr,
                    "index_nested_loop needs a tree on R and relation S");
@@ -67,9 +73,39 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
   return JoinResult{};
 }
 
-JoinResult ExecuteSelect(SelectStrategy strategy,
-                         const SpatialJoinContext& ctx, const Value& selector,
-                         TupleId selector_tid, const ThetaOperator& op) {
+}  // namespace
+
+JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
+                       const ThetaOperator& op) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("query.join.count")->Increment();
+  registry
+      .GetCounter(std::string("query.join.strategy.") +
+                  JoinStrategyName(strategy))
+      ->Increment();
+
+  JoinResult result;
+  double wall_ns = 0.0;
+  {
+    ScopedTimer timer(registry.GetHistogram("query.join.wall_ns"), &wall_ns);
+    result = DispatchJoin(strategy, ctx, op);
+  }
+  registry.GetCounter("query.join.matches")
+      ->Increment(static_cast<int64_t>(result.matches.size()));
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_strategy(JoinStrategyName(strategy));
+    ctx.trace->set_wall_ns(wall_ns);
+    ctx.trace->set_matches(static_cast<int64_t>(result.matches.size()));
+  }
+  return result;
+}
+
+namespace {
+
+JoinResult DispatchSelect(SelectStrategy strategy,
+                          const SpatialJoinContext& ctx,
+                          const Value& selector, TupleId selector_tid,
+                          const ThetaOperator& op) {
   switch (strategy) {
     case SelectStrategy::kExhaustive: {
       SJ_CHECK(ctx.s != nullptr);
@@ -81,8 +117,8 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
     }
     case SelectStrategy::kTree: {
       SJ_CHECK_MSG(ctx.s_tree != nullptr, "tree select needs a tree on S");
-      SelectResult sel =
-          SpatialSelect(selector, *ctx.s_tree, op, ctx.traversal);
+      SelectResult sel = SpatialSelect(selector, *ctx.s_tree, op,
+                                       ctx.traversal, ctx.trace);
       JoinResult result;
       result.theta_tests = sel.theta_tests;
       result.theta_upper_tests = sel.theta_upper_tests;
@@ -108,6 +144,35 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
   }
   SJ_CHECK_MSG(false, "unreachable");
   return JoinResult{};
+}
+
+}  // namespace
+
+JoinResult ExecuteSelect(SelectStrategy strategy,
+                         const SpatialJoinContext& ctx, const Value& selector,
+                         TupleId selector_tid, const ThetaOperator& op) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("query.select.count")->Increment();
+  registry
+      .GetCounter(std::string("query.select.strategy.") +
+                  SelectStrategyName(strategy))
+      ->Increment();
+
+  JoinResult result;
+  double wall_ns = 0.0;
+  {
+    ScopedTimer timer(registry.GetHistogram("query.select.wall_ns"),
+                      &wall_ns);
+    result = DispatchSelect(strategy, ctx, selector, selector_tid, op);
+  }
+  registry.GetCounter("query.select.matches")
+      ->Increment(static_cast<int64_t>(result.matches.size()));
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_strategy(SelectStrategyName(strategy));
+    ctx.trace->set_wall_ns(wall_ns);
+    ctx.trace->set_matches(static_cast<int64_t>(result.matches.size()));
+  }
+  return result;
 }
 
 void NormalizeMatches(JoinResult* result) {

@@ -9,6 +9,7 @@
 #include "core/nested_loop.h"
 #include "core/select.h"
 #include "core/theta_ops.h"
+#include "obs/trace.h"
 #include "relational/relation.h"
 #include "zorder/zdecompose.h"
 #include "zorder/zorder.h"
@@ -43,11 +44,19 @@ struct SpatialJoinContext {
   NestedLoopOptions nested_loop_options;
   ZDecomposeOptions zorder_options;
   Traversal traversal = Traversal::kBreadthFirst;
+  /// Optional per-query trace. ExecuteJoin/ExecuteSelect stamp strategy,
+  /// wall time, and match count on it; the tree strategies additionally
+  /// fill per-level events (see QueryTrace).
+  QueryTrace* trace = nullptr;
 };
 
 /// Runs R ⋈_θ S with the chosen strategy. All strategies produce the same
 /// match set (sort-merge only for overlap-like θ); they differ in the
 /// counters, which the benches translate into paper-comparable costs.
+///
+/// Every execution emits into the global MetricsRegistry: query.join.count,
+/// query.join.strategy.<name>, query.join.matches, and the wall-clock
+/// histogram query.join.wall_ns.
 JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
                        const ThetaOperator& op);
 

@@ -1,0 +1,174 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::Indent() {
+  os_ << '\n';
+  for (size_t i = 0; i < stack_.size() * static_cast<size_t>(indent_); ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (has_element_.back()) os_ << ',';
+  has_element_.back() = true;
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  SJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  bool had = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) Indent();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  SJ_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  bool had = has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) Indent();
+  os_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  SJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  SJ_CHECK(!after_key_);
+  Separate();
+  os_ << '"';
+  WriteEscaped(key);
+  os_ << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  os_ << '"';
+  WriteEscaped(value);
+  os_ << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os_ << buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Separate();
+  os_ << "null";
+}
+
+void JsonWriter::KV(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::KV(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::KV(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::KV(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::KV(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+void JsonWriter::Raw(std::string_view raw) {
+  Separate();
+  os_ << raw;
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  os_ << JsonEscape(s);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,81 @@
+#ifndef SPATIALJOIN_OBS_JSON_H_
+#define SPATIALJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Minimal streaming JSON writer for the observability layer's exports
+/// (`*.metrics.json` artifacts, trace dumps, explain-analyze reports).
+/// No external dependency: the engine must stay self-contained (DESIGN.md
+/// conventions), and emission is the only JSON direction we need.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("count"); w.Int(3);
+///   w.Key("levels"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///
+/// The writer inserts commas and indentation; callers are responsible for
+/// pairing Begin/End calls and for writing a Key before each object
+/// member. Non-finite doubles are emitted as `null` (JSON has no
+/// NaN/Infinity literal), keeping every emitted document parseable.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call.
+  void KV(std::string_view key, std::string_view value);
+  void KV(std::string_view key, const char* value);
+  void KV(std::string_view key, int64_t value);
+  void KV(std::string_view key, double value);
+  void KV(std::string_view key, bool value);
+
+  /// Appends `raw` verbatim (for splicing a pre-serialized sub-document).
+  void Raw(std::string_view raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  // Writes the separating comma/newline/indent due before a new value or
+  // key at the current nesting depth.
+  void Separate();
+  void Indent();
+  void WriteEscaped(std::string_view s);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  // True when something was already emitted at the current depth (a comma
+  // is due before the next element).
+  std::vector<bool> has_element_;
+  // True immediately after Key(): the next value continues the member
+  // instead of starting a new element.
+  bool after_key_ = false;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_JSON_H_

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Bucket index for `value`: 0 for value <= 0, otherwise the bit width
+// (so bucket b covers [2^(b-1), 2^b - 1]).
+int BucketOf(int64_t value) {
+  if (value <= 0) return 0;
+  return std::bit_width(static_cast<uint64_t>(value));
+}
+
+// Lower/upper value bounds of bucket `b`.
+int64_t BucketUpper(int b) {
+  if (b <= 0) return 0;
+  if (b >= 63) return INT64_MAX;
+  return (int64_t{1} << b) - 1;
+}
+
+void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (n == 0) {
+    // First observation seeds min/max; racing recorders converge via the
+    // CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+  }
+}
+
+int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::QuantileUpperBound(double q) const {
+  SJ_CHECK(q >= 0.0 && q <= 1.0);
+  int64_t n = count();
+  if (n == 0) return 0;
+  // Rank of the q-quantile observation, 1-based.
+  auto rank = static_cast<int64_t>(q * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return BucketUpper(b);
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) w.KV(name, c->Value());
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) w.KV(name, g->Value());
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.KV("count", h->count());
+    w.KV("sum", h->sum());
+    w.KV("min", h->min());
+    w.KV("max", h->max());
+    w.KV("mean", h->mean());
+    w.KV("p50", h->QuantileUpperBound(0.5));
+    w.KV("p95", h->QuantileUpperBound(0.95));
+    w.KV("p99", h->QuantileUpperBound(0.99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h->bucket_count(b) == 0) continue;
+      w.BeginObject();
+      w.KV("le", BucketUpper(b));
+      w.KV("count", h->bucket_count(b));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  os << '\n';
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace spatialjoin

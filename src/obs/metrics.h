@@ -1,0 +1,136 @@
+#ifndef SPATIALJOIN_OBS_METRICS_H_
+#define SPATIALJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace spatialjoin {
+
+/// Process-wide metrics for the spatial-join engine.
+///
+/// The paper prices every strategy in two currencies — page accesses and
+/// Θ/θ evaluations — so the engine's layers emit exactly those events
+/// here, in addition to their existing per-instance stat structs
+/// (`IoStats`, `BufferPoolStats`, …), which remain the per-object views.
+/// The registry is the cross-cutting aggregate that benches serialize to
+/// `*.metrics.json` and that `QueryTrace` samples to attribute storage
+/// traffic to query levels.
+///
+/// Naming convention (dot-separated, lowercase):
+///   storage.disk.page_reads / page_writes / pages_allocated
+///   storage.buffer_pool.hits / misses / evictions
+///   storage.heap_file.inserts / reads / deletes
+///   query.join.count / matches, query.join.strategy.<name>
+///   query.select.count / matches
+///   planner.plans / sample_theta_tests, planner.chosen.<strategy>
+/// Histograms: query.join.wall_ns, query.select.wall_ns.
+///
+/// Thread-safety: increments are relaxed atomics (lock-free); name →
+/// instrument registration takes a mutex once per call site (call sites
+/// cache the returned pointer, which stays valid for the process
+/// lifetime — `ResetAll()` zeroes values but never unregisters).
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. a pool's resident pages).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale (power-of-two bucket) histogram for latencies and sizes.
+/// Bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 holds values <= 0.
+/// Quantiles are estimated as the upper bound of the covering bucket, so
+/// they are exact to within a factor of 2 — the right resolution for the
+/// orders-of-magnitude comparisons the cost model makes.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  int64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1);
+  /// 0 when empty.
+  int64_t QuantileUpperBound(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets]{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Named instrument registry; see the file comment for the conventions.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every engine layer emits into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Current value of a counter, 0 if it was never registered (reads do
+  /// not create instruments).
+  int64_t CounterValue(const std::string& name) const;
+
+  /// Zeroes every instrument (registrations survive; cached pointers stay
+  /// valid). Tests and benches use this to start measurements clean.
+  void ResetAll();
+
+  /// Serializes all instruments as one JSON object:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// Instruments appear in name order (std::map), so output is
+  /// deterministic for a given set of registrations.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_METRICS_H_

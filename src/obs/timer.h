@@ -1,0 +1,52 @@
+#ifndef SPATIALJOIN_OBS_TIMER_H_
+#define SPATIALJOIN_OBS_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace spatialjoin {
+
+/// Wall-clock scope timer on std::chrono::steady_clock.
+///
+/// On destruction the elapsed nanoseconds are recorded into the optional
+/// histogram and written to the optional out-parameter. Wall-clock is a
+/// *secondary* metric in this engine — the paper's cost unit is page
+/// accesses and θ-tests on a simulated disk (see DiskManager) — but it is
+/// what "as fast as the hardware allows" optimizes, so queries report
+/// both.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram = nullptr,
+                       double* elapsed_ns_out = nullptr)
+      : histogram_(histogram),
+        out_(elapsed_ns_out),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    double ns = ElapsedNs();
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<int64_t>(ns));
+    }
+    if (out_ != nullptr) *out_ = ns;
+  }
+
+  double ElapsedNs() const {
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  double* out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_TIMER_H_

@@ -1,0 +1,106 @@
+#ifndef SPATIALJOIN_OBS_TRACE_H_
+#define SPATIALJOIN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Snapshot of the global buffer-pool counters, used to attribute storage
+/// traffic to a query (or to one level of it) by differencing. Valid under
+/// the engine's single-threaded query discipline (see BufferPool): between
+/// two snapshots taken by the running query, all pool traffic is its own.
+struct PoolSnapshot {
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+  static PoolSnapshot Take();
+
+  PoolSnapshot operator-(const PoolSnapshot& o) const {
+    return PoolSnapshot{hits - o.hits, misses - o.misses};
+  }
+};
+
+/// Per-height observation of one executed query, mirroring the paper's
+/// per-level analysis: Algorithm SELECT's QualNodes[j] and Algorithm
+/// JOIN's QualPairs[j] are worklists indexed by height j, and the cost
+/// model prices each height separately (π_{h,i}·k^{i+1} nodes examined at
+/// height i+1, etc.). `worklist` is therefore directly comparable to the
+/// model's expected worklist size at this height.
+struct TraceLevel {
+  int height = 0;
+  /// Entries that reached this height's worklist (QualNodes / QualPairs).
+  int64_t worklist = 0;
+  /// Conservative Θ-operator evaluations at this height. For Algorithm
+  /// JOIN this includes the JOIN4 selection passes triggered while
+  /// processing this height's QualPairs.
+  int64_t theta_upper_tests = 0;
+  /// Exact θ-operator evaluations (only Θ-qualifying entries pay one).
+  int64_t theta_tests = 0;
+  /// Worklist entries whose children were expanded (Θ-qualified).
+  int64_t descended = 0;
+  /// Worklist entries cut by the Θ test (subtree never visited).
+  int64_t pruned = 0;
+  /// Buffer-pool traffic attributed to this height.
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  /// Wall-clock time spent at this height.
+  double wall_ns = 0.0;
+};
+
+/// Structured record of one executed spatial query: per-level events plus
+/// query-wide totals, serializable to JSON. Algorithms fill it when the
+/// caller passes a trace (tracing is opt-in; a null trace costs nothing on
+/// the hot path).
+///
+/// A trace belongs to one query on one thread; unlike MetricsRegistry it
+/// is not shared state.
+class QueryTrace {
+ public:
+  /// `kind` is "select" or "join"; `detail` is free-form context (the
+  /// operator name, the workload, ...).
+  explicit QueryTrace(std::string kind, std::string detail = "");
+
+  /// Get-or-create the record for `height`; levels stay sorted by height.
+  TraceLevel& Level(int height);
+
+  void set_strategy(std::string strategy) { strategy_ = std::move(strategy); }
+  void set_wall_ns(double ns) { wall_ns_ = ns; }
+  void set_matches(int64_t n) { matches_ = n; }
+
+  const std::string& kind() const { return kind_; }
+  const std::string& detail() const { return detail_; }
+  const std::string& strategy() const { return strategy_; }
+  double wall_ns() const { return wall_ns_; }
+  int64_t matches() const { return matches_; }
+  const std::vector<TraceLevel>& levels() const { return levels_; }
+
+  /// Sums over all levels.
+  int64_t TotalWorklist() const;
+  int64_t TotalThetaUpperTests() const;
+  int64_t TotalThetaTests() const;
+  int64_t TotalPoolHits() const;
+  int64_t TotalPoolMisses() const;
+  /// hits / (hits + misses); 0 when no pool traffic was attributed.
+  double PoolHitRate() const;
+
+  /// Serializes the trace:
+  ///   {"kind": ..., "strategy": ..., "wall_ns": ..., "totals": {...},
+  ///    "levels": [{"height": 0, "worklist": 1, ...}, ...]}
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+ private:
+  std::string kind_;
+  std::string detail_;
+  std::string strategy_;
+  double wall_ns_ = 0.0;
+  int64_t matches_ = 0;
+  std::vector<TraceLevel> levels_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_TRACE_H_

@@ -1,8 +1,34 @@
 #include "storage/buffer_pool.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace spatialjoin {
+
+namespace {
+
+// Registry mirrors of BufferPoolStats (aggregated across all pools);
+// QueryTrace::PoolSnapshot differences these to attribute traffic to
+// query levels.
+Counter* HitsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.buffer_pool.hits");
+  return c;
+}
+
+Counter* MissesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.buffer_pool.misses");
+  return c;
+}
+
+Counter* EvictionsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.buffer_pool.evictions");
+  return c;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
@@ -25,6 +51,7 @@ void BufferPool::EvictIfFull() {
     index_.erase(victim.id);
     frames_.pop_back();
     ++stats_.evictions;
+    EvictionsCounter()->Increment();
   }
 }
 
@@ -42,9 +69,11 @@ const Page* BufferPool::GetPage(PageId id) {
   auto it = index_.find(id);
   if (it != index_.end()) {
     ++stats_.hits;
+    HitsCounter()->Increment();
     return &Touch(it->second).page;
   }
   ++stats_.misses;
+  MissesCounter()->Increment();
   return &Fault(id).page;
 }
 
@@ -53,9 +82,11 @@ Page* BufferPool::GetMutablePage(PageId id) {
   Frame* frame;
   if (it != index_.end()) {
     ++stats_.hits;
+    HitsCounter()->Increment();
     frame = &Touch(it->second);
   } else {
     ++stats_.misses;
+    MissesCounter()->Increment();
     frame = &Fault(id);
   }
   frame->dirty = true;

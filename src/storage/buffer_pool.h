@@ -12,6 +12,12 @@
 namespace spatialjoin {
 
 /// Hit/miss counters for a BufferPool.
+///
+/// `evictions` counts *capacity-pressure* evictions only: frames dropped
+/// by `Clear()` are not evictions (see Clear()), so a bench that calls
+/// `Clear()` + `ResetStats()` between runs starts each measurement from a
+/// genuinely cold, zero-pressure state. Pinned by
+/// BufferPoolTest.ClearDoesNotCountEvictions.
 struct BufferPoolStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -59,12 +65,21 @@ class BufferPool {
   /// Writes back all dirty pages.
   void FlushAll();
 
-  /// Evicts everything (writing dirty pages back). Subsequent accesses
+  /// Drops everything (writing dirty pages back). Subsequent accesses
   /// re-read from disk; benches use this to start measurements cold.
+  ///
+  /// Chosen semantics (pinned by BufferPoolTest.ClearDoesNotCountEvictions):
+  /// dropping frames here does NOT increment `stats().evictions` — that
+  /// counter measures capacity pressure during a workload, and a bulk
+  /// reset is not pressure. Consequently `Clear()` and `ResetStats()`
+  /// commute: either order yields all-zero stats before a cold run.
   void Clear();
 
   int64_t capacity_pages() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
+  /// Zeroes this pool's stats view. The global MetricsRegistry counters
+  /// ("storage.buffer_pool.*") are cumulative and unaffected; reset those
+  /// via MetricsRegistry::ResetAll().
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
   DiskManager* disk() { return disk_; }

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace spatialjoin {
 
@@ -12,6 +13,27 @@ namespace {
 
 constexpr char kSnapshotMagic[8] = {'S', 'J', 'D', 'I', 'S', 'K', '0',
                                     '1'};
+
+// Process-wide counters mirroring IoStats (the per-disk view stays in
+// `stats_`; the registry aggregates across all disks and feeds the
+// *.metrics.json exports). Pointers are registered once and cached.
+Counter* PageReadsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.disk.page_reads");
+  return c;
+}
+
+Counter* PageWritesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.disk.page_writes");
+  return c;
+}
+
+Counter* PagesAllocatedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.disk.pages_allocated");
+  return c;
+}
 
 }  // namespace
 
@@ -22,6 +44,7 @@ DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {
 PageId DiskManager::AllocatePage() {
   pages_.emplace_back(page_size_);
   ++stats_.pages_allocated;
+  PagesAllocatedCounter()->Increment();
   return static_cast<PageId>(pages_.size()) - 1;
 }
 
@@ -30,6 +53,7 @@ void DiskManager::ReadPage(PageId id, Page* out) {
   SJ_CHECK_LT(id, num_pages());
   *out = pages_[static_cast<size_t>(id)];
   ++stats_.page_reads;
+  PageReadsCounter()->Increment();
 }
 
 void DiskManager::WritePage(PageId id, const Page& in) {
@@ -38,6 +62,7 @@ void DiskManager::WritePage(PageId id, const Page& in) {
   SJ_CHECK_EQ(in.size(), page_size_);
   pages_[static_cast<size_t>(id)] = in;
   ++stats_.page_writes;
+  PageWritesCounter()->Increment();
 }
 
 bool DiskManager::SaveSnapshot(const std::string& path) const {

@@ -1,9 +1,35 @@
 #include "storage/heap_file.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "storage/slotted_page.h"
 
 namespace spatialjoin {
+
+namespace {
+
+// Record-level traffic counters for the registry; page-level traffic is
+// counted by DiskManager/BufferPool, so these add the record/page ratio
+// the cost model's m = ⌊s·l/v⌋ parameter predicts.
+Counter* InsertsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.heap_file.inserts");
+  return c;
+}
+
+Counter* ReadsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.heap_file.reads");
+  return c;
+}
+
+Counter* DeletesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.heap_file.deletes");
+  return c;
+}
+
+}  // namespace
 
 HeapFile::HeapFile(BufferPool* pool) : pool_(pool) {
   SJ_CHECK(pool != nullptr);
@@ -18,6 +44,7 @@ RecordId HeapFile::Insert(std::string_view record) {
     Page* page = pool_->GetMutablePage(last);
     if (auto slot = slotted::Insert(page, record)) {
       ++num_records_;
+      InsertsCounter()->Increment();
       return RecordId{last, *slot};
     }
   }
@@ -28,11 +55,13 @@ RecordId HeapFile::Insert(std::string_view record) {
   SJ_CHECK(slot.has_value());
   pages_.push_back(fresh);
   ++num_records_;
+  InsertsCounter()->Increment();
   return RecordId{fresh, *slot};
 }
 
 bool HeapFile::Read(const RecordId& rid, std::string* out) {
   SJ_CHECK(rid.is_valid());
+  ReadsCounter()->Increment();
   const Page* page = pool_->GetPage(rid.page_id);
   auto bytes = slotted::Read(*page, rid.slot);
   if (!bytes.has_value()) return false;
@@ -45,6 +74,7 @@ bool HeapFile::Delete(const RecordId& rid) {
   Page* page = pool_->GetMutablePage(rid.page_id);
   if (!slotted::Delete(page, rid.slot)) return false;
   --num_records_;
+  DeletesCounter()->Increment();
   return true;
 }
 

@@ -96,6 +96,51 @@ TEST(BufferPoolTest, ClearDropsCache) {
   EXPECT_EQ(disk.stats().page_reads, 1);  // cold again
 }
 
+// Pins the documented semantics (buffer_pool.h): Clear() drops frames
+// without counting them as evictions — `evictions` measures capacity
+// pressure only — so Clear() and ResetStats() commute.
+TEST(BufferPoolTest, ClearDoesNotCountEvictions) {
+  DiskManager disk(256);
+  PageId pids[3];
+  for (auto& pid : pids) pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  for (PageId pid : pids) pool.GetPage(pid);
+  EXPECT_EQ(pool.stats().evictions, 0);
+  pool.Clear();  // drops 3 resident frames
+  EXPECT_EQ(pool.stats().evictions, 0);
+  // Capacity pressure, by contrast, does count.
+  BufferPool tiny(&disk, 1);
+  tiny.GetPage(pids[0]);
+  tiny.GetPage(pids[1]);  // evicts pids[0]
+  EXPECT_EQ(tiny.stats().evictions, 1);
+}
+
+TEST(BufferPoolTest, ClearAndResetStatsCommute) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+
+  // Order A: Clear() then ResetStats().
+  BufferPool a(&disk, 4);
+  a.GetPage(pid);
+  a.Clear();
+  a.ResetStats();
+  // Order B: ResetStats() then Clear().
+  BufferPool b(&disk, 4);
+  b.GetPage(pid);
+  b.ResetStats();
+  b.Clear();
+
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.stats().evictions, 0);
+  // Both pools are cold and zeroed: the next access is one fresh miss.
+  a.GetPage(pid);
+  b.GetPage(pid);
+  EXPECT_EQ(a.stats().misses, 1);
+  EXPECT_EQ(b.stats().misses, 1);
+}
+
 TEST(BufferPoolTest, NewPageIsCachedAndDirty) {
   DiskManager disk(256);
   BufferPool pool(&disk, 4);

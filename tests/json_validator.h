@@ -1,0 +1,173 @@
+#ifndef SPATIALJOIN_TESTS_JSON_VALIDATOR_H_
+#define SPATIALJOIN_TESTS_JSON_VALIDATOR_H_
+
+// Minimal recursive-descent JSON syntax checker for tests. Validates
+// structure only (objects, arrays, strings, numbers, literals); it does
+// not build a document tree. Enough to assert that the observability
+// layer's serializers emit well-formed JSON.
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace spatialjoin {
+namespace testing_json {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Value() {
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    if (!Eat('{')) return Fail("expected '{'");
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return Fail("expected object key");
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return Fail("expected '['");
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return Fail("bad escape character");
+        }
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    Eat('-');
+    if (!DigitRun()) return Fail("expected digit");
+    if (Eat('.') && !DigitRun()) return Fail("expected fraction digits");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!DigitRun()) return Fail("expected exponent digits");
+    }
+    return pos_ > start;
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// True iff `text` is one syntactically valid JSON document.
+inline bool IsValidJson(std::string_view text) {
+  return Validator(text).Valid();
+}
+
+}  // namespace testing_json
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_TESTS_JSON_VALIDATOR_H_

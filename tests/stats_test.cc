@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(QuantileTest, SingleElementAllQuantiles) {
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(one, 1.0), 42.0);
+}
+
+TEST(QuantileTest, ExtremesReturnMinAndMax) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, LinearInterpolationBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+}
+
+TEST(RunningStatTest, EmptyIsZeroed) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, SingleObservationHasZeroVariance) {
+  RunningStat s;
+  s.Add(7.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  // Sample variance uses the n-1 denominator; with one observation it is
+  // defined as 0 rather than 0/0.
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MatchesClosedFormOnSmallSeries) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Σ(x−μ)² = 32, sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace spatialjoin

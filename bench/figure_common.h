@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "audit/bufferpool_audit.h"
+#include "audit/rtree_audit.h"
 #include "core/planner.h"
 #include "core/spatial_join.h"
 #include "costmodel/distributions.h"
@@ -150,8 +152,15 @@ inline void RunJoinMetricsProbe(const std::string& artifact,
   ExplainReport report = ExplainAnalyzeJoin(JoinStrategy::kTreeJoin, plan,
                                             params, dist, measured, &trace);
   std::cout << "\n" << report.ToString();
+
+  // Post-run structural audit: both operand trees and the pool must still
+  // satisfy their invariants after the traversal (paper §3.1 PART-OF).
+  audit::AuditReport tree_audit = audit::AuditRTree(*f->r_rtree);
+  tree_audit.Merge(audit::AuditRTree(*f->s_rtree));
+  tree_audit.Merge(audit::AuditBufferPool(f->pool));
   WriteMetricsArtifact(artifact, {{"trace", trace.ToJson()},
-                                  {"explain", report.ToJson()}});
+                                  {"explain", report.ToJson()},
+                                  {"audit", tree_audit.ToJson()}});
 }
 
 /// Empirical probe for the SELECT figures: Algorithm SELECT over a seeded
@@ -174,7 +183,10 @@ inline void RunSelectMetricsProbe(const std::string& artifact,
   ctx.trace = &trace;
   Value selector(Rectangle(400, 400, 600, 600));
   ExecuteSelect(SelectStrategy::kTree, ctx, selector, kInvalidTupleId, op);
-  WriteMetricsArtifact(artifact, {{"trace", trace.ToJson()}});
+  audit::AuditReport tree_audit = audit::AuditRTree(*f->s_rtree);
+  tree_audit.Merge(audit::AuditBufferPool(f->pool));
+  WriteMetricsArtifact(artifact, {{"trace", trace.ToJson()},
+                                  {"audit", tree_audit.ToJson()}});
 }
 
 /// Reproduces one SELECT figure (Fig. 8/9/10): C_I, C_IIa, C_IIb, C_III

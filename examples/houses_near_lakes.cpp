@@ -45,7 +45,7 @@ void Report(const char* name, size_t matches, int64_t theta, int64_t reads) {
               "cost=%.3e\n",
               name, matches, static_cast<long long>(theta),
               static_cast<long long>(reads),
-              static_cast<double>(theta) + 1000.0 * reads);
+              static_cast<double>(theta) + 1000.0 * static_cast<double>(reads));
 }
 
 }  // namespace

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies every tracked C++ file against
+# .clang-format without modifying anything. Exits 0 with a notice when
+# clang-format is not installed (the tool is not part of the minimal
+# build environment; CI installs it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORMATTER="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMATTER" >/dev/null 2>&1; then
+  echo "check_format: $FORMATTER not found; skipping (install clang-format" \
+       "or set CLANG_FORMAT to enable this check)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no C++ files tracked"
+  exit 0
+fi
+
+echo "check_format: $FORMATTER --dry-run over ${#files[@]} files"
+status=0
+"$FORMATTER" --dry-run -Werror "${files[@]}" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "check_format: FAILED — run '$FORMATTER -i <file>' on the files above"
+  exit "$status"
+fi
+echo "check_format: OK"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party
+# translation unit using the compile database of an existing build.
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Exits 0 with a notice when
+# clang-tidy is not installed (not part of the minimal build
+# environment; CI installs it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found; skipping (install clang-tidy or" \
+       "set CLANG_TIDY to enable this check)"
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files 'src/*.cc' 'bench/*.cc' 'examples/*.cpp')
+echo "run_clang_tidy: $TIDY over ${#files[@]} files (build dir $BUILD_DIR)"
+
+# run-clang-tidy parallelizes when available; fall back to a serial loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet \
+    "${files[@]/#/^}" > /tmp/clang_tidy_out.txt 2>&1 || {
+    grep -E "warning:|error:" /tmp/clang_tidy_out.txt || true
+    echo "run_clang_tidy: FAILED"
+    exit 1
+  }
+else
+  status=0
+  for f in "${files[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "run_clang_tidy: FAILED"
+    exit 1
+  fi
+fi
+echo "run_clang_tidy: OK"

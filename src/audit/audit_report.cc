@@ -1,0 +1,109 @@
+#include "audit/audit_report.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace spatialjoin {
+namespace audit {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+AuditReport::AuditReport(std::string subject) : subject_(std::move(subject)) {}
+
+int64_t AuditReport::error_count() const {
+  int64_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int64_t AuditReport::warning_count() const {
+  return static_cast<int64_t>(violations_.size()) - error_count();
+}
+
+void AuditReport::Add(Severity severity, std::string path,
+                      std::string message) {
+  violations_.push_back(
+      Violation{severity, std::move(path), std::move(message)});
+}
+
+void AuditReport::AddError(std::string path, std::string message) {
+  Add(Severity::kError, std::move(path), std::move(message));
+}
+
+void AuditReport::AddWarning(std::string path, std::string message) {
+  Add(Severity::kWarning, std::move(path), std::move(message));
+}
+
+void AuditReport::Merge(const AuditReport& other,
+                        const std::string& path_prefix) {
+  checks_run_ += other.checks_run_;
+  for (const Violation& v : other.violations_) {
+    violations_.push_back(
+        Violation{v.severity, path_prefix + v.path, v.message});
+  }
+}
+
+AuditReport& AuditReport::Finish() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("audit.runs")->Increment();
+  registry.GetCounter("audit.violations")
+      ->Increment(static_cast<int64_t>(violations_.size()));
+  registry.GetCounter("audit." + subject_ + ".runs")->Increment();
+  registry.GetCounter("audit." + subject_ + ".violations")
+      ->Increment(static_cast<int64_t>(violations_.size()));
+  return *this;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << "audit[" << subject_ << "]: " << checks_run_ << " checks, "
+     << error_count() << " errors, " << warning_count() << " warnings";
+  for (const Violation& v : violations_) {
+    os << "\n  " << SeverityName(v.severity) << " at " << v.path << ": "
+       << v.message;
+  }
+  return os.str();
+}
+
+void AuditReport::WriteJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("subject", subject_);
+  w.KV("checks_run", checks_run_);
+  w.KV("errors", error_count());
+  w.KV("warnings", warning_count());
+  w.Key("violations");
+  w.BeginArray();
+  for (const Violation& v : violations_) {
+    w.BeginObject();
+    w.KV("severity", SeverityName(v.severity));
+    w.KV("path", v.path);
+    w.KV("message", v.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string AuditReport::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

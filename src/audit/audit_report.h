@@ -1,0 +1,84 @@
+#ifndef SPATIALJOIN_AUDIT_AUDIT_REPORT_H_
+#define SPATIALJOIN_AUDIT_AUDIT_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+namespace audit {
+
+/// Gravity of one invariant violation. Errors are structural corruption
+/// that makes SELECT/JOIN answers unreliable (a broken PART-OF containment,
+/// an out-of-bounds slot); warnings are degradations that stay correct but
+/// betray a maintenance bug (an untight parent MBR, an underfull leaf).
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+/// One violated invariant, located by a path from the structure's root
+/// ("root/child[2]/entry[0]", "page[7]/slot[3]") so the offending node can
+/// be found without re-running the audit.
+struct Violation {
+  Severity severity = Severity::kError;
+  std::string path;
+  std::string message;
+};
+
+/// Machine-readable result of one auditor pass over one structure.
+///
+/// Every auditor in this subsystem walks its structure exhaustively and
+/// returns an AuditReport instead of aborting on the first problem, so a
+/// single pass over a corrupted index yields the full damage picture.
+/// `Finish()` publishes the pass into the MetricsRegistry counter family
+/// `audit.runs` / `audit.violations` (plus per-subject
+/// `audit.<subject>.runs` / `.violations`).
+class AuditReport {
+ public:
+  explicit AuditReport(std::string subject);
+
+  const std::string& subject() const { return subject_; }
+  int64_t checks_run() const { return checks_run_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  bool ok() const { return violations_.empty(); }
+  int64_t error_count() const;
+  int64_t warning_count() const;
+
+  /// Counts one executed invariant check (auditors call this per check so
+  /// "0 violations" is distinguishable from "audited nothing").
+  void CountCheck(int64_t n = 1) { checks_run_ += n; }
+
+  void Add(Severity severity, std::string path, std::string message);
+  void AddError(std::string path, std::string message);
+  void AddWarning(std::string path, std::string message);
+
+  /// Folds `other` into this report, prefixing its paths with
+  /// `path_prefix` ("page[3]/" + "slot[1]" → "page[3]/slot[1]").
+  void Merge(const AuditReport& other, const std::string& path_prefix = "");
+
+  /// Publishes the pass to the metrics registry. Call exactly once, after
+  /// the walk completes; returns *this for `return report.Finish();`.
+  AuditReport& Finish();
+
+  /// Human-readable summary: one header line plus one line per violation.
+  std::string ToString() const;
+
+  /// {"subject": ..., "checks_run": N, "violations": [{...}]}
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+ private:
+  std::string subject_;
+  int64_t checks_run_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_AUDIT_REPORT_H_

@@ -1,0 +1,173 @@
+#include "audit/btree_audit.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace audit {
+
+namespace {
+
+struct BTreeWalk {
+  const BPlusTree* tree = nullptr;
+  AuditReport* report = nullptr;
+  int64_t disk_pages = 0;
+  std::unordered_set<PageId> visited;
+  std::vector<PageId> leaves_in_order;
+  int64_t entries_reached = 0;
+  int64_t pages_reached = 0;
+
+  // Walks the node on `pid` whose keys must lie in [lo, hi] (inclusive:
+  // duplicate runs may straddle a separator on either side).
+  void Visit(PageId pid, int depth, uint64_t lo, uint64_t hi,
+             const std::string& path) {
+    report->CountCheck();
+    if (pid < 0 || pid >= disk_pages) {
+      report->AddError(path, "page id " + std::to_string(pid) +
+                                 " outside disk of " +
+                                 std::to_string(disk_pages) + " pages");
+      return;
+    }
+    report->CountCheck();
+    if (!visited.insert(pid).second) {
+      report->AddError(path, "page " + std::to_string(pid) +
+                                 " reached twice (aliased child)");
+      return;
+    }
+    ++pages_reached;
+
+    BPlusTree::NodeView node = tree->ReadNode(pid);
+    int count = static_cast<int>(node.keys.size());
+    bool is_root = path == "root";
+    int max_count =
+        node.is_leaf ? tree->max_leaf_entries() : tree->max_internal_entries();
+    report->CountCheck();
+    if (count > max_count) {
+      report->AddError(path, "key count " + std::to_string(count) +
+                                 " exceeds capacity " +
+                                 std::to_string(max_count));
+    }
+    if (!is_root) {
+      report->CountCheck();
+      if (count == 0) {
+        // Lazy deletion never rebalances, so a drained leaf is a legal
+        // state; an internal node, whose keys only move during splits,
+        // can never legally become empty.
+        if (node.is_leaf) {
+          report->AddWarning(path, "empty leaf (lazy deletion)");
+        } else {
+          report->AddError(path, "empty non-root internal node");
+        }
+      } else if (count < max_count / 2) {
+        // Legal under lazy deletion, but worth surfacing: the page is
+        // charged at full I/O cost while holding little data.
+        report->AddWarning(path, "occupancy " + std::to_string(count) + "/" +
+                                     std::to_string(max_count) +
+                                     " below half capacity");
+      }
+    }
+
+    report->CountCheck();
+    if (node.is_leaf != (depth == tree->height() - 1)) {
+      report->AddError(path, "leaf at depth " + std::to_string(depth) +
+                                 " in a tree of height " +
+                                 std::to_string(tree->height()) +
+                                 " (non-uniform leaf depth)");
+    }
+
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      std::string key_path = path + "/key[" + std::to_string(i) + "]";
+      report->CountCheck();
+      if (i > 0 && node.keys[i] < node.keys[i - 1]) {
+        report->AddError(key_path,
+                         "key " + std::to_string(node.keys[i]) +
+                             " out of order after " +
+                             std::to_string(node.keys[i - 1]));
+      }
+      report->CountCheck();
+      if (node.keys[i] < lo || node.keys[i] > hi) {
+        report->AddError(key_path, "key " + std::to_string(node.keys[i]) +
+                                       " outside separator bounds [" +
+                                       std::to_string(lo) + ", " +
+                                       std::to_string(hi) + "]");
+      }
+    }
+
+    if (node.is_leaf) {
+      entries_reached += count;
+      leaves_in_order.push_back(pid);
+      return;
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      uint64_t child_lo = i == 0 ? lo : node.keys[i - 1];
+      uint64_t child_hi = i == node.keys.size() ? hi : node.keys[i];
+      Visit(node.children[i], depth + 1, child_lo, child_hi,
+            path + "/child[" + std::to_string(i) + "]");
+    }
+  }
+};
+
+}  // namespace
+
+AuditReport AuditBPlusTree(const BPlusTree& tree) {
+  AuditReport report("bplus_tree");
+  BTreeWalk walk;
+  walk.tree = &tree;
+  walk.report = &report;
+  walk.disk_pages = tree.pool()->disk()->num_pages();
+  walk.Visit(tree.root_page(), 0, 0, ~uint64_t{0}, "root");
+
+  report.CountCheck();
+  if (walk.entries_reached != tree.num_entries()) {
+    report.AddError("root", "reached " +
+                                std::to_string(walk.entries_reached) +
+                                " entries, tree reports " +
+                                std::to_string(tree.num_entries()));
+  }
+  report.CountCheck();
+  if (walk.pages_reached != tree.num_pages()) {
+    report.AddError("root", "reached " + std::to_string(walk.pages_reached) +
+                                " pages, tree reports " +
+                                std::to_string(tree.num_pages()));
+  }
+
+  // Leaf chain: starting from the leftmost leaf, `next` links must visit
+  // exactly the tree's leaves in tree order and terminate.
+  if (!walk.leaves_in_order.empty()) {
+    uint64_t prev_last = 0;
+    bool have_prev = false;
+    for (size_t i = 0; i < walk.leaves_in_order.size(); ++i) {
+      PageId pid = walk.leaves_in_order[i];
+      BPlusTree::NodeView leaf = tree.ReadNode(pid);
+      std::string path = "leaf_chain[" + std::to_string(i) + "]";
+      report.CountCheck();
+      PageId expected_next = i + 1 < walk.leaves_in_order.size()
+                                 ? walk.leaves_in_order[i + 1]
+                                 : kInvalidPageId;
+      if (leaf.next != expected_next) {
+        report.AddError(path, "leaf page " + std::to_string(pid) +
+                                  " links to " + std::to_string(leaf.next) +
+                                  ", tree order expects " +
+                                  std::to_string(expected_next));
+      }
+      if (!leaf.keys.empty()) {
+        report.CountCheck();
+        if (have_prev && leaf.keys.front() < prev_last) {
+          report.AddError(path, "chain key order broken: " +
+                                    std::to_string(leaf.keys.front()) +
+                                    " follows " + std::to_string(prev_last));
+        }
+        prev_last = leaf.keys.back();
+        have_prev = true;
+      }
+    }
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

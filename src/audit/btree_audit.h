@@ -1,0 +1,31 @@
+#ifndef SPATIALJOIN_AUDIT_BTREE_AUDIT_H_
+#define SPATIALJOIN_AUDIT_BTREE_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "btree/bplus_tree.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Structural validator for the B⁺-tree backing join indices (modeling
+/// assumption S4). Checks, per node reached from the root:
+///  * keys non-decreasing within the node (duplicates are legal);
+///  * every key within the inclusive separator bounds inherited from the
+///    ancestors — inclusive on both sides because a leaf split may cut a
+///    run of equal keys, leaving keys equal to the separator in both
+///    subtrees;
+///  * fan-out at most max_leaf_entries / max_internal_entries; an empty
+///    non-root node is an error, a less-than-half-full one only a warning
+///    (deletion is lazy by design, see bplus_tree.h);
+///  * uniform leaf depth;
+///  * node page ids within the backing disk, no page reached twice;
+///  * the leaf chain visits exactly the tree's leaves, left to right, with
+///    keys non-decreasing across links and a null `next` on the last leaf;
+///  * totals: entries reached == num_entries(), pages reached ==
+///    num_pages().
+AuditReport AuditBPlusTree(const BPlusTree& tree);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_BTREE_AUDIT_H_

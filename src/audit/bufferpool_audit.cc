@@ -1,0 +1,56 @@
+#include "audit/bufferpool_audit.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace audit {
+
+AuditReport AuditBufferPool(const BufferPool& pool) {
+  AuditReport report("buffer_pool");
+  int64_t disk_pages = pool.disk()->num_pages();
+
+  std::vector<BufferPool::FrameInfo> frames = pool.ResidentFrames();
+  report.CountCheck();
+  if (static_cast<int64_t>(frames.size()) > pool.capacity_pages()) {
+    report.AddError("frames", std::to_string(frames.size()) +
+                                  " resident frames exceed capacity " +
+                                  std::to_string(pool.capacity_pages()));
+  }
+  std::unordered_set<PageId> seen;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    std::string path = "frame[" + std::to_string(i) + "]";
+    report.CountCheck();
+    if (frames[i].id < 0 || frames[i].id >= disk_pages) {
+      report.AddError(path, "caches page " + std::to_string(frames[i].id) +
+                                " which the disk (of " +
+                                std::to_string(disk_pages) +
+                                " pages) never allocated");
+    }
+    report.CountCheck();
+    if (!seen.insert(frames[i].id).second) {
+      report.AddError(path, "page " + std::to_string(frames[i].id) +
+                                " cached in two frames");
+    }
+  }
+
+  const BufferPoolStats& stats = pool.stats();
+  report.CountCheck();
+  if (stats.hits < 0 || stats.misses < 0 || stats.evictions < 0) {
+    report.AddError("stats", "negative counter: " + stats.ToString());
+  }
+  report.CountCheck();
+  // Every eviction dropped a frame that was faulted (a counted miss) or
+  // freshly allocated; allocations are bounded by the disk's page count.
+  if (stats.evictions > stats.misses + disk_pages) {
+    report.AddError("stats", "evictions outrun faults: " + stats.ToString() +
+                                 " with " + std::to_string(disk_pages) +
+                                 " disk pages");
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

@@ -1,0 +1,24 @@
+#ifndef SPATIALJOIN_AUDIT_BUFFERPOOL_AUDIT_H_
+#define SPATIALJOIN_AUDIT_BUFFERPOOL_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "storage/buffer_pool.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Validates a buffer pool's frame accounting against its DiskManager:
+///  * resident frames never exceed capacity_pages();
+///  * every resident frame caches a page the disk has actually allocated
+///    (no frame for a page id outside [0, disk->num_pages()));
+///  * no page is cached in two frames (the frame list and the page index
+///    would disagree on which copy is authoritative);
+///  * stats invariants: hits, misses, evictions are non-negative, and
+///    evictions never exceed misses + new-page faults (every evicted
+///    frame was once faulted in).
+AuditReport AuditBufferPool(const BufferPool& pool);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_BUFFERPOOL_AUDIT_H_

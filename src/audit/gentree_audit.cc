@@ -1,0 +1,91 @@
+#include "audit/gentree_audit.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "relational/tuple.h"
+
+namespace spatialjoin {
+namespace audit {
+
+namespace {
+
+struct GenTreeWalk {
+  const GeneralizationTree* tree = nullptr;
+  AuditReport* report = nullptr;
+  std::unordered_set<NodeId> visited;
+  int64_t nodes_reached = 0;
+  int deepest = 0;
+
+  void Visit(NodeId node, int expected_height, const std::string& path) {
+    report->CountCheck();
+    if (!visited.insert(node).second) {
+      report->AddError(path, "node " + std::to_string(node) +
+                                 " reached twice (not a tree)");
+      return;
+    }
+    ++nodes_reached;
+    if (expected_height > deepest) deepest = expected_height;
+
+    report->CountCheck();
+    if (tree->HeightOf(node) != expected_height) {
+      report->AddError(path, "HeightOf = " +
+                                 std::to_string(tree->HeightOf(node)) +
+                                 ", expected " +
+                                 std::to_string(expected_height));
+    }
+    report->CountCheck();
+    bool has_tuple = tree->TupleOf(node) != kInvalidTupleId;
+    if (tree->IsApplicationNode(node) != has_tuple) {
+      report->AddError(path, has_tuple
+                                 ? "technical node carries a tuple id"
+                                 : "application node without a tuple id");
+    }
+
+    Rectangle mbr = tree->MbrOf(node);
+    std::vector<NodeId> children = tree->Children(node);
+    for (size_t i = 0; i < children.size(); ++i) {
+      std::string child_path = path + "/child[" + std::to_string(i) + "]";
+      Rectangle child_mbr = tree->MbrOf(children[i]);
+      report->CountCheck();
+      if (!mbr.Contains(child_mbr)) {
+        report->AddError(child_path,
+                         "PART-OF violation: child region " +
+                             child_mbr.ToString() +
+                             " not contained in parent region " +
+                             mbr.ToString());
+      }
+      Visit(children[i], expected_height + 1, child_path);
+    }
+  }
+};
+
+}  // namespace
+
+AuditReport AuditGenTree(const GeneralizationTree& tree) {
+  AuditReport report("gentree");
+  GenTreeWalk walk;
+  walk.tree = &tree;
+  walk.report = &report;
+  walk.Visit(tree.root(), 0, "root");
+
+  report.CountCheck();
+  if (walk.nodes_reached != tree.num_nodes()) {
+    report.AddError("root", "reached " + std::to_string(walk.nodes_reached) +
+                                " nodes, tree reports " +
+                                std::to_string(tree.num_nodes()));
+  }
+  // A childless root leaves height() implementation-defined (an empty
+  // R-tree adapter reports its page height), so only check with children.
+  report.CountCheck();
+  if (walk.nodes_reached > 1 && walk.deepest != tree.height()) {
+    report.AddError("root", "deepest leaf at height " +
+                                std::to_string(walk.deepest) +
+                                ", tree reports height " +
+                                std::to_string(tree.height()));
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

@@ -1,0 +1,29 @@
+#ifndef SPATIALJOIN_AUDIT_GENTREE_AUDIT_H_
+#define SPATIALJOIN_AUDIT_GENTREE_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "core/gentree.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Validator for any GeneralizationTree implementation — the R-tree
+/// adapter, the quadtree, or an application hierarchy (Fig. 3). This is
+/// the PART-OF invariant of §3.1 stated on the abstract interface: except
+/// for the root, every node's region is completely contained in its
+/// parent's region, which is what makes Algorithm SELECT/JOIN pruning
+/// sound for every conservative Θ-operator of Table 1.
+///
+/// Checks, per node reached from the root:
+///  * MbrOf(child) contained in MbrOf(parent) — the PART-OF invariant;
+///  * HeightOf increases by exactly 1 per edge (paper convention: root at
+///    height 0, heights grow downward);
+///  * application nodes carry a valid tuple id and technical nodes do not;
+///  * no node reached twice (the structure is a tree, not a DAG);
+///  * totals: nodes reached == num_nodes(), deepest leaf == height().
+AuditReport AuditGenTree(const GeneralizationTree& tree);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_GENTREE_AUDIT_H_

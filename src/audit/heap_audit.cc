@@ -1,0 +1,152 @@
+#include "audit/heap_audit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+
+namespace spatialjoin {
+namespace audit {
+
+namespace {
+
+// Mirrors the on-page layout documented in slotted_page.h; the auditor
+// deliberately re-parses the raw bytes instead of trusting the accessors
+// it is meant to validate.
+constexpr size_t kHeaderSize = 4;
+constexpr size_t kSlotSize = 4;
+
+uint16_t LoadU16(const Page& page, size_t pos) {
+  uint16_t v;
+  std::memcpy(&v, page.bytes() + pos, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+AuditReport AuditSlottedPage(const Page& page) {
+  AuditReport report("slotted_page");
+  if (page.size() < kHeaderSize) {
+    report.CountCheck();
+    report.AddError("header", "page of " + std::to_string(page.size()) +
+                                  " bytes cannot hold a slotted header");
+    return report.Finish();
+  }
+  uint16_t num_slots = LoadU16(page, 0);
+  uint16_t free_end = LoadU16(page, 2);
+  size_t slots_end = kHeaderSize + kSlotSize * num_slots;
+
+  report.CountCheck();
+  if (slots_end > page.size()) {
+    report.AddError("header", "slot directory of " +
+                                  std::to_string(num_slots) +
+                                  " slots overruns the page");
+    return report.Finish();
+  }
+  report.CountCheck();
+  if (free_end > page.size()) {
+    report.AddError("header", "free_end " + std::to_string(free_end) +
+                                  " beyond page size " +
+                                  std::to_string(page.size()));
+  }
+  report.CountCheck();
+  if (free_end < slots_end) {
+    report.AddError("header", "free_end " + std::to_string(free_end) +
+                                  " inside the slot directory (ends at " +
+                                  std::to_string(slots_end) + ")");
+  }
+
+  // Live records must sit in [free_end, page size) and not overlap.
+  std::vector<std::pair<uint32_t, uint32_t>> extents;  // (offset, end)
+  for (uint16_t s = 0; s < num_slots; ++s) {
+    std::string path = "slot[" + std::to_string(s) + "]";
+    uint16_t offset = LoadU16(page, kHeaderSize + kSlotSize * s);
+    uint16_t length = LoadU16(page, kHeaderSize + kSlotSize * s + 2);
+    if (offset == 0) {
+      report.CountCheck();
+      if (length != 0) {
+        report.AddError(path, "deleted slot with non-zero length " +
+                                  std::to_string(length));
+      }
+      continue;
+    }
+    uint32_t end = static_cast<uint32_t>(offset) + length;
+    report.CountCheck();
+    if (end > page.size()) {
+      report.AddError(path, "record [" + std::to_string(offset) + ", " +
+                                std::to_string(end) + ") overruns the page");
+      continue;
+    }
+    report.CountCheck();
+    if (offset < free_end) {
+      report.AddError(path, "record offset " + std::to_string(offset) +
+                                " inside the free region (free_end " +
+                                std::to_string(free_end) + ")");
+    }
+    extents.emplace_back(offset, end);
+  }
+
+  std::sort(extents.begin(), extents.end());
+  for (size_t i = 1; i < extents.size(); ++i) {
+    report.CountCheck();
+    if (extents[i].first < extents[i - 1].second) {
+      report.AddError("slots",
+                      "live records overlap: [" +
+                          std::to_string(extents[i - 1].first) + ", " +
+                          std::to_string(extents[i - 1].second) + ") and [" +
+                          std::to_string(extents[i].first) + ", " +
+                          std::to_string(extents[i].second) + ")");
+    }
+  }
+  return report.Finish();
+}
+
+AuditReport AuditHeapFile(const HeapFile& file) {
+  AuditReport report("heap_file");
+  BufferPool* pool = file.pool();
+  int64_t disk_pages = pool->disk()->num_pages();
+  std::unordered_set<PageId> seen;
+  int64_t live_records = 0;
+
+  const std::vector<PageId>& pages = file.pages();
+  for (size_t i = 0; i < pages.size(); ++i) {
+    std::string path = "page[" + std::to_string(i) + "]";
+    PageId pid = pages[i];
+    report.CountCheck();
+    if (pid < 0 || pid >= disk_pages) {
+      report.AddError(path, "page id " + std::to_string(pid) +
+                                " outside disk of " +
+                                std::to_string(disk_pages) + " pages");
+      continue;
+    }
+    report.CountCheck();
+    if (!seen.insert(pid).second) {
+      report.AddError(path, "page " + std::to_string(pid) +
+                                " appears twice in the directory");
+      continue;
+    }
+    const Page* page = pool->GetPage(pid);
+    report.Merge(AuditSlottedPage(*page), path + "/");
+    for (uint16_t s = 0; s < slotted::NumSlots(*page); ++s) {
+      if (slotted::Read(*page, s).has_value()) ++live_records;
+    }
+  }
+
+  report.CountCheck();
+  if (live_records != file.num_records()) {
+    report.AddError("directory",
+                    "live records " + std::to_string(live_records) +
+                        " disagree with num_records() " +
+                        std::to_string(file.num_records()));
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

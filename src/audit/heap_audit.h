@@ -1,0 +1,32 @@
+#ifndef SPATIALJOIN_AUDIT_HEAP_AUDIT_H_
+#define SPATIALJOIN_AUDIT_HEAP_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Validates one slotted page image (layout documented in
+/// slotted_page.h). Checks:
+///  * the slot directory fits on the page and does not cross free_end;
+///  * free_end is within the page;
+///  * every live slot's record [offset, offset + length) lies between
+///    free_end and the page end (no overlap with the directory or the
+///    free region);
+///  * live records do not overlap each other.
+/// Violation paths are "slot[i]" relative to the page.
+AuditReport AuditSlottedPage(const Page& page);
+
+/// Validates a heap file: every page passes AuditSlottedPage, page ids
+/// are unique and within the backing disk, and the live-record total
+/// matches num_records() (free-space accounting is per page). Violation
+/// paths are "page[i]/slot[j]" with i the position in the file's page
+/// directory.
+AuditReport AuditHeapFile(const HeapFile& file);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_HEAP_AUDIT_H_

@@ -1,0 +1,145 @@
+#include "audit/rtree_audit.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "geometry/rectangle.h"
+#include "storage/disk_manager.h"
+
+namespace spatialjoin {
+namespace audit {
+
+namespace {
+
+struct RTreeWalk {
+  const RTree* tree = nullptr;
+  AuditReport* report = nullptr;
+  int64_t disk_pages = 0;
+  std::unordered_set<PageId> visited;
+  int64_t entries_reached = 0;
+  int64_t nodes_reached = 0;
+
+  // Walks the node on `pid`; `expected_mbr` is the parent's entry for this
+  // node (empty for the root, which has no enclosing entry).
+  void Visit(PageId pid, int expected_level, const Rectangle& expected_mbr,
+             const std::string& path) {
+    report->CountCheck();
+    if (pid < 0 || pid >= disk_pages) {
+      report->AddError(path, "child page id " + std::to_string(pid) +
+                                 " outside disk of " +
+                                 std::to_string(disk_pages) + " pages");
+      return;
+    }
+    report->CountCheck();
+    if (!visited.insert(pid).second) {
+      report->AddError(path, "page " + std::to_string(pid) +
+                                 " reached twice (aliased entry)");
+      return;
+    }
+    ++nodes_reached;
+
+    RTree::NodeView node = tree->ReadNode(pid);
+    report->CountCheck();
+    if (node.level != expected_level) {
+      report->AddError(path, "level " + std::to_string(node.level) +
+                                 ", expected " +
+                                 std::to_string(expected_level) +
+                                 " (non-uniform leaf depth)");
+    }
+    report->CountCheck();
+    if (node.is_leaf != (node.level == 0)) {
+      report->AddError(path, std::string("is_leaf flag disagrees with ") +
+                                 "level " + std::to_string(node.level));
+    }
+    int count = static_cast<int>(node.mbrs.size());
+    report->CountCheck();
+    if (count > tree->max_entries()) {
+      report->AddError(path, "fan-out " + std::to_string(count) +
+                                 " exceeds max_entries " +
+                                 std::to_string(tree->max_entries()));
+    }
+    bool is_root = path == "root";
+    report->CountCheck();
+    if (is_root) {
+      if (!node.is_leaf && count < 2) {
+        report->AddError(path, "non-leaf root with fan-out " +
+                                   std::to_string(count));
+      }
+    } else if (count < tree->min_entries()) {
+      report->AddError(path, "fan-out " + std::to_string(count) +
+                                 " below min_entries " +
+                                 std::to_string(tree->min_entries()));
+    }
+
+    // PART-OF: every entry of this node lies inside the parent's entry.
+    Rectangle tight;
+    for (size_t i = 0; i < node.mbrs.size(); ++i) {
+      const Rectangle& entry = node.mbrs[i];
+      std::string entry_path = path + "/entry[" + std::to_string(i) + "]";
+      report->CountCheck();
+      if (entry.is_empty()) {
+        report->AddError(entry_path, "empty entry MBR");
+        continue;
+      }
+      tight.Extend(entry);
+      if (!expected_mbr.is_empty()) {
+        report->CountCheck();
+        if (!expected_mbr.Contains(entry)) {
+          report->AddError(entry_path,
+                           "PART-OF violation: entry " + entry.ToString() +
+                               " not contained in parent entry " +
+                               expected_mbr.ToString());
+        }
+      }
+    }
+    // Tightness: the parent's entry must be exactly the bounding box of
+    // this node, or searches pay for dead space the tree never shrinks.
+    if (!expected_mbr.is_empty() && count > 0) {
+      report->CountCheck();
+      if (expected_mbr.Contains(tight) && expected_mbr != tight) {
+        report->AddWarning(path, "untight parent entry " +
+                                     expected_mbr.ToString() +
+                                     " for node box " + tight.ToString());
+      }
+    }
+
+    if (node.is_leaf) {
+      entries_reached += count;
+      return;
+    }
+    for (size_t i = 0; i < node.payloads.size(); ++i) {
+      Visit(node.payloads[i], expected_level - 1, node.mbrs[i],
+            path + "/child[" + std::to_string(i) + "]");
+    }
+  }
+};
+
+}  // namespace
+
+AuditReport AuditRTree(const RTree& tree) {
+  AuditReport report("rtree");
+  RTreeWalk walk;
+  walk.tree = &tree;
+  walk.report = &report;
+  walk.disk_pages = tree.pool()->disk()->num_pages();
+  walk.Visit(tree.root_page(), tree.height() - 1, Rectangle::Empty(), "root");
+
+  report.CountCheck();
+  if (walk.entries_reached != tree.num_entries()) {
+    report.AddError("root", "reached " +
+                                std::to_string(walk.entries_reached) +
+                                " data entries, tree reports " +
+                                std::to_string(tree.num_entries()));
+  }
+  report.CountCheck();
+  if (walk.nodes_reached != tree.num_nodes()) {
+    report.AddError("root", "reached " + std::to_string(walk.nodes_reached) +
+                                " nodes, tree reports " +
+                                std::to_string(tree.num_nodes()));
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

@@ -1,0 +1,35 @@
+#ifndef SPATIALJOIN_AUDIT_RTREE_AUDIT_H_
+#define SPATIALJOIN_AUDIT_RTREE_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "rtree/rtree.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Structural validator for the R-tree as a generalization tree
+/// (paper §3.1). The PART-OF invariant — every child region completely
+/// contained in its parent — is what licenses the conservative Θ-operator
+/// of Table 1 to prune subtrees; a violation here means SELECT/JOIN can
+/// silently drop true θ-matches, so containment breaks are errors.
+///
+/// Checks, per node reached from the root:
+///  * parent entry MBR contains every MBR of the child node (PART-OF);
+///  * parent entry MBR is the *tight* bounding box of the child
+///    (untight-but-containing is a warning: correct answers, wasted I/O);
+///  * fan-out within [min_entries, max_entries] (root exempt from the
+///    lower bound; a non-leaf root must have >= 2 entries);
+///  * level decreases by exactly 1 per edge and leaves sit at level 0, so
+///    all leaves have uniform depth;
+///  * `is_leaf` agrees with `level == 0`;
+///  * child page ids are within the backing disk and no page is reached
+///    twice (no dangling or aliased entries);
+///  * no entry MBR is the empty rectangle;
+///  * totals: entries reached == num_entries(), nodes reached ==
+///    num_nodes(), root level == height() - 1.
+AuditReport AuditRTree(const RTree& tree);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_RTREE_AUDIT_H_

@@ -1,0 +1,156 @@
+#include "audit/theta_audit.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "relational/value.h"
+
+namespace spatialjoin {
+namespace audit {
+
+namespace {
+
+// Cap on reported witnesses per operator: a broken Θ typically fails on
+// a large fraction of the sample, and one witness already reproduces it.
+constexpr int64_t kMaxWitnesses = 10;
+
+double DrawCoord(Rng* rng, double lo, double hi, bool snapped) {
+  double v = rng->NextDouble(lo, hi);
+  if (!snapped) return v;
+  // Coarse grid: makes exactly-touching edges and shared corners likely.
+  double step = (hi - lo) / 40.0;
+  return lo + std::floor((v - lo) / step) * step;
+}
+
+Value DrawValue(Rng* rng, const Rectangle& world, bool snapped) {
+  double max_extent = (world.max_x() - world.min_x()) / 10.0;
+  double cx = DrawCoord(rng, world.min_x(), world.max_x(), snapped);
+  double cy = DrawCoord(rng, world.min_y(), world.max_y(), snapped);
+  switch (rng->NextUint64(4)) {
+    case 0:
+      return Value(Point{cx, cy});
+    case 1: {
+      // Regular polygon; vertices land off-grid, covering the smooth case.
+      double radius = rng->NextDouble(1.0, max_extent / 2.0);
+      int vertices = static_cast<int>(rng->NextInt(3, 8));
+      return Value(Polygon::RegularNGon(Point{cx, cy}, radius, vertices));
+    }
+    case 2: {
+      // Rectangle-shaped polygon: grid-aligned boundary, so adjacency and
+      // containment fire on polygon code paths too.
+      double w = DrawCoord(rng, 0.0, max_extent, snapped);
+      double h = DrawCoord(rng, 0.0, max_extent, snapped);
+      return Value(Polygon::FromRectangle(Rectangle(cx, cy, cx + w, cy + h)));
+    }
+    default: {
+      double w = DrawCoord(rng, 0.0, max_extent, snapped);
+      double h = DrawCoord(rng, 0.0, max_extent, snapped);
+      return Value(Rectangle(cx, cy, cx + w, cy + h));
+    }
+  }
+}
+
+std::string WitnessLabel(int64_t pair_index, const Value& a, const Value& b) {
+  return "pair " + std::to_string(pair_index) + ": a=" + a.ToString() +
+         " b=" + b.ToString();
+}
+
+}  // namespace
+
+AuditReport AuditThetaSoundness(const ThetaOperator& op,
+                                const ThetaSoundnessOptions& options) {
+  AuditReport report("theta_soundness");
+  const std::string path = "op[" + op.name() + "]";
+  Rng rng(options.seed);
+  int64_t theta_hits = 0;
+  int64_t upper_hits = 0;
+  int64_t witnesses = 0;
+
+  for (int64_t i = 0; i < options.pairs; ++i) {
+    bool snapped = (i % 2) == 0;
+    Value a = DrawValue(&rng, options.world, snapped);
+    Value b = DrawValue(&rng, options.world, snapped);
+    Rectangle mbr_a = a.Mbr();
+    Rectangle mbr_b = b.Mbr();
+
+    bool theta = op.Theta(a, b);
+    bool upper = op.ThetaUpper(mbr_a, mbr_b);
+    if (theta) ++theta_hits;
+    if (upper) ++upper_hits;
+
+    // The defining conservativeness property (Table 1): Θ never prunes a
+    // true θ-match.
+    report.CountCheck();
+    if (theta && !upper) {
+      if (++witnesses <= kMaxWitnesses) {
+        report.AddError(path, "θ holds but Θ prunes — " +
+                                  WitnessLabel(i, a, b));
+      }
+    }
+
+    // Window soundness: Θ(a', b') must imply a' overlaps W(b').
+    if (auto window = op.ProbeWindow(mbr_b, options.world)) {
+      report.CountCheck();
+      if (upper && !mbr_a.Overlaps(*window)) {
+        if (++witnesses <= kMaxWitnesses) {
+          report.AddError(path, "Θ holds but probe window " +
+                                    window->ToString() + " misses — " +
+                                    WitnessLabel(i, a, b));
+        }
+      }
+    }
+
+    if (op.is_symmetric()) {
+      report.CountCheck();
+      if (theta != op.Theta(b, a) ||
+          upper != op.ThetaUpper(mbr_b, mbr_a)) {
+        if (++witnesses <= kMaxWitnesses) {
+          report.AddError(path, "declared symmetric but asymmetric on " +
+                                    WitnessLabel(i, a, b));
+        }
+      }
+    }
+  }
+
+  if (witnesses > kMaxWitnesses) {
+    report.AddError(path, std::to_string(witnesses - kMaxWitnesses) +
+                              " further witnesses suppressed");
+  }
+  report.CountCheck();
+  if (theta_hits == 0 || upper_hits == 0) {
+    report.AddWarning(path, "sample of " + std::to_string(options.pairs) +
+                                " pairs never fired (θ " +
+                                std::to_string(theta_hits) + ", Θ " +
+                                std::to_string(upper_hits) +
+                                "); soundness untested");
+  }
+  return report.Finish();
+}
+
+AuditReport AuditTable1Operators(const ThetaSoundnessOptions& options) {
+  // One representative instantiation per Table 1 row; distances are sized
+  // to the default world so both outcomes of every predicate occur.
+  double scale = (options.world.max_x() - options.world.min_x()) / 20.0;
+  WithinDistanceOp within(scale);
+  OverlapsOp overlaps;
+  IncludesOp includes;
+  ContainedInOp contained_in;
+  NorthwestOfOp northwest;
+  AdjacentOp adjacent;
+  ReachableWithinOp reachable(10.0, scale / 10.0);
+  const ThetaOperator* ops[] = {&within,    &overlaps, &includes,
+                                &contained_in, &northwest, &adjacent,
+                                &reachable};
+
+  AuditReport report("theta_table1");
+  for (const ThetaOperator* op : ops) {
+    report.Merge(AuditThetaSoundness(*op, options));
+  }
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

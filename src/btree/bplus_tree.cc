@@ -268,6 +268,24 @@ void BPlusTree::ScanAll(
   ScanRange(0, ~uint64_t{0}, fn);
 }
 
+BPlusTree::NodeView BPlusTree::ReadNode(PageId pid) const {
+  Node node = LoadNode(pid);
+  NodeView view;
+  view.is_leaf = node.is_leaf;
+  view.next = node.next;
+  view.keys = std::move(node.keys);
+  view.values = std::move(node.values);
+  view.children = std::move(node.children);
+  return view;
+}
+
+void BPlusTree::CorruptKeyForTest(PageId pid, size_t idx, uint64_t key) {
+  Node node = LoadNode(pid);
+  SJ_CHECK_LT(idx, node.keys.size());
+  node.keys[idx] = key;
+  StoreNode(pid, node);
+}
+
 int64_t BPlusTree::num_leaf_pages() const {
   // Walk down the leftmost spine, then along the leaf chain.
   PageId pid = root_;

@@ -57,6 +57,30 @@ class BPlusTree {
   /// Number of leaf pages only.
   int64_t num_leaf_pages() const;
 
+  int max_leaf_entries() const { return max_leaf_entries_; }
+  int max_internal_entries() const { return max_internal_entries_; }
+  PageId root_page() const { return root_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Decoded view of one node, for structural auditors and tests. A leaf
+  /// has keys/values and a `next` chain link; an internal node has keys
+  /// and keys+1 children.
+  struct NodeView {
+    bool is_leaf = true;
+    PageId next = kInvalidPageId;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;
+    std::vector<PageId> children;
+  };
+
+  /// Reads node `pid` through the buffer pool (counts I/O).
+  NodeView ReadNode(PageId pid) const;
+
+  /// Test-only hook: overwrites key `idx` of the node on `pid` with
+  /// `key`, bypassing all ordering maintenance. Exists so auditor tests
+  /// can manufacture separator violations; never call it elsewhere.
+  void CorruptKeyForTest(PageId pid, size_t idx, uint64_t key);
+
  private:
   struct Node;  // defined in the .cc
 

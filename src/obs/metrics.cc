@@ -14,7 +14,7 @@ namespace {
 // (so bucket b covers [2^(b-1), 2^b - 1]).
 int BucketOf(int64_t value) {
   if (value <= 0) return 0;
-  return std::bit_width(static_cast<uint64_t>(value));
+  return static_cast<int>(std::bit_width(static_cast<uint64_t>(value)));
 }
 
 // Lower/upper value bounds of bucket `b`.

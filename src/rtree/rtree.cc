@@ -626,6 +626,14 @@ std::vector<TupleId> RTree::SearchTids(const Rectangle& window) const {
 
 Rectangle RTree::RootMbr() const { return NodeMbr(LoadNode(root_)); }
 
+void RTree::CorruptEntryMbrForTest(PageId pid, size_t entry_idx,
+                                   const Rectangle& mbr) {
+  Node node = LoadNode(pid);
+  SJ_CHECK_LT(entry_idx, node.mbrs.size());
+  node.mbrs[entry_idx] = mbr;
+  StoreNode(pid, node);
+}
+
 void RTree::CheckInvariants() const {
   std::function<int64_t(PageId, int, bool)> descend =
       [&](PageId pid, int expected_level, bool is_root) -> int64_t {

@@ -93,8 +93,16 @@ class RTree {
   NodeView ReadNode(PageId pid) const;
 
   /// Verifies R-tree invariants (containment, fan-out bounds, level
-  /// consistency); aborts via SJ_CHECK on violation. For tests.
+  /// consistency); aborts via SJ_CHECK on violation. For tests. The
+  /// audit subsystem's AuditRTree is the non-aborting superset that
+  /// returns a machine-readable report instead.
   void CheckInvariants() const;
+
+  /// Test-only hook: overwrites entry `entry_idx` of the node on `pid`
+  /// with `mbr`, bypassing all invariant maintenance. Exists so auditor
+  /// tests can manufacture PART-OF violations; never call it elsewhere.
+  void CorruptEntryMbrForTest(PageId pid, size_t entry_idx,
+                              const Rectangle& mbr);
 
  private:
   struct Node;  // mutable in-core form, defined in the .cc

@@ -114,6 +114,15 @@ void BufferPool::FlushAll() {
   }
 }
 
+std::vector<BufferPool::FrameInfo> BufferPool::ResidentFrames() const {
+  std::vector<FrameInfo> out;
+  out.reserve(frames_.size());
+  for (const Frame& frame : frames_) {
+    out.push_back(FrameInfo{frame.id, frame.dirty});
+  }
+  return out;
+}
+
 void BufferPool::Clear() {
   FlushAll();
   frames_.clear();

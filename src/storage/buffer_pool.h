@@ -5,6 +5,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -83,6 +84,17 @@ class BufferPool {
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
   DiskManager* disk() { return disk_; }
+  const DiskManager* disk() const { return disk_; }
+
+  /// Snapshot of one resident frame, for auditors and diagnostics.
+  struct FrameInfo {
+    PageId id = kInvalidPageId;
+    bool dirty = false;
+  };
+
+  /// The resident frames in recency order (MRU first). O(capacity);
+  /// does not touch stats or recency.
+  std::vector<FrameInfo> ResidentFrames() const;
 
  private:
   struct Frame {

@@ -43,6 +43,7 @@ class HeapFile {
   int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
   int64_t num_records() const { return num_records_; }
   const std::vector<PageId>& pages() const { return pages_; }
+  BufferPool* pool() const { return pool_; }
 
  private:
   BufferPool* pool_;

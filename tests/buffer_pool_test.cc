@@ -218,7 +218,8 @@ TEST(DiskSnapshotTest, RelationSurvivesSnapshotAndRestore) {
                    {"box", ValueType::kRectangle}});
     Relation rel("r", schema, &pool, RelationLayout::kClustered);
     for (int64_t i = 0; i < 40; ++i) {
-      rel.Insert(Tuple({Value(i), Value(Rectangle(i, 0, i + 1.0, 1))}));
+      double x = static_cast<double>(i);
+      rel.Insert(Tuple({Value(i), Value(Rectangle(x, 0, x + 1.0, 1))}));
     }
     pool.FlushAll();
     ASSERT_TRUE(disk.SaveSnapshot(path));
@@ -237,7 +238,8 @@ TEST(DiskSnapshotTest, RelationSurvivesSnapshotAndRestore) {
     for (int64_t i = 0; i < 40; ++i) {
       Tuple t = rel.Read(i);
       EXPECT_EQ(t.value(0).AsInt64(), i);
-      EXPECT_EQ(t.value(1).AsRectangle(), Rectangle(i, 0, i + 1.0, 1));
+      double x = static_cast<double>(i);
+      EXPECT_EQ(t.value(1).AsRectangle(), Rectangle(x, 0, x + 1.0, 1));
     }
   }
   std::remove(path.c_str());

@@ -95,8 +95,8 @@ INSTANTIATE_TEST_SUITE_P(Distributions, SelectCostTest,
                          ::testing::Values(MatchDistribution::kUniform,
                                            MatchDistribution::kNoLoc,
                                            MatchDistribution::kHiLoc),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case MatchDistribution::kUniform:
                                return "Uniform";
                              case MatchDistribution::kNoLoc:
@@ -189,8 +189,8 @@ INSTANTIATE_TEST_SUITE_P(Distributions, JoinCostTest,
                          ::testing::Values(MatchDistribution::kUniform,
                                            MatchDistribution::kNoLoc,
                                            MatchDistribution::kHiLoc),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case MatchDistribution::kUniform:
                                return "Uniform";
                              case MatchDistribution::kNoLoc:

@@ -75,7 +75,7 @@ TEST_F(HeapFileTest, ScanSurvivesPoolPressure) {
   DiskManager small_disk(512);
   BufferPool small_pool(&small_disk, 2);
   HeapFile file(&small_pool);
-  for (int i = 0; i < 40; ++i) file.Insert(std::string(100, 'a' + i % 26));
+  for (int i = 0; i < 40; ++i) file.Insert(std::string(100, static_cast<char>('a' + i % 26)));
   int count = 0;
   file.Scan([&](const RecordId&, std::string_view) { ++count; });
   EXPECT_EQ(count, 40);

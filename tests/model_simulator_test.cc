@@ -77,8 +77,8 @@ INSTANTIATE_TEST_SUITE_P(Distributions, SimulatorValidationTest,
                          ::testing::Values(MatchDistribution::kUniform,
                                            MatchDistribution::kNoLoc,
                                            MatchDistribution::kHiLoc),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case MatchDistribution::kUniform:
                                return "Uniform";
                              case MatchDistribution::kNoLoc:

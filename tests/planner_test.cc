@@ -50,8 +50,8 @@ TEST_F(PlannerTest, ZeroHitSampleStillGivesPositiveSelectivity) {
                  {"box", ValueType::kRectangle}});
   Relation b("b", schema, &pool_);
   for (int64_t i = 0; i < 50; ++i) {
-    b.Insert(Tuple({Value(i), Value(Rectangle(5000 + i, 5000, 5001 + i,
-                                              5001))}));
+    double x = 5000.0 + static_cast<double>(i);
+    b.Insert(Tuple({Value(i), Value(Rectangle(x, 5000, x + 1.0, 5001))}));
   }
   OverlapsOp op;
   JoinStatistics stats = EstimateJoinStatistics(*a, 1, b, 1, op, 300, 5);

@@ -72,7 +72,7 @@ TEST_F(RelationTest, HeapAndClusteredAgreeLogically) {
   Relation clustered("c", TestSchema(), &pool_,
                      RelationLayout::kClustered);
   for (int64_t i = 0; i < 30; ++i) {
-    Tuple t({Value(i), Value(Rectangle(0, 0, 1 + i, 1))});
+    Tuple t({Value(i), Value(Rectangle(0, 0, 1.0 + static_cast<double>(i), 1))});
     heap.Insert(t);
     clustered.Insert(t);
   }

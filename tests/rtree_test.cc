@@ -106,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(Splits, RTreeSplitTest,
                          ::testing::Values(RTreeSplit::kLinear,
                                            RTreeSplit::kQuadratic,
                                            RTreeSplit::kRStar),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case RTreeSplit::kLinear:
                                return "Linear";
                              case RTreeSplit::kQuadratic:
@@ -213,7 +213,8 @@ TEST(RTreeBulkLoadTest, SmallAndDegenerateInputs) {
     RTree tree(&pool, RTreeSplit::kQuadratic, 8);
     std::vector<std::pair<Rectangle, TupleId>> entries;
     for (int64_t i = 0; i < 9; ++i) {
-      entries.emplace_back(Rectangle(i, 0, i + 0.5, 1), i);
+      double x = static_cast<double>(i);
+      entries.emplace_back(Rectangle(x, 0, x + 0.5, 1), i);
     }
     tree.BulkLoadStr(entries);
     tree.CheckInvariants();

@@ -94,8 +94,8 @@ TEST_P(SelectOnHierarchyTest, PrunesComparedToExhaustive) {
 INSTANTIATE_TEST_SUITE_P(Traversals, SelectOnHierarchyTest,
                          ::testing::Values(Traversal::kBreadthFirst,
                                            Traversal::kDepthFirst),
-                         [](const auto& info) {
-                           return info.param == Traversal::kBreadthFirst
+                         [](const auto& param_info) {
+                           return param_info.param == Traversal::kBreadthFirst
                                       ? "Bfs"
                                       : "Dfs";
                          });

@@ -32,7 +32,7 @@ TEST(SlottedPageTest, InsertRead) {
 TEST(SlottedPageTest, BinaryPayloadSurvives) {
   Page page(2000);
   slotted::Init(&page);
-  std::string payload("\x00\x01\xff\x7f binary \x00 data", 20);
+  std::string payload("\x00\x01\xff\x7f binary \x00 data", 18);
   auto slot = slotted::Insert(&page, payload);
   ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(*slotted::Read(page, *slot), payload);

@@ -5,12 +5,15 @@
 // result size, θ/Θ evaluations, page reads (cold buffer pool), and the
 // cost in the paper's units (C_θ·tests + C_IO·reads).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 
 #include "core/index_nested_loop.h"
 #include "core/join_index.h"
 #include "core/spatial_join.h"
+#include "exec/thread_pool.h"
 #include "quadtree/quadtree.h"
 #include "rtree/rtree.h"
 #include "rtree/rtree_gentree.h"
@@ -83,9 +86,10 @@ void Report(const char* name, const JoinResult& result, int64_t reads) {
               static_cast<long long>(reads), cost);
 }
 
-void RunScale(int n_tuples, double min_ext, double max_ext) {
+void RunScale(int n_tuples, double min_ext, double max_ext, int threads) {
   auto f = MakeFixture(n_tuples, min_ext, max_ext);
   OverlapsOp op;
+  exec::ThreadPool workers(threads);
   SpatialJoinContext ctx;
   ctx.r = f->r.get();
   ctx.col_r = 1;
@@ -95,17 +99,19 @@ void RunScale(int n_tuples, double min_ext, double max_ext) {
   ctx.s_tree = f->s_tree.get();
   ctx.join_index = f->join_index.get();
   ctx.zgrid = &f->grid;
+  ctx.exec_pool = &workers;
   ctx.nested_loop_options.memory_pages = 64;  // scaled-down M
 
   std::cout << "\n|R| = |S| = " << n_tuples << ", object extent ["
             << min_ext << ", " << max_ext << "] in a 2000x2000 world"
             << " (join-index precompute: " << f->join_index_build_tests
             << " theta tests, " << f->join_index->num_pages()
-            << " index pages)\n";
+            << " index pages; " << threads << " worker threads)\n";
   for (JoinStrategy strategy :
        {JoinStrategy::kNestedLoop, JoinStrategy::kTreeJoin,
         JoinStrategy::kIndexNestedLoop, JoinStrategy::kSortMergeZOrder,
-        JoinStrategy::kJoinIndex}) {
+        JoinStrategy::kJoinIndex, JoinStrategy::kParallelTreeJoin,
+        JoinStrategy::kPartitionedJoin}) {
     f->pool.Clear();
     f->disk.ResetStats();
     JoinResult result = ExecuteJoin(strategy, ctx, op);
@@ -122,12 +128,20 @@ void RunScale(int n_tuples, double min_ext, double max_ext) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) threads = 1;
+    }
+  }
   std::cout << "E2 — measured join strategies on the simulated disk "
-               "(cold buffer pool; cost = theta-tests + 1000 * reads)\n";
-  RunScale(500, 5, 40);    // moderately selective
-  RunScale(1500, 5, 40);   // larger relations
-  RunScale(800, 30, 120);  // low selectivity (many matches)
+               "(cold buffer pool; cost = theta-tests + 1000 * reads; "
+               "--threads=N sizes the exec pool)\n";
+  RunScale(500, 5, 40, threads);    // moderately selective
+  RunScale(1500, 5, 40, threads);   // larger relations
+  RunScale(800, 30, 120, threads);  // low selectivity (many matches)
   std::cout << "\nExpected shape (paper §4.5): nested loop never "
                "competitive; the join index wins at query time when the "
                "result is small, at the price of the precompute column; "

@@ -5,6 +5,7 @@
 
 #include "audit/btree_audit.h"
 #include "audit/bufferpool_audit.h"
+#include "audit/exec_audit.h"
 #include "audit/gentree_audit.h"
 #include "audit/heap_audit.h"
 #include "audit/rtree_audit.h"
@@ -60,6 +61,10 @@ void MaybeAudit(const BufferPool& pool, AuditLevel min_level) {
 
 void MaybeAudit(const GeneralizationTree& tree, AuditLevel min_level) {
   if (AuditEnabled(min_level)) Enforce(AuditGenTree(tree));
+}
+
+void MaybeAudit(const exec::ThreadPool& pool, AuditLevel min_level) {
+  if (AuditEnabled(min_level)) Enforce(AuditThreadPool(pool));
 }
 
 }  // namespace audit

@@ -4,6 +4,7 @@
 #include "audit/audit_report.h"
 #include "btree/bplus_tree.h"
 #include "core/gentree.h"
+#include "exec/thread_pool.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -56,6 +57,8 @@ void MaybeAudit(const HeapFile& file,
 void MaybeAudit(const BufferPool& pool,
                 AuditLevel min_level = AuditLevel::kParanoid);
 void MaybeAudit(const GeneralizationTree& tree,
+                AuditLevel min_level = AuditLevel::kParanoid);
+void MaybeAudit(const exec::ThreadPool& pool,
                 AuditLevel min_level = AuditLevel::kParanoid);
 
 }  // namespace audit

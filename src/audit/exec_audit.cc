@@ -1,0 +1,61 @@
+#include "audit/exec_audit.h"
+
+#include <sstream>
+
+namespace spatialjoin {
+namespace audit {
+
+AuditReport AuditThreadPool(const exec::ThreadPool& pool) {
+  AuditReport report("thread_pool");
+  const exec::ThreadPool::Stats stats = pool.stats();
+  const bool quiescent = pool.Quiescent();
+
+  report.CountCheck();
+  if (stats.workers < 1) {
+    report.AddError("pool", "pool has no workers");
+  }
+
+  if (quiescent) {
+    report.CountCheck();
+    if (stats.tasks_submitted != stats.tasks_executed) {
+      std::ostringstream os;
+      os << "task conservation violated: submitted=" << stats.tasks_submitted
+         << " executed=" << stats.tasks_executed
+         << " (quiescent pool — none may be pending)";
+      report.AddError("pool", os.str());
+    }
+
+    report.CountCheck();
+    if (stats.tasks_queued != 0) {
+      std::ostringstream os;
+      os << "quiescent pool still has " << stats.tasks_queued
+         << " queued tasks";
+      report.AddError("pool", os.str());
+    }
+  } else {
+    // With work in flight the counters form an inequality, not an
+    // equation: executed + queued never exceeds submitted.
+    report.CountCheck();
+    if (stats.tasks_executed + stats.tasks_queued > stats.tasks_submitted) {
+      std::ostringstream os;
+      os << "task conservation violated: submitted=" << stats.tasks_submitted
+         << " executed=" << stats.tasks_executed
+         << " queued=" << stats.tasks_queued;
+      report.AddError("pool", os.str());
+    }
+    report.AddWarning("pool", "audited while tasks were in flight");
+  }
+
+  report.CountCheck();
+  if (stats.tasks_stolen > stats.tasks_executed) {
+    std::ostringstream os;
+    os << "stolen=" << stats.tasks_stolen << " exceeds executed="
+       << stats.tasks_executed;
+    report.AddError("pool", os.str());
+  }
+
+  return report.Finish();
+}
+
+}  // namespace audit
+}  // namespace spatialjoin

@@ -1,0 +1,26 @@
+#ifndef SPATIALJOIN_AUDIT_EXEC_AUDIT_H_
+#define SPATIALJOIN_AUDIT_EXEC_AUDIT_H_
+
+#include "audit/audit_report.h"
+#include "exec/thread_pool.h"
+
+namespace spatialjoin {
+namespace audit {
+
+/// Validator for the exec layer's thread pool (DESIGN.md §7). Meant to
+/// run between queries, when the pool should be quiescent — a pool with
+/// work in flight legitimately fails the conservation checks, so call
+/// sites audit after ParallelFor/TaskGroup::Wait returned.
+///
+/// Checks:
+///  * the pool has at least one worker;
+///  * task conservation: submitted == executed + queued (every submitted
+///    task is either done or still waiting — none lost, none duplicated);
+///  * a quiescent pool has nothing queued;
+///  * stolen tasks are a subset of executed tasks.
+AuditReport AuditThreadPool(const exec::ThreadPool& pool);
+
+}  // namespace audit
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_AUDIT_EXEC_AUDIT_H_

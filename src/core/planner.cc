@@ -1,6 +1,7 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <sstream>
 
@@ -41,6 +42,9 @@ JoinStatistics EstimateJoinStatistics(const Relation& r, size_t col_r,
   if (hits == 0) {
     stats.selectivity = 1.0 / (3.0 * static_cast<double>(sample_pairs));
   }
+  stats.selectivity_stderr =
+      std::sqrt(stats.selectivity * (1.0 - stats.selectivity) /
+                static_cast<double>(sample_pairs));
   MetricsRegistry::Global()
       .GetCounter("planner.sample_theta_tests")
       ->Increment(stats.sample_tests);
@@ -68,6 +72,7 @@ std::string JoinPlan::ToString() const {
     os << "\n  " << JoinStrategyName(alt.strategy) << ": ";
     if (alt.feasible) {
       os << alt.estimated_cost;
+      if (alt.near_tie) os << " (~tie)";
     } else {
       os << "infeasible";
     }
@@ -75,42 +80,106 @@ std::string JoinPlan::ToString() const {
   return os.str();
 }
 
-JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
-  ModelParameters params = FitModelParameters(stats);
+namespace {
+
+constexpr int kNumAlternatives = 7;
+
+/// Prices every strategy at the given selectivity.  Feasibility is
+/// independent of p, so callers re-invoke this to bracket the costs at
+/// p̂ ± stderr without touching the feasibility flags.
+std::array<double, kNumAlternatives> PriceAlternatives(
+    const JoinStatistics& stats, const PlannerContext& ctx,
+    double selectivity) {
+  JoinStatistics priced = stats;
+  priced.selectivity = selectivity;
+  ModelParameters params = FitModelParameters(priced);
+  params.threads = std::max(1, ctx.threads);
   // The planner has no locality knowledge — score with UNIFORM, the
   // conservative choice (locality only helps the tree strategies).
   JoinCosts join_costs = ComputeJoinCosts(params, MatchDistribution::kUniform);
   UpdateCosts update_costs = ComputeUpdateCosts(params);
 
+  std::array<double, kNumAlternatives> costs{};
+  costs[0] = join_costs.d_i + ctx.updates_per_query * update_costs.u_i;
+  costs[1] = join_costs.d_iib + ctx.updates_per_query * update_costs.u_iib;
+  // One side scans, the other probes: between I and II; charge the tree
+  // cost plus a full scan of the probing side.
+  costs[2] = join_costs.d_iib +
+             static_cast<double>(params.RelationPages()) * params.c_io +
+             ctx.updates_per_query * update_costs.u_iib;
+  // Sort both sides (z-decomposition ≈ one pass each) plus the candidate
+  // verification ≈ result size.
+  costs[3] = 2.0 * static_cast<double>(params.RelationPages()) * params.c_io +
+             params.p * static_cast<double>(params.N()) *
+                 static_cast<double>(params.N()) * params.c_theta;
+  costs[4] = join_costs.d_iii + ctx.updates_per_query * update_costs.u_iii;
+  // Parallel tree join maintains the same trees as IIb.
+  costs[5] = join_costs.d_ii_par + ctx.updates_per_query * update_costs.u_iib;
+  // The partitioned join builds its grid per query — no structure to
+  // maintain.
+  costs[6] = join_costs.d_pbsm;
+  return costs;
+}
+
+}  // namespace
+
+JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
+  const std::array<double, kNumAlternatives> costs =
+      PriceAlternatives(stats, ctx, stats.selectivity);
+
   JoinPlan plan;
   auto& alts = plan.alternatives;
-  alts[0] = {JoinStrategy::kNestedLoop, true,
-             join_costs.d_i + ctx.updates_per_query * update_costs.u_i};
+  alts[0] = {JoinStrategy::kNestedLoop, true, costs[0], false};
   alts[1] = {JoinStrategy::kTreeJoin,
-             ctx.r_tree_available && ctx.s_tree_available,
-             join_costs.d_iib + ctx.updates_per_query * update_costs.u_iib};
+             ctx.r_tree_available && ctx.s_tree_available, costs[1], false};
   alts[2] = {JoinStrategy::kIndexNestedLoop,
-             ctx.r_tree_available || ctx.s_tree_available,
-             // One side scans, the other probes: between I and II; charge
-             // the tree cost plus a full scan of the probing side.
-             join_costs.d_iib +
-                 static_cast<double>(params.RelationPages()) * params.c_io +
-                 ctx.updates_per_query * update_costs.u_iib};
-  alts[3] = {JoinStrategy::kSortMergeZOrder, ctx.overlap_like,
-             // Sort both sides (z-decomposition ≈ one pass each) plus the
-             // candidate verification ≈ result size.
-             2.0 * static_cast<double>(params.RelationPages()) * params.c_io +
-                 params.p * static_cast<double>(params.N()) *
-                     static_cast<double>(params.N()) * params.c_theta};
-  alts[4] = {JoinStrategy::kJoinIndex, ctx.join_index_available,
-             join_costs.d_iii + ctx.updates_per_query * update_costs.u_iii};
+             ctx.r_tree_available || ctx.s_tree_available, costs[2], false};
+  alts[3] = {JoinStrategy::kSortMergeZOrder, ctx.overlap_like, costs[3],
+             false};
+  alts[4] = {JoinStrategy::kJoinIndex, ctx.join_index_available, costs[4],
+             false};
+  alts[5] = {JoinStrategy::kParallelTreeJoin,
+             ctx.r_tree_available && ctx.s_tree_available && ctx.threads > 1,
+             costs[5], false};
+  alts[6] = {JoinStrategy::kPartitionedJoin, ctx.probe_window_available,
+             costs[6], false};
 
   plan.strategy = JoinStrategy::kNestedLoop;
   plan.estimated_cost = alts[0].estimated_cost;
-  for (const PlannedAlternative& alt : alts) {
-    if (alt.feasible && alt.estimated_cost < plan.estimated_cost) {
-      plan.strategy = alt.strategy;
-      plan.estimated_cost = alt.estimated_cost;
+  int chosen = 0;
+  for (int i = 0; i < kNumAlternatives; ++i) {
+    if (alts[i].feasible && alts[i].estimated_cost < plan.estimated_cost) {
+      plan.strategy = alts[i].strategy;
+      plan.estimated_cost = alts[i].estimated_cost;
+      chosen = i;
+    }
+  }
+
+  // Near-tie detection: re-price the alternatives at p̂ ± stderr and flag
+  // every feasible loser whose cost interval overlaps the winner's — the
+  // sampled selectivity cannot distinguish them, so the ranking between
+  // the two should be treated as a tie by callers.
+  if (stats.selectivity_stderr > 0.0) {
+    const double lo_p =
+        Clamp(stats.selectivity - stats.selectivity_stderr, 1e-15, 1.0);
+    const double hi_p =
+        Clamp(stats.selectivity + stats.selectivity_stderr, 1e-15, 1.0);
+    const std::array<double, kNumAlternatives> lo = PriceAlternatives(
+        stats, ctx, lo_p);
+    const std::array<double, kNumAlternatives> hi = PriceAlternatives(
+        stats, ctx, hi_p);
+    const double chosen_min = std::min(lo[chosen], hi[chosen]);
+    const double chosen_max = std::max(lo[chosen], hi[chosen]);
+    for (int i = 0; i < kNumAlternatives; ++i) {
+      if (i == chosen || !alts[i].feasible) continue;
+      const double alt_min = std::min(lo[i], hi[i]);
+      const double alt_max = std::max(lo[i], hi[i]);
+      alts[i].near_tie = alt_min <= chosen_max && chosen_min <= alt_max;
+      if (alts[i].near_tie) {
+        MetricsRegistry::Global()
+            .GetCounter("planner.near_ties")
+            ->Increment();
+      }
     }
   }
   MetricsRegistry& registry = MetricsRegistry::Global();

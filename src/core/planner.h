@@ -16,6 +16,10 @@ struct JoinStatistics {
   int64_t s_tuples = 0;
   /// Estimated P(θ(r, s)) for a random pair — the model's p.
   double selectivity = 0.0;
+  /// Standard error of the selectivity estimate, √(p̂(1−p̂)/samples).
+  /// Zero when the selectivity was supplied rather than sampled; the
+  /// planner then treats only exact cost ties as ties.
+  double selectivity_stderr = 0.0;
   /// θ evaluations spent estimating (the planner's own cost).
   int64_t sample_tests = 0;
 };
@@ -46,6 +50,12 @@ struct PlannerContext {
   /// Expected inserts per join query; join-index maintenance is charged
   /// at U_III per insert, tree maintenance at U_IIb.
   double updates_per_query = 0.0;
+  /// Worker threads available for the exec-layer strategies; parallel
+  /// alternatives are infeasible below 2.
+  int threads = 1;
+  /// θ has a finite probe window (Table 1 column W(b)); required by the
+  /// partitioned (PBSM-style) join.
+  bool probe_window_available = false;
 };
 
 /// One scored alternative, for explainability.
@@ -53,13 +63,18 @@ struct PlannedAlternative {
   JoinStrategy strategy = JoinStrategy::kNestedLoop;
   bool feasible = false;
   double estimated_cost = 0.0;
+  /// The cost gap to the chosen plan is within the sampling noise: the
+  /// cost intervals obtained by re-pricing at p̂ ± stderr overlap the
+  /// winner's interval, so the ranking between the two is not
+  /// statistically meaningful.  Always false on the chosen strategy.
+  bool near_tie = false;
 };
 
 /// The chosen plan plus all scored alternatives.
 struct JoinPlan {
   JoinStrategy strategy = JoinStrategy::kNestedLoop;
   double estimated_cost = 0.0;
-  PlannedAlternative alternatives[5];
+  PlannedAlternative alternatives[7];
   /// Renders the ranking for diagnostics.
   std::string ToString() const;
 };

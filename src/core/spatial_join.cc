@@ -6,6 +6,11 @@
 #include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/sort_merge_zorder.h"
+#include "exec/frozen_tree.h"
+#include "exec/parallel_join.h"
+#include "exec/parallel_select.h"
+#include "exec/partitioned_join.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -23,6 +28,10 @@ const char* JoinStrategyName(JoinStrategy strategy) {
       return "sort_merge_zorder";
     case JoinStrategy::kJoinIndex:
       return "join_index";
+    case JoinStrategy::kParallelTreeJoin:
+      return "parallel_tree_join";
+    case JoinStrategy::kPartitionedJoin:
+      return "partitioned_join";
   }
   return "unknown";
 }
@@ -35,6 +44,8 @@ const char* SelectStrategyName(SelectStrategy strategy) {
       return "tree_select";
     case SelectStrategy::kJoinIndexLookup:
       return "join_index_lookup";
+    case SelectStrategy::kParallelTree:
+      return "parallel_tree_select";
   }
   return "unknown";
 }
@@ -68,6 +79,35 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
                    "join_index strategy needs a prebuilt JoinIndex");
       SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
       return ctx.join_index->Execute(*ctx.r, *ctx.s);
+    case JoinStrategy::kParallelTreeJoin: {
+      SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s_tree != nullptr,
+                   "parallel_tree_join needs generalization trees on both "
+                   "inputs");
+      SJ_CHECK_MSG(ctx.exec_pool != nullptr,
+                   "parallel_tree_join needs a SpatialJoinContext.exec_pool");
+      // Snapshot both trees on this thread (the storage layer is
+      // single-threaded), then fan the level-synchronized join out.
+      exec::FrozenTree r_frozen = exec::FrozenTree::Materialize(*ctx.r_tree);
+      exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*ctx.s_tree);
+      return exec::ParallelTreeJoin(r_frozen, s_frozen, op, ctx.exec_pool);
+    }
+    case JoinStrategy::kPartitionedJoin: {
+      SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
+      SJ_CHECK_MSG(ctx.exec_pool != nullptr,
+                   "partitioned_join needs a SpatialJoinContext.exec_pool");
+      SJ_CHECK_MSG(exec::PartitionedJoinSupports(op),
+                   "partitioned_join needs an operator with a finite probe "
+                   "window");
+      std::vector<exec::JoinItem> r_items =
+          exec::CollectJoinItems(*ctx.r, ctx.col_r);
+      std::vector<exec::JoinItem> s_items =
+          exec::CollectJoinItems(*ctx.s, ctx.col_s);
+      exec::PartitionedJoinOptions options;
+      options.grid_cols = ctx.exec_grid;
+      options.grid_rows = ctx.exec_grid;
+      return exec::PartitionedJoin(r_items, s_items, op, ctx.exec_pool,
+                                   options);
+    }
   }
   SJ_CHECK_MSG(false, "unreachable");
   return JoinResult{};
@@ -138,6 +178,24 @@ JoinResult DispatchSelect(SelectStrategy strategy,
         (void)ctx.s->Read(s_tid);
         ++result.nodes_accessed;
         result.matches.emplace_back(selector_tid, s_tid);
+      }
+      return result;
+    }
+    case SelectStrategy::kParallelTree: {
+      SJ_CHECK_MSG(ctx.s_tree != nullptr,
+                   "parallel tree select needs a tree on S");
+      SJ_CHECK_MSG(ctx.exec_pool != nullptr,
+                   "parallel tree select needs a SpatialJoinContext."
+                   "exec_pool");
+      exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*ctx.s_tree);
+      SelectResult sel =
+          exec::ParallelSelect(selector, s_frozen, op, ctx.exec_pool);
+      JoinResult result;
+      result.theta_tests = sel.theta_tests;
+      result.theta_upper_tests = sel.theta_upper_tests;
+      result.nodes_accessed = sel.nodes_accessed;
+      for (TupleId tid : sel.matching_tuples) {
+        result.matches.emplace_back(selector_tid, tid);
       }
       return result;
     }

@@ -16,14 +16,21 @@
 
 namespace spatialjoin {
 
-/// The join-processing strategies compared in the paper (§2, §4) plus the
-/// index-supported strategy of §2.2.
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+/// The join-processing strategies compared in the paper (§2, §4), the
+/// index-supported strategy of §2.2, and the parallel strategies of the
+/// exec layer (DESIGN.md §7).
 enum class JoinStrategy {
-  kNestedLoop,       // strategy I
-  kTreeJoin,         // strategy II (Algorithm JOIN over two trees)
-  kIndexNestedLoop,  // index-supported join with one tree
-  kSortMergeZOrder,  // Orenstein sort-merge; overlap-like θ only
-  kJoinIndex,        // strategy III (precomputed)
+  kNestedLoop,        // strategy I
+  kTreeJoin,          // strategy II (Algorithm JOIN over two trees)
+  kIndexNestedLoop,   // index-supported join with one tree
+  kSortMergeZOrder,   // Orenstein sort-merge; overlap-like θ only
+  kJoinIndex,         // strategy III (precomputed)
+  kParallelTreeJoin,  // strategy II, QualPairs sharded over a thread pool
+  kPartitionedJoin,   // PBSM-style grid partitioning + per-tile sweep
 };
 
 /// Display name ("nested_loop", "tree_join", …).
@@ -48,6 +55,16 @@ struct SpatialJoinContext {
   /// wall time, and match count on it; the tree strategies additionally
   /// fill per-level events (see QueryTrace).
   QueryTrace* trace = nullptr;
+  /// Worker pool for the parallel strategies (kParallelTreeJoin,
+  /// kPartitionedJoin, SelectStrategy::kParallelTree); dispatching one of
+  /// them with a null pool is a checked error. The storage layer is
+  /// single-threaded, so the dispatcher materializes thread-safe
+  /// snapshots (exec::FrozenTree / exec::JoinItem vectors) on the calling
+  /// thread before fanning out.
+  exec::ThreadPool* exec_pool = nullptr;
+  /// Grid granularity for kPartitionedJoin (tiles per axis; 0 = derive
+  /// from the input size).
+  int exec_grid = 0;
 };
 
 /// Runs R ⋈_θ S with the chosen strategy. All strategies produce the same
@@ -65,6 +82,7 @@ enum class SelectStrategy {
   kExhaustive,       // strategy I
   kTree,             // strategy II (Algorithm SELECT)
   kJoinIndexLookup,  // strategy III; selector must be a stored R tuple
+  kParallelTree,     // strategy II with the frontier sharded per level
 };
 
 /// Display name for a selection strategy.

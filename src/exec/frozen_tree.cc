@@ -1,0 +1,77 @@
+#include "exec/frozen_tree.h"
+
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+namespace exec {
+
+FrozenTree FrozenTree::Materialize(const GeneralizationTree& source) {
+  FrozenTree frozen;
+  frozen.height_ = source.height();
+
+  // BFS over the source, assigning dense ids in visit order. The child
+  // lists are rewritten in terms of the dense ids in a second pass, once
+  // every source node has its final position.
+  std::vector<NodeId> source_ids;          // dense id -> source id
+  std::vector<std::vector<NodeId>> kids;   // dense id -> source child ids
+  std::deque<NodeId> worklist;
+  worklist.push_back(source.root());
+  while (!worklist.empty()) {
+    NodeId src = worklist.front();
+    worklist.pop_front();
+    source_ids.push_back(src);
+    Node node;
+    node.geometry = source.Geometry(src);
+    node.mbr = source.MbrOf(src);
+    node.tuple = source.TupleOf(src);
+    node.height = source.HeightOf(src);
+    node.application = source.IsApplicationNode(src);
+    frozen.nodes_.push_back(std::move(node));
+    kids.push_back(source.Children(src));
+    for (NodeId child : kids.back()) worklist.push_back(child);
+  }
+
+  // BFS visits children in push order, so the dense id of the j-th child
+  // of dense node i is a running cursor over the visit sequence.
+  NodeId next_dense = 1;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    Node& node = frozen.nodes_[i];
+    node.child_begin = static_cast<int64_t>(frozen.children_.size());
+    for (size_t j = 0; j < kids[i].size(); ++j) {
+      frozen.children_.push_back(next_dense++);
+    }
+    node.child_end = static_cast<int64_t>(frozen.children_.size());
+  }
+  SJ_CHECK_EQ(next_dense, static_cast<NodeId>(frozen.nodes_.size()));
+  return frozen;
+}
+
+const FrozenTree::Node& FrozenTree::NodeAt(NodeId id) const {
+  SJ_CHECK(id >= 0 && id < static_cast<NodeId>(nodes_.size()));
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int FrozenTree::HeightOf(NodeId node) const { return NodeAt(node).height; }
+
+std::vector<NodeId> FrozenTree::Children(NodeId node) const {
+  const Node& n = NodeAt(node);
+  return std::vector<NodeId>(
+      children_.begin() + static_cast<ptrdiff_t>(n.child_begin),
+      children_.begin() + static_cast<ptrdiff_t>(n.child_end));
+}
+
+Value FrozenTree::Geometry(NodeId node) const { return NodeAt(node).geometry; }
+
+Rectangle FrozenTree::MbrOf(NodeId node) const { return NodeAt(node).mbr; }
+
+bool FrozenTree::IsApplicationNode(NodeId node) const {
+  return NodeAt(node).application;
+}
+
+TupleId FrozenTree::TupleOf(NodeId node) const { return NodeAt(node).tuple; }
+
+}  // namespace exec
+}  // namespace spatialjoin

@@ -1,0 +1,74 @@
+#ifndef SPATIALJOIN_EXEC_FROZEN_TREE_H_
+#define SPATIALJOIN_EXEC_FROZEN_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gentree.h"
+
+namespace spatialjoin {
+namespace exec {
+
+/// An immutable, fully materialized snapshot of a GeneralizationTree.
+///
+/// The engine's storage layer is deliberately single-threaded (BufferPool
+/// hands out unpinned pointers), so the disk-backed tree adapters are not
+/// safe for concurrent reads. The parallel algorithms therefore run over a
+/// FrozenTree: `Materialize` walks the source tree once on the calling
+/// thread — paying all page I/O up front, which matches the load phase
+/// that in-memory parallel join systems assume — and copies every node's
+/// MBR, geometry, height, tuple link, and child list into flat arrays.
+/// After that, all accessors are pure reads of immutable data and safe
+/// from any number of threads.
+///
+/// Node ids are densified to [0, num_nodes) in BFS order with the root at
+/// id 0, so per-node side arrays in the parallel algorithms can be plain
+/// vectors indexed by NodeId.
+class FrozenTree : public GeneralizationTree {
+ public:
+  /// Snapshots `source` (single-threaded; pays the full tree's I/O).
+  static FrozenTree Materialize(const GeneralizationTree& source);
+
+  FrozenTree(FrozenTree&&) = default;
+  FrozenTree& operator=(FrozenTree&&) = default;
+  FrozenTree(const FrozenTree&) = delete;
+  FrozenTree& operator=(const FrozenTree&) = delete;
+
+  // GeneralizationTree interface — all const, concurrently callable.
+  NodeId root() const override { return 0; }
+  int height() const override { return height_; }
+  int HeightOf(NodeId node) const override;
+  std::vector<NodeId> Children(NodeId node) const override;
+  Value Geometry(NodeId node) const override;
+  Rectangle MbrOf(NodeId node) const override;
+  bool IsApplicationNode(NodeId node) const override;
+  TupleId TupleOf(NodeId node) const override;
+  int64_t num_nodes() const override {
+    return static_cast<int64_t>(nodes_.size());
+  }
+
+ private:
+  struct Node {
+    Value geometry;
+    Rectangle mbr;
+    TupleId tuple = kInvalidTupleId;
+    int height = 0;
+    bool application = false;
+    // Children occupy [child_begin, child_end) of children_.
+    int64_t child_begin = 0;
+    int64_t child_end = 0;
+  };
+
+  FrozenTree() = default;
+
+  const Node& NodeAt(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> children_;
+  int height_ = 0;
+};
+
+}  // namespace exec
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_EXEC_FROZEN_TREE_H_

@@ -1,0 +1,89 @@
+#include "exec/parallel_join.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/join_detail.h"
+#include "obs/metrics.h"
+
+namespace spatialjoin {
+namespace exec {
+
+namespace {
+
+// Output of one chunk of QualPairs entries: a chunk-local JoinResult
+// (matches + counters) and the next-level pairs its entries produced.
+struct ChunkOutput {
+  JoinResult partial;
+  std::vector<std::pair<NodeId, NodeId>> next_pairs;
+};
+
+// Folds `chunk` into `total`, preserving within-chunk order.
+void MergeChunk(ChunkOutput&& chunk, JoinResult* total,
+                std::vector<std::pair<NodeId, NodeId>>* next_level) {
+  JoinResult& p = chunk.partial;
+  total->matches.insert(total->matches.end(), p.matches.begin(),
+                        p.matches.end());
+  total->theta_upper_tests += p.theta_upper_tests;
+  total->theta_tests += p.theta_tests;
+  total->nodes_accessed += p.nodes_accessed;
+  total->qual_pairs_examined += p.qual_pairs_examined;
+  next_level->insert(next_level->end(), chunk.next_pairs.begin(),
+                     chunk.next_pairs.end());
+}
+
+}  // namespace
+
+JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
+                            const GeneralizationTree& s_tree,
+                            const ThetaOperator& op, ThreadPool* pool,
+                            const ParallelJoinOptions& options) {
+  SJ_CHECK(pool != nullptr);
+  SJ_CHECK_GE(options.chunk_pairs, 1);
+
+  JoinResult result;
+  const int max_level = std::min(r_tree.height(), s_tree.height());
+
+  std::vector<std::pair<NodeId, NodeId>> current_level;
+  current_level.emplace_back(r_tree.root(), s_tree.root());
+
+  int64_t levels_run = 0;
+  for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
+    ++levels_run;
+    const int64_t n = static_cast<int64_t>(current_level.size());
+    const int64_t chunk = options.chunk_pairs;
+    const int64_t num_chunks = (n + chunk - 1) / chunk;
+
+    // One output slot per chunk; workers never share a slot, and the
+    // chunk → index-range mapping is independent of the worker count.
+    std::vector<ChunkOutput> outputs(static_cast<size_t>(num_chunks));
+    pool->ParallelFor(num_chunks, [&](int64_t c) {
+      ChunkOutput& out = outputs[static_cast<size_t>(c)];
+      const int64_t begin = c * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      for (int64_t i = begin; i < end; ++i) {
+        const auto& [a, b] = current_level[static_cast<size_t>(i)];
+        join_detail::ProcessQualPair(r_tree, s_tree, a, b, op, &out.partial,
+                                     &out.next_pairs);
+      }
+    });
+
+    // Level barrier: merge in chunk order, reproducing the sequential
+    // worklist and match order exactly.
+    std::vector<std::pair<NodeId, NodeId>> next_level;
+    for (ChunkOutput& out : outputs) {
+      MergeChunk(std::move(out), &result, &next_level);
+    }
+    current_level = std::move(next_level);
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("exec.parallel_join.runs")->Increment();
+  registry.GetCounter("exec.parallel_join.levels")->Increment(levels_run);
+  return result;
+}
+
+}  // namespace exec
+}  // namespace spatialjoin

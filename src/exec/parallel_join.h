@@ -1,0 +1,43 @@
+#ifndef SPATIALJOIN_EXEC_PARALLEL_JOIN_H_
+#define SPATIALJOIN_EXEC_PARALLEL_JOIN_H_
+
+#include <cstdint>
+
+#include "core/gentree.h"
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "exec/thread_pool.h"
+
+namespace spatialjoin {
+namespace exec {
+
+/// Tuning knobs for ParallelTreeJoin.
+struct ParallelJoinOptions {
+  /// QualPairs entries per task. The sharding is a function of this value
+  /// and the worklist size only — never of the worker count — so the
+  /// merged output is identical for every pool width.
+  int64_t chunk_pairs = 16;
+};
+
+/// Algorithm JOIN (paper §3.3), level-synchronized and data-parallel.
+///
+/// Each QualPairs[j] worklist is an independent bag of (a, b) node pairs:
+/// the worklist is cut into fixed-size chunks, every chunk runs the
+/// sequential JOIN2–JOIN4 body (join_detail::ProcessQualPair) against its
+/// own output buffer on some worker, and the per-chunk buffers are merged
+/// in chunk order between levels. Because chunking depends only on
+/// `chunk_pairs`, the merged matches, the next worklist, and every counter
+/// are byte-identical to the sequential TreeJoin — at any thread count.
+///
+/// Both trees and the operator must be safe for concurrent reads; snapshot
+/// disk-backed trees with FrozenTree::Materialize first (the strategy
+/// dispatcher does exactly that).
+JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
+                            const GeneralizationTree& s_tree,
+                            const ThetaOperator& op, ThreadPool* pool,
+                            const ParallelJoinOptions& options = {});
+
+}  // namespace exec
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_EXEC_PARALLEL_JOIN_H_

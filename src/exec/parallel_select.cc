@@ -1,0 +1,94 @@
+#include "exec/parallel_select.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace spatialjoin {
+namespace exec {
+
+namespace {
+
+// Chunk-local SELECT2 output: visited results plus the children to expand
+// into the next frontier.
+struct ChunkOutput {
+  std::vector<NodeId> matching_nodes;
+  std::vector<TupleId> matching_tuples;
+  std::vector<NodeId> children;
+  int64_t theta_upper_tests = 0;
+  int64_t theta_tests = 0;
+  int64_t nodes_accessed = 0;
+};
+
+}  // namespace
+
+SelectResult ParallelSelect(const Value& selector,
+                            const GeneralizationTree& tree,
+                            const ThetaOperator& op, ThreadPool* pool,
+                            const ParallelSelectOptions& options) {
+  SJ_CHECK(pool != nullptr);
+  SJ_CHECK_GE(options.chunk_nodes, 1);
+
+  SelectResult result;
+  Rectangle selector_mbr = selector.Mbr();
+
+  std::vector<NodeId> frontier{tree.root()};
+  int64_t levels_run = 0;
+  while (!frontier.empty()) {
+    ++levels_run;
+    const int64_t n = static_cast<int64_t>(frontier.size());
+    const int64_t chunk = options.chunk_nodes;
+    const int64_t num_chunks = (n + chunk - 1) / chunk;
+
+    std::vector<ChunkOutput> outputs(static_cast<size_t>(num_chunks));
+    pool->ParallelFor(num_chunks, [&](int64_t c) {
+      ChunkOutput& out = outputs[static_cast<size_t>(c)];
+      const int64_t begin = c * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      for (int64_t i = begin; i < end; ++i) {
+        NodeId node = frontier[static_cast<size_t>(i)];
+        // SELECT2: Θ-test; on success θ-test and expand the children.
+        ++out.theta_upper_tests;
+        if (!op.ThetaUpper(selector_mbr, tree.MbrOf(node))) continue;
+        Value geometry = tree.Geometry(node);
+        ++out.nodes_accessed;
+        ++out.theta_tests;
+        if (op.Theta(selector, geometry)) {
+          out.matching_nodes.push_back(node);
+          if (tree.IsApplicationNode(node)) {
+            out.matching_tuples.push_back(tree.TupleOf(node));
+          }
+        }
+        for (NodeId child : tree.Children(node)) {
+          out.children.push_back(child);
+        }
+      }
+    });
+
+    std::vector<NodeId> next_frontier;
+    for (ChunkOutput& out : outputs) {
+      result.matching_nodes.insert(result.matching_nodes.end(),
+                                   out.matching_nodes.begin(),
+                                   out.matching_nodes.end());
+      result.matching_tuples.insert(result.matching_tuples.end(),
+                                    out.matching_tuples.begin(),
+                                    out.matching_tuples.end());
+      result.theta_upper_tests += out.theta_upper_tests;
+      result.theta_tests += out.theta_tests;
+      result.nodes_accessed += out.nodes_accessed;
+      next_frontier.insert(next_frontier.end(), out.children.begin(),
+                           out.children.end());
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("exec.parallel_select.runs")->Increment();
+  registry.GetCounter("exec.parallel_select.levels")->Increment(levels_run);
+  return result;
+}
+
+}  // namespace exec
+}  // namespace spatialjoin

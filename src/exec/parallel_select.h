@@ -1,0 +1,39 @@
+#ifndef SPATIALJOIN_EXEC_PARALLEL_SELECT_H_
+#define SPATIALJOIN_EXEC_PARALLEL_SELECT_H_
+
+#include <cstdint>
+
+#include "core/gentree.h"
+#include "core/select.h"
+#include "core/theta_ops.h"
+#include "exec/thread_pool.h"
+
+namespace spatialjoin {
+namespace exec {
+
+/// Tuning knobs for ParallelSelect.
+struct ParallelSelectOptions {
+  /// Frontier nodes per task; like ParallelJoinOptions::chunk_pairs, the
+  /// sharding depends only on this value, so results are identical across
+  /// worker counts.
+  int64_t chunk_nodes = 64;
+};
+
+/// Algorithm SELECT (paper §3.2), breadth-first with the QualNodes[j]
+/// frontier sharded per level: each chunk of the frontier is Θ/θ-tested on
+/// some worker into chunk-local buffers (matches, counters, children), and
+/// the buffers are merged in chunk order to form the next frontier. The
+/// merged `matching_nodes` order equals the sequential breadth-first
+/// visit order exactly, at any thread count.
+///
+/// The tree and operator must be safe for concurrent reads (FrozenTree,
+/// or MemoryGenTree without an attached relation).
+SelectResult ParallelSelect(const Value& selector,
+                            const GeneralizationTree& tree,
+                            const ThetaOperator& op, ThreadPool* pool,
+                            const ParallelSelectOptions& options = {});
+
+}  // namespace exec
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_EXEC_PARALLEL_SELECT_H_

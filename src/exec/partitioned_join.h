@@ -1,0 +1,70 @@
+#ifndef SPATIALJOIN_EXEC_PARTITIONED_JOIN_H_
+#define SPATIALJOIN_EXEC_PARTITIONED_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join.h"
+#include "core/theta_ops.h"
+#include "exec/thread_pool.h"
+#include "geometry/rectangle.h"
+#include "relational/relation.h"
+
+namespace spatialjoin {
+namespace exec {
+
+/// One input object of the partitioned join: a tuple with its exact
+/// geometry and the geometry's MBR, fully materialized so the per-tile
+/// workers never touch the (single-threaded) storage layer.
+struct JoinItem {
+  TupleId tid = kInvalidTupleId;
+  Rectangle mbr;
+  Value geometry;
+};
+
+/// Materializes column `column` of `rel` as JoinItems (single-threaded;
+/// pays the relation scan's I/O up front).
+std::vector<JoinItem> CollectJoinItems(const Relation& rel, size_t column);
+
+/// Tuning knobs for PartitionedJoin.
+struct PartitionedJoinOptions {
+  /// Grid granularity; 0 derives ~sqrt((|R|+|S|)/64) tiles per axis, so a
+  /// tile holds ~64 objects on uniform data.
+  int grid_cols = 0;
+  int grid_rows = 0;
+};
+
+/// True iff `op` supports the partitioned strategy: every Θ must reduce to
+/// a finite probe window (ThetaOperator::ProbeWindow returns a value).
+/// All Table 1 operators qualify.
+bool PartitionedJoinSupports(const ThetaOperator& op);
+
+/// PBSM-style partitioned spatial join (Patel & DeWitt; Tsitsigkos &
+/// Mamoulis' in-memory variant, PAPERS.md):
+///
+///  1. Partition. A uniform grid covers the union of all MBRs and probe
+///     windows. Each R item is replicated to every tile its MBR overlaps;
+///     each S item to every tile its probe window W(s) overlaps (the
+///     window generalizes PBSM beyond overlap joins: Θ(r, s) implies
+///     r.mbr overlaps W(s), Table 1's defining property).
+///  2. Sweep. Tiles are processed in parallel: both tile lists are sorted
+///     by min-x and plane-swept; every (r, s) whose MBR/window intersect
+///     is a candidate, filtered through Θ on the real MBRs and then θ on
+///     the exact geometries.
+///  3. Deduplicate. A pair replicated into several tiles is emitted only
+///     in the tile that owns the *reference point* — the bottom-left
+///     corner of mbr(r) ∩ W(s) — so each match appears exactly once with
+///     no cross-tile coordination.
+///
+/// Results are deterministic at any thread count: tiles are merged in
+/// tile order and each tile's sweep order is fixed by (min-x, tid).
+/// The result's match set equals the sequential tuple join R ⋈_θ S.
+JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
+                           const std::vector<JoinItem>& s_items,
+                           const ThetaOperator& op, ThreadPool* pool,
+                           const PartitionedJoinOptions& options = {});
+
+}  // namespace exec
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_EXEC_PARTITIONED_JOIN_H_

@@ -1,0 +1,209 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spatialjoin {
+namespace exec {
+
+namespace {
+
+// Worker identity of the current thread, so Submit from inside a task
+// pushes onto the calling worker's own deque (LIFO locality) and helping
+// threads are distinguishable from workers in the steal accounting.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  SJ_CHECK_GE(num_workers, 1);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  SJ_CHECK_MSG(Quiescent(),
+               "ThreadPool destroyed with tasks outstanding — join every "
+               "TaskGroup before teardown");
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  size_t target;
+  if (tls_pool == this && tls_worker >= 0) {
+    target = static_cast<size_t>(tls_worker);
+  } else {
+    target = static_cast<size_t>(next_queue_.fetch_add(
+                 1, std::memory_order_relaxed)) %
+             workers_.size();
+  }
+  {
+    Worker& worker = *workers_[target];
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(int self) {
+  std::function<void()> task;
+  const int width = num_workers();
+  if (self >= 0) {
+    Worker& own = *workers_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      // Owner takes the back: the most recently pushed — and most likely
+      // cache-resident — task.
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    const int start =
+        self >= 0 ? (self + 1) % width
+                  : static_cast<int>(next_queue_.fetch_add(
+                                         1, std::memory_order_relaxed) %
+                                     static_cast<uint64_t>(width));
+    for (int i = 0; i < width && !task; ++i) {
+      const int victim = (start + i) % width;
+      if (victim == self) continue;
+      Worker& worker = *workers_[static_cast<size_t>(victim)];
+      std::lock_guard<std::mutex> lock(worker.mu);
+      if (!worker.tasks.empty()) {
+        // Thieves take the front: the oldest pending task.
+        task = std::move(worker.tasks.front());
+        worker.tasks.pop_front();
+      }
+    }
+    if (task) stolen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!task) return false;
+  // Account *before* running: a task's completion signal (the TaskGroup
+  // decrement inside the closure) must not become observable while the
+  // pool's counters still lag, or a caller that joined every group could
+  // race the destructor's Quiescent() check.
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_pool = this;
+  tls_worker = self;
+  while (true) {
+    uint64_t epoch;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      if (stop_) return;
+      epoch = work_epoch_;
+    }
+    if (RunOneTask(self)) continue;
+    // All deques were empty at scan time; sleep until a submission bumps
+    // the epoch (a submission racing the scan already bumped it, so the
+    // predicate is immediately true and no wakeup is missed).
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] { return stop_ || work_epoch_ != epoch; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  if (num_workers() == 1 || n == 1) {
+    // Degenerate widths run inline: same invocation set, zero scheduling
+    // overhead, and exactly the sequential execution order.
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  TaskGroup group(this);
+  for (int64_t i = 0; i < n; ++i) {
+    group.Spawn([&body, i] { body(i); });
+  }
+  group.Wait();
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), sync_(std::make_shared<Sync>()) {
+  SJ_CHECK(pool != nullptr);
+}
+
+ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
+
+void ThreadPool::TaskGroup::Spawn(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(sync_->mu);
+    ++sync_->pending;
+  }
+  pool_->Submit([sync = sync_, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(sync->mu);
+    if (--sync->pending == 0) sync->cv.notify_all();
+  });
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  const int self = tls_pool == pool_ ? tls_worker : -1;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(sync_->mu);
+      if (sync_->pending == 0) return;
+    }
+    // Help: run pending pool tasks (ours or anyone's) instead of blocking.
+    if (pool_->RunOneTask(self)) continue;
+    // Nothing runnable — our stragglers are in flight on other threads.
+    // The timed wait re-checks for helpable work in case new tasks land.
+    std::unique_lock<std::mutex> lock(sync_->mu);
+    sync_->cv.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return sync_->pending == 0; });
+    if (sync_->pending == 0) return;
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats stats;
+  stats.workers = num_workers();
+  stats.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  stats.tasks_executed = executed_.load(std::memory_order_relaxed);
+  stats.tasks_stolen = stolen_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    stats.tasks_queued += static_cast<int64_t>(worker->tasks.size());
+  }
+  return stats;
+}
+
+bool ThreadPool::Quiescent() const {
+  Stats snapshot = stats();
+  return snapshot.tasks_queued == 0 &&
+         snapshot.tasks_submitted == snapshot.tasks_executed;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace exec
+}  // namespace spatialjoin

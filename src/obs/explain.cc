@@ -69,6 +69,22 @@ PredictedComponents Predict(JoinStrategy strategy,
       out.page_accesses = costs.d_iii / params.c_io;
       break;
     }
+    case JoinStrategy::kParallelTreeJoin: {
+      // Same evaluations and page accesses as the sequential tree join —
+      // parallelism divides wall time, not work (D_II_par's /W applies to
+      // the cost units, not the event counts measured here).
+      double tree_cost = clustered ? costs.d_iib : costs.d_iia;
+      out.theta_evaluations = costs.d_ii_compute / params.c_theta;
+      out.page_accesses = (tree_cost - costs.d_ii_compute) / params.c_io;
+      break;
+    }
+    case JoinStrategy::kPartitionedJoin: {
+      // D_PBSM decomposed: p·N² candidate verifications after one read of
+      // each relation.
+      out.theta_evaluations = params.p * n_tuples * n_tuples;
+      out.page_accesses = 2.0 * pages;
+      break;
+    }
   }
   (void)m;
   return out;

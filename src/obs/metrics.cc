@@ -40,6 +40,14 @@ void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
 
 }  // namespace
 
+int Counter::ShardIndex() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local int slot = static_cast<int>(
+      next_slot.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kShards));
+  return slot;
+}
+
 void Histogram::Record(int64_t value) {
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   int64_t n = count_.fetch_add(1, std::memory_order_relaxed);

@@ -31,22 +31,50 @@ namespace spatialjoin {
 ///   planner.plans / sample_theta_tests, planner.chosen.<strategy>
 /// Histograms: query.join.wall_ns, query.select.wall_ns.
 ///
-/// Thread-safety: increments are relaxed atomics (lock-free); name →
-/// instrument registration takes a mutex once per call site (call sites
-/// cache the returned pointer, which stays valid for the process
-/// lifetime — `ResetAll()` zeroes values but never unregisters).
+/// Thread-safety: increments are relaxed atomics (lock-free); counters
+/// additionally shard their cells per thread so the exec layer's workers
+/// do not contend on one cache line. Name → instrument registration takes
+/// a mutex once per call site (call sites cache the returned pointer,
+/// which stays valid for the process lifetime — `ResetAll()` zeroes
+/// values but never unregisters).
 
-/// Monotonic event count.
+/// Monotonic event count. Increments land in a per-thread cell (threads
+/// are assigned cells round-robin; each cell occupies its own cache
+/// line), and `Value()` merges the cells. A merge that races with
+/// increments sees some prefix of them — exact totals require quiescence,
+/// which is when benches and snapshots read.
 class Counter {
  public:
+  /// Cells per counter; more threads than this share cells (still
+  /// correct, just contended).
+  static constexpr int kShards = 16;
+
   void Increment(int64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    cells_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
   }
-  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Cell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::atomic<int64_t> value_{0};
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+
+  /// The calling thread's cell index (assigned once per thread,
+  /// process-wide, so a thread uses the same cell in every counter).
+  static int ShardIndex();
+
+  Cell cells_[kShards];
 };
 
 /// Last-write-wins instantaneous value (e.g. a pool's resident pages).

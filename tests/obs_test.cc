@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "json_validator.h"
 #include "obs/json.h"
@@ -24,6 +25,32 @@ TEST(CounterTest, IncrementAndReset) {
   EXPECT_EQ(c.Value(), 42);
   c.Reset();
   EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreAllCounted) {
+  // Counters shard per thread: hammer one counter (and one shared
+  // registry counter) from more threads than shards and verify the merged
+  // total is exact once all writers joined.
+  Counter local;
+  MetricsRegistry registry;
+  Counter* registered = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = Counter::kShards + 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&local, registered] {
+      for (int i = 0; i < kIters; ++i) {
+        local.Increment();
+        registered->Increment(2);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(local.Value(), int64_t{kThreads} * kIters);
+  EXPECT_EQ(registered->Value(), int64_t{2} * kThreads * kIters);
+  EXPECT_EQ(registry.CounterValue("test.concurrent"),
+            int64_t{2} * kThreads * kIters);
 }
 
 TEST(GaugeTest, LastWriteWins) {

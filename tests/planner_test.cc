@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/planner.h"
 #include "core/theta_ops.h"
 #include "storage/buffer_pool.h"
@@ -57,6 +59,115 @@ TEST_F(PlannerTest, ZeroHitSampleStillGivesPositiveSelectivity) {
   JoinStatistics stats = EstimateJoinStatistics(*a, 1, b, 1, op, 300, 5);
   EXPECT_GT(stats.selectivity, 0.0);       // rule-of-three bound
   EXPECT_LT(stats.selectivity, 0.01);
+}
+
+TEST_F(PlannerTest, SelectivityStderrShrinksWithSampleSize) {
+  auto r = MakeRects("r_var", 300, 50, 31);
+  auto s = MakeRects("s_var", 300, 50, 32);
+  OverlapsOp op;
+  JoinStatistics coarse = EstimateJoinStatistics(*r, 1, *s, 1, op, 100, 7);
+  JoinStatistics fine = EstimateJoinStatistics(*r, 1, *s, 1, op, 10000, 7);
+  EXPECT_GT(coarse.selectivity_stderr, 0.0);
+  EXPECT_GT(fine.selectivity_stderr, 0.0);
+  // √(p(1−p)/n): a 100× larger sample cuts the error ~10×.
+  EXPECT_LT(fine.selectivity_stderr, coarse.selectivity_stderr);
+  // Consistency with the binomial formula at the reported p̂.
+  double expected = std::sqrt(fine.selectivity * (1.0 - fine.selectivity) /
+                              10000.0);
+  EXPECT_DOUBLE_EQ(fine.selectivity_stderr, expected);
+}
+
+TEST_F(PlannerTest, NearTieFlagsStatisticallyIndistinguishableRanking) {
+  auto r = MakeRects("r_tie", 300, 30, 41);
+  auto s = MakeRects("s_tie", 300, 30, 42);
+  OverlapsOp op;
+  JoinStatistics stats = EstimateJoinStatistics(*r, 1, *s, 1, op, 2000, 9);
+  PlannerContext ctx;
+  ctx.r_tree_available = true;
+  ctx.s_tree_available = true;
+  ctx.threads = 4;
+
+  // tree_join and parallel_tree_join share the I/O term and differ only
+  // by the computation term / W — a huge selectivity swing separates
+  // them, but an artificially tiny stderr must not flag ties, and the
+  // chosen strategy itself must never carry the flag.
+  JoinPlan plan = PlanJoin(stats, ctx);
+  for (const PlannedAlternative& alt : plan.alternatives) {
+    if (alt.strategy == plan.strategy) {
+      EXPECT_FALSE(alt.near_tie);
+    }
+  }
+
+  // With an enormous stderr, tree_join and parallel_tree_join — which
+  // share the I/O term and converge as p → 0 — cannot be told apart: the
+  // loser of the pair must carry the near-tie flag. (Strategies whose
+  // cost ignores p, like nested loop, legitimately stay unflagged: their
+  // interval is a point.)
+  JoinStatistics noisy = stats;
+  noisy.selectivity_stderr = 1.0;
+  JoinPlan noisy_plan = PlanJoin(noisy, ctx);
+  bool tree_pair_tied = false;
+  for (const PlannedAlternative& alt : noisy_plan.alternatives) {
+    if (alt.strategy == noisy_plan.strategy) continue;
+    if (alt.strategy == JoinStrategy::kTreeJoin ||
+        alt.strategy == JoinStrategy::kParallelTreeJoin) {
+      EXPECT_TRUE(alt.feasible);
+      tree_pair_tied = tree_pair_tied || alt.near_tie;
+    }
+  }
+  EXPECT_TRUE(tree_pair_tied);
+
+  // With zero stderr (selectivity supplied, not sampled) nothing is
+  // flagged.
+  JoinStatistics exact = stats;
+  exact.selectivity_stderr = 0.0;
+  JoinPlan exact_plan = PlanJoin(exact, ctx);
+  for (const PlannedAlternative& alt : exact_plan.alternatives) {
+    EXPECT_FALSE(alt.near_tie) << JoinStrategyName(alt.strategy);
+  }
+}
+
+TEST_F(PlannerTest, ParallelStrategiesEnterThePlanSpace) {
+  auto r = MakeRects("r_par", 300, 30, 51);
+  auto s = MakeRects("s_par", 300, 30, 52);
+  OverlapsOp op;
+  JoinStatistics stats = EstimateJoinStatistics(*r, 1, *s, 1, op, 1000, 3);
+
+  PlannerContext serial;
+  serial.r_tree_available = true;
+  serial.s_tree_available = true;
+  serial.threads = 1;
+  JoinPlan serial_plan = PlanJoin(stats, serial);
+
+  PlannerContext wide = serial;
+  wide.threads = 8;
+  wide.probe_window_available = true;
+  JoinPlan wide_plan = PlanJoin(stats, wide);
+
+  double serial_par_cost = 0.0;
+  double wide_par_cost = 0.0;
+  bool serial_par_feasible = true;
+  bool wide_pbsm_feasible = false;
+  for (int i = 0; i < 7; ++i) {
+    if (serial_plan.alternatives[i].strategy ==
+        JoinStrategy::kParallelTreeJoin) {
+      serial_par_feasible = serial_plan.alternatives[i].feasible;
+      serial_par_cost = serial_plan.alternatives[i].estimated_cost;
+    }
+    if (wide_plan.alternatives[i].strategy ==
+        JoinStrategy::kParallelTreeJoin) {
+      wide_par_cost = wide_plan.alternatives[i].estimated_cost;
+    }
+    if (wide_plan.alternatives[i].strategy == JoinStrategy::kPartitionedJoin) {
+      wide_pbsm_feasible = wide_plan.alternatives[i].feasible;
+    }
+  }
+  // One thread: the parallel alternative is priced but infeasible.
+  EXPECT_FALSE(serial_par_feasible);
+  // Eight threads: feasible, and cheaper than its one-thread pricing
+  // (the computation term divides by W).
+  EXPECT_TRUE(wide_pbsm_feasible);
+  EXPECT_LT(wide_par_cost, serial_par_cost);
 }
 
 TEST_F(PlannerTest, PrefersJoinIndexOnlyAtLowSelectivityAndNoUpdates) {

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "audit/exec_audit.h"
+#include "exec/thread_pool.h"
+
+namespace spatialjoin {
+namespace exec {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int workers : {1, 2, 4, 8}) {
+    ThreadPool pool(workers);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&hits](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleton) {
+  ThreadPool pool(2);
+  int64_t calls = 0;
+  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller — safe to touch caller-local state.
+  pool.ParallelFor(1, [&calls](int64_t i) { calls += 10 + i; });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPoolTest, TaskGroupRunsAllSpawnedTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+    EXPECT_EQ(done.load(), kTasks);
+  }
+  EXPECT_TRUE(pool.Quiescent());
+}
+
+TEST(ThreadPoolTest, StatsConserveTasks) {
+  ThreadPool pool(3);
+  pool.ParallelFor(500, [](int64_t) {});
+  ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.workers, 3);
+  EXPECT_TRUE(pool.Quiescent());
+  EXPECT_EQ(stats.tasks_submitted, stats.tasks_executed);
+  EXPECT_EQ(stats.tasks_queued, 0);
+  EXPECT_LE(stats.tasks_stolen, stats.tasks_executed);
+}
+
+TEST(ThreadPoolTest, AuditPassesOnQuiescentPool) {
+  ThreadPool pool(2);
+  pool.ParallelFor(64, [](int64_t) {});
+  audit::AuditReport report = audit::AuditThreadPool(pool);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GE(report.checks_run(), 4);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolMakesProgressWhileCallerWaits) {
+  // A 1-worker pool must complete even when the caller immediately waits:
+  // the waiting thread helps execute queued tasks.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.Spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  // External threads sharing one pool: each runs its own ParallelFor and
+  // must see exactly its own indices covered.
+  ThreadPool pool(4);
+  constexpr int kClients = 4;
+  constexpr int64_t kN = 300;
+  std::vector<std::vector<std::atomic<int>>> hits(kClients);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kN, [&hits, c](int64_t i) {
+        hits[static_cast<size_t>(c)][static_cast<size_t>(i)].fetch_add(
+            1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(c)][static_cast<size_t>(i)].load(),
+                1)
+          << "client " << c << " index " << i;
+    }
+  }
+  EXPECT_TRUE(pool.Quiescent());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace spatialjoin

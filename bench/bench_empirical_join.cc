@@ -3,23 +3,32 @@
 // R-trees, index nested loop, z-order sort-merge, and a precomputed join
 // index, all computing the same overlap join. Reported per strategy:
 // result size, θ/Θ evaluations, page reads (cold buffer pool), and the
-// cost in the paper's units (C_θ·tests + C_IO·reads).
+// cost in the paper's units (C_θ·tests + C_IO·reads). Emits
+// bench_empirical_join.metrics.json with the per-scale, per-strategy
+// counter table (all seeded-deterministic — this artifact seeds the
+// regression baseline for scripts/compare_bench.py).
+//
+// Usage: bench_empirical_join [--threads=N] [--trace=out.trace.json]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "core/index_nested_loop.h"
 #include "core/join_index.h"
 #include "core/spatial_join.h"
 #include "exec/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "quadtree/quadtree.h"
 #include "rtree/rtree.h"
 #include "rtree/rtree_gentree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "workload/rect_generator.h"
+
+#include "figure_common.h"
 
 using namespace spatialjoin;
 
@@ -74,7 +83,8 @@ std::unique_ptr<Fixture> MakeFixture(int n_tuples, double min_ext,
   return f;
 }
 
-void Report(const char* name, const JoinResult& result, int64_t reads) {
+void Report(const char* name, const JoinResult& result, int64_t reads,
+            JsonWriter* rows) {
   double tests =
       static_cast<double>(result.theta_tests + result.theta_upper_tests);
   double cost = tests + kCio * static_cast<double>(reads);
@@ -84,9 +94,18 @@ void Report(const char* name, const JoinResult& result, int64_t reads) {
               static_cast<long long>(result.theta_tests),
               static_cast<long long>(result.theta_upper_tests),
               static_cast<long long>(reads), cost);
+  rows->BeginObject();
+  rows->KV("strategy", name);
+  rows->KV("matches", static_cast<int64_t>(result.matches.size()));
+  rows->KV("theta_tests", result.theta_tests);
+  rows->KV("theta_upper_tests", result.theta_upper_tests);
+  rows->KV("page_reads", reads);
+  rows->KV("cost", cost);
+  rows->EndObject();
 }
 
-void RunScale(int n_tuples, double min_ext, double max_ext, int threads) {
+void RunScale(int n_tuples, double min_ext, double max_ext, int threads,
+              JsonWriter* scales) {
   auto f = MakeFixture(n_tuples, min_ext, max_ext);
   OverlapsOp op;
   exec::ThreadPool workers(threads);
@@ -107,6 +126,14 @@ void RunScale(int n_tuples, double min_ext, double max_ext, int threads) {
             << " (join-index precompute: " << f->join_index_build_tests
             << " theta tests, " << f->join_index->num_pages()
             << " index pages; " << threads << " worker threads)\n";
+  scales->BeginObject();
+  scales->KV("n_tuples", int64_t{n_tuples});
+  scales->KV("min_ext", min_ext);
+  scales->KV("max_ext", max_ext);
+  scales->KV("join_index_build_tests", f->join_index_build_tests);
+  scales->KV("join_index_pages", f->join_index->num_pages());
+  scales->Key("strategies");
+  scales->BeginArray();
   for (JoinStrategy strategy :
        {JoinStrategy::kNestedLoop, JoinStrategy::kTreeJoin,
         JoinStrategy::kIndexNestedLoop, JoinStrategy::kSortMergeZOrder,
@@ -116,36 +143,42 @@ void RunScale(int n_tuples, double min_ext, double max_ext, int threads) {
     f->disk.ResetStats();
     JoinResult result = ExecuteJoin(strategy, ctx, op);
     NormalizeMatches(&result);
-    Report(JoinStrategyName(strategy), result, f->disk.stats().page_reads);
+    Report(JoinStrategyName(strategy), result, f->disk.stats().page_reads,
+           scales);
   }
   // Algorithm JOIN across tree families: quadtree on R, R-tree on S.
   f->pool.Clear();
   f->disk.ResetStats();
   JoinResult mixed = TreeJoin(*f->r_quadtree, *f->s_tree, op);
   NormalizeMatches(&mixed);
-  Report("tree_join(quad+R)", mixed, f->disk.stats().page_reads);
+  Report("tree_join(quad+R)", mixed, f->disk.stats().page_reads, scales);
+  scales->EndArray();
+  scales->EndObject();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int threads = 2;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-      if (threads < 1) threads = 1;
-    }
-  }
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  int threads = args.threads > 0 ? args.threads : 2;
   std::cout << "E2 — measured join strategies on the simulated disk "
                "(cold buffer pool; cost = theta-tests + 1000 * reads; "
                "--threads=N sizes the exec pool)\n";
-  RunScale(500, 5, 40, threads);    // moderately selective
-  RunScale(1500, 5, 40, threads);   // larger relations
-  RunScale(800, 30, 120, threads);  // low selectivity (many matches)
+  MetricsRegistry::Global().ResetAll();
+  std::ostringstream scales_json;
+  JsonWriter scales(scales_json);
+  scales.BeginArray();
+  RunScale(500, 5, 40, threads, &scales);    // moderately selective
+  RunScale(1500, 5, 40, threads, &scales);   // larger relations
+  RunScale(800, 30, 120, threads, &scales);  // low selectivity
+  scales.EndArray();
   std::cout << "\nExpected shape (paper §4.5): nested loop never "
                "competitive; the join index wins at query time when the "
                "result is small, at the price of the precompute column; "
                "tree strategies sit in between and need no "
                "precomputation.\n";
+  bench::WriteMetricsArtifact("bench_empirical_join",
+                              {{"scales", scales_json.str()}});
+  bench::MaybeWriteTrace(args);
   return 0;
 }

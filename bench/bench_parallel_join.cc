@@ -7,12 +7,11 @@
 // the speedup curves (plus the host's hardware_threads, so a 1-core CI
 // runner's flat curve is distinguishable from a real regression).
 //
-// Usage: bench_parallel_join [--threads=N]   (N pins the sweep to one
-// width; default sweeps 1, 2, 4, 8.)
-#include <chrono>
+// Usage: bench_parallel_join [--threads=N] [--trace=out.trace.json]
+// (N pins the sweep to one width; default sweeps 1, 2, 4, 8. --trace
+// enables span tracing and writes a Perfetto-loadable timeline with one
+// track per worker thread.)
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -23,9 +22,11 @@
 #include "audit/exec_audit.h"
 #include "audit/rtree_audit.h"
 #include "core/join.h"
+#include "core/select.h"
 #include "core/spatial_join.h"
 #include "exec/frozen_tree.h"
 #include "exec/parallel_join.h"
+#include "exec/parallel_select.h"
 #include "exec/partitioned_join.h"
 #include "exec/thread_pool.h"
 #include "obs/json.h"
@@ -39,6 +40,7 @@
 #include "figure_common.h"
 
 using namespace spatialjoin;
+using spatialjoin::bench::TimeBestOf;
 
 namespace {
 
@@ -77,39 +79,14 @@ std::unique_ptr<Fixture> MakeFixture(int n_tuples) {
   return f;
 }
 
-double NowNs() {
-  return static_cast<double>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-/// Best-of-k wall time of `fn` in nanoseconds.
-template <typename Fn>
-double TimeBestOf(int reps, const Fn& fn) {
-  double best = 0.0;
-  for (int i = 0; i < reps; ++i) {
-    double start = NowNs();
-    fn();
-    double elapsed = NowNs() - start;
-    if (i == 0 || elapsed < best) best = elapsed;
-  }
-  return best;
-}
-
 constexpr int kReps = 3;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int pinned_threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      pinned_threads = std::atoi(argv[i] + 10);
-    }
-  }
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   std::vector<int> widths = {1, 2, 4, 8};
-  if (pinned_threads > 0) widths = {pinned_threads};
+  if (args.threads > 0) widths = {args.threads};
 
   const int hardware_threads =
       static_cast<int>(std::thread::hardware_concurrency());
@@ -207,6 +184,33 @@ int main(int argc, char** argv) {
     }
   }
   curves.EndArray();
+
+  // --- Timeline probe ----------------------------------------------------
+  // One sequential JOIN and a SELECT (verified against ParallelSelect) at
+  // the *tail* of the run: their per-level join.level / select.level spans
+  // are the freshest events in the main thread's ring, so they survive
+  // wraparound in long sweeps and always appear in --trace exports.
+  JoinResult tail_join = TreeJoin(r_frozen, s_frozen, op);
+  bool tail_equal = tail_join.matches == baseline.matches;
+  Value selector(Rectangle(500, 500, 1100, 1100));
+  SelectResult select_seq = SpatialSelect(selector, r_frozen, op);
+  bool select_equal = false;
+  {
+    exec::ThreadPool select_workers(widths.back());
+    SelectResult select_par =
+        exec::ParallelSelect(selector, r_frozen, op, &select_workers);
+    select_equal =
+        select_par.matching_tuples == select_seq.matching_tuples &&
+        select_par.theta_tests == select_seq.theta_tests;
+  }
+  all_equal = all_equal && tail_equal && select_equal;
+  std::printf("%-28s tuples=%zu %s\n", "select(seq vs parallel)",
+              select_seq.matching_tuples.size(),
+              select_equal && tail_equal ? "results-identical"
+                                         : "RESULT MISMATCH");
+  curves.KV("select_tuples",
+            static_cast<int64_t>(select_seq.matching_tuples.size()));
+  curves.KV("select_results_identical", select_equal);
   curves.KV("all_results_identical", all_equal);
   curves.EndObject();
 
@@ -222,5 +226,6 @@ int main(int argc, char** argv) {
   bench::WriteMetricsArtifact("bench_parallel_join",
                               {{"parallel", curve_json.str()},
                                {"audit", tree_audit.ToJson()}});
+  bench::MaybeWriteTrace(args);
   return all_equal && tree_audit.ok() ? 0 : 1;
 }

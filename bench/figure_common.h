@@ -16,6 +16,8 @@
 // and the global metrics registry.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,7 +36,11 @@
 #include "costmodel/update_cost.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/process_info.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "rtree/rtree.h"
 #include "rtree/rtree_gentree.h"
 #include "storage/buffer_pool.h"
@@ -43,6 +49,57 @@
 
 namespace spatialjoin {
 namespace bench {
+
+/// Wall-clock "now" for bench timing — the one shared helper (steady
+/// clock via obs/timer.h) replacing the per-bench ad-hoc chrono blocks.
+inline double NowNs() { return static_cast<double>(MonotonicNowNs()); }
+
+/// Best-of-k wall time of `fn` in nanoseconds — the standard bench
+/// timing discipline (best-of, not mean-of, to shed scheduler noise).
+template <typename Fn>
+inline double TimeBestOf(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    double start = NowNs();
+    fn();
+    double elapsed = NowNs() - start;
+    if (i == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+/// Flags shared by the empirical benches: `--threads=N` pins the exec
+/// pool width, `--trace=PATH` (or `--trace PATH`) enables span tracing
+/// and writes a Chrome-trace JSON timeline on exit via
+/// MaybeWriteTrace().
+struct BenchArgs {
+  int threads = 0;              // 0 = bench default
+  std::string trace_path;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      args.trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    }
+  }
+  if (!args.trace_path.empty()) {
+    Tracing::SetThreadName("main");
+    Tracing::Enable(true);
+  }
+  return args;
+}
+
+/// Writes the timeline artifact if `--trace` was given.
+inline void MaybeWriteTrace(const BenchArgs& args) {
+  if (args.trace_path.empty()) return;
+  WriteTraceArtifact(args.trace_path);
+}
 
 inline void PrintHeader(const std::string& title,
                         const ModelParameters& params) {
@@ -90,7 +147,10 @@ inline std::unique_ptr<MetricsProbeFixture> MakeMetricsProbeFixture() {
 }
 
 /// Writes `<artifact>.metrics.json` containing the given pre-serialized
-/// sections (each a complete JSON document) plus the registry dump.
+/// sections (each a complete JSON document) plus the registry dump and
+/// the process gauges (peak RSS, hardware threads, build provenance) —
+/// the latter stamped into every artifact so runs are comparable across
+/// machines (`scripts/compare_bench.py` relies on this).
 inline void WriteMetricsArtifact(
     const std::string& artifact,
     const std::vector<std::pair<std::string, std::string>>& sections) {
@@ -105,6 +165,7 @@ inline void WriteMetricsArtifact(
     return s;
   };
   out << "{\n  \"bench\": \"" << artifact << "\"";
+  out << ",\n  \"process\": " << trim(ProcessInfoJson());
   for (const auto& [key, json] : sections) {
     out << ",\n  \"" << key << "\": " << trim(json);
   }

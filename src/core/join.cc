@@ -1,9 +1,9 @@
 #include "core/join.h"
 
-#include <chrono>
-
 #include "common/check.h"
 #include "core/join_detail.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 
 namespace spatialjoin {
 
@@ -21,13 +21,16 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
   current_level.emplace_back(r_tree.root(), s_tree.root());
 
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
+    SJ_SPAN_CAT("join.level", "core");
+    TraceCounter("join.qual_pairs",
+                 static_cast<int64_t>(current_level.size()));
     // Trace bookkeeping: snapshot counters at level entry, attribute the
     // level's deltas on exit. The JOIN4 passes descend into deeper
     // subtrees, but their cost is charged to the QualPairs level that
     // triggered them — matching how the model charges the per-pair
     // selection term to the pair's height (§4.4).
     PoolSnapshot pool_before;
-    std::chrono::steady_clock::time_point level_start;
+    int64_t level_start_ns = 0;
     int64_t theta_upper_before = 0;
     int64_t theta_before = 0;
     if (trace != nullptr) {
@@ -36,7 +39,7 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
       pool_before = PoolSnapshot::Take();
       theta_upper_before = result.theta_upper_tests;
       theta_before = result.theta_tests;
-      level_start = std::chrono::steady_clock::now();
+      level_start_ns = MonotonicNowNs();
     }
     int64_t level_pruned = 0;
     int64_t level_descended = 0;
@@ -61,10 +64,8 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
       PoolSnapshot pool_delta = PoolSnapshot::Take() - pool_before;
       level.pool_hits += pool_delta.hits;
       level.pool_misses += pool_delta.misses;
-      level.wall_ns += static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - level_start)
-              .count());
+      level.wall_ns +=
+          static_cast<double>(MonotonicNowNs() - level_start_ns);
     }
     current_level = std::move(next_level);
   }

@@ -11,6 +11,7 @@
 #include "costmodel/join_cost.h"
 #include "costmodel/update_cost.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 
@@ -19,6 +20,7 @@ JoinStatistics EstimateJoinStatistics(const Relation& r, size_t col_r,
                                       const ThetaOperator& op,
                                       int sample_pairs, uint64_t seed) {
   SJ_CHECK_GE(sample_pairs, 1);
+  SJ_SPAN_CAT("planner.estimate_statistics", "planner");
   JoinStatistics stats;
   stats.r_tuples = r.num_tuples();
   stats.s_tuples = s.num_tuples();
@@ -124,6 +126,7 @@ std::array<double, kNumAlternatives> PriceAlternatives(
 }  // namespace
 
 JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
+  SJ_SPAN_CAT("planner.plan_join", "planner");
   const std::array<double, kNumAlternatives> costs =
       PriceAlternatives(stats, ctx, stats.selectivity);
 

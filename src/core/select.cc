@@ -1,9 +1,10 @@
 #include "core/select.h"
 
-#include <chrono>
 #include <deque>
 
 #include "common/check.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 
 namespace spatialjoin {
 
@@ -18,12 +19,12 @@ bool VisitNode(const Value& selector, const GeneralizationTree& tree,
                QueryTrace* trace) {
   TraceLevel* level = nullptr;
   PoolSnapshot pool_before;
-  std::chrono::steady_clock::time_point start;
+  int64_t start_ns = 0;
   if (trace != nullptr) {
     level = &trace->Level(tree.HeightOf(node));
     ++level->worklist;
     pool_before = PoolSnapshot::Take();
-    start = std::chrono::steady_clock::now();
+    start_ns = MonotonicNowNs();
   }
 
   ++result->theta_upper_tests;
@@ -52,13 +53,35 @@ bool VisitNode(const Value& selector, const GeneralizationTree& tree,
     PoolSnapshot pool_delta = PoolSnapshot::Take() - pool_before;
     level->pool_hits += pool_delta.hits;
     level->pool_misses += pool_delta.misses;
-    level->wall_ns += static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    level->wall_ns += static_cast<double>(MonotonicNowNs() - start_ns);
   }
   return expand;
 }
+
+// Timeline span per QualNodes height. The BFS worklist is processed in
+// height order, so one span opens when the frontier reaches a new height
+// and closes at the next transition (explicit TraceBegin/TraceEnd — the
+// extent crosses loop iterations, so RAII does not fit).
+class LevelSpans {
+ public:
+  ~LevelSpans() {
+    if (open_) TraceEnd("select.level", "core");
+  }
+
+  void OnNode(const GeneralizationTree& tree, NodeId node) {
+    if (!Tracing::enabled()) return;
+    int height = tree.HeightOf(node);
+    if (open_ && height == height_) return;
+    if (open_) TraceEnd("select.level", "core");
+    TraceBegin("select.level", "core");
+    open_ = true;
+    height_ = height;
+  }
+
+ private:
+  bool open_ = false;
+  int height_ = 0;
+};
 
 }  // namespace
 
@@ -71,17 +94,21 @@ SelectResult SpatialSelectFrom(const Value& selector,
   if (traversal == Traversal::kBreadthFirst) {
     // The paper's SELECT1/SELECT2: QualNodes[j] per height, processed in
     // height order. A deque models the concatenated QualNodes lists.
+    LevelSpans spans;
     std::deque<NodeId> worklist(start_nodes.begin(), start_nodes.end());
     while (!worklist.empty()) {
       NodeId node = worklist.front();
       worklist.pop_front();
+      spans.OnNode(tree, node);
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         for (NodeId child : tree.Children(node)) worklist.push_back(child);
       }
     }
   } else {
     // Depth-first variant: LIFO stack, children pushed in reverse so the
-    // leftmost subtree is explored first.
+    // leftmost subtree is explored first. Heights interleave, so the
+    // whole traversal is one span rather than one per level.
+    SJ_SPAN_CAT("select.depth_first", "core");
     std::vector<NodeId> stack(start_nodes.rbegin(), start_nodes.rend());
     while (!stack.empty()) {
       NodeId node = stack.back();

@@ -12,6 +12,7 @@
 #include "exec/partitioned_join.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace spatialjoin {
@@ -127,6 +128,8 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
   JoinResult result;
   double wall_ns = 0.0;
   {
+    // JoinStrategyName returns static strings, as SJ_SPAN names must be.
+    ScopedSpan span(JoinStrategyName(strategy), "query.join");
     ScopedTimer timer(registry.GetHistogram("query.join.wall_ns"), &wall_ns);
     result = DispatchJoin(strategy, ctx, op);
   }
@@ -219,6 +222,7 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
   JoinResult result;
   double wall_ns = 0.0;
   {
+    ScopedSpan span(SelectStrategyName(strategy), "query.select");
     ScopedTimer timer(registry.GetHistogram("query.select.wall_ns"),
                       &wall_ns);
     result = DispatchSelect(strategy, ctx, selector, selector_tid, op);

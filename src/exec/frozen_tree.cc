@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 namespace exec {
 
 FrozenTree FrozenTree::Materialize(const GeneralizationTree& source) {
+  SJ_SPAN_CAT("frozen_tree.materialize", "exec");
   FrozenTree frozen;
   frozen.height_ = source.height();
 

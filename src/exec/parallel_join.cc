@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/join_detail.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -52,6 +53,9 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
   int64_t levels_run = 0;
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
     ++levels_run;
+    SJ_SPAN_CAT("parallel_join.level", "exec");
+    TraceCounter("join.qual_pairs",
+                 static_cast<int64_t>(current_level.size()));
     const int64_t n = static_cast<int64_t>(current_level.size());
     const int64_t chunk = options.chunk_pairs;
     const int64_t num_chunks = (n + chunk - 1) / chunk;
@@ -60,6 +64,8 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
     // chunk → index-range mapping is independent of the worker count.
     std::vector<ChunkOutput> outputs(static_cast<size_t>(num_chunks));
     pool->ParallelFor(num_chunks, [&](int64_t c) {
+      // On the worker's own track, nested under its pool.task span.
+      SJ_SPAN_CAT("parallel_join.chunk", "exec");
       ChunkOutput& out = outputs[static_cast<size_t>(c)];
       const int64_t begin = c * chunk;
       const int64_t end = std::min(n, begin + chunk);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -38,12 +39,15 @@ SelectResult ParallelSelect(const Value& selector,
   int64_t levels_run = 0;
   while (!frontier.empty()) {
     ++levels_run;
+    SJ_SPAN_CAT("parallel_select.level", "exec");
+    TraceCounter("select.frontier", static_cast<int64_t>(frontier.size()));
     const int64_t n = static_cast<int64_t>(frontier.size());
     const int64_t chunk = options.chunk_nodes;
     const int64_t num_chunks = (n + chunk - 1) / chunk;
 
     std::vector<ChunkOutput> outputs(static_cast<size_t>(num_chunks));
     pool->ParallelFor(num_chunks, [&](int64_t c) {
+      SJ_SPAN_CAT("parallel_select.chunk", "exec");
       ChunkOutput& out = outputs[static_cast<size_t>(c)];
       const int64_t begin = c * chunk;
       const int64_t end = std::min(n, begin + chunk);

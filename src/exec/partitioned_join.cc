@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -151,15 +152,19 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
       static_cast<size_t>(grid.num_tiles()));
   std::vector<std::vector<int64_t>> s_tiles(
       static_cast<size_t>(grid.num_tiles()));
-  for (size_t i = 0; i < r_items.size(); ++i) {
-    AssignToTiles(grid, r_items[i].mbr, static_cast<int64_t>(i), &r_tiles);
-  }
-  for (size_t i = 0; i < s_items.size(); ++i) {
-    AssignToTiles(grid, windows[i], static_cast<int64_t>(i), &s_tiles);
+  {
+    SJ_SPAN_CAT("pbsm.partition", "exec");
+    for (size_t i = 0; i < r_items.size(); ++i) {
+      AssignToTiles(grid, r_items[i].mbr, static_cast<int64_t>(i), &r_tiles);
+    }
+    for (size_t i = 0; i < s_items.size(); ++i) {
+      AssignToTiles(grid, windows[i], static_cast<int64_t>(i), &s_tiles);
+    }
   }
   int64_t replicated = 0;
   for (const auto& t : r_tiles) replicated += static_cast<int64_t>(t.size());
   for (const auto& t : s_tiles) replicated += static_cast<int64_t>(t.size());
+  TraceCounter("pbsm.replicated_items", replicated);
 
   // Per-tile parallel plane sweep into per-tile output slots.
   struct TileOutput {
@@ -174,6 +179,7 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
     const auto& r_list = r_tiles[static_cast<size_t>(tile)];
     const auto& s_list = s_tiles[static_cast<size_t>(tile)];
     if (r_list.empty() || s_list.empty()) return;
+    SJ_SPAN_CAT("pbsm.tile_sweep", "exec");
     TileOutput& out = outputs[static_cast<size_t>(tile)];
 
     std::vector<SweepEntry> r_sweep;

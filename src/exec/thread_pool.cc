@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -17,9 +19,15 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_worker = -1;
 
+// Pools are created freely (one per bench probe, per test, ...); a
+// process-wide sequence number keeps their workers' timeline tracks
+// distinguishable ("pool3.worker1").
+std::atomic<int> pool_sequence{0};
+
 }  // namespace
 
-ThreadPool::ThreadPool(int num_workers) {
+ThreadPool::ThreadPool(int num_workers)
+    : pool_id_(pool_sequence.fetch_add(1, std::memory_order_relaxed)) {
   SJ_CHECK_GE(num_workers, 1);
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
@@ -67,6 +75,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
 
 bool ThreadPool::RunOneTask(int self) {
   std::function<void()> task;
+  bool stole = false;
   const int width = num_workers();
   if (self >= 0) {
     Worker& own = *workers_[static_cast<size_t>(self)];
@@ -95,7 +104,10 @@ bool ThreadPool::RunOneTask(int self) {
         worker.tasks.pop_front();
       }
     }
-    if (task) stolen_.fetch_add(1, std::memory_order_relaxed);
+    if (task) {
+      stole = true;
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (!task) return false;
   // Account *before* running: a task's completion signal (the TaskGroup
@@ -103,13 +115,23 @@ bool ThreadPool::RunOneTask(int self) {
   // pool's counters still lag, or a caller that joined every group could
   // race the destructor's Quiescent() check.
   executed_.fetch_add(1, std::memory_order_relaxed);
-  task();
+  {
+    // Distinct categories let timeline views color owned work vs. stolen
+    // work per worker track (helping callers show up on their own track).
+    ScopedSpan span("pool.task", stole ? "steal" : "run");
+    task();
+  }
   return true;
 }
 
 void ThreadPool::WorkerLoop(int self) {
   tls_pool = this;
   tls_worker = self;
+  {
+    char label[32];
+    std::snprintf(label, sizeof(label), "pool%d.worker%d", pool_id_, self);
+    Tracing::SetThreadName(label);
+  }
   while (true) {
     uint64_t epoch;
     {
@@ -121,6 +143,7 @@ void ThreadPool::WorkerLoop(int self) {
     // All deques were empty at scan time; sleep until a submission bumps
     // the epoch (a submission racing the scan already bumped it, so the
     // predicate is immediately true and no wakeup is missed).
+    ScopedSpan park("pool.park", "park");
     std::unique_lock<std::mutex> lock(wake_mu_);
     wake_cv_.wait(lock, [&] { return stop_ || work_epoch_ != epoch; });
     if (stop_) return;

@@ -128,6 +128,9 @@ class ThreadPool {
 
   void WorkerLoop(int self);
 
+  // Process-wide pool sequence number; names the workers' trace tracks.
+  const int pool_id_;
+
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 

@@ -1,0 +1,61 @@
+#include "obs/process_info.h"
+
+#include <sstream>
+#include <thread>
+
+#include "obs/build_info.h"
+#include "obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace spatialjoin {
+
+namespace {
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+ProcessInfo CollectProcessInfo() {
+  ProcessInfo info;
+  info.peak_rss_bytes = PeakRssBytes();
+  info.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  info.commit = SJ_BUILD_COMMIT;
+  info.build_type = SJ_BUILD_TYPE;
+  info.build_flags = SJ_BUILD_CXX_FLAGS;
+  return info;
+}
+
+void WriteProcessInfoJson(const ProcessInfo& info, JsonWriter& w) {
+  w.BeginObject();
+  w.KV("peak_rss_bytes", info.peak_rss_bytes);
+  w.KV("hardware_threads", static_cast<int64_t>(info.hardware_threads));
+  w.KV("commit", info.commit);
+  w.KV("build_type", info.build_type);
+  w.KV("build_flags", info.build_flags);
+  w.EndObject();
+}
+
+std::string ProcessInfoJson() {
+  std::ostringstream os;
+  JsonWriter w(os);
+  WriteProcessInfoJson(CollectProcessInfo(), w);
+  return os.str();
+}
+
+}  // namespace spatialjoin

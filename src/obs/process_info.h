@@ -1,0 +1,40 @@
+#ifndef SPATIALJOIN_OBS_PROCESS_INFO_H_
+#define SPATIALJOIN_OBS_PROCESS_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spatialjoin {
+
+class JsonWriter;
+
+/// Process-level gauges stamped into every artifact (`*.metrics.json`,
+/// `*.trace.json`) so runs are comparable across machines and builds: a
+/// flat speedup curve on a 1-core runner, or a slow run from a sanitizer
+/// build, is then distinguishable from a real regression.
+struct ProcessInfo {
+  /// Peak resident set size (getrusage), 0 where unavailable.
+  int64_t peak_rss_bytes = 0;
+  int hardware_threads = 0;
+  /// Git commit the binary was configured from ("unknown" outside git).
+  std::string commit;
+  /// CMAKE_BUILD_TYPE and CMAKE_CXX_FLAGS at configure time — enough to
+  /// tell a sanitizer or Debug artifact from a RelWithDebInfo one.
+  std::string build_type;
+  std::string build_flags;
+};
+
+/// Samples the gauges now (peak RSS is a high-water mark, so sampling at
+/// artifact-write time captures the run's maximum).
+ProcessInfo CollectProcessInfo();
+
+/// Writes the info as one JSON object value on `w` (caller positions the
+/// writer — after a Key() or at an array slot).
+void WriteProcessInfoJson(const ProcessInfo& info, JsonWriter& w);
+
+/// The info as a standalone JSON document.
+std::string ProcessInfoJson();
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_PROCESS_INFO_H_

@@ -1,0 +1,147 @@
+#include "obs/span.h"
+
+#include <memory>
+#include <mutex>
+
+#include "obs/timer.h"
+
+namespace spatialjoin {
+
+namespace {
+
+/// Ring registry. Rings are heap-allocated once per thread and
+/// intentionally never freed (like ThreadPool::Shared): a ring may be
+/// referenced by the exporter after its owning thread exited, and TLS
+/// destruction order across translation units is otherwise a hazard. The
+/// registry object itself leaks for the same reason; everything stays
+/// reachable, so leak checkers are quiet.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanRing>> rings;
+  size_t default_capacity = SpanRing::kDefaultCapacity;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+thread_local SpanRing* tls_ring = nullptr;
+// Thread name requested before the thread recorded its first event
+// (applied at ring creation, so naming a never-traced thread is free).
+thread_local char tls_pending_name[64] = {0};
+
+}  // namespace
+
+SpanRing::SpanRing(int tid, size_t capacity)
+    : tid_(tid), capacity_(capacity == 0 ? 1 : capacity),
+      slots_(capacity_) {}
+
+void SpanRing::Record(char phase, const char* name, const char* category,
+                      int64_t ts_ns, int64_t value) {
+  const uint64_t i = head_.load(std::memory_order_relaxed);
+  TraceEvent& slot = slots_[static_cast<size_t>(i % capacity_)];
+  slot.phase.store(phase, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.category.store(category, std::memory_order_relaxed);
+  slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  head_.store(i + 1, std::memory_order_release);
+}
+
+uint64_t SpanRing::dropped() const {
+  const uint64_t h = head();
+  return h > capacity_ ? h - capacity_ : 0;
+}
+
+void SpanRing::Reset() {
+  for (TraceEvent& slot : slots_) {
+    slot.phase.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+std::atomic<bool> Tracing::enabled_flag_{false};
+
+void Tracing::Enable(bool on) {
+  enabled_flag_.store(on, std::memory_order_relaxed);
+}
+
+SpanRing* Tracing::CurrentThreadRing() {
+  SpanRing* ring = tls_ring;
+  if (ring != nullptr) return ring;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto owned = std::make_unique<SpanRing>(
+      static_cast<int>(registry.rings.size()), registry.default_capacity);
+  ring = owned.get();
+  if (tls_pending_name[0] != '\0') {
+    ring->set_thread_name(tls_pending_name);
+  }
+  registry.rings.push_back(std::move(owned));
+  tls_ring = ring;
+  return ring;
+}
+
+void Tracing::SetThreadName(std::string_view name) {
+  if (tls_ring != nullptr) {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    tls_ring->set_thread_name(std::string(name));
+    return;
+  }
+  const size_t n = std::min(name.size(), sizeof(tls_pending_name) - 1);
+  name.copy(tls_pending_name, n);
+  tls_pending_name[n] = '\0';
+}
+
+std::vector<SpanRing*> Tracing::Rings() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SpanRing*> rings;
+  rings.reserve(registry.rings.size());
+  for (const auto& ring : registry.rings) rings.push_back(ring.get());
+  return rings;
+}
+
+void Tracing::Reset() {
+  for (SpanRing* ring : Rings()) ring->Reset();
+}
+
+void Tracing::SetDefaultRingCapacityForTesting(size_t capacity) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.default_capacity = capacity == 0 ? 1 : capacity;
+}
+
+namespace span_detail {
+
+void Record(char phase, const char* name, const char* category,
+            int64_t value) {
+  Tracing::CurrentThreadRing()->Record(phase, name, category,
+                                       MonotonicNowNs(), value);
+}
+
+}  // namespace span_detail
+
+void TraceCounter(const char* name, int64_t value) {
+  if (!Tracing::enabled()) return;
+  span_detail::Record('C', name, nullptr, value);
+}
+
+void TraceInstant(const char* name, const char* category) {
+  if (!Tracing::enabled()) return;
+  span_detail::Record('i', name, category, 0);
+}
+
+void TraceBegin(const char* name, const char* category) {
+  if (!Tracing::enabled()) return;
+  span_detail::Record('B', name, category, 0);
+}
+
+void TraceEnd(const char* name, const char* category) {
+  if (!Tracing::enabled()) return;
+  span_detail::Record('E', name, category, 0);
+}
+
+}  // namespace spatialjoin

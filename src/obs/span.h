@@ -1,0 +1,190 @@
+#ifndef SPATIALJOIN_OBS_SPAN_H_
+#define SPATIALJOIN_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Timeline tracing (DESIGN.md §8): a lock-free per-thread ring buffer of
+/// trace events, cheap enough to leave compiled into every build. Each
+/// thread owns exactly one ring (created on its first event and never
+/// freed), so the hot path is: one relaxed load of the global enable
+/// flag, one TLS load, one clock read, five relaxed stores into the
+/// thread's next slot, and one release store publishing the slot. There
+/// is no allocation, no lock, and no cross-thread cache-line traffic per
+/// event; `tests/span_test.cc` pins the per-event cost.
+///
+/// The exporter (`obs/trace_export.h`) merges the rings into a Chrome
+/// trace-event / Perfetto-loadable JSON timeline, one track per thread.
+/// It may run while other threads are still recording: every slot field
+/// is a relaxed atomic, so a reader racing a wrapping writer observes a
+/// torn but well-defined event, which the exporter's balancing pass
+/// discards. Exact timelines therefore require quiescence (which is when
+/// benches export); concurrent snapshots are merely approximate, never
+/// undefined behavior.
+///
+/// Event names and categories must be pointers with static storage
+/// duration (string literals, or tables like JoinStrategyName's): the
+/// ring stores the pointer, not the characters.
+
+/// One slot of a ring. Fields are relaxed atomics so that the exporter
+/// can read while the owning thread overwrites on wraparound (see file
+/// comment); within the owning thread the slot is published by the
+/// ring's release store of `head`.
+struct TraceEvent {
+  /// 'B' span begin, 'E' span end, 'i' instant, 'C' counter sample.
+  std::atomic<char> phase{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> category{nullptr};
+  /// steady_clock nanoseconds (same clock as obs/timer.h, so span
+  /// timestamps and wall_ns metrics are directly comparable).
+  std::atomic<int64_t> ts_ns{0};
+  /// Counter value for 'C' events; 0 otherwise.
+  std::atomic<int64_t> value{0};
+};
+
+/// A single thread's event ring. The owning thread is the only writer;
+/// when full, the next event overwrites the oldest (dropping history, not
+/// blocking or corrupting — the `dropped` count says how much).
+class SpanRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit SpanRing(int tid, size_t capacity);
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// Appends one event. Owning thread only.
+  void Record(char phase, const char* name, const char* category,
+              int64_t ts_ns, int64_t value);
+
+  /// Total events ever recorded (monotonic; the ring holds the last
+  /// `min(head, capacity)` of them).
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+  /// Events lost to wraparound so far.
+  uint64_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+  int tid() const { return tid_; }
+
+  /// Slot for absolute event index `i` (caller ensures `i` is within the
+  /// retained window [head - min(head, capacity), head)).
+  const TraceEvent& slot(uint64_t i) const {
+    return slots_[static_cast<size_t>(i % capacity_)];
+  }
+
+  /// Rewinds the ring to empty. Quiescence-only (like the exporter, a
+  /// racing writer is safe but its events may be lost or torn).
+  void Reset();
+
+  /// Display name of the owning thread ("main", "pool0.worker2", ...);
+  /// empty until set. Guarded by Tracing's registry mutex.
+  const std::string& thread_name() const { return thread_name_; }
+  void set_thread_name(std::string name) { thread_name_ = std::move(name); }
+
+ private:
+  const int tid_;
+  const size_t capacity_;
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> head_{0};
+  std::string thread_name_;
+};
+
+/// Process-wide control plane of the tracing layer: the enable flag, the
+/// registry of per-thread rings, and the TLS fast path.
+class Tracing {
+ public:
+  /// Globally enables/disables event recording. Disabled (the default)
+  /// costs one relaxed atomic load per SJ_SPAN site.
+  static void Enable(bool on);
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's ring, created (and registered) on first use.
+  /// The pointer stays valid for the process lifetime.
+  static SpanRing* CurrentThreadRing();
+
+  /// Names the calling thread's track in exported timelines. Cheap to
+  /// call before any event was recorded: the name is stashed in TLS and
+  /// applied when the ring is created, so un-traced threads allocate
+  /// nothing.
+  static void SetThreadName(std::string_view name);
+
+  /// Stable snapshot of all registered rings (rings are never removed).
+  static std::vector<SpanRing*> Rings();
+
+  /// Rewinds every ring to empty, so the next export covers only what
+  /// follows. Call at quiescence (between queries / at the start of a
+  /// bench phase): a thread recording concurrently stays well-defined but
+  /// may lose its in-flight events.
+  static void Reset();
+
+  /// Capacity for rings created after this call (existing rings keep
+  /// theirs). Tests use tiny rings to exercise wraparound.
+  static void SetDefaultRingCapacityForTesting(size_t capacity);
+
+ private:
+  static std::atomic<bool> enabled_flag_;
+};
+
+/// Records a counter sample on the calling thread's track; exported as a
+/// Perfetto counter track (one series per name).
+void TraceCounter(const char* name, int64_t value);
+
+/// Records a zero-duration instant event.
+void TraceInstant(const char* name, const char* category = nullptr);
+
+/// Explicit begin/end, for spans whose extent does not match a C++ scope
+/// (e.g. per-level spans across loop iterations). Every Begin must be
+/// matched by an End on the same thread; the exporter repairs (drops or
+/// closes) pairs broken by ring wraparound.
+void TraceBegin(const char* name, const char* category = nullptr);
+void TraceEnd(const char* name, const char* category = nullptr);
+
+namespace span_detail {
+/// Unconditional record on the calling thread's ring (no enabled check);
+/// the public entry points and ScopedSpan gate on Tracing::enabled().
+void Record(char phase, const char* name, const char* category,
+            int64_t value);
+}  // namespace span_detail
+
+/// RAII span: records 'B' on construction and 'E' on destruction, on the
+/// construction thread. Arms itself only if tracing was enabled at
+/// construction (a single check), so an enable/disable flip mid-scope
+/// cannot unbalance the ring.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = nullptr)
+      : name_(Tracing::enabled() ? name : nullptr), category_(category) {
+    if (name_ != nullptr) span_detail::Record('B', name_, category_, 0);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) span_detail::Record('E', name_, category_, 0);
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+};
+
+// Span of the enclosing scope; name/category must have static storage.
+#define SJ_SPAN_CAT(name, category)                            \
+  ::spatialjoin::ScopedSpan SJ_SPAN_CONCAT_(sj_scoped_span_,   \
+                                            __LINE__)(name, category)
+#define SJ_SPAN(name) SJ_SPAN_CAT(name, nullptr)
+#define SJ_SPAN_CONCAT_(a, b) SJ_SPAN_CONCAT2_(a, b)
+#define SJ_SPAN_CONCAT2_(a, b) a##b
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_SPAN_H_

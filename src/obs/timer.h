@@ -2,10 +2,28 @@
 #define SPATIALJOIN_OBS_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 #include "obs/metrics.h"
 
 namespace spatialjoin {
+
+// Every wall_ns in this engine — ScopedTimer, the span layer's event
+// timestamps, the per-level trace attribution, and the bench timing
+// helpers — measures std::chrono::steady_clock, so durations are immune
+// to wall-clock adjustments and all timestamps share one monotonic axis.
+static_assert(std::chrono::steady_clock::is_steady,
+              "steady_clock must be monotonic for wall_ns measurements");
+
+/// Current steady_clock time in integer nanoseconds since the clock's
+/// epoch. The single source of "now" for wall_ns measurements; code that
+/// needs a raw timestamp (span events, ad-hoc deltas) calls this instead
+/// of touching std::chrono directly.
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Wall-clock scope timer on std::chrono::steady_clock.
 ///
@@ -21,7 +39,7 @@ class ScopedTimer {
                        double* elapsed_ns_out = nullptr)
       : histogram_(histogram),
         out_(elapsed_ns_out),
-        start_(std::chrono::steady_clock::now()) {}
+        start_ns_(MonotonicNowNs()) {}
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -35,16 +53,13 @@ class ScopedTimer {
   }
 
   double ElapsedNs() const {
-    auto now = std::chrono::steady_clock::now();
-    return static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
-            .count());
+    return static_cast<double>(MonotonicNowNs() - start_ns_);
   }
 
  private:
   Histogram* histogram_;
   double* out_;
-  std::chrono::steady_clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace spatialjoin

@@ -1,0 +1,180 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "obs/json.h"
+#include "obs/process_info.h"
+#include "obs/span.h"
+#include "obs/timer.h"
+
+namespace spatialjoin {
+
+namespace {
+
+// Reads one ring's retained window and repairs it into a balanced,
+// monotonic track (drop torn/orphan events, close open spans at
+// `snapshot_ns`). The owning thread may still be recording; every slot
+// field is an atomic, so a racing read yields a torn event which the
+// validity checks below discard.
+void CollectRing(const SpanRing& ring, int64_t snapshot_ns,
+                 std::vector<ExportedEvent>* out) {
+  const uint64_t head = ring.head();
+  const uint64_t window = std::min<uint64_t>(head, ring.capacity());
+
+  int64_t prev_ts = 0;
+  std::vector<size_t> open_begins;  // indices into *out*
+  for (uint64_t i = head - window; i < head; ++i) {
+    const TraceEvent& slot = ring.slot(i);
+    ExportedEvent event;
+    event.phase = slot.phase.load(std::memory_order_relaxed);
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.category = slot.category.load(std::memory_order_relaxed);
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    event.value = slot.value.load(std::memory_order_relaxed);
+    event.tid = ring.tid();
+
+    // Torn or empty slots (reader racing a wrapping writer, or a reset
+    // ring) are dropped.
+    if (event.name == nullptr || event.ts_ns <= 0) continue;
+    if (event.phase != 'B' && event.phase != 'E' && event.phase != 'i' &&
+        event.phase != 'C') {
+      continue;
+    }
+    // Per-track monotonicity: a single thread records in time order, so
+    // an out-of-order timestamp only arises from a torn read — clamp it.
+    event.ts_ns = std::max(event.ts_ns, prev_ts);
+    prev_ts = event.ts_ns;
+
+    if (event.phase == 'B') {
+      open_begins.push_back(out->size());
+    } else if (event.phase == 'E') {
+      if (open_begins.empty()) continue;  // begin lost to wraparound
+      open_begins.pop_back();
+    }
+    out->push_back(event);
+  }
+
+  // Close spans still open at snapshot time (parked workers, spans cut by
+  // the snapshot), innermost first so nesting stays well-formed.
+  const int64_t close_ns = std::max(snapshot_ns, prev_ts);
+  for (auto it = open_begins.rbegin(); it != open_begins.rend(); ++it) {
+    const ExportedEvent& begin = (*out)[*it];
+    ExportedEvent end;
+    end.phase = 'E';
+    end.name = begin.name;
+    end.category = begin.category;
+    end.tid = begin.tid;
+    end.ts_ns = close_ns;
+    out->push_back(end);
+  }
+}
+
+}  // namespace
+
+std::vector<ExportedEvent> CollectEvents() {
+  const int64_t snapshot_ns = MonotonicNowNs();
+  std::vector<ExportedEvent> events;
+  for (const SpanRing* ring : Tracing::Rings()) {
+    CollectRing(*ring, snapshot_ns, &events);
+  }
+  return events;
+}
+
+int64_t TotalDroppedEvents() {
+  int64_t dropped = 0;
+  for (const SpanRing* ring : Tracing::Rings()) {
+    dropped += static_cast<int64_t>(ring->dropped());
+  }
+  return dropped;
+}
+
+void WriteChromeTrace(std::ostream& os) {
+  const std::vector<ExportedEvent> events = CollectEvents();
+
+  // The trace-event format wants microseconds; rebase to the earliest
+  // event so timelines start near zero.
+  int64_t base_ns = 0;
+  for (const ExportedEvent& event : events) {
+    if (base_ns == 0 || event.ts_ns < base_ns) base_ns = event.ts_ns;
+  }
+
+  JsonWriter w(os, /*indent=*/0);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  // Track-name metadata: one process, one named track per ring.
+  w.BeginObject();
+  w.KV("ph", "M");
+  w.KV("name", "process_name");
+  w.KV("pid", int64_t{1});
+  w.KV("tid", int64_t{0});
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", "spatialjoin");
+  w.EndObject();
+  w.EndObject();
+  for (const SpanRing* ring : Tracing::Rings()) {
+    std::string name = ring->thread_name();
+    if (name.empty()) {
+      name = ring->tid() == 0 ? "main" : "thread-" + std::to_string(
+                                             ring->tid());
+    }
+    w.BeginObject();
+    w.KV("ph", "M");
+    w.KV("name", "thread_name");
+    w.KV("pid", int64_t{1});
+    w.KV("tid", static_cast<int64_t>(ring->tid()));
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", name);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (const ExportedEvent& event : events) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String(std::string_view(&event.phase, 1));
+    w.KV("name", event.name);
+    if (event.category != nullptr) w.KV("cat", event.category);
+    w.KV("pid", int64_t{1});
+    w.KV("tid", static_cast<int64_t>(event.tid));
+    w.KV("ts", static_cast<double>(event.ts_ns - base_ns) / 1000.0);
+    if (event.phase == 'C') {
+      w.Key("args");
+      w.BeginObject();
+      w.KV("value", event.value);
+      w.EndObject();
+    } else if (event.phase == 'i') {
+      w.KV("s", "t");  // instant scope: thread
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.KV("displayTimeUnit", "ms");
+  w.Key("metadata");
+  w.BeginObject();
+  w.Key("process");
+  WriteProcessInfoJson(CollectProcessInfo(), w);
+  w.KV("dropped_events", TotalDroppedEvents());
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
+}
+
+bool WriteTraceArtifact(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  WriteChromeTrace(out);
+  std::cout << "trace artifact: " << path << "\n";
+  return true;
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,55 @@
+#ifndef SPATIALJOIN_OBS_TRACE_EXPORT_H_
+#define SPATIALJOIN_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spatialjoin {
+
+/// Merges the span layer's per-thread rings (obs/span.h) into a Chrome
+/// trace-event JSON document loadable in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing. One timeline track per recorded thread, counter
+/// tracks for 'C' events, and the process gauges in the top-level
+/// metadata object.
+///
+/// The export is *repaired*, not raw: ring wraparound can drop a span's
+/// 'B' while keeping its 'E' (and quiescent rings hold spans that are
+/// still open, e.g. a parked worker). CollectEvents therefore drops
+/// orphan ends, synthesizes ends for still-open begins at the snapshot
+/// timestamp, and clamps per-track timestamps to be monotonic — so every
+/// exported track is balanced and ordered by construction, which
+/// tests/span_test.cc asserts.
+
+/// One repaired event, ready for serialization.
+struct ExportedEvent {
+  char phase = 0;  // 'B', 'E', 'i', or 'C'
+  const char* name = nullptr;
+  const char* category = nullptr;  // may be null
+  int tid = 0;
+  int64_t ts_ns = 0;
+  int64_t value = 0;  // counter sample for 'C'
+};
+
+/// Snapshot of all rings, repaired per track (see file comment). Events
+/// are grouped by tid, in timestamp order within each tid.
+std::vector<ExportedEvent> CollectEvents();
+
+/// Total events lost to ring wraparound across all threads.
+int64_t TotalDroppedEvents();
+
+/// Serializes the repaired snapshot as a Chrome trace-event document:
+///   {"traceEvents": [...], "displayTimeUnit": "ms",
+///    "metadata": {"process": {...}, "dropped_events": N}}
+/// Timestamps are microseconds relative to the earliest event, per the
+/// trace-event format.
+void WriteChromeTrace(std::ostream& os);
+
+/// Writes WriteChromeTrace output to `path`; returns false (with a
+/// message on stderr) when the file cannot be opened.
+bool WriteTraceArtifact(const std::string& path);
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_OBS_TRACE_EXPORT_H_

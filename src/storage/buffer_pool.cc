@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace spatialjoin {
 
@@ -56,6 +57,10 @@ void BufferPool::EvictIfFull() {
 }
 
 BufferPool::Frame& BufferPool::Fault(PageId id) {
+  // Miss stall: the query is blocked on the (simulated) disk — eviction
+  // write-back plus the page read. Timeline views show these as the gaps
+  // the cost model's C_IO term prices.
+  SJ_SPAN_CAT("pool.miss_stall", "storage");
   EvictIfFull();
   frames_.emplace_front();
   Frame& frame = frames_.front();

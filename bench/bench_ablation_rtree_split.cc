@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/check.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -75,7 +76,7 @@ void Run(const char* workload, bool clustered, BuildMode mode) {
   const int queries = 200;
   for (int q = 0; q < queries; ++q) {
     Rectangle window = query_gen.NextRect(20, 120);
-    pool.Clear();
+    SJ_CHECK_OK(pool.Clear());
     disk.ResetStats();
     results += static_cast<int64_t>(tree.SearchTids(window).size());
     reads += disk.stats().page_reads;

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/check.h"
 #include "core/select.h"
 #include "core/theta_ops.h"
 #include "storage/buffer_pool.h"
@@ -38,12 +39,12 @@ void RunLayout(const char* label, RelationLayout layout, bool shuffle,
   const int queries = 30;
   for (int q = 0; q < queries; ++q) {
     Value selector(gen.NextRect(50, 300));
-    pool.Clear();
+    SJ_CHECK_OK(pool.Clear());
     disk.ResetStats();
     SelectResult bfs =
         SpatialSelect(selector, *h.tree, op, Traversal::kBreadthFirst);
     reads_bfs += disk.stats().page_reads;
-    pool.Clear();
+    SJ_CHECK_OK(pool.Clear());
     disk.ResetStats();
     SelectResult dfs =
         SpatialSelect(selector, *h.tree, op, Traversal::kDepthFirst);

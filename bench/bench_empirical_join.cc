@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/join_index.h"
 #include "core/spatial_join.h"
@@ -139,7 +140,7 @@ void RunScale(int n_tuples, double min_ext, double max_ext, int threads,
         JoinStrategy::kIndexNestedLoop, JoinStrategy::kSortMergeZOrder,
         JoinStrategy::kJoinIndex, JoinStrategy::kParallelTreeJoin,
         JoinStrategy::kPartitionedJoin}) {
-    f->pool.Clear();
+    SJ_CHECK_OK(f->pool.Clear());
     f->disk.ResetStats();
     JoinResult result = ExecuteJoin(strategy, ctx, op);
     NormalizeMatches(&result);
@@ -147,7 +148,7 @@ void RunScale(int n_tuples, double min_ext, double max_ext, int threads,
            scales);
   }
   // Algorithm JOIN across tree families: quadtree on R, R-tree on S.
-  f->pool.Clear();
+  SJ_CHECK_OK(f->pool.Clear());
   f->disk.ResetStats();
   JoinResult mixed = TreeJoin(*f->r_quadtree, *f->s_tree, op);
   NormalizeMatches(&mixed);

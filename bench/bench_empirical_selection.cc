@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/check.h"
 #include "core/join_index.h"
 #include "core/nested_loop.h"
 #include "core/select.h"
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
   // Parallel SELECT operates on a one-time frozen snapshot of the
   // clustered hierarchy (its page reads are paid here, once, not per
   // query) and shards the frontier over the exec pool.
-  pool_cl.Clear();
+  SJ_CHECK_OK(pool_cl.Clear());
   disk_cl.ResetStats();
   exec::FrozenTree frozen = exec::FrozenTree::Materialize(*clustered.tree);
   int64_t snapshot_reads = disk_cl.stats().page_reads;
@@ -110,7 +111,7 @@ int main(int argc, char** argv) {
         clustered.relation->Read(selector_tid).value(
             clustered.spatial_column);
 
-    pool_cl.Clear();
+    SJ_CHECK_OK(pool_cl.Clear());
     disk_cl.ResetStats();
     JoinResult scan = NestedLoopSelect(selector, *clustered.relation,
                                        clustered.spatial_column, op);
@@ -118,14 +119,14 @@ int main(int argc, char** argv) {
     exhaustive.reads += disk_cl.stats().page_reads;
     exhaustive.matches += static_cast<int64_t>(scan.matches.size());
 
-    pool_cl.Clear();
+    SJ_CHECK_OK(pool_cl.Clear());
     disk_cl.ResetStats();
     SelectResult cl = SpatialSelect(selector, *clustered.tree, op);
     tree_cl.tests += cl.theta_tests + cl.theta_upper_tests;
     tree_cl.reads += disk_cl.stats().page_reads;
     tree_cl.matches += static_cast<int64_t>(cl.matching_tuples.size());
 
-    pool_uc.Clear();
+    SJ_CHECK_OK(pool_uc.Clear());
     disk_uc.ResetStats();
     SelectResult uc = SpatialSelect(selector, *unclustered.tree, op);
     tree_uc.tests += uc.theta_tests + uc.theta_upper_tests;
@@ -136,7 +137,7 @@ int main(int argc, char** argv) {
     tree_par.tests += par.theta_tests + par.theta_upper_tests;
     tree_par.matches += static_cast<int64_t>(par.matching_tuples.size());
 
-    pool_ji.Clear();
+    SJ_CHECK_OK(pool_ji.Clear());
     disk_ji.ResetStats();
     std::vector<TupleId> hits = index.SMatchesOf(selector_tid);
     for (TupleId tid : hits) {

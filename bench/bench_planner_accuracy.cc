@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 
+#include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/join_index.h"
 #include "core/planner.h"
@@ -64,7 +65,7 @@ void RunWorkload(const char* label, int n_tuples, double min_ext,
        {JoinStrategy::kNestedLoop, JoinStrategy::kTreeJoin,
         JoinStrategy::kIndexNestedLoop, JoinStrategy::kSortMergeZOrder,
         JoinStrategy::kJoinIndex}) {
-    pool.Clear();
+    SJ_CHECK_OK(pool.Clear());
     disk.ResetStats();
     JoinResult result = ExecuteJoin(strategy, ctx, op);
     measured[strategy] =

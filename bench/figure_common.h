@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "audit/bufferpool_audit.h"
 #include "audit/rtree_audit.h"
 #include "core/planner.h"
@@ -183,7 +184,7 @@ inline void RunJoinMetricsProbe(const std::string& artifact,
   auto f = MakeMetricsProbeFixture();
   OverlapsOp op;
 
-  f->pool.Clear();
+  SJ_CHECK_OK(f->pool.Clear());
   f->pool.ResetStats();
   f->disk.ResetStats();
   IoStats io_before = f->disk.stats();
@@ -232,7 +233,7 @@ inline void RunSelectMetricsProbe(const std::string& artifact,
   auto f = MakeMetricsProbeFixture();
   OverlapsOp op;
 
-  f->pool.Clear();
+  SJ_CHECK_OK(f->pool.Clear());
   f->pool.ResetStats();
   f->disk.ResetStats();
 

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/index_nested_loop.h"
+#include "common/check.h"
 #include "core/join_index.h"
 #include "core/nested_loop.h"
 #include "core/planner.h"
@@ -68,7 +69,7 @@ int main() {
   WithinLakeBufferOp op(10.0);
 
   // (a) Strategy I.
-  pool.Clear();
+  SJ_CHECK_OK(pool.Clear());
   disk.ResetStats();
   JoinResult nl = NestedLoopJoin(*scenario.houses, 2, *scenario.lakes, 2,
                                  op, {.memory_pages = 64});
@@ -81,7 +82,7 @@ int main() {
     rtree.Insert(t.value(2).Mbr(), tid);
   });
   RTreeGenTree houses_tree(&rtree, scenario.houses.get(), 2);
-  pool.Clear();
+  SJ_CHECK_OK(pool.Clear());
   disk.ResetStats();
   JoinResult inl = IndexNestedLoopJoin(houses_tree, *scenario.lakes, 2, op);
   Report("index-supported (tree)", inl.matches.size(),
@@ -91,7 +92,7 @@ int main() {
   JoinIndex index(&pool, 100);
   int64_t precompute = index.Build(*scenario.houses, 2, *scenario.lakes, 2,
                                    op);
-  pool.Clear();
+  SJ_CHECK_OK(pool.Clear());
   disk.ResetStats();
   JoinResult ji = index.Execute(*scenario.houses, *scenario.lakes);
   Report("join index (query)", ji.matches.size(), 0,

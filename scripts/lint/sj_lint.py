@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""sj_lint: repo-specific lint rules for the spatialjoin tree.
+
+Checks the conventions that neither the compiler nor clang-tidy enforce
+for us, each as a small path-scoped rule:
+
+  raw-clock            std::chrono::*_clock::now() outside obs/timer.h.
+                       All timing flows through MonotonicNowNs() so traces
+                       and metrics share one clock domain.
+  naked-new            `new` / `delete` expressions outside src/storage/.
+                       Library code uses containers and smart pointers;
+                       the storage layer owns the only raw frames.
+  stdout-in-lib        std::cout / printf in src/ library code. stdout
+                       belongs to the embedding tool (benches pipe JSON
+                       through it); diagnostics go to stderr.
+  detail-include       including another subsystem's *_detail.h header.
+                       Detail headers are private to their subsystem
+                       unless listed in DETAIL_FRIENDS below.
+  dcheck-side-effect   SJ_DCHECK(...) whose condition mutates state
+                       (++/--/assignment). SJ_DCHECK compiles out under
+                       NDEBUG, so a side effect there changes behaviour
+                       between build types.
+
+Suppression: append `// sj-lint: allow(<rule>)` to the offending line, or
+put it alone on the line directly above. Multiple rules separate with
+commas. Every suppression should carry a justification comment.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, Iterator, NamedTuple
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Directories scanned relative to the repo root. Anything outside (docs,
+# scripts, third-party checkouts in build/) is out of scope.
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+
+# Directory names skipped anywhere in the walk. `fixtures` holds the
+# intentionally-violating inputs for this linter's own tests.
+SKIP_DIR_NAMES = {"build", "fixtures", ".git"}
+
+# Cross-subsystem detail-header whitelist: include path -> subsystems
+# (top-level directory under src/) allowed to include it, beyond the
+# subsystem that owns the header. exec/parallel_join.cc shares the join
+# kernel's refinement helpers rather than duplicating them.
+DETAIL_FRIENDS = {
+    "core/join_detail.h": {"core", "exec"},
+}
+
+ALLOW_RE = re.compile(r"//\s*sj-lint:\s*allow\(([^)]*)\)")
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+class SourceFile(NamedTuple):
+    """One scanned file: raw lines plus comment/string-stripped lines.
+
+    Rules match against `code` so identifiers in comments or string
+    literals never trigger them; suppressions are read from `raw`.
+    """
+
+    rel_path: str  # repo-relative, '/'-separated
+    raw: list[str]
+    code: list[str]
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literals, keeping geometry.
+
+    Line-oriented scanner with carried block-comment state; enough for
+    this codebase (no raw strings in scanned code, and a stray mismatch
+    only costs a false negative on one line).
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                result.append(quote + quote)
+                continue
+            result.append(ch)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def allowed_rules(raw: list[str], lineno: int) -> set[str]:
+    """Rules suppressed at 1-based `lineno`: same line or the line above."""
+    rules: set[str] = set()
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(raw):
+            m = ALLOW_RE.search(raw[idx])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each takes a SourceFile and yields Findings (pre-suppression).
+# ---------------------------------------------------------------------------
+
+RAW_CLOCK_RE = re.compile(r"std::chrono::\w*_clock::now")
+
+
+def check_raw_clock(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/"):
+        return
+    if f.rel_path == "src/obs/timer.h":
+        return
+    for i, line in enumerate(f.code, start=1):
+        if RAW_CLOCK_RE.search(line):
+            yield Finding(
+                f.rel_path, i, "raw-clock",
+                "raw std::chrono clock; use MonotonicNowNs() from "
+                "obs/timer.h so all timings share one clock domain")
+
+
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+# `= delete;` declarations and `delete`d special members are language
+# syntax, not deallocation.
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+
+def check_naked_new(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/"):
+        return
+    if f.rel_path.startswith("src/storage/"):
+        return
+    for i, line in enumerate(f.code, start=1):
+        scrubbed = DELETED_FN_RE.sub("", line)
+        if NEW_RE.search(scrubbed) or DELETE_RE.search(scrubbed):
+            yield Finding(
+                f.rel_path, i, "naked-new",
+                "raw new/delete outside src/storage/; use containers or "
+                "std::make_unique")
+
+
+STDOUT_RE = re.compile(r"std::cout|(?<![\w])printf\s*\(")
+
+
+def check_stdout_in_lib(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/"):
+        return
+    for i, line in enumerate(f.code, start=1):
+        if STDOUT_RE.search(line):
+            yield Finding(
+                f.rel_path, i, "stdout-in-lib",
+                "stdout write in library code; stdout belongs to the "
+                "embedding tool — use std::cerr/fprintf(stderr, ...)")
+
+
+DETAIL_INCLUDE_RE = re.compile(r'#\s*include\s+"([\w./-]*_detail\.h)"')
+
+
+def file_subsystem(rel_path: str) -> str:
+    """The subsystem a file belongs to: src/<sub>/... -> <sub>; files in
+    bench/tests/examples belong to no subsystem (empty string)."""
+    parts = rel_path.split("/")
+    if parts[0] == "src" and len(parts) > 2:
+        return parts[1]
+    return ""
+
+
+def check_detail_include(f: SourceFile) -> Iterator[Finding]:
+    sub = file_subsystem(f.rel_path)
+    for i, line in enumerate(f.raw, start=1):
+        m = DETAIL_INCLUDE_RE.search(line)
+        if not m:
+            continue
+        include = m.group(1)
+        owner = include.split("/")[0] if "/" in include else sub
+        if sub == owner:
+            continue
+        if sub and sub in DETAIL_FRIENDS.get(include, set()):
+            continue
+        yield Finding(
+            f.rel_path, i, "detail-include",
+            f'"{include}" is private to {owner}/; include the public '
+            "header, or add a DETAIL_FRIENDS entry with justification")
+
+
+DCHECK_RE = re.compile(r"\bSJ_DCHECK\w*\s*\(")
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])")
+
+
+def check_dcheck_side_effect(f: SourceFile) -> Iterator[Finding]:
+    # check.h defines the macros; their expansions are not uses.
+    if f.rel_path == "src/common/check.h":
+        return
+    for i, line in enumerate(f.code, start=1):
+        m = DCHECK_RE.search(line)
+        if not m:
+            continue
+        # Extract the parenthesised condition (single-line conditions
+        # only; multi-line SJ_DCHECKs are rare and caught by review).
+        depth = 0
+        start = m.end() - 1
+        cond = None
+        for j in range(start, len(line)):
+            if line[j] == "(":
+                depth += 1
+            elif line[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    cond = line[start + 1:j]
+                    break
+        if cond is None:
+            cond = line[start + 1:]
+        if SIDE_EFFECT_RE.search(cond):
+            yield Finding(
+                f.rel_path, i, "dcheck-side-effect",
+                "SJ_DCHECK condition has a side effect (++/--/=); the "
+                "macro compiles out under NDEBUG, so behaviour would "
+                "differ between build types")
+
+
+RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
+    "raw-clock": check_raw_clock,
+    "naked-new": check_naked_new,
+    "stdout-in-lib": check_stdout_in_lib,
+    "detail-include": check_detail_include,
+    "dcheck-side-effect": check_dcheck_side_effect,
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def iter_files(root: str, paths: list[str]) -> Iterator[str]:
+    """Yields repo-relative paths of the C++ files to scan."""
+    if paths:
+        for p in paths:
+            abs_p = p if os.path.isabs(p) else os.path.join(root, p)
+            if os.path.isfile(abs_p):
+                yield os.path.relpath(abs_p, root).replace(os.sep, "/")
+            elif os.path.isdir(abs_p):
+                yield from _walk(root, abs_p)
+            else:
+                raise FileNotFoundError(p)
+        return
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        if os.path.isdir(top):
+            yield from _walk(root, top)
+
+
+def _walk(root: str, top: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(top):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in SKIP_DIR_NAMES)
+        for name in sorted(filenames):
+            if name.endswith(CXX_EXTENSIONS):
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                yield rel.replace(os.sep, "/")
+
+
+def lint_file(root: str, rel_path: str,
+              rules: dict[str, Callable]) -> list[Finding]:
+    with open(os.path.join(root, rel_path), encoding="utf-8") as fp:
+        raw = fp.read().splitlines()
+    f = SourceFile(rel_path, raw, strip_comments_and_strings(raw))
+    findings = []
+    for check in rules.values():
+        for finding in check(f):
+            if finding.rule not in allowed_rules(f.raw, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sj_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RULE",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan (default: "
+                             f"{', '.join(SCAN_DIRS)} under the root)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+    rules = RULES
+    if args.rule:
+        unknown = [r for r in args.rule if r not in RULES]
+        if unknown:
+            print(f"sj_lint: unknown rule(s): {', '.join(unknown)} "
+                  f"(see --list-rules)", file=sys.stderr)
+            return 2
+        rules = {name: RULES[name] for name in args.rule}
+
+    try:
+        files = list(iter_files(root, args.paths))
+    except FileNotFoundError as e:
+        print(f"sj_lint: no such file or directory: {e}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for rel_path in files:
+        findings.extend(lint_file(root, rel_path, rules))
+
+    for f in sorted(findings):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"sj_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

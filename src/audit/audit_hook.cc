@@ -1,5 +1,6 @@
 #include "audit/audit_hook.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
@@ -24,16 +25,27 @@ AuditLevel ParseLevel(const char* text) {
   return AuditLevel::kOff;
 }
 
-AuditLevel& ActiveLevel() {
-  static AuditLevel level = ParseLevel(std::getenv("SJ_AUDIT_LEVEL"));
+// Atomic so a SetAuditLevel on the main thread cannot race hook reads on
+// pool workers (e.g. the exec auditor consulted from parallel suites).
+// getenv is read once, before any worker exists.
+std::atomic<AuditLevel>& ActiveLevel() {
+  // (Trivially destructible, so the usual static-teardown hazard that
+  // makes other singletons leak on purpose does not apply here.)
+  static std::atomic<AuditLevel> level(
+      // NOLINTNEXTLINE(concurrency-mt-unsafe) — single read pre-threads.
+      ParseLevel(std::getenv("SJ_AUDIT_LEVEL")));
   return level;
 }
 
 }  // namespace
 
-AuditLevel CurrentAuditLevel() { return ActiveLevel(); }
+AuditLevel CurrentAuditLevel() {
+  return ActiveLevel().load(std::memory_order_relaxed);
+}
 
-void SetAuditLevel(AuditLevel level) { ActiveLevel() = level; }
+void SetAuditLevel(AuditLevel level) {
+  ActiveLevel().store(level, std::memory_order_relaxed);
+}
 
 bool AuditEnabled(AuditLevel at_least) {
   return static_cast<int>(CurrentAuditLevel()) >= static_cast<int>(at_least);

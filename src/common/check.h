@@ -38,12 +38,55 @@ namespace internal_check {
     }                                                                       \
   } while (0)
 
+/// SJ_CHECK_OK(expr) evaluates a Status expression and aborts with the
+/// rendered status if it is not OK. The standard way to consume a
+/// [[nodiscard]] Status whose failure has no recovery path at the call
+/// site (benches, tests, infallible-by-construction sequences).
+#define SJ_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    const auto& sj_check_ok_status_ = (expr);                              \
+    SJ_CHECK_MSG(sj_check_ok_status_.ok(),                                 \
+                 "non-OK status: " << sj_check_ok_status_.ToString());     \
+  } while (0)
+
 #define SJ_CHECK_EQ(a, b) SJ_CHECK_MSG((a) == (b), "expected equality")
 #define SJ_CHECK_NE(a, b) SJ_CHECK_MSG((a) != (b), "expected inequality")
 #define SJ_CHECK_LT(a, b) SJ_CHECK_MSG((a) < (b), "expected less-than")
 #define SJ_CHECK_LE(a, b) SJ_CHECK_MSG((a) <= (b), "expected less-or-equal")
 #define SJ_CHECK_GT(a, b) SJ_CHECK_MSG((a) > (b), "expected greater-than")
 #define SJ_CHECK_GE(a, b) SJ_CHECK_MSG((a) >= (b), "expected greater-or-equal")
+
+/// SJ_DCHECK(cond) is SJ_CHECK in debug builds and vanishes under NDEBUG
+/// (the default RelWithDebInfo build compiles it out). For invariants on
+/// hot paths whose cost matters — e.g. per-record validity checks inside
+/// scan loops. Two rules, both machine-enforced:
+///   * the condition must be side-effect free (sj_lint's
+///     `dcheck-side-effect` rule — a mutation here would make debug and
+///     release behave differently);
+///   * anything that guards memory safety or on-disk integrity stays a
+///     full SJ_CHECK.
+/// The compiled-out form still odr-uses nothing but parses `cond`, so a
+/// condition that stops compiling is caught in every build type.
+#ifdef NDEBUG
+#define SJ_DCHECK(cond) \
+  do {                  \
+    if (false) {        \
+      (void)(cond);     \
+    }                   \
+  } while (0)
+#define SJ_DCHECK_MSG(cond, msg) SJ_DCHECK(cond)
+#else
+#define SJ_DCHECK(cond) SJ_CHECK(cond)
+#define SJ_DCHECK_MSG(cond, msg) SJ_CHECK_MSG(cond, msg)
+#endif
+
+#define SJ_DCHECK_EQ(a, b) SJ_DCHECK_MSG((a) == (b), "expected equality")
+#define SJ_DCHECK_NE(a, b) SJ_DCHECK_MSG((a) != (b), "expected inequality")
+#define SJ_DCHECK_LT(a, b) SJ_DCHECK_MSG((a) < (b), "expected less-than")
+#define SJ_DCHECK_LE(a, b) SJ_DCHECK_MSG((a) <= (b), "expected less-or-equal")
+#define SJ_DCHECK_GT(a, b) SJ_DCHECK_MSG((a) > (b), "expected greater-than")
+#define SJ_DCHECK_GE(a, b) \
+  SJ_DCHECK_MSG((a) >= (b), "expected greater-or-equal")
 
 }  // namespace spatialjoin
 

@@ -1,0 +1,92 @@
+#ifndef SPATIALJOIN_COMMON_MUTEX_H_
+#define SPATIALJOIN_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace spatialjoin {
+
+/// Annotated mutex. A thin wrapper over std::mutex whose acquire/release
+/// methods carry thread-safety-analysis attributes — libstdc++'s
+/// std::mutex has none, so `clang -Wthread-safety` cannot check code
+/// that locks it directly. All engine code uses this type (and MutexLock
+/// below) so the analysis sees every critical section.
+///
+/// Also satisfies BasicLockable (lowercase lock()/unlock()), so it can
+/// be waited on by CondVar without exposing the wrapped std::mutex.
+class SJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SJ_ACQUIRE() { mu_.lock(); }
+  void Unlock() SJ_RELEASE() { mu_.unlock(); }
+  bool TryLock() SJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings for std interop (CondVar waits).
+  void lock() SJ_ACQUIRE() { mu_.lock(); }
+  void unlock() SJ_RELEASE() { mu_.unlock(); }
+  bool try_lock() SJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the direct replacement for std::lock_guard /
+/// std::scoped_lock in annotated code.
+class SJ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SJ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() SJ_RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Waits take the Mutex itself
+/// (condition_variable_any unlocks/relocks it around the sleep), so wait
+/// sites stay inside one annotated critical section: the analysis treats
+/// the mutex as held across the wait, which matches the invariant that
+/// guarded state is only *observed* with the lock held — the transient
+/// release inside wait() never exposes it.
+///
+/// Deliberately predicate-free: a predicate lambda is its own function
+/// to the analysis and would not inherit the caller's lock set, so every
+/// guarded read inside it would (rightly) warn. Callers write the
+/// standard loop instead, which keeps the predicate in the annotated
+/// scope:
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.Wait(mu_);   // spurious wakeups re-loop
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Releases `mu`, sleeps until notified (or spuriously), reacquires.
+  void Wait(Mutex& mu) SJ_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// As Wait, but also wakes (with the lock held) after `timeout`.
+  template <typename Rep, typename Period>
+  void WaitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout)
+      SJ_REQUIRES(mu) {
+    cv_.wait_for(mu, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_COMMON_MUTEX_H_

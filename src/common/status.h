@@ -25,7 +25,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight status object carrying a code and optional message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently-ignored failure (the
+/// exact bug class this engine's storage layer had with unflushed dirty
+/// pages), so discarding one is a compile error repo-wide. Where a
+/// discard is *deliberate* — a best-effort path whose failure is benign —
+/// call `IgnoreError()` and say why in a comment (DESIGN.md §9).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -59,6 +65,13 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// The documented escape hatch from [[nodiscard]]: consumes this status
+  /// without acting on it. Every call site must carry a comment
+  /// explaining why ignoring the error is correct there; the negative-
+  /// compile suite (tests/static_analysis/) proves plain discards do not
+  /// build.
+  void IgnoreError() const {}
+
   /// Renders "OK" or "CODE: message".
   std::string ToString() const;
 
@@ -68,9 +81,10 @@ class Status {
 };
 
 /// Result<T> is either a value or an error Status. Accessing the value of an
-/// error result is a checked programmer error.
+/// error result is a checked programmer error. [[nodiscard]] for the same
+/// reason as Status: an unexamined Result is a swallowed failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a non-OK status keeps call sites
   /// terse (`return value;` / `return Status::NotFound();`).

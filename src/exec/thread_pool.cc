@@ -44,10 +44,10 @@ ThreadPool::~ThreadPool() {
                "ThreadPool destroyed with tasks outstanding — join every "
                "TaskGroup before teardown");
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -63,14 +63,14 @@ void ThreadPool::Submit(std::function<void()> fn) {
   }
   {
     Worker& worker = *workers_[target];
-    std::lock_guard<std::mutex> lock(worker.mu);
+    MutexLock lock(worker.mu);
     worker.tasks.push_back(std::move(fn));
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++work_epoch_;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask(int self) {
@@ -79,7 +79,7 @@ bool ThreadPool::RunOneTask(int self) {
   const int width = num_workers();
   if (self >= 0) {
     Worker& own = *workers_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       // Owner takes the back: the most recently pushed — and most likely
       // cache-resident — task.
@@ -97,7 +97,7 @@ bool ThreadPool::RunOneTask(int self) {
       const int victim = (start + i) % width;
       if (victim == self) continue;
       Worker& worker = *workers_[static_cast<size_t>(victim)];
-      std::lock_guard<std::mutex> lock(worker.mu);
+      MutexLock lock(worker.mu);
       if (!worker.tasks.empty()) {
         // Thieves take the front: the oldest pending task.
         task = std::move(worker.tasks.front());
@@ -135,17 +135,17 @@ void ThreadPool::WorkerLoop(int self) {
   while (true) {
     uint64_t epoch;
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       if (stop_) return;
       epoch = work_epoch_;
     }
     if (RunOneTask(self)) continue;
     // All deques were empty at scan time; sleep until a submission bumps
     // the epoch (a submission racing the scan already bumped it, so the
-    // predicate is immediately true and no wakeup is missed).
+    // loop condition is immediately false and no wakeup is missed).
     ScopedSpan park("pool.park", "park");
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] { return stop_ || work_epoch_ != epoch; });
+    MutexLock lock(wake_mu_);
+    while (!stop_ && work_epoch_ == epoch) wake_cv_.Wait(wake_mu_);
     if (stop_) return;
   }
 }
@@ -175,13 +175,13 @@ ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
 
 void ThreadPool::TaskGroup::Spawn(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(sync_->mu);
+    MutexLock lock(sync_->mu);
     ++sync_->pending;
   }
   pool_->Submit([sync = sync_, fn = std::move(fn)] {
     fn();
-    std::lock_guard<std::mutex> lock(sync->mu);
-    if (--sync->pending == 0) sync->cv.notify_all();
+    MutexLock lock(sync->mu);
+    if (--sync->pending == 0) sync->cv.NotifyAll();
   });
 }
 
@@ -189,16 +189,17 @@ void ThreadPool::TaskGroup::Wait() {
   const int self = tls_pool == pool_ ? tls_worker : -1;
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(sync_->mu);
+      MutexLock lock(sync_->mu);
       if (sync_->pending == 0) return;
     }
     // Help: run pending pool tasks (ours or anyone's) instead of blocking.
     if (pool_->RunOneTask(self)) continue;
     // Nothing runnable — our stragglers are in flight on other threads.
     // The timed wait re-checks for helpable work in case new tasks land.
-    std::unique_lock<std::mutex> lock(sync_->mu);
-    sync_->cv.wait_for(lock, std::chrono::milliseconds(1),
-                       [&] { return sync_->pending == 0; });
+    MutexLock lock(sync_->mu);
+    if (sync_->pending != 0) {
+      sync_->cv.WaitFor(sync_->mu, std::chrono::milliseconds(1));
+    }
     if (sync_->pending == 0) return;
   }
 }
@@ -210,7 +211,7 @@ ThreadPool::Stats ThreadPool::stats() const {
   stats.tasks_executed = executed_.load(std::memory_order_relaxed);
   stats.tasks_stolen = stolen_.load(std::memory_order_relaxed);
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
+    MutexLock lock(worker->mu);
     stats.tasks_queued += static_cast<int64_t>(worker->tasks.size());
   }
   return stats;
@@ -223,6 +224,8 @@ bool ThreadPool::Quiescent() const {
 }
 
 ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: workers may outlive static destruction order.
+  // sj-lint: allow(naked-new)
   static ThreadPool* pool = new ThreadPool(
       std::max(1u, std::thread::hardware_concurrency()));
   return *pool;

@@ -2,14 +2,15 @@
 #define SPATIALJOIN_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -91,9 +92,9 @@ class ThreadPool {
     // safely even if the waiter returns (and the group dies) the moment
     // the count hits zero.
     struct Sync {
-      std::mutex mu;
-      std::condition_variable cv;
-      int64_t pending = 0;
+      Mutex mu;
+      CondVar cv;
+      int64_t pending SJ_GUARDED_BY(mu) = 0;
     };
 
     ThreadPool* pool_;
@@ -113,8 +114,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks SJ_GUARDED_BY(mu);
   };
 
   // Pushes onto a deque (the calling worker's own when called from inside
@@ -134,12 +135,12 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool stop_ SJ_GUARDED_BY(wake_mu_) = false;
   // Bumped on every Submit (under wake_mu_): lets a worker that found all
   // deques empty sleep without missing a submission that raced its scan.
-  uint64_t work_epoch_ = 0;
+  uint64_t work_epoch_ SJ_GUARDED_BY(wake_mu_) = 0;
 
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<int64_t> submitted_{0};

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace spatialjoin {
 
@@ -153,10 +155,27 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Get-or-create under mu_, shared by the three public getters. The
+  // returned pointer outlives the lock by design: instruments are
+  // internally atomic and never unregistered (see the class comment).
+  template <typename Instrument>
+  Instrument* GetOrCreateLocked(
+      std::map<std::string, std::unique_ptr<Instrument>>* instruments,
+      const std::string& name) SJ_REQUIRES(mu_) {
+    auto& slot = (*instruments)[name];
+    if (!slot) slot = std::make_unique<Instrument>();
+    return slot.get();
+  }
+
+  // mu_ guards the name → instrument maps (registration and iteration).
+  // The instruments themselves are lock-free; values read while threads
+  // are still incrementing are prefix-consistent, not exact.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SJ_GUARDED_BY(mu_);
 };
 
 }  // namespace spatialjoin

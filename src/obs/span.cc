@@ -1,8 +1,9 @@
 #include "obs/span.h"
 
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/timer.h"
 
 namespace spatialjoin {
@@ -16,12 +17,16 @@ namespace {
 /// registry object itself leaks for the same reason; everything stays
 /// reachable, so leak checkers are quiet.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<SpanRing>> rings;
-  size_t default_capacity = SpanRing::kDefaultCapacity;
+  Mutex mu;
+  // Ring *registration* is guarded; each ring's slots are lock-free and
+  // read by the exporter with the torn-slot discipline (trace_export.cc).
+  std::vector<std::unique_ptr<SpanRing>> rings SJ_GUARDED_BY(mu);
+  size_t default_capacity SJ_GUARDED_BY(mu) = SpanRing::kDefaultCapacity;
 };
 
 Registry& GlobalRegistry() {
+  // Leaked on purpose: spans may be emitted during static destruction.
+  // sj-lint: allow(naked-new)
   static Registry* registry = new Registry();
   return *registry;
 }
@@ -71,7 +76,7 @@ SpanRing* Tracing::CurrentThreadRing() {
   SpanRing* ring = tls_ring;
   if (ring != nullptr) return ring;
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto owned = std::make_unique<SpanRing>(
       static_cast<int>(registry.rings.size()), registry.default_capacity);
   ring = owned.get();
@@ -86,7 +91,7 @@ SpanRing* Tracing::CurrentThreadRing() {
 void Tracing::SetThreadName(std::string_view name) {
   if (tls_ring != nullptr) {
     Registry& registry = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     tls_ring->set_thread_name(std::string(name));
     return;
   }
@@ -97,7 +102,7 @@ void Tracing::SetThreadName(std::string_view name) {
 
 std::vector<SpanRing*> Tracing::Rings() {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::vector<SpanRing*> rings;
   rings.reserve(registry.rings.size());
   for (const auto& ring : registry.rings) rings.push_back(ring.get());
@@ -110,7 +115,7 @@ void Tracing::Reset() {
 
 void Tracing::SetDefaultRingCapacityForTesting(size_t capacity) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.default_capacity = capacity == 0 ? 1 : capacity;
 }
 

@@ -173,7 +173,9 @@ bool WriteTraceArtifact(const std::string& path) {
     return false;
   }
   WriteChromeTrace(out);
-  std::cout << "trace artifact: " << path << "\n";
+  // Diagnostics go to stderr: library code must leave stdout to the
+  // embedding tool (a bench piping JSON to a plotter owns stdout).
+  std::cerr << "trace artifact: " << path << "\n";
   return true;
 }
 

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -37,18 +39,32 @@ BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
   SJ_CHECK_GE(capacity_pages, 1);
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+  Status status = FlushAll();
+  if (!status.ok()) {
+    // Destructors have no error channel. The data for the failed pages is
+    // lost with the pool, which is exactly what a caller opted into by
+    // not calling FlushAll() itself — but it must never be *silent*.
+    std::fprintf(stderr, "BufferPool: flush on destruction failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
 
-BufferPool::Frame& BufferPool::Touch(std::list<Frame>::iterator it) {
+BufferPool::Frame& BufferPool::TouchLocked(std::list<Frame>::iterator it) {
   frames_.splice(frames_.begin(), frames_, it);
   index_[frames_.front().id] = frames_.begin();
   return frames_.front();
 }
 
-void BufferPool::EvictIfFull() {
+void BufferPool::EvictIfFullLocked() {
   while (static_cast<int64_t>(frames_.size()) >= capacity_) {
     Frame& victim = frames_.back();
-    if (victim.dirty) disk_->WritePage(victim.id, victim.page);
+    if (victim.dirty) {
+      // A lost write here would silently corrupt the on-disk image (the
+      // only remaining copy of the frame dies below), so eviction demands
+      // success. FlushAll/Clear are the recoverable paths.
+      SJ_CHECK_OK(disk_->WritePage(victim.id, victim.page));
+    }
     index_.erase(victim.id);
     frames_.pop_back();
     ++stats_.evictions;
@@ -56,51 +72,56 @@ void BufferPool::EvictIfFull() {
   }
 }
 
-BufferPool::Frame& BufferPool::Fault(PageId id) {
+BufferPool::Frame& BufferPool::FaultLocked(PageId id) {
   // Miss stall: the query is blocked on the (simulated) disk — eviction
   // write-back plus the page read. Timeline views show these as the gaps
   // the cost model's C_IO term prices.
   SJ_SPAN_CAT("pool.miss_stall", "storage");
-  EvictIfFull();
+  EvictIfFullLocked();
   frames_.emplace_front();
   Frame& frame = frames_.front();
   frame.id = id;
-  disk_->ReadPage(id, &frame.page);
+  // Faulting an id the disk never allocated is a programmer error, not a
+  // recoverable condition (ids only come from AllocatePage/NewPage).
+  SJ_CHECK_OK(disk_->ReadPage(id, &frame.page));
   index_[id] = frames_.begin();
   return frame;
 }
 
 const Page* BufferPool::GetPage(PageId id) {
+  MutexLock lock(mu_);
   auto it = index_.find(id);
   if (it != index_.end()) {
     ++stats_.hits;
     HitsCounter()->Increment();
-    return &Touch(it->second).page;
+    return &TouchLocked(it->second).page;
   }
   ++stats_.misses;
   MissesCounter()->Increment();
-  return &Fault(id).page;
+  return &FaultLocked(id).page;
 }
 
 Page* BufferPool::GetMutablePage(PageId id) {
+  MutexLock lock(mu_);
   auto it = index_.find(id);
   Frame* frame;
   if (it != index_.end()) {
     ++stats_.hits;
     HitsCounter()->Increment();
-    frame = &Touch(it->second);
+    frame = &TouchLocked(it->second);
   } else {
     ++stats_.misses;
     MissesCounter()->Increment();
-    frame = &Fault(id);
+    frame = &FaultLocked(id);
   }
   frame->dirty = true;
   return &frame->page;
 }
 
 PageId BufferPool::NewPage() {
+  MutexLock lock(mu_);
   PageId id = disk_->AllocatePage();
-  EvictIfFull();
+  EvictIfFullLocked();
   frames_.emplace_front();
   Frame& frame = frames_.front();
   frame.id = id;
@@ -110,16 +131,27 @@ PageId BufferPool::NewPage() {
   return id;
 }
 
-void BufferPool::FlushAll() {
+Status BufferPool::FlushAllLocked() {
+  Status first_error;
   for (Frame& frame : frames_) {
-    if (frame.dirty) {
-      disk_->WritePage(frame.id, frame.page);
+    if (!frame.dirty) continue;
+    Status status = disk_->WritePage(frame.id, frame.page);
+    if (status.ok()) {
       frame.dirty = false;
+    } else if (first_error.ok()) {
+      first_error = std::move(status);
     }
   }
+  return first_error;
+}
+
+Status BufferPool::FlushAll() {
+  MutexLock lock(mu_);
+  return FlushAllLocked();
 }
 
 std::vector<BufferPool::FrameInfo> BufferPool::ResidentFrames() const {
+  MutexLock lock(mu_);
   std::vector<FrameInfo> out;
   out.reserve(frames_.size());
   for (const Frame& frame : frames_) {
@@ -128,10 +160,25 @@ std::vector<BufferPool::FrameInfo> BufferPool::ResidentFrames() const {
   return out;
 }
 
-void BufferPool::Clear() {
-  FlushAll();
+BufferPoolStats BufferPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  MutexLock lock(mu_);
+  stats_ = BufferPoolStats{};
+}
+
+Status BufferPool::Clear() {
+  MutexLock lock(mu_);
+  Status status = FlushAllLocked();
+  // Keep everything resident on failure: the unflushed frames hold the
+  // only copy of their pages.
+  if (!status.ok()) return status;
   frames_.clear();
   index_.clear();
+  return Status::Ok();
 }
 
 }  // namespace spatialjoin

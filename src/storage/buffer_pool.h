@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -42,9 +45,16 @@ struct BufferPoolStats {
 /// the blocked nested-loop and JOIN strategies reserve M−10 pages for one
 /// operand (§4.4).
 ///
-/// Access pattern: GetPage pins nothing — callers receive a pointer valid
-/// until the next BufferPool call. This single-threaded discipline keeps
-/// the engine simple; algorithms copy what they need to retain.
+/// Thread-safety: the frame table, LRU list, and stats are guarded by
+/// `mu_` (every public entry point takes it; the private `*Locked()`
+/// helpers require it — enforced by clang -Wthread-safety). What the lock
+/// can NOT protect is the `Page*` a Get call returns: it points into a
+/// frame that the *next* fault on any thread may evict. The pointer
+/// contract is therefore unchanged from the single-threaded design — a
+/// returned pointer is valid only until the same pool is touched again,
+/// so concurrent query execution snapshots what it needs (FrozenTree) or
+/// gives each worker its own pool. Lock order: BufferPool::mu_ →
+/// DiskManager::mu_.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, int64_t capacity_pages);
@@ -52,36 +62,48 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  /// Best-effort flush (see FlushAll); a dirty page that fails to write
+  /// back during destruction is dropped after the failure is reported to
+  /// stderr. Callers that must not lose data call FlushAll() first and
+  /// act on its Status.
   ~BufferPool();
 
   /// Returns a read-only view of page `id`, faulting it in on a miss.
-  const Page* GetPage(PageId id);
+  /// Valid until the next call on this pool (see class comment).
+  const Page* GetPage(PageId id) SJ_EXCLUDES(mu_);
 
   /// Returns a writable view of page `id` and marks it dirty.
-  Page* GetMutablePage(PageId id);
+  Page* GetMutablePage(PageId id) SJ_EXCLUDES(mu_);
 
   /// Allocates a fresh page on the backing disk and caches it dirty.
-  PageId NewPage();
+  PageId NewPage() SJ_EXCLUDES(mu_);
 
-  /// Writes back all dirty pages.
-  void FlushAll();
+  /// Writes back all dirty pages. On a write failure the sweep continues
+  /// (so one bad page does not pin every other dirty page) and the first
+  /// error is returned; failed pages stay dirty and resident.
+  Status FlushAll() SJ_EXCLUDES(mu_);
 
   /// Drops everything (writing dirty pages back). Subsequent accesses
   /// re-read from disk; benches use this to start measurements cold.
+  /// On a write-back failure nothing is dropped (the error is returned
+  /// and the pool is unchanged): clearing would destroy the only copy of
+  /// the unwritten pages.
   ///
   /// Chosen semantics (pinned by BufferPoolTest.ClearDoesNotCountEvictions):
   /// dropping frames here does NOT increment `stats().evictions` — that
   /// counter measures capacity pressure during a workload, and a bulk
   /// reset is not pressure. Consequently `Clear()` and `ResetStats()`
   /// commute: either order yields all-zero stats before a cold run.
-  void Clear();
+  Status Clear() SJ_EXCLUDES(mu_);
 
   int64_t capacity_pages() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Snapshot of the hit/miss counters (by value: the live struct is
+  /// guarded by mu_).
+  BufferPoolStats stats() const SJ_EXCLUDES(mu_);
   /// Zeroes this pool's stats view. The global MetricsRegistry counters
   /// ("storage.buffer_pool.*") are cumulative and unaffected; reset those
   /// via MetricsRegistry::ResetAll().
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats() SJ_EXCLUDES(mu_);
 
   DiskManager* disk() { return disk_; }
   const DiskManager* disk() const { return disk_; }
@@ -94,7 +116,7 @@ class BufferPool {
 
   /// The resident frames in recency order (MRU first). O(capacity);
   /// does not touch stats or recency.
-  std::vector<FrameInfo> ResidentFrames() const;
+  std::vector<FrameInfo> ResidentFrames() const SJ_EXCLUDES(mu_);
 
  private:
   struct Frame {
@@ -104,16 +126,24 @@ class BufferPool {
   };
 
   // Moves `it` to the MRU position and returns its frame.
-  Frame& Touch(std::list<Frame>::iterator it);
-  Frame& Fault(PageId id);
-  void EvictIfFull();
+  Frame& TouchLocked(std::list<Frame>::iterator it) SJ_REQUIRES(mu_);
+  // Faults `id` in (evicting if at capacity) and returns its frame.
+  // Read/write-back failures on the simulated disk are fatal here: the
+  // pointer-returning Get API has no error channel, and losing a dirty
+  // victim would corrupt the database silently.
+  Frame& FaultLocked(PageId id) SJ_REQUIRES(mu_);
+  void EvictIfFullLocked() SJ_REQUIRES(mu_);
+  // Shared flush sweep; returns the first write error, keeps sweeping.
+  Status FlushAllLocked() SJ_REQUIRES(mu_);
 
-  DiskManager* disk_;
-  int64_t capacity_;
+  DiskManager* const disk_;
+  const int64_t capacity_;
+  mutable Mutex mu_;
   // MRU at front, LRU at back.
-  std::list<Frame> frames_;
-  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
-  BufferPoolStats stats_;
+  std::list<Frame> frames_ SJ_GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_
+      SJ_GUARDED_BY(mu_);
+  BufferPoolStats stats_ SJ_GUARDED_BY(mu_);
 };
 
 }  // namespace spatialjoin

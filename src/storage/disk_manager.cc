@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -41,33 +42,74 @@ DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {
   SJ_CHECK_GE(page_size, 64u);
 }
 
+int64_t DiskManager::num_pages() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(pages_.size());
+}
+
 PageId DiskManager::AllocatePage() {
+  MutexLock lock(mu_);
   pages_.emplace_back(page_size_);
   ++stats_.pages_allocated;
   PagesAllocatedCounter()->Increment();
   return static_cast<PageId>(pages_.size()) - 1;
 }
 
-void DiskManager::ReadPage(PageId id, Page* out) {
-  SJ_CHECK_GE(id, 0);
-  SJ_CHECK_LT(id, num_pages());
+Status DiskManager::ReadPage(PageId id, Page* out) {
+  MutexLock lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size()) {
+    return Status::OutOfRange("ReadPage: page " + std::to_string(id) +
+                              " of " + std::to_string(pages_.size()));
+  }
   *out = pages_[static_cast<size_t>(id)];
   ++stats_.page_reads;
   PageReadsCounter()->Increment();
+  return Status::Ok();
 }
 
-void DiskManager::WritePage(PageId id, const Page& in) {
-  SJ_CHECK_GE(id, 0);
-  SJ_CHECK_LT(id, num_pages());
-  SJ_CHECK_EQ(in.size(), page_size_);
+Status DiskManager::WritePage(PageId id, const Page& in) {
+  MutexLock lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= pages_.size()) {
+    return Status::OutOfRange("WritePage: page " + std::to_string(id) +
+                              " of " + std::to_string(pages_.size()));
+  }
+  if (in.size() != page_size_) {
+    return Status::InvalidArgument(
+        "WritePage: buffer of " + std::to_string(in.size()) +
+        " bytes, page size is " + std::to_string(page_size_));
+  }
+  if (fail_next_writes_ > 0) {
+    --fail_next_writes_;
+    return Status::Internal("WritePage: injected device failure on page " +
+                            std::to_string(id));
+  }
   pages_[static_cast<size_t>(id)] = in;
   ++stats_.page_writes;
   PageWritesCounter()->Increment();
+  return Status::Ok();
 }
 
-bool DiskManager::SaveSnapshot(const std::string& path) const {
+void DiskManager::FailNextWrites(int n) {
+  MutexLock lock(mu_);
+  fail_next_writes_ = n;
+}
+
+IoStats DiskManager::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void DiskManager::ResetStats() {
+  MutexLock lock(mu_);
+  stats_ = IoStats{};
+}
+
+Status DiskManager::SaveSnapshot(const std::string& path) const {
+  MutexLock lock(mu_);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
+  if (!out) {
+    return Status::NotFound("SaveSnapshot: cannot open " + path);
+  }
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
   uint64_t page_size = page_size_;
   uint64_t page_count = pages_.size();
@@ -78,34 +120,51 @@ bool DiskManager::SaveSnapshot(const std::string& path) const {
     out.write(reinterpret_cast<const char*>(page.bytes()),
               static_cast<std::streamsize>(page.size()));
   }
-  return static_cast<bool>(out);
+  if (!out) {
+    return Status::Internal("SaveSnapshot: short write to " + path);
+  }
+  return Status::Ok();
 }
 
-bool DiskManager::LoadSnapshot(const std::string& path) {
+Status DiskManager::LoadSnapshot(const std::string& path) {
+  MutexLock lock(mu_);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) {
+    return Status::NotFound("LoadSnapshot: cannot open " + path);
+  }
   char magic[sizeof(kSnapshotMagic)];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
-    return false;
+    return Status::InvalidArgument("LoadSnapshot: bad magic in " + path);
   }
   uint64_t page_size = 0;
   uint64_t page_count = 0;
   in.read(reinterpret_cast<char*>(&page_size), sizeof(page_size));
   in.read(reinterpret_cast<char*>(&page_count), sizeof(page_count));
-  if (!in || page_size != page_size_) return false;
+  if (!in) {
+    return Status::InvalidArgument("LoadSnapshot: truncated header in " +
+                                   path);
+  }
+  if (page_size != page_size_) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot: snapshot page size " + std::to_string(page_size) +
+        " != disk page size " + std::to_string(page_size_));
+  }
   std::vector<Page> pages;
   pages.reserve(page_count);
   for (uint64_t i = 0; i < page_count; ++i) {
     Page page(page_size_);
     in.read(reinterpret_cast<char*>(page.bytes()),
             static_cast<std::streamsize>(page_size_));
-    if (!in) return false;
+    if (!in) {
+      return Status::InvalidArgument("LoadSnapshot: truncated page " +
+                                     std::to_string(i) + " in " + path);
+    }
     pages.push_back(std::move(page));
   }
   pages_ = std::move(pages);
   stats_ = IoStats{};
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace spatialjoin

@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -15,6 +18,17 @@ namespace spatialjoin {
 /// (see DESIGN.md substitutions): the paper's model charges a constant
 /// C_IO per page access, so page-access *counts* are the faithful metric
 /// and wall-clock timing of a modern SSD would not be.
+///
+/// Thread-safety: internally synchronized. `mu_` guards the page array and
+/// the counters, so concurrent readers/writers (e.g. two buffer pools on
+/// different threads sharing one disk) keep the image and the I/O counts
+/// consistent. Lock order: BufferPool::mu_ → DiskManager::mu_ (the pool
+/// calls the disk under its own lock; the disk never calls back up).
+///
+/// Error discipline: page I/O and snapshot I/O return [[nodiscard]] Status
+/// instead of aborting or returning bool — out-of-range ids, size
+/// mismatches, and (injected) device failures are reportable conditions a
+/// caller must consume (DESIGN.md §9).
 class DiskManager {
  public:
   /// Creates a disk with the given page size in bytes.
@@ -24,36 +38,49 @@ class DiskManager {
   DiskManager& operator=(const DiskManager&) = delete;
 
   size_t page_size() const { return page_size_; }
-  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+  int64_t num_pages() const SJ_EXCLUDES(mu_);
 
   /// Allocates a zeroed page and returns its id.
-  PageId AllocatePage();
+  PageId AllocatePage() SJ_EXCLUDES(mu_);
 
-  /// Copies page `id` into `out` (resized to the page size). Counts one read.
-  void ReadPage(PageId id, Page* out);
+  /// Copies page `id` into `out` (resized to the page size). Counts one
+  /// read. Fails with kOutOfRange for an id this disk never allocated.
+  Status ReadPage(PageId id, Page* out) SJ_EXCLUDES(mu_);
 
-  /// Overwrites page `id` from `in`. Counts one write.
-  void WritePage(PageId id, const Page& in);
+  /// Overwrites page `id` from `in`. Counts one write. Fails with
+  /// kOutOfRange for an unallocated id, kInvalidArgument when `in` is not
+  /// exactly one page, and kInternal for an injected device failure (the
+  /// page is left untouched in every failure case).
+  Status WritePage(PageId id, const Page& in) SJ_EXCLUDES(mu_);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Arms fault injection: the next `n` WritePage calls fail with
+  /// kInternal without applying the write. Tests use this to prove the
+  /// flush/eviction paths surface — rather than swallow — device errors.
+  void FailNextWrites(int n) SJ_EXCLUDES(mu_);
+
+  /// Snapshot of the I/O counters (by value: the live struct is guarded).
+  IoStats stats() const SJ_EXCLUDES(mu_);
+  void ResetStats() SJ_EXCLUDES(mu_);
 
   /// Persists the whole disk image (page size + all pages) to a file.
   /// Page-level persistence only: in-memory directories (heap-file page
   /// lists, index root ids) are the owning structures' to re-derive or
   /// re-store — the same division of labor as the paper's model, which
-  /// excludes catalog traffic. Returns false on I/O failure.
-  bool SaveSnapshot(const std::string& path) const;
+  /// excludes catalog traffic.
+  Status SaveSnapshot(const std::string& path) const SJ_EXCLUDES(mu_);
 
   /// Replaces this disk's content with a snapshot previously written by
-  /// SaveSnapshot. The page size must match. Counters are reset.
-  /// Returns false on I/O failure or format mismatch.
-  bool LoadSnapshot(const std::string& path);
+  /// SaveSnapshot. The page size must match (kFailedPrecondition
+  /// otherwise; kNotFound / kInvalidArgument for a missing or malformed
+  /// file). Counters are reset on success.
+  Status LoadSnapshot(const std::string& path) SJ_EXCLUDES(mu_);
 
  private:
-  size_t page_size_;
-  std::vector<Page> pages_;
-  IoStats stats_;
+  const size_t page_size_;
+  mutable Mutex mu_;
+  std::vector<Page> pages_ SJ_GUARDED_BY(mu_);
+  IoStats stats_ SJ_GUARDED_BY(mu_);
+  int fail_next_writes_ SJ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace spatialjoin

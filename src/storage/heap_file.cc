@@ -39,6 +39,7 @@ RecordId HeapFile::Insert(std::string_view record) {
   SJ_CHECK_MSG(record.size() + 8 <= pool_->disk()->page_size(),
                "record of " << record.size()
                             << " bytes does not fit on a page");
+  MutexLock lock(mu_);
   if (!pages_.empty()) {
     PageId last = pages_.back();
     Page* page = pool_->GetMutablePage(last);
@@ -60,7 +61,9 @@ RecordId HeapFile::Insert(std::string_view record) {
 }
 
 bool HeapFile::Read(const RecordId& rid, std::string* out) {
-  SJ_CHECK(rid.is_valid());
+  // Debug-only: runs once per record on scan-heavy paths, and an invalid
+  // page id is still caught (fatally) by the pool's disk read.
+  SJ_DCHECK(rid.is_valid());
   ReadsCounter()->Increment();
   const Page* page = pool_->GetPage(rid.page_id);
   auto bytes = slotted::Read(*page, rid.slot);
@@ -70,7 +73,8 @@ bool HeapFile::Read(const RecordId& rid, std::string* out) {
 }
 
 bool HeapFile::Delete(const RecordId& rid) {
-  SJ_CHECK(rid.is_valid());
+  SJ_DCHECK(rid.is_valid());  // as in Read: re-checked by the disk layer
+  MutexLock lock(mu_);
   Page* page = pool_->GetMutablePage(rid.page_id);
   if (!slotted::Delete(page, rid.slot)) return false;
   --num_records_;
@@ -80,7 +84,9 @@ bool HeapFile::Delete(const RecordId& rid) {
 
 void HeapFile::Scan(
     const std::function<void(const RecordId&, std::string_view)>& fn) {
-  for (PageId pid : pages_) {
+  // Snapshot the directory so `fn` can call back into this file (or its
+  // pool) without holding mu_ — see the header contract.
+  for (PageId pid : pages()) {
     const Page* page = pool_->GetPage(pid);
     uint16_t slots = slotted::NumSlots(*page);
     for (uint16_t s = 0; s < slots; ++s) {

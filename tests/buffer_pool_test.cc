@@ -19,9 +19,9 @@ TEST(DiskManagerTest, AllocateReadWrite) {
   EXPECT_EQ(p1, 1);
   Page page(256);
   page.data[0] = 0xAB;
-  disk.WritePage(p1, page);
+  ASSERT_TRUE(disk.WritePage(p1, page).ok());
   Page read_back;
-  disk.ReadPage(p1, &read_back);
+  ASSERT_TRUE(disk.ReadPage(p1, &read_back).ok());
   EXPECT_EQ(read_back.data[0], 0xAB);
   EXPECT_EQ(disk.stats().page_reads, 1);
   EXPECT_EQ(disk.stats().page_writes, 1);
@@ -70,7 +70,7 @@ TEST(BufferPoolTest, DirtyPagesWrittenOnEviction) {
   // Evict `target` by touching more pages than the capacity.
   for (PageId pid : fillers) pool.GetPage(pid);
   Page verify;
-  disk.ReadPage(target, &verify);
+  ASSERT_TRUE(disk.ReadPage(target, &verify).ok());
   EXPECT_EQ(verify.data[7], 0x77);
 }
 
@@ -79,9 +79,9 @@ TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
   PageId pid = disk.AllocatePage();
   BufferPool pool(&disk, 4);
   pool.GetMutablePage(pid)->data[3] = 0x42;
-  pool.FlushAll();
+  ASSERT_TRUE(pool.FlushAll().ok());
   Page verify;
-  disk.ReadPage(pid, &verify);
+  ASSERT_TRUE(disk.ReadPage(pid, &verify).ok());
   EXPECT_EQ(verify.data[3], 0x42);
 }
 
@@ -90,7 +90,7 @@ TEST(BufferPoolTest, ClearDropsCache) {
   PageId pid = disk.AllocatePage();
   BufferPool pool(&disk, 4);
   pool.GetPage(pid);
-  pool.Clear();
+  ASSERT_TRUE(pool.Clear().ok());
   disk.ResetStats();
   pool.GetPage(pid);
   EXPECT_EQ(disk.stats().page_reads, 1);  // cold again
@@ -106,7 +106,7 @@ TEST(BufferPoolTest, ClearDoesNotCountEvictions) {
   BufferPool pool(&disk, 4);
   for (PageId pid : pids) pool.GetPage(pid);
   EXPECT_EQ(pool.stats().evictions, 0);
-  pool.Clear();  // drops 3 resident frames
+  ASSERT_TRUE(pool.Clear().ok());  // drops 3 resident frames
   EXPECT_EQ(pool.stats().evictions, 0);
   // Capacity pressure, by contrast, does count.
   BufferPool tiny(&disk, 1);
@@ -122,13 +122,13 @@ TEST(BufferPoolTest, ClearAndResetStatsCommute) {
   // Order A: Clear() then ResetStats().
   BufferPool a(&disk, 4);
   a.GetPage(pid);
-  a.Clear();
+  ASSERT_TRUE(a.Clear().ok());
   a.ResetStats();
   // Order B: ResetStats() then Clear().
   BufferPool b(&disk, 4);
   b.GetPage(pid);
   b.ResetStats();
-  b.Clear();
+  ASSERT_TRUE(b.Clear().ok());
 
   EXPECT_EQ(a.stats().hits, b.stats().hits);
   EXPECT_EQ(a.stats().misses, b.stats().misses);
@@ -149,9 +149,9 @@ TEST(BufferPoolTest, NewPageIsCachedAndDirty) {
   Page* page = pool.GetMutablePage(pid);
   page->data[0] = 1;
   EXPECT_EQ(disk.stats().page_reads, 0);  // no fault needed
-  pool.FlushAll();
+  ASSERT_TRUE(pool.FlushAll().ok());
   Page verify;
-  disk.ReadPage(pid, &verify);
+  ASSERT_TRUE(disk.ReadPage(pid, &verify).ok());
   EXPECT_EQ(verify.data[0], 1);
 }
 
@@ -163,21 +163,21 @@ TEST(DiskSnapshotTest, RoundTripPreservesPages) {
     for (size_t b = 0; b < page.size(); ++b) {
       page.data[b] = static_cast<uint8_t>((i * 37 + b) % 251);
     }
-    disk.WritePage(pid, page);
+    ASSERT_TRUE(disk.WritePage(pid, page).ok());
   }
   const std::string path = "/tmp/sj_snapshot_test.bin";
-  ASSERT_TRUE(disk.SaveSnapshot(path));
+  ASSERT_TRUE(disk.SaveSnapshot(path).ok());
 
   // Trash the live disk, then restore.
   Page zero(512);
   for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
-    disk.WritePage(pid, zero);
+    ASSERT_TRUE(disk.WritePage(pid, zero).ok());
   }
-  ASSERT_TRUE(disk.LoadSnapshot(path));
+  ASSERT_TRUE(disk.LoadSnapshot(path).ok());
   EXPECT_EQ(disk.num_pages(), 20);
   for (int i = 0; i < 20; ++i) {
     Page page;
-    disk.ReadPage(i, &page);
+    ASSERT_TRUE(disk.ReadPage(i, &page).ok());
     for (size_t b = 0; b < page.size(); ++b) {
       ASSERT_EQ(page.data[b], static_cast<uint8_t>((i * 37 + b) % 251))
           << "page " << i << " byte " << b;
@@ -190,21 +190,24 @@ TEST(DiskSnapshotTest, RejectsMismatchedPageSize) {
   DiskManager small(512);
   small.AllocatePage();
   const std::string path = "/tmp/sj_snapshot_mismatch.bin";
-  ASSERT_TRUE(small.SaveSnapshot(path));
+  ASSERT_TRUE(small.SaveSnapshot(path).ok());
   DiskManager large(2000);
-  EXPECT_FALSE(large.LoadSnapshot(path));
+  Status status = large.LoadSnapshot(path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
   std::remove(path.c_str());
 }
 
 TEST(DiskSnapshotTest, RejectsMissingOrCorruptFile) {
   DiskManager disk(512);
-  EXPECT_FALSE(disk.LoadSnapshot("/tmp/sj_does_not_exist.bin"));
+  EXPECT_EQ(disk.LoadSnapshot("/tmp/sj_does_not_exist.bin").code(),
+            StatusCode::kNotFound);
   const std::string path = "/tmp/sj_snapshot_corrupt.bin";
   {
     std::ofstream out(path, std::ios::binary);
     out << "not a snapshot";
   }
-  EXPECT_FALSE(disk.LoadSnapshot(path));
+  EXPECT_EQ(disk.LoadSnapshot(path).code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 
@@ -221,20 +224,20 @@ TEST(DiskSnapshotTest, RelationSurvivesSnapshotAndRestore) {
       double x = static_cast<double>(i);
       rel.Insert(Tuple({Value(i), Value(Rectangle(x, 0, x + 1.0, 1))}));
     }
-    pool.FlushAll();
-    ASSERT_TRUE(disk.SaveSnapshot(path));
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(disk.SaveSnapshot(path).ok());
     // Corrupt everything on "disk".
     Page zero(2000);
     for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
-      disk.WritePage(pid, zero);
+      ASSERT_TRUE(disk.WritePage(pid, zero).ok());
     }
-    ASSERT_TRUE(disk.LoadSnapshot(path));
+    ASSERT_TRUE(disk.LoadSnapshot(path).ok());
     // The relation's in-memory directory still points at the right
     // pages; reads see the restored bytes.
     BufferPool fresh_pool(&disk, 64);
     // (Relation holds the original pool; re-read through it after
     // clearing so nothing stale is cached.)
-    pool.Clear();
+    ASSERT_TRUE(pool.Clear().ok());
     for (int64_t i = 0; i < 40; ++i) {
       Tuple t = rel.Read(i);
       EXPECT_EQ(t.value(0).AsInt64(), i);
@@ -243,6 +246,78 @@ TEST(DiskSnapshotTest, RelationSurvivesSnapshotAndRestore) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(DiskManagerTest, ReadWriteOutOfRangeReturnStatus) {
+  DiskManager disk(256);
+  disk.AllocatePage();
+  Page page(256);
+  EXPECT_EQ(disk.WritePage(7, page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.WritePage(-1, page).code(), StatusCode::kOutOfRange);
+  Page out;
+  EXPECT_EQ(disk.ReadPage(7, &out).code(), StatusCode::kOutOfRange);
+  // A wrong-sized buffer is rejected before touching the page.
+  Page small(128);
+  EXPECT_EQ(disk.WritePage(0, small).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.stats().page_writes, 0);
+  EXPECT_EQ(disk.stats().page_reads, 0);
+}
+
+// The bug class this PR's [[nodiscard]] sweep closes: a failed write-back
+// during FlushAll used to vanish (WritePage returned void). Now the
+// status propagates, the page stays dirty, and a retry completes the
+// flush once the device recovers.
+TEST(BufferPoolTest, FlushAllSurfacesWriteFailureAndKeepsPageDirty) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetMutablePage(pid)->data[0] = 0x5A;
+  disk.FailNextWrites(1);
+  Status status = pool.FlushAll();
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  // Still dirty: the flush must be retryable, not silently "done".
+  auto frames = pool.ResidentFrames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].dirty);
+  // Device recovered: retry persists the page.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page verify;
+  ASSERT_TRUE(disk.ReadPage(pid, &verify).ok());
+  EXPECT_EQ(verify.data[0], 0x5A);
+}
+
+TEST(BufferPoolTest, ClearKeepsFramesWhenFlushFails) {
+  DiskManager disk(256);
+  PageId pid = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetMutablePage(pid)->data[0] = 0x77;
+  disk.FailNextWrites(1);
+  EXPECT_FALSE(pool.Clear().ok());
+  // Nothing was dropped: the dirty frame held the only copy.
+  ASSERT_EQ(pool.ResidentFrames().size(), 1u);
+  ASSERT_TRUE(pool.Clear().ok());
+  EXPECT_TRUE(pool.ResidentFrames().empty());
+  Page verify;
+  ASSERT_TRUE(disk.ReadPage(pid, &verify).ok());
+  EXPECT_EQ(verify.data[0], 0x77);
+}
+
+// One failed page must not pin the rest of a flush sweep: the sweep
+// continues, reports the first error, and only the failed page remains
+// dirty.
+TEST(BufferPoolTest, FlushAllContinuesPastFailedPage) {
+  DiskManager disk(256);
+  PageId a = disk.AllocatePage();
+  PageId b = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.GetMutablePage(a)->data[0] = 0x01;
+  pool.GetMutablePage(b)->data[0] = 0x02;
+  disk.FailNextWrites(1);
+  EXPECT_FALSE(pool.FlushAll().ok());
+  int dirty = 0;
+  for (const auto& frame : pool.ResidentFrames()) dirty += frame.dirty;
+  EXPECT_EQ(dirty, 1);  // exactly the failed page survived dirty
+  ASSERT_TRUE(pool.FlushAll().ok());
 }
 
 TEST(IoStatsTest, Difference) {

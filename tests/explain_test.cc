@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/check.h"
 #include "core/planner.h"
 #include "core/spatial_join.h"
 #include "core/theta_ops.h"
@@ -51,7 +52,7 @@ class ExplainTest : public ::testing::Test {
 
   ExplainReport RunExplainedJoin(QueryTrace* trace) {
     OverlapsOp op;
-    pool_.Clear();
+    SJ_CHECK_OK(pool_.Clear());
     pool_.ResetStats();
     disk_.ResetStats();
     IoStats io_before = disk_.stats();

@@ -77,7 +77,7 @@ TEST(MemoryGenTreeTest, GeometryReadsFromAttachedRelation) {
   NodeId node = tree.AddNode(root, Value(Rectangle(0, 0, 4, 4)), t0);
   tree.AttachRelation(&rel, 1);
 
-  pool.Clear();
+  ASSERT_TRUE(pool.Clear().ok());
   int64_t reads_before = disk.stats().page_reads;
   Value geom = tree.Geometry(node);
   EXPECT_EQ(geom.AsRectangle(), Rectangle(0, 0, 4, 4));

@@ -102,7 +102,7 @@ TEST_F(HousesLakesIntegrationTest, SpatialSelectionForOneLake) {
 
 TEST_F(HousesLakesIntegrationTest, IoAccountingFlowsThroughStack) {
   WithinBufferOp op(10.0);
-  pool_.Clear();
+  ASSERT_TRUE(pool_.Clear().ok());
   disk_.ResetStats();
   pool_.ResetStats();
   Value lake = scenario_.lakes->Read(0).value(2);
@@ -220,12 +220,12 @@ TEST(ClusteringIntegrationTest, ClusteredLayoutReducesSelectIo) {
   OverlapsOp op;
   Value selector(Rectangle(100, 100, 400, 400));
 
-  pool_clustered.Clear();
+  ASSERT_TRUE(pool_clustered.Clear().ok());
   disk_clustered.ResetStats();
   SelectResult a = SpatialSelect(selector, *clustered.tree, op);
   int64_t io_clustered = disk_clustered.stats().page_reads;
 
-  pool_heap.Clear();
+  ASSERT_TRUE(pool_heap.Clear().ok());
   disk_heap.ResetStats();
   SelectResult b = SpatialSelect(selector, *shuffled.tree, op);
   int64_t io_unclustered = disk_heap.stats().page_reads;

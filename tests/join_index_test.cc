@@ -123,7 +123,7 @@ TEST_F(JoinIndexTest, ExecutePaysTupleFetchIo) {
   OverlapsOp op;
   JoinIndex index(&pool_, 100);
   index.Build(*r, 1, *s, 1, op);
-  pool_.Clear();
+  ASSERT_TRUE(pool_.Clear().ok());
   int64_t reads_before = disk_.stats().page_reads;
   JoinResult result = index.Execute(*r, *s);
   int64_t reads = disk_.stats().page_reads - reads_before;

@@ -1,0 +1,20 @@
+// Fixture: raw-clock must fire on a direct steady_clock read in library
+// code, and must NOT fire on the commented or string occurrences below.
+#include <chrono>
+
+namespace spatialjoin {
+
+int64_t BadNow() {
+  // std::chrono::steady_clock::now() in a comment is fine.
+  const char* doc = "std::chrono::steady_clock::now()";
+  (void)doc;
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int64_t SuppressedNow() {
+  // Justified: fixture demonstrates the suppression syntax.
+  // sj-lint: allow(raw-clock)
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace spatialjoin

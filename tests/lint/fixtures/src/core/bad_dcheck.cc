@@ -1,0 +1,18 @@
+// Fixture: dcheck-side-effect must fire when an SJ_DCHECK condition
+// mutates state, and must NOT fire on pure comparisons.
+#include "common/check.h"
+
+namespace spatialjoin {
+
+void Bad(int n, bool* done) {
+  SJ_DCHECK(n++ < 8);       // finding: increment vanishes under NDEBUG
+  SJ_DCHECK(*done = true);  // finding: assignment, not comparison
+}
+
+void Fine(int n, int m) {
+  SJ_DCHECK(n == m);
+  SJ_DCHECK(n <= m);
+  SJ_DCHECK_GE(n, 0);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,20 @@
+// Fixture: naked-new must fire on the new/delete expressions, and must
+// NOT fire on deleted special members or comments.
+namespace spatialjoin {
+
+class NoCopy {
+ public:
+  NoCopy(const NoCopy&) = delete;             // not a finding
+  NoCopy& operator=(const NoCopy&) = delete;  // not a finding
+};
+
+int* Alloc() { return new int(7); }  // finding
+
+void Free(int* p) { delete p; }  // finding
+
+int* Suppressed() {
+  // sj-lint: allow(naked-new)
+  return new int(9);
+}
+
+}  // namespace spatialjoin

@@ -1,0 +1,19 @@
+// Fixture: stdout-in-lib must fire on std::cout and bare printf in
+// src/ code, and must NOT fire on fprintf/snprintf or stderr.
+#include <cstdio>
+#include <iostream>
+
+namespace spatialjoin {
+
+void Bad() {
+  std::cout << "library writing to stdout\n";  // finding
+  printf("also stdout\n");                     // finding
+}
+
+void Fine(char* buf) {
+  std::cerr << "stderr is fine\n";
+  std::fprintf(stderr, "fprintf to stderr is fine\n");
+  std::snprintf(buf, 4, "ok");
+}
+
+}  // namespace spatialjoin

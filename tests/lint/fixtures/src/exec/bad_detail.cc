@@ -1,0 +1,8 @@
+// Fixture: detail-include must fire on a cross-subsystem detail header
+// that is not whitelisted, and must NOT fire on same-subsystem or
+// DETAIL_FRIENDS includes.
+#include "core/join_detail.h"    // exec is a whitelisted friend: fine
+#include "exec/pool_detail.h"    // own subsystem: fine
+#include "rtree/split_detail.h"  // finding: private to rtree/
+
+namespace spatialjoin {}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Tests for scripts/lint/sj_lint.py.
+
+Each fixture under tests/lint/fixtures/ is an intentionally-violating
+"repo" (the fixtures directory is excluded from real lint runs by the
+driver's SKIP_DIR_NAMES). The tests pin, per rule: that it fires on the
+violation, that near-miss idioms stay clean, and that the
+`// sj-lint: allow(rule)` escape hatch works. A final test runs the
+driver against the actual repo and requires a clean exit — the same
+invocation CI gates on.
+"""
+
+import os
+import sys
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+FIXTURE_ROOT = os.path.join(TEST_DIR, "fixtures")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts", "lint"))
+import sj_lint  # noqa: E402
+
+
+def lint(rel_path, rules=None):
+    selected = (
+        {name: sj_lint.RULES[name] for name in rules}
+        if rules else sj_lint.RULES)
+    return sj_lint.lint_file(FIXTURE_ROOT, rel_path, selected)
+
+
+class RawClockTest(unittest.TestCase):
+    def test_fires_once_and_respects_suppression(self):
+        findings = lint("src/core/bad_clock.cc", ["raw-clock"])
+        self.assertEqual([f.line for f in findings], [11])
+        self.assertEqual(findings[0].rule, "raw-clock")
+
+    def test_timer_header_is_exempt(self):
+        f = sj_lint.SourceFile(
+            "src/obs/timer.h",
+            ["std::chrono::steady_clock::now();"],
+            ["std::chrono::steady_clock::now();"])
+        self.assertEqual(list(sj_lint.check_raw_clock(f)), [])
+
+
+class NakedNewTest(unittest.TestCase):
+    def test_fires_on_new_and_delete_only(self):
+        findings = lint("src/core/bad_new.cc", ["naked-new"])
+        self.assertEqual([f.line for f in findings], [11, 13])
+
+    def test_storage_is_exempt(self):
+        f = sj_lint.SourceFile(
+            "src/storage/frames.cc", ["int* p = new int;"],
+            ["int* p = new int;"])
+        self.assertEqual(list(sj_lint.check_naked_new(f)), [])
+
+
+class StdoutInLibTest(unittest.TestCase):
+    def test_fires_on_cout_and_printf_only(self):
+        findings = lint("src/core/bad_stdout.cc", ["stdout-in-lib"])
+        self.assertEqual([f.line for f in findings], [9, 10])
+
+    def test_bench_is_exempt(self):
+        f = sj_lint.SourceFile(
+            "bench/b.cc", ['std::cout << "row\\n";'],
+            ['std::cout << "row\\n";'])
+        self.assertEqual(list(sj_lint.check_stdout_in_lib(f)), [])
+
+
+class DetailIncludeTest(unittest.TestCase):
+    def test_fires_only_on_unfriended_cross_subsystem_include(self):
+        findings = lint("src/exec/bad_detail.cc", ["detail-include"])
+        self.assertEqual([f.line for f in findings], [6])
+        self.assertIn("rtree", findings[0].message)
+
+
+class DcheckSideEffectTest(unittest.TestCase):
+    def test_fires_on_mutating_conditions_only(self):
+        findings = lint("src/core/bad_dcheck.cc", ["dcheck-side-effect"])
+        self.assertEqual([f.line for f in findings], [8, 9])
+
+
+class SuppressionSyntaxTest(unittest.TestCase):
+    def test_same_line_and_preceding_line_and_multi_rule(self):
+        raw = [
+            "int* a = new int;  // sj-lint: allow(naked-new)",
+            "// sj-lint: allow(naked-new, raw-clock)",
+            "int* b = new int;",
+            "int* c = new int;",
+        ]
+        self.assertEqual(
+            sj_lint.allowed_rules(raw, 1), {"naked-new"})
+        self.assertEqual(
+            sj_lint.allowed_rules(raw, 3), {"naked-new", "raw-clock"})
+        self.assertEqual(sj_lint.allowed_rules(raw, 4), set())
+
+
+class StripperTest(unittest.TestCase):
+    def test_block_comments_and_strings(self):
+        code = sj_lint.strip_comments_and_strings([
+            "int x; /* new int",
+            "still comment */ int y = 1;",
+            'const char* s = "delete this";',
+        ])
+        self.assertNotIn("new", code[0])
+        self.assertIn("int y = 1;", code[1])
+        self.assertNotIn("delete", code[2])
+
+
+class RepoIsCleanTest(unittest.TestCase):
+    def test_main_on_repo_exits_zero(self):
+        self.assertEqual(sj_lint.main(["--root", REPO_ROOT]), 0)
+
+
+class CliTest(unittest.TestCase):
+    def test_unknown_rule_is_usage_error(self):
+        self.assertEqual(
+            sj_lint.main(["--rule", "no-such-rule",
+                          "--root", REPO_ROOT]), 2)
+
+    def test_missing_path_is_usage_error(self):
+        self.assertEqual(
+            sj_lint.main(["--root", REPO_ROOT, "does/not/exist.cc"]), 2)
+
+    def test_fixture_scan_exits_one(self):
+        self.assertEqual(sj_lint.main(["--root", FIXTURE_ROOT, "src"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -87,7 +87,7 @@ TEST_F(RelationTest, ReadCountsIo) {
   for (int64_t i = 0; i < 100; ++i) {
     rel.Insert(Tuple({Value(i), Value(Rectangle(0, 0, 1, 1))}));
   }
-  pool_.Clear();  // start cold
+  ASSERT_TRUE(pool_.Clear().ok());  // start cold
   int64_t reads_before = disk_.stats().page_reads;
   rel.Read(50);
   EXPECT_EQ(disk_.stats().page_reads, reads_before + 1);

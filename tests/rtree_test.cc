@@ -137,7 +137,7 @@ TEST(RTreeTest, SearchCountsPageIo) {
   RTree tree(&pool, RTreeSplit::kQuadratic, 8);
   RectGenerator gen(Rectangle(0, 0, 1000, 1000), 5);
   for (int i = 0; i < 1000; ++i) tree.Insert(gen.NextRect(1, 5), i);
-  pool.Clear();
+  ASSERT_TRUE(pool.Clear().ok());
   BufferPoolStats before = pool.stats();
   tree.SearchTids(Rectangle(0, 0, 50, 50));
   BufferPoolStats after = pool.stats();

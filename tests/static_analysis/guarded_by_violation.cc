@@ -1,0 +1,39 @@
+// Negative-compile fixture: proves the SJ_GUARDED_BY/SJ_REQUIRES
+// annotations actually fire under clang -Wthread-safety.
+//
+// Compiled twice (clang only — the annotations are no-ops elsewhere)
+// with -Wthread-safety -Werror=thread-safety:
+//   * without -DVIOLATE — must compile (positive control);
+//   * with    -DVIOLATE — must NOT compile (WILL_FAIL test): an
+//     unlocked write to a guarded field, and a *Locked() helper called
+//     without its required mutex.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace spatialjoin {
+
+class Account {
+ public:
+  void Deposit(int amount) SJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    DepositLocked(amount);
+  }
+
+  void DepositUnsafe(int amount) SJ_EXCLUDES(mu_) {
+#ifdef VIOLATE
+    balance_ += amount;     // unlocked write to a guarded field
+    DepositLocked(amount);  // REQUIRES(mu_) without holding mu_
+#else
+    MutexLock lock(mu_);
+    balance_ += amount;
+#endif
+  }
+
+ private:
+  void DepositLocked(int amount) SJ_REQUIRES(mu_) { balance_ += amount; }
+
+  Mutex mu_;
+  int balance_ SJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace spatialjoin

@@ -1,0 +1,29 @@
+// Negative-compile fixture: proves [[nodiscard]] on Status/Result turns
+// a dropped error into a build failure.
+//
+// Compiled twice by tests/static_analysis/CMakeLists.txt with
+// -Werror=unused-result:
+//   * without -DVIOLATE — must compile (positive control, so a broken
+//     include path can't masquerade as the diagnostic firing);
+//   * with    -DVIOLATE — must NOT compile (WILL_FAIL test).
+#include "common/status.h"
+
+namespace spatialjoin {
+
+Status MightFail() { return Status::Internal("synthetic"); }
+
+Result<int> MightFailWithValue() { return Result<int>(42); }
+
+void Caller() {
+#ifdef VIOLATE
+  MightFail();           // dropped Status: must fail the build
+  MightFailWithValue();  // dropped Result: must fail the build
+#else
+  Status s = MightFail();
+  if (!s.ok()) s.IgnoreError();  // handled: must compile
+  Result<int> r = MightFailWithValue();
+  (void)r;
+#endif
+}
+
+}  // namespace spatialjoin

@@ -181,5 +181,6 @@ int main(int argc, char** argv) {
   bench::WriteMetricsArtifact("bench_empirical_join",
                               {{"scales", scales_json.str()}});
   bench::MaybeWriteTrace(args);
+  bench::MaybeWriteFlightDump(args);
   return 0;
 }

@@ -227,5 +227,6 @@ int main(int argc, char** argv) {
                               {{"parallel", curve_json.str()},
                                {"audit", tree_audit.ToJson()}});
   bench::MaybeWriteTrace(args);
+  bench::MaybeWriteFlightDump(args);
   return all_equal && tree_audit.ok() ? 0 : 1;
 }

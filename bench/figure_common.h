@@ -36,6 +36,7 @@
 #include "costmodel/select_cost.h"
 #include "costmodel/update_cost.h"
 #include "obs/explain.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/process_info.h"
 #include "obs/span.h"
@@ -71,11 +72,14 @@ inline double TimeBestOf(int reps, const Fn& fn) {
 
 /// Flags shared by the empirical benches: `--threads=N` pins the exec
 /// pool width, `--trace=PATH` (or `--trace PATH`) enables span tracing
-/// and writes a Chrome-trace JSON timeline on exit via
-/// MaybeWriteTrace().
+/// and writes a Chrome-trace JSON timeline on exit via MaybeWriteTrace(),
+/// and `--flight-dump=PATH` arms the flight recorder (signal handlers +
+/// watchdog) with PATH as the dump file, writing an "explicit" dump on
+/// clean exit via MaybeWriteFlightDump() so every run leaves a black box.
 struct BenchArgs {
   int threads = 0;              // 0 = bench default
   std::string trace_path;
+  std::string flight_dump_path;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -87,11 +91,21 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       args.trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
+      args.flight_dump_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      args.flight_dump_path = argv[++i];
     }
   }
   if (!args.trace_path.empty()) {
     Tracing::SetThreadName("main");
     Tracing::Enable(true);
+  }
+  if (!args.flight_dump_path.empty()) {
+    FlightRecorderOptions options;
+    options.dump_path = args.flight_dump_path;
+    options.start_watchdog = true;
+    FlightRecorder::Install(options);
   }
   return args;
 }
@@ -100,6 +114,14 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
 inline void MaybeWriteTrace(const BenchArgs& args) {
   if (args.trace_path.empty()) return;
   WriteTraceArtifact(args.trace_path);
+}
+
+/// Writes the clean-exit flight dump if `--flight-dump` was given, and
+/// stops the watchdog so bench teardown stays deterministic.
+inline void MaybeWriteFlightDump(const BenchArgs& args) {
+  if (args.flight_dump_path.empty()) return;
+  FlightRecorder::Dump("explicit", "bench exit");
+  FlightRecorder::StopWatchdog();
 }
 
 inline void PrintHeader(const std::string& title,

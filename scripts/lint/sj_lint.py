@@ -12,7 +12,12 @@ for us, each as a small path-scoped rule:
                        the storage layer owns the only raw frames.
   stdout-in-lib        std::cout / printf in src/ library code. stdout
                        belongs to the embedding tool (benches pipe JSON
-                       through it); diagnostics go to stderr.
+                       through it); diagnostics go to the event log.
+  stderr-in-lib        std::cerr / fprintf(stderr) in src/ library code.
+                       Diagnostics go through SJ_EVENT so they land in
+                       the flight recorder's event log (which still
+                       echoes warn+ records to stderr) instead of
+                       bypassing the black box.
   detail-include       including another subsystem's *_detail.h header.
                        Detail headers are private to their subsystem
                        unless listed in DETAIL_FRIENDS below.
@@ -40,7 +45,7 @@ CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
 # Directories scanned relative to the repo root. Anything outside (docs,
 # scripts, third-party checkouts in build/) is out of scope.
-SCAN_DIRS = ("src", "bench", "tests", "examples")
+SCAN_DIRS = ("src", "bench", "tests", "examples", "tools")
 
 # Directory names skipped anywhere in the walk. `fixtures` holds the
 # intentionally-violating inputs for this linter's own tests.
@@ -188,7 +193,22 @@ def check_stdout_in_lib(f: SourceFile) -> Iterator[Finding]:
             yield Finding(
                 f.rel_path, i, "stdout-in-lib",
                 "stdout write in library code; stdout belongs to the "
-                "embedding tool — use std::cerr/fprintf(stderr, ...)")
+                "embedding tool — record through SJ_EVENT instead")
+
+
+STDERR_RE = re.compile(r"std::cerr|(?<![\w])fprintf\s*\(\s*stderr\b")
+
+
+def check_stderr_in_lib(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/"):
+        return
+    for i, line in enumerate(f.code, start=1):
+        if STDERR_RE.search(line):
+            yield Finding(
+                f.rel_path, i, "stderr-in-lib",
+                "direct stderr write in library code; record through "
+                "SJ_EVENT (obs/event_log.h) so the message lands in the "
+                "flight recorder — warn+ events still echo to stderr")
 
 
 DETAIL_INCLUDE_RE = re.compile(r'#\s*include\s+"([\w./-]*_detail\.h)"')
@@ -261,6 +281,7 @@ RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
     "raw-clock": check_raw_clock,
     "naked-new": check_naked_new,
     "stdout-in-lib": check_stdout_in_lib,
+    "stderr-in-lib": check_stderr_in_lib,
     "detail-include": check_detail_include,
     "dcheck-side-effect": check_dcheck_side_effect,
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -64,6 +65,19 @@ AuditReport& AuditReport::Finish() {
   registry.GetCounter("audit." + subject_ + ".runs")->Increment();
   registry.GetCounter("audit." + subject_ + ".violations")
       ->Increment(static_cast<int64_t>(violations_.size()));
+  if (!violations_.empty()) {
+    // First violation inline: the event-log tail of a flight dump should
+    // name the corruption, not just count it. Errors echo (kError ≥ the
+    // default stderr threshold); warning-only reports stay quiet.
+    EventLog::Global().Recordf(
+        EventType::kAuditFinding,
+        error_count() > 0 ? EventSeverity::kError : EventSeverity::kWarn,
+        "audit[%s]: %lld errors, %lld warnings; first: %s: %s",
+        subject_.c_str(), static_cast<long long>(error_count()),
+        static_cast<long long>(warning_count()),
+        violations_.front().path.c_str(),
+        violations_.front().message.c_str());
+  }
   return *this;
 }
 

@@ -1,13 +1,34 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace spatialjoin {
 namespace internal_check {
 
+namespace {
+std::atomic<CheckFailureObserver> check_observer{nullptr};
+// A check failure *inside* the observer (e.g. while serializing the
+// dump) must not recurse into it.
+std::atomic<bool> observer_running{false};
+}  // namespace
+
+void SetCheckFailureObserver(CheckFailureObserver observer) {
+  check_observer.store(observer, std::memory_order_release);
+}
+
 void CheckFailed(const char* file, int line, const char* expr,
                  const std::string& message) {
+  CheckFailureObserver observer =
+      check_observer.load(std::memory_order_acquire);
+  if (observer != nullptr &&
+      !observer_running.exchange(true, std::memory_order_acq_rel)) {
+    observer(file, line, expr, message.c_str());
+  }
+  // The console line stays even with a dump pipeline installed: it is the
+  // one diagnostic that survives a full disk or an unwritable dump path.
+  // sj-lint: allow(stderr-in-lib)
   std::fprintf(stderr, "SJ_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
                message.empty() ? "" : " — ", message.c_str());
   std::fflush(stderr);

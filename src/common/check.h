@@ -14,6 +14,17 @@ namespace internal_check {
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
                               const std::string& message);
 
+/// Observer invoked by CheckFailed *before* it prints and aborts — the
+/// hook the flight recorder (obs/flight_recorder.cc) uses to record a
+/// structured event and write a crash dump without the common layer
+/// depending on obs. The observer runs in normal (non-signal) context but
+/// the process is already doomed: it must not assume engine invariants
+/// hold, must not take locks that library code holds around SJ_CHECK
+/// sites, and must return (CheckFailed still aborts).
+using CheckFailureObserver = void (*)(const char* file, int line,
+                                      const char* expr, const char* message);
+void SetCheckFailureObserver(CheckFailureObserver observer);
+
 }  // namespace internal_check
 
 /// SJ_CHECK(cond) aborts with a diagnostic if `cond` is false. Used for

@@ -1,6 +1,26 @@
 #include "common/status.h"
 
+#include <atomic>
+
 namespace spatialjoin {
+
+namespace internal_status {
+
+namespace {
+std::atomic<StatusErrorObserver> status_observer{nullptr};
+}  // namespace
+
+void SetStatusErrorObserver(StatusErrorObserver observer) {
+  status_observer.store(observer, std::memory_order_release);
+}
+
+void NotifyStatusError(StatusCode code, const char* message) {
+  StatusErrorObserver observer =
+      status_observer.load(std::memory_order_acquire);
+  if (observer != nullptr) observer(code, message);
+}
+
+}  // namespace internal_status
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -24,6 +24,22 @@ enum class StatusCode {
 /// Human-readable name of a StatusCode (e.g. "NOT_FOUND").
 const char* StatusCodeName(StatusCode code);
 
+namespace internal_status {
+
+/// Observer invoked on every non-OK Status construction — the hook the
+/// observability layer (obs/event_log.cc) uses to capture the *origin*
+/// of error propagation in the structured event log without the common
+/// layer depending on obs. At most one observer; a null pointer disables
+/// the hook. The observer must be cheap and must not construct a Status.
+using StatusErrorObserver = void (*)(StatusCode code, const char* message);
+void SetStatusErrorObserver(StatusErrorObserver observer);
+
+/// Called from the Status error constructor (out of line so the header
+/// stays dependency-free).
+void NotifyStatusError(StatusCode code, const char* message);
+
+}  // namespace internal_status
+
 /// A lightweight status object carrying a code and optional message.
 ///
 /// [[nodiscard]]: a dropped Status is a silently-ignored failure (the
@@ -36,7 +52,11 @@ class [[nodiscard]] Status {
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
+      : code_(code), message_(std::move(message)) {
+    if (code_ != StatusCode::kOk) {
+      internal_status::NotifyStatusError(code_, message_.c_str());
+    }
+  }
 
   static Status Ok() { return Status(); }
   static Status NotFound(std::string m = "") {

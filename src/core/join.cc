@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/join_detail.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "obs/timer.h"
 
@@ -22,6 +23,9 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
 
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
     SJ_SPAN_CAT("join.level", "core");
+    // Heartbeat for the watchdog (DESIGN.md §10): once per level is the
+    // protocol's granularity for tree traversals.
+    ActivityScope::BeatThisThread();
     TraceCounter("join.qual_pairs",
                  static_cast<int64_t>(current_level.size()));
     // Trace bookkeeping: snapshot counters at level entry, attribute the

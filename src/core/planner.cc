@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "costmodel/join_cost.h"
 #include "costmodel/update_cost.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -191,6 +192,13 @@ JoinPlan PlanJoin(const JoinStatistics& stats, const PlannerContext& ctx) {
       .GetCounter(std::string("planner.chosen.") +
                   JoinStrategyName(plan.strategy))
       ->Increment();
+  int near_ties = 0;
+  for (const PlannedAlternative& alt : alts) {
+    if (alt.near_tie) ++near_ties;
+  }
+  SJ_EVENT(kQueryPlanned, kInfo, "chose %s (est. cost %.1f, %d near-tie%s)",
+           JoinStrategyName(plan.strategy), plan.estimated_cost, near_ties,
+           near_ties == 1 ? "" : "s");
   return plan;
 }
 

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "obs/timer.h"
 
@@ -91,6 +92,12 @@ SelectResult SpatialSelectFrom(const Value& selector,
                                const ThetaOperator& op, Traversal traversal,
                                QueryTrace* trace) {
   SelectResult result;
+  // Watchdog heartbeat every 256 visits: SELECT has no cheap per-level
+  // boundary in the DFS variant, and a per-node clock read would be
+  // measurable on the traversal hot path; the stride keeps a healthy
+  // traversal's heartbeat far fresher than any plausible stall budget at
+  // negligible cost.
+  uint32_t visits = 0;
   if (traversal == Traversal::kBreadthFirst) {
     // The paper's SELECT1/SELECT2: QualNodes[j] per height, processed in
     // height order. A deque models the concatenated QualNodes lists.
@@ -100,6 +107,7 @@ SelectResult SpatialSelectFrom(const Value& selector,
       NodeId node = worklist.front();
       worklist.pop_front();
       spans.OnNode(tree, node);
+      if ((++visits & 0xFF) == 0) ActivityScope::BeatThisThread();
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         for (NodeId child : tree.Children(node)) worklist.push_back(child);
       }
@@ -113,6 +121,7 @@ SelectResult SpatialSelectFrom(const Value& selector,
     while (!stack.empty()) {
       NodeId node = stack.back();
       stack.pop_back();
+      if ((++visits & 0xFF) == 0) ActivityScope::BeatThisThread();
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         std::vector<NodeId> children = tree.Children(node);
         for (auto it = children.rbegin(); it != children.rend(); ++it) {

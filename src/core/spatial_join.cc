@@ -11,6 +11,8 @@
 #include "exec/parallel_select.h"
 #include "exec/partitioned_join.h"
 #include "exec/thread_pool.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/timer.h"
@@ -124,15 +126,25 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       .GetCounter(std::string("query.join.strategy.") +
                   JoinStrategyName(strategy))
       ->Increment();
+  SJ_EVENT(kQueryAdmitted, kInfo, "join %s (op %s)",
+           JoinStrategyName(strategy), op.name().c_str());
 
   JoinResult result;
   double wall_ns = 0.0;
   {
-    // JoinStrategyName returns static strings, as SJ_SPAN names must be.
+    // JoinStrategyName returns static strings, as SJ_SPAN (and
+    // ActivityScope) names must be. The scope registers the query with
+    // the flight recorder: level loops heartbeat it, the watchdog flags
+    // it if it stalls or overruns ctx.deadline_budget_ns.
+    ActivityScope activity("query.join", JoinStrategyName(strategy),
+                           ctx.deadline_budget_ns);
     ScopedSpan span(JoinStrategyName(strategy), "query.join");
     ScopedTimer timer(registry.GetHistogram("query.join.wall_ns"), &wall_ns);
     result = DispatchJoin(strategy, ctx, op);
   }
+  SJ_EVENT(kQueryFinished, kInfo, "join %s: %lld matches, %.2f ms",
+           JoinStrategyName(strategy),
+           static_cast<long long>(result.matches.size()), wall_ns / 1e6);
   registry.GetCounter("query.join.matches")
       ->Increment(static_cast<int64_t>(result.matches.size()));
   if (ctx.trace != nullptr) {
@@ -219,14 +231,21 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
                   SelectStrategyName(strategy))
       ->Increment();
 
+  SJ_EVENT(kQueryAdmitted, kInfo, "select %s (op %s)",
+           SelectStrategyName(strategy), op.name().c_str());
   JoinResult result;
   double wall_ns = 0.0;
   {
+    ActivityScope activity("query.select", SelectStrategyName(strategy),
+                           ctx.deadline_budget_ns);
     ScopedSpan span(SelectStrategyName(strategy), "query.select");
     ScopedTimer timer(registry.GetHistogram("query.select.wall_ns"),
                       &wall_ns);
     result = DispatchSelect(strategy, ctx, selector, selector_tid, op);
   }
+  SJ_EVENT(kQueryFinished, kInfo, "select %s: %lld matches, %.2f ms",
+           SelectStrategyName(strategy),
+           static_cast<long long>(result.matches.size()), wall_ns / 1e6);
   registry.GetCounter("query.select.matches")
       ->Increment(static_cast<int64_t>(result.matches.size()));
   if (ctx.trace != nullptr) {

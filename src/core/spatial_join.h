@@ -65,6 +65,11 @@ struct SpatialJoinContext {
   /// Grid granularity for kPartitionedJoin (tiles per axis; 0 = derive
   /// from the input size).
   int exec_grid = 0;
+  /// Wall-clock budget for the query in nanoseconds (0 = none). Advisory:
+  /// the query is never interrupted, but the flight recorder's watchdog
+  /// (obs/flight_recorder.h) reports an over-deadline query with a
+  /// deadline_exceeded event and a dump.
+  int64_t deadline_budget_ns = 0;
 };
 
 /// Runs R ⋈_θ S with the chosen strategy. All strategies produce the same

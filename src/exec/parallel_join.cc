@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/join_detail.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -54,6 +55,9 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
     ++levels_run;
     SJ_SPAN_CAT("parallel_join.level", "exec");
+    // Heartbeat on the coordinating thread once per level; the workers
+    // running the chunks beat per pool task.
+    ActivityScope::BeatThisThread();
     TraceCounter("join.qual_pairs",
                  static_cast<int64_t>(current_level.size()));
     const int64_t n = static_cast<int64_t>(current_level.size());

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -40,6 +41,9 @@ SelectResult ParallelSelect(const Value& selector,
   while (!frontier.empty()) {
     ++levels_run;
     SJ_SPAN_CAT("parallel_select.level", "exec");
+    // Per-level heartbeat on the coordinating thread (workers beat per
+    // pool task).
+    ActivityScope::BeatThisThread();
     TraceCounter("select.frontier", static_cast<int64_t>(frontier.size()));
     const int64_t n = static_cast<int64_t>(frontier.size());
     const int64_t chunk = options.chunk_nodes;

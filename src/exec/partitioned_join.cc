@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -154,6 +155,9 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
       static_cast<size_t>(grid.num_tiles()));
   {
     SJ_SPAN_CAT("pbsm.partition", "exec");
+    // Phase boundary heartbeat: partitioning is the longest single-
+    // threaded stretch of PBSM.
+    ActivityScope::BeatThisThread();
     for (size_t i = 0; i < r_items.size(); ++i) {
       AssignToTiles(grid, r_items[i].mbr, static_cast<int64_t>(i), &r_tiles);
     }
@@ -180,6 +184,8 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
     const auto& s_list = s_tiles[static_cast<size_t>(tile)];
     if (r_list.empty() || s_list.empty()) return;
     SJ_SPAN_CAT("pbsm.tile_sweep", "exec");
+    // Per-tile heartbeat on whichever worker sweeps it.
+    ActivityScope::BeatThisThread();
     TileOutput& out = outputs[static_cast<size_t>(tile)];
 
     std::vector<SweepEntry> r_sweep;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 
 namespace spatialjoin {
@@ -40,6 +42,17 @@ ThreadPool::ThreadPool(int num_workers)
 }
 
 ThreadPool::~ThreadPool() {
+  if (!Quiescent()) {
+    // Structured record first: the SJ_CHECK below aborts, and the flight
+    // dump's event tail should say which pool died with what backlog.
+    Stats snapshot = stats();
+    SJ_EVENT(kPoolAnomaly, kError,
+             "pool%d torn down with tasks outstanding "
+             "(submitted %lld, executed %lld, queued %lld)",
+             pool_id_, static_cast<long long>(snapshot.tasks_submitted),
+             static_cast<long long>(snapshot.tasks_executed),
+             static_cast<long long>(snapshot.tasks_queued));
+  }
   SJ_CHECK_MSG(Quiescent(),
                "ThreadPool destroyed with tasks outstanding — join every "
                "TaskGroup before teardown");
@@ -119,6 +132,11 @@ bool ThreadPool::RunOneTask(int self) {
     // Distinct categories let timeline views color owned work vs. stolen
     // work per worker track (helping callers show up on their own track).
     ScopedSpan span("pool.task", stole ? "steal" : "run");
+    // Heartbeat per task, on whichever thread runs it — workers and
+    // helping callers alike. A task that never returns is the stall the
+    // watchdog exists to catch; the beat pins the stall onset to the
+    // task boundary.
+    ActivityScope::BeatThisThread();
     task();
   }
   return true;
@@ -127,11 +145,15 @@ bool ThreadPool::RunOneTask(int self) {
 void ThreadPool::WorkerLoop(int self) {
   tls_pool = this;
   tls_worker = self;
-  {
-    char label[32];
-    std::snprintf(label, sizeof(label), "pool%d.worker%d", pool_id_, self);
-    Tracing::SetThreadName(label);
-  }
+  char label[32];
+  std::snprintf(label, sizeof(label), "pool%d.worker%d", pool_id_, self);
+  Tracing::SetThreadName(label);
+  // Register with the flight recorder: the watchdog treats a busy worker
+  // whose heartbeat goes stale as a stuck task. Kind/label must be static
+  // strings (read from the signal path); the per-worker identity goes in
+  // the copied detail field instead.
+  ActivityScope activity("pool.worker", "worker");
+  activity.SetDetail(label);
   while (true) {
     uint64_t epoch;
     {
@@ -139,13 +161,30 @@ void ThreadPool::WorkerLoop(int self) {
       if (stop_) return;
       epoch = work_epoch_;
     }
+    activity.Beat();
     if (RunOneTask(self)) continue;
     // All deques were empty at scan time; sleep until a submission bumps
     // the epoch (a submission racing the scan already bumped it, so the
     // loop condition is immediately false and no wakeup is missed).
     ScopedSpan park("pool.park", "park");
+    {
+      // Parking with work still in our own deque means the scan and the
+      // epoch protocol disagree. A submission between our scan and this
+      // check makes it fire spuriously (Submit pushes before it bumps the
+      // epoch), so the record stays at info severity: visible in dumps,
+      // never echoed.
+      MutexLock own_lock(workers_[static_cast<size_t>(self)]->mu);
+      if (!workers_[static_cast<size_t>(self)]->tasks.empty()) {
+        SJ_EVENT(kPoolAnomaly, kInfo,
+                 "%s parking with %lld tasks in its own deque", label,
+                 static_cast<long long>(
+                     workers_[static_cast<size_t>(self)]->tasks.size()));
+      }
+    }
+    activity.SetIdle(true);
     MutexLock lock(wake_mu_);
     while (!stop_ && work_epoch_ == epoch) wake_cv_.Wait(wake_mu_);
+    activity.SetIdle(false);
     if (stop_) return;
   }
 }

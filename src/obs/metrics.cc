@@ -126,6 +126,13 @@ int64_t MetricsRegistry::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->Value();
 }
 
+std::map<std::string, int64_t> MetricsRegistry::CounterSnapshot() const {
+  MutexLock lock(mu_);
+  std::map<std::string, int64_t> snapshot;
+  for (const auto& [name, c] : counters_) snapshot[name] = c->Value();
+  return snapshot;
+}
+
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

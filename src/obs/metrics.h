@@ -143,6 +143,13 @@ class MetricsRegistry {
   /// not create instruments).
   int64_t CounterValue(const std::string& name) const;
 
+  /// Name → value snapshot of every registered counter (one lock for the
+  /// name map, lock-free merges for the values). The flight recorder's
+  /// watchdog diffs successive snapshots into the dump's `metrics.deltas`
+  /// section, so a post-mortem shows what the engine was *doing* in its
+  /// last few hundred milliseconds, not just cumulative totals.
+  std::map<std::string, int64_t> CounterSnapshot() const;
+
   /// Zeroes every instrument (registrations survive; cached pointers stay
   /// valid). Tests and benches use this to start measurements clean.
   void ResetAll();

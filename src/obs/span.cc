@@ -88,6 +88,10 @@ SpanRing* Tracing::CurrentThreadRing() {
   return ring;
 }
 
+int Tracing::CurrentThreadTidOrNegative() {
+  return tls_ring != nullptr ? tls_ring->tid() : -1;
+}
+
 void Tracing::SetThreadName(std::string_view name) {
   if (tls_ring != nullptr) {
     Registry& registry = GlobalRegistry();
@@ -106,6 +110,17 @@ std::vector<SpanRing*> Tracing::Rings() {
   std::vector<SpanRing*> rings;
   rings.reserve(registry.rings.size());
   for (const auto& ring : registry.rings) rings.push_back(ring.get());
+  return rings;
+}
+
+std::vector<std::pair<SpanRing*, std::string>> Tracing::RingsWithNames() {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  std::vector<std::pair<SpanRing*, std::string>> rings;
+  rings.reserve(registry.rings.size());
+  for (const auto& ring : registry.rings) {
+    rings.emplace_back(ring.get(), ring->thread_name());
+  }
   return rings;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spatialjoin {
@@ -110,6 +111,12 @@ class Tracing {
   /// The pointer stays valid for the process lifetime.
   static SpanRing* CurrentThreadRing();
 
+  /// The calling thread's ring tid, or -1 if the thread never recorded a
+  /// span (no ring is created). Lets the event log (obs/event_log.h)
+  /// stamp records with the same thread ids the timeline tracks use,
+  /// without forcing a ring allocation on never-traced threads.
+  static int CurrentThreadTidOrNegative();
+
   /// Names the calling thread's track in exported timelines. Cheap to
   /// call before any event was recorded: the name is stashed in TLS and
   /// applied when the ring is created, so un-traced threads allocate
@@ -118,6 +125,12 @@ class Tracing {
 
   /// Stable snapshot of all registered rings (rings are never removed).
   static std::vector<SpanRing*> Rings();
+
+  /// Rings paired with their display names, read under the registry lock
+  /// (thread_name() alone is only safe to read there). The flight
+  /// recorder caches this at watchdog ticks so its signal handler never
+  /// touches the lock or the std::string.
+  static std::vector<std::pair<SpanRing*, std::string>> RingsWithNames();
 
   /// Rewinds every ring to empty, so the next export covers only what
   /// follows. Call at quiescence (between queries / at the start of a

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
-#include <iostream>
+#include <set>
 
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/process_info.h"
 #include "obs/span.h"
@@ -96,8 +97,10 @@ void WriteChromeTrace(std::ostream& os) {
   // The trace-event format wants microseconds; rebase to the earliest
   // event so timelines start near zero.
   int64_t base_ns = 0;
+  std::set<int> exporting_tids;
   for (const ExportedEvent& event : events) {
     if (base_ns == 0 || event.ts_ns < base_ns) base_ns = event.ts_ns;
+    exporting_tids.insert(event.tid);
   }
 
   JsonWriter w(os, /*indent=*/0);
@@ -117,6 +120,13 @@ void WriteChromeTrace(std::ostream& os) {
   w.EndObject();
   w.EndObject();
   for (const SpanRing* ring : Tracing::Rings()) {
+    // Name only the tracks that export at least one event. A ring that is
+    // empty (never-enabled tracing, or reset since its last event)
+    // otherwise contributes a bare thread_name entry, which clutters the
+    // timeline — and with *no* rings recording at all, the document would
+    // be nothing but empty tracks. Skipping them keeps the degenerate
+    // export a minimal, valid Chrome-trace JSON.
+    if (exporting_tids.find(ring->tid()) == exporting_tids.end()) continue;
     std::string name = ring->thread_name();
     if (name.empty()) {
       name = ring->tid() == 0 ? "main" : "thread-" + std::to_string(
@@ -169,13 +179,15 @@ void WriteChromeTrace(std::ostream& os) {
 bool WriteTraceArtifact(const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "cannot write " << path << "\n";
+    // kWarn and above echo to stderr, so the operator still sees the
+    // failure on the console; the structured record additionally lands in
+    // any later flight dump.
+    SJ_EVENT(kMessage, kWarn, "cannot write trace artifact %s",
+             path.c_str());
     return false;
   }
   WriteChromeTrace(out);
-  // Diagnostics go to stderr: library code must leave stdout to the
-  // embedding tool (a bench piping JSON to a plotter owns stdout).
-  std::cerr << "trace artifact: " << path << "\n";
+  SJ_EVENT(kMessage, kInfo, "trace artifact: %s", path.c_str());
   return true;
 }
 

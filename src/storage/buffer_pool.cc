@@ -1,8 +1,7 @@
 #include "storage/buffer_pool.h"
 
-#include <cstdio>
-
 #include "common/check.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -44,9 +43,11 @@ BufferPool::~BufferPool() {
   if (!status.ok()) {
     // Destructors have no error channel. The data for the failed pages is
     // lost with the pool, which is exactly what a caller opted into by
-    // not calling FlushAll() itself — but it must never be *silent*.
-    std::fprintf(stderr, "BufferPool: flush on destruction failed: %s\n",
-                 status.ToString().c_str());
+    // not calling FlushAll() itself — but it must never be *silent*: the
+    // event echoes to stderr (kError >= the echo threshold) and survives
+    // into any flight dump.
+    SJ_EVENT(kBufferPoolFault, kError,
+             "flush on destruction failed: %s", status.ToString().c_str());
   }
 }
 

@@ -63,8 +63,9 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Best-effort flush (see FlushAll); a dirty page that fails to write
-  /// back during destruction is dropped after the failure is reported to
-  /// stderr. Callers that must not lose data call FlushAll() first and
+  /// back during destruction is dropped after the failure is recorded as
+  /// a kBufferPoolFault event (echoed to stderr, captured in flight
+  /// dumps). Callers that must not lose data call FlushAll() first and
   /// act on its Status.
   ~BufferPool();
 

@@ -1,0 +1,22 @@
+// Fixture: stderr-in-lib must fire on std::cerr and fprintf(stderr)
+// in src/ code, must NOT fire on other streams or snprintf, and must
+// respect the allow escape hatch.
+#include <cstdio>
+#include <iostream>
+
+namespace spatialjoin {
+
+void Bad() {
+  std::cerr << "library writing to stderr\n";  // finding
+  std::fprintf(stderr, "also stderr\n");       // finding
+  fprintf(stderr, "unqualified too\n");        // finding
+}
+
+void Fine(std::FILE* log, char* buf) {
+  std::fprintf(log, "other streams are fine\n");
+  std::snprintf(buf, 4, "ok");
+  // sj-lint: allow(stderr-in-lib) — fixture exercises the escape hatch.
+  std::fprintf(stderr, "suppressed\n");
+}
+
+}  // namespace spatialjoin

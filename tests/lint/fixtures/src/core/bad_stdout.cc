@@ -11,8 +11,9 @@ void Bad() {
 }
 
 void Fine(char* buf) {
-  std::cerr << "stderr is fine\n";
-  std::fprintf(stderr, "fprintf to stderr is fine\n");
+  // stderr writes are stderr-in-lib's concern, not stdout-in-lib's.
+  std::cerr << "not a stdout finding\n";
+  std::fprintf(stderr, "not a stdout finding either\n");
   std::snprintf(buf, 4, "ok");
 }
 

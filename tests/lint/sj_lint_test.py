@@ -67,6 +67,20 @@ class StdoutInLibTest(unittest.TestCase):
         self.assertEqual(list(sj_lint.check_stdout_in_lib(f)), [])
 
 
+class StderrInLibTest(unittest.TestCase):
+    def test_fires_on_cerr_and_fprintf_stderr_only(self):
+        findings = lint("src/core/bad_stderr.cc", ["stderr-in-lib"])
+        self.assertEqual([f.line for f in findings], [10, 11, 12])
+        self.assertEqual({f.rule for f in findings}, {"stderr-in-lib"})
+
+    def test_non_library_code_is_exempt(self):
+        for path in ("tools/sj_inspect.cc", "tests/t.cc", "bench/b.cc"):
+            f = sj_lint.SourceFile(
+                path, ['std::fprintf(stderr, "x");'],
+                ['std::fprintf(stderr, "x");'])
+            self.assertEqual(list(sj_lint.check_stderr_in_lib(f)), [])
+
+
 class DetailIncludeTest(unittest.TestCase):
     def test_fires_only_on_unfriended_cross_subsystem_include(self):
         findings = lint("src/exec/bad_detail.cc", ["detail-include"])

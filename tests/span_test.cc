@@ -179,6 +179,22 @@ TEST_F(SpanTest, ChromeTraceExportIsValidJson) {
   EXPECT_NE(doc.find("\"process\""), std::string::npos);
 }
 
+TEST_F(SpanTest, ChromeTraceExportOfEmptyRingSetIsValidMinimalJson) {
+  // Regression pin: exporting with rings registered but no events (never
+  // enabled, or just reset) must produce a minimal valid document — in
+  // particular no thread_name metadata rows for threads that contribute
+  // no events (those rows used to be emitted unconditionally).
+  Tracing::Reset();
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  std::string doc = out.str();
+  EXPECT_TRUE(IsValidJson(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"thread_name\""), std::string::npos)
+      << "quiescent rings must not emit thread metadata";
+}
+
 TEST_F(SpanTest, MultiThreadedStressExportsEveryTrackRepaired) {
   // Writers hammer their rings while the main thread snapshots
   // concurrently — the reader/writer race the relaxed-atomic slots are

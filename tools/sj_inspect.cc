@@ -1,0 +1,780 @@
+// sj_inspect — offline flight-dump inspector.
+//
+// A flight dump (*.flightdump.json, DESIGN.md §10) is written by the
+// in-process flight recorder, possibly from a signal handler over a
+// half-dead heap. This tool is the other half of that contract: it runs
+// in a healthy process, after the fact, and turns the dump back into a
+// readable incident report.
+//
+//   sj_inspect <dump.json>              render the incident summary
+//   sj_inspect --timeline <dump.json>   also render the per-thread span log
+//   sj_inspect --validate <dump...>     schema-check only; exit 1 on failure
+//   sj_inspect --selftest               run built-in checks (used by ctest)
+//
+// Deliberately dependency-free (not even the library): a dump must be
+// inspectable on a machine where the library itself is the thing that
+// crashed.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  // Insertion order preserved; dumps never repeat keys.
+  std::vector<std::pair<std::string, Json>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Json* Get(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(number) : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  // Parses one complete document; on failure `error()` locates the
+  // first offending byte.
+  bool Parse(Json* out) {
+    SkipWs();
+    if (!Value(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Value(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out, depth);
+      case '[':
+        return Array(out, depth);
+      case '"':
+        out->type = Json::Type::kString;
+        return String(&out->string);
+      case 't':
+        out->type = Json::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = Json::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = Json::Type::kNull;
+        return Literal("null");
+      default:
+        out->type = Json::Type::kNumber;
+        return Number(&out->number);
+    }
+  }
+
+  bool Object(Json* out, int depth) {
+    out->type = Json::Type::kObject;
+    if (!Eat('{')) return Fail("expected '{'");
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) return Fail("expected object key");
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      SkipWs();
+      Json value;
+      if (!Value(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(Json* out, int depth) {
+    out->type = Json::Type::kArray;
+    if (!Eat('[')) return Fail("expected '['");
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      Json value;
+      if (!Value(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool String(std::string* out) {
+    if (!Eat('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+            char h = text_[pos_++];
+            unsigned digit = h <= '9'   ? static_cast<unsigned>(h - '0')
+                             : h <= 'F' ? static_cast<unsigned>(h - 'A' + 10)
+                                        : static_cast<unsigned>(h - 'a' + 10);
+            code = code * 16 + digit;
+          }
+          // The recorder only emits \u00XX for control bytes; render
+          // anything wider as '?' rather than pulling in UTF-8 encoding.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number(double* out) {
+    size_t start = pos_;
+    Eat('-');
+    if (!DigitRun()) return Fail("expected digit");
+    if (Eat('.') && !DigitRun()) return Fail("expected fraction digits");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!DigitRun()) return Fail("expected exponent digits");
+    }
+    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+    return true;
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema validation.
+//
+// The checks mirror the writer in src/obs/flight_recorder.cc; a dump that
+// passes here is safe for downstream scripting to index without existence
+// checks. Sections sourced from pre-serialized buffers (process, metrics
+// snapshot) may be null — a signal can land before the first refresh.
+// ---------------------------------------------------------------------------
+
+class SchemaErrors {
+ public:
+  void Add(const std::string& path, const std::string& msg) {
+    errors_.push_back(path + ": " + msg);
+  }
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::string> errors_;
+};
+
+void RequireInt(const Json& parent, const std::string& path, const char* key,
+                SchemaErrors* errors) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || !v->is_number()) {
+    errors->Add(path + "." + key, "missing or not a number");
+  }
+}
+
+void RequireString(const Json& parent, const std::string& path,
+                   const char* key, SchemaErrors* errors) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || !v->is_string()) {
+    errors->Add(path + "." + key, "missing or not a string");
+  }
+}
+
+void RequireBool(const Json& parent, const std::string& path, const char* key,
+                 SchemaErrors* errors) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || !v->is_bool()) {
+    errors->Add(path + "." + key, "missing or not a bool");
+  }
+}
+
+void ValidateEvents(const Json& events, SchemaErrors* errors) {
+  RequireInt(events, "events", "capacity", errors);
+  RequireInt(events, "events", "total", errors);
+  RequireInt(events, "events", "dropped", errors);
+  const Json* records = events.Get("records");
+  if (records == nullptr || !records->is_array()) {
+    errors->Add("events.records", "missing or not an array");
+    return;
+  }
+  for (size_t i = 0; i < records->array.size(); ++i) {
+    const Json& rec = records->array[i];
+    std::string path = "events.records[" + std::to_string(i) + "]";
+    if (!rec.is_object()) {
+      errors->Add(path, "not an object");
+      continue;
+    }
+    RequireInt(rec, path, "seq", errors);
+    RequireInt(rec, path, "ts_ns", errors);
+    RequireInt(rec, path, "tid", errors);
+    RequireString(rec, path, "type", errors);
+    RequireString(rec, path, "severity", errors);
+    RequireString(rec, path, "message", errors);
+  }
+}
+
+void ValidateActivities(const Json& activities, SchemaErrors* errors) {
+  for (size_t i = 0; i < activities.array.size(); ++i) {
+    const Json& act = activities.array[i];
+    std::string path = "activities[" + std::to_string(i) + "]";
+    if (!act.is_object()) {
+      errors->Add(path, "not an object");
+      continue;
+    }
+    RequireInt(act, path, "slot", errors);
+    RequireString(act, path, "kind", errors);
+    RequireString(act, path, "label", errors);
+    RequireString(act, path, "detail", errors);
+    RequireInt(act, path, "tid", errors);
+    RequireBool(act, path, "idle", errors);
+    RequireInt(act, path, "start_ns", errors);
+    RequireInt(act, path, "age_ns", errors);
+    RequireInt(act, path, "last_beat_ns", errors);
+    RequireInt(act, path, "deadline_ns", errors);
+  }
+}
+
+void ValidateSpans(const Json& spans, SchemaErrors* errors) {
+  RequireBool(spans, "spans", "repaired", errors);
+  const Json* threads = spans.Get("threads");
+  if (threads == nullptr || !threads->is_array()) {
+    errors->Add("spans.threads", "missing or not an array");
+    return;
+  }
+  for (size_t t = 0; t < threads->array.size(); ++t) {
+    const Json& thread = threads->array[t];
+    std::string path = "spans.threads[" + std::to_string(t) + "]";
+    if (!thread.is_object()) {
+      errors->Add(path, "not an object");
+      continue;
+    }
+    RequireInt(thread, path, "tid", errors);
+    RequireString(thread, path, "name", errors);
+    RequireInt(thread, path, "total", errors);
+    RequireInt(thread, path, "dropped", errors);
+    const Json* events = thread.Get("events");
+    if (events == nullptr || !events->is_array()) {
+      errors->Add(path + ".events", "missing or not an array");
+      continue;
+    }
+    for (size_t i = 0; i < events->array.size(); ++i) {
+      const Json& ev = events->array[i];
+      std::string ev_path = path + ".events[" + std::to_string(i) + "]";
+      if (!ev.is_object()) {
+        errors->Add(ev_path, "not an object");
+        continue;
+      }
+      RequireString(ev, ev_path, "ph", errors);
+      RequireString(ev, ev_path, "name", errors);
+      RequireInt(ev, ev_path, "ts_ns", errors);
+      const Json* ph = ev.Get("ph");
+      if (ph != nullptr && ph->is_string() && ph->string != "B" &&
+          ph->string != "E" && ph->string != "C") {
+        errors->Add(ev_path + ".ph", "not one of B/E/C");
+      }
+    }
+  }
+}
+
+bool ValidateDump(const Json& dump, SchemaErrors* errors) {
+  if (!dump.is_object()) {
+    errors->Add("$", "document is not an object");
+    return false;
+  }
+  const Json* version = dump.Get("flightdump_version");
+  if (version == nullptr || !version->is_number()) {
+    errors->Add("flightdump_version", "missing or not a number");
+  } else if (version->AsInt() != 1) {
+    errors->Add("flightdump_version",
+                "unsupported version " + std::to_string(version->AsInt()));
+  }
+  RequireInt(dump, "$", "pid", errors);
+
+  const Json* reason = dump.Get("reason");
+  if (reason == nullptr || !reason->is_object()) {
+    errors->Add("reason", "missing or not an object");
+  } else {
+    RequireString(*reason, "reason", "kind", errors);
+    RequireString(*reason, "reason", "detail", errors);
+    RequireBool(*reason, "reason", "fatal", errors);
+    RequireInt(*reason, "reason", "ts_ns", errors);
+  }
+
+  const Json* process = dump.Get("process");
+  if (process == nullptr || (!process->is_object() && !process->is_null())) {
+    errors->Add("process", "missing or not an object/null");
+  }
+
+  const Json* events = dump.Get("events");
+  if (events == nullptr || !events->is_object()) {
+    errors->Add("events", "missing or not an object");
+  } else {
+    ValidateEvents(*events, errors);
+  }
+
+  const Json* activities = dump.Get("activities");
+  if (activities == nullptr || !activities->is_array()) {
+    errors->Add("activities", "missing or not an array");
+  } else {
+    ValidateActivities(*activities, errors);
+  }
+
+  const Json* spans = dump.Get("spans");
+  if (spans == nullptr || !spans->is_object()) {
+    errors->Add("spans", "missing or not an object");
+  } else {
+    ValidateSpans(*spans, errors);
+  }
+
+  const Json* metrics = dump.Get("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    errors->Add("metrics", "missing or not an object");
+  } else {
+    const Json* snapshot = metrics->Get("snapshot");
+    if (snapshot == nullptr ||
+        (!snapshot->is_object() && !snapshot->is_null())) {
+      errors->Add("metrics.snapshot", "missing or not an object/null");
+    }
+    const Json* deltas = metrics->Get("deltas");
+    if (deltas == nullptr || !deltas->is_array()) {
+      errors->Add("metrics.deltas", "missing or not an array");
+    }
+  }
+
+  const Json* watchdog = dump.Get("watchdog");
+  if (watchdog == nullptr || !watchdog->is_object()) {
+    errors->Add("watchdog", "missing or not an object");
+  } else {
+    RequireBool(*watchdog, "watchdog", "running", errors);
+    RequireInt(*watchdog, "watchdog", "ticks", errors);
+    RequireInt(*watchdog, "watchdog", "stalls", errors);
+    RequireInt(*watchdog, "watchdog", "deadline_hits", errors);
+  }
+  return errors->ok();
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+std::string FormatNs(int64_t ns) {
+  char buf[64];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+void RenderSummary(const Json& dump, std::ostream& os) {
+  const Json* reason = dump.Get("reason");
+  const int64_t reason_ts =
+      reason != nullptr ? reason->Get("ts_ns")->AsInt() : 0;
+  os << "flight dump: pid " << dump.Get("pid")->AsInt() << "\n";
+  os << "reason: " << reason->Get("kind")->string;
+  if (!reason->Get("detail")->string.empty()) {
+    os << " — " << reason->Get("detail")->string;
+  }
+  os << (reason->Get("fatal")->boolean ? " [fatal]" : "") << "\n";
+
+  const Json* watchdog = dump.Get("watchdog");
+  os << "watchdog: "
+     << (watchdog->Get("running")->boolean ? "running" : "stopped") << ", "
+     << watchdog->Get("ticks")->AsInt() << " ticks, "
+     << watchdog->Get("stalls")->AsInt() << " stalls, "
+     << watchdog->Get("deadline_hits")->AsInt() << " deadline hits\n";
+
+  const Json* activities = dump.Get("activities");
+  os << "\nactivities (" << activities->array.size() << " live):\n";
+  for (const Json& act : activities->array) {
+    os << "  [" << act.Get("slot")->AsInt() << "] " << act.Get("kind")->string
+       << "/" << act.Get("label")->string;
+    if (!act.Get("detail")->string.empty()) {
+      os << " (" << act.Get("detail")->string << ")";
+    }
+    os << " tid " << act.Get("tid")->AsInt()
+       << (act.Get("idle")->boolean ? " idle" : "") << ", age "
+       << FormatNs(act.Get("age_ns")->AsInt());
+    int64_t last_beat = act.Get("last_beat_ns")->AsInt();
+    if (last_beat > 0 && reason_ts > last_beat) {
+      os << ", last beat " << FormatNs(reason_ts - last_beat) << " ago";
+    }
+    os << "\n";
+  }
+
+  const Json* events = dump.Get("events");
+  const Json* records = events->Get("records");
+  os << "\nevents (" << records->array.size() << " of "
+     << events->Get("total")->AsInt() << " total, "
+     << events->Get("dropped")->AsInt() << " dropped):\n";
+  for (const Json& rec : records->array) {
+    int64_t ts = rec.Get("ts_ns")->AsInt();
+    os << "  ";
+    if (reason_ts >= ts) {
+      os << "-" << FormatNs(reason_ts - ts);
+    } else {
+      os << "+" << FormatNs(ts - reason_ts);
+    }
+    os << " [" << rec.Get("severity")->string << "] "
+       << rec.Get("type")->string << ": " << rec.Get("message")->string
+       << " (tid " << rec.Get("tid")->AsInt() << ")\n";
+  }
+
+  const Json* deltas = dump.Get("metrics")->Get("deltas");
+  if (deltas != nullptr && !deltas->array.empty()) {
+    os << "\nmetric deltas captured: " << deltas->array.size() << "\n";
+  }
+}
+
+void RenderTimeline(const Json& dump, std::ostream& os) {
+  const Json* threads = dump.Get("spans")->Get("threads");
+  os << "\nspan timeline (" << threads->array.size() << " threads):\n";
+  for (const Json& thread : threads->array) {
+    os << "  tid " << thread.Get("tid")->AsInt();
+    if (!thread.Get("name")->string.empty()) {
+      os << " (" << thread.Get("name")->string << ")";
+    }
+    os << ": " << thread.Get("events")->array.size() << " of "
+       << thread.Get("total")->AsInt() << " events, "
+       << thread.Get("dropped")->AsInt() << " dropped\n";
+    int depth = 0;
+    for (const Json& ev : thread.Get("events")->array) {
+      const std::string& ph = ev.Get("ph")->string;
+      if (ph == "E" && depth > 0) --depth;
+      os << "    " << ev.Get("ts_ns")->AsInt() << " ";
+      for (int i = 0; i < depth; ++i) os << "| ";
+      if (ph == "B") {
+        os << "+ " << ev.Get("name")->string;
+        const Json* cat = ev.Get("cat");
+        if (cat != nullptr && cat->is_string()) {
+          os << " [" << cat->string << "]";
+        }
+        ++depth;
+      } else if (ph == "E") {
+        os << "- " << ev.Get("name")->string;
+      } else {
+        const Json* value = ev.Get("value");
+        os << "# " << ev.Get("name")->string << " = "
+           << (value != nullptr ? value->AsInt() : 0);
+      }
+      os << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Loads + parses + schema-checks one dump. Returns 0 on success, 1 on
+// invalid content, 2 on I/O failure; diagnostics go to stderr.
+int LoadDump(const std::string& path, Json* dump) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "sj_inspect: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  Parser parser(text);
+  if (!parser.Parse(dump)) {
+    std::fprintf(stderr, "sj_inspect: %s: JSON parse error: %s\n",
+                 path.c_str(), parser.error().c_str());
+    return 1;
+  }
+  SchemaErrors errors;
+  if (!ValidateDump(*dump, &errors)) {
+    std::fprintf(stderr, "sj_inspect: %s: schema violations:\n", path.c_str());
+    for (const std::string& e : errors.errors()) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+// A structurally complete specimen exercising every schema branch the
+// validator checks; doubles as documentation of the format.
+constexpr const char kSampleDump[] = R"json({
+"flightdump_version": 1,
+"pid": 4242,
+"reason": {"kind": "check_failure", "detail": "join.cc:42: SJ_CHECK(x)",
+           "fatal": true, "ts_ns": 5000000},
+"process": {"pid": 4242, "rss_bytes": 1048576},
+"events": {"capacity": 4096, "total": 3, "dropped": 0, "records": [
+  {"seq": 1, "ts_ns": 1000000, "tid": 100, "type": "query_admitted",
+   "severity": "info", "message": "join tree_join (op overlap)"},
+  {"seq": 2, "ts_ns": 2000000, "tid": 100, "type": "check_failure",
+   "severity": "fatal", "message": "join.cc:42: SJ_CHECK(x) — boom"}
+]},
+"activities": [
+  {"slot": 0, "kind": "query.join", "label": "tree_join", "detail": "",
+   "tid": 100, "idle": false, "start_ns": 900000, "age_ns": 4100000,
+   "last_beat_ns": 1900000, "deadline_ns": 0},
+  {"slot": 1, "kind": "pool.worker", "label": "worker",
+   "detail": "pool0.worker1", "tid": 101, "idle": true, "start_ns": 1000,
+   "age_ns": 4999000, "last_beat_ns": 4000000, "deadline_ns": 0}
+],
+"spans": {"repaired": false, "threads": [
+  {"tid": 100, "name": "main", "total": 3, "dropped": 0, "events": [
+    {"ph": "B", "name": "tree_join", "cat": "query.join", "ts_ns": 1000000},
+    {"ph": "C", "name": "join.qual_pairs", "ts_ns": 1500000, "value": 12},
+    {"ph": "E", "name": "tree_join", "ts_ns": 4900000}
+  ]}
+]},
+"metrics": {"snapshot": {"counters": {"query.join.count": 1}},
+"snapshot_age_ns": 120000,
+"deltas": [{"ts_ns": 4000000, "changed": {"query.join.count": 1}}]},
+"watchdog": {"running": true, "ticks": 40, "stalls": 0, "deadline_hits": 0}
+}
+)json";
+
+int SelfTest() {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "selftest FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // The embedded specimen must parse and validate.
+  {
+    Json dump;
+    Parser parser(kSampleDump);
+    expect(parser.Parse(&dump), "sample dump parses");
+    SchemaErrors errors;
+    expect(ValidateDump(dump, &errors), "sample dump validates");
+    for (const std::string& e : errors.errors()) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    // ...and render without crashing (output discarded).
+    std::ostringstream sink;
+    RenderSummary(dump, sink);
+    RenderTimeline(dump, sink);
+    expect(!sink.str().empty(), "sample dump renders");
+    expect(sink.str().find("check_failure") != std::string::npos,
+           "summary names the reason");
+    expect(sink.str().find("pool0.worker1") != std::string::npos,
+           "summary includes activity detail");
+  }
+
+  // Truncation (the expected corruption mode for a dump cut off mid-write
+  // by process death) must be rejected as a parse error, not crash.
+  {
+    std::string truncated(kSampleDump, sizeof(kSampleDump) / 2);
+    Json dump;
+    Parser parser(truncated);
+    expect(!parser.Parse(&dump), "truncated dump rejected");
+  }
+
+  // Wrong version and missing sections must be schema errors.
+  {
+    Json dump;
+    Parser parser("{\"flightdump_version\": 2}");
+    expect(parser.Parse(&dump), "version-2 stub parses");
+    SchemaErrors errors;
+    expect(!ValidateDump(dump, &errors), "version-2 stub fails validation");
+  }
+  {
+    Json dump;
+    Parser parser("[1, 2, 3]");
+    expect(parser.Parse(&dump), "array document parses");
+    SchemaErrors errors;
+    expect(!ValidateDump(dump, &errors), "non-object document rejected");
+  }
+
+  // Parser unit checks: escapes, numbers, nesting guard.
+  {
+    Json v;
+    expect(Parser(R"("a\"bA\n")").Parse(&v) && v.string == "a\"bA\n",
+           "string escapes decode");
+    expect(Parser("-12.5e2").Parse(&v) && v.number == -1250.0,
+           "numbers decode");
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    expect(!Parser(deep).Parse(&v), "deep nesting rejected");
+    expect(!Parser("{\"a\": 1,}").Parse(&v), "trailing comma rejected");
+    expect(!Parser("{} {}").Parse(&v), "trailing content rejected");
+  }
+
+  if (failures == 0) std::printf("sj_inspect selftest: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sj_inspect [--timeline] <dump.flightdump.json>\n"
+               "       sj_inspect --validate <dump...>\n"
+               "       sj_inspect --selftest\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+
+  if (args[0] == "--selftest") return SelfTest();
+
+  if (args[0] == "--validate") {
+    if (args.size() < 2) return Usage();
+    int worst = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      Json dump;
+      int rc = LoadDump(args[i], &dump);
+      if (rc == 0) std::printf("%s: ok\n", args[i].c_str());
+      worst = std::max(worst, rc);
+    }
+    return worst;
+  }
+
+  bool timeline = false;
+  std::string path;
+  for (const std::string& arg : args) {
+    if (arg == "--timeline") {
+      timeline = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  Json dump;
+  int rc = LoadDump(path, &dump);
+  if (rc != 0) return rc;
+  std::ostringstream out;
+  RenderSummary(dump, out);
+  if (timeline) RenderTimeline(dump, out);
+  std::fputs(out.str().c_str(), stdout);
+  return 0;
+}

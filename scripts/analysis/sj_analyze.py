@@ -1,0 +1,1554 @@
+#!/usr/bin/env python3
+"""sj_analyze: AST-level whole-program checks for the spatial-join engine.
+
+Three repo-specific checkers run over a translation-unit-spanning call
+graph (DESIGN.md §9):
+
+  signal-safety   Every function transitively reachable from the flight
+                  recorder's fatal-signal handler (and every function
+                  marked SJ_SIGNAL_SAFE) must stay within an explicit
+                  async-signal-safe allowlist: no allocation, no mutexes,
+                  no stdio/iostream, no SJ_EVENT, no throw.
+  lock-order      Extracts Mutex acquisition sites and SJ_REQUIRES /
+                  SJ_EXCLUDES annotations, builds the acquired-while-held
+                  graph, and fails on cycles or on edges that contradict
+                  the documented storage-layer order
+                  (HeapFile::mu_ -> BufferPool::mu_ -> DiskManager::mu_).
+  hot-path        Functions marked SJ_HOT (per-pair join bodies, theta
+                  kernels, FrozenTree node scans, slotted-page readers)
+                  must not allocate, lock, throw, or make virtual calls,
+                  transitively through every direct callee.
+
+Frontends
+---------
+The analyzer has two interchangeable fact extractors that populate the
+same per-function IR:
+
+  libclang   Real AST walk via clang.cindex, driven by the exported
+             compile_commands.json. Used when the bindings import and a
+             matching libclang shared object loads (CI installs
+             libclang==14.0.6).
+  textual    A dependency-free fallback: a brace-depth scanner that
+             recognizes function definitions, class/namespace context,
+             call sites, MutexLock acquisitions, allocations, throws,
+             and the SJ_* annotations from preprocessed-ish source text.
+             It exists so the checkers run everywhere ctest runs, with
+             no toolchain beyond Python.
+
+`--frontend auto` (default) prefers libclang and falls back to textual.
+Both frontends feed a per-file facts cache keyed on content + flags +
+analyzer version, so re-runs only re-parse what changed.
+
+Output
+------
+Human-readable text by default; `--json` emits the finding schema shared
+with scripts/lint/sj_lint.py: a list of objects with exactly the keys
+{rule, path, line, message, suppressed}.
+
+Intentional exceptions live in a reviewed baseline file
+(scripts/analysis/baseline.json), keyed by (rule, symbol, detail) so the
+entries survive unrelated line churn. `--write-baseline` regenerates the
+file from the current findings (justifications must then be filled in by
+hand). Exit code is 0 when every finding is baseline-suppressed, 1
+otherwise.
+"""
+
+import argparse
+import bisect
+import hashlib
+import json
+import os
+import re
+import sys
+
+ANALYZER_VERSION = "1"
+
+DEFAULT_SCAN_DIRS = ("src",)
+DEFAULT_BASELINE = os.path.join("scripts", "analysis", "baseline.json")
+DEFAULT_LOCK_ORDER = ["HeapFile::mu_", "BufferPool::mu_", "DiskManager::mu_"]
+
+ALL_CHECKS = ("signal-safety", "lock-order", "hot-path")
+
+# --------------------------------------------------------------------------
+# Policy tables
+# --------------------------------------------------------------------------
+
+# Names that look like calls to the textual scanner but are not.
+NOT_A_CALL = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "typeid", "static_assert", "alignas", "noexcept", "assert",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "defined", "case", "new", "delete", "throw", "do", "else", "goto",
+    "co_await", "co_return", "co_yield", "operator", "template", "requires",
+    "MutexLock",  # captured separately as a lock site
+}
+
+# Statement keywords that open a plain block, never a function body.
+BLOCK_KEYWORDS = {
+    "if", "for", "while", "switch", "do", "else", "try", "catch",
+    "case", "default", "return", "goto",
+}
+
+# Leaf calls that are async-signal-safe by POSIX or by construction
+# (lock-free atomics, the steady clock, raw byte moves). Matched on the
+# last path component of the callee name.
+SIGNAL_SAFE_LEAVES = {
+    # POSIX async-signal-safe set (the subset this codebase uses).
+    "write", "open", "close", "raise", "sigaction", "sigemptyset",
+    "sigfillset", "sigaddset", "signal", "_exit", "abort", "getpid",
+    "kill", "clock_gettime",
+    # Raw byte moves / scans: no allocation, no locks, no errno games.
+    "memset", "memcpy", "memmove", "memcmp", "strlen",
+    # std::atomic operations are lock-free for the types used here.
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "atomic_signal_fence", "atomic_thread_fence",
+    # steady_clock reads (clock_gettime(CLOCK_MONOTONIC) underneath).
+    "now", "time_since_epoch", "count",
+    # Pure value helpers / trivial accessors with no side effects.
+    "min", "max", "duration_cast", "nanoseconds", "move", "size", "data",
+    "begin", "end", "empty", "c_str", "get",
+}
+
+# Calls that are categorically banned in signal context even though the
+# checker could not see inside them (libc/stdio, formatted logging).
+SIGNAL_BANNED = {
+    "malloc", "calloc", "realloc", "free", "printf", "fprintf", "sprintf",
+    "snprintf", "vsnprintf", "vfprintf", "vprintf", "puts", "fputs",
+    "fwrite", "fflush", "fopen", "fclose", "exit", "syslog",
+    "SJ_EVENT", "Recordf", "va_start", "va_end", "va_arg",
+}
+
+# Callee names (last path component) that allocate. Used by both the
+# hot-path checker (allocation ban) and the signal checker.
+ALLOCATING_CALLS = {
+    "make_unique", "make_shared", "push_back", "emplace_back", "emplace",
+    "emplace_front", "push_front", "insert", "assign", "append", "resize",
+    "reserve", "to_string", "str", "substr", "string", "vector", "deque",
+    "map", "unordered_map", "set", "unordered_set", "ostringstream",
+    "stringstream", "stoi", "stod", "operator new",
+}
+
+# Mutex-ish acquisition methods (receiver.Lock() style).
+LOCK_METHODS = {"Lock", "TryLock"}
+
+RULE_DESCRIPTIONS = {
+    "signal-unsafe-call": "call outside the async-signal-safe allowlist, "
+                          "reachable from a fatal-signal handler",
+    "signal-alloc": "allocation reachable from a fatal-signal handler",
+    "signal-lock": "mutex acquisition reachable from a fatal-signal handler",
+    "signal-throw": "throw reachable from a fatal-signal handler",
+    "signal-virtual-call": "virtual dispatch reachable from a fatal-signal "
+                           "handler",
+    "signal-no-root": "no installed fatal-signal handler found (the checker "
+                      "would silently cover nothing)",
+    "lock-cycle": "cycle in the acquired-while-held graph",
+    "lock-order-violation": "acquisition order contradicts the documented "
+                            "lock hierarchy",
+    "lock-excludes-violation": "function annotated SJ_EXCLUDES(mu) called "
+                               "while mu is held",
+    "hot-alloc": "allocation in an SJ_HOT function or its callees",
+    "hot-lock": "mutex acquisition in an SJ_HOT function or its callees",
+    "hot-throw": "throw in an SJ_HOT function or its callees",
+    "hot-virtual-call": "virtual dispatch in an SJ_HOT function or its "
+                        "callees",
+}
+
+
+# --------------------------------------------------------------------------
+# Finding / baseline model
+# --------------------------------------------------------------------------
+
+class Finding:
+    """One checker result, identified for baselining by (rule, symbol,
+    detail) so entries survive line churn."""
+
+    def __init__(self, rule, path, line, message, symbol, detail):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        self.symbol = symbol
+        self.detail = detail
+        self.suppressed = False
+
+    def key(self):
+        return (self.rule, self.symbol, self.detail)
+
+    def to_json(self):
+        # The schema shared with sj_lint --json: exactly these keys.
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+def load_baseline(path):
+    """Returns {(rule, symbol, detail): justification}."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    entries = {}
+    for entry in data.get("entries", []):
+        key = (entry["rule"], entry["symbol"], entry["detail"])
+        entries[key] = entry.get("justification", "")
+    return entries
+
+
+def write_baseline(path, findings):
+    entries = []
+    seen = set()
+    for finding in findings:
+        if finding.key() in seen:
+            continue
+        seen.add(finding.key())
+        entries.append({
+            "rule": finding.rule,
+            "symbol": finding.symbol,
+            "detail": finding.detail,
+            "justification": "TODO: justify or fix",
+        })
+    entries.sort(key=lambda e: (e["rule"], e["symbol"], e["detail"]))
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"version": 1, "entries": entries}, f, indent=2,
+                  sort_keys=False)
+        f.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Per-function IR (shared by both frontends)
+# --------------------------------------------------------------------------
+
+class FunctionFacts:
+    """Everything the checkers need to know about one function
+    definition. `events` is the ordered body fact stream used by the
+    lock-order checker: (kind, payload, line, depth) where kind is one of
+    'call', 'lock', 'alloc', 'throw' and depth is the brace depth inside
+    the body at the fact site (lock scopes end when depth drops below
+    the acquisition depth)."""
+
+    def __init__(self, qual, simple, file, line, class_ctx):
+        self.qual = qual            # e.g. spatialjoin::exec::FrozenTree::NodeAt
+        self.simple = simple        # NodeAt
+        self.file = file            # repo-relative path
+        self.line = line
+        self.class_ctx = class_ctx  # innermost class name or ""
+        self.annotations = []       # ["sj::hot", "sj::signal_safe"]
+        self.requires = []          # raw SJ_REQUIRES expressions
+        self.excludes = []          # raw SJ_EXCLUDES expressions
+        self.events = []            # [(kind, payload, line, depth)]
+
+    def key(self):
+        return "%s@%s:%d" % (self.qual, self.file, self.line)
+
+    def to_json(self):
+        return {
+            "qual": self.qual, "simple": self.simple, "file": self.file,
+            "line": self.line, "class_ctx": self.class_ctx,
+            "annotations": self.annotations, "requires": self.requires,
+            "excludes": self.excludes, "events": self.events,
+        }
+
+    @staticmethod
+    def from_json(d):
+        fn = FunctionFacts(d["qual"], d["simple"], d["file"], d["line"],
+                           d["class_ctx"])
+        fn.annotations = d["annotations"]
+        fn.requires = d["requires"]
+        fn.excludes = d["excludes"]
+        fn.events = [tuple(e) for e in d["events"]]
+        return fn
+
+
+class FileFacts:
+    """Facts extracted from one scanned file."""
+
+    def __init__(self, path):
+        self.path = path
+        self.functions = []       # [FunctionFacts]
+        self.virtual_names = []   # method names declared virtual/override
+        self.fields = []          # [(class, field, type_str)]
+        self.global_mutexes = []  # namespace-scope Mutex variable names
+        self.signal_roots = []    # function names assigned to sa_handler
+        # Annotations found on *declarations* (header prototypes), keyed
+        # so Program can attach them to the matching definitions:
+        # [(class_or_empty, simple_name, kind, payload)] with kind in
+        # {"hot", "signal_safe", "requires", "excludes"}.
+        self.decl_annotations = []
+
+    def to_json(self):
+        return {
+            "version": ANALYZER_VERSION,
+            "path": self.path,
+            "functions": [fn.to_json() for fn in self.functions],
+            "virtual_names": self.virtual_names,
+            "fields": self.fields,
+            "global_mutexes": self.global_mutexes,
+            "signal_roots": self.signal_roots,
+            "decl_annotations": self.decl_annotations,
+        }
+
+    @staticmethod
+    def from_json(d):
+        facts = FileFacts(d["path"])
+        facts.functions = [FunctionFacts.from_json(f) for f in d["functions"]]
+        facts.virtual_names = d["virtual_names"]
+        facts.fields = [tuple(f) for f in d["fields"]]
+        facts.global_mutexes = d["global_mutexes"]
+        facts.signal_roots = d["signal_roots"]
+        facts.decl_annotations = [tuple(a) for a in d["decl_annotations"]]
+        return facts
+
+
+# --------------------------------------------------------------------------
+# Textual frontend
+# --------------------------------------------------------------------------
+
+def strip_code(text):
+    """Blanks comments, string/char literals, and preprocessor lines,
+    preserving every line break so positions map back to line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i + 1 < n:
+                out.append("  ")
+                i += 2
+        elif c == '"':
+            # Raw string?
+            j = len(out) - 1
+            while j >= 0 and out[j].isalnum():
+                j -= 1
+            prefix = "".join(out[j + 1:])
+            if prefix.endswith("R"):
+                m = re.match(r'"([^(\s)\\]*)\(', text[i:])
+                if m:
+                    closer = ")" + m.group(1) + '"'
+                    end = text.find(closer, i)
+                    end = (end + len(closer)) if end != -1 else n
+                    while i < end:
+                        out.append("\n" if text[i] == "\n" else " ")
+                        i += 1
+                    continue
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    out.append("  " if text[i + 1:i + 2] != "\n" else " \n")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        elif c == "'":
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    code = "".join(out)
+
+    # Blank preprocessor directives (including continuation lines) so
+    # macro definitions with braces cannot desynchronize the scanner.
+    lines = code.split("\n")
+    i = 0
+    while i < len(lines):
+        if lines[i].lstrip().startswith("#"):
+            while True:
+                cont = lines[i].rstrip().endswith("\\")
+                lines[i] = ""
+                if not cont or i + 1 >= len(lines):
+                    break
+                i += 1
+        i += 1
+    return "\n".join(lines)
+
+
+class _LineIndex:
+    def __init__(self, code):
+        self.starts = [0]
+        for m in re.finditer("\n", code):
+            self.starts.append(m.end())
+
+    def line_of(self, pos):
+        return bisect.bisect_right(self.starts, pos)
+
+
+_FN_NAME_RE = re.compile(
+    r"((?:~?[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*$")
+_CLASS_RE = re.compile(
+    r"^(?:typedef\s+)?(?:class|struct|union)\b")
+_CLASS_NAME_RE = re.compile(
+    r"\b(?:class|struct|union)\s+(?:\[\[[^\]]*\]\]\s*)?"
+    r"(?:alignas\s*\([^)]*\)\s*)?([A-Za-z_]\w*)")
+_NS_RE = re.compile(r"^(?:inline\s+)?namespace(?:\s+([A-Za-z_][\w:]*))?\s*$")
+_ENUM_RE = re.compile(r"^(?:typedef\s+)?enum\b")
+_VIRTUAL_DECL_RE = re.compile(
+    r"\bvirtual\b[^=]*?([A-Za-z_]\w*)\s*\(")
+_OVERRIDE_DECL_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*\([^;{}]*\)\s*(?:const\s*)?(?:noexcept\s*)?"
+    r"(?:override|final)\b")
+_SA_HANDLER_RE = re.compile(
+    r"sa_(?:sigaction|handler)\s*=\s*&?\s*((?:\w+\s*::\s*)*\w+)")
+_GLOBAL_MUTEX_RE = re.compile(r"^(?:static\s+)?Mutex\s+([A-Za-z_]\w*)$")
+_FIELD_RE = re.compile(
+    r"^(.*?[\w>&*\]])\s+([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?$")
+_REQUIRES_RE = re.compile(r"\bSJ_REQUIRES\s*\(([^()]*)\)")
+_EXCLUDES_RE = re.compile(r"\bSJ_EXCLUDES\s*\(([^()]*)\)")
+
+_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*(?:<[^<>;(){}=]*>)?\s*\(")
+_MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+[A-Za-z_]\w*\s*\(([^()]*)\)")
+_LOCK_CALL_RE = re.compile(
+    r"([A-Za-z_][\w.:\->]*?)\s*(?:\.|->)\s*(Lock|TryLock)\s*\(\s*\)")
+_NEW_RE = re.compile(r"\bnew\b\s*(?:\()?\s*[A-Za-z_(:]")
+_THROW_RE = re.compile(r"\bthrow\b")
+_CHECK_MACRO_RE = re.compile(r"\bSJ_D?CHECK\w*\s*\(")
+
+_TRAILER_TOKEN_RE = re.compile(
+    r"^(?:\s|const\b|noexcept\b(?:\s*\([^()]*\))?|override\b|final\b|"
+    r"mutable\b|&&?|->\s*[\w:<>,&*\s]+?(?=\s*$)|"
+    r"SJ_\w+(?:\s*\([^()]*\))?|try\b)+$")
+
+
+def _first_word(text):
+    m = re.match(r"\s*([A-Za-z_]\w*)", text)
+    return m.group(1) if m else ""
+
+
+def _match_paren(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+# Tokens that legitimately precede a call expression; anything else
+# identifier-like before `name(` means the site is a declaration
+# `Type name(args)` and the real callee is Type's constructor.
+_PRECEDES_CALL = {
+    "return", "throw", "else", "do", "case", "goto", "new", "delete",
+    "co_return", "co_yield", "co_await", "and", "or", "not",
+}
+_BUILTIN_TYPES = {
+    "const", "constexpr", "static", "auto", "volatile", "register",
+    "thread_local", "mutable", "inline", "unsigned", "signed", "long",
+    "short", "int", "char", "bool", "float", "double", "void", "size_t",
+    "wchar_t",
+}
+
+
+def _decl_type_before(prev):
+    """If the code before a `name(` site ends with a type token, the site
+    is a declaration `Type name(args)`. Returns the type name (so the
+    constructor call can be recorded), "" for builtin/cv types (nothing
+    to record), or None when the site really is a call."""
+    prev = prev.rstrip()
+    if not prev or prev[-1] not in "&*>" and not (prev[-1].isalnum()
+                                                  or prev[-1] == "_"):
+        return None
+    if prev[-1] in "&*":
+        prev = prev[:-1].rstrip()
+    if prev.endswith(">") and not prev.endswith("->"):
+        depth = 0
+        i = len(prev) - 1
+        while i >= 0:
+            if prev[i] == ">":
+                depth += 1
+            elif prev[i] == "<":
+                depth -= 1
+            if depth == 0:
+                break
+            i -= 1
+        if depth != 0 or i < 0:
+            return None
+        prev = prev[:i].rstrip()
+    m = re.search(r"((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)$", prev)
+    if not m:
+        return None
+    tok = re.sub(r"\s+", "", m.group(1))
+    simple = tok.rsplit("::", 1)[-1]
+    if simple in _PRECEDES_CALL:
+        return None
+    if simple in _BUILTIN_TYPES:
+        return ""
+    return tok
+
+
+def _mask_check_macros(body):
+    """Blanks SJ_CHECK*/SJ_DCHECK* invocation argument lists: the abort
+    path is exempt from purity rules, and its stream inserters would
+    otherwise read as allocation."""
+    out = list(body)
+    for m in _CHECK_MACRO_RE.finditer(body):
+        open_pos = body.index("(", m.start())
+        close_pos = _match_paren(body, open_pos)
+        if close_pos == -1:
+            close_pos = len(body) - 1
+        for i in range(m.start(), close_pos + 1):
+            if out[i] != "\n":
+                out[i] = " "
+    return "".join(out)
+
+
+class _Scope:
+    def __init__(self, kind, name, fn=None):
+        self.kind = kind  # namespace | class | function | block | enum
+        self.name = name
+        self.fn = fn      # FunctionFacts for function scopes
+        self.body_start = 0
+
+
+def _extract_body_facts(code, body_start, body_end, fn, lines):
+    """Populates fn.events from the body span [body_start, body_end)."""
+    body = _mask_check_macros(code[body_start:body_end])
+
+    facts = []  # (pos, kind, payload)
+    lock_spans = []
+    for m in _MUTEXLOCK_RE.finditer(body):
+        facts.append((m.start(), "lock", m.group(1).strip()))
+        lock_spans.append((m.start(), m.end()))
+    for m in _LOCK_CALL_RE.finditer(body):
+        facts.append((m.start(), "lock",
+                      re.sub(r"\s+", "", m.group(1))))
+        lock_spans.append((m.start(), m.end()))
+    for m in _NEW_RE.finditer(body):
+        facts.append((m.start(), "alloc", "new"))
+    for m in _THROW_RE.finditer(body):
+        facts.append((m.start(), "throw", "throw"))
+    for m in _CALL_RE.finditer(body):
+        name = re.sub(r"\s+", "", m.group(1))
+        simple = name.rsplit("::", 1)[-1]
+        if simple in NOT_A_CALL:
+            continue
+        if any(s <= m.start() < e for s, e in lock_spans):
+            continue  # the MutexLock/Lock site itself
+        decl_type = _decl_type_before(body[:m.start()])
+        if decl_type is not None:
+            # `Type name(args)`: the constructor runs, not `name`.
+            if decl_type:
+                facts.append((m.start(), "call", decl_type))
+            continue
+        facts.append((m.start(), "call", name))
+
+    facts.sort(key=lambda f: f[0])
+
+    depth = 0
+    fi = 0
+    for i, c in enumerate(body):
+        while fi < len(facts) and facts[fi][0] == i:
+            pos, kind, payload = facts[fi]
+            line = lines.line_of(body_start + pos)
+            fn.events.append((kind, payload, line, depth))
+            fi += 1
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+    # Flush any fact recorded exactly at the final brace (unlikely).
+    while fi < len(facts):
+        pos, kind, payload = facts[fi]
+        fn.events.append((kind, payload, lines.line_of(body_start + pos), 0))
+        fi += 1
+
+
+def _classify_head(head, scopes):
+    """Returns (kind, name-or-head-info) for the text preceding a '{'."""
+    stripped = head.strip()
+    if not stripped:
+        return ("block", None)
+    if stripped[-1] in "=,([":
+        return ("block", None)  # brace initializer
+    first = _first_word(stripped)
+    if first in BLOCK_KEYWORDS:
+        return ("block", None)
+    m = _NS_RE.match(stripped)
+    if m:
+        return ("namespace", m.group(1) or "")
+    if _ENUM_RE.match(stripped):
+        return ("enum", None)
+    if _CLASS_RE.match(stripped):
+        m = _CLASS_NAME_RE.search(stripped)
+        return ("class", m.group(1) if m else "")
+    # Function definition: identifier immediately before the first
+    # top-level '(' in the head, with an acceptable trailer after the
+    # matching ')'.
+    paren = stripped.find("(")
+    if paren <= 0:
+        return ("block", None)
+    name_m = _FN_NAME_RE.search(stripped[:paren])
+    if not name_m:
+        return ("block", None)
+    name = re.sub(r"\s+", "", name_m.group(1))
+    simple = name.rsplit("::", 1)[-1]
+    if simple in NOT_A_CALL or simple in BLOCK_KEYWORDS:
+        return ("block", None)
+    close = _match_paren(stripped, paren)
+    if close == -1:
+        return ("block", None)
+    trailer = stripped[close + 1:].strip()
+    if trailer and not trailer.startswith(":") \
+            and not _TRAILER_TOKEN_RE.match(trailer):
+        return ("block", None)
+    return ("function", (name, head))
+
+
+def extract_textual(rel_path, text):
+    """The fallback frontend: extracts FileFacts from raw source text."""
+    code = strip_code(text)
+    lines = _LineIndex(code)
+    facts = FileFacts(rel_path)
+
+    for m in _SA_HANDLER_RE.finditer(code):
+        name = re.sub(r"\s+", "", m.group(1)).rsplit("::", 1)[-1]
+        if name not in ("SIG_DFL", "SIG_IGN"):
+            facts.signal_roots.append(name)
+
+    scopes = []
+    head_start = 0
+
+    def ns_prefix():
+        return [s.name for s in scopes
+                if s.kind in ("namespace", "class") and s.name]
+
+    def class_ctx():
+        for s in reversed(scopes):
+            if s.kind == "class":
+                return s.name
+        return ""
+
+    def harvest_decl_annotations(stmt):
+        """Attaches SJ_HOT/SJ_SIGNAL_SAFE/SJ_REQUIRES/SJ_EXCLUDES found
+        on a declaration (prototype) to the named function, so marking
+        the header is enough even when the definition lives in a .cc."""
+        if not re.search(r"\bSJ_(?:HOT|SIGNAL_SAFE|REQUIRES|EXCLUDES)\b",
+                         stmt):
+            return
+        paren = stmt.find("(")
+        if paren <= 0:
+            return
+        name_m = _FN_NAME_RE.search(stmt[:paren])
+        if not name_m:
+            return
+        simple = re.sub(r"\s+", "", name_m.group(1)).rsplit("::", 1)[-1]
+        if simple in NOT_A_CALL or simple in BLOCK_KEYWORDS:
+            return
+        cls = class_ctx()
+        if re.search(r"\bSJ_HOT\b", stmt):
+            facts.decl_annotations.append((cls, simple, "hot", ""))
+        if re.search(r"\bSJ_SIGNAL_SAFE\b", stmt):
+            facts.decl_annotations.append((cls, simple, "signal_safe", ""))
+        for expr in _REQUIRES_RE.findall(stmt):
+            facts.decl_annotations.append(
+                (cls, simple, "requires", expr.strip()))
+        for expr in _EXCLUDES_RE.findall(stmt):
+            facts.decl_annotations.append(
+                (cls, simple, "excludes", expr.strip()))
+
+    def harvest_statement(stmt):
+        """Virtual-method, field, and global-mutex harvesting at ';'."""
+        in_class = any(s.kind == "class" for s in scopes)
+        in_function = any(s.kind == "function" for s in scopes)
+        if not in_function:
+            harvest_decl_annotations(stmt)
+        if in_class and not in_function:
+            vm = _VIRTUAL_DECL_RE.search(stmt)
+            if vm:
+                facts.virtual_names.append(vm.group(1))
+            om = _OVERRIDE_DECL_RE.search(stmt)
+            if om:
+                facts.virtual_names.append(om.group(1))
+            if "(" not in re.sub(r"SJ_\w+\s*\([^()]*\)", "", stmt):
+                decl = re.sub(r"SJ_\w+\s*\([^()]*\)", "", stmt)
+                decl = re.sub(r"=[^;]*$", "", decl).strip()
+                decl = re.sub(r"^\s*(?:public|private|protected)\s*:",
+                              "", decl).strip()
+                fm = _FIELD_RE.match(decl)
+                if fm:
+                    facts.fields.append(
+                        (class_ctx(), fm.group(2), fm.group(1).strip()))
+        elif not in_function:
+            decl = re.sub(r"=[^;]*$", "", stmt).strip()
+            gm = _GLOBAL_MUTEX_RE.match(decl)
+            if gm:
+                facts.global_mutexes.append(gm.group(1))
+
+    i = 0
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "{":
+            head = code[head_start:i]
+            kind, info = _classify_head(head, scopes)
+            scope = _Scope(kind, None)
+            if kind == "namespace":
+                scope.name = info
+            elif kind == "class":
+                scope.name = info
+            elif kind == "function":
+                name, full_head = info
+                simple = name.rsplit("::", 1)[-1]
+                # Qualified written names contribute their class part.
+                written_prefix = name.split("::")[:-1]
+                qual_parts = ns_prefix() + written_prefix + [simple]
+                cctx = (written_prefix[-1] if written_prefix
+                        else class_ctx())
+                fn = FunctionFacts("::".join(qual_parts), simple, rel_path,
+                                   lines.line_of(i), cctx)
+                if re.search(r"\bSJ_HOT\b", full_head):
+                    fn.annotations.append("sj::hot")
+                if re.search(r"\bSJ_SIGNAL_SAFE\b", full_head):
+                    fn.annotations.append("sj::signal_safe")
+                fn.requires = [x.strip()
+                               for x in _REQUIRES_RE.findall(full_head)]
+                fn.excludes = [x.strip()
+                               for x in _EXCLUDES_RE.findall(full_head)]
+                if re.search(r"\b(?:virtual|override|final)\b", full_head):
+                    facts.virtual_names.append(simple)
+                scope.fn = fn
+                scope.body_start = i + 1
+            scopes.append(scope)
+            head_start = i + 1
+        elif c == "}":
+            if scopes:
+                scope = scopes.pop()
+                if scope.kind == "function":
+                    _extract_body_facts(code, scope.body_start, i,
+                                        scope.fn, lines)
+                    facts.functions.append(scope.fn)
+            head_start = i + 1
+        elif c == ";":
+            harvest_statement(code[head_start:i])
+            head_start = i + 1
+        i += 1
+    return facts
+
+
+# --------------------------------------------------------------------------
+# libclang frontend
+# --------------------------------------------------------------------------
+
+def libclang_available():
+    try:
+        import clang.cindex as ci  # noqa: F401
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _clang_qual(cursor):
+    import clang.cindex as ci
+    parts = []
+    parent = cursor.semantic_parent
+    while parent is not None and parent.kind != ci.CursorKind.TRANSLATION_UNIT:
+        if parent.spelling:
+            parts.append(parent.spelling)
+        parent = parent.semantic_parent
+    parts.reverse()
+    parts.append(cursor.spelling)
+    return "::".join(p for p in parts if p)
+
+
+def extract_libclang(root, rel_path, compile_args):
+    """Real AST extraction via clang.cindex. Returns FileFacts covering
+    every in-project function definition seen in this TU (the caller
+    dedupes header functions that appear in several TUs)."""
+    import clang.cindex as ci
+
+    abs_path = os.path.join(root, rel_path)
+    index = ci.Index.create()
+    tu = index.parse(abs_path, args=compile_args,
+                     options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    facts = FileFacts(rel_path)
+
+    fn_kinds = {
+        ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+        ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+        ci.CursorKind.FUNCTION_TEMPLATE,
+    }
+
+    def in_project(cursor):
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        try:
+            rel = os.path.relpath(os.path.realpath(loc.file.name),
+                                  os.path.realpath(root))
+        except ValueError:
+            return None
+        if rel.startswith(".."):
+            return None
+        return rel.replace(os.sep, "/")
+
+    def collect_body(cursor, fn, depth):
+        for child in cursor.get_children():
+            kind = child.kind
+            line = child.location.line or fn.line
+            if kind == ci.CursorKind.CXX_NEW_EXPR:
+                fn.events.append(("alloc", "new", line, depth))
+            elif kind == ci.CursorKind.CXX_THROW_EXPR:
+                fn.events.append(("throw", "throw", line, depth))
+            elif kind == ci.CursorKind.CALL_EXPR:
+                ref = child.referenced
+                name = None
+                if ref is not None and ref.spelling:
+                    name = _clang_qual(ref)
+                elif child.spelling:
+                    name = child.spelling
+                if name:
+                    virtual = bool(
+                        ref is not None
+                        and ref.kind == ci.CursorKind.CXX_METHOD
+                        and ref.is_virtual_method())
+                    fn.events.append((
+                        "vcall" if virtual else "call", name, line, depth))
+            elif kind == ci.CursorKind.VAR_DECL and \
+                    "MutexLock" in child.type.spelling:
+                tokens = [t.spelling for t in child.get_tokens()]
+                if "(" in tokens:
+                    expr = "".join(
+                        tokens[tokens.index("(") + 1:
+                               len(tokens) - 1 - tokens[::-1].index(")")])
+                    fn.events.append(("lock", expr, line, depth))
+            new_depth = depth + (
+                1 if kind == ci.CursorKind.COMPOUND_STMT else 0)
+            collect_body(child, fn, new_depth)
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            rel = in_project(child)
+            if rel is None:
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                fn = FunctionFacts(
+                    _clang_qual(child), child.spelling, rel,
+                    child.location.line,
+                    child.semantic_parent.spelling
+                    if child.semantic_parent is not None and
+                    child.semantic_parent.kind in (
+                        ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL)
+                    else "")
+                for sub in child.get_children():
+                    if sub.kind == ci.CursorKind.ANNOTATE_ATTR:
+                        fn.annotations.append(sub.spelling)
+                if child.kind == ci.CursorKind.CXX_METHOD and \
+                        child.is_virtual_method():
+                    facts.virtual_names.append(child.spelling)
+                collect_body(child, fn, 0)
+                facts.functions.append(fn)
+            elif child.kind == ci.CursorKind.CXX_METHOD and \
+                    child.is_virtual_method():
+                facts.virtual_names.append(child.spelling)
+            if child.kind in (ci.CursorKind.NAMESPACE,
+                              ci.CursorKind.CLASS_DECL,
+                              ci.CursorKind.STRUCT_DECL,
+                              ci.CursorKind.LINKAGE_SPEC):
+                visit(child)
+
+    visit(tu.cursor)
+
+    # Signal roots + global mutexes come from a cheap textual pass even
+    # in libclang mode (the assignments are plain statements).
+    with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code = strip_code(text)
+    for m in _SA_HANDLER_RE.finditer(code):
+        name = re.sub(r"\s+", "", m.group(1)).rsplit("::", 1)[-1]
+        if name not in ("SIG_DFL", "SIG_IGN"):
+            facts.signal_roots.append(name)
+    for m in re.finditer(r"(?m)^\s*(?:static\s+)?Mutex\s+([A-Za-z_]\w*)\s*;",
+                         code):
+        facts.global_mutexes.append(m.group(1))
+    return facts
+
+
+def load_compile_commands(path):
+    """Returns {abs source path: [clang args]}."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    commands = {}
+    for entry in db:
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        keep = []
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", entry["file"]):
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            keep.append(a)
+        src = os.path.realpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        commands[src] = keep
+    return commands
+
+
+# --------------------------------------------------------------------------
+# Program index
+# --------------------------------------------------------------------------
+
+class Program:
+    """The merged whole-program view the checkers run over."""
+
+    def __init__(self, file_facts):
+        self.functions = {}       # key -> FunctionFacts
+        self.by_simple = {}       # simple name -> [key]
+        self.by_qual = {}         # qual -> [key]
+        self.virtual_names = set()
+        self.fields = {}          # (class, field) -> type_str
+        self.field_classes = {}   # field -> set of classes
+        self.global_mutexes = set()
+        self.signal_roots = set()
+
+        seen = set()
+        decl_annotations = {}  # (class, simple) -> [(kind, payload)]
+        for facts in file_facts:
+            self.virtual_names.update(facts.virtual_names)
+            self.global_mutexes.update(facts.global_mutexes)
+            self.signal_roots.update(facts.signal_roots)
+            for cls, field, type_str in facts.fields:
+                self.fields[(cls, field)] = type_str
+                self.field_classes.setdefault(field, set()).add(cls)
+            for cls, simple, kind, payload in facts.decl_annotations:
+                decl_annotations.setdefault((cls, simple), []).append(
+                    (kind, payload))
+            for fn in facts.functions:
+                key = fn.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.functions[key] = fn
+                self.by_simple.setdefault(fn.simple, []).append(key)
+                self.by_qual.setdefault(fn.qual, []).append(key)
+
+        # Header prototypes annotate; definitions inherit.
+        for fn in self.functions.values():
+            for kind, payload in decl_annotations.get(
+                    (fn.class_ctx, fn.simple), []):
+                if kind == "hot" and "sj::hot" not in fn.annotations:
+                    fn.annotations.append("sj::hot")
+                elif kind == "signal_safe" and \
+                        "sj::signal_safe" not in fn.annotations:
+                    fn.annotations.append("sj::signal_safe")
+                elif kind == "requires" and payload not in fn.requires:
+                    fn.requires.append(payload)
+                elif kind == "excludes" and payload not in fn.excludes:
+                    fn.excludes.append(payload)
+
+    def resolve_call(self, caller, name):
+        """Maps a call-site name to candidate function keys. Prefers an
+        exact qualified match, then same-class, then same-file, then any
+        same-simple-name definition (conservative: all of them)."""
+        name = name.strip()
+        if name in self.by_qual:
+            return self.by_qual[name]
+        # Suffix match on qualified names (call "exec::Foo" vs qual
+        # "spatialjoin::exec::Foo").
+        if "::" in name:
+            matches = [k for q, keys in self.by_qual.items()
+                       if q.endswith("::" + name) for k in keys]
+            if matches:
+                return matches
+        simple = name.rsplit("::", 1)[-1]
+        keys = self.by_simple.get(simple, [])
+        if not keys:
+            return []
+        same_class = [k for k in keys
+                      if self.functions[k].class_ctx == caller.class_ctx
+                      and caller.class_ctx]
+        if same_class:
+            return same_class
+        same_file = [k for k in keys
+                     if self.functions[k].file == caller.file]
+        if same_file:
+            return same_file
+        return keys
+
+    def canon_mutex(self, fn, expr):
+        """Canonical identity for a mutex expression at a lock site.
+        `mu_` inside a HeapFile method becomes HeapFile::mu_; a global
+        becomes ::name; anything unresolvable gets a per-function
+        placeholder so it can never fabricate a cross-function cycle."""
+        expr = expr.strip().replace("this->", "")
+        expr = re.sub(r"\s+", "", expr)
+        if not expr:
+            return "?%s:empty" % fn.qual
+        if "::" in expr and "." not in expr and "->" not in expr:
+            return expr  # already qualified
+        if re.fullmatch(r"[A-Za-z_]\w*", expr):
+            if fn.class_ctx and (fn.class_ctx, expr) in self.fields:
+                return "%s::%s" % (fn.class_ctx, expr)
+            if expr in self.global_mutexes:
+                return "::" + expr
+            classes = self.field_classes.get(expr)
+            if classes and len(classes) == 1:
+                return "%s::%s" % (next(iter(classes)), expr)
+            return "?%s:%s" % (fn.qual, expr)
+        m = re.fullmatch(r"([A-Za-z_]\w*)(?:\.|->)([A-Za-z_]\w*)", expr)
+        if m:
+            recv, field = m.group(1), m.group(2)
+            recv_type = None
+            if fn.class_ctx and (fn.class_ctx, recv) in self.fields:
+                recv_type = self.fields[(fn.class_ctx, recv)]
+            if recv_type is not None:
+                tm = re.search(r"([A-Za-z_]\w*)\s*[*&>]*$",
+                               recv_type.replace(">", " >"))
+                if tm and (tm.group(1), field) in self.fields:
+                    return "%s::%s" % (tm.group(1), field)
+            classes = self.field_classes.get(field)
+            if classes and len(classes) == 1:
+                return "%s::%s" % (next(iter(classes)), field)
+        return "?%s:%s" % (fn.qual, expr)
+
+
+# --------------------------------------------------------------------------
+# Checkers
+# --------------------------------------------------------------------------
+
+def _is_virtual_call(program, name):
+    simple = name.rsplit("::", 1)[-1]
+    return simple in program.virtual_names and "::" not in name
+
+
+def _reach_closure(program, roots):
+    """BFS over direct (non-virtual) calls. Returns (order, parents)
+    where parents maps key -> (parent key, call line) for chain
+    reconstruction."""
+    parents = {}
+    order = []
+    queue = list(roots)
+    visited = set(roots)
+    while queue:
+        key = queue.pop(0)
+        order.append(key)
+        fn = program.functions[key]
+        for kind, payload, line, _depth in fn.events:
+            if kind != "call":
+                continue
+            if _is_virtual_call(program, payload):
+                continue
+            for callee in program.resolve_call(fn, payload):
+                if callee not in visited:
+                    visited.add(callee)
+                    parents[callee] = (key, line)
+                    queue.append(callee)
+    return order, parents
+
+
+def _chain(program, parents, key, roots):
+    names = [program.functions[key].simple]
+    while key in parents:
+        key = parents[key][0]
+        names.append(program.functions[key].simple)
+    names.reverse()
+    return " -> ".join(names)
+
+
+def check_signal_safety(program):
+    findings = []
+    root_keys = set()
+    handler_keys = set()
+    for root_name in program.signal_roots:
+        for key in program.by_simple.get(root_name, []):
+            root_keys.add(key)
+            handler_keys.add(key)
+    for key, fn in program.functions.items():
+        if "sj::signal_safe" in fn.annotations:
+            root_keys.add(key)
+
+    if not handler_keys:
+        findings.append(Finding(
+            "signal-no-root", "<program>", 0,
+            "no sa_handler/sa_sigaction installation site found; the "
+            "signal-safety checker has no handler root to cover",
+            "<program>", "no-handler"))
+
+    order, parents = _reach_closure(program, root_keys)
+    for key in order:
+        fn = program.functions[key]
+        chain = _chain(program, parents, key, root_keys)
+        for kind, payload, line, _depth in fn.events:
+            if kind == "alloc":
+                findings.append(Finding(
+                    "signal-alloc", fn.file, line,
+                    "allocation (%s) in signal-reachable %s [%s]"
+                    % (payload, fn.qual, chain), fn.qual, payload))
+            elif kind == "lock":
+                findings.append(Finding(
+                    "signal-lock", fn.file, line,
+                    "mutex acquisition (%s) in signal-reachable %s [%s]"
+                    % (payload, fn.qual, chain), fn.qual, payload))
+            elif kind == "throw":
+                findings.append(Finding(
+                    "signal-throw", fn.file, line,
+                    "throw in signal-reachable %s [%s]" % (fn.qual, chain),
+                    fn.qual, "throw"))
+            elif kind in ("call", "vcall"):
+                if kind == "vcall" or _is_virtual_call(program, payload):
+                    findings.append(Finding(
+                        "signal-virtual-call", fn.file, line,
+                        "virtual dispatch (%s) in signal-reachable %s [%s]"
+                        % (payload, fn.qual, chain), fn.qual, payload))
+                    continue
+                if program.resolve_call(fn, payload):
+                    continue  # traversed by the closure
+                simple = payload.rsplit("::", 1)[-1]
+                if simple in SIGNAL_BANNED or payload in SIGNAL_BANNED:
+                    findings.append(Finding(
+                        "signal-unsafe-call", fn.file, line,
+                        "banned call %s in signal-reachable %s [%s]"
+                        % (payload, fn.qual, chain), fn.qual, payload))
+                elif simple in ALLOCATING_CALLS:
+                    findings.append(Finding(
+                        "signal-alloc", fn.file, line,
+                        "allocating call %s in signal-reachable %s [%s]"
+                        % (payload, fn.qual, chain), fn.qual, payload))
+                elif simple not in SIGNAL_SAFE_LEAVES:
+                    findings.append(Finding(
+                        "signal-unsafe-call", fn.file, line,
+                        "call %s is outside the async-signal-safe "
+                        "allowlist in %s [%s]" % (payload, fn.qual, chain),
+                        fn.qual, payload))
+    return findings
+
+
+def _transitive_acquires(program):
+    """Fixpoint: for every function, the set of canonical mutexes it may
+    acquire directly or through any resolvable callee."""
+    direct = {}
+    calls = {}
+    for key, fn in program.functions.items():
+        acq = set()
+        for kind, payload, _line, _depth in fn.events:
+            if kind == "lock":
+                acq.add(program.canon_mutex(fn, payload))
+        direct[key] = acq
+        callees = set()
+        for kind, payload, _line, _depth in fn.events:
+            if kind == "call" and not _is_virtual_call(program, payload):
+                callees.update(program.resolve_call(fn, payload))
+        calls[key] = callees
+
+    acquires = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key in program.functions:
+            before = len(acquires[key])
+            for callee in calls[key]:
+                acquires[key] |= acquires.get(callee, set())
+            if len(acquires[key]) != before:
+                changed = True
+    return acquires
+
+
+def check_lock_order(program, lock_order):
+    findings = []
+    acquires = _transitive_acquires(program)
+
+    # Edges: held -> acquired, with one witness site each.
+    edges = {}  # (a, b) -> (file, line, via)
+
+    def add_edge(a, b, file, line, via):
+        if a == b:
+            return
+        edges.setdefault((a, b), (file, line, via))
+
+    for key, fn in program.functions.items():
+        held = []  # [(mutex, depth)]
+        for mu_expr in fn.requires:
+            held.append((program.canon_mutex(fn, mu_expr), -1))
+        for kind, payload, line, depth in fn.events:
+            while held and held[-1][1] >= 0 and held[-1][1] > depth:
+                held.pop()
+            if kind == "lock":
+                mu = program.canon_mutex(fn, payload)
+                for h, _d in held:
+                    add_edge(h, mu, fn.file, line, fn.qual)
+                held.append((mu, depth))
+            elif kind == "call" and not _is_virtual_call(program, payload):
+                callees = program.resolve_call(fn, payload)
+                for callee in callees:
+                    cfn = program.functions[callee]
+                    for mu_expr in cfn.excludes:
+                        mu = program.canon_mutex(cfn, mu_expr)
+                        if any(h == mu for h, _d in held):
+                            findings.append(Finding(
+                                "lock-excludes-violation", fn.file, line,
+                                "%s calls %s (annotated SJ_EXCLUDES(%s)) "
+                                "while holding %s"
+                                % (fn.qual, cfn.qual, mu_expr, mu),
+                                fn.qual, "%s-excludes-%s"
+                                % (cfn.simple, mu)))
+                    for mu in acquires.get(callee, set()):
+                        for h, _d in held:
+                            add_edge(h, mu, fn.file, line,
+                                     "%s -> %s" % (fn.qual, cfn.qual))
+
+    # Documented-order violations (both endpoints named in the order).
+    order_index = {name: i for i, name in enumerate(lock_order)}
+    for (a, b), (file, line, via) in sorted(edges.items()):
+        if a.startswith("?") or b.startswith("?"):
+            continue  # unresolved receivers never report
+        ia, ib = order_index.get(a), order_index.get(b)
+        if ia is not None and ib is not None and ia > ib:
+            findings.append(Finding(
+                "lock-order-violation", file, line,
+                "acquires %s while holding %s, against the documented "
+                "order %s (via %s)" % (b, a, " -> ".join(lock_order), via),
+                via.split(" -> ")[0], "%s->%s" % (a, b)))
+
+    # Cycles in the full graph (unresolved placeholders excluded: they
+    # are per-function-unique and cannot close a real cycle anyway).
+    graph = {}
+    for (a, b) in edges:
+        if a.startswith("?") or b.startswith("?"):
+            continue
+        graph.setdefault(a, set()).add(b)
+
+    state = {}
+    stack = []
+
+    def dfs(node):
+        state[node] = 1
+        stack.append(node)
+        for succ in sorted(graph.get(node, ())):
+            if state.get(succ, 0) == 1:
+                cycle = stack[stack.index(succ):] + [succ]
+                file, line, via = edges[(node, succ)]
+                findings.append(Finding(
+                    "lock-cycle", file, line,
+                    "acquired-while-held cycle: %s (closing edge via %s)"
+                    % (" -> ".join(cycle), via),
+                    via.split(" -> ")[0], "->".join(cycle)))
+            elif state.get(succ, 0) == 0:
+                dfs(succ)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            dfs(node)
+
+    return findings
+
+
+def check_hot_path(program):
+    findings = []
+    roots = {key for key, fn in program.functions.items()
+             if "sj::hot" in fn.annotations}
+    order, parents = _reach_closure(program, roots)
+    for key in order:
+        fn = program.functions[key]
+        chain = _chain(program, parents, key, roots)
+        for kind, payload, line, _depth in fn.events:
+            if kind == "alloc":
+                findings.append(Finding(
+                    "hot-alloc", fn.file, line,
+                    "allocation (%s) on hot path %s [%s]"
+                    % (payload, fn.qual, chain), fn.qual, payload))
+            elif kind == "lock":
+                findings.append(Finding(
+                    "hot-lock", fn.file, line,
+                    "mutex acquisition (%s) on hot path %s [%s]"
+                    % (payload, fn.qual, chain), fn.qual, payload))
+            elif kind == "throw":
+                findings.append(Finding(
+                    "hot-throw", fn.file, line,
+                    "throw on hot path %s [%s]" % (fn.qual, chain),
+                    fn.qual, "throw"))
+            elif kind in ("call", "vcall"):
+                if kind == "vcall" or _is_virtual_call(program, payload):
+                    findings.append(Finding(
+                        "hot-virtual-call", fn.file, line,
+                        "virtual dispatch (%s) on hot path %s [%s]"
+                        % (payload, fn.qual, chain), fn.qual,
+                        "virtual:%s" % payload.rsplit("::", 1)[-1]))
+                    continue
+                if program.resolve_call(fn, payload):
+                    continue  # traversed
+                simple = payload.rsplit("::", 1)[-1]
+                if simple in ALLOCATING_CALLS:
+                    findings.append(Finding(
+                        "hot-alloc", fn.file, line,
+                        "allocating call %s on hot path %s [%s]"
+                        % (payload, fn.qual, chain), fn.qual, payload))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def scan_files(root, scan_dirs):
+    files = []
+    for scan_dir in scan_dirs:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(rel.replace(os.sep, "/"))
+    files.sort()
+    return files
+
+
+def _cache_path(cache_dir, rel_path):
+    digest = hashlib.sha256(rel_path.encode()).hexdigest()[:24]
+    return os.path.join(cache_dir, digest + ".json")
+
+
+def _cache_key(text, frontend, flags):
+    h = hashlib.sha256()
+    h.update(ANALYZER_VERSION.encode())
+    h.update(frontend.encode())
+    h.update("\0".join(flags).encode())
+    h.update(text.encode("utf-8", errors="replace"))
+    return h.hexdigest()
+
+
+def extract_all(root, files, frontend, compdb, cache_dir):
+    """Runs the selected frontend over every file, with a per-file facts
+    cache keyed on content + flags + analyzer version."""
+    all_facts = []
+    for rel in files:
+        abs_path = os.path.join(root, rel)
+        with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        flags = []
+        if frontend == "libclang":
+            flags = compdb.get(os.path.realpath(abs_path), [])
+        key = _cache_key(text, frontend, flags)
+        cache_file = _cache_path(cache_dir, rel) if cache_dir else None
+        if cache_file and os.path.exists(cache_file):
+            try:
+                with open(cache_file, "r", encoding="utf-8") as f:
+                    cached = json.load(f)
+                if cached.get("key") == key:
+                    all_facts.append(FileFacts.from_json(cached["facts"]))
+                    continue
+            except (ValueError, KeyError):
+                pass
+        if frontend == "libclang":
+            args = flags
+            if not args:
+                # Headers are not TUs; parse standalone as C++.
+                args = ["-x", "c++", "-std=c++17",
+                        "-I" + os.path.join(root, "src")]
+            try:
+                facts = extract_libclang(root, rel, args)
+            except Exception as exc:  # noqa: BLE001 - degrade per file
+                sys.stderr.write(
+                    "sj_analyze: libclang failed on %s (%s); using "
+                    "textual frontend for this file\n" % (rel, exc))
+                facts = extract_textual(rel, text)
+        else:
+            facts = extract_textual(rel, text)
+        all_facts.append(facts)
+        if cache_file:
+            os.makedirs(cache_dir, exist_ok=True)
+            with open(cache_file, "w", encoding="utf-8") as f:
+                json.dump({"key": key, "facts": facts.to_json()}, f)
+    return all_facts
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="sj_analyze",
+        description="Whole-program signal-safety, lock-order, and "
+                    "hot-path purity checks.")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--scan-dir", action="append", dest="scan_dirs",
+                        help="directory under root to scan "
+                             "(default: src; repeatable)")
+    parser.add_argument("--frontend", choices=("auto", "libclang", "textual"),
+                        default="auto")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--checks", default=",".join(ALL_CHECKS),
+                        help="comma-separated subset of: %s"
+                             % ", ".join(ALL_CHECKS))
+    parser.add_argument("--order", default=",".join(DEFAULT_LOCK_ORDER),
+                        help="documented lock hierarchy, outermost first")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: "
+                             "<root>/%s)" % DEFAULT_BASELINE)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON (the schema shared "
+                             "with sj_lint --json)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="facts cache directory (default: "
+                             "<root>/build/sj_analyze_cache)")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--dump-reachable", choices=("signal-safety",
+                                                     "hot-path"),
+                        help="print the checker's roots and reachable "
+                             "set as JSON and exit")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULE_DESCRIPTIONS):
+            print("%-24s %s" % (rule, RULE_DESCRIPTIONS[rule]))
+        return 0
+
+    root = os.path.abspath(args.root)
+    scan_dirs = args.scan_dirs or list(DEFAULT_SCAN_DIRS)
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    for check in checks:
+        if check not in ALL_CHECKS:
+            parser.error("unknown check %r" % check)
+    lock_order = [m.strip() for m in args.order.split(",") if m.strip()]
+
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = "libclang" if libclang_available() else "textual"
+    elif frontend == "libclang" and not libclang_available():
+        sys.stderr.write("sj_analyze: --frontend libclang requested but "
+                         "clang.cindex is unavailable\n")
+        return 2
+
+    compdb = {}
+    if frontend == "libclang":
+        compdb_path = args.compdb or os.path.join(
+            root, "build", "compile_commands.json")
+        compdb = load_compile_commands(compdb_path)
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(
+            root, "build", "sj_analyze_cache")
+
+    files = scan_files(root, scan_dirs)
+    if not files:
+        sys.stderr.write("sj_analyze: nothing to scan under %s\n"
+                         % ", ".join(scan_dirs))
+        return 2
+
+    all_facts = extract_all(root, files, frontend, compdb, cache_dir)
+    program = Program(all_facts)
+
+    if args.dump_reachable:
+        if args.dump_reachable == "signal-safety":
+            roots = set()
+            for name in program.signal_roots:
+                roots.update(program.by_simple.get(name, []))
+            for key, fn in program.functions.items():
+                if "sj::signal_safe" in fn.annotations:
+                    roots.add(key)
+        else:
+            roots = {key for key, fn in program.functions.items()
+                     if "sj::hot" in fn.annotations}
+        order, _parents = _reach_closure(program, roots)
+        print(json.dumps({
+            "frontend": frontend,
+            "roots": sorted(program.functions[k].qual for k in roots),
+            "handler_roots": sorted(program.signal_roots),
+            "reachable": sorted(program.functions[k].qual for k in order),
+        }, indent=2))
+        return 0
+
+    findings = []
+    if "signal-safety" in checks:
+        findings.extend(check_signal_safety(program))
+    if "lock-order" in checks:
+        findings.extend(check_lock_order(program, lock_order))
+    if "hot-path" in checks:
+        findings.extend(check_hot_path(program))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
+
+    # Collapse duplicates (the same site reached via several roots).
+    unique = []
+    seen = set()
+    for finding in findings:
+        k = (finding.rule, finding.path, finding.line, finding.symbol,
+             finding.detail)
+        if k not in seen:
+            seen.add(k)
+            unique.append(finding)
+    findings = unique
+
+    if args.write_baseline:
+        baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+        write_baseline(baseline_path, findings)
+        print("sj_analyze: wrote %d baseline entries to %s"
+              % (len({f.key() for f in findings}), baseline_path))
+        return 0
+
+    baseline = {}
+    if not args.no_baseline:
+        baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+        baseline = load_baseline(baseline_path)
+    for finding in findings:
+        if finding.key() in baseline:
+            finding.suppressed = True
+
+    unsuppressed = [f for f in findings if not f.suppressed]
+
+    if args.json:
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in unsuppressed:
+            print("%s:%d: [%s] %s"
+                  % (finding.path, finding.line, finding.rule,
+                     finding.message))
+        suppressed_count = len(findings) - len(unsuppressed)
+        print("sj_analyze (%s frontend): %d finding(s), %d suppressed "
+              "by baseline, %d file(s) scanned"
+              % (frontend, len(unsuppressed), suppressed_count, len(files)))
+
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,20 @@ for us, each as a small path-scoped rule:
                        (++/--/assignment). SJ_DCHECK compiles out under
                        NDEBUG, so a side effect there changes behaviour
                        between build types.
+  iostream-in-lib      `#include <iostream>` in src/ library code. The
+                       header drags in static stream constructors (ios
+                       init) into every TU and invites cout/cerr use;
+                       library code formats through <cstdio>-free event
+                       logging or std::snprintf.
 
 Suppression: append `// sj-lint: allow(<rule>)` to the offending line, or
 put it alone on the line directly above. Multiple rules separate with
 commas. Every suppression should carry a justification comment.
+
+Output: human-readable `path:line: [rule] message` by default; `--json`
+emits the same findings as the shared static-analysis schema
+`{rule, path, line, message, suppressed}` used by sj_analyze, including
+suppressed findings with `"suppressed": true`.
 
 Exit codes: 0 = clean, 1 = findings, 2 = usage error.
 """
@@ -36,6 +46,7 @@ Exit codes: 0 = clean, 1 = findings, 2 = usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -277,6 +288,21 @@ def check_dcheck_side_effect(f: SourceFile) -> Iterator[Finding]:
                 "differ between build types")
 
 
+IOSTREAM_INCLUDE_RE = re.compile(r"#\s*include\s*<iostream>")
+
+
+def check_iostream_in_lib(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/"):
+        return
+    for i, line in enumerate(f.code, start=1):
+        if IOSTREAM_INCLUDE_RE.search(line):
+            yield Finding(
+                f.rel_path, i, "iostream-in-lib",
+                "<iostream> in library code; it injects static stream "
+                "constructors into every TU and invites cout/cerr — "
+                "format with std::snprintf or record through SJ_EVENT")
+
+
 RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
     "raw-clock": check_raw_clock,
     "naked-new": check_naked_new,
@@ -284,6 +310,7 @@ RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
     "stderr-in-lib": check_stderr_in_lib,
     "detail-include": check_detail_include,
     "dcheck-side-effect": check_dcheck_side_effect,
+    "iostream-in-lib": check_iostream_in_lib,
 }
 
 
@@ -320,16 +347,23 @@ def _walk(root: str, top: str) -> Iterator[str]:
 
 
 def lint_file(root: str, rel_path: str,
-              rules: dict[str, Callable]) -> list[Finding]:
+              rules: dict[str, Callable],
+              include_suppressed: bool = False):
+    """Lints one file. Returns the unsuppressed Findings, or — with
+    include_suppressed — (Finding, suppressed) pairs for every match so
+    callers (the --json output) can surface allow()-ed findings too."""
     with open(os.path.join(root, rel_path), encoding="utf-8") as fp:
         raw = fp.read().splitlines()
     f = SourceFile(rel_path, raw, strip_comments_and_strings(raw))
-    findings = []
+    results = []
     for check in rules.values():
         for finding in check(f):
-            if finding.rule not in allowed_rules(f.raw, finding.line):
-                findings.append(finding)
-    return findings
+            suppressed = finding.rule in allowed_rules(f.raw, finding.line)
+            if include_suppressed:
+                results.append((finding, suppressed))
+            elif not suppressed:
+                results.append(finding)
+    return results
 
 
 def main(argv: list[str]) -> int:
@@ -343,6 +377,10 @@ def main(argv: list[str]) -> int:
                         metavar="RULE",
                         help="run only this rule (repeatable)")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON in the shared "
+                             "{rule, path, line, message, suppressed} "
+                             "schema (suppressed findings included)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to scan (default: "
                              f"{', '.join(SCAN_DIRS)} under the root)")
@@ -370,6 +408,19 @@ def main(argv: list[str]) -> int:
     except FileNotFoundError as e:
         print(f"sj_lint: no such file or directory: {e}", file=sys.stderr)
         return 2
+
+    if args.json:
+        pairs: list[tuple[Finding, bool]] = []
+        for rel_path in files:
+            pairs.extend(lint_file(root, rel_path, rules,
+                                   include_suppressed=True))
+        pairs.sort(key=lambda p: p[0])
+        print(json.dumps(
+            [{"rule": f.rule, "path": f.path, "line": f.line,
+              "message": f.message, "suppressed": suppressed}
+             for f, suppressed in pairs],
+            indent=2))
+        return 1 if any(not s for _, s in pairs) else 0
 
     findings: list[Finding] = []
     for rel_path in files:

@@ -4,8 +4,10 @@
 #
 #   scripts/run_clang_tidy.sh [build-dir]
 #
-# The build dir must have been configured with
-# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Exits 0 with a notice when
+# The root CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS, so any
+# configured build dir already has the database — the same one
+# scripts/analysis/sj_analyze.py's libclang frontend consumes via
+# --compdb. Exits 0 with a notice when
 # clang-tidy is not installed (not part of the minimal build
 # environment; CI installs it).
 set -euo pipefail
@@ -21,7 +23,8 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
 fi
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing —" \
-       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+       "run cmake -B $BUILD_DIR -S . first (the root CMakeLists" \
+       "exports the database on every configure)" >&2
   exit 1
 fi
 

@@ -92,4 +92,39 @@
 #define SJ_NO_THREAD_SAFETY_ANALYSIS \
   SJ_TS_ATTRIBUTE(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Whole-program contract annotations, checked by scripts/analysis/
+// sj_analyze.py (DESIGN.md §9) rather than by the compiler. Under clang
+// they also emit an `annotate` attribute so the libclang frontend reads
+// them straight from the AST; elsewhere they expand to nothing and the
+// textual frontend matches the macro token instead. Both spellings must
+// appear at the *start* of a declaration (`SJ_HOT bool ThetaUpper(...)`)
+// — GNU attributes are only portable in the decl-specifier position.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && SJ_TS_HAS_ATTRIBUTE(annotate)
+#define SJ_ANALYZE_ANNOTATE(x) __attribute__((annotate(x)))
+#else
+#define SJ_ANALYZE_ANNOTATE(x)  // no-op
+#endif
+
+/// Hot-path purity contract: this function — and everything reachable
+/// from it through direct calls — must not allocate, lock, throw, or
+/// make virtual calls. Adopted on the Θ-kernel per-pair bodies
+/// (core/join_detail.h), the Θ predicate kernels (core/theta_ops.cc),
+/// FrozenTree node scans, and slotted-page readers, so ROADMAP's SIMD
+/// and query-compilation passes can refactor against a machine-checked
+/// invariant. Known, reviewed exceptions (e.g. worklist growth pending
+/// the arena/SoA refactor) live in scripts/analysis/
+/// sj_analyze_baseline.json with per-entry justifications — not here.
+#define SJ_HOT SJ_ANALYZE_ANNOTATE("sj::hot")
+
+/// Async-signal-safety contract: this function is (transitively) called
+/// from a fatal-signal handler, so it must stay within the POSIX
+/// async-signal-safe allowlist — no allocation, no mutexes, no stdio or
+/// iostream, no SJ_EVENT (vsnprintf + ring publication is normal-context
+/// only). sj_analyze treats every marked function as an additional
+/// checker root alongside the handlers it discovers via sigaction.
+#define SJ_SIGNAL_SAFE SJ_ANALYZE_ANNOTATE("sj::signal_safe")
+
 #endif  // SPATIALJOIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gentree.h"
 #include "core/join.h"
 #include "core/theta_ops.h"
@@ -23,13 +24,15 @@ namespace join_detail {
 /// this pass against its chunk-local JoinResult. Thread-safe as long as
 /// the trees and the operator are safe for concurrent reads and `result`
 /// is not shared between callers.
-inline std::vector<NodeId> SelectPass(const GeneralizationTree& selector_tree,
-                                      NodeId selector_node,
-                                      const Value& selector_geom,
-                                      const GeneralizationTree& tree,
-                                      NodeId anchor, const ThetaOperator& op,
-                                      bool selector_is_r,
-                                      JoinResult* result) {
+///
+/// SJ_HOT: the per-pair Θ-kernel body ROADMAP items 3/4 (SIMD, query
+/// compilation) will refactor against. Current exceptions (worklist
+/// growth, virtual generalization-tree/Θ dispatch) are enumerated in
+/// scripts/analysis/sj_analyze_baseline.json; do not add new ones.
+SJ_HOT inline std::vector<NodeId> SelectPass(
+    const GeneralizationTree& selector_tree, NodeId selector_node,
+    const Value& selector_geom, const GeneralizationTree& tree, NodeId anchor,
+    const ThetaOperator& op, bool selector_is_r, JoinResult* result) {
   std::vector<NodeId> qualifying_children;
   Rectangle selector_mbr = selector_tree.MbrOf(selector_node);
   std::vector<NodeId> direct_children = tree.Children(anchor);
@@ -72,7 +75,7 @@ inline std::vector<NodeId> SelectPass(const GeneralizationTree& selector_tree,
 /// pair, θ-test it on success, run the two selection passes, and append
 /// the cross product of the qualifying children to `next_level`. Returns
 /// false when the pair was pruned at JOIN2. All counters land in `result`.
-inline bool ProcessQualPair(const GeneralizationTree& r_tree,
+SJ_HOT inline bool ProcessQualPair(const GeneralizationTree& r_tree,
                             const GeneralizationTree& s_tree, NodeId a,
                             NodeId b, const ThetaOperator& op,
                             JoinResult* result,

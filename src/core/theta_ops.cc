@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "geometry/buffer.h"
 #include "geometry/distance.h"
 #include "geometry/polygon.h"
@@ -199,8 +200,8 @@ bool WithinDistanceOp::Theta(const Value& a, const Value& b) const {
   return Distance(CenterpointOf(a), CenterpointOf(b)) <= distance_;
 }
 
-bool WithinDistanceOp::ThetaUpper(const Rectangle& a,
-                                  const Rectangle& b) const {
+SJ_HOT bool WithinDistanceOp::ThetaUpper(const Rectangle& a,
+                                         const Rectangle& b) const {
   return RectanglesWithinDistance(a, b, distance_);
 }
 
@@ -219,7 +220,8 @@ bool OverlapsOp::Theta(const Value& a, const Value& b) const {
   return GeometriesOverlap(a, b);
 }
 
-bool OverlapsOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+SJ_HOT bool OverlapsOp::ThetaUpper(const Rectangle& a,
+                                   const Rectangle& b) const {
   return a.Overlaps(b);
 }
 
@@ -237,7 +239,8 @@ bool IncludesOp::Theta(const Value& a, const Value& b) const {
   return GeometryContains(a, b);
 }
 
-bool IncludesOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+SJ_HOT bool IncludesOp::ThetaUpper(const Rectangle& a,
+                                   const Rectangle& b) const {
   // Fig. 4: o1' and o2' merely overlapping already admits a subobject of
   // o1 including a subobject of o2.
   return a.Overlaps(b);
@@ -253,8 +256,8 @@ bool ContainedInOp::Theta(const Value& a, const Value& b) const {
   return GeometryContains(b, a);
 }
 
-bool ContainedInOp::ThetaUpper(const Rectangle& a,
-                               const Rectangle& b) const {
+SJ_HOT bool ContainedInOp::ThetaUpper(const Rectangle& a,
+                                      const Rectangle& b) const {
   return a.Overlaps(b);
 }
 
@@ -272,7 +275,8 @@ bool NorthwestOfOp::Theta(const Value& a, const Value& b) const {
   return NorthwestOf(CenterpointOf(a), CenterpointOf(b));
 }
 
-bool NorthwestOfOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+SJ_HOT bool NorthwestOfOp::ThetaUpper(const Rectangle& a,
+                                      const Rectangle& b) const {
   if (a.is_empty() || b.is_empty()) return false;
   // The NW quadrant of b is bounded by b's right vertical tangent
   // (x = b.max_x) and b's lower horizontal tangent (y = b.min_y).
@@ -342,7 +346,8 @@ bool AdjacentOp::Theta(const Value& a, const Value& b) const {
   return true;
 }
 
-bool AdjacentOp::ThetaUpper(const Rectangle& a, const Rectangle& b) const {
+SJ_HOT bool AdjacentOp::ThetaUpper(const Rectangle& a,
+                                   const Rectangle& b) const {
   return a.Overlaps(b);
 }
 
@@ -373,8 +378,8 @@ bool ReachableWithinOp::Theta(const Value& a, const Value& b) const {
   return MinDistanceBetween(a, b) <= minutes_ * speed_per_minute_;
 }
 
-bool ReachableWithinOp::ThetaUpper(const Rectangle& a,
-                                   const Rectangle& b) const {
+SJ_HOT bool ReachableWithinOp::ThetaUpper(const Rectangle& a,
+                                          const Rectangle& b) const {
   // "o1' overlaps the x-minute buffer of o2'": expand b's MBR by the
   // crow-flies travel radius and test overlap.
   if (a.is_empty() || b.is_empty()) return false;

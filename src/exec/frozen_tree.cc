@@ -51,29 +51,37 @@ FrozenTree FrozenTree::Materialize(const GeneralizationTree& source) {
   return frozen;
 }
 
-const FrozenTree::Node& FrozenTree::NodeAt(NodeId id) const {
+SJ_HOT const FrozenTree::Node& FrozenTree::NodeAt(NodeId id) const {
   SJ_CHECK(id >= 0 && id < static_cast<NodeId>(nodes_.size()));
   return nodes_[static_cast<size_t>(id)];
 }
 
-int FrozenTree::HeightOf(NodeId node) const { return NodeAt(node).height; }
+SJ_HOT int FrozenTree::HeightOf(NodeId node) const {
+  return NodeAt(node).height;
+}
 
-std::vector<NodeId> FrozenTree::Children(NodeId node) const {
+SJ_HOT std::vector<NodeId> FrozenTree::Children(NodeId node) const {
   const Node& n = NodeAt(node);
   return std::vector<NodeId>(
       children_.begin() + static_cast<ptrdiff_t>(n.child_begin),
       children_.begin() + static_cast<ptrdiff_t>(n.child_end));
 }
 
-Value FrozenTree::Geometry(NodeId node) const { return NodeAt(node).geometry; }
+SJ_HOT Value FrozenTree::Geometry(NodeId node) const {
+  return NodeAt(node).geometry;
+}
 
-Rectangle FrozenTree::MbrOf(NodeId node) const { return NodeAt(node).mbr; }
+SJ_HOT Rectangle FrozenTree::MbrOf(NodeId node) const {
+  return NodeAt(node).mbr;
+}
 
-bool FrozenTree::IsApplicationNode(NodeId node) const {
+SJ_HOT bool FrozenTree::IsApplicationNode(NodeId node) const {
   return NodeAt(node).application;
 }
 
-TupleId FrozenTree::TupleOf(NodeId node) const { return NodeAt(node).tuple; }
+SJ_HOT TupleId FrozenTree::TupleOf(NodeId node) const {
+  return NodeAt(node).tuple;
+}
 
 }  // namespace exec
 }  // namespace spatialjoin

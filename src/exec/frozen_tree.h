@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gentree.h"
 
 namespace spatialjoin {
@@ -35,14 +36,19 @@ class FrozenTree : public GeneralizationTree {
   FrozenTree& operator=(const FrozenTree&) = delete;
 
   // GeneralizationTree interface — all const, concurrently callable.
+  // The per-node scans are SJ_HOT: they sit inside the parallel join's
+  // innermost loops, so sj_analyze holds them to the no-alloc/no-lock
+  // purity contract. Children() is the one exception — it returns a
+  // freshly built vector (a baselined finding; ROADMAP item 3's
+  // span-based accessor will retire it).
   NodeId root() const override { return 0; }
   int height() const override { return height_; }
-  int HeightOf(NodeId node) const override;
-  std::vector<NodeId> Children(NodeId node) const override;
-  Value Geometry(NodeId node) const override;
-  Rectangle MbrOf(NodeId node) const override;
-  bool IsApplicationNode(NodeId node) const override;
-  TupleId TupleOf(NodeId node) const override;
+  SJ_HOT int HeightOf(NodeId node) const override;
+  SJ_HOT std::vector<NodeId> Children(NodeId node) const override;
+  SJ_HOT Value Geometry(NodeId node) const override;
+  SJ_HOT Rectangle MbrOf(NodeId node) const override;
+  SJ_HOT bool IsApplicationNode(NodeId node) const override;
+  SJ_HOT TupleId TupleOf(NodeId node) const override;
   int64_t num_nodes() const override {
     return static_cast<int64_t>(nodes_.size());
   }
@@ -61,7 +67,7 @@ class FrozenTree : public GeneralizationTree {
 
   FrozenTree() = default;
 
-  const Node& NodeAt(NodeId id) const;
+  SJ_HOT const Node& NodeAt(NodeId id) const;
 
   std::vector<Node> nodes_;
   std::vector<NodeId> children_;

@@ -9,7 +9,7 @@
 
 namespace spatialjoin {
 
-const char* EventTypeName(EventType type) {
+SJ_SIGNAL_SAFE const char* EventTypeName(EventType type) {
   switch (type) {
     case EventType::kMessage:
       return "message";
@@ -39,7 +39,7 @@ const char* EventTypeName(EventType type) {
   return "unknown";
 }
 
-const char* EventSeverityName(EventSeverity severity) {
+SJ_SIGNAL_SAFE const char* EventSeverityName(EventSeverity severity) {
   switch (severity) {
     case EventSeverity::kInfo:
       return "info";
@@ -145,7 +145,7 @@ std::vector<EventView> EventLog::Tail(size_t max_records) const {
   return out;
 }
 
-uint64_t EventLog::dropped() const {
+SJ_SIGNAL_SAFE uint64_t EventLog::dropped() const {
   const uint64_t head = total();
   return head > capacity_ ? head - capacity_ : 0;
 }

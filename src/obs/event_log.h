@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace spatialjoin {
 
 /// Structured event log (DESIGN.md §10): a fixed-capacity lock-free ring
@@ -83,7 +85,7 @@ struct EventRecord {
   /// Copies the message into `out` (capacity >= kMessageBytes), stopping
   /// at the terminator. Returns false when no terminator was found — a
   /// torn slot the caller should skip. Async-signal-safe.
-  bool CopyMessageTo(char* out) const {
+  SJ_SIGNAL_SAFE bool CopyMessageTo(char* out) const {
     for (size_t i = 0; i < kMessageBytes; ++i) {
       const char c = message[i].load(std::memory_order_relaxed);
       out[i] = c;
@@ -129,14 +131,16 @@ class EventLog {
   std::vector<EventView> Tail(size_t max_records) const;
 
   /// Total records ever written (monotonic).
-  uint64_t total() const { return head_.load(std::memory_order_acquire); }
+  SJ_SIGNAL_SAFE uint64_t total() const {
+    return head_.load(std::memory_order_acquire);
+  }
   /// Records lost to wraparound.
-  uint64_t dropped() const;
-  size_t capacity() const { return capacity_; }
+  SJ_SIGNAL_SAFE uint64_t dropped() const;
+  SJ_SIGNAL_SAFE size_t capacity() const { return capacity_; }
 
   /// Raw slot for absolute record index `i` (async-signal-safe dump path;
   /// the caller applies the ticket-match discipline itself).
-  const EventRecord& slot(uint64_t i) const {
+  SJ_SIGNAL_SAFE const EventRecord& slot(uint64_t i) const {
     return slots_[static_cast<size_t>(i % capacity_)];
   }
 

@@ -116,7 +116,8 @@ void StorePreBuf(PreBuf& buf, const std::string& s) {
 // Copies a stable snapshot of `buf` into `out` (capacity `out_cap`).
 // Returns the copied length, or 0 when the buffer is absent or a writer
 // kept it unstable across the retries (caller emits null). Signal-safe.
-uint32_t LoadPreBuf(const PreBuf& buf, char* out, uint32_t out_cap) {
+SJ_SIGNAL_SAFE uint32_t LoadPreBuf(const PreBuf& buf, char* out,
+                                   uint32_t out_cap) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     const uint32_t seq_before = buf.seq.load(std::memory_order_acquire);
     if ((seq_before & 1) != 0) continue;
@@ -184,7 +185,7 @@ thread_local ActivityScope* tls_scope = nullptr;
 // calls stdio.
 // ---------------------------------------------------------------------------
 
-size_t SafeStrlen(const char* s) {
+SJ_SIGNAL_SAFE size_t SafeStrlen(const char* s) {
   size_t n = 0;
   while (s[n] != '\0') ++n;
   return n;
@@ -192,29 +193,29 @@ size_t SafeStrlen(const char* s) {
 
 class FdWriter {
  public:
-  explicit FdWriter(int fd) : fd_(fd) {}
-  ~FdWriter() { Flush(); }
+  SJ_SIGNAL_SAFE explicit FdWriter(int fd) : fd_(fd) {}
+  SJ_SIGNAL_SAFE ~FdWriter() { Flush(); }
 
-  void Write(const char* s, size_t n) {
+  SJ_SIGNAL_SAFE void Write(const char* s, size_t n) {
     for (size_t i = 0; i < n; ++i) {
       if (used_ == sizeof(buf_)) Flush();
       buf_[used_++] = s[i];
     }
   }
-  void Text(const char* s) { Write(s, SafeStrlen(s)); }
+  SJ_SIGNAL_SAFE void Text(const char* s) { Write(s, SafeStrlen(s)); }
 
-  void Int(int64_t v) {
+  SJ_SIGNAL_SAFE void Int(int64_t v) {
     char tmp[24];
     Write(tmp, FormatInt(v, tmp));
   }
-  void Uint(uint64_t v) {
+  SJ_SIGNAL_SAFE void Uint(uint64_t v) {
     char tmp[24];
     Write(tmp, FormatUint(v, tmp));
   }
 
   /// Writes `s` as a quoted JSON string, reading at most `max_bytes`
   /// characters (stops at NUL). nullptr renders as "".
-  void Quoted(const char* s, size_t max_bytes) {
+  SJ_SIGNAL_SAFE void Quoted(const char* s, size_t max_bytes) {
     Put('"');
     if (s != nullptr) {
       for (size_t i = 0; i < max_bytes && s[i] != '\0'; ++i) Escaped(s[i]);
@@ -224,7 +225,8 @@ class FdWriter {
 
   /// Quoted(), but over an atomic-char buffer (activity details, cached
   /// ring names).
-  void QuotedAtomic(const std::atomic<char>* s, size_t max_bytes) {
+  SJ_SIGNAL_SAFE void QuotedAtomic(const std::atomic<char>* s,
+                                   size_t max_bytes) {
     Put('"');
     for (size_t i = 0; i < max_bytes; ++i) {
       const char c = s[i].load(std::memory_order_relaxed);
@@ -234,7 +236,7 @@ class FdWriter {
     Put('"');
   }
 
-  void Flush() {
+  SJ_SIGNAL_SAFE void Flush() {
     size_t off = 0;
     while (off < used_) {
       const ssize_t n = write(fd_, buf_ + off, used_ - off);
@@ -250,7 +252,7 @@ class FdWriter {
 
   bool ok() const { return ok_; }
 
-  static size_t FormatUint(uint64_t v, char* out) {
+  SJ_SIGNAL_SAFE static size_t FormatUint(uint64_t v, char* out) {
     char tmp[24];
     size_t n = 0;
     do {
@@ -261,7 +263,7 @@ class FdWriter {
     return n;
   }
 
-  static size_t FormatInt(int64_t v, char* out) {
+  SJ_SIGNAL_SAFE static size_t FormatInt(int64_t v, char* out) {
     if (v >= 0) return FormatUint(static_cast<uint64_t>(v), out);
     out[0] = '-';
     // Negating INT64_MIN overflows int64_t; go through uint64_t.
@@ -269,12 +271,12 @@ class FdWriter {
   }
 
  private:
-  void Put(char c) {
+  SJ_SIGNAL_SAFE void Put(char c) {
     if (used_ == sizeof(buf_)) Flush();
     buf_[used_++] = c;
   }
 
-  void Escaped(char c) {
+  SJ_SIGNAL_SAFE void Escaped(char c) {
     static const char kHex[] = "0123456789abcdef";
     if (c == '"' || c == '\\') {
       Put('\\');
@@ -373,7 +375,7 @@ void TryRefresh() {
 // async-signal-safe: atomics, the seqlock copies, and FdWriter.
 // ---------------------------------------------------------------------------
 
-void WritePreBufOrNull(FdWriter& w, const PreBuf& buf) {
+SJ_SIGNAL_SAFE void WritePreBufOrNull(FdWriter& w, const PreBuf& buf) {
   const uint32_t n = LoadPreBuf(buf, g_dump_scratch, sizeof(g_dump_scratch));
   if (n == 0) {
     w.Text("null");
@@ -389,7 +391,7 @@ void WritePreBufOrNull(FdWriter& w, const PreBuf& buf) {
   w.Write(g_dump_scratch, end);
 }
 
-void WriteEventsSection(FdWriter& w) {
+SJ_SIGNAL_SAFE void WriteEventsSection(FdWriter& w) {
   w.Text("\"events\": {");
   EventLog* log = g_event_log.load(std::memory_order_acquire);
   if (log == nullptr) {
@@ -439,7 +441,7 @@ void WriteEventsSection(FdWriter& w) {
   w.Text("\n]}");
 }
 
-void WriteActivitiesSection(FdWriter& w, int64_t now_ns) {
+SJ_SIGNAL_SAFE void WriteActivitiesSection(FdWriter& w, int64_t now_ns) {
   w.Text("\"activities\": [");
   bool first = true;
   for (int i = 0; i < kMaxActivitySlots; ++i) {
@@ -475,7 +477,7 @@ void WriteActivitiesSection(FdWriter& w, int64_t now_ns) {
   w.Text("\n]");
 }
 
-void WriteSpansSection(FdWriter& w) {
+SJ_SIGNAL_SAFE void WriteSpansSection(FdWriter& w) {
   // "repaired" tells sj_inspect these are raw ring contents: Begin/End
   // pairs broken by wraparound are present, unlike trace_export's output.
   w.Text("\"spans\": {\"repaired\": false, \"threads\": [");
@@ -534,7 +536,7 @@ void WriteSpansSection(FdWriter& w) {
   w.Text("\n]}");
 }
 
-void WriteMetricsSection(FdWriter& w, int64_t now_ns) {
+SJ_SIGNAL_SAFE void WriteMetricsSection(FdWriter& w, int64_t now_ns) {
   w.Text("\"metrics\": {\"snapshot\": ");
   WritePreBufOrNull(w, g_metrics_buf);
   w.Text(",\n\"snapshot_age_ns\": ");
@@ -560,7 +562,8 @@ std::atomic<int64_t> g_watchdog_ticks{0};
 std::atomic<int64_t> g_watchdog_stalls{0};
 std::atomic<int64_t> g_watchdog_deadline_hits{0};
 
-void WriteDump(int fd, const char* kind, const char* detail, bool fatal) {
+SJ_SIGNAL_SAFE void WriteDump(int fd, const char* kind, const char* detail,
+                              bool fatal) {
   const int64_t now = MonotonicNowNs();
   FdWriter w(fd);
   w.Text("{\n\"flightdump_version\": 1,\n");
@@ -601,7 +604,7 @@ enum class RefreshMode { kNone, kBlocking, kTry };
 
 // Console breadcrumb from the dump path. Raw write(2): the fatal paths
 // cannot use stdio, and one code path keeps the behavior uniform.
-void WriteStderr(const char* a, const char* b, const char* c) {
+SJ_SIGNAL_SAFE void WriteStderr(const char* a, const char* b, const char* c) {
   char line[kDumpPathBytes + 96];
   size_t n = 0;
   for (const char* part : {a, b, c}) {
@@ -614,11 +617,43 @@ void WriteStderr(const char* a, const char* b, const char* c) {
   (void)ignored;
 }
 
+// Claims the one-dump-at-a-time flag. False means another dump is mid-
+// flight (or a fatal dump already happened); the caller must back off.
+SJ_SIGNAL_SAFE bool ClaimDumpFlag() {
+  return !g_dump_in_progress.exchange(true, std::memory_order_acq_rel);
+}
+
+// The async-signal-safe dump core shared by every trigger: open the dump
+// path, serialize, close, breadcrumb. No refresh, no event log, no locks
+// — sj_analyze's signal-safety checker walks everything reachable from
+// here, so normal-context conveniences must stay in DumpInternal below.
+// The caller owns g_dump_in_progress (see ClaimDumpFlag).
+SJ_SIGNAL_SAFE bool WriteDumpToPath(const char* kind, const char* detail,
+                                    bool fatal) {
+  int fd;
+  do {
+    fd = open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  const bool ok = fd >= 0;
+  if (ok) {
+    WriteDump(fd, kind, detail, fatal);
+    close(fd);
+    WriteStderr("[sj:flight] dump written: ", g_dump_path, "");
+  } else {
+    WriteStderr("[sj:flight] dump FAILED (cannot open): ", g_dump_path, "");
+  }
+  g_dumps_written.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+// Normal-context dump wrapper: refresh policy + dump event + flag
+// release. Fatal callers (check failure) leave the flag set on purpose —
+// the process is about to abort and the SIGABRT handler must not dump
+// again. The signal handler calls WriteDumpToPath directly instead: this
+// function's refresh modes and event recording allocate and lock.
 bool DumpInternal(const char* kind, const char* detail, bool fatal,
                   RefreshMode refresh) {
-  if (g_dump_in_progress.exchange(true, std::memory_order_acq_rel)) {
-    return false;
-  }
+  if (!ClaimDumpFlag()) return false;
   switch (refresh) {
     case RefreshMode::kNone:
       break;
@@ -632,19 +667,7 @@ bool DumpInternal(const char* kind, const char* detail, bool fatal,
       break;
   }
 
-  int fd;
-  do {
-    fd = open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  } while (fd < 0 && errno == EINTR);
-  bool ok = fd >= 0;
-  if (ok) {
-    WriteDump(fd, kind, detail, fatal);
-    close(fd);
-    WriteStderr("[sj:flight] dump written: ", g_dump_path, "");
-  } else {
-    WriteStderr("[sj:flight] dump FAILED (cannot open): ", g_dump_path, "");
-  }
-  g_dumps_written.fetch_add(1, std::memory_order_relaxed);
+  const bool ok = WriteDumpToPath(kind, detail, fatal);
 
   if (!fatal) {
     // Recording the dump itself is normal-context-only (vsnprintf); the
@@ -662,7 +685,7 @@ bool DumpInternal(const char* kind, const char* detail, bool fatal,
 // Fatal triggers: signal handler and SJ_CHECK observer.
 // ---------------------------------------------------------------------------
 
-const char* SignalName(int signo) {
+SJ_SIGNAL_SAFE const char* SignalName(int signo) {
   switch (signo) {
     case SIGSEGV:
       return "SIGSEGV";
@@ -678,9 +701,13 @@ const char* SignalName(int signo) {
   return "signal";
 }
 
-void OnFatalSignal(int signo) {
-  DumpInternal("signal", SignalName(signo), /*fatal=*/true,
-               RefreshMode::kNone);
+SJ_SIGNAL_SAFE void OnFatalSignal(int signo) {
+  // Straight to the signal-safe core: DumpInternal's refresh modes and
+  // event recording are normal-context-only. The flag stays claimed —
+  // this process is dying with the re-raised signal below.
+  if (ClaimDumpFlag()) {
+    WriteDumpToPath("signal", SignalName(signo), /*fatal=*/true);
+  }
   // Restore the default disposition and re-raise so the process still
   // dies with the original signal (wait status, core dumps, and test
   // harness expectations all stay intact).

@@ -54,7 +54,7 @@ void SpanRing::Record(char phase, const char* name, const char* category,
   head_.store(i + 1, std::memory_order_release);
 }
 
-uint64_t SpanRing::dropped() const {
+SJ_SIGNAL_SAFE uint64_t SpanRing::dropped() const {
   const uint64_t h = head();
   return h > capacity_ ? h - capacity_ : 0;
 }

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace spatialjoin {
 
 /// Timeline tracing (DESIGN.md §8): a lock-free per-thread ring buffer of
@@ -66,16 +68,18 @@ class SpanRing {
 
   /// Total events ever recorded (monotonic; the ring holds the last
   /// `min(head, capacity)` of them).
-  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+  SJ_SIGNAL_SAFE uint64_t head() const {
+    return head_.load(std::memory_order_acquire);
+  }
   /// Events lost to wraparound so far.
-  uint64_t dropped() const;
+  SJ_SIGNAL_SAFE uint64_t dropped() const;
 
-  size_t capacity() const { return capacity_; }
-  int tid() const { return tid_; }
+  SJ_SIGNAL_SAFE size_t capacity() const { return capacity_; }
+  SJ_SIGNAL_SAFE int tid() const { return tid_; }
 
   /// Slot for absolute event index `i` (caller ensures `i` is within the
   /// retained window [head - min(head, capacity), head)).
-  const TraceEvent& slot(uint64_t i) const {
+  SJ_SIGNAL_SAFE const TraceEvent& slot(uint64_t i) const {
     return slots_[static_cast<size_t>(i % capacity_)];
   }
 

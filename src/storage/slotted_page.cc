@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace spatialjoin {
 namespace slotted {
@@ -34,9 +35,9 @@ void Init(Page* page) {
   StoreU16(page, 2, static_cast<uint16_t>(page->size())); // free_end
 }
 
-uint16_t NumSlots(const Page& page) { return LoadU16(page, 0); }
+SJ_HOT uint16_t NumSlots(const Page& page) { return LoadU16(page, 0); }
 
-size_t FreeSpace(const Page& page) {
+SJ_HOT size_t FreeSpace(const Page& page) {
   uint16_t num_slots = NumSlots(page);
   uint16_t free_end = LoadU16(page, 2);
   size_t slots_end = SlotPos(num_slots);
@@ -60,7 +61,8 @@ std::optional<uint16_t> Insert(Page* page, std::string_view record) {
   return num_slots;
 }
 
-std::optional<std::string_view> Read(const Page& page, uint16_t slot) {
+SJ_HOT std::optional<std::string_view> Read(const Page& page,
+                                            uint16_t slot) {
   if (slot >= NumSlots(page)) return std::nullopt;
   uint16_t offset = LoadU16(page, SlotPos(slot));
   uint16_t length = LoadU16(page, SlotPos(slot) + 2);

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string_view>
 
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace spatialjoin {
@@ -23,10 +24,12 @@ namespace slotted {
 void Init(Page* page);
 
 /// Number of slots ever allocated on the page (including deleted ones).
-uint16_t NumSlots(const Page& page);
+/// The readers (NumSlots/FreeSpace/Read) are SJ_HOT: scans call them per
+/// record with the page pinned, so they must never allocate or lock.
+SJ_HOT uint16_t NumSlots(const Page& page);
 
 /// Bytes still available for one more record (slot entry included).
-size_t FreeSpace(const Page& page);
+SJ_HOT size_t FreeSpace(const Page& page);
 
 /// Appends a record; returns its slot, or nullopt if it does not fit.
 std::optional<uint16_t> Insert(Page* page, std::string_view record);
@@ -34,7 +37,8 @@ std::optional<uint16_t> Insert(Page* page, std::string_view record);
 /// Returns the record bytes in `slot`, or nullopt if the slot is deleted
 /// or out of range. The view points into `page` and is invalidated by any
 /// mutation of the page.
-std::optional<std::string_view> Read(const Page& page, uint16_t slot);
+SJ_HOT std::optional<std::string_view> Read(const Page& page,
+                                            uint16_t slot);
 
 /// Marks `slot` deleted. Space is not reclaimed (records in this engine
 /// are bulk-loaded and rarely deleted); returns false if already deleted

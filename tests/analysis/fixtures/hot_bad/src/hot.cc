@@ -1,0 +1,30 @@
+// Fixture: an SJ_HOT function that allocates, locks, throws, and makes a
+// virtual call, plus a transitive allocation through a helper. The
+// purity checker must report all five.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+#define SJ_HOT
+
+Mutex g_mu;
+
+struct Shape {
+  virtual double Area() const;
+};
+
+SJ_HOT double HotKernel(const Shape& shape) {
+  int* scratch = new int[8];
+  MutexLock lock(g_mu);
+  if (scratch == nullptr) throw 1;
+  return shape.Area();
+}
+
+int* GrowBuffer() {
+  return new int[16];
+}
+
+SJ_HOT int* HotViaHelper() {
+  return GrowBuffer();
+}

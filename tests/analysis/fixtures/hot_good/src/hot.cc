@@ -1,0 +1,15 @@
+// Fixture: pure SJ_HOT arithmetic, including a call into another pure
+// function — the control the purity checker must pass.
+#define SJ_HOT
+
+SJ_HOT inline double Dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+SJ_HOT double NormSquared(const double* a, int n) {
+  return Dot(a, a, n);
+}

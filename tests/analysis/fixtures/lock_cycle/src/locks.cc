@@ -1,0 +1,22 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — a classic ABBA deadlock the acquired-while-held graph must
+// report as a cycle.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct Pair {
+  Mutex a;
+  Mutex b;
+};
+
+void LockAB(Pair& p) {
+  MutexLock first(p.a);
+  MutexLock second(p.b);
+}
+
+void LockBA(Pair& p) {
+  MutexLock first(p.b);
+  MutexLock second(p.a);
+}

@@ -1,0 +1,24 @@
+// Fixture: Tick() holds mu_ and calls Flush(), whose declaration says
+// SJ_EXCLUDES(mu_) — a self-deadlock the excludes check must catch even
+// though the annotation sits on the prototype, not the definition.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+#define SJ_EXCLUDES(x)
+
+struct Cache {
+  Mutex mu_;
+  void Flush() SJ_EXCLUDES(mu_);
+  void Tick();
+};
+
+void Cache::Flush() {
+  MutexLock lock(mu_);
+}
+
+void Cache::Tick() {
+  MutexLock lock(mu_);
+  Flush();
+}

@@ -1,0 +1,27 @@
+// Fixture: consistent two-level hierarchy (Outer::mu_ then Inner::mu_,
+// always in that order) — the lock-order checker must stay silent under
+// --order "Outer::mu_,Inner::mu_".
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct Inner {
+  Mutex mu_;
+  void Touch();
+};
+
+void Inner::Touch() {
+  MutexLock lock(mu_);
+}
+
+struct Outer {
+  Mutex mu_;
+  Inner* inner_;
+  void Update();
+};
+
+void Outer::Update() {
+  MutexLock lock(mu_);
+  inner_->Touch();
+}

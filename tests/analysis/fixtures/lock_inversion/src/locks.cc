@@ -1,0 +1,28 @@
+// Fixture: an interprocedural acquisition against the documented order.
+// The test runs sj_analyze with --order "BufferPool::mu_,DiskManager::mu_";
+// Compact() acquires BufferPool::mu_ (through Evict) while holding
+// DiskManager::mu_, which inverts that hierarchy.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct BufferPool {
+  Mutex mu_;
+  void Evict();
+};
+
+void BufferPool::Evict() {
+  MutexLock lock(mu_);
+}
+
+struct DiskManager {
+  Mutex mu_;
+  BufferPool* pool_;
+  void Compact();
+};
+
+void DiskManager::Compact() {
+  MutexLock lock(mu_);
+  pool_->Evict();
+}

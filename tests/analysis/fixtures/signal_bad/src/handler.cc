@@ -1,0 +1,30 @@
+// Fixture: a fatal-signal handler whose call graph breaks every
+// signal-safety rule. sj_analyze_test.py asserts each one fires.
+#include <csignal>
+#include <cstdio>
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+Mutex g_mu;
+int* g_scratch = nullptr;
+
+// Reached transitively from the handler: the allocation must still be
+// attributed (signal-alloc) even though the handler itself is clean.
+void GrowScratch() {
+  g_scratch = new int[64];
+}
+
+void BadHandler(int signo) {
+  GrowScratch();
+  MutexLock lock(g_mu);
+  std::fprintf(stderr, "signal %d\n", signo);
+}
+
+void Install() {
+  struct sigaction sa;
+  sa.sa_handler = &BadHandler;
+  sigaction(SIGSEGV, &sa, nullptr);
+}

@@ -1,0 +1,25 @@
+// Fixture: a handler that stays inside the async-signal-safe allowlist
+// (raw write(2), lock-free atomics). Must produce zero findings, and the
+// reachability dump must show the transitive callee.
+#include <atomic>
+#include <csignal>
+#include <unistd.h>
+
+std::atomic<int> g_fatal_count{0};
+
+void EmitBanner() {
+  const char msg[] = "fatal signal\n";
+  write(2, msg, sizeof(msg) - 1);
+  g_fatal_count.fetch_add(1);
+}
+
+void GoodHandler(int signo) {
+  (void)signo;
+  EmitBanner();
+}
+
+void Install() {
+  struct sigaction sa;
+  sa.sa_handler = &GoodHandler;
+  sigaction(SIGSEGV, &sa, nullptr);
+}

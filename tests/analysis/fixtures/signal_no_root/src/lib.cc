@@ -1,0 +1,5 @@
+// Fixture: no sigaction installation anywhere. The signal-safety checker
+// must report signal-no-root instead of silently covering nothing.
+int Add(int a, int b) {
+  return a + b;
+}

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Self-tests for scripts/analysis/sj_analyze.py.
+
+Each checker is exercised both ways: it must fire on a known-bad fixture
+and stay silent on the matching control. The last tests run the analyzer
+over the real repository — the tree must be clean modulo the reviewed
+baseline, and the signal-safety closure must demonstrably cover the
+flight recorder's installed fatal-signal handler.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+FIXTURES = os.path.join(TEST_DIR, "fixtures")
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts", "analysis"))
+
+import sj_analyze  # noqa: E402
+
+
+def run_fixture(fixture, *extra_args):
+    """Runs sj_analyze on a fixture root; returns (exit code, findings)."""
+    root = os.path.join(FIXTURES, fixture)
+    argv = ["--root", root, "--frontend", "textual", "--no-cache",
+            "--no-baseline", "--json"] + list(extra_args)
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = sj_analyze.main(argv)
+    return code, json.loads(out.getvalue())
+
+
+def rules_of(findings):
+    return sorted({f["rule"] for f in findings})
+
+
+class SignalSafetyTest(unittest.TestCase):
+    def test_bad_handler_fires_all_rules(self):
+        code, findings = run_fixture("signal_bad", "--checks",
+                                     "signal-safety")
+        self.assertEqual(code, 1)
+        rules = rules_of(findings)
+        self.assertIn("signal-alloc", rules)
+        self.assertIn("signal-lock", rules)
+        self.assertIn("signal-unsafe-call", rules)
+        # The allocation lives in GrowScratch, reached *through* the
+        # handler — transitive attribution must name the callee.
+        allocs = [f for f in findings if f["rule"] == "signal-alloc"]
+        self.assertTrue(any("GrowScratch" in f["message"] for f in allocs),
+                        allocs)
+        banned = [f for f in findings if f["rule"] == "signal-unsafe-call"]
+        self.assertTrue(any("fprintf" in f["message"] for f in banned),
+                        banned)
+
+    def test_good_handler_is_clean(self):
+        code, findings = run_fixture("signal_good", "--checks",
+                                     "signal-safety")
+        self.assertEqual(code, 0)
+        self.assertEqual(findings, [])
+
+    def test_missing_handler_is_reported(self):
+        code, findings = run_fixture("signal_no_root", "--checks",
+                                     "signal-safety")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(findings), ["signal-no-root"])
+
+    def test_reachability_covers_transitive_callees(self):
+        root = os.path.join(FIXTURES, "signal_good")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = sj_analyze.main(
+                ["--root", root, "--frontend", "textual", "--no-cache",
+                 "--dump-reachable", "signal-safety"])
+        self.assertEqual(code, 0)
+        dump = json.loads(out.getvalue())
+        self.assertIn("GoodHandler", dump["handler_roots"])
+        self.assertTrue(any("GoodHandler" in q for q in dump["reachable"]))
+        self.assertTrue(any("EmitBanner" in q for q in dump["reachable"]),
+                        dump["reachable"])
+
+
+class LockOrderTest(unittest.TestCase):
+    def test_abba_cycle_detected(self):
+        code, findings = run_fixture("lock_cycle", "--checks", "lock-order")
+        self.assertEqual(code, 1)
+        self.assertIn("lock-cycle", rules_of(findings))
+        cycles = [f for f in findings if f["rule"] == "lock-cycle"]
+        self.assertTrue(any("Pair::a" in f["message"] and
+                            "Pair::b" in f["message"] for f in cycles),
+                        cycles)
+
+    def test_documented_order_violation(self):
+        code, findings = run_fixture(
+            "lock_inversion", "--checks", "lock-order",
+            "--order", "BufferPool::mu_,DiskManager::mu_")
+        self.assertEqual(code, 1)
+        violations = [f for f in findings
+                      if f["rule"] == "lock-order-violation"]
+        self.assertTrue(violations, findings)
+        self.assertIn("BufferPool::mu_", violations[0]["message"])
+        self.assertIn("DiskManager::mu_", violations[0]["message"])
+
+    def test_excludes_annotation_enforced_interprocedurally(self):
+        code, findings = run_fixture("lock_excludes", "--checks",
+                                     "lock-order")
+        self.assertEqual(code, 1)
+        self.assertIn("lock-excludes-violation", rules_of(findings))
+
+    def test_consistent_hierarchy_is_clean(self):
+        code, findings = run_fixture(
+            "lock_good", "--checks", "lock-order",
+            "--order", "Outer::mu_,Inner::mu_")
+        self.assertEqual(code, 0)
+        self.assertEqual(findings, [])
+
+
+class HotPathTest(unittest.TestCase):
+    def test_impure_hot_function_fires_all_rules(self):
+        code, findings = run_fixture("hot_bad", "--checks", "hot-path")
+        self.assertEqual(code, 1)
+        rules = rules_of(findings)
+        for rule in ("hot-alloc", "hot-lock", "hot-throw",
+                     "hot-virtual-call"):
+            self.assertIn(rule, rules)
+        # Transitive: the helper's allocation is attributed with the
+        # chain from the SJ_HOT root.
+        allocs = [f for f in findings if f["rule"] == "hot-alloc"]
+        self.assertTrue(any("GrowBuffer" in f["message"] and
+                            "HotViaHelper" in f["message"]
+                            for f in allocs), allocs)
+
+    def test_pure_hot_function_is_clean(self):
+        code, findings = run_fixture("hot_good", "--checks", "hot-path")
+        self.assertEqual(code, 0)
+        self.assertEqual(findings, [])
+
+
+class BaselineTest(unittest.TestCase):
+    def test_baseline_suppresses_and_flips_exit_code(self):
+        import tempfile
+        code, findings = run_fixture("hot_good", "--checks", "hot-path")
+        self.assertEqual(findings, [])
+        # Baseline every hot_bad finding; the run must then exit 0 with
+        # every finding still present in JSON but marked suppressed.
+        code, findings = run_fixture("hot_bad", "--checks", "hot-path")
+        self.assertEqual(code, 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_path = os.path.join(tmp, "baseline.json")
+            root = os.path.join(FIXTURES, "hot_bad")
+            with contextlib.redirect_stdout(io.StringIO()):
+                sj_analyze.main(
+                    ["--root", root, "--frontend", "textual", "--no-cache",
+                     "--checks", "hot-path", "--baseline", baseline_path,
+                     "--write-baseline"])
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = sj_analyze.main(
+                    ["--root", root, "--frontend", "textual", "--no-cache",
+                     "--checks", "hot-path", "--baseline", baseline_path,
+                     "--json"])
+            self.assertEqual(code, 0)
+            suppressed = json.loads(out.getvalue())
+            self.assertTrue(suppressed)
+            self.assertTrue(all(f["suppressed"] for f in suppressed))
+
+    def test_json_schema_matches_sj_lint(self):
+        _code, findings = run_fixture("hot_bad", "--checks", "hot-path")
+        self.assertTrue(findings)
+        for finding in findings:
+            self.assertEqual(sorted(finding.keys()),
+                             ["line", "message", "path", "rule",
+                              "suppressed"])
+
+
+class RealRepoTest(unittest.TestCase):
+    def test_repo_is_clean_modulo_baseline(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = sj_analyze.main(
+                ["--root", REPO_ROOT, "--frontend", "textual",
+                 "--no-cache"])
+        self.assertEqual(code, 0, out.getvalue())
+
+    def test_signal_closure_covers_flight_recorder_handler(self):
+        """The acceptance criterion: the checker's closure demonstrably
+        starts at the installed fatal-signal handler and spans the whole
+        dump pipeline."""
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = sj_analyze.main(
+                ["--root", REPO_ROOT, "--frontend", "textual", "--no-cache",
+                 "--dump-reachable", "signal-safety"])
+        self.assertEqual(code, 0)
+        dump = json.loads(out.getvalue())
+        self.assertIn("OnFatalSignal", dump["handler_roots"])
+        for expected in ("OnFatalSignal", "ClaimDumpFlag",
+                         "WriteDumpToPath", "WriteDump",
+                         "WriteEventsSection", "WriteSpansSection",
+                         "WriteMetricsSection", "SignalName"):
+            self.assertTrue(
+                any(q.endswith(expected) or ("::" + expected) in q
+                    or q == expected for q in dump["reachable"]),
+                "expected %s in signal closure, got %d functions"
+                % (expected, len(dump["reachable"])))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,107 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace spatialjoin {
+namespace {
+
+// --- Passing conditions are silent and evaluate their operands once. ---
+
+TEST(CheckTest, PassingChecksDoNotAbort) {
+  int evaluations = 0;
+  SJ_CHECK(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);
+  SJ_CHECK_MSG(true, "never rendered " << evaluations);
+  SJ_CHECK_EQ(2 + 2, 4);
+  SJ_CHECK_NE(1, 2);
+  SJ_CHECK_LT(1, 2);
+  SJ_CHECK_LE(2, 2);
+  SJ_CHECK_GT(3, 2);
+  SJ_CHECK_GE(3, 3);
+  SJ_CHECK_OK(Status::Ok());
+}
+
+// --- Failing conditions abort with file, line, and expression text. ---
+
+TEST(CheckDeathTest, FailureNamesExpressionAndFile) {
+  EXPECT_DEATH(SJ_CHECK(1 == 2),
+               "SJ_CHECK failed at .*check_test\\.cc:[0-9]+: 1 == 2");
+}
+
+TEST(CheckDeathTest, MessageIsStreamedIntoDiagnostic) {
+  EXPECT_DEATH(SJ_CHECK_MSG(false, "ctx=" << 7 << "/" << "x"),
+               "SJ_CHECK failed at .*: false — ctx=7/x");
+}
+
+TEST(CheckDeathTest, CheckOkRendersTheStatus) {
+  EXPECT_DEATH(SJ_CHECK_OK(Status::InvalidArgument("bad theta")),
+               "non-OK status: .*bad theta");
+}
+
+// --- Failure observer (the flight recorder's crash hook). ---
+
+std::atomic<int> observer_calls{0};
+
+void RecordingObserver(const char* file, int line, const char* expr,
+                       const char* message) {
+  // The marker is matched by the death-test regex; the child process's
+  // stderr is the only channel back to the parent.
+  std::fprintf(stderr, "OBSERVED[%d] %s at %s:%d msg=%s;",
+               observer_calls.fetch_add(1), expr, file, line, message);
+  std::fflush(stderr);
+}
+
+void RecursingObserver(const char* file, int line, const char* expr,
+                       const char* message) {
+  (void)file;
+  (void)line;
+  (void)expr;
+  (void)message;
+  std::fprintf(stderr, "OBS%d;", observer_calls.fetch_add(1));
+  std::fflush(stderr);
+  // Relies on CheckFailed's re-entry guard: if it were missing, this
+  // would recurse forever and the death regex below would not match.
+  SJ_CHECK_MSG(false, "nested");
+}
+
+TEST(CheckDeathTest, ObserverRunsBeforeAbortWithFailureDetails) {
+  // The death statement runs in a forked child, so installing the
+  // observer there leaves the parent's (null) observer untouched.
+  EXPECT_DEATH(
+      {
+        internal_check::SetCheckFailureObserver(&RecordingObserver);
+        SJ_CHECK_MSG(false, "dump me");
+      },
+      "OBSERVED\\[0\\] false at .*check_test\\.cc:[0-9]+ msg=dump me;"
+      ".*SJ_CHECK failed");
+}
+
+TEST(CheckDeathTest, ObserverIsNotReenteredWhenItFailsACheckItself) {
+  // A check failure inside the observer must not recurse into it: the
+  // guard in CheckFailed skips the second invocation, so stderr shows
+  // OBS0; immediately followed by the nested diagnostic — never OBS1.
+  EXPECT_DEATH(
+      {
+        internal_check::SetCheckFailureObserver(&RecursingObserver);
+        SJ_CHECK(false);
+      },
+      "OBS0;SJ_CHECK failed at .*: false — nested");
+}
+
+TEST(CheckDeathTest, ClearingObserverRestoresPlainAbort) {
+  EXPECT_DEATH(
+      {
+        internal_check::SetCheckFailureObserver(&RecordingObserver);
+        internal_check::SetCheckFailureObserver(nullptr);
+        SJ_CHECK(false);
+      },
+      "SJ_CHECK failed at .*check_test\\.cc:[0-9]+: false");
+}
+
+}  // namespace
+}  // namespace spatialjoin

@@ -1,0 +1,12 @@
+// Fixture for iostream-in-lib: the bare include fires (line 6), the
+// spaced form fires (line 7), and an allow()-ed include is suppressed.
+// Near-misses — <iosfwd>, <sstream>, and a commented include — must
+// stay clean.
+
+#include <iostream>
+#  include   <iostream>
+// A justification would go here in real code.
+#include <iostream>  // sj-lint: allow(iostream-in-lib)
+#include <iosfwd>
+#include <sstream>
+// #include <iostream>

@@ -10,6 +10,9 @@ driver against the actual repo and requires a clean exit — the same
 invocation CI gates on.
 """
 
+import contextlib
+import io
+import json
 import os
 import sys
 import unittest
@@ -92,6 +95,51 @@ class DcheckSideEffectTest(unittest.TestCase):
     def test_fires_on_mutating_conditions_only(self):
         findings = lint("src/core/bad_dcheck.cc", ["dcheck-side-effect"])
         self.assertEqual([f.line for f in findings], [8, 9])
+
+
+class IostreamInLibTest(unittest.TestCase):
+    def test_fires_on_include_and_respects_suppression(self):
+        findings = lint("src/core/bad_iostream.cc", ["iostream-in-lib"])
+        self.assertEqual([f.line for f in findings], [6, 7])
+        self.assertEqual({f.rule for f in findings}, {"iostream-in-lib"})
+
+    def test_non_library_code_is_exempt(self):
+        for path in ("bench/b.cc", "tools/sj_inspect.cc", "examples/e.cc"):
+            f = sj_lint.SourceFile(
+                path, ["#include <iostream>"], ["#include <iostream>"])
+            self.assertEqual(
+                list(sj_lint.check_iostream_in_lib(f)), [])
+
+
+class JsonOutputTest(unittest.TestCase):
+    """The --json schema is shared with sj_analyze: exactly
+    {rule, path, line, message, suppressed}, suppressed findings
+    included, exit code driven by unsuppressed findings only."""
+
+    def run_json(self, *argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = sj_lint.main(list(argv))
+        return code, json.loads(out.getvalue())
+
+    def test_schema_and_suppressed_flag(self):
+        code, findings = self.run_json(
+            "--root", FIXTURE_ROOT, "--rule", "iostream-in-lib",
+            "--json", "src/core/bad_iostream.cc")
+        self.assertEqual(code, 1)
+        self.assertEqual(len(findings), 3)
+        for f in findings:
+            self.assertEqual(
+                sorted(f.keys()),
+                ["line", "message", "path", "rule", "suppressed"])
+        self.assertEqual([f["suppressed"] for f in findings],
+                         [False, False, True])
+
+    def test_all_suppressed_exits_zero(self):
+        code, findings = self.run_json(
+            "--root", REPO_ROOT, "--json", "src")
+        self.assertEqual(code, 0)
+        self.assertTrue(all(f["suppressed"] for f in findings))
 
 
 class SuppressionSyntaxTest(unittest.TestCase):

@@ -43,6 +43,27 @@ DEFAULT_IGNORE = [
     "*elapsed*",
     "*_seconds*",
     "*.dropped_events",
+    # The service bench's admitted/rejected split is timing-dependent,
+    # and that split propagates into nearly every registry counter it
+    # stamps; its *invariants* (all replies accounted, bound respected,
+    # rejections observed, probes returning the right codes) are booleans
+    # gated under service_load.invariants instead.
+    "*.service_load.load.*",
+    "bench_service_load.registry.*",
+]
+
+# Absolute latency is machine-dependent, so latency leaves are ignored
+# unless --latency-rel-tol opts in — and then only the stable tail
+# markers (p50/p99) and throughput are gated, at the looser tolerance;
+# p90/max stay ignored (too noisy even on one machine).
+LATENCY_LEAVES = [
+    "*latency_ns.*",
+    "*throughput_qps*",
+]
+LATENCY_GATED = [
+    "*latency_ns.p50",
+    "*latency_ns.p99",
+    "*throughput_qps*",
 ]
 
 
@@ -80,6 +101,20 @@ def is_ignored(path, patterns):
     return any(fnmatch.fnmatch(path, p) for p in patterns)
 
 
+def latency_tolerance(path, args):
+    """Returns (skip, rel_tol) for a leaf, folding in the latency policy.
+
+    Latency leaves are skipped outright unless --latency-rel-tol was
+    given; then p50/p99/throughput are compared at that tolerance and the
+    remaining latency leaves are still skipped.
+    """
+    if is_ignored(path, LATENCY_LEAVES):
+        if args.latency_rel_tol is not None and is_ignored(path, LATENCY_GATED):
+            return False, args.latency_rel_tol
+        return True, None
+    return False, args.rel_tol
+
+
 def compare_doc(name, base, fresh, args):
     """Returns a list of (severity, message); severity in {"FAIL", "WARN"}."""
     findings = []
@@ -89,6 +124,9 @@ def compare_doc(name, base, fresh, args):
     for path, base_val in sorted(base_flat.items()):
         full = f"{name}.{path}"
         if is_ignored(full, args.ignore):
+            continue
+        skip, rel_tol = latency_tolerance(full, args)
+        if skip:
             continue
         if path not in fresh_flat:
             findings.append(("FAIL", f"{full}: in baseline but missing from fresh run"))
@@ -102,20 +140,21 @@ def compare_doc(name, base, fresh, args):
                 continue
             denom = max(abs(base_val), abs(fresh_val), 1e-12)
             rel = abs(fresh_val - base_val) / denom
-            if rel > args.rel_tol:
+            if rel > rel_tol:
                 findings.append(
                     ("FAIL",
                      f"{full}: {base_val} -> {fresh_val} "
-                     f"(rel drift {rel:.2%}, tol {args.rel_tol:.2%})"))
+                     f"(rel drift {rel:.2%}, tol {rel_tol:.2%})"))
         elif base_val != fresh_val:
             findings.append(("FAIL", f"{full}: {base_val!r} -> {fresh_val!r}"))
 
     for path in sorted(set(fresh_flat) - set(base_flat)):
         full = f"{name}.{path}"
-        if not is_ignored(full, args.ignore):
-            findings.append(
-                ("WARN", f"{full}: new metric not in baseline "
-                         f"(= {fresh_flat[path]!r}; re-seed to track it)"))
+        if is_ignored(full, args.ignore) or latency_tolerance(full, args)[0]:
+            continue
+        findings.append(
+            ("WARN", f"{full}: new metric not in baseline "
+                     f"(= {fresh_flat[path]!r}; re-seed to track it)"))
     return findings
 
 
@@ -145,6 +184,12 @@ def main():
     parser.add_argument("--rel-tol", type=float, default=1e-6,
                         help="relative drift tolerated per numeric leaf "
                              "(default %(default)s — counters are exact)")
+    parser.add_argument("--latency-rel-tol", type=float, default=None,
+                        metavar="FRAC",
+                        help="gate p50/p99 latency and throughput leaves at "
+                             "this relative tolerance (e.g. 0.5 = 50%%); "
+                             "default: latency leaves are ignored entirely "
+                             "(absolute latency is machine-dependent)")
     parser.add_argument("--ignore", action="append", default=list(DEFAULT_IGNORE),
                         metavar="GLOB",
                         help="additional path glob to ignore (repeatable)")

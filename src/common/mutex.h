@@ -73,11 +73,25 @@ class CondVar {
   void Wait(Mutex& mu) SJ_REQUIRES(mu) { cv_.wait(mu); }
 
   /// As Wait, but also wakes (with the lock held) after `timeout`.
+  /// Returns false iff the wake was the timeout rather than a notify —
+  /// the admission queue and graceful-shutdown paths branch on it
+  /// ("signalled or out of patience?"). As with Wait, wakeups may be
+  /// spurious, so callers re-test their predicate either way.
   template <typename Rep, typename Period>
-  void WaitFor(Mutex& mu,
-               const std::chrono::duration<Rep, Period>& timeout)
+  [[nodiscard]] bool WaitFor(Mutex& mu,
+                             const std::chrono::duration<Rep, Period>& timeout)
       SJ_REQUIRES(mu) {
-    cv_.wait_for(mu, timeout);
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  /// As WaitFor, but against an absolute deadline — the right form for a
+  /// loop that re-waits after spurious wakeups without stretching its
+  /// total budget. Returns false iff the deadline passed.
+  template <typename Clock, typename Duration>
+  [[nodiscard]] bool WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SJ_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode (e.g. "NOT_FOUND").
@@ -79,6 +81,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string m = "") {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m = "") {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

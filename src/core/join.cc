@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/join_detail.h"
+#include "exec/cancel.h"
 #include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "obs/timer.h"
@@ -10,7 +11,8 @@ namespace spatialjoin {
 
 JoinResult TreeJoin(const GeneralizationTree& r_tree,
                     const GeneralizationTree& s_tree, const ThetaOperator& op,
-                    Traversal traversal, QueryTrace* trace) {
+                    Traversal traversal, QueryTrace* trace,
+                    const exec::CancelToken* cancel) {
   (void)traversal;  // JOIN4's internal passes are BFS; kept for symmetry.
   JoinResult result;
   int max_level = std::min(r_tree.height(), s_tree.height());
@@ -22,6 +24,9 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
   current_level.emplace_back(r_tree.root(), s_tree.root());
 
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
+    // Cooperative stop point: between levels, never mid-pair, so a
+    // stopped join is a clean prefix of the level-synchronized run.
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     SJ_SPAN_CAT("join.level", "core");
     // Heartbeat for the watchdog (DESIGN.md §10): once per level is the
     // protocol's granularity for tree traversals.

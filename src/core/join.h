@@ -11,6 +11,10 @@
 
 namespace spatialjoin {
 
+namespace exec {
+class CancelToken;
+}  // namespace exec
+
 /// Outcome of a general spatial join, with the counters the cost model
 /// prices.
 struct JoinResult {
@@ -40,11 +44,17 @@ struct JoinResult {
 /// level: worklist size (|QualPairs[j]|), Θ/θ tests (including the JOIN4
 /// selection passes triggered from that level), pairs pruned vs.
 /// descended at JOIN2, buffer-pool traffic, and wall-clock time.
+///
+/// `cancel` (optional) is polled at every QualPairs level boundary: a
+/// cancelled or over-deadline query stops before starting the next level
+/// and returns the matches found so far, with the token's latched reason
+/// telling the caller the result is partial (exec/cancel.h).
 JoinResult TreeJoin(const GeneralizationTree& r_tree,
                     const GeneralizationTree& s_tree,
                     const ThetaOperator& op,
                     Traversal traversal = Traversal::kBreadthFirst,
-                    QueryTrace* trace = nullptr);
+                    QueryTrace* trace = nullptr,
+                    const exec::CancelToken* cancel = nullptr);
 
 }  // namespace spatialjoin
 

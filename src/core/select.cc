@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/check.h"
+#include "exec/cancel.h"
 #include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "obs/timer.h"
@@ -90,13 +91,19 @@ SelectResult SpatialSelectFrom(const Value& selector,
                                const GeneralizationTree& tree,
                                const std::vector<NodeId>& start_nodes,
                                const ThetaOperator& op, Traversal traversal,
-                               QueryTrace* trace) {
+                               QueryTrace* trace,
+                               const exec::CancelToken* cancel) {
   SelectResult result;
+  // Already cancelled / past deadline at entry: do no work at all (the
+  // deterministic guarantee the deadline tests pin).
+  if (cancel != nullptr && cancel->ShouldStop()) return result;
   // Watchdog heartbeat every 256 visits: SELECT has no cheap per-level
   // boundary in the DFS variant, and a per-node clock read would be
   // measurable on the traversal hot path; the stride keeps a healthy
   // traversal's heartbeat far fresher than any plausible stall budget at
-  // negligible cost.
+  // negligible cost. The cancel token is polled on the same stride — one
+  // relaxed load (plus a clock read only with a deadline armed), and
+  // finer-grained than a level boundary.
   uint32_t visits = 0;
   if (traversal == Traversal::kBreadthFirst) {
     // The paper's SELECT1/SELECT2: QualNodes[j] per height, processed in
@@ -107,7 +114,10 @@ SelectResult SpatialSelectFrom(const Value& selector,
       NodeId node = worklist.front();
       worklist.pop_front();
       spans.OnNode(tree, node);
-      if ((++visits & 0xFF) == 0) ActivityScope::BeatThisThread();
+      if ((++visits & 0xFF) == 0) {
+        ActivityScope::BeatThisThread();
+        if (cancel != nullptr && cancel->ShouldStop()) break;
+      }
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         for (NodeId child : tree.Children(node)) worklist.push_back(child);
       }
@@ -121,7 +131,10 @@ SelectResult SpatialSelectFrom(const Value& selector,
     while (!stack.empty()) {
       NodeId node = stack.back();
       stack.pop_back();
-      if ((++visits & 0xFF) == 0) ActivityScope::BeatThisThread();
+      if ((++visits & 0xFF) == 0) {
+        ActivityScope::BeatThisThread();
+        if (cancel != nullptr && cancel->ShouldStop()) break;
+      }
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         std::vector<NodeId> children = tree.Children(node);
         for (auto it = children.rbegin(); it != children.rend(); ++it) {
@@ -136,9 +149,10 @@ SelectResult SpatialSelectFrom(const Value& selector,
 SelectResult SpatialSelect(const Value& selector,
                            const GeneralizationTree& tree,
                            const ThetaOperator& op, Traversal traversal,
-                           QueryTrace* trace) {
+                           QueryTrace* trace,
+                           const exec::CancelToken* cancel) {
   return SpatialSelectFrom(selector, tree, {tree.root()}, op, traversal,
-                           trace);
+                           trace, cancel);
 }
 
 }  // namespace spatialjoin

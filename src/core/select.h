@@ -10,6 +10,10 @@
 
 namespace spatialjoin {
 
+namespace exec {
+class CancelToken;
+}  // namespace exec
+
 /// Traversal order for Algorithm SELECT. The paper formulates the
 /// breadth-first variant (QualNodes[j] per height) and notes a depth-first
 /// variant is equally possible, their relative efficiency depending on the
@@ -48,11 +52,18 @@ struct SelectResult {
 /// trace level of its height: worklist membership (the QualNodes[j]
 /// analog), Θ/θ test counts, pruned vs. descended, buffer-pool traffic,
 /// and wall-clock time. A null trace adds no work to the hot path.
+///
+/// `cancel` (optional) is polled on the same stride as the watchdog
+/// heartbeat (entry + every 256 visits — finer than one tree level for
+/// any realistic fanout): a cancelled or over-deadline selection stops
+/// there with the matches found so far, the token's latched reason
+/// marking the result partial (exec/cancel.h).
 SelectResult SpatialSelect(const Value& selector,
                            const GeneralizationTree& tree,
                            const ThetaOperator& op,
                            Traversal traversal = Traversal::kBreadthFirst,
-                           QueryTrace* trace = nullptr);
+                           QueryTrace* trace = nullptr,
+                           const exec::CancelToken* cancel = nullptr);
 
 /// As SpatialSelect, but starting from an explicit set of root nodes
 /// (used by Algorithm JOIN's step JOIN4 to search the subtrees below a
@@ -62,7 +73,8 @@ SelectResult SpatialSelectFrom(const Value& selector,
                                const std::vector<NodeId>& start_nodes,
                                const ThetaOperator& op,
                                Traversal traversal = Traversal::kBreadthFirst,
-                               QueryTrace* trace = nullptr);
+                               QueryTrace* trace = nullptr,
+                               const exec::CancelToken* cancel = nullptr);
 
 }  // namespace spatialjoin
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/sort_merge_zorder.h"
+#include "exec/cancel.h"
 #include "exec/frozen_tree.h"
 #include "exec/parallel_join.h"
 #include "exec/parallel_select.h"
@@ -66,7 +67,7 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s_tree != nullptr,
                    "tree_join needs generalization trees on both inputs");
       return TreeJoin(*ctx.r_tree, *ctx.s_tree, op, ctx.traversal,
-                      ctx.trace);
+                      ctx.trace, ctx.cancel);
     case JoinStrategy::kIndexNestedLoop:
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s != nullptr,
                    "index_nested_loop needs a tree on R and relation S");
@@ -92,7 +93,8 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       // single-threaded), then fan the level-synchronized join out.
       exec::FrozenTree r_frozen = exec::FrozenTree::Materialize(*ctx.r_tree);
       exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*ctx.s_tree);
-      return exec::ParallelTreeJoin(r_frozen, s_frozen, op, ctx.exec_pool);
+      return exec::ParallelTreeJoin(r_frozen, s_frozen, op, ctx.exec_pool,
+                                    {}, ctx.cancel);
     }
     case JoinStrategy::kPartitionedJoin: {
       SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
@@ -128,6 +130,11 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       ->Increment();
   SJ_EVENT(kQueryAdmitted, kInfo, "join %s (op %s)",
            JoinStrategyName(strategy), op.name().c_str());
+  // With a token attached, the advisory budget becomes enforceable: arm
+  // the token so the level loops actually stop at the deadline.
+  if (ctx.cancel != nullptr && ctx.deadline_budget_ns > 0) {
+    ctx.cancel->ArmDeadline(ctx.deadline_budget_ns);
+  }
 
   JoinResult result;
   double wall_ns = 0.0;
@@ -141,6 +148,17 @@ JoinResult ExecuteJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
     ScopedSpan span(JoinStrategyName(strategy), "query.join");
     ScopedTimer timer(registry.GetHistogram("query.join.wall_ns"), &wall_ns);
     result = DispatchJoin(strategy, ctx, op);
+  }
+  if (ctx.cancel != nullptr &&
+      ctx.cancel->reason() != exec::StopReason::kNone) {
+    const bool deadline =
+        ctx.cancel->reason() == exec::StopReason::kDeadline;
+    registry
+        .GetCounter(deadline ? "query.join.stopped.deadline"
+                             : "query.join.stopped.cancelled")
+        ->Increment();
+    SJ_EVENT(kDeadlineExceeded, kWarn, "join %s stopped early (%s)",
+             JoinStrategyName(strategy), deadline ? "deadline" : "cancel");
   }
   SJ_EVENT(kQueryFinished, kInfo, "join %s: %lld matches, %.2f ms",
            JoinStrategyName(strategy),
@@ -173,7 +191,7 @@ JoinResult DispatchSelect(SelectStrategy strategy,
     case SelectStrategy::kTree: {
       SJ_CHECK_MSG(ctx.s_tree != nullptr, "tree select needs a tree on S");
       SelectResult sel = SpatialSelect(selector, *ctx.s_tree, op,
-                                       ctx.traversal, ctx.trace);
+                                       ctx.traversal, ctx.trace, ctx.cancel);
       JoinResult result;
       result.theta_tests = sel.theta_tests;
       result.theta_upper_tests = sel.theta_upper_tests;
@@ -203,8 +221,8 @@ JoinResult DispatchSelect(SelectStrategy strategy,
                    "parallel tree select needs a SpatialJoinContext."
                    "exec_pool");
       exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*ctx.s_tree);
-      SelectResult sel =
-          exec::ParallelSelect(selector, s_frozen, op, ctx.exec_pool);
+      SelectResult sel = exec::ParallelSelect(selector, s_frozen, op,
+                                              ctx.exec_pool, {}, ctx.cancel);
       JoinResult result;
       result.theta_tests = sel.theta_tests;
       result.theta_upper_tests = sel.theta_upper_tests;
@@ -233,6 +251,9 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
 
   SJ_EVENT(kQueryAdmitted, kInfo, "select %s (op %s)",
            SelectStrategyName(strategy), op.name().c_str());
+  if (ctx.cancel != nullptr && ctx.deadline_budget_ns > 0) {
+    ctx.cancel->ArmDeadline(ctx.deadline_budget_ns);
+  }
   JoinResult result;
   double wall_ns = 0.0;
   {
@@ -242,6 +263,17 @@ JoinResult ExecuteSelect(SelectStrategy strategy,
     ScopedTimer timer(registry.GetHistogram("query.select.wall_ns"),
                       &wall_ns);
     result = DispatchSelect(strategy, ctx, selector, selector_tid, op);
+  }
+  if (ctx.cancel != nullptr &&
+      ctx.cancel->reason() != exec::StopReason::kNone) {
+    const bool deadline =
+        ctx.cancel->reason() == exec::StopReason::kDeadline;
+    registry
+        .GetCounter(deadline ? "query.select.stopped.deadline"
+                             : "query.select.stopped.cancelled")
+        ->Increment();
+    SJ_EVENT(kDeadlineExceeded, kWarn, "select %s stopped early (%s)",
+             SelectStrategyName(strategy), deadline ? "deadline" : "cancel");
   }
   SJ_EVENT(kQueryFinished, kInfo, "select %s: %lld matches, %.2f ms",
            SelectStrategyName(strategy),

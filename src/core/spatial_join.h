@@ -17,6 +17,7 @@
 namespace spatialjoin {
 
 namespace exec {
+class CancelToken;
 class ThreadPool;
 }  // namespace exec
 
@@ -65,11 +66,20 @@ struct SpatialJoinContext {
   /// Grid granularity for kPartitionedJoin (tiles per axis; 0 = derive
   /// from the input size).
   int exec_grid = 0;
-  /// Wall-clock budget for the query in nanoseconds (0 = none). Advisory:
-  /// the query is never interrupted, but the flight recorder's watchdog
-  /// (obs/flight_recorder.h) reports an over-deadline query with a
-  /// deadline_exceeded event and a dump.
+  /// Wall-clock budget for the query in nanoseconds (0 = none). Two
+  /// consumers: the flight recorder's watchdog (obs/flight_recorder.h)
+  /// reports an over-deadline query with a deadline_exceeded event and a
+  /// dump, and when `cancel` is set the dispatcher arms the token with
+  /// this budget so the traversal actually stops (see below).
   int64_t deadline_budget_ns = 0;
+  /// Optional cooperative cancellation/deadline token (exec/cancel.h).
+  /// The tree-walking strategies poll it at their level boundaries and
+  /// stop early when it fires; ExecuteJoin/ExecuteSelect then return the
+  /// partial result with the token's reason latched — callers that need
+  /// a Status convert via cancel->ToStatus() (the query service does).
+  /// Strategies without level structure (nested loop, sort-merge, join
+  /// index) ignore the token and run to completion.
+  exec::CancelToken* cancel = nullptr;
 };
 
 /// Runs R ⋈_θ S with the chosen strategy. All strategies produce the same

@@ -1,0 +1,109 @@
+#ifndef SPATIALJOIN_EXEC_CANCEL_H_
+#define SPATIALJOIN_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "obs/timer.h"
+
+namespace spatialjoin {
+namespace exec {
+
+/// Why a cooperative traversal stopped early (or didn't).
+enum class StopReason : uint8_t {
+  kNone = 0,
+  kCancelled,
+  kDeadline,
+};
+
+/// Cooperative cancellation + deadline token (DESIGN.md §12).
+///
+/// One token accompanies one query execution. The owner (the query
+/// service's scheduler, a test, a bench) may arm an absolute deadline
+/// and/or flip the cancel flag from any thread; the level-synchronized
+/// traversal loops in core/ and exec/ poll `ShouldStop()` at their level
+/// boundaries and bail out between levels — never mid-pair — so a
+/// stopped query leaves the thread pool, the buffer pool, and every
+/// output buffer in the same clean state a completed query would.
+///
+/// The observed reason is sticky: the first `ShouldStop()` that trips
+/// latches kCancelled/kDeadline, and later calls (and the post-run
+/// `ToStatus()` conversion) report that same reason even if, say, the
+/// deadline also passes afterwards. Checking costs one relaxed load on
+/// the fast path plus a clock read only while a deadline is armed.
+///
+/// Thread-safety: all members are atomics; any thread may Cancel() or
+/// poll concurrently with the traversal.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms an absolute deadline `budget_ns` from now (<= 0 disarms).
+  void ArmDeadline(int64_t budget_ns) {
+    deadline_ns_.store(
+        budget_ns > 0 ? MonotonicNowNs() + budget_ns : int64_t{0},
+        std::memory_order_relaxed);
+  }
+
+  /// Requests cooperative cancellation; idempotent, callable from any
+  /// thread (a session reader acting on a kCancel frame, a teardown
+  /// path, a test).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True iff the traversal should stop at the next level boundary.
+  /// Latches the reason on first trip.
+  bool ShouldStop() const {
+    StopReason latched = reason_.load(std::memory_order_relaxed);
+    if (latched != StopReason::kNone) return true;
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      Latch(StopReason::kCancelled);
+      return true;
+    }
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 && MonotonicNowNs() >= deadline) {
+      Latch(StopReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// The latched reason (kNone while the query is healthy).
+  StopReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  /// Post-run conversion for the service layer: OK for a clean finish,
+  /// Cancelled/DeadlineExceeded when the traversal was stopped.
+  Status ToStatus() const {
+    switch (reason()) {
+      case StopReason::kNone:
+        return Status::Ok();
+      case StopReason::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case StopReason::kDeadline:
+        return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Internal("unknown stop reason");
+  }
+
+ private:
+  // Latching from a const poll path: the token's identity is the query's,
+  // and "first observed reason" is part of its observable API.
+  void Latch(StopReason reason) const {
+    StopReason expected = StopReason::kNone;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = disarmed
+  mutable std::atomic<StopReason> reason_{StopReason::kNone};
+};
+
+}  // namespace exec
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_EXEC_CANCEL_H_

@@ -41,7 +41,8 @@ void MergeChunk(ChunkOutput&& chunk, JoinResult* total,
 JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
                             const GeneralizationTree& s_tree,
                             const ThetaOperator& op, ThreadPool* pool,
-                            const ParallelJoinOptions& options) {
+                            const ParallelJoinOptions& options,
+                            const CancelToken* cancel) {
   SJ_CHECK(pool != nullptr);
   SJ_CHECK_GE(options.chunk_pairs, 1);
 
@@ -53,6 +54,10 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
 
   int64_t levels_run = 0;
   for (int j = 0; j <= max_level && !current_level.empty(); ++j) {
+    // Cooperative stop point at the level barrier: every chunk of the
+    // previous level has completed and been merged, so stopping here
+    // leaves the pool quiescent and the result a clean level prefix.
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     ++levels_run;
     SJ_SPAN_CAT("parallel_join.level", "exec");
     // Heartbeat on the coordinating thread once per level; the workers

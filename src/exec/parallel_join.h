@@ -6,6 +6,7 @@
 #include "core/gentree.h"
 #include "core/join.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 #include "exec/thread_pool.h"
 
 namespace spatialjoin {
@@ -32,10 +33,16 @@ struct ParallelJoinOptions {
 /// Both trees and the operator must be safe for concurrent reads; snapshot
 /// disk-backed trees with FrozenTree::Materialize first (the strategy
 /// dispatcher does exactly that).
+///
+/// `cancel` is polled at the level barrier, where no chunk is in flight:
+/// a stopped join returns the merged prefix of completed levels and the
+/// pool quiescent — identical semantics to the sequential TreeJoin's
+/// level-boundary stop.
 JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
                             const GeneralizationTree& s_tree,
                             const ThetaOperator& op, ThreadPool* pool,
-                            const ParallelJoinOptions& options = {});
+                            const ParallelJoinOptions& options = {},
+                            const CancelToken* cancel = nullptr);
 
 }  // namespace exec
 }  // namespace spatialjoin

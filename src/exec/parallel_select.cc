@@ -29,7 +29,8 @@ struct ChunkOutput {
 SelectResult ParallelSelect(const Value& selector,
                             const GeneralizationTree& tree,
                             const ThetaOperator& op, ThreadPool* pool,
-                            const ParallelSelectOptions& options) {
+                            const ParallelSelectOptions& options,
+                            const CancelToken* cancel) {
   SJ_CHECK(pool != nullptr);
   SJ_CHECK_GE(options.chunk_nodes, 1);
 
@@ -39,6 +40,8 @@ SelectResult ParallelSelect(const Value& selector,
   std::vector<NodeId> frontier{tree.root()};
   int64_t levels_run = 0;
   while (!frontier.empty()) {
+    // Cooperative stop at the level barrier (see ParallelTreeJoin).
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     ++levels_run;
     SJ_SPAN_CAT("parallel_select.level", "exec");
     // Per-level heartbeat on the coordinating thread (workers beat per

@@ -6,6 +6,7 @@
 #include "core/gentree.h"
 #include "core/select.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 #include "exec/thread_pool.h"
 
 namespace spatialjoin {
@@ -28,10 +29,15 @@ struct ParallelSelectOptions {
 ///
 /// The tree and operator must be safe for concurrent reads (FrozenTree,
 /// or MemoryGenTree without an attached relation).
+///
+/// `cancel` is polled at the per-level barrier (no chunk in flight): a
+/// stopped selection returns the merged prefix of completed levels with
+/// the pool quiescent.
 SelectResult ParallelSelect(const Value& selector,
                             const GeneralizationTree& tree,
                             const ThetaOperator& op, ThreadPool* pool,
-                            const ParallelSelectOptions& options = {});
+                            const ParallelSelectOptions& options = {},
+                            const CancelToken* cancel = nullptr);
 
 }  // namespace exec
 }  // namespace spatialjoin

@@ -237,11 +237,15 @@ void ThreadPool::TaskGroup::Wait() {
     // The timed wait re-checks for helpable work in case new tasks land.
     MutexLock lock(sync_->mu);
     if (sync_->pending != 0) {
-      sync_->cv.WaitFor(sync_->mu, std::chrono::milliseconds(1));
+      // Timeout vs notify is immaterial here: either way the loop
+      // re-scans for helpable work and re-tests pending.
+      (void)sync_->cv.WaitFor(sync_->mu, std::chrono::milliseconds(1));
     }
     if (sync_->pending == 0) return;
   }
 }
+
+void ThreadPool::Post(std::function<void()> fn) { Submit(std::move(fn)); }
 
 ThreadPool::Stats ThreadPool::stats() const {
   Stats stats;

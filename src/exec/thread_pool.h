@@ -71,6 +71,16 @@ class ThreadPool {
   /// index order.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
 
+  /// Fire-and-forget: enqueues `fn` with no completion handle — the
+  /// caller owns its own completion signalling. This is how the query
+  /// service schedules whole queries onto the pool (inter-query
+  /// parallelism); the query body may itself call ParallelFor on the same
+  /// pool (intra-query parallelism) — a worker waiting at that inner
+  /// barrier helps run other pending tasks, including other posted
+  /// queries, so the pool is never deadlocked by nesting. Like all pool
+  /// tasks, `fn` must not throw.
+  void Post(std::function<void()> fn);
+
   /// A joinable batch of independently spawned tasks.
   class TaskGroup {
    public:

@@ -818,7 +818,9 @@ void WatchdogMain() {
         g_watchdog_interval_ms.load(std::memory_order_relaxed));
     {
       MutexLock lock(w.mu);
-      if (!w.stop) w.cv.WaitFor(w.mu, interval);
+      // A timeout is the normal tick; a notify is Stop() — both paths
+      // re-test w.stop below.
+      if (!w.stop) (void)w.cv.WaitFor(w.mu, interval);
       if (w.stop) break;
     }
     g_watchdog_ticks.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,187 @@
+#ifndef SPATIALJOIN_SERVER_PROTOCOL_H_
+#define SPATIALJOIN_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/join.h"
+#include "core/spatial_join.h"
+#include "geometry/rectangle.h"
+
+namespace spatialjoin {
+namespace server {
+
+/// Wire protocol of the query service (DESIGN.md §12) — length-prefixed
+/// binary frames over a local stream socket, little-endian fixed-width
+/// fields throughout (the service is local-machine by design, and every
+/// supported target is little-endian; the byte order is nevertheless
+/// pinned by the encoder so the protocol is well-defined).
+///
+/// Frame layout (16-byte header, then `payload_len` payload bytes):
+///
+///   offset  size  field
+///        0     4  payload_len  (u32; excludes the header itself)
+///        4     1  magic        (0xA7 — cheap desync/garbage detector)
+///        5     1  type         (MessageType)
+///        6     2  reserved     (must be 0)
+///        8     8  request_id   (u64; echoed verbatim in the reply)
+///
+/// Requests carry a client-chosen request_id; every request gets exactly
+/// one reply frame with the same id. Replies to pipelined requests may
+/// arrive in any order (queries finish out of order), so clients match
+/// replies by id, never by position.
+
+inline constexpr uint8_t kFrameMagic = 0xA7;
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Upper bound on a frame's payload. Large enough for ~260k match pairs
+/// (the result of any query the demo datasets can produce, with room to
+/// spare); anything larger on the wire is a protocol error and the
+/// connection is dropped — the decoder never allocates more than this on
+/// behalf of an unauthenticated peer.
+inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Most match pairs a kResult frame can carry (40 fixed bytes + 16 per
+/// pair under kMaxPayloadBytes). The server replies RESOURCE_EXHAUSTED
+/// instead of a result when a query produces more.
+inline constexpr size_t kMaxResultPairs = (kMaxPayloadBytes - 40) / 16;
+
+enum class MessageType : uint8_t {
+  // Requests (client → server).
+  kPing = 1,    // empty payload; replied with kPong
+  kSelect = 2,  // SelectRequest payload; replied with kResult or kError
+  kJoin = 3,    // JoinRequest payload; replied with kResult or kError
+  kCancel = 4,  // CancelRequest payload; acked with kPong. The cancelled
+                // query itself (if still running) replies kError/CANCELLED
+                // under its own request_id.
+
+  // Replies (server → client).
+  kPong = 65,
+  kResult = 66,
+  kError = 67,
+};
+
+/// True for the types a client may legally send.
+bool IsRequestType(uint8_t type);
+
+/// θ-operator selector on the wire; MakeWireOperator maps it to a Table 1
+/// operator instance.
+enum class WireOp : uint8_t {
+  kOverlaps = 1,
+  kWithinDistance = 2,  // param = distance
+  kIncludes = 3,
+  kContainedIn = 4,
+  kNorthwestOf = 5,
+  kAdjacent = 6,
+};
+
+/// Instantiates the operator a request names, or InvalidArgument for an
+/// unknown code / non-finite parameter.
+Result<std::unique_ptr<ThetaOperator>> MakeWireOperator(uint8_t op_code,
+                                                        double param);
+
+/// SELECT request payload (56 bytes exactly):
+///   u32 dataset_id, u8 strategy (SelectStrategy), u8 op (WireOp),
+///   u16 reserved, f64 op_param, f64 min_x/min_y/max_x/max_y (selector
+///   rectangle), i64 deadline_ns (0 = server default).
+struct SelectRequest {
+  uint32_t dataset_id = 0;
+  SelectStrategy strategy = SelectStrategy::kTree;
+  uint8_t op_code = 0;
+  double op_param = 0.0;
+  Rectangle selector;
+  int64_t deadline_ns = 0;
+};
+
+/// JOIN request payload (24 bytes exactly):
+///   u32 dataset_id, u8 strategy (JoinStrategy), u8 op (WireOp),
+///   u16 reserved, f64 op_param, i64 deadline_ns.
+struct JoinRequest {
+  uint32_t dataset_id = 0;
+  JoinStrategy strategy = JoinStrategy::kTreeJoin;
+  uint8_t op_code = 0;
+  double op_param = 0.0;
+  int64_t deadline_ns = 0;
+};
+
+/// CANCEL request payload (8 bytes): u64 target request_id.
+struct CancelRequest {
+  uint64_t target_request_id = 0;
+};
+
+/// Decoded reply, as a client sees it.
+struct Reply {
+  uint64_t request_id = 0;
+  MessageType type = MessageType::kError;
+  // kError only:
+  StatusCode error_code = StatusCode::kInternal;
+  std::string error_message;
+  // kResult only — the result pairs and the counters the cost model
+  // prices, byte-identical to an in-process JoinResult.
+  JoinResult result;
+};
+
+// --- Encoding (always succeeds; writers bound their own sizes) ---------
+
+std::string EncodePing(uint64_t request_id);
+std::string EncodePong(uint64_t request_id);
+std::string EncodeSelectRequest(uint64_t request_id, const SelectRequest& r);
+std::string EncodeJoinRequest(uint64_t request_id, const JoinRequest& r);
+std::string EncodeCancelRequest(uint64_t request_id, const CancelRequest& r);
+std::string EncodeResultReply(uint64_t request_id, const JoinResult& result);
+std::string EncodeErrorReply(uint64_t request_id, const Status& status);
+
+// --- Decoding (bounds-checked; never trusts wire lengths) --------------
+
+Result<SelectRequest> DecodeSelectRequest(std::string_view payload);
+Result<JoinRequest> DecodeJoinRequest(std::string_view payload);
+Result<CancelRequest> DecodeCancelRequest(std::string_view payload);
+/// Decodes a reply frame's payload given its type.
+Result<Reply> DecodeReply(MessageType type, uint64_t request_id,
+                          std::string_view payload);
+
+/// One complete frame pulled off the byte stream.
+struct Frame {
+  uint8_t type = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Incremental frame parser: feed it raw bytes as they arrive, pull
+/// complete frames out. Malformed input (bad magic, nonzero reserved
+/// bits, payload over kMaxPayloadBytes) poisons the decoder — the
+/// transport layer replies with one kError/INVALID_ARGUMENT frame where
+/// it can and drops the connection; there is no resynchronization on a
+/// corrupt stream.
+class FrameDecoder {
+ public:
+  /// Appends `data` to the internal buffer. Returns OK, or the sticky
+  /// error if the stream is (or just became) poisoned.
+  Status Feed(std::string_view data);
+
+  /// Pops the next complete frame into `out`; false when more bytes are
+  /// needed (or the decoder is poisoned).
+  bool Next(Frame* out);
+
+  bool poisoned() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (tests pin "no unbounded
+  /// buffering" with this).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+};
+
+}  // namespace server
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_SERVER_PROTOCOL_H_

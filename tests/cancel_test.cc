@@ -1,0 +1,253 @@
+// Cooperative cancellation and deadline semantics (DESIGN.md §12): token
+// latching, level-boundary stops in the sequential and parallel
+// traversals, partial-result shape, and the cleanliness of the thread
+// pool and buffer pool after a stopped query (the exec auditors).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "audit/bufferpool_audit.h"
+#include "audit/exec_audit.h"
+#include "core/join.h"
+#include "core/select.h"
+#include "core/spatial_join.h"
+#include "core/theta_ops.h"
+#include "exec/cancel.h"
+#include "exec/frozen_tree.h"
+#include "exec/parallel_join.h"
+#include "exec/parallel_select.h"
+#include "exec/thread_pool.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace {
+
+TEST(CancelToken, DefaultTokenNeverStops) {
+  exec::CancelToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_EQ(token.reason(), exec::StopReason::kNone);
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancelToken, CancelLatchesAndConverts) {
+  exec::CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.reason(), exec::StopReason::kCancelled);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, DeadlineLatchesAndConverts) {
+  exec::CancelToken token;
+  token.ArmDeadline(1);  // 1ns: expired by the time anyone polls
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.reason(), exec::StopReason::kDeadline);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, FirstReasonWinsEvenIfBothFire) {
+  exec::CancelToken token;
+  token.Cancel();
+  ASSERT_TRUE(token.ShouldStop());  // latches kCancelled
+  token.ArmDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.ShouldStop());
+  // The reason is sticky: the deadline passing later does not rewrite
+  // the history the caller already observed.
+  EXPECT_EQ(token.reason(), exec::StopReason::kCancelled);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, GenerousDeadlineDoesNotTrip) {
+  exec::CancelToken token;
+  token.ArmDeadline(int64_t{60} * 1'000'000'000);
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancelToken, ArmDeadlineNonPositiveDisarms) {
+  exec::CancelToken token;
+  token.ArmDeadline(1);
+  token.ArmDeadline(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+// Disk-backed fixture (the dispatcher path the query service exercises),
+// mirroring the join-strategies fixture: two 200-rectangle relations
+// with R-trees.
+class CancelExecutionTest : public ::testing::Test {
+ protected:
+  CancelExecutionTest()
+      : disk_(2000), pool_(&disk_, 2048), world_(0, 0, 600, 600) {
+    Schema schema({{"id", ValueType::kInt64},
+                   {"box", ValueType::kRectangle}});
+    r_ = std::make_unique<Relation>("r", schema, &pool_);
+    s_ = std::make_unique<Relation>("s", schema, &pool_);
+    r_rtree_ = std::make_unique<RTree>(&pool_, RTreeSplit::kQuadratic, 8);
+    s_rtree_ = std::make_unique<RTree>(&pool_, RTreeSplit::kQuadratic, 8);
+    RectGenerator gen_r(world_, 31);
+    RectGenerator gen_s(world_, 32);
+    for (int64_t i = 0; i < 200; ++i) {
+      Rectangle box_r = gen_r.NextRect(2, 30);
+      Rectangle box_s = gen_s.NextRect(2, 30);
+      r_rtree_->Insert(box_r, r_->Insert(Tuple({Value(i), Value(box_r)})));
+      s_rtree_->Insert(box_s, s_->Insert(Tuple({Value(i), Value(box_s)})));
+    }
+    r_adapter_ = std::make_unique<RTreeGenTree>(r_rtree_.get(), r_.get(), 1);
+    s_adapter_ = std::make_unique<RTreeGenTree>(s_rtree_.get(), s_.get(), 1);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Rectangle world_;
+  std::unique_ptr<Relation> r_;
+  std::unique_ptr<Relation> s_;
+  std::unique_ptr<RTree> r_rtree_;
+  std::unique_ptr<RTree> s_rtree_;
+  std::unique_ptr<RTreeGenTree> r_adapter_;
+  std::unique_ptr<RTreeGenTree> s_adapter_;
+};
+
+TEST_F(CancelExecutionTest, PreCancelledTreeJoinStopsBeforeAnyLevel) {
+  OverlapsOp op;
+  JoinResult full = TreeJoin(*r_adapter_, *s_adapter_, op);
+  ASSERT_FALSE(full.matches.empty());  // the stop must be observable
+
+  exec::CancelToken token;
+  token.Cancel();
+  JoinResult stopped =
+      TreeJoin(*r_adapter_, *s_adapter_, op, Traversal::kBreadthFirst,
+               nullptr, &token);
+  EXPECT_TRUE(stopped.matches.empty());
+  EXPECT_EQ(stopped.qual_pairs_examined, 0);
+  EXPECT_LT(stopped.nodes_accessed, full.nodes_accessed);
+}
+
+TEST_F(CancelExecutionTest, PreExpiredDeadlineSelectDoesZeroWork) {
+  OverlapsOp op;
+  exec::CancelToken token;
+  token.ArmDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Value selector(Rectangle(100, 100, 400, 400));
+  SelectResult stopped =
+      SpatialSelect(selector, *s_adapter_, op, Traversal::kBreadthFirst,
+                    nullptr, &token);
+  // The entry check guarantees a deterministic empty result — not one
+  // that depends on how far the traversal raced the clock.
+  EXPECT_TRUE(stopped.matching_nodes.empty());
+  EXPECT_TRUE(stopped.matching_tuples.empty());
+  EXPECT_EQ(stopped.nodes_accessed, 0);
+  EXPECT_EQ(token.reason(), exec::StopReason::kDeadline);
+}
+
+TEST_F(CancelExecutionTest, DispatcherDeadlineReturnsDeadlineExceeded) {
+  OverlapsOp op;
+  exec::CancelToken token;
+  SpatialJoinContext ctx;
+  ctx.r_tree = r_adapter_.get();
+  ctx.s_tree = s_adapter_.get();
+  ctx.cancel = &token;
+  ctx.deadline_budget_ns = 1;  // expires before the first level boundary
+
+  JoinResult stopped = ExecuteJoin(JoinStrategy::kTreeJoin, ctx, op);
+  EXPECT_EQ(stopped.qual_pairs_examined, 0);  // no level was processed
+  EXPECT_TRUE(stopped.matches.empty());
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+
+  // A stopped query must leave the storage layer as clean as a finished
+  // one: every page unpinned, frame bookkeeping consistent.
+  audit::AuditReport storage = audit::AuditBufferPool(pool_);
+  EXPECT_TRUE(storage.ok()) << storage.ToJson();
+}
+
+TEST_F(CancelExecutionTest, DispatcherWithoutDeadlineLeavesTokenClean) {
+  OverlapsOp op;
+  exec::CancelToken token;
+  SpatialJoinContext ctx;
+  ctx.r_tree = r_adapter_.get();
+  ctx.s_tree = s_adapter_.get();
+  ctx.cancel = &token;  // armed with no budget: must never fire
+
+  JoinResult full = ExecuteJoin(JoinStrategy::kTreeJoin, ctx, op);
+  EXPECT_FALSE(full.matches.empty());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST_F(CancelExecutionTest, CancelledParallelJoinLeavesPoolQuiescent) {
+  OverlapsOp op;
+  exec::FrozenTree r_frozen = exec::FrozenTree::Materialize(*r_adapter_);
+  exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*s_adapter_);
+  exec::ThreadPool workers(4);
+
+  exec::CancelToken token;
+  token.Cancel();
+  JoinResult stopped = exec::ParallelTreeJoin(r_frozen, s_frozen, op,
+                                              &workers, {}, &token);
+  EXPECT_TRUE(stopped.matches.empty());
+
+  // The cancelled join reached its level barrier before stopping, so no
+  // chunk task may be left behind on the pool.
+  EXPECT_TRUE(workers.Quiescent());
+  audit::AuditReport report = audit::AuditThreadPool(workers);
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+}
+
+TEST_F(CancelExecutionTest, CancelledParallelSelectLeavesPoolQuiescent) {
+  OverlapsOp op;
+  exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*s_adapter_);
+  exec::ThreadPool workers(4);
+
+  exec::CancelToken token;
+  token.Cancel();
+  Value selector(Rectangle(100, 100, 400, 400));
+  SelectResult stopped =
+      exec::ParallelSelect(selector, s_frozen, op, &workers, {}, &token);
+  EXPECT_TRUE(stopped.matching_tuples.empty());
+  EXPECT_TRUE(workers.Quiescent());
+  audit::AuditReport report = audit::AuditThreadPool(workers);
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+}
+
+TEST_F(CancelExecutionTest, MidFlightCancelStopsAtALevelBoundary) {
+  // Cancellation from another thread, racing the traversal: wherever the
+  // cancel lands, the result must be a *prefix* of the sequential run's
+  // levels — never a torn level — and the counters must stay consistent
+  // (every match was really tested).
+  OverlapsOp op;
+  JoinResult full = TreeJoin(*r_adapter_, *s_adapter_, op);
+
+  exec::FrozenTree r_frozen = exec::FrozenTree::Materialize(*r_adapter_);
+  exec::FrozenTree s_frozen = exec::FrozenTree::Materialize(*s_adapter_);
+  exec::ThreadPool workers(4);
+  exec::CancelToken token;
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    token.Cancel();
+  });
+  JoinResult stopped = exec::ParallelTreeJoin(r_frozen, s_frozen, op,
+                                              &workers, {}, &token);
+  canceller.join();
+
+  // Whatever was produced is a prefix of the full result.
+  ASSERT_LE(stopped.matches.size(), full.matches.size());
+  for (size_t i = 0; i < stopped.matches.size(); ++i) {
+    EXPECT_EQ(stopped.matches[i], full.matches[i]) << "at " << i;
+  }
+  EXPECT_LE(stopped.qual_pairs_examined, full.qual_pairs_examined);
+  EXPECT_TRUE(workers.Quiescent());
+}
+
+}  // namespace
+}  // namespace spatialjoin

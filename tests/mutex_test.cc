@@ -116,13 +116,93 @@ TEST(CondVarTest, WaitForTimesOutWithLockReacquired) {
   const auto start = std::chrono::steady_clock::now();
   // Nobody notifies: the wait must come back on its own, and `ready`
   // must still be readable — i.e. the lock was reacquired.
+  bool notified = true;
   while (!ready) {
-    cv.WaitFor(mu, std::chrono::milliseconds(5));
+    notified = cv.WaitFor(mu, std::chrono::milliseconds(5));
     break;  // single timed probe is enough for the test
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_FALSE(ready);
+  EXPECT_FALSE(notified) << "timeout must report false";
   EXPECT_LT(elapsed, std::chrono::seconds(30)) << "WaitFor never returned";
+}
+
+TEST(CondVarTest, WaitForReportsNotifyAsTrue) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool consumer_holds_lock = false;
+  bool notified = false;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    consumer_holds_lock = true;
+    while (!ready) {
+      // Generous timeout: a correct notify arrives long before it, so a
+      // false here (timeout) is a real failure, not a flake.
+      notified = cv.WaitFor(mu, std::chrono::seconds(30));
+      if (!notified) break;
+    }
+  });
+
+  // Wait until the consumer is *inside* WaitFor before notifying: once
+  // this thread can take the lock and see the flag, the consumer has
+  // already tested `ready` (false then) and atomically released the
+  // lock into the wait — the notify cannot race ahead of the wait.
+  while (true) {
+    MutexLock lock(mu);
+    if (consumer_holds_lock) {
+      ready = true;
+      break;
+    }
+  }
+  cv.NotifyOne();
+  consumer.join();
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(ready);
+}
+
+TEST(CondVarTest, WaitUntilPastDeadlineReturnsFalseImmediately) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  MutexLock lock(mu);
+  // A deadline already in the past must not block at all; the standard
+  // loop shape still re-tests the predicate with the lock held.
+  const auto deadline = std::chrono::steady_clock::now();
+  bool notified = true;
+  while (!ready) {
+    notified = cv.WaitUntil(mu, deadline);
+    if (!notified) break;  // out of budget — bail with the lock held
+  }
+  EXPECT_FALSE(notified);
+  EXPECT_FALSE(ready);
+}
+
+TEST(CondVarTest, WaitUntilWakesOnNotifyBeforeDeadline) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool made_deadline = false;
+
+  std::thread consumer([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    MutexLock lock(mu);
+    while (!ready) {
+      if (!cv.WaitUntil(mu, deadline)) return;  // timed out: flag unset
+    }
+    made_deadline = true;
+  });
+
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+  EXPECT_TRUE(made_deadline);
 }
 
 TEST(CondVarTest, NotifyAllWakesEveryWaiter) {

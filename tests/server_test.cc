@@ -1,0 +1,471 @@
+// Query-service integration tests (DESIGN.md §12): results over the wire
+// are byte-identical to direct in-process execution, concurrent mixed
+// clients all get correct replies, admission control rejects with
+// backpressure, deadlines and cancels surface as DEADLINE_EXCEEDED /
+// CANCELLED error replies, disconnects orphan-cancel cleanly, and the
+// shared pool is quiescent after shutdown. The TSan CI job runs this
+// suite as the service smoke test.
+
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "audit/exec_audit.h"
+#include "core/spatial_join.h"
+#include "core/theta_ops.h"
+#include "exec/frozen_tree.h"
+#include "exec/thread_pool.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+namespace spatialjoin {
+namespace server {
+namespace {
+
+struct FrozenPair {
+  exec::FrozenTree r;
+  exec::FrozenTree s;
+};
+
+// Builds a pair of generalization-tree snapshots from synthetic
+// rectangle relations. The storage stack is local and discarded: a
+// FrozenTree copies everything it needs, which is exactly why the server
+// serves snapshots.
+FrozenPair MakeFrozenPair(uint64_t seed_r, uint64_t seed_s, int64_t tuples) {
+  DiskManager disk(4000);
+  BufferPool pool(&disk, 2048);
+  Rectangle world(0, 0, 600, 600);
+  Schema schema({{"id", ValueType::kInt64}, {"box", ValueType::kRectangle}});
+  Relation r("r", schema, &pool);
+  Relation s("s", schema, &pool);
+  RTree r_rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RTree s_rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen_r(world, seed_r);
+  RectGenerator gen_s(world, seed_s);
+  for (int64_t i = 0; i < tuples; ++i) {
+    Rectangle box_r = gen_r.NextRect(2, 30);
+    Rectangle box_s = gen_s.NextRect(2, 30);
+    r_rtree.Insert(box_r, r.Insert(Tuple({Value(i), Value(box_r)})));
+    s_rtree.Insert(box_s, s.Insert(Tuple({Value(i), Value(box_s)})));
+  }
+  RTreeGenTree r_adapter(&r_rtree, &r, 1);
+  RTreeGenTree s_adapter(&s_rtree, &s, 1);
+  return {exec::FrozenTree::Materialize(r_adapter),
+          exec::FrozenTree::Materialize(s_adapter)};
+}
+
+SelectRequest OverlapSelect(uint32_t dataset_id, const Rectangle& window) {
+  SelectRequest request;
+  request.dataset_id = dataset_id;
+  request.strategy = SelectStrategy::kTree;
+  request.op_code = static_cast<uint8_t>(WireOp::kOverlaps);
+  request.selector = window;
+  return request;
+}
+
+JoinRequest OverlapJoin(uint32_t dataset_id) {
+  JoinRequest request;
+  request.dataset_id = dataset_id;
+  request.strategy = JoinStrategy::kTreeJoin;
+  request.op_code = static_cast<uint8_t>(WireOp::kOverlaps);
+  return request;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : pool_(4) {}
+
+  // Starts a server over `pool_` with dataset 0 = the small pair and
+  // (optionally) dataset 1 = a heavy pair whose all-matching
+  // within-distance join runs long enough to cancel or deadline
+  // deterministically.
+  void StartServer(Server::Options options, bool with_heavy = false) {
+    server_ = std::make_unique<Server>(&pool_, options);
+    FrozenPair ours = MakeFrozenPair(41, 42, 200);
+    direct_ = std::make_unique<FrozenPair>(MakeFrozenPair(41, 42, 200));
+    ASSERT_EQ(server_->RegisterDataset(std::move(ours.r), std::move(ours.s)),
+              0u);
+    if (with_heavy) {
+      FrozenPair heavy = MakeFrozenPair(51, 52, 2500);
+      ASSERT_EQ(
+          server_->RegisterDataset(std::move(heavy.r), std::move(heavy.s)),
+          1u);
+    }
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<ServiceClient> Connect() {
+    Result<std::unique_ptr<ServiceClient>> client =
+        ServiceClient::Connect(server_->socket_path());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  // Direct in-process execution over an identically-built snapshot pair —
+  // the ground truth the wire results must reproduce byte for byte.
+  JoinResult DirectSelect(const SelectRequest& request) {
+    SpatialJoinContext ctx;
+    ctx.s_tree = &direct_->s;
+    ctx.exec_pool = &pool_;
+    Result<std::unique_ptr<ThetaOperator>> op =
+        MakeWireOperator(request.op_code, request.op_param);
+    return ExecuteSelect(request.strategy, ctx, Value(request.selector),
+                         kInvalidTupleId, *op.value());
+  }
+
+  JoinResult DirectJoin(const JoinRequest& request) {
+    SpatialJoinContext ctx;
+    ctx.r_tree = &direct_->r;
+    ctx.s_tree = &direct_->s;
+    ctx.exec_pool = &pool_;
+    Result<std::unique_ptr<ThetaOperator>> op =
+        MakeWireOperator(request.op_code, request.op_param);
+    return ExecuteJoin(request.strategy, ctx, *op.value());
+  }
+
+  static void ExpectSameResult(const Reply& reply, const JoinResult& truth) {
+    ASSERT_EQ(reply.type, MessageType::kResult) << reply.error_message;
+    EXPECT_EQ(reply.result.matches, truth.matches);
+    EXPECT_EQ(reply.result.theta_upper_tests, truth.theta_upper_tests);
+    EXPECT_EQ(reply.result.theta_tests, truth.theta_tests);
+    EXPECT_EQ(reply.result.nodes_accessed, truth.nodes_accessed);
+    EXPECT_EQ(reply.result.qual_pairs_examined, truth.qual_pairs_examined);
+  }
+
+  exec::ThreadPool pool_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<FrozenPair> direct_;
+};
+
+TEST_F(ServerTest, PingRoundTrip) {
+  StartServer({});
+  std::unique_ptr<ServiceClient> client = Connect();
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(ServerTest, SelectIsByteIdenticalToDirectExecution) {
+  StartServer({});
+  std::unique_ptr<ServiceClient> client = Connect();
+  const Rectangle windows[] = {Rectangle(100, 100, 400, 400),
+                               Rectangle(0, 0, 50, 50),
+                               Rectangle(0, 0, 600, 600)};
+  for (const Rectangle& window : windows) {
+    for (SelectStrategy strategy :
+         {SelectStrategy::kTree, SelectStrategy::kParallelTree}) {
+      SelectRequest request = OverlapSelect(0, window);
+      request.strategy = strategy;
+      Result<Reply> reply = client->Select(request);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      ExpectSameResult(reply.value(), DirectSelect(request));
+    }
+  }
+}
+
+TEST_F(ServerTest, JoinIsByteIdenticalToDirectExecution) {
+  StartServer({});
+  std::unique_ptr<ServiceClient> client = Connect();
+  for (JoinStrategy strategy :
+       {JoinStrategy::kTreeJoin, JoinStrategy::kParallelTreeJoin}) {
+    for (uint8_t op_code = 1; op_code <= 6; ++op_code) {
+      JoinRequest request = OverlapJoin(0);
+      request.strategy = strategy;
+      request.op_code = op_code;
+      request.op_param = 12.0;  // within_distance uses it; others ignore
+      Result<Reply> reply = client->Join(request);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      ExpectSameResult(reply.value(), DirectJoin(request));
+    }
+  }
+}
+
+TEST_F(ServerTest, BadRequestsGetTypedErrorReplies) {
+  StartServer({});
+  std::unique_ptr<ServiceClient> client = Connect();
+
+  Result<Reply> reply = client->Join(OverlapJoin(99));  // unknown dataset
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kNotFound);
+
+  JoinRequest nested = OverlapJoin(0);
+  nested.strategy = JoinStrategy::kNestedLoop;  // valid enum, not served
+  reply = client->Join(nested);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kInvalidArgument);
+
+  SelectRequest bad_op = OverlapSelect(0, Rectangle(0, 0, 1, 1));
+  bad_op.op_code = 200;
+  reply = client->Select(bad_op);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ConcurrentMixedClientsAllGetCorrectReplies) {
+  // Admission effectively unbounded: this test pins correctness under
+  // concurrency; the backpressure test below pins the bound.
+  Server::Options options;
+  options.max_inflight = 1 << 20;
+  StartServer(options);
+
+  const SelectRequest select_request =
+      OverlapSelect(0, Rectangle(100, 100, 400, 400));
+  const JoinRequest join_request = OverlapJoin(0);
+  const JoinResult select_truth = DirectSelect(select_request);
+  const JoinResult join_truth = DirectJoin(join_request);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 24;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<ServiceClient>> client =
+          ServiceClient::Connect(server_->socket_path());
+      if (!client.ok()) {
+        failures[c] = 1000;
+        return;
+      }
+      // Pipeline everything, then collect out-of-order.
+      std::vector<uint64_t> ids;
+      std::vector<bool> is_join;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const bool join = (i + c) % 2 == 0;
+        Result<uint64_t> id =
+            join ? client.value()->SendJoin(join_request)
+                 : client.value()->SendSelect(select_request);
+        if (!id.ok()) {
+          ++failures[c];
+          continue;
+        }
+        ids.push_back(id.value());
+        is_join.push_back(join);
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        Result<Reply> reply = client.value()->WaitReply(ids[i]);
+        if (!reply.ok() || reply.value().type != MessageType::kResult) {
+          ++failures[c];
+          continue;
+        }
+        const JoinResult& truth = is_join[i] ? join_truth : select_truth;
+        if (reply.value().result.matches != truth.matches) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+
+  // A reply is written before the scheduler retires its slot, so drain
+  // briefly: the last replies may still be microseconds ahead of their
+  // `completed` increments.
+  QueryScheduler::Stats stats = server_->scheduler_stats();
+  for (int spin = 0; spin < 2000 && stats.completed != stats.admitted;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = server_->scheduler_stats();
+  }
+  EXPECT_EQ(stats.admitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+TEST_F(ServerTest, BackpressureRejectsBeyondTheInflightBound) {
+  // One slot only. The first (heavy) join occupies it; the session reader
+  // admits requests inline and in order, so every select pipelined behind
+  // the join is decoded while the join still runs — each must bounce with
+  // RESOURCE_EXHAUSTED rather than queue.
+  Server::Options options;
+  options.max_inflight = 1;
+  StartServer(options, /*with_heavy=*/true);
+  std::unique_ptr<ServiceClient> client = Connect();
+
+  JoinRequest heavy = OverlapJoin(1);
+  heavy.op_code = static_cast<uint8_t>(WireOp::kWithinDistance);
+  heavy.op_param = 1200.0;  // every pair qualifies: a long, steady join
+  Result<uint64_t> heavy_id = client->SendJoin(heavy);
+  ASSERT_TRUE(heavy_id.ok());
+
+  constexpr int kProbes = 20;
+  std::vector<uint64_t> probe_ids;
+  for (int i = 0; i < kProbes; ++i) {
+    Result<uint64_t> id =
+        client->SendSelect(OverlapSelect(0, Rectangle(0, 0, 10, 10)));
+    ASSERT_TRUE(id.ok());
+    probe_ids.push_back(id.value());
+  }
+
+  int rejected = 0;
+  for (uint64_t id : probe_ids) {
+    Result<Reply> reply = client->WaitReply(id);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply.value().type == MessageType::kError) {
+      EXPECT_EQ(reply.value().error_code, StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GE(server_->scheduler_stats().rejected, rejected);
+
+  // The heavy query is undeliverable in one frame (every pair matched);
+  // what matters here is that it *completes* and frees its slot.
+  Result<Reply> heavy_reply = client->WaitReply(heavy_id.value());
+  ASSERT_TRUE(heavy_reply.ok());
+}
+
+TEST_F(ServerTest, CancelMidFlightReturnsCancelled) {
+  StartServer({}, /*with_heavy=*/true);
+  std::unique_ptr<ServiceClient> client = Connect();
+
+  JoinRequest heavy = OverlapJoin(1);
+  heavy.op_code = static_cast<uint8_t>(WireOp::kWithinDistance);
+  heavy.op_param = 1200.0;  // 2500×2500 all-match: seconds of work
+  Result<uint64_t> id = client->SendJoin(heavy);
+  ASSERT_TRUE(id.ok());
+
+  // The reader admits the join before it decodes the cancel (same
+  // pipeline, in order), and the join runs far longer than the gap, so
+  // the cancel lands mid-flight deterministically.
+  ASSERT_TRUE(client->Cancel(id.value()).ok());
+
+  Result<Reply> reply = client->WaitReply(id.value());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kCancelled);
+}
+
+TEST_F(ServerTest, PastDeadlineQueryReturnsDeadlineExceeded) {
+  StartServer({}, /*with_heavy=*/true);
+  std::unique_ptr<ServiceClient> client = Connect();
+
+  JoinRequest heavy = OverlapJoin(1);
+  heavy.op_code = static_cast<uint8_t>(WireOp::kWithinDistance);
+  heavy.op_param = 1200.0;
+  heavy.deadline_ns = 2'000'000;  // 2ms against seconds of work
+
+  Result<Reply> reply = client->Join(heavy);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServerTest, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {
+  Server::Options options;
+  options.default_deadline_ns = 2'000'000;
+  StartServer(options, /*with_heavy=*/true);
+  std::unique_ptr<ServiceClient> client = Connect();
+
+  JoinRequest heavy = OverlapJoin(1);
+  heavy.op_code = static_cast<uint8_t>(WireOp::kWithinDistance);
+  heavy.op_param = 1200.0;  // no per-request deadline
+  Result<Reply> reply = client->Join(heavy);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value().type, MessageType::kError);
+  EXPECT_EQ(reply.value().error_code, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServerTest, DisconnectMidFlightCancelsOrphanedQueries) {
+  StartServer({}, /*with_heavy=*/true);
+  {
+    std::unique_ptr<ServiceClient> client = Connect();
+    JoinRequest heavy = OverlapJoin(1);
+    heavy.op_code = static_cast<uint8_t>(WireOp::kWithinDistance);
+    heavy.op_param = 1200.0;
+    ASSERT_TRUE(client->SendJoin(heavy).ok());
+    // Client vanishes with the join in flight.
+  }
+  // Stop() drains the scheduler: if the orphaned query were not
+  // cancelled, this would sit through seconds of doomed work; with the
+  // disconnect-cancel it returns at the next level boundary. Completing
+  // promptly *is* the assertion (and the exec audit below pins the
+  // cleanliness).
+  server_->Stop();
+  audit::AuditReport report = audit::AuditThreadPool(pool_);
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+  EXPECT_TRUE(pool_.Quiescent());
+}
+
+TEST_F(ServerTest, GarbageStreamGetsErrorReplyThenDisconnect) {
+  StartServer({});
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ::memcpy(addr.sun_path, server_->socket_path().c_str(),
+           server_->socket_path().size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  const std::string garbage(64, '\x5a');
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+
+  // The server answers with one connection-level error frame (request id
+  // 0), then closes.
+  std::string bytes;
+  char buf[512];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.type, static_cast<uint8_t>(MessageType::kError));
+  EXPECT_EQ(frame.request_id, 0u);
+  Result<Reply> reply =
+      DecodeReply(MessageType::kError, frame.request_id, frame.payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().error_code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndRestartOnSamePathWorks) {
+  Server::Options options;
+  options.socket_path = Server::DefaultSocketPath();
+  StartServer(options);
+  {
+    std::unique_ptr<ServiceClient> client = Connect();
+    EXPECT_TRUE(client->Ping().ok());
+  }
+  server_->Stop();
+  server_->Stop();  // idempotent
+
+  // A fresh server may reuse the path (stale-socket unlink on bind).
+  Server second(&pool_, options);
+  FrozenPair pair = MakeFrozenPair(61, 62, 50);
+  second.RegisterDataset(std::move(pair.r), std::move(pair.s));
+  ASSERT_TRUE(second.Start().ok());
+  Result<std::unique_ptr<ServiceClient>> client =
+      ServiceClient::Connect(second.socket_path());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Ping().ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace spatialjoin

@@ -1,0 +1,140 @@
+// sj_server — standalone query-service daemon (DESIGN.md §12).
+//
+// Builds seeded demo datasets (the same generator the tests and the load
+// bench use), starts the admission-controlled query service on a Unix
+// socket, prints the socket path, and serves until SIGINT/SIGTERM.
+// Useful for poking the wire protocol by hand and as the server half of
+// ad-hoc load experiments:
+//
+//   sj_server [--socket=PATH] [--threads=N] [--max-inflight=N]
+//             [--default-deadline-ms=N] [--tuples=N]
+//
+// Dataset 0 is a 400-tuple pair (fast queries), dataset 1 a 1200-tuple
+// pair (long all-match joins — handy for exercising deadlines and
+// cancels). Tools may print to stdout; the service itself reports only
+// through metrics and the event log.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "exec/frozen_tree.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "rtree/rtree.h"
+#include "rtree/rtree_gentree.h"
+#include "server/server.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/rect_generator.h"
+
+using namespace spatialjoin;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct FrozenPair {
+  exec::FrozenTree r;
+  exec::FrozenTree s;
+};
+
+FrozenPair MakeFrozenPair(uint64_t seed_r, uint64_t seed_s, int64_t tuples) {
+  DiskManager disk(4000);
+  BufferPool pool(&disk, 2048);
+  Rectangle world(0, 0, 600, 600);
+  Schema schema({{"id", ValueType::kInt64}, {"box", ValueType::kRectangle}});
+  Relation r("r", schema, &pool);
+  Relation s("s", schema, &pool);
+  RTree r_rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RTree s_rtree(&pool, RTreeSplit::kQuadratic, 8);
+  RectGenerator gen_r(world, seed_r);
+  RectGenerator gen_s(world, seed_s);
+  for (int64_t i = 0; i < tuples; ++i) {
+    Rectangle box_r = gen_r.NextRect(2, 30);
+    Rectangle box_s = gen_s.NextRect(2, 30);
+    r_rtree.Insert(box_r, r.Insert(Tuple({Value(i), Value(box_r)})));
+    s_rtree.Insert(box_s, s.Insert(Tuple({Value(i), Value(box_s)})));
+  }
+  RTreeGenTree r_adapter(&r_rtree, &r, 1);
+  RTreeGenTree s_adapter(&s_rtree, &s, 1);
+  return {exec::FrozenTree::Materialize(r_adapter),
+          exec::FrozenTree::Materialize(s_adapter)};
+}
+
+const char* StringFlag(int argc, char** argv, const char* name) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+int64_t IntFlag(int argc, char** argv, const char* name, int64_t fallback) {
+  const char* value = StringFlag(argc, argv, name);
+  return value ? std::atoll(value) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t threads = IntFlag(argc, argv, "--threads", 0);
+  const int64_t tuples = IntFlag(argc, argv, "--tuples", 400);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = threads > 0 ? static_cast<int>(threads)
+                                  : std::min(8, std::max(2, hw));
+
+  exec::ThreadPool pool(workers);
+  server::Server::Options options;
+  if (const char* path = StringFlag(argc, argv, "--socket")) {
+    options.socket_path = path;
+  }
+  options.max_inflight =
+      static_cast<int>(IntFlag(argc, argv, "--max-inflight", 0));
+  options.default_deadline_ns =
+      IntFlag(argc, argv, "--default-deadline-ms", 0) * 1'000'000;
+
+  server::Server service(&pool, options);
+  {
+    FrozenPair small = MakeFrozenPair(41, 42, tuples);
+    FrozenPair heavy = MakeFrozenPair(51, 52, tuples * 3);
+    service.RegisterDataset(std::move(small.r), std::move(small.s));
+    service.RegisterDataset(std::move(heavy.r), std::move(heavy.s));
+  }
+  SJ_CHECK_OK(service.Start());
+  std::cout << "sj_server listening on " << service.socket_path() << "\n"
+            << "datasets: 0 (" << tuples << " tuples), 1 (" << tuples * 3
+            << " tuples); workers=" << workers
+            << " max_inflight=" << service.max_inflight()
+            << "\n" << std::flush;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  service.Stop();
+  server::QueryScheduler::Stats stats = service.scheduler_stats();
+  std::cout << "sj_server stopped: admitted="
+            << stats.admitted << " rejected=" << stats.rejected
+            << " completed=" << stats.completed << "\n";
+  return 0;
+}

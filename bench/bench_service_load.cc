@@ -6,21 +6,40 @@
 // requests, then one past-deadline probe and one cancel-mid-flight
 // probe against a heavyweight dataset.
 //
+// The load then runs four measured times, interleaved (DESIGN.md §13):
+// two *quiet* phases — telemetry compiled in and attributing every
+// query, but with no readers — and two *polled* phases with a
+// concurrent STATS client hammering the server throughout, after a
+// short warmup phase that absorbs cold caches. Best-of-two polled is
+// compared against best-of-two quiet (`telemetry_overhead_within_bound`:
+// p99 and throughput within 5%, plus a noise floor self-calibrated from
+// the quiet-vs-quiet spread — closed-loop saturated tails vary far more
+// run-to-run than any telemetry cost, so a single-phase comparison
+// would gate on scheduler luck, not on introspection overhead). The
+// final STATS snapshot must account for exactly the queries the clients
+// saw succeed across all five phases (`stats_attribution_exact`).
+//
 // Emits bench_service_load.metrics.json with the run configuration, the
 // protocol-level invariants (every reply accounted, the admission bound
 // respected, rejections observed, deadline/cancel probes returning
-// DEADLINE_EXCEEDED / CANCELLED), the timing-dependent admitted/rejected
-// split under "load", and client-side p50/p90/p99 reply latency plus
-// throughput under the latency keys scripts/compare_bench.py gates with
+// DEADLINE_EXCEEDED / CANCELLED, the telemetry invariants above), the
+// timing-dependent admitted/rejected splits under "load"/"polled", and
+// client-side p50/p90/p99 reply latency plus throughput per phase under
+// the latency keys scripts/compare_bench.py gates with
 // --latency-rel-tol (ignored by default — absolute latency is
-// machine-dependent).
+// machine-dependent; the overhead *ratios* are named to match the same
+// ignore patterns, so they ride in the artifact without gating noise).
 //
 // Usage: bench_service_load [--threads=N] [--clients=N] [--window=N]
 //                           [--requests=N] [--trace=out.trace.json]
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iostream>
@@ -41,6 +60,7 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "server/telemetry.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "workload/rect_generator.h"
@@ -164,6 +184,69 @@ int64_t Percentile(std::vector<int64_t>* sorted_in_place, double q) {
   return (*sorted_in_place)[idx];
 }
 
+// Aggregated outcome of one closed-loop phase across all clients.
+struct PhaseResult {
+  int64_t ok = 0;
+  int64_t rejected = 0;
+  int64_t other = 0;
+  bool transport_ok = true;
+  double wall_ns = 0;
+  int64_t p50 = 0, p90 = 0, p99 = 0, worst = 0;
+  double throughput_qps = 0;
+};
+
+PhaseResult RunLoadPhase(const std::string& socket_path, int clients,
+                         int window, int quota) {
+  std::vector<ClientOutcome> outcomes(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  const int64_t start_ns = MonotonicNowNs();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, socket_path, window, quota, c,
+                         &outcomes[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult result;
+  result.wall_ns = static_cast<double>(MonotonicNowNs() - start_ns);
+  std::vector<int64_t> latencies;
+  for (ClientOutcome& outcome : outcomes) {
+    result.ok += outcome.ok;
+    result.rejected += outcome.rejected;
+    result.other += outcome.other;
+    result.transport_ok = result.transport_ok && outcome.transport_ok;
+    latencies.insert(latencies.end(), outcome.ok_latency_ns.begin(),
+                     outcome.ok_latency_ns.end());
+  }
+  result.p50 = Percentile(&latencies, 0.50);
+  result.p90 = Percentile(&latencies, 0.90);
+  result.p99 = Percentile(&latencies, 0.99);
+  result.worst = latencies.empty() ? 0 : latencies.back();
+  result.throughput_qps =
+      result.wall_ns > 0
+          ? static_cast<double>(result.ok) * 1e9 / result.wall_ns
+          : 0.0;
+  return result;
+}
+
+// Pulls queries.ok out of a STATS reply without a JSON parser: the
+// serializer's formatting is stable ("queries" object, "ok" first key).
+int64_t ExtractStatsOkCount(const std::string& json) {
+  const size_t queries = json.find("\"queries\"");
+  if (queries == std::string::npos) return -1;
+  const size_t key = json.find("\"ok\": ", queries);
+  if (key == std::string::npos) return -1;
+  return std::atoll(json.c_str() + key + 6);
+}
+
+void WritePhaseLatency(JsonWriter* w, const PhaseResult& phase) {
+  w->BeginObject();
+  w->KV("p50", phase.p50);
+  w->KV("p90", phase.p90);
+  w->KV("p99", phase.p99);
+  w->KV("max", phase.worst);
+  w->EndObject();
+}
+
 int IntFlag(int argc, char** argv, const char* name, int fallback) {
   const size_t len = std::strlen(name);
   for (int i = 1; i < argc; ++i) {
@@ -192,6 +275,14 @@ int main(int argc, char** argv) {
             << " admission bound=" << kMaxInflight << ")\n";
 
   MetricsRegistry::Global().ResetAll();
+  ServiceTelemetry::Global().Reset();
+  // Under closed-loop saturation every query queues behind the admission
+  // bound, so the default 10ms slow-query event threshold would flood
+  // the event log (and stderr) with the steady state. The slow rings
+  // still populate; only the event emission is effectively disabled.
+  ServiceTelemetry::Global().SetSlowEventThresholdNs(
+      int64_t{60} * 1'000'000'000);
+
   exec::ThreadPool pool(workers);
   Server::Options options;
   options.max_inflight = kMaxInflight;
@@ -204,37 +295,128 @@ int main(int argc, char** argv) {
   }
   SJ_CHECK_OK(service.Start());
 
-  // --- Closed-loop mixed load --------------------------------------------
-  std::vector<ClientOutcome> outcomes(static_cast<size_t>(clients));
-  std::vector<std::thread> threads;
-  const int64_t load_start_ns = MonotonicNowNs();
-  for (int c = 0; c < clients; ++c) {
-    threads.emplace_back(RunClient, service.socket_path(), window, quota, c,
-                         &outcomes[static_cast<size_t>(c)]);
-  }
-  for (std::thread& t : threads) t.join();
-  const double load_wall_ns =
-      static_cast<double>(MonotonicNowNs() - load_start_ns);
+  std::atomic<int64_t> stats_polls{0};
+  std::atomic<bool> stats_poll_ok{true};
+  // Runs one measured load phase with a concurrent STATS client polling
+  // every 5ms for its whole duration; poll successes/failures accumulate
+  // across phases.
+  auto run_polled_phase = [&]() -> PhaseResult {
+    std::atomic<bool> stop_poller{false};
+    std::thread poller([&service, &stop_poller, &stats_polls,
+                        &stats_poll_ok] {
+      Result<std::unique_ptr<ServiceClient>> poll_client =
+          ServiceClient::Connect(service.socket_path());
+      if (!poll_client.ok()) {
+        stats_poll_ok.store(false);
+        return;
+      }
+      while (!stop_poller.load(std::memory_order_relaxed)) {
+        Result<std::string> stats = poll_client.value()->Stats();
+        if (!stats.ok() ||
+            stats.value().find("\"stats_version\": 1") == std::string::npos) {
+          stats_poll_ok.store(false);
+          return;
+        }
+        stats_polls.fetch_add(1, std::memory_order_relaxed);
+        // 40 Hz: 40x sj_top's default cadence — aggressive enough to keep
+        // STATS snapshots overlapping the load continuously, without the
+        // poll client itself displacing query work on a small machine.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+    PhaseResult phase = RunLoadPhase(service.socket_path(), clients, window,
+                                     quota);
+    stop_poller.store(true);
+    poller.join();
+    return phase;
+  };
+  auto print_phase = [](const char* label, const PhaseResult& phase) {
+    std::printf("%s: %lld ok, %lld rejected, %lld other "
+                "(%.0f qps; p50=%lld p99=%lld ns)\n",
+                label, static_cast<long long>(phase.ok),
+                static_cast<long long>(phase.rejected),
+                static_cast<long long>(phase.other), phase.throughput_qps,
+                static_cast<long long>(phase.p50),
+                static_cast<long long>(phase.p99));
+  };
 
-  int64_t ok = 0, rejected = 0, other = 0;
-  bool transport_ok = true;
-  std::vector<int64_t> latencies;
-  for (ClientOutcome& outcome : outcomes) {
-    ok += outcome.ok;
-    rejected += outcome.rejected;
-    other += outcome.other;
-    transport_ok = transport_ok && outcome.transport_ok;
-    latencies.insert(latencies.end(), outcome.ok_latency_ns.begin(),
-                     outcome.ok_latency_ns.end());
-  }
-  const int64_t total = int64_t{clients} * quota;
+  // Warmup (unmeasured, still attributed): caches, allocator, scheduler.
+  const int warmup_quota = std::max(window, quota / 4);
+  PhaseResult warmup = RunLoadPhase(service.socket_path(), clients, window,
+                                    warmup_quota);
+  // Interleaved A/B/A/B so machine-state drift hits both sides equally.
+  PhaseResult quiet1 = RunLoadPhase(service.socket_path(), clients, window,
+                                    quota);
+  print_phase("quiet1", quiet1);
+  PhaseResult polled1 = run_polled_phase();
+  print_phase("polled1", polled1);
+  PhaseResult quiet2 = RunLoadPhase(service.socket_path(), clients, window,
+                                    quota);
+  print_phase("quiet2", quiet2);
+  PhaseResult polled2 = run_polled_phase();
+  print_phase("polled2", polled2);
+  std::printf("STATS polls across polled phases: %lld\n",
+              static_cast<long long>(stats_polls.load()));
+
+  const int64_t ok =
+      warmup.ok + quiet1.ok + quiet2.ok + polled1.ok + polled2.ok;
+  const int64_t rejected = warmup.rejected + quiet1.rejected +
+                           quiet2.rejected + polled1.rejected +
+                           polled2.rejected;
+  const int64_t other = warmup.other + quiet1.other + quiet2.other +
+                        polled1.other + polled2.other;
+  const bool transport_ok = warmup.transport_ok && quiet1.transport_ok &&
+                            quiet2.transport_ok && polled1.transport_ok &&
+                            polled2.transport_ok;
+  const int64_t total =
+      int64_t{clients} * (int64_t{quota} * 4 + warmup_quota);
   const bool all_accounted = transport_ok && (ok + rejected + other == total);
-  const double throughput_qps =
-      load_wall_ns > 0 ? static_cast<double>(ok) * 1e9 / load_wall_ns : 0.0;
-  const int64_t p50 = Percentile(&latencies, 0.50);
-  const int64_t p90 = Percentile(&latencies, 0.90);
-  const int64_t p99 = Percentile(&latencies, 0.99);
-  const int64_t worst = latencies.empty() ? 0 : latencies.back();
+
+  // Telemetry overhead bound, best-of-two vs best-of-two. The slack has
+  // three parts: 5% relative (the budget under test), twice the larger
+  // same-side phase-to-phase spread (the machine's own noise — under
+  // closed-loop saturation the p99 tail routinely swings tens of percent
+  // between *identical* phases, so the run calibrates its own noise
+  // floor; doubling covers a two-sample spread underestimating the true
+  // variance, while a real, consistent regression elevates both polled
+  // samples without widening either spread and is still caught), and a
+  // small absolute floor (2ms / 50 qps) so tiny scaled runs cannot flip
+  // the boolean on one scheduling quantum.
+  const PhaseResult& quiet =
+      quiet1.p99 <= quiet2.p99 ? quiet1 : quiet2;  // best (lowest) p99
+  const PhaseResult& polled = polled1.p99 <= polled2.p99 ? polled1 : polled2;
+  const int64_t p99_noise = std::max(std::abs(quiet1.p99 - quiet2.p99),
+                                     std::abs(polled1.p99 - polled2.p99));
+  const double qps_noise =
+      std::max(std::abs(quiet1.throughput_qps - quiet2.throughput_qps),
+               std::abs(polled1.throughput_qps - polled2.throughput_qps));
+  const double best_quiet_qps =
+      std::max(quiet1.throughput_qps, quiet2.throughput_qps);
+  const double best_polled_qps =
+      std::max(polled1.throughput_qps, polled2.throughput_qps);
+  const bool overhead_within_bound =
+      polled.p99 <=
+          quiet.p99 + quiet.p99 / 20 + 2 * p99_noise + 2'000'000 &&
+      best_polled_qps >= 0.95 * best_quiet_qps - 2 * qps_noise - 50.0;
+  const double p99_ratio =
+      quiet.p99 > 0 ? static_cast<double>(polled.p99) /
+                          static_cast<double>(quiet.p99)
+                    : 0.0;
+  const double throughput_ratio =
+      best_quiet_qps > 0 ? best_polled_qps / best_quiet_qps : 0.0;
+
+  // Attribution exactness over the wire: the server's cumulative OK
+  // count must equal what the clients counted, across all five phases.
+  int64_t stats_ok_count = -1;
+  {
+    Result<std::unique_ptr<ServiceClient>> final_client =
+        ServiceClient::Connect(service.socket_path());
+    SJ_CHECK(final_client.ok());
+    Result<std::string> stats = final_client.value()->Stats();
+    SJ_CHECK(stats.ok());
+    stats_ok_count = ExtractStatsOkCount(stats.value());
+  }
+  const bool stats_attribution_exact = stats_ok_count == ok;
 
   QueryScheduler::Stats sched = service.scheduler_stats();
   const bool bound_respected = sched.peak_inflight <= kMaxInflight;
@@ -246,14 +428,13 @@ int main(int argc, char** argv) {
   // (whose seeded baseline has both booleans true).
   const bool rejections_expected = offered_inflight > kMaxInflight;
 
-  std::printf("load: %lld ok, %lld rejected, %lld other of %lld "
-              "(%.0f qps over successful replies)\n",
-              static_cast<long long>(ok), static_cast<long long>(rejected),
-              static_cast<long long>(other), static_cast<long long>(total),
-              throughput_qps);
-  std::printf("latency ns: p50=%lld p90=%lld p99=%lld max=%lld\n",
-              static_cast<long long>(p50), static_cast<long long>(p90),
-              static_cast<long long>(p99), static_cast<long long>(worst));
+  std::printf("telemetry: p99 ratio %.3f, throughput ratio %.3f (%s); "
+              "STATS ok=%lld vs clients ok=%lld (%s)\n",
+              p99_ratio, throughput_ratio,
+              overhead_within_bound ? "within bound" : "OVER BOUND",
+              static_cast<long long>(stats_ok_count),
+              static_cast<long long>(ok),
+              stats_attribution_exact ? "exact" : "MISMATCH");
   std::printf("scheduler: admitted=%lld rejected=%lld peak_inflight=%lld "
               "(bound %d %s)\n",
               static_cast<long long>(sched.admitted),
@@ -299,9 +480,19 @@ int main(int argc, char** argv) {
   audit::AuditReport pool_audit = audit::AuditThreadPool(pool);
 
   const bool sustained_kilo_inflight = offered_inflight >= 1000;
+  // Like the rejection invariant above, the overhead bound only gates
+  // the exit code at full scale: a scaled-down run's phases last a few
+  // hundred ms (comparable to one scheduling quantum on an oversubscribed
+  // box, and CI runs that size under TSan's 5-20x timing distortion), so
+  // its p99 cannot resolve a 5% budget. The artifact still records the
+  // boolean either way; the regression gate compares the full-scale run.
+  const bool overhead_gates_exit = sustained_kilo_inflight;
   const bool all_ok = all_accounted && other == 0 && bound_respected &&
                       (rejections_observed || !rejections_expected) &&
                       deadline_probe_ok && cancel_probe_ok && ok > 0 &&
+                      stats_poll_ok.load() && stats_polls.load() > 0 &&
+                      stats_attribution_exact &&
+                      (overhead_within_bound || !overhead_gates_exit) &&
                       pool_audit.ok();
 
   std::ostringstream load_json;
@@ -323,29 +514,50 @@ int main(int argc, char** argv) {
   w.KV("deadline_probe_deadline_exceeded", deadline_probe_ok);
   w.KV("cancel_probe_cancelled", cancel_probe_ok);
   w.KV("some_queries_succeeded", ok > 0);
+  w.KV("stats_poll_ok", stats_poll_ok.load() && stats_polls.load() > 0);
+  w.KV("stats_attribution_exact", stats_attribution_exact);
+  w.KV("telemetry_overhead_within_bound", overhead_within_bound);
   w.KV("pool_audit_ok", pool_audit.ok());
   w.EndObject();
-  // Timing-dependent admitted/rejected split: informational, ignored by
-  // the regression gate ("*.load.*").
+  // Timing-dependent admitted/rejected splits per phase: informational,
+  // ignored by the regression gate ("*.load.*" / "*.polled.*").
   w.Key("load");
   w.BeginObject();
-  w.KV("ok", ok);
-  w.KV("rejected", rejected);
-  w.KV("other", other);
+  w.KV("ok", quiet1.ok + quiet2.ok);
+  w.KV("rejected", quiet1.rejected + quiet2.rejected);
+  w.KV("other", quiet1.other + quiet2.other);
   w.KV("scheduler_admitted", sched.admitted);
   w.KV("scheduler_rejected", sched.rejected);
   w.KV("scheduler_peak_inflight", sched.peak_inflight);
   w.EndObject();
-  // Latency keys: ignored by default, gated by --latency-rel-tol.
+  w.Key("polled");
+  w.BeginObject();
+  w.KV("ok", polled1.ok + polled2.ok);
+  w.KV("rejected", polled1.rejected + polled2.rejected);
+  w.KV("other", polled1.other + polled2.other);
+  w.KV("stats_polls", stats_polls.load());
+  w.KV("stats_ok_count", stats_ok_count);
+  w.EndObject();
+  // Latency keys (best-of-two phase each side): ignored by default,
+  // gated by --latency-rel-tol.
+  w.Key("latency_ns");
+  WritePhaseLatency(&w, quiet);
+  w.KV("throughput_qps", best_quiet_qps);
+  w.Key("polled_latency_ns");
+  WritePhaseLatency(&w, polled);
+  w.KV("polled_throughput_qps", best_polled_qps);
+  // Overhead ratios: named so "*latency_ns.*" / "*throughput_qps*"
+  // ignore them by default — visible in the artifact, never gating.
+  w.Key("telemetry_overhead");
+  w.BeginObject();
   w.Key("latency_ns");
   w.BeginObject();
-  w.KV("p50", p50);
-  w.KV("p90", p90);
-  w.KV("p99", p99);
-  w.KV("max", worst);
+  w.KV("p99_ratio", p99_ratio);
   w.EndObject();
-  w.KV("throughput_qps", throughput_qps);
-  w.KV("wall_ns", load_wall_ns);
+  w.KV("throughput_qps_ratio", throughput_ratio);
+  w.EndObject();
+  w.KV("wall_ns", warmup.wall_ns + quiet1.wall_ns + quiet2.wall_ns +
+                      polled1.wall_ns + polled2.wall_ns);
   w.EndObject();
 
   bench::WriteMetricsArtifact("bench_service_load",

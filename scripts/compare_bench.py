@@ -46,9 +46,13 @@ DEFAULT_IGNORE = [
     # The service bench's admitted/rejected split is timing-dependent,
     # and that split propagates into nearly every registry counter it
     # stamps; its *invariants* (all replies accounted, bound respected,
-    # rejections observed, probes returning the right codes) are booleans
-    # gated under service_load.invariants instead.
+    # rejections observed, probes returning the right codes, STATS
+    # polling healthy, attribution exact, telemetry overhead bounded)
+    # are booleans gated under service_load.invariants instead. The
+    # "polled" phase counters (including the STATS poll count) are just
+    # as timing-dependent as "load".
     "*.service_load.load.*",
+    "*.service_load.polled.*",
     "bench_service_load.registry.*",
 ]
 

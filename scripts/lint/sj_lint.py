@@ -30,6 +30,13 @@ for us, each as a small path-scoped rule:
                        init) into every TU and invites cout/cerr use;
                        library code formats through <cstdio>-free event
                        logging or std::snprintf.
+  metrics-in-server    direct MetricsRegistry access in src/server/
+                       request paths. Service-layer counters flow through
+                       ServiceTelemetry (telemetry.cc owns the registry
+                       instruments) and per-query costs through
+                       attribution scopes, so the STATS snapshot, flight
+                       dumps, and bench artifacts can never disagree
+                       about what the server did.
 
 Suppression: append `// sj-lint: allow(<rule>)` to the offending line, or
 put it alone on the line directly above. Multiple rules separate with
@@ -303,6 +310,28 @@ def check_iostream_in_lib(f: SourceFile) -> Iterator[Finding]:
                 "format with std::snprintf or record through SJ_EVENT")
 
 
+METRICS_ACCESS_RE = re.compile(
+    r"MetricsRegistry\s*::|\bGetCounter\s*\(|\bGetGauge\s*\(|"
+    r"\bGetHistogram\s*\(")
+
+
+def check_metrics_in_server(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith("src/server/"):
+        return
+    # telemetry.cc is the one sanctioned owner of the service layer's
+    # registry instruments.
+    if f.rel_path == "src/server/telemetry.cc":
+        return
+    for i, line in enumerate(f.code, start=1):
+        if METRICS_ACCESS_RE.search(line):
+            yield Finding(
+                f.rel_path, i, "metrics-in-server",
+                "direct MetricsRegistry access in the server layer; "
+                "route counters through ServiceTelemetry::On* and "
+                "per-query costs through attribution scopes so STATS, "
+                "flight dumps, and bench artifacts stay consistent")
+
+
 RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
     "raw-clock": check_raw_clock,
     "naked-new": check_naked_new,
@@ -311,6 +340,7 @@ RULES: dict[str, Callable[[SourceFile], Iterator[Finding]]] = {
     "detail-include": check_detail_include,
     "dcheck-side-effect": check_dcheck_side_effect,
     "iostream-in-lib": check_iostream_in_lib,
+    "metrics-in-server": check_metrics_in_server,
 }
 
 

@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/attribution.h"
 #include "obs/event_log.h"
 #include "obs/flight_recorder.h"
 #include "obs/span.h"
+#include "obs/timer.h"
 
 namespace spatialjoin {
 namespace exec {
@@ -66,6 +68,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Attribution propagation (obs/attribution.h): a task spawned while
+  // working for a query carries that query's charge sink, so the body
+  // charges the right query no matter which worker (or helping caller)
+  // ends up running it. The wrapper also charges the task's queue wait —
+  // submit to run — to the same query; tasks submitted outside any query
+  // scope skip the wrapper entirely (no clock read, no capture).
+  if (attribution::QueryCharges* charges = attribution::CurrentCharges()) {
+    const int64_t submit_ns = MonotonicNowNs();
+    fn = [charges, submit_ns, body = std::move(fn)] {
+      charges->AddQueueWait(MonotonicNowNs() - submit_ns);
+      charges->AddPoolTask();
+      attribution::QueryChargeScope scope(charges);
+      body();
+    };
+  }
   size_t target;
   if (tls_pool == this && tls_worker >= 0) {
     target = static_cast<size_t>(tls_worker);

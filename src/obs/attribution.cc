@@ -1,0 +1,11 @@
+#include "obs/attribution.h"
+
+namespace spatialjoin {
+namespace attribution {
+namespace internal {
+
+thread_local QueryCharges* tls_charges = nullptr;
+
+}  // namespace internal
+}  // namespace attribution
+}  // namespace spatialjoin

@@ -35,6 +35,8 @@ SJ_SIGNAL_SAFE const char* EventTypeName(EventType type) {
       return "deadline_exceeded";
     case EventType::kDump:
       return "dump";
+    case EventType::kSlowQuery:
+      return "slow_query";
   }
   return "unknown";
 }

@@ -51,6 +51,10 @@ enum class EventType : uint8_t {
   kDeadlineExceeded,
   /// A flight dump was written (and why).
   kDump,
+  /// A completed query entered the service slow-query ring (worst recent
+  /// by latency or by cost residual); detail names the session, request
+  /// id, and the offending measurement.
+  kSlowQuery,
 };
 
 /// Stable lowercase name ("query_admitted", ...), for dumps and tools.

@@ -94,6 +94,14 @@ PreBuf g_delta_bufs[kDeltaSlots] = {
 std::atomic<uint64_t> g_delta_head{0};
 std::atomic<int64_t> g_metrics_snapshot_ts_ns{0};
 
+// Query-service snapshot (slow-query rings + totals), provided by
+// server/telemetry.cc when a service is running in this process. Sized
+// for kSlowRing * 2 + recent records with room to spare.
+constexpr uint32_t kServiceBufBytes = 64 * 1024;
+std::atomic<char> g_service_bytes[kServiceBufBytes];
+PreBuf g_service_buf(g_service_bytes, kServiceBufBytes);
+std::atomic<std::string (*)()> g_service_provider{nullptr};
+
 // Serializes all pre-serialization writers (watchdog tick, Install,
 // explicit dumps); the check-failure path only TryLocks it, so a crash
 // while the watchdog is mid-refresh degrades to slightly stale buffers
@@ -339,6 +347,13 @@ void RefreshLocked() SJ_REQUIRES(g_refresh_mu) {
     const uint64_t head = g_delta_head.load(std::memory_order_relaxed);
     StorePreBuf(g_delta_bufs[head % kDeltaSlots], os.str());
     g_delta_head.store(head + 1, std::memory_order_release);
+  }
+
+  // Query-service section, when a server registered a provider. Runs in
+  // normal context only (the provider allocates and locks); the signal
+  // path sees whatever this tick pre-serialized.
+  if (auto* provider = g_service_provider.load(std::memory_order_acquire)) {
+    StorePreBuf(g_service_buf, provider());
   }
 
   // Span-ring directory.
@@ -587,6 +602,8 @@ SJ_SIGNAL_SAFE void WriteDump(int fd, const char* kind, const char* detail,
   WriteSpansSection(w);
   w.Text(",\n");
   WriteMetricsSection(w, now);
+  w.Text(",\n\"service\": ");
+  WritePreBufOrNull(w, g_service_buf);
   w.Text(",\n\"watchdog\": {\"running\": ");
   w.Text(g_watchdog_running.load(std::memory_order_relaxed) ? "true"
                                                             : "false");
@@ -897,6 +914,10 @@ bool FlightRecorder::Dump(const char* kind, const char* detail) {
 void FlightRecorder::RefreshPreSerialized() {
   MutexLock lock(g_refresh_mu);
   RefreshLocked();
+}
+
+void FlightRecorder::SetServiceSnapshotProvider(std::string (*provider)()) {
+  g_service_provider.store(provider, std::memory_order_release);
 }
 
 void FlightRecorder::StartWatchdog() {

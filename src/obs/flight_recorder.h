@@ -64,6 +64,14 @@ class FlightRecorder {
   /// watchdog tick, and every non-signal dump.
   static void RefreshPreSerialized();
 
+  /// Registers a provider for the dump's `service` section (the query
+  /// service's slow-query rings and totals; server/telemetry.h registers
+  /// itself on first use). The provider runs on refresh paths — watchdog
+  /// tick or explicit dump, never the signal path, which only writes the
+  /// pre-serialized buffer — and must return one JSON value. Null
+  /// unregisters; dumps then carry `"service": null`.
+  static void SetServiceSnapshotProvider(std::string (*provider)());
+
   /// Watchdog thread control. Start is idempotent; Stop joins the thread
   /// (tests stop it so process teardown stays deterministic).
   static void StartWatchdog();

@@ -8,21 +8,21 @@
 
 namespace spatialjoin {
 
-namespace {
-
 // Bucket index for `value`: 0 for value <= 0, otherwise the bit width
 // (so bucket b covers [2^(b-1), 2^b - 1]).
-int BucketOf(int64_t value) {
+int HistogramBucketOf(int64_t value) {
   if (value <= 0) return 0;
   return static_cast<int>(std::bit_width(static_cast<uint64_t>(value)));
 }
 
-// Lower/upper value bounds of bucket `b`.
-int64_t BucketUpper(int b) {
-  if (b <= 0) return 0;
-  if (b >= 63) return INT64_MAX;
-  return (int64_t{1} << b) - 1;
+// Upper value bound of bucket `b`.
+int64_t HistogramBucketUpper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 63) return INT64_MAX;
+  return (int64_t{1} << bucket) - 1;
 }
+
+namespace {
 
 void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
   int64_t cur = slot->load(std::memory_order_relaxed);
@@ -49,7 +49,7 @@ int Counter::ShardIndex() {
 }
 
 void Histogram::Record(int64_t value) {
-  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[HistogramBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   if (n == 0) {
@@ -85,7 +85,7 @@ int64_t Histogram::QuantileUpperBound(double q) const {
   int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += bucket_count(b);
-    if (seen >= rank) return BucketUpper(b);
+    if (seen >= rank) return HistogramBucketUpper(b);
   }
   return max();
 }
@@ -96,6 +96,78 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   min_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowedHistogram(int num_slices, int64_t slice_ns)
+    : num_slices_(num_slices),
+      slice_ns_(slice_ns),
+      slices_(std::make_unique<Slice[]>(static_cast<size_t>(num_slices))) {
+  SJ_CHECK_GE(num_slices, 1);
+  SJ_CHECK_GE(slice_ns, 1);
+}
+
+void WindowedHistogram::Record(int64_t value, int64_t now_ns) {
+  const int64_t epoch = now_ns / slice_ns_;
+  Slice& s = slices_[static_cast<size_t>(epoch % num_slices_)];
+  int64_t cur = s.epoch.load(std::memory_order_acquire);
+  if (cur != epoch) {
+    if (cur == kResetting) return;  // mid-recycle; drop (bounded loss)
+    if (s.epoch.compare_exchange_strong(cur, kResetting,
+                                        std::memory_order_acq_rel)) {
+      // We won the recycle: zero the slice, then publish the new epoch.
+      // Racers see kResetting until the store below and drop, so stale
+      // counts from `num_slices_` epochs ago never leak into the window.
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.epoch.store(epoch, std::memory_order_release);
+    } else if (s.epoch.load(std::memory_order_acquire) != epoch) {
+      return;  // lost the race and the slice is still not ours; drop
+    }
+  }
+  s.buckets[HistogramBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::Snap(int64_t now_ns) const {
+  Snapshot snap;
+  snap.window_ns = window_ns();
+  const int64_t now_epoch = now_ns / slice_ns_;
+  const int64_t oldest = now_epoch - num_slices_ + 1;
+  for (int i = 0; i < num_slices_; ++i) {
+    const Slice& s = slices_[static_cast<size_t>(i)];
+    const int64_t epoch = s.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > now_epoch) continue;
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  for (int i = 0; i < num_slices_; ++i) {
+    Slice& s = slices_[static_cast<size_t>(i)];
+    s.epoch.store(kNeverUsed, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t WindowedHistogram::Snapshot::QuantileUpperBound(double q) const {
+  SJ_CHECK(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0;
+  auto rank = static_cast<int64_t>(q * static_cast<double>(count - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return HistogramBucketUpper(b);
+  }
+  return HistogramBucketUpper(Histogram::kBuckets - 1);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -170,7 +242,7 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       if (h->bucket_count(b) == 0) continue;
       w.BeginObject();
-      w.KV("le", BucketUpper(b));
+      w.KV("le", HistogramBucketUpper(b));
       w.KV("count", h->bucket_count(b));
       w.EndObject();
     }

@@ -90,6 +90,11 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Log2 bucket geometry shared by Histogram and WindowedHistogram:
+/// bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 holds values <= 0.
+int HistogramBucketOf(int64_t value);
+int64_t HistogramBucketUpper(int bucket);
+
 /// Log-scale (power-of-two bucket) histogram for latencies and sizes.
 /// Bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 holds values <= 0.
 /// Quantiles are estimated as the upper bound of the covering bucket, so
@@ -122,6 +127,66 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> min_{0};
   std::atomic<int64_t> max_{0};
+};
+
+/// Rolling time-windowed log2 histogram: the same bucket geometry as
+/// Histogram, but observations age out after `num_slices * slice_ns`.
+/// The service layer uses these for live p50/p99 over the last few
+/// seconds — a cumulative Histogram would let the first minute of a
+/// server's life dominate its quantiles forever.
+///
+/// Implementation: a ring of time slices, each a full bucket array plus
+/// an epoch tag (`now_ns / slice_ns`). A recorder landing on a slice
+/// whose epoch is stale claims it via CAS to a "resetting" sentinel,
+/// zeroes it, and publishes the new epoch; racers that catch a slice
+/// mid-recycle drop their observation (bounded loss: a handful of
+/// observations per slice turnover, never a stale count bleeding into
+/// the window). `Record` takes the timestamp explicitly so tests drive
+/// the clock deterministically.
+///
+/// Deliberately NOT a MetricsRegistry instrument: windowed quantiles
+/// are live-introspection data (STATS), and keeping them out of the
+/// registry keeps bench `*.metrics.json` artifacts byte-stable.
+class WindowedHistogram {
+ public:
+  /// Merged view of the slices still inside the window at snapshot time.
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t window_ns = 0;  ///< nominal window span (slices * slice_ns)
+    int64_t buckets[Histogram::kBuckets] = {};
+
+    /// Same estimator as Histogram::QuantileUpperBound; 0 when empty.
+    int64_t QuantileUpperBound(double q) const;
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  WindowedHistogram(int num_slices, int64_t slice_ns);
+
+  void Record(int64_t value, int64_t now_ns);
+  Snapshot Snap(int64_t now_ns) const;
+  void Reset();
+
+  int64_t window_ns() const { return num_slices_ * slice_ns_; }
+
+ private:
+  struct alignas(64) Slice {
+    /// Epoch this slice's counts belong to; kNeverUsed when untouched,
+    /// kResetting while a recycler is zeroing it.
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> buckets[Histogram::kBuckets]{};
+  };
+  static constexpr int64_t kNeverUsed = -1;
+  static constexpr int64_t kResetting = -2;
+
+  const int num_slices_;
+  const int64_t slice_ns_;
+  std::unique_ptr<Slice[]> slices_;
 };
 
 /// Named instrument registry; see the file comment for the conventions.

@@ -63,6 +63,18 @@ Status ServiceClient::Ping() {
   return Status::Ok();
 }
 
+Result<std::string> ServiceClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  Status sent = SendFrame(EncodeStatsRequest(id));
+  if (!sent.ok()) return sent;
+  Result<Reply> reply = WaitReply(id);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != MessageType::kStatsReply) {
+    return Status::Internal("STATS answered with a non-stats reply");
+  }
+  return std::move(reply).value().stats_json;
+}
+
 Result<uint64_t> ServiceClient::SendSelect(const SelectRequest& request) {
   const uint64_t id = next_request_id_++;
   Status sent = SendFrame(EncodeSelectRequest(id, request));

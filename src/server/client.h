@@ -33,6 +33,10 @@ class ServiceClient {
   /// Synchronous round trip; proves the connection is live.
   Status Ping();
 
+  /// Synchronous STATS round trip: the server's live telemetry snapshot
+  /// as raw JSON (sj_top polls this).
+  Result<std::string> Stats();
+
   /// Pipelined sends; the returned id is what WaitReply takes. Ids are
   /// assigned by the client, monotonically, starting at 1.
   Result<uint64_t> SendSelect(const SelectRequest& request);

@@ -142,6 +142,7 @@ bool IsRequestType(uint8_t type) {
     case MessageType::kSelect:
     case MessageType::kJoin:
     case MessageType::kCancel:
+    case MessageType::kStats:
       return true;
     default:
       return false;
@@ -219,6 +220,15 @@ std::string EncodeCancelRequest(uint64_t request_id, const CancelRequest& r) {
   payload.reserve(8);
   AppendU64(&payload, r.target_request_id);
   return EncodeFrame(MessageType::kCancel, request_id, payload);
+}
+
+std::string EncodeStatsRequest(uint64_t request_id) {
+  return EncodeFrame(MessageType::kStats, request_id, {});
+}
+
+std::string EncodeStatsReply(uint64_t request_id, std::string_view json) {
+  SJ_CHECK(!json.empty());
+  return EncodeFrame(MessageType::kStatsReply, request_id, json);
 }
 
 std::string EncodeResultReply(uint64_t request_id, const JoinResult& result) {
@@ -360,6 +370,16 @@ Result<Reply> DecodeReply(MessageType type, uint64_t request_id,
         SJ_CHECK(r.ReadI64(&r_tid) && r.ReadI64(&s_tid));
         reply.result.matches.emplace_back(r_tid, s_tid);
       }
+      return reply;
+    }
+    case MessageType::kStatsReply: {
+      // The JSON itself is opaque here; an empty snapshot is the one
+      // shape the server can never legitimately produce (the encoder
+      // rejects it), so it marks a corrupt or truncated stream.
+      if (payload.empty()) {
+        return Status::InvalidArgument("empty STATS reply");
+      }
+      reply.stats_json.assign(payload);
       return reply;
     }
     case MessageType::kError: {

@@ -59,11 +59,16 @@ enum class MessageType : uint8_t {
   kCancel = 4,  // CancelRequest payload; acked with kPong. The cancelled
                 // query itself (if still running) replies kError/CANCELLED
                 // under its own request_id.
+  kStats = 5,   // empty payload; replied with kStatsReply. Answered inline
+                // by the session (no scheduler admission), so STATS works
+                // even when the query queue is saturated — exactly when an
+                // operator needs it.
 
   // Replies (server → client).
   kPong = 65,
   kResult = 66,
   kError = 67,
+  kStatsReply = 68,  // UTF-8 JSON snapshot (see server/telemetry.h)
 };
 
 /// True for the types a client may legally send.
@@ -124,6 +129,9 @@ struct Reply {
   // kResult only — the result pairs and the counters the cost model
   // prices, byte-identical to an in-process JoinResult.
   JoinResult result;
+  // kStatsReply only: the raw JSON snapshot. Opaque to the protocol
+  // layer beyond being non-empty; sj_top and tests parse it.
+  std::string stats_json;
 };
 
 // --- Encoding (always succeeds; writers bound their own sizes) ---------
@@ -133,8 +141,12 @@ std::string EncodePong(uint64_t request_id);
 std::string EncodeSelectRequest(uint64_t request_id, const SelectRequest& r);
 std::string EncodeJoinRequest(uint64_t request_id, const JoinRequest& r);
 std::string EncodeCancelRequest(uint64_t request_id, const CancelRequest& r);
+std::string EncodeStatsRequest(uint64_t request_id);
 std::string EncodeResultReply(uint64_t request_id, const JoinResult& result);
 std::string EncodeErrorReply(uint64_t request_id, const Status& status);
+/// `json` must be non-empty and at most kMaxPayloadBytes (the telemetry
+/// layer's rings are bounded well under that; checked here regardless).
+std::string EncodeStatsReply(uint64_t request_id, std::string_view json);
 
 // --- Decoding (bounds-checked; never trusts wire lengths) --------------
 

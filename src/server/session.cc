@@ -4,16 +4,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "core/spatial_join.h"
+#include "obs/attribution.h"
 #include "obs/event_log.h"
 #include "obs/flight_recorder.h"
-#include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timer.h"
 #include "relational/tuple.h"
 #include "relational/value.h"
 
@@ -56,7 +59,7 @@ void Session::ServeLoop() {
   Tracing::SetThreadName(label);
   ActivityScope activity("server.session", "reader");
   activity.SetDetail(label);
-  MetricsRegistry::Global().GetCounter("server.sessions.opened")->Increment();
+  ServiceTelemetry::Global().OnSessionOpened();
   SJ_EVENT(kQueryAdmitted, kInfo, "session%d opened", id_);
 
   FrameDecoder decoder;
@@ -82,9 +85,7 @@ void Session::ServeLoop() {
       // The stream is garbage, so no request id is attributable; id 0 by
       // convention marks a connection-level protocol error.
       SendFrame(EncodeErrorReply(0, decoder.error()));
-      MetricsRegistry::Global()
-          .GetCounter("server.protocol.errors")
-          ->Increment();
+      ServiceTelemetry::Global().OnProtocolError();
       SJ_EVENT(kQueryFinished, kWarn, "session%d dropped: %s", id_,
                decoder.error().message().c_str());
       break;
@@ -105,7 +106,7 @@ void Session::ServeLoop() {
   // shared_ptr — shutdown is safe to race with those sends: they fail
   // with EPIPE and mark write_failed_.
   ::shutdown(fd_, SHUT_RDWR);
-  MetricsRegistry::Global().GetCounter("server.sessions.closed")->Increment();
+  ServiceTelemetry::Global().OnSessionClosed();
   SJ_EVENT(kQueryFinished, kInfo, "session%d closed (%zu queries orphaned)",
            id_, orphans.size());
 }
@@ -135,6 +136,15 @@ void Session::HandleFrame(const Frame& frame) {
       return;
     case MessageType::kCancel:
       HandleCancel(frame.request_id, frame.payload);
+      return;
+    case MessageType::kStats:
+      if (!frame.payload.empty()) {
+        SendFrame(EncodeErrorReply(
+            frame.request_id,
+            Status::InvalidArgument("STATS carries a payload")));
+        return;
+      }
+      HandleStats(frame.request_id);
       return;
     default:
       return;  // unreachable: IsRequestType filtered above
@@ -171,7 +181,9 @@ void Session::HandleSelect(uint64_t request_id, std::string_view payload) {
                                   ? req.deadline_ns
                                   : context_.default_deadline_ns;
   auto token = std::make_shared<exec::CancelToken>();
-  AdmitQuery(request_id, token, deadline_ns,
+  const QueryInfo info{req.dataset_id, /*is_join=*/false,
+                       SelectStrategyName(req.strategy)};
+  AdmitQuery(request_id, info, token, deadline_ns,
              [this, req, dataset, token, deadline_ns,
               op = std::shared_ptr<ThetaOperator>(std::move(op).value())] {
                SpatialJoinContext ctx;
@@ -214,7 +226,9 @@ void Session::HandleJoin(uint64_t request_id, std::string_view payload) {
                                   ? req.deadline_ns
                                   : context_.default_deadline_ns;
   auto token = std::make_shared<exec::CancelToken>();
-  AdmitQuery(request_id, token, deadline_ns,
+  const QueryInfo info{req.dataset_id, /*is_join=*/true,
+                       JoinStrategyName(req.strategy)};
+  AdmitQuery(request_id, info, token, deadline_ns,
              [this, req, dataset, token, deadline_ns,
               op = std::shared_ptr<ThetaOperator>(std::move(op).value())] {
                SpatialJoinContext ctx;
@@ -244,14 +258,23 @@ void Session::HandleCancel(uint64_t request_id, std::string_view payload) {
   // it already got. The ack is unconditional either way.
   if (token != nullptr) {
     token->Cancel();
-    MetricsRegistry::Global()
-        .GetCounter("server.query.cancel_requested")
-        ->Increment();
+    ServiceTelemetry::Global().OnCancelRequested();
   }
   SendFrame(EncodePong(request_id));
 }
 
-void Session::AdmitQuery(uint64_t request_id,
+void Session::HandleStats(uint64_t request_id) {
+  // Answered inline on the reader thread, bypassing admission: STATS is
+  // an operator's window into the server, and it must keep working when
+  // the scheduler is saturated and rejecting queries.
+  std::ostringstream os;
+  ServiceTelemetry::Global().WriteStatsJson(
+      os, context_.scheduler->stats(), context_.scheduler->max_inflight(),
+      context_.pool->stats());
+  SendFrame(EncodeStatsReply(request_id, os.str()));
+}
+
+void Session::AdmitQuery(uint64_t request_id, const QueryInfo& info,
                          std::shared_ptr<exec::CancelToken> token,
                          int64_t deadline_ns,
                          std::function<JoinResult()> run) {
@@ -270,9 +293,10 @@ void Session::AdmitQuery(uint64_t request_id,
     return;
   }
 
+  const int64_t admit_ns = MonotonicNowNs();
   Status admitted = context_.scheduler->Submit(
-      [self = shared_from_this(), request_id, token, deadline_ns,
-       run = std::move(run)] {
+      [self = shared_from_this(), request_id, info, token, deadline_ns,
+       admit_ns, run = std::move(run)] {
         // Each query is a watchdog-visible activity: the deadline the
         // token enforces cooperatively is also armed here, so a query
         // that *fails* to stop shows up as a deadline_exceeded event
@@ -284,25 +308,70 @@ void Session::AdmitQuery(uint64_t request_id,
                       static_cast<unsigned long long>(request_id));
         activity.SetDetail(detail);
         ScopedSpan span("server.query", "server");
+        // Counter track in the timeline: which request this worker is
+        // serving, so a --trace capture is attributable query-by-query.
+        TraceCounter("server.request_id", static_cast<int64_t>(request_id));
 
-        const JoinResult result = run();
+        // Attribution scope around the body: any thread that ends up
+        // working for this query — this worker, thieves, helping waiters
+        // — charges this sink (obs/attribution.h).
+        attribution::QueryCharges charges;
+        const int64_t start_ns = MonotonicNowNs();
+        JoinResult result;
+        {
+          attribution::QueryChargeScope scope(&charges);
+          result = run();
+        }
+        const int64_t end_ns = MonotonicNowNs();
+        // Pair counts come from the result at completion: exact by
+        // construction, and free on the per-pair hot path.
+        charges.AddPairsExamined(result.theta_upper_tests);
+        charges.AddQualPairs(result.qual_pairs_examined);
         const Status status = token->ToStatus();
         self->ForgetQuery(request_id);
 
-        MetricsRegistry& registry = MetricsRegistry::Global();
+        QueryRecord record;
+        record.request_id = request_id;
+        record.session_id = self->id_;
+        record.dataset_id = info.dataset_id;
+        record.is_join = info.is_join;
+        record.strategy = info.strategy;
+        record.end_ts_ns = end_ns;
+        record.wall_ns = end_ns - admit_ns;
+        record.charges = charges.Snapshot();
+        // Admission wait (admit → body start) plus the waits of every
+        // pool task the query fanned out.
+        record.queue_wait_ns =
+            (start_ns - admit_ns) + record.charges.queue_wait_ns;
+        record.theta_tests = result.theta_tests;
+        record.nodes_accessed = result.nodes_accessed;
+        record.matches = static_cast<int64_t>(result.matches.size());
+        record.residual =
+            (result.theta_tests == 0 && result.theta_upper_tests == 0)
+                ? 1.0
+                : static_cast<double>(result.theta_tests) /
+                      static_cast<double>(
+                          std::max<int64_t>(1, result.theta_upper_tests));
+
+        ServiceTelemetry& telemetry = ServiceTelemetry::Global();
         if (!status.ok()) {
-          registry.GetCounter("server.query.stopped")->Increment();
+          record.outcome = status.code() == StatusCode::kCancelled
+                               ? QueryOutcome::kCancelled
+                               : QueryOutcome::kDeadline;
+          telemetry.RecordQuery(record);
           self->SendFrame(EncodeErrorReply(request_id, status));
           return;
         }
         if (result.matches.size() > kMaxResultPairs) {
-          registry.GetCounter("server.query.oversized_result")->Increment();
+          record.outcome = QueryOutcome::kOversized;
+          telemetry.RecordQuery(record);
           self->SendFrame(EncodeErrorReply(
               request_id, Status::ResourceExhausted(
                               "result exceeds the frame's pair capacity")));
           return;
         }
-        registry.GetCounter("server.query.ok")->Increment();
+        record.outcome = QueryOutcome::kOk;
+        telemetry.RecordQuery(record);
         self->SendFrame(EncodeResultReply(request_id, result));
       });
   if (!admitted.ok()) {
@@ -325,9 +394,7 @@ void Session::SendFrame(const std::string& frame) {
     if (n < 0) {
       if (errno == EINTR) continue;
       write_failed_ = true;
-      MetricsRegistry::Global()
-          .GetCounter("server.session.write_failures")
-          ->Increment();
+      ServiceTelemetry::Global().OnWriteFailure();
       return;
     }
     sent += static_cast<size_t>(n);

@@ -15,6 +15,7 @@
 #include "server/dataset_registry.h"
 #include "server/protocol.h"
 #include "server/scheduler.h"
+#include "server/telemetry.h"
 
 namespace spatialjoin {
 namespace server {
@@ -70,15 +71,26 @@ class Session : public std::enable_shared_from_this<Session> {
     std::shared_ptr<exec::CancelToken> token;
   };
 
+  /// What the completion path needs to label a QueryRecord; filled by
+  /// the decode handlers (strategy names are static storage).
+  struct QueryInfo {
+    uint32_t dataset_id = 0;
+    bool is_join = false;
+    const char* strategy = "";
+  };
+
   void HandleFrame(const Frame& frame);
   void HandleSelect(uint64_t request_id, std::string_view payload);
   void HandleJoin(uint64_t request_id, std::string_view payload);
   void HandleCancel(uint64_t request_id, std::string_view payload);
+  void HandleStats(uint64_t request_id);
 
   /// Registers a pending query and admits it; on any failure the error
   /// reply has already been sent. `run` is the strategy-specific body;
-  /// it returns the query's result so the completion path is shared.
-  void AdmitQuery(uint64_t request_id,
+  /// it returns the query's result so the completion path is shared —
+  /// which is also where attribution charges are collected and the
+  /// query's QueryRecord is retained by ServiceTelemetry.
+  void AdmitQuery(uint64_t request_id, const QueryInfo& info,
                   std::shared_ptr<exec::CancelToken> token,
                   int64_t deadline_ns, std::function<JoinResult()> run);
 

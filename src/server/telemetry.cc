@@ -1,0 +1,431 @@
+#include "server/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/timer.h"
+
+namespace spatialjoin {
+namespace server {
+
+namespace {
+
+// Live quantiles cover the last 4 seconds: 16 slices × 250ms. Wide
+// enough that a 1 Hz sj_top poll always has data, narrow enough that a
+// load spike ages out of p99 within seconds of ending.
+constexpr int kWindowSlices = 16;
+constexpr int64_t kSliceNs = 250LL * 1000 * 1000;
+
+constexpr int64_t kDefaultSlowEventThresholdNs = 10LL * 1000 * 1000;
+
+// Ranking key for the slow-by-residual ring: distance of the residual
+// from 1.0 in log space, so a 4× underprediction and a 4× overprediction
+// are equally interesting.
+double ResidualBadness(double residual) {
+  return std::fabs(std::log2(std::max(residual, 1e-9)));
+}
+
+std::string ServiceSnapshotProvider() {
+  return ServiceTelemetry::Global().ServiceSectionJson();
+}
+
+}  // namespace
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kDeadline:
+      return "deadline";
+    case QueryOutcome::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+ServiceTelemetry& ServiceTelemetry::Global() {
+  // Leaked on purpose, like the registry it mirrors into: queries may
+  // still be completing while static destructors run.
+  // sj-lint: allow(naked-new)
+  static ServiceTelemetry* telemetry = new ServiceTelemetry();
+  return *telemetry;
+}
+
+ServiceTelemetry::ServiceTelemetry()
+    : sessions_opened_(
+          MetricsRegistry::Global().GetCounter("server.sessions.opened")),
+      sessions_closed_(
+          MetricsRegistry::Global().GetCounter("server.sessions.closed")),
+      protocol_errors_(
+          MetricsRegistry::Global().GetCounter("server.protocol.errors")),
+      write_failures_(MetricsRegistry::Global().GetCounter(
+          "server.session.write_failures")),
+      cancel_requested_(MetricsRegistry::Global().GetCounter(
+          "server.query.cancel_requested")),
+      sched_admitted_(
+          MetricsRegistry::Global().GetCounter("server.scheduler.admitted")),
+      sched_rejected_(
+          MetricsRegistry::Global().GetCounter("server.scheduler.rejected")),
+      sched_completed_(
+          MetricsRegistry::Global().GetCounter("server.scheduler.completed")),
+      sched_inflight_(
+          MetricsRegistry::Global().GetGauge("server.scheduler.inflight")),
+      sched_peak_inflight_(MetricsRegistry::Global().GetGauge(
+          "server.scheduler.peak_inflight")),
+      query_ok_(MetricsRegistry::Global().GetCounter("server.query.ok")),
+      query_stopped_(
+          MetricsRegistry::Global().GetCounter("server.query.stopped")),
+      query_oversized_(MetricsRegistry::Global().GetCounter(
+          "server.query.oversized_result")),
+      query_wall_ns_(
+          MetricsRegistry::Global().GetHistogram("server.query.wall_ns")),
+      latency_window_(kWindowSlices, kSliceNs),
+      queue_wait_window_(kWindowSlices, kSliceNs),
+      slow_event_threshold_ns_(kDefaultSlowEventThresholdNs) {
+  recent_.reserve(kRecentRing);
+  slow_by_latency_.reserve(kSlowRing);
+  slow_by_residual_.reserve(kSlowRing);
+  FlightRecorder::SetServiceSnapshotProvider(&ServiceSnapshotProvider);
+}
+
+void ServiceTelemetry::OnSessionOpened() { sessions_opened_->Increment(); }
+void ServiceTelemetry::OnSessionClosed() { sessions_closed_->Increment(); }
+void ServiceTelemetry::OnProtocolError() { protocol_errors_->Increment(); }
+void ServiceTelemetry::OnWriteFailure() { write_failures_->Increment(); }
+void ServiceTelemetry::OnCancelRequested() { cancel_requested_->Increment(); }
+void ServiceTelemetry::OnQueryAdmitted() { sched_admitted_->Increment(); }
+void ServiceTelemetry::OnQueryRejected() { sched_rejected_->Increment(); }
+
+void ServiceTelemetry::OnQueryCompleted(int64_t inflight_now,
+                                        int64_t peak_inflight) {
+  sched_completed_->Increment();
+  sched_inflight_->Set(static_cast<double>(inflight_now));
+  sched_peak_inflight_->Set(static_cast<double>(peak_inflight));
+}
+
+void ServiceTelemetry::SetSlowEventThresholdNs(int64_t ns) {
+  MutexLock lock(mu_);
+  slow_event_threshold_ns_ = ns;
+}
+
+namespace {
+
+// Inserts `record` into a worst-K ring ordered by `key` (descending),
+// after expiring entries past the retention horizon. Returns true when
+// the record made the ring.
+template <typename KeyFn>
+bool InsertSlow(std::vector<QueryRecord>* ring, const QueryRecord& record,
+                int64_t now_ns, KeyFn key) {
+  ring->erase(std::remove_if(ring->begin(), ring->end(),
+                             [now_ns](const QueryRecord& r) {
+                               return now_ns - r.end_ts_ns >
+                                      ServiceTelemetry::kSlowRetentionNs;
+                             }),
+              ring->end());
+  const double k = key(record);
+  if (ring->size() >= static_cast<size_t>(ServiceTelemetry::kSlowRing)) {
+    // Ring full: the record must beat the current weakest entry.
+    auto weakest = std::min_element(
+        ring->begin(), ring->end(),
+        [&key](const QueryRecord& a, const QueryRecord& b) {
+          return key(a) < key(b);
+        });
+    if (k <= key(*weakest)) return false;
+    *weakest = record;
+  } else {
+    ring->push_back(record);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ServiceTelemetry::RecordQuery(const QueryRecord& record) {
+  // Registry mirrors (outcome counters + cumulative latency histogram).
+  switch (record.outcome) {
+    case QueryOutcome::kOk:
+      query_ok_->Increment();
+      break;
+    case QueryOutcome::kCancelled:
+    case QueryOutcome::kDeadline:
+      query_stopped_->Increment();
+      break;
+    case QueryOutcome::kOversized:
+      query_oversized_->Increment();
+      break;
+  }
+  query_wall_ns_->Record(record.wall_ns);
+  latency_window_.Record(record.wall_ns, record.end_ts_ns);
+  queue_wait_window_.Record(record.queue_wait_ns, record.end_ts_ns);
+
+  bool emit_slow_event = false;
+  {
+    MutexLock lock(mu_);
+    // Recent ring: newest overwrites oldest.
+    if (recent_.size() < static_cast<size_t>(kRecentRing)) {
+      recent_.push_back(record);
+    } else {
+      recent_[recent_next_] = record;
+    }
+    recent_next_ = (recent_next_ + 1) % static_cast<size_t>(kRecentRing);
+
+    const bool entered_latency_ring =
+        InsertSlow(&slow_by_latency_, record, record.end_ts_ns,
+                   [](const QueryRecord& r) {
+                     return static_cast<double>(r.wall_ns);
+                   });
+    InsertSlow(&slow_by_residual_, record, record.end_ts_ns,
+               [](const QueryRecord& r) { return ResidualBadness(r.residual); });
+    emit_slow_event =
+        entered_latency_ring && record.wall_ns >= slow_event_threshold_ns_;
+
+    auto charge = [&record](Aggregate* agg) {
+      ++agg->queries;
+      switch (record.outcome) {
+        case QueryOutcome::kOk:
+          ++agg->ok;
+          break;
+        case QueryOutcome::kCancelled:
+          ++agg->cancelled;
+          break;
+        case QueryOutcome::kDeadline:
+          ++agg->deadline;
+          break;
+        case QueryOutcome::kOversized:
+          ++agg->oversized;
+          break;
+      }
+      agg->wall_ns += record.wall_ns;
+      agg->pages_read += record.charges.pages_read;
+      agg->pages_hit += record.charges.pages_hit;
+      agg->pairs_examined += record.charges.pairs_examined;
+      agg->matches += record.matches;
+    };
+    // Fold new keys into the overflow bucket (-1) once the maps are at
+    // capacity, so telemetry stays bounded on a long-lived server.
+    auto slot = [](std::map<int64_t, Aggregate>* m, int64_t key) {
+      auto it = m->find(key);
+      if (it != m->end()) return &it->second;
+      if (m->size() >= ServiceTelemetry::kMaxAggregates) key = -1;
+      return &(*m)[key];
+    };
+    charge(slot(&per_session_, record.session_id));
+    charge(slot(&per_dataset_, static_cast<int64_t>(record.dataset_id)));
+  }
+
+  if (emit_slow_event) {
+    SJ_EVENT(kSlowQuery, kWarn,
+             "sess%d req%llu %s %s %.1fms (residual %.3f)", record.session_id,
+             static_cast<unsigned long long>(record.request_id),
+             record.strategy, QueryOutcomeName(record.outcome),
+             static_cast<double>(record.wall_ns) / 1e6, record.residual);
+  }
+}
+
+void ServiceTelemetry::WriteRecordJson(JsonWriter* w,
+                                       const QueryRecord& r) const {
+  w->BeginObject();
+  w->KV("request_id", static_cast<int64_t>(r.request_id));
+  w->KV("session", static_cast<int64_t>(r.session_id));
+  w->KV("dataset", static_cast<int64_t>(r.dataset_id));
+  w->KV("kind", r.is_join ? "join" : "select");
+  w->KV("strategy", r.strategy);
+  w->KV("outcome", QueryOutcomeName(r.outcome));
+  w->KV("end_ts_ns", r.end_ts_ns);
+  w->KV("wall_ns", r.wall_ns);
+  w->KV("queue_wait_ns", r.queue_wait_ns);
+  w->KV("pool_tasks", r.charges.pool_tasks);
+  w->KV("pages_read", r.charges.pages_read);
+  w->KV("pages_hit", r.charges.pages_hit);
+  w->KV("pairs_examined", r.charges.pairs_examined);
+  w->KV("theta_tests", r.theta_tests);
+  w->KV("qual_pairs", r.charges.qual_pairs);
+  w->KV("nodes_accessed", r.nodes_accessed);
+  w->KV("matches", r.matches);
+  w->KV("residual", r.residual);
+  w->EndObject();
+}
+
+ServiceTelemetry::Retained ServiceTelemetry::SnapshotRetained() const {
+  Retained snap;
+  MutexLock lock(mu_);
+  // Unroll the ring oldest-first while copying, so serialization needs
+  // no cursor.
+  const size_t n = recent_.size();
+  const size_t start = n < static_cast<size_t>(kRecentRing) ? 0 : recent_next_;
+  snap.recent.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    snap.recent.push_back(recent_[(start + i) % n]);
+  }
+  snap.slow_by_latency = slow_by_latency_;
+  snap.slow_by_residual = slow_by_residual_;
+  snap.per_session = per_session_;
+  snap.per_dataset = per_dataset_;
+  return snap;
+}
+
+void ServiceTelemetry::WriteAggregatesJson(JsonWriter* w,
+                                           const Retained& snap) const {
+  auto write_map = [this, w](const char* key,
+                             const std::map<int64_t, Aggregate>& m,
+                             const char* id_key) {
+    w->Key(key);
+    w->BeginArray();
+    for (const auto& [id, agg] : m) {
+      w->BeginObject();
+      w->KV(id_key, id);
+      w->KV("queries", agg.queries);
+      w->KV("ok", agg.ok);
+      w->KV("cancelled", agg.cancelled);
+      w->KV("deadline", agg.deadline);
+      w->KV("oversized", agg.oversized);
+      w->KV("wall_ns", agg.wall_ns);
+      w->KV("pages_read", agg.pages_read);
+      w->KV("pages_hit", agg.pages_hit);
+      w->KV("pairs_examined", agg.pairs_examined);
+      w->KV("matches", agg.matches);
+      w->EndObject();
+    }
+    w->EndArray();
+  };
+  write_map("per_session", snap.per_session, "session");
+  write_map("per_dataset", snap.per_dataset, "dataset");
+}
+
+void ServiceTelemetry::WriteSlowRingsJson(JsonWriter* w, const Retained& snap,
+                                          int64_t now_ns) const {
+  auto write_ring = [this, w, now_ns](const char* key,
+                                      std::vector<QueryRecord> ring,
+                                      auto rank) {
+    // Expired entries are dropped lazily on insert; a snapshot of a quiet
+    // server must not resurrect them, so filter here too.
+    ring.erase(std::remove_if(ring.begin(), ring.end(),
+                              [now_ns](const QueryRecord& r) {
+                                return now_ns - r.end_ts_ns >
+                                       kSlowRetentionNs;
+                              }),
+               ring.end());
+    std::sort(ring.begin(), ring.end(),
+              [&rank](const QueryRecord& a, const QueryRecord& b) {
+                return rank(a) > rank(b);
+              });
+    w->Key(key);
+    w->BeginArray();
+    for (const QueryRecord& r : ring) WriteRecordJson(w, r);
+    w->EndArray();
+  };
+  write_ring("slow_by_latency", snap.slow_by_latency,
+             [](const QueryRecord& r) {
+               return static_cast<double>(r.wall_ns);
+             });
+  write_ring("slow_by_residual", snap.slow_by_residual,
+             [](const QueryRecord& r) { return ResidualBadness(r.residual); });
+}
+
+namespace {
+
+void WriteWindowJson(JsonWriter* w, const char* key,
+                     const WindowedHistogram::Snapshot& snap) {
+  w->Key(key);
+  w->BeginObject();
+  w->KV("window_ns", snap.window_ns);
+  w->KV("count", snap.count);
+  w->KV("mean_ns", snap.mean());
+  w->KV("p50_ns", snap.QuantileUpperBound(0.5));
+  w->KV("p90_ns", snap.QuantileUpperBound(0.9));
+  w->KV("p99_ns", snap.QuantileUpperBound(0.99));
+  w->EndObject();
+}
+
+}  // namespace
+
+void ServiceTelemetry::WriteStatsJson(
+    std::ostream& os, const QueryScheduler::Stats& scheduler, int max_inflight,
+    const exec::ThreadPool::Stats& pool) const {
+  const int64_t now_ns = MonotonicNowNs();
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("stats_version", int64_t{1});
+  w.KV("now_ns", now_ns);
+  w.Key("scheduler");
+  w.BeginObject();
+  w.KV("admitted", scheduler.admitted);
+  w.KV("rejected", scheduler.rejected);
+  w.KV("completed", scheduler.completed);
+  w.KV("inflight", scheduler.inflight);
+  w.KV("peak_inflight", scheduler.peak_inflight);
+  w.KV("max_inflight", static_cast<int64_t>(max_inflight));
+  w.EndObject();
+  w.Key("pool");
+  w.BeginObject();
+  w.KV("workers", static_cast<int64_t>(pool.workers));
+  w.KV("tasks_submitted", pool.tasks_submitted);
+  w.KV("tasks_executed", pool.tasks_executed);
+  w.KV("tasks_stolen", pool.tasks_stolen);
+  w.KV("tasks_queued", pool.tasks_queued);
+  w.EndObject();
+  w.Key("sessions");
+  w.BeginObject();
+  w.KV("opened", sessions_opened_->Value());
+  w.KV("closed", sessions_closed_->Value());
+  w.KV("open", sessions_opened_->Value() - sessions_closed_->Value());
+  w.KV("protocol_errors", protocol_errors_->Value());
+  w.KV("write_failures", write_failures_->Value());
+  w.EndObject();
+  w.Key("queries");
+  w.BeginObject();
+  w.KV("ok", query_ok_->Value());
+  w.KV("stopped", query_stopped_->Value());
+  w.KV("oversized", query_oversized_->Value());
+  w.KV("cancel_requested", cancel_requested_->Value());
+  w.EndObject();
+  WriteWindowJson(&w, "latency", latency_window_.Snap(now_ns));
+  WriteWindowJson(&w, "queue_wait", queue_wait_window_.Snap(now_ns));
+  const Retained snap = SnapshotRetained();
+  WriteAggregatesJson(&w, snap);
+  w.Key("recent");
+  w.BeginArray();
+  for (const QueryRecord& r : snap.recent) WriteRecordJson(&w, r);
+  w.EndArray();
+  WriteSlowRingsJson(&w, snap, now_ns);
+  w.EndObject();
+  os << '\n';
+}
+
+std::string ServiceTelemetry::ServiceSectionJson() const {
+  const int64_t now_ns = MonotonicNowNs();
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("queries");
+  w.BeginObject();
+  w.KV("ok", query_ok_->Value());
+  w.KV("stopped", query_stopped_->Value());
+  w.KV("oversized", query_oversized_->Value());
+  w.EndObject();
+  WriteWindowJson(&w, "latency", latency_window_.Snap(now_ns));
+  WriteSlowRingsJson(&w, SnapshotRetained(), now_ns);
+  w.EndObject();
+  return os.str();
+}
+
+void ServiceTelemetry::Reset() {
+  latency_window_.Reset();
+  queue_wait_window_.Reset();
+  MutexLock lock(mu_);
+  recent_.clear();
+  recent_next_ = 0;
+  slow_by_latency_.clear();
+  slow_by_residual_.clear();
+  per_session_.clear();
+  per_dataset_.clear();
+  slow_event_threshold_ns_ = kDefaultSlowEventThresholdNs;
+}
+
+}  // namespace server
+}  // namespace spatialjoin

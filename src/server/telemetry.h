@@ -1,0 +1,198 @@
+#ifndef SPATIALJOIN_SERVER_TELEMETRY_H_
+#define SPATIALJOIN_SERVER_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "exec/thread_pool.h"
+#include "obs/attribution.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "server/scheduler.h"
+
+namespace spatialjoin {
+namespace server {
+
+/// Service telemetry (DESIGN.md §13).
+///
+/// The process-wide sink for everything the query service knows about
+/// itself: per-query records (plan, charges, measured-vs-predicted
+/// residual, outcome), rolling windowed latency quantiles, per-session
+/// and per-dataset aggregates, and the slow-query rings. Three consumers
+/// read it:
+///   * the STATS protocol message (WriteStatsJson) — live introspection
+///     for sj_top and scripts;
+///   * the flight recorder (ServiceSectionJson) — the same slow-query
+///     evidence embedded in post-mortem dumps;
+///   * the metrics registry — scalar totals mirrored into the ordinary
+///     counters/gauges so bench artifacts carry them with no protocol.
+///
+/// This is also the *only* file under src/server/ allowed to touch the
+/// MetricsRegistry (enforced by sj_lint's `metrics-in-server` rule):
+/// request paths report through the On*/RecordQuery methods here or
+/// charge through the attribution scope, never by poking counters
+/// directly — one choke point keeps naming and double-count discipline.
+
+/// How a query left the server.
+enum class QueryOutcome : uint8_t {
+  kOk = 0,
+  kCancelled,
+  kDeadline,
+  kOversized,  // ran fine, result exceeded the frame's pair capacity
+};
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// Everything retained about one completed query.
+struct QueryRecord {
+  uint64_t request_id = 0;
+  int session_id = -1;
+  uint32_t dataset_id = 0;
+  bool is_join = false;
+  const char* strategy = "";  // static storage (JoinStrategyName/...)
+  QueryOutcome outcome = QueryOutcome::kOk;
+  int64_t end_ts_ns = 0;       ///< MonotonicNowNs at completion
+  int64_t wall_ns = 0;         ///< admit → completion
+  int64_t queue_wait_ns = 0;   ///< admission wait + summed pool-task waits
+  attribution::Charges charges;
+  int64_t theta_tests = 0;     ///< exact-geometry tests actually run
+  int64_t nodes_accessed = 0;
+  int64_t matches = 0;
+  /// Measured / predicted exact-test work: theta_tests over the Θ-filter
+  /// upper bound, the live analogue of the explain layer's cost residual
+  /// (1.0 when both are 0). Far from 1.0 means the filter stage's
+  /// prediction of this query's cost was wrong — the paper's Θ/θ
+  /// two-stage claim, checked per query on a running server.
+  double residual = 1.0;
+};
+
+class ServiceTelemetry {
+ public:
+  /// Ring capacities; small enough that a full STATS snapshot stays a
+  /// few tens of KB, far under the frame payload cap.
+  static constexpr int kRecentRing = 32;
+  static constexpr int kSlowRing = 16;
+  /// Slow-ring entries older than this age out (the rings hold the worst
+  /// *recent* queries, not the worst ever).
+  static constexpr int64_t kSlowRetentionNs = 60LL * 1000 * 1000 * 1000;
+
+  static ServiceTelemetry& Global();
+
+  ServiceTelemetry(const ServiceTelemetry&) = delete;
+  ServiceTelemetry& operator=(const ServiceTelemetry&) = delete;
+
+  // --- Session / protocol accounting ------------------------------------
+  void OnSessionOpened();
+  void OnSessionClosed();
+  void OnProtocolError();
+  void OnWriteFailure();
+  void OnCancelRequested();
+
+  // --- Scheduler accounting (mirrors QueryScheduler::Stats into the
+  // registry so bench artifacts and flight dumps carry admission and
+  // rejection counts without the STATS protocol path) -------------------
+  void OnQueryAdmitted();
+  void OnQueryRejected();
+  void OnQueryCompleted(int64_t inflight_now, int64_t peak_inflight);
+
+  /// Retains `record`, updates aggregates/windows/rings, mirrors the
+  /// outcome counters, and emits a kSlowQuery event if the record enters
+  /// the slow-by-latency ring above the event threshold.
+  void RecordQuery(const QueryRecord& record);
+
+  /// The STATS reply document. Scheduler/pool snapshots are passed in by
+  /// the caller (the session holds both pointers; telemetry deliberately
+  /// does not).
+  void WriteStatsJson(std::ostream& os, const QueryScheduler::Stats& scheduler,
+                      int max_inflight,
+                      const exec::ThreadPool::Stats& pool) const;
+
+  /// The flight-dump `service` section: query totals + slow rings.
+  /// Called by the flight recorder's refresh path (registered lazily by
+  /// Global()); must not dump or refresh re-entrantly.
+  std::string ServiceSectionJson() const;
+
+  /// Minimum wall time before a slow-ring entry also logs a kSlowQuery
+  /// event (default 10ms; tests set 0 to pin the emission path).
+  void SetSlowEventThresholdNs(int64_t ns);
+
+  /// Zeroes rings, aggregates, and windows (registry instruments are the
+  /// caller's to reset). Tests and benches start measurements clean here.
+  void Reset();
+
+ private:
+  ServiceTelemetry();
+
+  struct Aggregate {
+    int64_t queries = 0;
+    int64_t ok = 0;
+    int64_t cancelled = 0;
+    int64_t deadline = 0;
+    int64_t oversized = 0;
+    int64_t wall_ns = 0;
+    int64_t pages_read = 0;
+    int64_t pages_hit = 0;
+    int64_t pairs_examined = 0;
+    int64_t matches = 0;
+  };
+
+  /// Copy of everything mu_ guards, taken in one short critical section.
+  /// Serialization happens on the copy, outside the lock — a STATS poll
+  /// must never stall RecordQuery on the query-completion path for the
+  /// duration of a JSON render (recent is reordered oldest-first here).
+  struct Retained {
+    std::vector<QueryRecord> recent;
+    std::vector<QueryRecord> slow_by_latency;
+    std::vector<QueryRecord> slow_by_residual;
+    std::map<int64_t, Aggregate> per_session;
+    std::map<int64_t, Aggregate> per_dataset;
+  };
+  Retained SnapshotRetained() const;
+
+  void WriteRecordJson(JsonWriter* w, const QueryRecord& r) const;
+  void WriteAggregatesJson(JsonWriter* w, const Retained& snap) const;
+  void WriteSlowRingsJson(JsonWriter* w, const Retained& snap,
+                          int64_t now_ns) const;
+
+  // Registry mirrors, resolved once (pointers are process-lifetime).
+  Counter* const sessions_opened_;
+  Counter* const sessions_closed_;
+  Counter* const protocol_errors_;
+  Counter* const write_failures_;
+  Counter* const cancel_requested_;
+  Counter* const sched_admitted_;
+  Counter* const sched_rejected_;
+  Counter* const sched_completed_;
+  Gauge* const sched_inflight_;
+  Gauge* const sched_peak_inflight_;
+  Counter* const query_ok_;
+  Counter* const query_stopped_;
+  Counter* const query_oversized_;
+  Histogram* const query_wall_ns_;
+
+  // Live windows: last ~4s of completed-query latency and queue wait.
+  WindowedHistogram latency_window_;
+  WindowedHistogram queue_wait_window_;
+
+  mutable Mutex mu_;
+  int64_t slow_event_threshold_ns_ SJ_GUARDED_BY(mu_);
+  std::vector<QueryRecord> recent_ SJ_GUARDED_BY(mu_);   // ring, newest last
+  size_t recent_next_ SJ_GUARDED_BY(mu_) = 0;
+  std::vector<QueryRecord> slow_by_latency_ SJ_GUARDED_BY(mu_);
+  std::vector<QueryRecord> slow_by_residual_ SJ_GUARDED_BY(mu_);
+  // Bounded aggregate maps; once kMaxAggregates distinct keys exist, new
+  // keys fold into the overflow key (-1) so a long-lived server cannot
+  // grow telemetry without bound.
+  static constexpr size_t kMaxAggregates = 64;
+  std::map<int64_t, Aggregate> per_session_ SJ_GUARDED_BY(mu_);
+  std::map<int64_t, Aggregate> per_dataset_ SJ_GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace spatialjoin
+
+#endif  // SPATIALJOIN_SERVER_TELEMETRY_H_

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/check.h"
+#include "obs/attribution.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -95,10 +96,12 @@ const Page* BufferPool::GetPage(PageId id) {
   if (it != index_.end()) {
     ++stats_.hits;
     HitsCounter()->Increment();
+    attribution::ChargePagesHit();
     return &TouchLocked(it->second).page;
   }
   ++stats_.misses;
   MissesCounter()->Increment();
+  attribution::ChargePagesRead();
   return &FaultLocked(id).page;
 }
 
@@ -109,10 +112,12 @@ Page* BufferPool::GetMutablePage(PageId id) {
   if (it != index_.end()) {
     ++stats_.hits;
     HitsCounter()->Increment();
+    attribution::ChargePagesHit();
     frame = &TouchLocked(it->second);
   } else {
     ++stats_.misses;
     MissesCounter()->Increment();
+    attribution::ChargePagesRead();
     frame = &FaultLocked(id);
   }
   frame->dirty = true;

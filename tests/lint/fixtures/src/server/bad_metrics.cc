@@ -1,0 +1,32 @@
+// Fixture: metrics-in-server must fire on direct MetricsRegistry access
+// in the server layer — the named-instrument getters and the singleton
+// itself — and must NOT fire on mentions in comments or strings, on the
+// suppressed line, or on ServiceTelemetry calls (the sanctioned path).
+#include "obs/metrics.h"
+
+namespace spatialjoin {
+namespace server {
+
+void BadRequestPath() {
+  // MetricsRegistry::Global() in a comment is fine.
+  const char* doc = "GetCounter(\"server.sessions.opened\")";
+  (void)doc;
+  MetricsRegistry::Global();
+  auto* c = MetricsRegistry::Global().GetCounter("server.q");
+  (void)c;
+  auto* g = registry->GetGauge("server.inflight");
+  (void)g;
+  auto* h = registry->GetHistogram("server.wall_ns");
+  (void)h;
+}
+
+void SanctionedPath() {
+  // The telemetry facade is the allowed route.
+  ServiceTelemetry::Global().OnSessionOpened();
+  // Justified: fixture demonstrates the suppression syntax.
+  // sj-lint: allow(metrics-in-server)
+  MetricsRegistry::Global().GetCounter("server.suppressed");
+}
+
+}  // namespace server
+}  // namespace spatialjoin

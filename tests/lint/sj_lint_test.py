@@ -111,6 +111,26 @@ class IostreamInLibTest(unittest.TestCase):
                 list(sj_lint.check_iostream_in_lib(f)), [])
 
 
+class MetricsInServerTest(unittest.TestCase):
+    def test_fires_on_registry_access_and_respects_suppression(self):
+        findings = lint("src/server/bad_metrics.cc", ["metrics-in-server"])
+        self.assertEqual([f.line for f in findings], [14, 15, 17, 19])
+        self.assertEqual({f.rule for f in findings}, {"metrics-in-server"})
+
+    def test_telemetry_owner_and_other_layers_are_exempt(self):
+        line = 'MetricsRegistry::Global().GetCounter("x");'
+        for path in ("src/server/telemetry.cc", "src/storage/pool.cc",
+                     "tools/sj_server.cc", "tests/t.cc"):
+            f = sj_lint.SourceFile(path, [line], [line])
+            self.assertEqual(
+                list(sj_lint.check_metrics_in_server(f)), [], path)
+
+    def test_telemetry_facade_calls_stay_clean(self):
+        line = "ServiceTelemetry::Global().OnQueryAdmitted();"
+        f = sj_lint.SourceFile("src/server/session.cc", [line], [line])
+        self.assertEqual(list(sj_lint.check_metrics_in_server(f)), [])
+
+
 class JsonOutputTest(unittest.TestCase):
     """The --json schema is shared with sj_analyze: exactly
     {rule, path, line, message, suppressed}, suppressed findings

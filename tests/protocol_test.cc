@@ -127,6 +127,31 @@ TEST(ProtocolFraming, ErrorReplyRoundTripAndMessageClamp) {
   EXPECT_EQ(reply.value().error_message.size(), 1024u);
 }
 
+TEST(ProtocolFraming, StatsRequestRoundTrip) {
+  Frame frame = DecodeOne(EncodeStatsRequest(11));
+  EXPECT_EQ(frame.type, static_cast<uint8_t>(MessageType::kStats));
+  EXPECT_EQ(frame.request_id, 11u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(ProtocolFraming, StatsReplyRoundTripPreservesJsonBytes) {
+  // The reply is opaque UTF-8 to the protocol layer; arbitrary bytes
+  // (embedded quotes, newlines) must survive untouched.
+  const std::string json = "{\"a\": 1,\n \"b\": \"x\\\"y\"}";
+  Frame frame = DecodeOne(EncodeStatsReply(13, json));
+  EXPECT_EQ(frame.type, static_cast<uint8_t>(MessageType::kStatsReply));
+  Result<Reply> reply = DecodeReply(MessageType::kStatsReply,
+                                    frame.request_id, frame.payload);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().type, MessageType::kStatsReply);
+  EXPECT_EQ(reply.value().request_id, 13u);
+  EXPECT_EQ(reply.value().stats_json, json);
+}
+
+TEST(ProtocolValidation, EmptyStatsReplyRejected) {
+  EXPECT_FALSE(DecodeReply(MessageType::kStatsReply, 1, "").ok());
+}
+
 TEST(ProtocolFraming, ByteAtATimeDeliveryReassembles) {
   SelectRequest request;
   request.op_code = static_cast<uint8_t>(WireOp::kOverlaps);
@@ -262,9 +287,11 @@ TEST(ProtocolValidation, IsRequestTypeMatchesTheEnum) {
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MessageType::kSelect)));
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MessageType::kJoin)));
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MessageType::kCancel)));
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MessageType::kStats)));
   EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MessageType::kPong)));
   EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MessageType::kResult)));
   EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MessageType::kError)));
+  EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MessageType::kStatsReply)));
   EXPECT_FALSE(IsRequestType(0));
   EXPECT_FALSE(IsRequestType(200));
 }
@@ -299,6 +326,7 @@ TEST(ProtocolFuzz, RandomBytesNeverCrashTheDecoders) {
     (void)DecodeReply(MessageType::kResult, 0, bytes);
     (void)DecodeReply(MessageType::kError, 0, bytes);
     (void)DecodeReply(MessageType::kPong, 0, bytes);
+    (void)DecodeReply(MessageType::kStatsReply, 0, bytes);
   }
 }
 

@@ -388,6 +388,72 @@ void ValidateSpans(const Json& spans, SchemaErrors* errors) {
   }
 }
 
+// One retained QueryRecord in the service section's rings (the schema
+// server/telemetry.cc emits).
+void ValidateQueryRecord(const Json& rec, const std::string& path,
+                         SchemaErrors* errors) {
+  if (!rec.is_object()) {
+    errors->Add(path, "not an object");
+    return;
+  }
+  for (const char* key :
+       {"request_id", "session", "dataset", "end_ts_ns", "wall_ns",
+        "queue_wait_ns", "pool_tasks", "pages_read", "pages_hit",
+        "pairs_examined", "theta_tests", "qual_pairs", "nodes_accessed",
+        "matches"}) {
+    RequireInt(rec, path.c_str(), key, errors);
+  }
+  for (const char* key : {"kind", "strategy", "outcome"}) {
+    RequireString(rec, path.c_str(), key, errors);
+  }
+  const Json* residual = rec.Get("residual");
+  if (residual == nullptr || !residual->is_number()) {
+    errors->Add(path + ".residual", "missing or not a number");
+  }
+  const Json* outcome = rec.Get("outcome");
+  if (outcome != nullptr && outcome->is_string() &&
+      outcome->string != "ok" && outcome->string != "cancelled" &&
+      outcome->string != "deadline" && outcome->string != "oversized") {
+    errors->Add(path + ".outcome", "not one of ok/cancelled/deadline/oversized");
+  }
+}
+
+// The `service` section: absent or null on processes that never ran a
+// query server, an object with totals + slow-query rings otherwise.
+void ValidateServiceSection(const Json& service, SchemaErrors* errors) {
+  const Json* queries = service.Get("queries");
+  if (queries == nullptr || !queries->is_object()) {
+    errors->Add("service.queries", "missing or not an object");
+  } else {
+    RequireInt(*queries, "service.queries", "ok", errors);
+    RequireInt(*queries, "service.queries", "stopped", errors);
+    RequireInt(*queries, "service.queries", "oversized", errors);
+  }
+  const Json* latency = service.Get("latency");
+  if (latency == nullptr || !latency->is_object()) {
+    errors->Add("service.latency", "missing or not an object");
+  } else {
+    RequireInt(*latency, "service.latency", "window_ns", errors);
+    RequireInt(*latency, "service.latency", "count", errors);
+    RequireInt(*latency, "service.latency", "p50_ns", errors);
+    RequireInt(*latency, "service.latency", "p99_ns", errors);
+  }
+  for (const char* ring_key : {"slow_by_latency", "slow_by_residual"}) {
+    const Json* ring = service.Get(ring_key);
+    if (ring == nullptr || !ring->is_array()) {
+      errors->Add(std::string("service.") + ring_key,
+                  "missing or not an array");
+      continue;
+    }
+    for (size_t i = 0; i < ring->array.size(); ++i) {
+      ValidateQueryRecord(ring->array[i],
+                          std::string("service.") + ring_key + "[" +
+                              std::to_string(i) + "]",
+                          errors);
+    }
+  }
+}
+
 bool ValidateDump(const Json& dump, SchemaErrors* errors) {
   if (!dump.is_object()) {
     errors->Add("$", "document is not an object");
@@ -450,6 +516,17 @@ bool ValidateDump(const Json& dump, SchemaErrors* errors) {
     const Json* deltas = metrics->Get("deltas");
     if (deltas == nullptr || !deltas->is_array()) {
       errors->Add("metrics.deltas", "missing or not an array");
+    }
+  }
+
+  // Dumps predating the service section (or from processes that never
+  // served queries) carry no `service` key or a null one; both are valid.
+  const Json* service = dump.Get("service");
+  if (service != nullptr && !service->is_null()) {
+    if (!service->is_object()) {
+      errors->Add("service", "not an object/null");
+    } else {
+      ValidateServiceSection(*service, errors);
     }
   }
 
@@ -540,6 +617,39 @@ void RenderSummary(const Json& dump, std::ostream& os) {
   const Json* deltas = dump.Get("metrics")->Get("deltas");
   if (deltas != nullptr && !deltas->array.empty()) {
     os << "\nmetric deltas captured: " << deltas->array.size() << "\n";
+  }
+
+  const Json* service = dump.Get("service");
+  if (service != nullptr && service->is_object()) {
+    const Json* queries = service->Get("queries");
+    os << "\nservice: " << queries->Get("ok")->AsInt() << " ok, "
+       << queries->Get("stopped")->AsInt() << " stopped, "
+       << queries->Get("oversized")->AsInt() << " oversized";
+    const Json* latency = service->Get("latency");
+    if (latency != nullptr && latency->is_object() &&
+        latency->Get("count")->AsInt() > 0) {
+      os << "; last " << FormatNs(latency->Get("window_ns")->AsInt()) << ": "
+         << latency->Get("count")->AsInt() << " queries, p50 "
+         << FormatNs(latency->Get("p50_ns")->AsInt()) << ", p99 "
+         << FormatNs(latency->Get("p99_ns")->AsInt());
+    }
+    os << "\n";
+    auto render_ring = [&os](const Json* ring, const char* title) {
+      if (ring == nullptr || !ring->is_array() || ring->array.empty()) return;
+      os << title << ":\n";
+      for (const Json& rec : ring->array) {
+        os << "  sess" << rec.Get("session")->AsInt() << " req"
+           << rec.Get("request_id")->AsInt() << " "
+           << rec.Get("kind")->string << "/" << rec.Get("strategy")->string
+           << " [" << rec.Get("outcome")->string << "] "
+           << FormatNs(rec.Get("wall_ns")->AsInt()) << ", "
+           << rec.Get("pages_read")->AsInt() << " reads, "
+           << rec.Get("pairs_examined")->AsInt() << " pairs, residual "
+           << rec.Get("residual")->number << "\n";
+      }
+    };
+    render_ring(service->Get("slow_by_latency"), "slowest queries");
+    render_ring(service->Get("slow_by_residual"), "worst cost residuals");
   }
 }
 
@@ -649,6 +759,27 @@ constexpr const char kSampleDump[] = R"json({
 "metrics": {"snapshot": {"counters": {"query.join.count": 1}},
 "snapshot_age_ns": 120000,
 "deltas": [{"ts_ns": 4000000, "changed": {"query.join.count": 1}}]},
+"service": {
+  "queries": {"ok": 12, "stopped": 1, "oversized": 0},
+  "latency": {"window_ns": 4000000000, "count": 12, "mean_ns": 800000.0,
+              "p50_ns": 524287, "p90_ns": 2097151, "p99_ns": 4194303},
+  "slow_by_latency": [
+    {"request_id": 7, "session": 3, "dataset": 1, "kind": "join",
+     "strategy": "parallel_tree_join", "outcome": "ok",
+     "end_ts_ns": 4500000, "wall_ns": 3900000, "queue_wait_ns": 120000,
+     "pool_tasks": 8, "pages_read": 40, "pages_hit": 200,
+     "pairs_examined": 900, "theta_tests": 450, "qual_pairs": 300,
+     "nodes_accessed": 64, "matches": 17, "residual": 0.5}
+  ],
+  "slow_by_residual": [
+    {"request_id": 9, "session": 3, "dataset": 1, "kind": "select",
+     "strategy": "tree", "outcome": "deadline",
+     "end_ts_ns": 4800000, "wall_ns": 600000, "queue_wait_ns": 0,
+     "pool_tasks": 0, "pages_read": 2, "pages_hit": 30,
+     "pairs_examined": 120, "theta_tests": 1, "qual_pairs": 0,
+     "nodes_accessed": 12, "matches": 0, "residual": 0.008}
+  ]
+},
 "watchdog": {"running": true, "ticks": 40, "stalls": 0, "deadline_hits": 0}
 }
 )json";
@@ -681,6 +812,42 @@ int SelfTest() {
            "summary names the reason");
     expect(sink.str().find("pool0.worker1") != std::string::npos,
            "summary includes activity detail");
+    expect(sink.str().find("slowest queries") != std::string::npos,
+           "summary renders the slow-query table");
+    expect(sink.str().find("parallel_tree_join") != std::string::npos,
+           "slow-query table names the strategy");
+  }
+
+  // The service section is optional (absent/null), but when present its
+  // records must carry the full QueryRecord schema.
+  {
+    Json dump;
+    Parser parser(
+        "{\"flightdump_version\": 1, \"service\": "
+        "{\"queries\": {\"ok\": 1, \"stopped\": 0, \"oversized\": 0},"
+        " \"latency\": {\"window_ns\": 1, \"count\": 0, \"p50_ns\": 0,"
+        " \"p99_ns\": 0},"
+        " \"slow_by_latency\": [{\"request_id\": 1}],"
+        " \"slow_by_residual\": []}}");
+    expect(parser.Parse(&dump), "service stub parses");
+    SchemaErrors errors;
+    expect(!ValidateDump(dump, &errors), "incomplete QueryRecord rejected");
+    bool found = false;
+    for (const std::string& e : errors.errors()) {
+      if (e.find("slow_by_latency[0]") != std::string::npos) found = true;
+    }
+    expect(found, "schema error names the offending ring entry");
+  }
+  {
+    Json dump;
+    Parser parser("{\"service\": null}");
+    expect(parser.Parse(&dump), "null service parses");
+    SchemaErrors errors;
+    ValidateDump(dump, &errors);
+    for (const std::string& e : errors.errors()) {
+      expect(e.find("service") == std::string::npos,
+             "null service section is not an error");
+    }
   }
 
   // Truncation (the expected corruption mode for a dump cut off mid-write

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sj_analyze: AST-level whole-program checks for the spatial-join engine.
 
-Three repo-specific checkers run over a translation-unit-spanning call
+Six repo-specific checkers run over a translation-unit-spanning call
 graph (DESIGN.md §9):
 
   signal-safety   Every function transitively reachable from the flight
@@ -18,6 +18,36 @@ graph (DESIGN.md §9):
                   kernels, FrozenTree node scans, slotted-page readers)
                   must not allocate, lock, throw, or make virtual calls,
                   transitively through every direct callee.
+
+Three dataflow checkers (PR 10) run over per-function transfer
+summaries iterated to a fixed point across the same call graph:
+
+  wire-taint            Integers decoded from untrusted wire frames
+                        (functions marked SJ_UNTRUSTED, e.g. WireReader
+                        readers in server/protocol.cc) must pass an
+                        SJ_VALIDATES sanitizer before reaching an
+                        allocation size, container index, loop bound,
+                        resize/reserve, or memcpy length — anywhere in
+                        their interprocedural closure.
+  blocking-under-lock   No Mutex may be held across a blocking sink
+                        (send/recv/accept, CondVar::Wait*, disk I/O,
+                        SJ_BLOCKING functions), computed from MutexLock
+                        acquisition sites plus SJ_REQUIRES held-at-entry
+                        annotations. CondVar waits are exempt for the
+                        mutex they atomically release.
+  cancellation          Every loop transitively reachable from
+                        QueryScheduler dispatch must contain a
+                        CancelToken::ShouldStop poll, an SJ_BOUNDED_WORK
+                        marker, or a manifestly constant bound, so
+                        DEADLINE_EXCEEDED is a proven property.
+
+The dataflow checkers consume statement-level facts (assignments, call
+arguments, returns, sinks, loop extents) produced by the shared textual
+statement scanner under *both* frontends — under libclang the scanner
+runs as a companion pass — so their verdicts are identical regardless
+of which frontend drives the AST-level checkers. This mirrors how
+signal roots and global mutexes are already harvested textually even in
+libclang mode.
 
 Frontends
 ---------
@@ -61,13 +91,32 @@ import os
 import re
 import sys
 
-ANALYZER_VERSION = "1"
+# Bumped whenever extraction or checker semantics change: the facts
+# cache and the CI cache key both embed it, so a stale cache can never
+# mask findings from a newer checker revision.
+ANALYZER_VERSION = "2"
 
 DEFAULT_SCAN_DIRS = ("src",)
 DEFAULT_BASELINE = os.path.join("scripts", "analysis", "baseline.json")
 DEFAULT_LOCK_ORDER = ["HeapFile::mu_", "BufferPool::mu_", "DiskManager::mu_"]
+DEFAULT_DISPATCH = "QueryScheduler::Submit"
 
-ALL_CHECKS = ("signal-safety", "lock-order", "hot-path")
+ALL_CHECKS = ("signal-safety", "lock-order", "hot-path",
+              "wire-taint", "blocking-under-lock", "cancellation")
+
+# Which rules each checker can emit — drives stale-baseline detection
+# (a baseline entry for a rule whose checker ran, matching no finding,
+# is itself a finding).
+CHECK_RULES = {
+    "signal-safety": ("signal-unsafe-call", "signal-alloc", "signal-lock",
+                      "signal-throw", "signal-virtual-call", "signal-no-root"),
+    "lock-order": ("lock-cycle", "lock-order-violation",
+                   "lock-excludes-violation"),
+    "hot-path": ("hot-alloc", "hot-lock", "hot-throw", "hot-virtual-call"),
+    "wire-taint": ("wire-taint", "wire-taint-no-source"),
+    "blocking-under-lock": ("lock-blocking-call",),
+    "cancellation": ("cancel-unpolled-loop", "cancel-no-root"),
+}
 
 # --------------------------------------------------------------------------
 # Policy tables
@@ -132,6 +181,42 @@ ALLOCATING_CALLS = {
 # Mutex-ish acquisition methods (receiver.Lock() style).
 LOCK_METHODS = {"Lock", "TryLock"}
 
+# Callee names (last path component) that may park the calling thread
+# for an unbounded time: socket and disk I/O, condition waits, sleeps,
+# thread joins, buffered-stream flushes. Unresolvable calls to these
+# are blocking sinks for the blocking-under-lock checker; in-project
+# functions become sinks transitively (or via SJ_BLOCKING).
+BLOCKING_LEAVES = {
+    # Sockets.
+    "send", "recv", "sendto", "recvfrom", "sendmsg", "recvmsg",
+    "accept", "accept4", "connect", "poll", "ppoll", "select",
+    "epoll_wait", "getaddrinfo",
+    # Disk.
+    "pread", "pwrite", "fsync", "fdatasync", "read", "write",
+    "fread", "fwrite", "fflush", "fgets", "flush", "open",
+    # Waits / sleeps / joins.
+    "wait", "wait_for", "wait_until", "sleep", "usleep", "nanosleep",
+    "sleep_for", "sleep_until", "join",
+}
+
+# Condition-wait methods atomically release the mutex passed as their
+# first argument, so that one mutex is exempt at the wait site.
+CONDVAR_WAIT_METHODS = {"Wait", "WaitFor", "WaitUntil",
+                        "wait", "wait_for", "wait_until"}
+
+# Callee names whose arguments are taint sinks (allocation sizes,
+# element counts, copy lengths). Values: the argument index that is the
+# length/count, None when every argument is checked, or "tail" when
+# every argument after the first is (assign/append/substr take content
+# in position 0 — `s.assign(view)` copies bounded bytes — and sizes or
+# offsets only from position 1 on).
+TAINT_SINK_CALLS = {
+    "resize": None, "reserve": None, "assign": "tail", "append": "tail",
+    "at": None, "substr": "tail",
+    "memcpy": 2, "memmove": 2, "memset": 2, "strncpy": 2, "memcmp": 2,
+    "malloc": 0, "calloc": None, "alloca": 0,
+}
+
 RULE_DESCRIPTIONS = {
     "signal-unsafe-call": "call outside the async-signal-safe allowlist, "
                           "reachable from a fatal-signal handler",
@@ -152,6 +237,21 @@ RULE_DESCRIPTIONS = {
     "hot-throw": "throw in an SJ_HOT function or its callees",
     "hot-virtual-call": "virtual dispatch in an SJ_HOT function or its "
                         "callees",
+    "wire-taint": "untrusted wire-derived value reaches an allocation "
+                  "size, container index, loop bound, or copy length "
+                  "without passing an SJ_VALIDATES sanitizer",
+    "wire-taint-no-source": "no SJ_UNTRUSTED taint source found (the "
+                            "wire-taint checker would silently cover "
+                            "nothing)",
+    "lock-blocking-call": "blocking call (socket/disk I/O, condition "
+                          "wait, sleep, join) while a Mutex is held",
+    "cancel-unpolled-loop": "loop reachable from QueryScheduler dispatch "
+                            "with no CancelToken poll, SJ_BOUNDED_WORK "
+                            "marker, or constant bound",
+    "cancel-no-root": "no QueryScheduler dispatch definition found (the "
+                      "cancellation checker would silently cover nothing)",
+    "baseline-stale": "baseline entry matches no current finding — the "
+                      "exception was fixed or renamed; delete the entry",
 }
 
 
@@ -230,7 +330,21 @@ class FunctionFacts:
     lock-order checker: (kind, payload, line, depth) where kind is one of
     'call', 'lock', 'alloc', 'throw' and depth is the brace depth inside
     the body at the fact site (lock scopes end when depth drops below
-    the acquisition depth)."""
+    the acquisition depth).
+
+    The dataflow checkers additionally consume (textual frontend only;
+    under libclang a companion textual pass supplies them):
+      params         parameter names in declaration order ("" keeps the
+                     arity when a parameter is unnamed/unparsed)
+      dflow          ordered statement-level facts, each a dict
+                     {line, asgn: [lhs, [rhs_vars], merge] | None,
+                      calls: [[callee, [[arg_vars], ...]], ...]
+                      (innermost call first), sinks: [[kind, [vars]]],
+                      ret: [vars] | None}
+      loops          [[start_line, end_line, const_bounded, cond]] for
+                     every for/while/do/range-for in the body
+      bounded_lines  lines containing an SJ_BOUNDED_WORK marker
+    """
 
     def __init__(self, qual, simple, file, line, class_ctx):
         self.qual = qual            # e.g. spatialjoin::exec::FrozenTree::NodeAt
@@ -242,6 +356,10 @@ class FunctionFacts:
         self.requires = []          # raw SJ_REQUIRES expressions
         self.excludes = []          # raw SJ_EXCLUDES expressions
         self.events = []            # [(kind, payload, line, depth)]
+        self.params = []            # parameter names, "" when unnamed
+        self.dflow = []             # statement-level dataflow facts
+        self.loops = []             # [[start, end, const_bounded, cond]]
+        self.bounded_lines = []     # SJ_BOUNDED_WORK marker lines
 
     def key(self):
         return "%s@%s:%d" % (self.qual, self.file, self.line)
@@ -252,6 +370,8 @@ class FunctionFacts:
             "line": self.line, "class_ctx": self.class_ctx,
             "annotations": self.annotations, "requires": self.requires,
             "excludes": self.excludes, "events": self.events,
+            "params": self.params, "dflow": self.dflow,
+            "loops": self.loops, "bounded_lines": self.bounded_lines,
         }
 
     @staticmethod
@@ -262,6 +382,10 @@ class FunctionFacts:
         fn.requires = d["requires"]
         fn.excludes = d["excludes"]
         fn.events = [tuple(e) for e in d["events"]]
+        fn.params = d.get("params", [])
+        fn.dflow = d.get("dflow", [])
+        fn.loops = d.get("loops", [])
+        fn.bounded_lines = d.get("bounded_lines", [])
         return fn
 
 
@@ -524,6 +648,279 @@ def _mask_check_macros(body):
     return "".join(out)
 
 
+# --------------------------------------------------------------------------
+# Statement-level dataflow extraction (shared by both frontends: under
+# libclang this scanner runs as a companion pass over the same text)
+# --------------------------------------------------------------------------
+
+_VARCHAIN_RE = re.compile(
+    r"[A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*")
+_LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
+_DO_RE = re.compile(r"\bdo\s*\{")
+_BOUNDED_WORK_RE = re.compile(r"\bSJ_BOUNDED_WORK\b")
+# A loop condition comparing one variable against an integer literal, a
+# kConstant, or a SHOUTY constant does manifestly bounded work.
+_BOUNDED_COND_RE = re.compile(
+    r"^\s*[\w.\[\]>\-]+\s*(?:<=?|!=)\s*"
+    r"(?:\d+[uUlL]*|k[A-Z]\w*|[A-Z][A-Z0-9_]{2,}|sizeof\s*\([^()]*\))"
+    r"(?:\s*[-+]\s*\d+[uUlL]*)?\s*$")
+
+# Identifier bases that are never variables worth tracking.
+_DF_NOISE = (NOT_A_CALL | _BUILTIN_TYPES | {
+    "std", "true", "false", "nullptr", "NULL", "namespace", "using",
+    "break", "continue", "default", "public", "private", "protected",
+})
+
+
+def _base_vars(expr):
+    """Base identifiers of every variable-like chain in expr
+    (`reply.result.matches` contributes `reply`; `this->n_` contributes
+    `n_`). Taint is tracked at base-identifier granularity."""
+    out = []
+    for m in _VARCHAIN_RE.finditer(expr):
+        comps = [c for c in re.split(r"\s*(?:\.|->)\s*", m.group(0)) if c]
+        base = comps[0]
+        if base == "this" and len(comps) > 1:
+            base = comps[1]
+        if base not in _DF_NOISE and base not in out:
+            out.append(base)
+    return out
+
+
+def _split_top_level(text, sep=",", angle=True):
+    """Splits on `sep` at zero bracket depth. `angle=False` skips <>
+    tracking (needed when the pieces may contain comparisons, e.g.
+    splitting a for-head on ';')."""
+    opens, closes = ("([{<", ")]}>") if angle else ("([{", ")]}")
+    parts, cur, depth = [], [], 0
+    for c in text:
+        if c in opens:
+            depth += 1
+        elif c in closes:
+            depth = max(0, depth - 1)
+        if c == sep and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _parse_params(head):
+    """Parameter names from a function head, "" for unnamed/unparsed
+    entries so argument indexes stay aligned."""
+    paren = head.find("(")
+    if paren < 0:
+        return []
+    close = _match_paren(head, paren)
+    if close < 0:
+        return []
+    inner = head[paren + 1:close].strip()
+    if not inner or inner == "void":
+        return []
+    params = []
+    for part in _split_top_level(inner):
+        part = part.split("=")[0].strip()
+        part = re.sub(r"\[[^\]]*\]\s*$", "", part).strip()
+        m = re.search(r"([A-Za-z_]\w*)\s*$", part)
+        name = m.group(1) if m else ""
+        if name in _BUILTIN_TYPES or name in NOT_A_CALL:
+            name = ""
+        params.append(name)
+    return params
+
+
+def _find_assign(s):
+    """Position of the top-level assignment operator in a statement, or
+    None. Returns (index_of_'=', is_compound)."""
+    depth = 0
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth = max(0, depth - 1)
+        elif c == "=" and depth == 0:
+            prev = s[i - 1] if i else ""
+            nxt = s[i + 1] if i + 1 < len(s) else ""
+            if nxt == "=":
+                i += 2
+                continue
+            if prev in "=!<>":
+                i += 1
+                continue
+            return i, prev in "+-*/%&|^"
+        i += 1
+    return None
+
+
+def _lhs_var(txt):
+    """Base variable written by the left-hand side of an assignment."""
+    txt = re.sub(r"\[[^\]]*\]\s*$", "", txt.strip())
+    m = re.search(
+        r"((?:this\s*->\s*)?[A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)"
+        r"\s*$", txt)
+    if not m:
+        return ""
+    comps = [c for c in re.split(r"\s*(?:\.|->)\s*", m.group(1)) if c]
+    base = comps[0]
+    if base == "this" and len(comps) > 1:
+        base = comps[1]
+    if base in _DF_NOISE:
+        return ""
+    return base
+
+
+def _match_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def _df_statement(body, start, end, body_start, lines):
+    """One statement chunk -> a dflow entry dict, or None."""
+    s = body[start:end]
+    if not s.strip():
+        return None
+    lead = len(s) - len(s.lstrip())
+    entry = {"line": lines.line_of(body_start + start + lead),
+             "asgn": None, "calls": [], "sinks": [], "ret": None}
+    if re.match(r"\s*(?:co_)?return\b", s):
+        entry["ret"] = _base_vars(s.split("return", 1)[1])
+    eq = _find_assign(s)
+    if eq is not None:
+        pos, compound = eq
+        lhs = _lhs_var(s[:pos])
+        if lhs:
+            entry["asgn"] = [lhs, _base_vars(s[pos + 1:]), compound]
+    for m in _CALL_RE.finditer(s):
+        name = re.sub(r"\s+", "", m.group(1))
+        simple = name.rsplit("::", 1)[-1]
+        if simple in NOT_A_CALL or simple in BLOCK_KEYWORDS:
+            continue
+        decl_type = _decl_type_before(s[:m.start()])
+        if decl_type is not None:
+            if not decl_type:
+                continue
+            name = decl_type
+        open_pos = s.find("(", m.end() - 1)
+        if open_pos < 0:
+            continue
+        close = _match_paren(s, open_pos)
+        arg_txt = s[open_pos + 1:close] if close != -1 else s[open_pos + 1:]
+        if arg_txt.strip():
+            args = [_base_vars(a) for a in _split_top_level(arg_txt)]
+        else:
+            args = []
+        entry["calls"].append([name, args, m.start()])
+    # Innermost (rightmost) call first: its result taint lands in the
+    # statement pool before enclosing calls consume it.
+    entry["calls"].sort(key=lambda c: -c[2])
+    entry["calls"] = [[n, a] for n, a, _pos in entry["calls"]]
+    for m in re.finditer(r"([A-Za-z_]\w*)\s*\[([^\][]*)\]", s):
+        if re.search(r"\bnew\b[\w\s:<>]*$", s[:m.start()]):
+            continue  # `new T[n]` is the alloc-size sink below
+        if m.group(1) in _DF_NOISE:
+            continue
+        vars_ = _base_vars(m.group(2))
+        if vars_:
+            entry["sinks"].append(["index", vars_])
+    for m in re.finditer(r"\bnew\b[^;()=]*?\[([^\][]*)\]", s):
+        vars_ = _base_vars(m.group(1))
+        if vars_:
+            entry["sinks"].append(["alloc-size", vars_])
+    if (entry["asgn"] or entry["calls"] or entry["sinks"]
+            or entry["ret"] is not None):
+        return entry
+    return None
+
+
+def _extract_dataflow(code, body_start, body_end, fn, lines):
+    """Populates fn.dflow, fn.loops, and fn.bounded_lines from the body
+    span. Statement boundaries are `;`, `{`, `}` — `for(init;cond;inc)`
+    heads intentionally split into three mini-statements, which the
+    generic assignment/call extraction handles correctly."""
+    body = _mask_check_macros(code[body_start:body_end])
+
+    for m in _BOUNDED_WORK_RE.finditer(body):
+        fn.bounded_lines.append(lines.line_of(body_start + m.start()))
+
+    entries = []
+    start = 0
+    for i, c in enumerate(body):
+        if c in ";{}":
+            entry = _df_statement(body, start, i, body_start, lines)
+            if entry:
+                entries.append(entry)
+            start = i + 1
+    entry = _df_statement(body, start, len(body), body_start, lines)
+    if entry:
+        entries.append(entry)
+
+    for m in _LOOP_HEAD_RE.finditer(body):
+        open_pos = body.find("(", m.end() - 1)
+        close = _match_paren(body, open_pos)
+        if close == -1:
+            continue
+        inner = body[open_pos + 1:close]
+        if m.group(1) == "for":
+            parts = _split_top_level(inner, ";", angle=False)
+            cond = parts[1] if len(parts) == 3 else ""  # range-for: ""
+            range_for = len(parts) == 1
+        else:
+            cond = inner
+            range_for = False
+        # Body extent: a brace block or a single statement.
+        j = close + 1
+        while j < len(body) and body[j].isspace():
+            j += 1
+        if j < len(body) and body[j] == "{":
+            end_pos = _match_brace(body, j)
+        else:
+            depth = 0
+            end_pos = len(body) - 1
+            for k in range(j, len(body)):
+                if body[k] in "([{":
+                    depth += 1
+                elif body[k] in ")]}":
+                    depth -= 1
+                elif body[k] == ";" and depth == 0:
+                    end_pos = k
+                    break
+        bounded = (not range_for and cond.strip() != "" and
+                   bool(_BOUNDED_COND_RE.match(cond)))
+        fn.loops.append([lines.line_of(body_start + m.start()),
+                         lines.line_of(body_start + end_pos),
+                         bounded, re.sub(r"\s+", " ", cond.strip())[:80]])
+        # A loop condition is a numeric-bound sink only when it actually
+        # compares something: `while (decoder.Next(&frame))` iterates on
+        # a call result, and tainting its operands as loop bounds would
+        # flag every pump loop over wire data.
+        cond_vars = _base_vars(cond) if re.search(r"[<>]|!=", cond) else []
+        if cond_vars:
+            entries.append({"line": lines.line_of(body_start + open_pos),
+                            "asgn": None, "calls": [],
+                            "sinks": [["loop-bound", cond_vars]],
+                            "ret": None})
+    for m in _DO_RE.finditer(body):
+        end_pos = _match_brace(body, body.find("{", m.start()))
+        fn.loops.append([lines.line_of(body_start + m.start()),
+                         lines.line_of(body_start + end_pos), False, "do"])
+
+    entries.sort(key=lambda e: e["line"])
+    fn.dflow = entries
+    fn.loops.sort()
+    fn.bounded_lines.sort()
+
+
 class _Scope:
     def __init__(self, kind, name, fn=None):
         self.kind = kind  # namespace | class | function | block | enum
@@ -578,6 +975,13 @@ def _extract_body_facts(code, body_start, body_end, fn, lines):
             depth += 1
         elif c == "}":
             depth -= 1
+            # Scope boundary: a MutexLock declared inside this brace pair
+            # is destroyed here. Depth alone cannot distinguish sibling
+            # scopes (`{ MutexLock l(mu_); } if (x) { Blocking(); }` —
+            # both at depth 1), so the held-set walks consume these
+            # explicit close events to drop dead locks.
+            fn.events.append(("scope-close", "",
+                              lines.line_of(body_start + i), depth))
     # Flush any fact recorded exactly at the final brace (unlikely).
     while fi < len(facts):
         pos, kind, payload = facts[fi]
@@ -651,11 +1055,11 @@ def extract_textual(rel_path, text):
         return ""
 
     def harvest_decl_annotations(stmt):
-        """Attaches SJ_HOT/SJ_SIGNAL_SAFE/SJ_REQUIRES/SJ_EXCLUDES found
-        on a declaration (prototype) to the named function, so marking
-        the header is enough even when the definition lives in a .cc."""
-        if not re.search(r"\bSJ_(?:HOT|SIGNAL_SAFE|REQUIRES|EXCLUDES)\b",
-                         stmt):
+        """Attaches SJ_* contract annotations found on a declaration
+        (prototype) to the named function, so marking the header is
+        enough even when the definition lives in a .cc."""
+        if not re.search(r"\bSJ_(?:HOT|SIGNAL_SAFE|REQUIRES|EXCLUDES|"
+                         r"UNTRUSTED|VALIDATES|BLOCKING)\b", stmt):
             return
         paren = stmt.find("(")
         if paren <= 0:
@@ -667,10 +1071,13 @@ def extract_textual(rel_path, text):
         if simple in NOT_A_CALL or simple in BLOCK_KEYWORDS:
             return
         cls = class_ctx()
-        if re.search(r"\bSJ_HOT\b", stmt):
-            facts.decl_annotations.append((cls, simple, "hot", ""))
-        if re.search(r"\bSJ_SIGNAL_SAFE\b", stmt):
-            facts.decl_annotations.append((cls, simple, "signal_safe", ""))
+        for token, kind in (("SJ_HOT", "hot"),
+                            ("SJ_SIGNAL_SAFE", "signal_safe"),
+                            ("SJ_UNTRUSTED", "untrusted"),
+                            ("SJ_VALIDATES", "validates"),
+                            ("SJ_BLOCKING", "blocking")):
+            if re.search(r"\b%s\b" % token, stmt):
+                facts.decl_annotations.append((cls, simple, kind, ""))
         for expr in _REQUIRES_RE.findall(stmt):
             facts.decl_annotations.append(
                 (cls, simple, "requires", expr.strip()))
@@ -732,6 +1139,13 @@ def extract_textual(rel_path, text):
                     fn.annotations.append("sj::hot")
                 if re.search(r"\bSJ_SIGNAL_SAFE\b", full_head):
                     fn.annotations.append("sj::signal_safe")
+                if re.search(r"\bSJ_UNTRUSTED\b", full_head):
+                    fn.annotations.append("sj::untrusted")
+                if re.search(r"\bSJ_VALIDATES\b", full_head):
+                    fn.annotations.append("sj::validates")
+                if re.search(r"\bSJ_BLOCKING\b", full_head):
+                    fn.annotations.append("sj::blocking")
+                fn.params = _parse_params(full_head.strip())
                 fn.requires = [x.strip()
                                for x in _REQUIRES_RE.findall(full_head)]
                 fn.excludes = [x.strip()
@@ -748,6 +1162,8 @@ def extract_textual(rel_path, text):
                 if scope.kind == "function":
                     _extract_body_facts(code, scope.body_start, i,
                                         scope.fn, lines)
+                    _extract_dataflow(code, scope.body_start, i,
+                                      scope.fn, lines)
                     facts.functions.append(scope.fn)
             head_start = i + 1
         elif c == ";":
@@ -964,14 +1380,16 @@ class Program:
                 self.by_qual.setdefault(fn.qual, []).append(key)
 
         # Header prototypes annotate; definitions inherit.
+        marker_kinds = {"hot": "sj::hot", "signal_safe": "sj::signal_safe",
+                        "untrusted": "sj::untrusted",
+                        "validates": "sj::validates",
+                        "blocking": "sj::blocking"}
         for fn in self.functions.values():
             for kind, payload in decl_annotations.get(
                     (fn.class_ctx, fn.simple), []):
-                if kind == "hot" and "sj::hot" not in fn.annotations:
-                    fn.annotations.append("sj::hot")
-                elif kind == "signal_safe" and \
-                        "sj::signal_safe" not in fn.annotations:
-                    fn.annotations.append("sj::signal_safe")
+                if kind in marker_kinds:
+                    if marker_kinds[kind] not in fn.annotations:
+                        fn.annotations.append(marker_kinds[kind])
                 elif kind == "requires" and payload not in fn.requires:
                     fn.requires.append(payload)
                 elif kind == "excludes" and payload not in fn.excludes:
@@ -1319,6 +1737,358 @@ def check_hot_path(program):
 
 
 # --------------------------------------------------------------------------
+# Dataflow checkers (run over the textual dataflow program under both
+# frontends)
+# --------------------------------------------------------------------------
+
+def _taint_eval(program, summaries, key, report):
+    """Evaluates one function against the current summaries. Taint tags
+    are "T" (wire-derived) or an int parameter index. Returns
+    (summary, findings): summary = {ret: tags, sinks: {param: (desc,
+    line)}, out: {param: tags}}."""
+    fn = program.functions[key]
+    out_findings = []
+    summary = {"ret": set(), "sinks": {}, "out": {}}
+    tags = {}
+    for i, p in enumerate(fn.params):
+        if p:
+            tags[p] = {i}
+
+    def vtags(vs):
+        t = set()
+        for v in vs:
+            t |= tags.get(v, set())
+        return t
+
+    def hit(t, desc, line, via):
+        for tag in sorted(t, key=str):
+            if tag == "T":
+                if report:
+                    out_findings.append(Finding(
+                        "wire-taint", fn.file, line,
+                        "untrusted wire value reaches %s in %s%s without "
+                        "passing an SJ_VALIDATES sanitizer"
+                        % (desc, fn.qual, via), fn.qual, desc))
+            else:
+                summary["sinks"].setdefault(tag, (desc, line))
+
+    for st in fn.dflow:
+        line = st["line"]
+        pool = set()  # taint returned by calls inside this statement
+        if st["asgn"]:
+            lhs, rhs, compound = st["asgn"]
+            nt = vtags(rhs)
+            tags[lhs] = (tags.get(lhs, set()) | nt) if compound else nt
+        for name, args in st["calls"]:
+            simple = name.rsplit("::", 1)[-1]
+            argtags = [vtags(a) | pool for a in args]
+            cands = program.resolve_call(fn, name)
+            is_src = any("sj::untrusted" in program.functions[c].annotations
+                         for c in cands)
+            is_san = any("sj::validates" in program.functions[c].annotations
+                         for c in cands)
+            rt = set()
+            if is_src:
+                # Source: the return value and every by-reference
+                # argument now carry wire taint.
+                rt.add("T")
+                for a in args:
+                    for v in a:
+                        tags[v] = tags.get(v, set()) | {"T"}
+            elif is_san:
+                # Sanitizer: arguments, out-params, and the return value
+                # are validated from here on. The assignment target was
+                # already tagged from the raw rhs vars above, so a
+                # statement of the form `x = Validate(y)` must bless the
+                # lhs as well.
+                for a in args:
+                    for v in a:
+                        tags[v] = set()
+                pool.clear()
+                if st["asgn"]:
+                    tags[st["asgn"][0]] = set()
+            elif cands:
+                for c in cands:
+                    cs = summaries[c]
+                    for tag in cs["ret"]:
+                        if tag == "T":
+                            rt.add("T")
+                        elif isinstance(tag, int) and tag < len(argtags):
+                            rt |= argtags[tag]
+                    for pi, (desc, _l) in sorted(cs["sinks"].items()):
+                        if pi < len(argtags):
+                            hit(argtags[pi], desc, line,
+                                " (via %s)" % program.functions[c].simple)
+                    for pi, otags in sorted(cs["out"].items()):
+                        if pi < len(argtags):
+                            resolved = set()
+                            for tag in otags:
+                                if tag == "T":
+                                    resolved.add("T")
+                                elif isinstance(tag, int) and \
+                                        tag < len(argtags):
+                                    resolved |= argtags[tag]
+                            for v in args[pi]:
+                                tags[v] = tags.get(v, set()) | resolved
+            if simple in TAINT_SINK_CALLS and not is_san:
+                idx = TAINT_SINK_CALLS[simple]
+                desc = "%s argument" % simple
+                if idx is None:
+                    checked = argtags
+                elif idx == "tail":
+                    checked = argtags[1:]
+                elif idx < len(argtags):
+                    checked = [argtags[idx]]
+                else:
+                    checked = []
+                for t in checked:
+                    hit(t, desc, line, "")
+            pool |= rt
+            if st["asgn"] and rt:
+                lhs = st["asgn"][0]
+                tags[lhs] = tags.get(lhs, set()) | rt
+        for kind, vs in st["sinks"]:
+            hit(vtags(vs) | pool, kind, line, "")
+        if st["ret"] is not None:
+            summary["ret"] |= vtags(st["ret"]) | pool
+
+    # Out-params: taint a parameter accumulated beyond its own identity
+    # tag is visible to the caller through that argument.
+    for i, p in enumerate(fn.params):
+        if not p:
+            continue
+        extra = tags.get(p, set()) - {i}
+        if extra:
+            summary["out"][i] = extra
+    return summary, out_findings
+
+
+def check_wire_taint(program):
+    findings = []
+    sources = sorted(key for key, fn in program.functions.items()
+                     if "sj::untrusted" in fn.annotations)
+    if not sources:
+        findings.append(Finding(
+            "wire-taint-no-source", "<program>", 0,
+            "no SJ_UNTRUSTED function found; the wire-taint checker has "
+            "no taint source to track", "<program>", "no-source"))
+        return findings
+
+    keys = sorted(program.functions)
+    summaries = {k: {"ret": set(), "sinks": {}, "out": {}} for k in keys}
+    for _round in range(50):
+        changed = False
+        for k in keys:
+            new, _ = _taint_eval(program, summaries, k, report=False)
+            old = summaries[k]
+            if (new["ret"] != old["ret"] or new["out"] != old["out"]
+                    or set(new["sinks"]) != set(old["sinks"])):
+                summaries[k] = new
+                changed = True
+        if not changed:
+            break
+    for k in keys:
+        _, fs = _taint_eval(program, summaries, k, report=True)
+        findings.extend(fs)
+    return findings
+
+
+def _transitive_blockers(program):
+    """Fixpoint: for every function, the set of blocking leaf names
+    (or SJ_BLOCKING function names) reachable through direct calls."""
+    blocks = {}
+    calls = {}
+    for k, fn in sorted(program.functions.items()):
+        b = set()
+        if "sj::blocking" in fn.annotations:
+            b.add(fn.simple)
+        resolved_calls = []
+        for kind, payload, _line, _depth in fn.events:
+            if kind != "call" or _is_virtual_call(program, payload):
+                continue
+            cands = program.resolve_call(fn, payload)
+            simple = payload.rsplit("::", 1)[-1]
+            if not cands and simple in BLOCKING_LEAVES:
+                b.add(simple)
+            resolved_calls.append(cands)
+        blocks[k] = b
+        calls[k] = resolved_calls
+    changed = True
+    while changed:
+        changed = False
+        for k in blocks:
+            for cands in calls[k]:
+                for c in cands:
+                    extra = blocks.get(c, set()) - blocks[k]
+                    if extra:
+                        blocks[k] |= extra
+                        changed = True
+    return blocks
+
+
+def check_blocking_under_lock(program):
+    findings = []
+    blocks = _transitive_blockers(program)
+    for k in sorted(program.functions):
+        fn = program.functions[k]
+        # Wait-call arguments, for the CondVar release exemption.
+        wait_args = {}
+        for st in fn.dflow:
+            for name, args in st["calls"]:
+                simple = name.rsplit("::", 1)[-1]
+                if simple in CONDVAR_WAIT_METHODS and args:
+                    wait_args.setdefault((st["line"], simple), args[0])
+        held = []  # [(canonical mutex, depth)]
+        for mu_expr in fn.requires:
+            held.append((program.canon_mutex(fn, mu_expr), -1))
+        for kind, payload, line, depth in fn.events:
+            while held and held[-1][1] >= 0 and held[-1][1] > depth:
+                held.pop()
+            if kind == "lock":
+                held.append((program.canon_mutex(fn, payload), depth))
+                continue
+            if kind != "call" or not held:
+                continue
+            if _is_virtual_call(program, payload):
+                continue
+            simple = payload.rsplit("::", 1)[-1]
+            cands = program.resolve_call(fn, payload)
+            witness = set()
+            if not cands and simple in BLOCKING_LEAVES:
+                witness.add(simple)
+            for c in cands:
+                witness |= blocks.get(c, set())
+            if not witness:
+                continue
+            # CondVar::Wait* atomically releases the mutex it is handed,
+            # so holding exactly that mutex across the wait is the
+            # intended protocol, not a finding. The dflow arg records
+            # base identifiers (`sync_` for `sync_->mu`), so match both
+            # the canonical form and the held expression's base.
+            wvars = (wait_args.get((line, simple)) or []) \
+                if simple in CONDVAR_WAIT_METHODS else []
+            exempt = {program.canon_mutex(fn, v) for v in wvars}
+            remaining = []
+            for h, _d in held:
+                if h in exempt:
+                    continue
+                tail = h.rsplit(":", 1)[-1]
+                if any(tail == v or tail.startswith(v + ".") or
+                       tail.startswith(v + "->") for v in wvars):
+                    continue
+                remaining.append(h)
+            if remaining:
+                findings.append(Finding(
+                    "lock-blocking-call", fn.file, line,
+                    "%s calls %s (may block: %s) while holding %s"
+                    % (fn.qual, payload, ", ".join(sorted(witness)),
+                       ", ".join(remaining)),
+                    fn.qual, "%s:%s" % (simple, remaining[0])))
+    return findings
+
+
+def _dispatch_anchors(program, dispatch):
+    return {k for k, fn in program.functions.items()
+            if fn.qual == dispatch or fn.qual.endswith("::" + dispatch)}
+
+
+def _cancellation_closure(program, dispatch):
+    """(roots, order, parents): roots are the dispatch definition plus
+    everything that can reach it (the lambda bodies handed to Submit are
+    attributed to their enclosing functions, so the work they dispatch
+    is reachable from those ancestors); order is the forward closure."""
+    anchors = _dispatch_anchors(program, dispatch)
+    rev = {}
+    for k, fn in program.functions.items():
+        for kind, payload, _line, _depth in fn.events:
+            if kind == "call" and not _is_virtual_call(program, payload):
+                for c in program.resolve_call(fn, payload):
+                    rev.setdefault(c, set()).add(k)
+    roots = set(anchors)
+    queue = list(anchors)
+    while queue:
+        k = queue.pop()
+        for p in rev.get(k, ()):
+            if p not in roots:
+                roots.add(p)
+                queue.append(p)
+    order, parents = _reach_closure(program, roots)
+    return roots, order, parents
+
+
+def check_cancellation(program, dispatch):
+    findings = []
+    if not _dispatch_anchors(program, dispatch):
+        findings.append(Finding(
+            "cancel-no-root", "<program>", 0,
+            "no %s definition found; the cancellation checker has no "
+            "dispatch root to cover" % dispatch, "<program>", "no-dispatch"))
+        return findings
+    roots, order, parents = _cancellation_closure(program, dispatch)
+
+    # Fixpoint: functions that (transitively) poll CancelToken.
+    fwd = {}
+    polls = set()
+    for k, fn in program.functions.items():
+        callees = set()
+        for kind, payload, _line, _depth in fn.events:
+            if kind == "call" and not _is_virtual_call(program, payload):
+                if payload.rsplit("::", 1)[-1] == "ShouldStop":
+                    polls.add(k)
+                callees.update(program.resolve_call(fn, payload))
+        fwd[k] = callees
+    changed = True
+    while changed:
+        changed = False
+        for k in fwd:
+            if k not in polls and fwd[k] & polls:
+                polls.add(k)
+                changed = True
+
+    for k in sorted(set(order)):
+        fn = program.functions[k]
+        if not fn.loops:
+            continue
+        # Assign each SJ_BOUNDED_WORK marker to its innermost loop: the
+        # marker is a claim about one specific loop, not its enclosers.
+        marked = [False] * len(fn.loops)
+        for ml in fn.bounded_lines:
+            best = None
+            for i, (start, end, _b, _c) in enumerate(fn.loops):
+                if start <= ml <= end and (
+                        best is None or
+                        end - start < fn.loops[best][1] - fn.loops[best][0]):
+                    best = i
+            if best is not None:
+                marked[best] = True
+        chain = _chain(program, parents, k, roots)
+        for i, (start, end, bounded, cond) in enumerate(fn.loops):
+            if bounded or marked[i]:
+                continue
+            ok = False
+            for kind, payload, line, _depth in fn.events:
+                if kind != "call" or not (start <= line <= end):
+                    continue
+                if payload.rsplit("::", 1)[-1] == "ShouldStop":
+                    ok = True
+                    break
+                if not _is_virtual_call(program, payload) and \
+                        polls & set(program.resolve_call(fn, payload)):
+                    ok = True
+                    break
+            if ok:
+                continue
+            findings.append(Finding(
+                "cancel-unpolled-loop", fn.file, start,
+                "loop in %s (reachable from %s [%s]) has no CancelToken "
+                "poll, SJ_BOUNDED_WORK marker, or constant bound%s"
+                % (fn.qual, dispatch, chain,
+                   " (cond: %s)" % cond if cond else ""),
+                fn.qual, "loop#%d" % (i + 1)))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -1337,8 +2107,12 @@ def scan_files(root, scan_dirs):
     return files
 
 
-def _cache_path(cache_dir, rel_path):
-    digest = hashlib.sha256(rel_path.encode()).hexdigest()[:24]
+def _cache_path(cache_dir, rel_path, frontend):
+    # The frontend participates in the file name: under libclang the
+    # textual companion pass caches its facts alongside the AST facts
+    # for the same file.
+    digest = hashlib.sha256(
+        ("%s\0%s" % (frontend, rel_path)).encode()).hexdigest()[:24]
     return os.path.join(cache_dir, digest + ".json")
 
 
@@ -1363,7 +2137,8 @@ def extract_all(root, files, frontend, compdb, cache_dir):
         if frontend == "libclang":
             flags = compdb.get(os.path.realpath(abs_path), [])
         key = _cache_key(text, frontend, flags)
-        cache_file = _cache_path(cache_dir, rel) if cache_dir else None
+        cache_file = (_cache_path(cache_dir, rel, frontend)
+                      if cache_dir else None)
         if cache_file and os.path.exists(cache_file):
             try:
                 with open(cache_file, "r", encoding="utf-8") as f:
@@ -1416,6 +2191,10 @@ def main(argv=None):
                              % ", ".join(ALL_CHECKS))
     parser.add_argument("--order", default=",".join(DEFAULT_LOCK_ORDER),
                         help="documented lock hierarchy, outermost first")
+    parser.add_argument("--dispatch", default=DEFAULT_DISPATCH,
+                        help="qualified suffix of the query-dispatch "
+                             "function rooting the cancellation checker "
+                             "(default: %(default)s)")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON (default: "
                              "<root>/%s)" % DEFAULT_BASELINE)
@@ -1430,8 +2209,9 @@ def main(argv=None):
                         help="facts cache directory (default: "
                              "<root>/build/sj_analyze_cache)")
     parser.add_argument("--no-cache", action="store_true")
-    parser.add_argument("--dump-reachable", choices=("signal-safety",
-                                                     "hot-path"),
+    parser.add_argument("--dump-reachable",
+                        choices=("signal-safety", "hot-path", "wire-taint",
+                                 "blocking-under-lock", "cancellation"),
                         help="print the checker's roots and reachable "
                              "set as JSON and exit")
     parser.add_argument("--list-rules", action="store_true")
@@ -1478,6 +2258,15 @@ def main(argv=None):
     all_facts = extract_all(root, files, frontend, compdb, cache_dir)
     program = Program(all_facts)
 
+    # The dataflow checkers always run over the shared textual
+    # statement-level facts so both frontends agree bit-for-bit; under
+    # the textual frontend that program *is* the main program.
+    if frontend == "libclang":
+        dprogram = Program(extract_all(root, files, "textual", {},
+                                       cache_dir))
+    else:
+        dprogram = program
+
     if args.dump_reachable:
         if args.dump_reachable == "signal-safety":
             roots = set()
@@ -1486,9 +2275,48 @@ def main(argv=None):
             for key, fn in program.functions.items():
                 if "sj::signal_safe" in fn.annotations:
                     roots.add(key)
-        else:
+        elif args.dump_reachable == "hot-path":
             roots = {key for key, fn in program.functions.items()
                      if "sj::hot" in fn.annotations}
+        elif args.dump_reachable == "wire-taint":
+            print(json.dumps({
+                "frontend": frontend,
+                "sources": sorted(fn.qual for fn in
+                                  dprogram.functions.values()
+                                  if "sj::untrusted" in fn.annotations),
+                "sanitizers": sorted(fn.qual for fn in
+                                     dprogram.functions.values()
+                                     if "sj::validates" in fn.annotations),
+            }, indent=2))
+            return 0
+        elif args.dump_reachable == "blocking-under-lock":
+            blocks = _transitive_blockers(dprogram)
+            print(json.dumps({
+                "frontend": frontend,
+                "blocking": {dprogram.functions[k].qual: sorted(v)
+                             for k, v in sorted(blocks.items()) if v},
+            }, indent=2))
+            return 0
+        elif args.dump_reachable == "cancellation":
+            anchors = _dispatch_anchors(dprogram, args.dispatch)
+            if not anchors:
+                print(json.dumps({"frontend": frontend, "dispatch": [],
+                                  "covered": [], "loops": {}}, indent=2))
+                return 0
+            _roots, order, _parents = _cancellation_closure(
+                dprogram, args.dispatch)
+            print(json.dumps({
+                "frontend": frontend,
+                "dispatch": sorted(dprogram.functions[k].qual
+                                   for k in anchors),
+                "covered": sorted(dprogram.functions[k].qual
+                                  for k in set(order)),
+                "loops": {dprogram.functions[k].qual:
+                          len(dprogram.functions[k].loops)
+                          for k in sorted(set(order))
+                          if dprogram.functions[k].loops},
+            }, indent=2))
+            return 0
         order, _parents = _reach_closure(program, roots)
         print(json.dumps({
             "frontend": frontend,
@@ -1505,6 +2333,12 @@ def main(argv=None):
         findings.extend(check_lock_order(program, lock_order))
     if "hot-path" in checks:
         findings.extend(check_hot_path(program))
+    if "wire-taint" in checks:
+        findings.extend(check_wire_taint(dprogram))
+    if "blocking-under-lock" in checks:
+        findings.extend(check_blocking_under_lock(dprogram))
+    if "cancellation" in checks:
+        findings.extend(check_cancellation(dprogram, args.dispatch))
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
 
     # Collapse duplicates (the same site reached via several roots).
@@ -1532,6 +2366,27 @@ def main(argv=None):
     for finding in findings:
         if finding.key() in baseline:
             finding.suppressed = True
+
+    # Stale-baseline detection: an entry for a rule whose checker ran,
+    # matching no current finding, is dead weight that would silently
+    # suppress a future regression at the same key — fail until the
+    # entry is deleted. Entries for checkers that did not run this
+    # invocation are left alone.
+    if baseline:
+        ran_rules = set()
+        for check in checks:
+            ran_rules.update(CHECK_RULES[check])
+        found_keys = {f.key() for f in findings}
+        rel_baseline = os.path.relpath(baseline_path, root) \
+            if os.path.isabs(baseline_path) else baseline_path
+        for bkey in sorted(baseline):
+            if bkey[0] in ran_rules and bkey not in found_keys:
+                findings.append(Finding(
+                    "baseline-stale", rel_baseline.replace(os.sep, "/"), 0,
+                    "baseline entry (rule=%s, symbol=%s, detail=%s) "
+                    "matches no current finding — the exception was fixed "
+                    "or the symbol renamed; delete the entry"
+                    % bkey, bkey[1], "%s:%s" % (bkey[0], bkey[2])))
 
     unsuppressed = [f for f in findings if not f.suppressed]
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -83,6 +84,7 @@ BPlusTree::Node BPlusTree::LoadNode(PageId pid) const {
     node.keys.reserve(count);
     node.values.reserve(count);
     for (uint16_t i = 0; i < count; ++i) {
+      SJ_BOUNDED_WORK;  // one page's entries; count <= page fanout
       node.keys.push_back(LoadPod<uint64_t>(*page, &pos));
       node.values.push_back(LoadPod<uint64_t>(*page, &pos));
     }
@@ -91,6 +93,7 @@ BPlusTree::Node BPlusTree::LoadNode(PageId pid) const {
     node.children.push_back(LoadPod<PageId>(*page, &pos));
     node.keys.reserve(count);
     for (uint16_t i = 0; i < count; ++i) {
+      SJ_BOUNDED_WORK;  // one page's entries; count <= page fanout
       node.keys.push_back(LoadPod<uint64_t>(*page, &pos));
       node.children.push_back(LoadPod<PageId>(*page, &pos));
     }
@@ -239,6 +242,7 @@ void BPlusTree::ScanRange(
   // in this leaf.
   PageId pid = root_;
   for (;;) {
+    SJ_BOUNDED_WORK;  // root-to-leaf descent; tree-height-bounded
     Node node = LoadNode(pid);
     if (node.is_leaf) break;
     auto it = std::lower_bound(node.keys.begin(), node.keys.end(), lo);
@@ -247,8 +251,10 @@ void BPlusTree::ScanRange(
     pid = node.children[static_cast<size_t>(it - node.keys.begin())];
   }
   while (pid != kInvalidPageId) {
+    SJ_BOUNDED_WORK;  // leaf chain of [lo, hi]; exits past the first key > hi
     Node node = LoadNode(pid);
     for (size_t i = 0; i < node.keys.size(); ++i) {
+      SJ_BOUNDED_WORK;  // one leaf page's keys (<= page fanout)
       if (node.keys[i] < lo) continue;
       if (node.keys[i] > hi) return;
       fn(node.keys[i], node.values[i]);

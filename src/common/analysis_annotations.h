@@ -1,0 +1,54 @@
+#ifndef SPATIALJOIN_COMMON_ANALYSIS_ANNOTATIONS_H_
+#define SPATIALJOIN_COMMON_ANALYSIS_ANNOTATIONS_H_
+
+/// Dataflow contract annotations for the interprocedural checkers in
+/// scripts/analysis/sj_analyze.py (DESIGN.md §9): wire-taint,
+/// blocking-under-lock, and cancellation-reachability. Like SJ_HOT /
+/// SJ_SIGNAL_SAFE (common/thread_annotations.h), these are no-ops at
+/// runtime; under clang they additionally emit an `annotate` attribute
+/// for the libclang frontend, and the textual frontend matches the
+/// macro token. Function annotations go in the decl-specifier position
+/// (`SJ_UNTRUSTED uint32_t ReadU32();`).
+
+#include "common/thread_annotations.h"
+
+/// Taint source: every integer/size/count this function returns or
+/// writes through an out-parameter originates in an untrusted wire
+/// frame (FrameDecoder payload bytes). sj_analyze's wire-taint checker
+/// tracks such values interprocedurally and fails if one reaches an
+/// allocation size, container index, loop bound, resize/reserve, or
+/// memcpy length without first passing through an SJ_VALIDATES
+/// sanitizer.
+#define SJ_UNTRUSTED SJ_ANALYZE_ANNOTATE("sj::untrusted")
+
+/// Taint sanitizer: this function range-checks its inputs (rejecting
+/// or clamping out-of-range values), so the values it returns or
+/// writes through out-parameters — and the arguments it was given —
+/// are considered validated downstream. The sanitizer's *own* body is
+/// still analyzed: a bug inside an SJ_VALIDATES function is reported,
+/// not blessed.
+#define SJ_VALIDATES SJ_ANALYZE_ANNOTATE("sj::validates")
+
+/// Blocking contract: this function may block the calling thread for
+/// an unbounded time (socket I/O, disk I/O, condition waits, queue
+/// backpressure) even though the analyzer cannot see a blocking leaf
+/// call inside it. The blocking-under-lock checker treats every call
+/// to it as a blocking sink: calling it with any Mutex held is a
+/// finding.
+#define SJ_BLOCKING SJ_ANALYZE_ANNOTATE("sj::blocking")
+
+/// Statement marker: the enclosing loop provably does bounded work (a
+/// fixed number of iterations over in-memory data, no I/O), so it is
+/// exempt from the cancellation-reachability rule that every loop
+/// reachable from QueryScheduler dispatch must poll a CancelToken.
+/// Write it as the first statement of the loop body:
+///
+///   for (const auto& pair : current_level) {
+///     SJ_BOUNDED_WORK;  // one tree level; the level loop above polls
+///     ...
+///   }
+///
+/// Every use must carry a comment saying why the bound holds.
+#define SJ_BOUNDED_WORK static_cast<void>(0)
+
+#endif  // SPATIALJOIN_COMMON_ANALYSIS_ANNOTATIONS_H_

@@ -1,5 +1,6 @@
 #include "core/index_nested_loop.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -28,18 +29,21 @@ class SwappedTheta : public ThetaOperator {
 
 JoinResult IndexNestedLoopJoin(const GeneralizationTree& r_tree,
                                const Relation& s, size_t col_s,
-                               const ThetaOperator& op, Traversal traversal) {
+                               const ThetaOperator& op, Traversal traversal,
+                               const exec::CancelToken* cancel) {
   SJ_CHECK_LT(col_s, s.schema().num_columns());
   SwappedTheta probe_op(&op);
   JoinResult result;
   s.Scan([&](TupleId s_tid, const Tuple& s_tuple) {
     ++result.nodes_accessed;
     SelectResult probe =
-        SpatialSelect(s_tuple.value(col_s), r_tree, probe_op, traversal);
+        SpatialSelect(s_tuple.value(col_s), r_tree, probe_op, traversal,
+                      /*trace=*/nullptr, cancel);
     result.theta_tests += probe.theta_tests;
     result.theta_upper_tests += probe.theta_upper_tests;
     result.nodes_accessed += probe.nodes_accessed;
     for (TupleId r_tid : probe.matching_tuples) {
+      SJ_BOUNDED_WORK;  // one probe's match list; the probe itself polls
       result.matches.emplace_back(r_tid, s_tid);
     }
   });

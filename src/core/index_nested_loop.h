@@ -4,6 +4,7 @@
 #include "core/gentree.h"
 #include "core/join.h"
 #include "core/select.h"
+#include "exec/cancel.h"
 #include "core/theta_ops.h"
 #include "relational/relation.h"
 
@@ -16,10 +17,15 @@ namespace spatialjoin {
 ///
 /// The result pairs are ordered (R tuple, S tuple) and θ is applied as
 /// θ(r, s) even though the probe runs with s as the selector.
+///
+/// `cancel` (optional) is forwarded into every SELECT probe, which polls
+/// it at its level boundaries; a cancelled join returns the matches found
+/// so far.
 JoinResult IndexNestedLoopJoin(const GeneralizationTree& r_tree,
                                const Relation& s, size_t col_s,
                                const ThetaOperator& op,
-                               Traversal traversal = Traversal::kBreadthFirst);
+                               Traversal traversal = Traversal::kBreadthFirst,
+                               const exec::CancelToken* cancel = nullptr);
 
 }  // namespace spatialjoin
 

@@ -1,5 +1,6 @@
 #include "core/join.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "core/join_detail.h"
 #include "exec/cancel.h"
@@ -55,6 +56,7 @@ JoinResult TreeJoin(const GeneralizationTree& r_tree,
 
     std::vector<std::pair<NodeId, NodeId>> next_level;
     for (const auto& [a, b] : current_level) {
+      SJ_BOUNDED_WORK;  // one level's QualPairs; the level loop polls
       if (join_detail::ProcessQualPair(r_tree, s_tree, a, b, op, &result,
                                        &next_level)) {
         ++level_descended;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/thread_annotations.h"
 #include "core/gentree.h"
 #include "core/join.h"
@@ -37,8 +38,12 @@ SJ_HOT inline std::vector<NodeId> SelectPass(
   Rectangle selector_mbr = selector_tree.MbrOf(selector_node);
   std::vector<NodeId> direct_children = tree.Children(anchor);
   std::deque<std::pair<NodeId, bool>> worklist;  // (node, is_direct_child)
-  for (NodeId c : direct_children) worklist.emplace_back(c, true);
+  for (NodeId c : direct_children) {
+    SJ_BOUNDED_WORK;  // one anchor's direct children (node fanout)
+    worklist.emplace_back(c, true);
+  }
   while (!worklist.empty()) {
+    SJ_BOUNDED_WORK;  // one anchor's subtree; the JOIN level loop polls
     auto [node, is_direct] = worklist.front();
     worklist.pop_front();
     ++result->theta_upper_tests;
@@ -65,6 +70,7 @@ SJ_HOT inline std::vector<NodeId> SelectPass(
       }
     }
     for (NodeId child : tree.Children(node)) {
+      SJ_BOUNDED_WORK;  // one node's children (node fanout)
       worklist.emplace_back(child, false);
     }
   }
@@ -104,7 +110,11 @@ SJ_HOT inline bool ProcessQualPair(const GeneralizationTree& r_tree,
   std::vector<NodeId> qual_a = SelectPass(s_tree, b, geom_b, r_tree, a, op,
                                           /*selector_is_r=*/false, result);
   for (NodeId a2 : qual_a) {
-    for (NodeId b2 : qual_b) next_level->emplace_back(a2, b2);
+    SJ_BOUNDED_WORK;  // qualifying children of one pair (fanout^2)
+    for (NodeId b2 : qual_b) {
+      SJ_BOUNDED_WORK;  // qualifying children of one pair (fanout^2)
+      next_level->emplace_back(a2, b2);
+    }
   }
   return true;
 }

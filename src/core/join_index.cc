@@ -1,5 +1,6 @@
 #include "core/join_index.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -85,6 +86,7 @@ JoinResult JoinIndex::Execute(const Relation& r, const Relation& s) const {
 std::vector<TupleId> JoinIndex::SMatchesOf(TupleId r_tid) const {
   std::vector<TupleId> out;
   for (uint64_t v : forward_.Lookup(static_cast<uint64_t>(r_tid))) {
+    SJ_BOUNDED_WORK;  // one tuple's precomputed match list
     out.push_back(static_cast<TupleId>(v));
   }
   return out;

@@ -75,7 +75,8 @@ int64_t LocalJoinIndex::Build(const ThetaOperator& op) {
   return tests;
 }
 
-JoinResult LocalJoinIndex::Execute(const ThetaOperator& op) const {
+JoinResult LocalJoinIndex::Execute(const ThetaOperator& op,
+                                   const exec::CancelToken* cancel) const {
   SJ_CHECK_MSG(built_, "Execute before Build");
   JoinResult result;
   // Intra-partition: read off the precomputed pairs.
@@ -86,15 +87,18 @@ JoinResult LocalJoinIndex::Execute(const ThetaOperator& op) const {
   // Cross-partition: Θ-pruned live computation.
   for (size_t p = 0; p < partitions_.size(); ++p) {
     for (size_t q = 0; q < partitions_.size(); ++q) {
+      if (cancel != nullptr && cancel->ShouldStop()) return result;
       if (p == q) continue;
       const Partition& pp = partitions_[p];
       const Partition& qq = partitions_[q];
       ++result.theta_upper_tests;
       if (!op.ThetaUpper(pp.mbr, qq.mbr)) continue;
       for (const Member& a : pp.members) {
+        SJ_BOUNDED_WORK;  // one partition's members; the pair loop polls
         Value ga = tree_->Geometry(a.node);
         ++result.nodes_accessed;
         for (const Member& b : qq.members) {
+          SJ_BOUNDED_WORK;  // one partition's members; the pair loop polls
           ++result.theta_upper_tests;
           if (!op.ThetaUpper(a.mbr, b.mbr)) continue;
           ++result.theta_tests;

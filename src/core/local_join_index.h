@@ -8,6 +8,7 @@
 #include "core/gentree.h"
 #include "core/join.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 
 namespace spatialjoin {
 
@@ -43,8 +44,10 @@ class LocalJoinIndex {
 
   /// Self-join of the indexed relation: intra-partition pairs come from
   /// the local indices (no θ), cross-partition pairs are computed live
-  /// with Θ pruning at partition and member level.
-  JoinResult Execute(const ThetaOperator& op) const;
+  /// with Θ pruning at partition and member level. `cancel` (optional) is
+  /// polled once per partition pair in the live phase.
+  JoinResult Execute(const ThetaOperator& op,
+                     const exec::CancelToken* cancel = nullptr) const;
 
   /// Maintenance cost (θ tests) of inserting an object with this MBR:
   /// the size of the partition it falls into. Compare with strategy III's

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "common/math_util.h"
 
@@ -10,7 +11,8 @@ namespace spatialjoin {
 
 JoinResult NestedLoopJoin(const Relation& r, size_t col_r, const Relation& s,
                           size_t col_s, const ThetaOperator& op,
-                          const NestedLoopOptions& options) {
+                          const NestedLoopOptions& options,
+                          const exec::CancelToken* cancel) {
   SJ_CHECK_GT(options.memory_pages, options.reserved_pages);
   JoinResult result;
   if (r.num_tuples() == 0 || s.num_tuples() == 0) return result;
@@ -25,12 +27,14 @@ JoinResult NestedLoopJoin(const Relation& r, size_t col_r, const Relation& s,
 
   for (TupleId block_start = 0; block_start < r.num_tuples();
        block_start += block_tuples) {
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     TupleId block_end =
         std::min<TupleId>(block_start + block_tuples, r.num_tuples());
     // Pass 1 of the pass: bring the R block into memory.
     std::vector<std::pair<TupleId, Value>> block;
     block.reserve(static_cast<size_t>(block_end - block_start));
     for (TupleId tid = block_start; tid < block_end; ++tid) {
+      SJ_BOUNDED_WORK;  // one R block (M-10 pages); the block loop polls
       block.emplace_back(tid, r.Read(tid).value(col_r));
       ++result.nodes_accessed;
     }
@@ -39,6 +43,7 @@ JoinResult NestedLoopJoin(const Relation& r, size_t col_r, const Relation& s,
       const Value& s_value = s_tuple.value(col_s);
       ++result.nodes_accessed;
       for (const auto& [r_tid, r_value] : block) {
+        SJ_BOUNDED_WORK;  // one in-memory R block; the block loop polls
         ++result.theta_tests;
         if (op.Theta(r_value, s_value)) {
           result.matches.emplace_back(r_tid, s_tid);

@@ -5,6 +5,7 @@
 
 #include "core/join.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 #include "relational/relation.h"
 
 namespace spatialjoin {
@@ -21,9 +22,13 @@ struct NestedLoopOptions {
 /// M−10 pages worth of R tuples into memory, scans S once per block, and
 /// θ-tests every pair. No Θ pruning — every pair costs a full θ test,
 /// which is why the paper finds the strategy "never really competitive".
+/// `cancel` (optional) is polled once per outer block — the strategy's
+/// natural level boundary; a cancelled join returns the matches found so
+/// far (callers surface CANCELLED from the token, not the result).
 JoinResult NestedLoopJoin(const Relation& r, size_t col_r, const Relation& s,
                           size_t col_s, const ThetaOperator& op,
-                          const NestedLoopOptions& options = {});
+                          const NestedLoopOptions& options = {},
+                          const exec::CancelToken* cancel = nullptr);
 
 /// Strategy I for the spatial selection: exhaustive scan of the relation,
 /// θ-testing the selector against every tuple (§4.3: "the nested loop

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "exec/cancel.h"
 #include "obs/flight_recorder.h"
@@ -119,7 +120,10 @@ SelectResult SpatialSelectFrom(const Value& selector,
         if (cancel != nullptr && cancel->ShouldStop()) break;
       }
       if (VisitNode(selector, tree, op, node, &result, trace)) {
-        for (NodeId child : tree.Children(node)) worklist.push_back(child);
+        for (NodeId child : tree.Children(node)) {
+          SJ_BOUNDED_WORK;  // one node's children; the visit loop polls
+          worklist.push_back(child);
+        }
       }
     }
   } else {
@@ -138,6 +142,7 @@ SelectResult SpatialSelectFrom(const Value& selector,
       if (VisitNode(selector, tree, op, node, &result, trace)) {
         std::vector<NodeId> children = tree.Children(node);
         for (auto it = children.rbegin(); it != children.rend(); ++it) {
+          SJ_BOUNDED_WORK;  // one node's children; the visit loop polls
           stack.push_back(*it);
         }
       }

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -23,7 +24,8 @@ JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
                                const Relation& s, size_t col_s,
                                const ThetaOperator& op, const ZGrid& grid,
                                const ZDecomposeOptions& options,
-                               ZOrderJoinStats* stats) {
+                               ZOrderJoinStats* stats,
+                               const exec::CancelToken* cancel) {
   JoinResult result;
   ZOrderJoinStats local_stats;
 
@@ -42,6 +44,7 @@ JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
       ++result.nodes_accessed;
       Rectangle mbr = tuple.value(col).Mbr().Expanded(epsilon);
       for (const ZCell& cell : DecomposeRectangle(mbr, grid, options)) {
+        SJ_BOUNDED_WORK;  // one object's cells, capped by options.max_cells
         entries.push_back(SweepEntry{cell.interval_lo(), cell.interval_hi(),
                                      tid, from_r});
         ++*cell_count;
@@ -66,8 +69,13 @@ JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
   std::vector<SweepEntry> stack;
   std::set<std::pair<TupleId, TupleId>> candidates;
   for (const SweepEntry& e : entries) {
-    while (!stack.empty() && stack.back().hi <= e.lo) stack.pop_back();
+    if (cancel != nullptr && cancel->ShouldStop()) break;
+    while (!stack.empty() && stack.back().hi <= e.lo) {
+      SJ_BOUNDED_WORK;  // pops the open-interval stack; the sweep polls
+      stack.pop_back();
+    }
     for (const SweepEntry& open : stack) {
+      SJ_BOUNDED_WORK;  // open ancestors of one entry; the sweep polls
       if (open.from_r == e.from_r) continue;
       ++local_stats.candidate_pairs;
       std::pair<TupleId, TupleId> pair =
@@ -82,6 +90,7 @@ JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
 
   // Phase 4: verify candidates with the exact θ test.
   for (const auto& [r_tid, s_tid] : candidates) {
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     Value r_value = r.Read(r_tid).value(col_r);
     Value s_value = s.Read(s_tid).value(col_s);
     result.nodes_accessed += 2;

@@ -3,6 +3,7 @@
 
 #include "core/join.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 #include "relational/relation.h"
 #include "zorder/zdecompose.h"
 #include "zorder/zorder.h"
@@ -31,11 +32,16 @@ struct ZOrderJoinStats {
 /// `overlaps` (and `includes`/`contained_in`, whose matches overlap) but
 /// not for distance or direction operators — the paper's Fig. 1 example
 /// of sort-merge missing the adjacent pair (o3, o9).
+/// `cancel` (optional) is polled once per sweep entry in the merge phase
+/// and once per candidate in the verification phase — the two loops whose
+/// trip counts grow with the data; a cancelled join returns early with
+/// whatever matches were already verified.
 JoinResult SortMergeZOrderJoin(const Relation& r, size_t col_r,
                                const Relation& s, size_t col_s,
                                const ThetaOperator& op, const ZGrid& grid,
                                const ZDecomposeOptions& options = {},
-                               ZOrderJoinStats* stats = nullptr);
+                               ZOrderJoinStats* stats = nullptr,
+                               const exec::CancelToken* cancel = nullptr);
 
 }  // namespace spatialjoin
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "core/index_nested_loop.h"
 #include "core/sort_merge_zorder.h"
@@ -62,7 +63,7 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
     case JoinStrategy::kNestedLoop:
       SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
       return NestedLoopJoin(*ctx.r, ctx.col_r, *ctx.s, ctx.col_s, op,
-                            ctx.nested_loop_options);
+                            ctx.nested_loop_options, ctx.cancel);
     case JoinStrategy::kTreeJoin:
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s_tree != nullptr,
                    "tree_join needs generalization trees on both inputs");
@@ -72,12 +73,13 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       SJ_CHECK_MSG(ctx.r_tree != nullptr && ctx.s != nullptr,
                    "index_nested_loop needs a tree on R and relation S");
       return IndexNestedLoopJoin(*ctx.r_tree, *ctx.s, ctx.col_s, op,
-                                 ctx.traversal);
+                                 ctx.traversal, ctx.cancel);
     case JoinStrategy::kSortMergeZOrder:
       SJ_CHECK_MSG(ctx.zgrid != nullptr, "sort_merge_zorder needs a ZGrid");
       SJ_CHECK(ctx.r != nullptr && ctx.s != nullptr);
       return SortMergeZOrderJoin(*ctx.r, ctx.col_r, *ctx.s, ctx.col_s, op,
-                                 *ctx.zgrid, ctx.zorder_options);
+                                 *ctx.zgrid, ctx.zorder_options,
+                                 /*stats=*/nullptr, ctx.cancel);
     case JoinStrategy::kJoinIndex:
       SJ_CHECK_MSG(ctx.join_index != nullptr,
                    "join_index strategy needs a prebuilt JoinIndex");
@@ -111,7 +113,7 @@ JoinResult DispatchJoin(JoinStrategy strategy, const SpatialJoinContext& ctx,
       options.grid_cols = ctx.exec_grid;
       options.grid_rows = ctx.exec_grid;
       return exec::PartitionedJoin(r_items, s_items, op, ctx.exec_pool,
-                                   options);
+                                   options, ctx.cancel);
     }
   }
   SJ_CHECK_MSG(false, "unreachable");
@@ -185,7 +187,10 @@ JoinResult DispatchSelect(SelectStrategy strategy,
       JoinResult result =
           NestedLoopSelect(selector, *ctx.s, ctx.col_s, op);
       // NestedLoopSelect reports matches on the left; reorient to S side.
-      for (auto& m : result.matches) m = {selector_tid, m.first};
+      for (auto& m : result.matches) {
+        SJ_BOUNDED_WORK;  // one pass over the finished result
+        m = {selector_tid, m.first};
+      }
       return result;
     }
     case SelectStrategy::kTree: {
@@ -197,6 +202,7 @@ JoinResult DispatchSelect(SelectStrategy strategy,
       result.theta_upper_tests = sel.theta_upper_tests;
       result.nodes_accessed = sel.nodes_accessed;
       for (TupleId tid : sel.matching_tuples) {
+        SJ_BOUNDED_WORK;  // repackages a finished select's matches
         result.matches.emplace_back(selector_tid, tid);
       }
       return result;
@@ -208,6 +214,7 @@ JoinResult DispatchSelect(SelectStrategy strategy,
                    "join-index lookup requires a stored selector tuple");
       JoinResult result;
       for (TupleId s_tid : ctx.join_index->SMatchesOf(selector_tid)) {
+        SJ_BOUNDED_WORK;  // one tuple's precomputed match list
         (void)ctx.s->Read(s_tid);
         ++result.nodes_accessed;
         result.matches.emplace_back(selector_tid, s_tid);
@@ -228,6 +235,7 @@ JoinResult DispatchSelect(SelectStrategy strategy,
       result.theta_upper_tests = sel.theta_upper_tests;
       result.nodes_accessed = sel.nodes_accessed;
       for (TupleId tid : sel.matching_tuples) {
+        SJ_BOUNDED_WORK;  // repackages a finished select's matches
         result.matches.emplace_back(selector_tid, tid);
       }
       return result;

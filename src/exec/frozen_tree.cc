@@ -3,6 +3,7 @@
 #include <deque>
 #include <utility>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/span.h"
 
@@ -22,6 +23,7 @@ FrozenTree FrozenTree::Materialize(const GeneralizationTree& source) {
   std::deque<NodeId> worklist;
   worklist.push_back(source.root());
   while (!worklist.empty()) {
+    SJ_BOUNDED_WORK;  // one BFS pass per dataset load; not a query path
     NodeId src = worklist.front();
     worklist.pop_front();
     source_ids.push_back(src);
@@ -33,16 +35,21 @@ FrozenTree FrozenTree::Materialize(const GeneralizationTree& source) {
     node.application = source.IsApplicationNode(src);
     frozen.nodes_.push_back(std::move(node));
     kids.push_back(source.Children(src));
-    for (NodeId child : kids.back()) worklist.push_back(child);
+    for (NodeId child : kids.back()) {
+      SJ_BOUNDED_WORK;  // one node's children (node fanout)
+      worklist.push_back(child);
+    }
   }
 
   // BFS visits children in push order, so the dense id of the j-th child
   // of dense node i is a running cursor over the visit sequence.
   NodeId next_dense = 1;
   for (size_t i = 0; i < kids.size(); ++i) {
+    SJ_BOUNDED_WORK;  // child-rewrite pass per dataset load; not a query path
     Node& node = frozen.nodes_[i];
     node.child_begin = static_cast<int64_t>(frozen.children_.size());
     for (size_t j = 0; j < kids[i].size(); ++j) {
+      SJ_BOUNDED_WORK;  // one node's children (node fanout)
       frozen.children_.push_back(next_dense++);
     }
     node.child_end = static_cast<int64_t>(frozen.children_.size());

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "core/join_detail.h"
 #include "obs/flight_recorder.h"
@@ -79,6 +80,7 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
       const int64_t begin = c * chunk;
       const int64_t end = std::min(n, begin + chunk);
       for (int64_t i = begin; i < end; ++i) {
+        SJ_BOUNDED_WORK;  // one chunk (chunk_pairs); the level loop polls
         const auto& [a, b] = current_level[static_cast<size_t>(i)];
         join_detail::ProcessQualPair(r_tree, s_tree, a, b, op, &out.partial,
                                      &out.next_pairs);
@@ -89,6 +91,7 @@ JoinResult ParallelTreeJoin(const GeneralizationTree& r_tree,
     // worklist and match order exactly.
     std::vector<std::pair<NodeId, NodeId>> next_level;
     for (ChunkOutput& out : outputs) {
+      SJ_BOUNDED_WORK;  // one level's chunk merge; the level loop polls
       MergeChunk(std::move(out), &result, &next_level);
     }
     current_level = std::move(next_level);

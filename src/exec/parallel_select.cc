@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -59,6 +60,7 @@ SelectResult ParallelSelect(const Value& selector,
       const int64_t begin = c * chunk;
       const int64_t end = std::min(n, begin + chunk);
       for (int64_t i = begin; i < end; ++i) {
+        SJ_BOUNDED_WORK;  // one chunk (chunk_nodes); the level loop polls
         NodeId node = frontier[static_cast<size_t>(i)];
         // SELECT2: Θ-test; on success θ-test and expand the children.
         ++out.theta_upper_tests;
@@ -73,6 +75,7 @@ SelectResult ParallelSelect(const Value& selector,
           }
         }
         for (NodeId child : tree.Children(node)) {
+          SJ_BOUNDED_WORK;  // one node's children (node fanout)
           out.children.push_back(child);
         }
       }
@@ -80,6 +83,7 @@ SelectResult ParallelSelect(const Value& selector,
 
     std::vector<NodeId> next_frontier;
     for (ChunkOutput& out : outputs) {
+      SJ_BOUNDED_WORK;  // one level's chunk merge; the level loop polls
       result.matching_nodes.insert(result.matching_nodes.end(),
                                    out.matching_nodes.begin(),
                                    out.matching_nodes.end());

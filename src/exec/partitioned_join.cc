@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -67,7 +68,9 @@ void AssignToTiles(const Grid& grid, const Rectangle& rect, int64_t item,
   int row_lo = grid.RowOf(rect.min_y());
   int row_hi = grid.RowOf(rect.max_y());
   for (int row = row_lo; row <= row_hi; ++row) {
+    SJ_BOUNDED_WORK;  // one rect's tile span (<= 64x64 grid)
     for (int col = col_lo; col <= col_hi; ++col) {
+      SJ_BOUNDED_WORK;  // one rect's tile span (<= 64x64 grid)
       (*tiles)[static_cast<size_t>(row * grid.cols + col)].push_back(item);
     }
   }
@@ -111,7 +114,8 @@ bool PartitionedJoinSupports(const ThetaOperator& op) {
 JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
                            const std::vector<JoinItem>& s_items,
                            const ThetaOperator& op, ThreadPool* pool,
-                           const PartitionedJoinOptions& options) {
+                           const PartitionedJoinOptions& options,
+                           const CancelToken* cancel) {
   SJ_CHECK(pool != nullptr);
   JoinResult result;
   if (r_items.empty() || s_items.empty()) return result;
@@ -125,8 +129,14 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
   // Data bounds: all MBRs, used both as the window-clipping world and
   // (extended by the windows) as the grid extent.
   Rectangle world = Rectangle::Empty();
-  for (const JoinItem& r : r_items) world.Extend(r.mbr);
-  for (const JoinItem& s : s_items) world.Extend(s.mbr);
+  for (const JoinItem& r : r_items) {
+    SJ_BOUNDED_WORK;  // one Extend per input; cheap next to the sweep
+    world.Extend(r.mbr);
+  }
+  for (const JoinItem& s : s_items) {
+    SJ_BOUNDED_WORK;  // one Extend per input; cheap next to the sweep
+    world.Extend(s.mbr);
+  }
 
   // Probe windows W(s): Θ(r, s) ⇒ mbr(r) overlaps W(s), so sweeping
   // mbr(r) against W(s) is a conservative candidate test for any Table 1
@@ -134,6 +144,7 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
   std::vector<Rectangle> windows(s_items.size());
   Rectangle grid_bounds = world;
   for (size_t i = 0; i < s_items.size(); ++i) {
+    if (cancel != nullptr && cancel->ShouldStop()) return result;
     auto window = op.ProbeWindow(s_items[i].mbr, world);
     SJ_CHECK_MSG(window.has_value(),
                  "PartitionedJoin requires an operator with a finite probe "
@@ -159,15 +170,23 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
     // threaded stretch of PBSM.
     ActivityScope::BeatThisThread();
     for (size_t i = 0; i < r_items.size(); ++i) {
+      SJ_BOUNDED_WORK;  // replication pass; O(items x tile span)
       AssignToTiles(grid, r_items[i].mbr, static_cast<int64_t>(i), &r_tiles);
     }
     for (size_t i = 0; i < s_items.size(); ++i) {
+      SJ_BOUNDED_WORK;  // replication pass; O(items x tile span)
       AssignToTiles(grid, windows[i], static_cast<int64_t>(i), &s_tiles);
     }
   }
   int64_t replicated = 0;
-  for (const auto& t : r_tiles) replicated += static_cast<int64_t>(t.size());
-  for (const auto& t : s_tiles) replicated += static_cast<int64_t>(t.size());
+  for (const auto& t : r_tiles) {
+    SJ_BOUNDED_WORK;  // one size() read per tile (<= 64x64 grid)
+    replicated += static_cast<int64_t>(t.size());
+  }
+  for (const auto& t : s_tiles) {
+    SJ_BOUNDED_WORK;  // one size() read per tile (<= 64x64 grid)
+    replicated += static_cast<int64_t>(t.size());
+  }
   TraceCounter("pbsm.replicated_items", replicated);
 
   // Per-tile parallel plane sweep into per-tile output slots.
@@ -191,11 +210,13 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
     std::vector<SweepEntry> r_sweep;
     r_sweep.reserve(r_list.size());
     for (int64_t i : r_list) {
+      SJ_BOUNDED_WORK;  // one tile's item list; the sweep below polls
       r_sweep.push_back({i, r_items[static_cast<size_t>(i)].mbr.min_x()});
     }
     std::vector<SweepEntry> s_sweep;
     s_sweep.reserve(s_list.size());
     for (int64_t i : s_list) {
+      SJ_BOUNDED_WORK;  // one tile's item list; the sweep below polls
       s_sweep.push_back({i, windows[static_cast<size_t>(i)].min_x()});
     }
     std::sort(r_sweep.begin(), r_sweep.end(), SweepLess);
@@ -225,11 +246,13 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
     size_t i = 0;
     size_t j = 0;
     while (i < r_sweep.size() && j < s_sweep.size()) {
+      if (cancel != nullptr && cancel->ShouldStop()) return;
       if (SweepLess(r_sweep[i], s_sweep[j])) {
         const JoinItem& r = r_items[static_cast<size_t>(r_sweep[i].item)];
         for (size_t j2 = j; j2 < s_sweep.size() &&
                             s_sweep[j2].min_x <= r.mbr.max_x();
              ++j2) {
+          SJ_BOUNDED_WORK;  // one head's x-overlap run; the sweep polls
           check_pair(r_sweep[i].item, s_sweep[j2].item);
         }
         ++i;
@@ -239,6 +262,7 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
         for (size_t i2 = i; i2 < r_sweep.size() &&
                             r_sweep[i2].min_x <= window.max_x();
              ++i2) {
+          SJ_BOUNDED_WORK;  // one head's x-overlap run; the sweep polls
           check_pair(r_sweep[i2].item, s_sweep[j].item);
         }
         ++j;
@@ -248,6 +272,7 @@ JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
 
   int64_t candidates = 0;
   for (TileOutput& out : outputs) {
+    SJ_BOUNDED_WORK;  // one merge per tile (<= 64x64 grid)
     result.matches.insert(result.matches.end(), out.matches.begin(),
                           out.matches.end());
     result.theta_upper_tests += out.theta_upper_tests;

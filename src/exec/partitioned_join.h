@@ -6,6 +6,7 @@
 
 #include "core/join.h"
 #include "core/theta_ops.h"
+#include "exec/cancel.h"
 #include "exec/thread_pool.h"
 #include "geometry/rectangle.h"
 #include "relational/relation.h"
@@ -59,10 +60,16 @@ bool PartitionedJoinSupports(const ThetaOperator& op);
 /// Results are deterministic at any thread count: tiles are merged in
 /// tile order and each tile's sweep order is fixed by (min-x, tid).
 /// The result's match set equals the sequential tuple join R ⋈_θ S.
+///
+/// `cancel` (optional) is polled in the window-derivation pass and inside
+/// every tile sweep; a cancelled join returns early with a partial (but
+/// still deterministic-prefix) result — callers surface CANCELLED from
+/// the token, never the partial matches.
 JoinResult PartitionedJoin(const std::vector<JoinItem>& r_items,
                            const std::vector<JoinItem>& s_items,
                            const ThetaOperator& op, ThreadPool* pool,
-                           const PartitionedJoinOptions& options = {});
+                           const PartitionedJoinOptions& options = {},
+                           const CancelToken* cancel = nullptr);
 
 }  // namespace exec
 }  // namespace spatialjoin

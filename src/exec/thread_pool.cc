@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/attribution.h"
 #include "obs/event_log.h"
@@ -124,6 +125,7 @@ bool ThreadPool::RunOneTask(int self) {
                                          1, std::memory_order_relaxed) %
                                      static_cast<uint64_t>(width));
     for (int i = 0; i < width && !task; ++i) {
+      SJ_BOUNDED_WORK;  // one steal scan over the fixed worker set
       const int victim = (start + i) % width;
       if (victim == self) continue;
       Worker& worker = *workers_[static_cast<size_t>(victim)];
@@ -212,11 +214,15 @@ void ThreadPool::ParallelFor(int64_t n,
   if (num_workers() == 1 || n == 1) {
     // Degenerate widths run inline: same invocation set, zero scheduling
     // overhead, and exactly the sequential execution order.
-    for (int64_t i = 0; i < n; ++i) body(i);
+    for (int64_t i = 0; i < n; ++i) {
+      SJ_BOUNDED_WORK;  // runs the caller's body; query-path bodies poll
+      body(i);
+    }
     return;
   }
   TaskGroup group(this);
   for (int64_t i = 0; i < n; ++i) {
+    SJ_BOUNDED_WORK;  // one Spawn per index; the spawned bodies poll
     group.Spawn([&body, i] { body(i); });
   }
   group.Wait();
@@ -244,6 +250,7 @@ void ThreadPool::TaskGroup::Spawn(std::function<void()> fn) {
 void ThreadPool::TaskGroup::Wait() {
   const int self = tls_pool == pool_ ? tls_worker : -1;
   while (true) {
+    SJ_BOUNDED_WORK;  // exits when pending==0; the tasks it helps run poll
     {
       MutexLock lock(sync_->mu);
       if (sync_->pending == 0) return;
@@ -271,6 +278,7 @@ ThreadPool::Stats ThreadPool::stats() const {
   stats.tasks_executed = executed_.load(std::memory_order_relaxed);
   stats.tasks_stolen = stolen_.load(std::memory_order_relaxed);
   for (const auto& worker : workers_) {
+    SJ_BOUNDED_WORK;  // one size() read per worker (fixed pool width)
     MutexLock lock(worker->mu);
     stats.tasks_queued += static_cast<int64_t>(worker->tasks.size());
   }

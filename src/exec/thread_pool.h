@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -78,8 +79,10 @@ class ThreadPool {
   /// pool (intra-query parallelism) — a worker waiting at that inner
   /// barrier helps run other pending tasks, including other posted
   /// queries, so the pool is never deadlocked by nesting. Like all pool
-  /// tasks, `fn` must not throw.
-  void Post(std::function<void()> fn);
+  /// tasks, `fn` must not throw. SJ_BLOCKING: posting contends on a
+  /// worker deque mutex and wakes a sleeper — never call it with a
+  /// caller-side Mutex held (DESIGN.md §9).
+  SJ_BLOCKING void Post(std::function<void()> fn);
 
   /// A joinable batch of independently spawned tasks.
   class TaskGroup {
@@ -129,8 +132,9 @@ class ThreadPool {
   };
 
   // Pushes onto a deque (the calling worker's own when called from inside
-  // the pool, else round-robin) and wakes one sleeper.
-  void Submit(std::function<void()> fn);
+  // the pool, else round-robin) and wakes one sleeper. SJ_BLOCKING for
+  // the same reason as Post.
+  SJ_BLOCKING void Submit(std::function<void()> fn);
 
   // Executes one pending task if any is available. `self` is the calling
   // worker's index, or -1 for an external helping thread. Returns false

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "geometry/distance.h"
 #include "geometry/predicates.h"
@@ -14,7 +15,10 @@ namespace spatialjoin {
 Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
   SJ_CHECK_MSG(ring_.size() >= 3, "polygon needs at least 3 vertices, got "
                                       << ring_.size());
-  for (const Point& p : ring_) bbox_.ExtendPoint(p);
+  for (const Point& p : ring_) {
+    SJ_BOUNDED_WORK;  // one pass over this polygon's ring
+    bbox_.ExtendPoint(p);
+  }
 }
 
 Polygon Polygon::FromRectangle(const Rectangle& r) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "geometry/distance.h"
 #include "geometry/predicates.h"
@@ -14,7 +15,10 @@ namespace spatialjoin {
 Polyline::Polyline(std::vector<Point> vertices)
     : vertices_(std::move(vertices)) {
   SJ_CHECK_MSG(vertices_.size() >= 2, "polyline needs at least 2 vertices");
-  for (const Point& p : vertices_) bbox_.ExtendPoint(p);
+  for (const Point& p : vertices_) {
+    SJ_BOUNDED_WORK;  // one pass over this polyline's vertices
+    bbox_.ExtendPoint(p);
+  }
 }
 
 double Polyline::Length() const {

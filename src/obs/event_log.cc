@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/analysis_annotations.h"
 #include "common/status.h"
 #include "obs/span.h"
 #include "obs/timer.h"
@@ -76,6 +77,7 @@ void EventLog::Record(EventType type, EventSeverity severity,
   if (message != nullptr) {
     while (length < EventRecord::kMessageBytes - 1 &&
            message[length] != '\0') {
+      SJ_BOUNDED_WORK;  // copy capped at kMessageBytes
       rendered[length] = message[length];
       ++length;
     }
@@ -96,6 +98,7 @@ void EventLog::Record(EventType type, EventSeverity severity,
   slot.severity.store(static_cast<uint8_t>(severity),
                       std::memory_order_relaxed);
   for (size_t i = 0; i <= length; ++i) {
+    SJ_BOUNDED_WORK;  // store capped at kMessageBytes
     slot.message[i].store(rendered[i], std::memory_order_relaxed);
   }
   slot.ticket.store(ticket, std::memory_order_release);

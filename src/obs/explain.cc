@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "costmodel/join_cost.h"
 #include "obs/json.h"
@@ -123,6 +124,7 @@ MeasuredJoin MeasureJoin(const JoinResult& result, const IoStats& io_delta,
 
 const ExplainRow* ExplainReport::Find(std::string_view name) const {
   for (const ExplainRow& row : rows) {
+    SJ_BOUNDED_WORK;  // one row per strategy (fixed enum)
     if (row.name == name) return &row;
   }
   return nullptr;

@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -1033,6 +1034,7 @@ void ActivityScope::SetDetail(const char* detail) {
   ActivitySlot& slot = g_activities[slot_];
   size_t i = 0;
   for (; i < kDetailBytes - 1 && detail[i] != '\0'; ++i) {
+    SJ_BOUNDED_WORK;  // copy capped at kDetailBytes
     slot.detail[i].store(detail[i], std::memory_order_relaxed);
   }
   slot.detail[i].store('\0', std::memory_order_relaxed);

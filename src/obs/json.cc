@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -13,6 +14,7 @@ JsonWriter::JsonWriter(std::ostream& os, int indent)
 void JsonWriter::Indent() {
   os_ << '\n';
   for (size_t i = 0; i < stack_.size() * static_cast<size_t>(indent_); ++i) {
+    SJ_BOUNDED_WORK;  // nesting-depth spaces
     os_ << ' ';
   }
 }
@@ -141,6 +143,7 @@ std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
+    SJ_BOUNDED_WORK;  // one pass over the input string
     switch (c) {
       case '"':
         out += "\\\"";

@@ -3,6 +3,7 @@
 #include <bit>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/json.h"
 
@@ -28,6 +29,7 @@ void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
   int64_t cur = slot->load(std::memory_order_relaxed);
   while (value < cur &&
          !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    SJ_BOUNDED_WORK;  // CAS retry; each failure means another thread won
   }
 }
 
@@ -35,6 +37,7 @@ void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
   int64_t cur = slot->load(std::memory_order_relaxed);
   while (value > cur &&
          !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    SJ_BOUNDED_WORK;  // CAS retry; each failure means another thread won
   }
 }
 
@@ -119,7 +122,10 @@ void WindowedHistogram::Record(int64_t value, int64_t now_ns) {
       // counts from `num_slices_` epochs ago never leak into the window.
       s.count.store(0, std::memory_order_relaxed);
       s.sum.store(0, std::memory_order_relaxed);
-      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) {
+        SJ_BOUNDED_WORK;  // fixed bucket count
+        b.store(0, std::memory_order_relaxed);
+      }
       s.epoch.store(epoch, std::memory_order_release);
     } else if (s.epoch.load(std::memory_order_acquire) != epoch) {
       return;  // lost the race and the slice is still not ours; drop
@@ -136,12 +142,14 @@ WindowedHistogram::Snapshot WindowedHistogram::Snap(int64_t now_ns) const {
   const int64_t now_epoch = now_ns / slice_ns_;
   const int64_t oldest = now_epoch - num_slices_ + 1;
   for (int i = 0; i < num_slices_; ++i) {
+    SJ_BOUNDED_WORK;  // fixed slice count
     const Slice& s = slices_[static_cast<size_t>(i)];
     const int64_t epoch = s.epoch.load(std::memory_order_acquire);
     if (epoch < oldest || epoch > now_epoch) continue;
     snap.count += s.count.load(std::memory_order_relaxed);
     snap.sum += s.sum.load(std::memory_order_relaxed);
     for (int b = 0; b < Histogram::kBuckets; ++b) {
+      SJ_BOUNDED_WORK;  // fixed bucket count
       snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
     }
   }
@@ -164,6 +172,7 @@ int64_t WindowedHistogram::Snapshot::QuantileUpperBound(double q) const {
   auto rank = static_cast<int64_t>(q * static_cast<double>(count - 1)) + 1;
   int64_t seen = 0;
   for (int b = 0; b < Histogram::kBuckets; ++b) {
+    SJ_BOUNDED_WORK;  // fixed bucket count
     seen += buckets[b];
     if (seen >= rank) return HistogramBucketUpper(b);
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/analysis_annotations.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -57,6 +58,7 @@ class Counter {
   int64_t Value() const {
     int64_t total = 0;
     for (const Cell& cell : cells_) {
+      SJ_BOUNDED_WORK;  // kShards cells
       total += cell.value.load(std::memory_order_relaxed);
     }
     return total;

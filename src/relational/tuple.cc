@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -35,6 +36,7 @@ Tuple Tuple::Deserialize(const std::string& bytes, size_t num_columns) {
   values.reserve(num_columns);
   size_t pos = 0;
   for (size_t i = 0; i < num_columns; ++i) {
+    SJ_BOUNDED_WORK;  // one tuple's columns (schema-bounded)
     values.push_back(Value::Deserialize(bytes, &pos));
   }
   return Tuple(std::move(values));

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -187,7 +188,10 @@ Value Value::Deserialize(const std::string& in, size_t* pos) {
       uint32_t size = ReadPod<uint32_t>(in, pos);
       std::vector<Point> ring;
       ring.reserve(size);
-      for (uint32_t i = 0; i < size; ++i) ring.push_back(ReadPoint(in, pos));
+      for (uint32_t i = 0; i < size; ++i) {
+        SJ_BOUNDED_WORK;  // one stored geometry's vertices
+        ring.push_back(ReadPoint(in, pos));
+      }
       return Value(Polygon(std::move(ring)));
     }
     case ValueType::kPolyline: {
@@ -195,6 +199,7 @@ Value Value::Deserialize(const std::string& in, size_t* pos) {
       std::vector<Point> vertices;
       vertices.reserve(size);
       for (uint32_t i = 0; i < size; ++i) {
+        SJ_BOUNDED_WORK;  // one stored geometry's vertices
         vertices.push_back(ReadPoint(in, pos));
       }
       return Value(Polyline(std::move(vertices)));

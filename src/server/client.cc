@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/timer.h"
 
@@ -104,6 +105,8 @@ Status ServiceClient::Cancel(uint64_t target_request_id) {
 
 Result<Reply> ServiceClient::WaitReply(uint64_t request_id) {
   while (true) {
+    SJ_BOUNDED_WORK;  // client-side; exits when the awaited id arrives or
+                      // the stream breaks (every request gets one reply)
     auto it = stashed_.find(request_id);
     if (it != stashed_.end()) {
       Reply reply = std::move(it->second);
@@ -136,6 +139,7 @@ Status ServiceClient::SendFrame(const std::string& frame) {
   if (!broken_.ok()) return broken_;
   size_t sent = 0;
   while (sent < frame.size()) {
+    SJ_BOUNDED_WORK;  // client-side; one frame's bytes
     const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
@@ -152,6 +156,7 @@ Result<Reply> ServiceClient::ReadReply() {
   if (!broken_.ok()) return broken_;
   char buf[1 << 16];
   while (true) {
+    SJ_BOUNDED_WORK;  // client-side; exits on a frame, poison, or EOF
     Frame frame;
     if (decoder_.Next(&frame)) {
       const auto type = static_cast<MessageType>(frame.type);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "exec/frozen_tree.h"
 
 namespace spatialjoin {
@@ -37,7 +38,10 @@ class DatasetRegistry {
   }
 
   /// The dataset for a wire id, or null for an unknown id.
-  const Dataset* Find(uint32_t id) const {
+  /// SJ_VALIDATES: `id` arrives straight off the wire; the range check
+  /// against datasets_.size() is the sanitizer that makes the lookup
+  /// (and any later use of the id) safe.
+  SJ_VALIDATES const Dataset* Find(uint32_t id) const {
     if (id >= datasets_.size()) return nullptr;
     return datasets_[id].get();
   }

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -41,7 +42,7 @@ void AppendF64(std::string* out, double v) {
   AppendU64(out, std::bit_cast<uint64_t>(v));
 }
 
-uint32_t LoadU32(const char* p) {
+SJ_UNTRUSTED uint32_t LoadU32(const char* p) {
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
@@ -49,7 +50,7 @@ uint32_t LoadU32(const char* p) {
   return v;
 }
 
-uint64_t LoadU64(const char* p) {
+SJ_UNTRUSTED uint64_t LoadU64(const char* p) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
@@ -59,18 +60,21 @@ uint64_t LoadU64(const char* p) {
 
 /// Bounds-checked sequential reader over a request/reply payload. Every
 /// accessor reports underrun instead of reading past the view — wire
-/// lengths are attacker-controlled and never trusted.
+/// lengths are attacker-controlled and never trusted. The integer
+/// accessors are SJ_UNTRUSTED taint sources: a value they produce may
+/// not size an allocation, index a container, or bound a loop until an
+/// SJ_VALIDATES sanitizer has range-checked it.
 class WireReader {
  public:
   explicit WireReader(std::string_view data) : data_(data) {}
 
-  bool ReadU8(uint8_t* v) {
+  SJ_UNTRUSTED bool ReadU8(uint8_t* v) {
     if (remaining() < 1) return false;
     *v = static_cast<unsigned char>(data_[pos_]);
     pos_ += 1;
     return true;
   }
-  bool ReadU16(uint16_t* v) {
+  SJ_UNTRUSTED bool ReadU16(uint16_t* v) {
     if (remaining() < 2) return false;
     *v = static_cast<uint16_t>(
         static_cast<unsigned char>(data_[pos_]) |
@@ -78,31 +82,34 @@ class WireReader {
     pos_ += 2;
     return true;
   }
-  bool ReadU32(uint32_t* v) {
+  SJ_UNTRUSTED bool ReadU32(uint32_t* v) {
     if (remaining() < 4) return false;
     *v = LoadU32(data_.data() + pos_);
     pos_ += 4;
     return true;
   }
-  bool ReadU64(uint64_t* v) {
+  SJ_UNTRUSTED bool ReadU64(uint64_t* v) {
     if (remaining() < 8) return false;
     *v = LoadU64(data_.data() + pos_);
     pos_ += 8;
     return true;
   }
-  bool ReadI64(int64_t* v) {
+  SJ_UNTRUSTED bool ReadI64(int64_t* v) {
     uint64_t raw;
     if (!ReadU64(&raw)) return false;
     *v = static_cast<int64_t>(raw);
     return true;
   }
-  bool ReadF64(double* v) {
+  SJ_UNTRUSTED bool ReadF64(double* v) {
     uint64_t raw;
     if (!ReadU64(&raw)) return false;
     *v = std::bit_cast<double>(raw);
     return true;
   }
-  bool ReadBytes(size_t n, std::string_view* v) {
+  /// Validating by construction: `n` is range-checked against the bytes
+  /// actually buffered before any slice is taken, so a caller may pass a
+  /// wire-derived length directly.
+  SJ_VALIDATES bool ReadBytes(size_t n, std::string_view* v) {
     if (remaining() < n) return false;
     *v = data_.substr(pos_, n);
     pos_ += n;
@@ -132,6 +139,38 @@ std::string EncodeFrame(MessageType type, uint64_t request_id,
 
 bool ValidStatusCode(uint8_t code) {
   return code <= static_cast<uint8_t>(StatusCode::kCancelled);
+}
+
+/// Validates the 16-byte frame header at `h` (magic, reserved bits,
+/// payload length against kMaxPayloadBytes). On OK the stored
+/// `*payload_len` is a trusted allocation bound — this is the single
+/// sanitizer between FrameDecoder's wire bytes and every buffer the
+/// decoder sizes, shared by Feed's eager check and Next's recheck so
+/// the two can never drift.
+SJ_VALIDATES Status ValidateHeader(const char* h, uint32_t* payload_len) {
+  const uint32_t len = LoadU32(h);
+  const uint8_t magic = static_cast<unsigned char>(h[4]);
+  const uint16_t reserved = static_cast<uint16_t>(
+      static_cast<unsigned char>(h[6]) |
+      (static_cast<unsigned char>(h[7]) << 8));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("nonzero reserved header bits");
+  }
+  if (len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  *payload_len = len;
+  return Status::Ok();
+}
+
+/// True iff the unread pair section is exactly `count` 16-byte pairs —
+/// the cross-check that makes a wire-derived RESULT count safe to
+/// reserve and iterate (the bytes to back every pair already arrived).
+SJ_VALIDATES bool PairCountMatchesBytes(size_t remaining, uint32_t count) {
+  return remaining == static_cast<size_t>(count) * 16;
 }
 
 }  // namespace
@@ -242,6 +281,7 @@ std::string EncodeResultReply(uint64_t request_id, const JoinResult& result) {
   AppendU32(&payload, static_cast<uint32_t>(result.matches.size()));
   AppendU32(&payload, 0);  // reserved
   for (const auto& [r_tid, s_tid] : result.matches) {
+    SJ_BOUNDED_WORK;  // result capped at kMaxResultPairs by the session
     AppendI64(&payload, r_tid);
     AppendI64(&payload, s_tid);
   }
@@ -361,11 +401,12 @@ Result<Reply> DecodeReply(MessageType type, uint64_t request_id,
       }
       // Length cross-check before the allocation, not after: `count` is
       // wire data and must match the bytes that actually arrived.
-      if (r.remaining() != static_cast<size_t>(count) * 16) {
+      if (!PairCountMatchesBytes(r.remaining(), count)) {
         return Status::InvalidArgument("RESULT pair section length mismatch");
       }
       reply.result.matches.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
+        SJ_BOUNDED_WORK;  // count cross-checked against payload bytes above
         int64_t r_tid, s_tid;
         SJ_CHECK(r.ReadI64(&r_tid) && r.ReadI64(&s_tid));
         reply.result.matches.emplace_back(r_tid, s_tid);
@@ -421,19 +462,8 @@ Status FrameDecoder::Feed(std::string_view data) {
   // first 16 bytes arrive, not when the (possibly huge) payload would
   // complete.
   if (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
-    const char* h = buffer_.data() + consumed_;
-    const uint32_t payload_len = LoadU32(h);
-    const uint8_t magic = static_cast<unsigned char>(h[4]);
-    const uint16_t reserved = static_cast<uint16_t>(
-        static_cast<unsigned char>(h[6]) |
-        (static_cast<unsigned char>(h[7]) << 8));
-    if (magic != kFrameMagic) {
-      error_ = Status::InvalidArgument("bad frame magic");
-    } else if (reserved != 0) {
-      error_ = Status::InvalidArgument("nonzero reserved header bits");
-    } else if (payload_len > kMaxPayloadBytes) {
-      error_ = Status::InvalidArgument("frame payload exceeds limit");
-    }
+    uint32_t payload_len = 0;
+    error_ = ValidateHeader(buffer_.data() + consumed_, &payload_len);
   }
   return error_;
 }
@@ -443,10 +473,12 @@ bool FrameDecoder::Next(Frame* out) {
   const size_t available = buffer_.size() - consumed_;
   if (available < kFrameHeaderBytes) return false;
   const char* h = buffer_.data() + consumed_;
-  const uint32_t payload_len = LoadU32(h);
   // Feed() validated magic/reserved/length the moment the header was
-  // complete, so a well-formed header is an invariant here.
-  SJ_CHECK_LE(payload_len, kMaxPayloadBytes);
+  // complete, so a well-formed header is an invariant here; revalidating
+  // (rather than trusting the invariant) is what makes `payload_len` a
+  // sanitized allocation bound at this use site too.
+  uint32_t payload_len = 0;
+  SJ_CHECK(ValidateHeader(h, &payload_len).ok());
   if (available < kFrameHeaderBytes + payload_len) return false;
   out->type = static_cast<unsigned char>(h[5]);
   out->request_id = LoadU64(h + 8);
@@ -455,19 +487,8 @@ bool FrameDecoder::Next(Frame* out) {
   // Re-run header validation for the *next* frame already in the buffer,
   // mirroring Feed()'s eager check.
   if (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
-    const char* n = buffer_.data() + consumed_;
-    const uint32_t next_len = LoadU32(n);
-    const uint8_t magic = static_cast<unsigned char>(n[4]);
-    const uint16_t reserved = static_cast<uint16_t>(
-        static_cast<unsigned char>(n[6]) |
-        (static_cast<unsigned char>(n[7]) << 8));
-    if (magic != kFrameMagic) {
-      error_ = Status::InvalidArgument("bad frame magic");
-    } else if (reserved != 0) {
-      error_ = Status::InvalidArgument("nonzero reserved header bits");
-    } else if (next_len > kMaxPayloadBytes) {
-      error_ = Status::InvalidArgument("frame payload exceeds limit");
-    }
+    uint32_t next_len = 0;
+    error_ = ValidateHeader(buffer_.data() + consumed_, &next_len);
   }
   return true;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/status.h"
 #include "core/join.h"
 #include "core/spatial_join.h"
@@ -149,13 +150,21 @@ std::string EncodeErrorReply(uint64_t request_id, const Status& status);
 std::string EncodeStatsReply(uint64_t request_id, std::string_view json);
 
 // --- Decoding (bounds-checked; never trusts wire lengths) --------------
+//
+// The Decode* functions are the service's validation boundary
+// (SJ_VALIDATES, DESIGN.md §9): every field they return has been
+// range-checked, so callers may use the decoded values freely. Their
+// *bodies* are still under the wire-taint rule — a count pulled off the
+// wire inside a decoder must be cross-checked before it sizes anything.
 
-Result<SelectRequest> DecodeSelectRequest(std::string_view payload);
-Result<JoinRequest> DecodeJoinRequest(std::string_view payload);
-Result<CancelRequest> DecodeCancelRequest(std::string_view payload);
+SJ_VALIDATES Result<SelectRequest> DecodeSelectRequest(
+    std::string_view payload);
+SJ_VALIDATES Result<JoinRequest> DecodeJoinRequest(std::string_view payload);
+SJ_VALIDATES Result<CancelRequest> DecodeCancelRequest(
+    std::string_view payload);
 /// Decodes a reply frame's payload given its type.
-Result<Reply> DecodeReply(MessageType type, uint64_t request_id,
-                          std::string_view payload);
+SJ_VALIDATES Result<Reply> DecodeReply(MessageType type, uint64_t request_id,
+                                       std::string_view payload);
 
 /// One complete frame pulled off the byte stream.
 struct Frame {

@@ -98,9 +98,15 @@ void Session::ServeLoop() {
   {
     MutexLock lock(mu_);
     orphans.reserve(inflight_.size());
-    for (auto& [rid, pending] : inflight_) orphans.push_back(pending.token);
+    for (auto& [rid, pending] : inflight_) {
+      SJ_BOUNDED_WORK;  // in-flight set capped by admission control
+      orphans.push_back(pending.token);
+    }
   }
-  for (auto& token : orphans) token->Cancel();
+  for (auto& token : orphans) {
+    SJ_BOUNDED_WORK;  // in-flight set capped by admission control
+    token->Cancel();
+  }
   // Tell the peer the conversation is over (EOF on its recv). The fd
   // itself stays open until the last in-flight reply closure releases its
   // shared_ptr — shutdown is safe to race with those sends: they fail
@@ -383,21 +389,54 @@ void Session::AdmitQuery(uint64_t request_id, const QueryInfo& info,
 }
 
 void Session::SendFrame(const std::string& frame) {
-  MutexLock lock(write_mu_);
-  if (write_failed_) return;
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    // MSG_NOSIGNAL: a vanished client must surface as EPIPE here, not as
-    // a process-wide SIGPIPE (the engine installs no handler for it).
-    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      write_failed_ = true;
-      ServiceTelemetry::Global().OnWriteFailure();
-      return;
+  {
+    MutexLock lock(write_mu_);
+    if (write_failed_) return;
+    pending_writes_.push_back(frame);
+    if (writer_active_) return;  // the active drainer picks it up
+    writer_active_ = true;
+  }
+  DrainWrites();
+}
+
+void Session::DrainWrites() {
+  std::string frame;
+  while (true) {
+    SJ_BOUNDED_WORK;  // drains the pending queue (one frame per admitted
+                      // reply) and exits when it is empty
+    {
+      MutexLock lock(write_mu_);
+      if (write_failed_ || pending_writes_.empty()) {
+        writer_active_ = false;
+        return;
+      }
+      frame = std::move(pending_writes_.front());
+      pending_writes_.pop_front();
     }
-    sent += static_cast<size_t>(n);
+    // The send itself runs unlocked: the peer drains its socket at its
+    // own pace, and a slow client must not hold up the completion paths
+    // queueing behind write_mu_.
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      SJ_BOUNDED_WORK;  // one frame's bytes (<= header + kMaxPayloadBytes)
+      // MSG_NOSIGNAL: a vanished client must surface as EPIPE here, not
+      // as a process-wide SIGPIPE (the engine installs no handler for
+      // it).
+      const ssize_t n = ::send(fd_, frame.data() + sent,
+                               frame.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        {
+          MutexLock lock(write_mu_);
+          write_failed_ = true;
+          writer_active_ = false;
+          pending_writes_.clear();  // nobody will ever send these
+        }
+        ServiceTelemetry::Global().OnWriteFailure();
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
   }
 }
 

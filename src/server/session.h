@@ -2,6 +2,7 @@
 #define SPATIALJOIN_SERVER_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -97,7 +98,18 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Serialized, complete write of one reply frame; on the first failure
   /// the session goes write-dead and later replies are dropped (the
   /// client is gone — queries still finish for their side effects).
+  ///
+  /// write_mu_ is never held across ::send (the client controls how
+  /// long a send blocks, and a query completion stuck behind it would
+  /// invert the scheduler's deadline priorities): the frame is queued
+  /// under the lock and exactly one caller at a time drains the queue
+  /// with the lock dropped around each send.
   void SendFrame(const std::string& frame);
+
+  /// Drains pending_writes_ until empty or the socket fails. Called
+  /// only by the SendFrame invocation that installed itself as the
+  /// active writer (writer_active_).
+  void DrainWrites();
 
   /// Removes a finished/failed query from the in-flight map.
   void ForgetQuery(uint64_t request_id);
@@ -111,6 +123,11 @@ class Session : public std::enable_shared_from_this<Session> {
 
   Mutex write_mu_;
   bool write_failed_ SJ_GUARDED_BY(write_mu_) = false;
+  /// Reply frames waiting for the socket, in completion order.
+  std::deque<std::string> pending_writes_ SJ_GUARDED_BY(write_mu_);
+  /// True while some SendFrame call is draining the queue; at most one
+  /// drainer exists, so whole frames never interleave on the wire.
+  bool writer_active_ SJ_GUARDED_BY(write_mu_) = false;
 };
 
 }  // namespace server

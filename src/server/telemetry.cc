@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/analysis_annotations.h"
 #include "obs/event_log.h"
 #include "obs/flight_recorder.h"
 #include "obs/timer.h"
@@ -260,6 +261,7 @@ ServiceTelemetry::Retained ServiceTelemetry::SnapshotRetained() const {
   const size_t start = n < static_cast<size_t>(kRecentRing) ? 0 : recent_next_;
   snap.recent.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    SJ_BOUNDED_WORK;  // ring copy capped at kRecentRing
     snap.recent.push_back(recent_[(start + i) % n]);
   }
   snap.slow_by_latency = slow_by_latency_;
@@ -277,6 +279,7 @@ void ServiceTelemetry::WriteAggregatesJson(JsonWriter* w,
     w->Key(key);
     w->BeginArray();
     for (const auto& [id, agg] : m) {
+      SJ_BOUNDED_WORK;  // one row per live session/dataset id
       w->BeginObject();
       w->KV(id_key, id);
       w->KV("queries", agg.queries);
@@ -316,7 +319,10 @@ void ServiceTelemetry::WriteSlowRingsJson(JsonWriter* w, const Retained& snap,
               });
     w->Key(key);
     w->BeginArray();
-    for (const QueryRecord& r : ring) WriteRecordJson(w, r);
+    for (const QueryRecord& r : ring) {
+      SJ_BOUNDED_WORK;  // ring copy capped at kSlowRing
+      WriteRecordJson(w, r);
+    }
     w->EndArray();
   };
   write_ring("slow_by_latency", snap.slow_by_latency,
@@ -390,7 +396,10 @@ void ServiceTelemetry::WriteStatsJson(
   WriteAggregatesJson(&w, snap);
   w.Key("recent");
   w.BeginArray();
-  for (const QueryRecord& r : snap.recent) WriteRecordJson(&w, r);
+  for (const QueryRecord& r : snap.recent) {
+    SJ_BOUNDED_WORK;  // ring copy capped at kRecentRing
+    WriteRecordJson(&w, r);
+  }
   w.EndArray();
   WriteSlowRingsJson(&w, snap, now_ns);
   w.EndObject();

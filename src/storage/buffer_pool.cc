@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/attribution.h"
 #include "obs/event_log.h"
@@ -60,6 +61,7 @@ BufferPool::Frame& BufferPool::TouchLocked(std::list<Frame>::iterator it) {
 
 void BufferPool::EvictIfFullLocked() {
   while (static_cast<int64_t>(frames_.size()) >= capacity_) {
+    SJ_BOUNDED_WORK;  // evicts down to capacity; pool-size-bounded
     Frame& victim = frames_.back();
     if (victim.dirty) {
       // A lost write here would silently corrupt the on-disk image (the

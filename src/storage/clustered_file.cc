@@ -1,5 +1,6 @@
 #include "storage/clustered_file.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "storage/slotted_page.h"
 
@@ -60,6 +61,7 @@ RecordId ClusteredFile::RidOf(int64_t ordinal) const {
 void ClusteredFile::Scan(
     const std::function<void(int64_t, std::string_view)>& fn) {
   for (int64_t i = 0; i < num_records(); ++i) {
+    SJ_BOUNDED_WORK;  // full-file scan; callers' visit loops poll
     const RecordId& rid = rids_[static_cast<size_t>(i)];
     const Page* page = pool_->GetPage(rid.page_id);
     auto bytes = slotted::Read(*page, rid.slot);

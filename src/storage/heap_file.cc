@@ -1,5 +1,6 @@
 #include "storage/heap_file.h"
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "storage/slotted_page.h"
@@ -87,9 +88,11 @@ void HeapFile::Scan(
   // Snapshot the directory so `fn` can call back into this file (or its
   // pool) without holding mu_ — see the header contract.
   for (PageId pid : pages()) {
+    SJ_BOUNDED_WORK;  // full-file scan; callers' visit loops poll
     const Page* page = pool_->GetPage(pid);
     uint16_t slots = slotted::NumSlots(*page);
     for (uint16_t s = 0; s < slots; ++s) {
+      SJ_BOUNDED_WORK;  // one page's slots
       auto bytes = slotted::Read(*page, s);
       if (bytes.has_value()) fn(RecordId{pid, s}, *bytes);
       // Re-fetch in case `fn` touched the pool and invalidated the frame.

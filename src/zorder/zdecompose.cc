@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/analysis_annotations.h"
 #include "common/check.h"
 
 namespace spatialjoin {
@@ -54,6 +55,7 @@ std::vector<ZCell> DecomposeRectangle(const Rectangle& r, const ZGrid& grid,
   frontier.push_back(ZCell{});  // root cell: whole world
 
   while (!frontier.empty()) {
+    SJ_BOUNDED_WORK;  // quadtree refinement capped by options.max_cells
     ZCell cell = frontier.front();
     frontier.pop_front();
     Rectangle cell_rect = grid.CellRect(cell);

@@ -1,0 +1,24 @@
+// Fixture: PostTask has no visible blocking leaf, but its SJ_BLOCKING
+// contract says it may park the caller (queue backpressure). Calling
+// it with the scheduler mutex held must fire lock-blocking-call.
+#define SJ_BLOCKING
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+SJ_BLOCKING void PostTask(int task) {
+  static_cast<void>(task);
+}
+
+struct Scheduler {
+  Mutex mu_;
+  int next_;
+  void Kick();
+};
+
+void Scheduler::Kick() {
+  MutexLock lock(mu_);
+  PostTask(next_);
+}

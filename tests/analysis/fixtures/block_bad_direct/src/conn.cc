@@ -1,0 +1,20 @@
+// Fixture: a reply path that holds the connection mutex across the
+// raw ::send — the exact shape of the session.cc bug this checker was
+// built to catch. Must fire lock-blocking-call.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+long send(int fd, const void* buf, unsigned long len, int flags);
+
+struct Conn {
+  Mutex mu_;
+  int fd_;
+  void Reply(const char* data, unsigned long len);
+};
+
+void Conn::Reply(const char* data, unsigned long len) {
+  MutexLock lock(mu_);
+  send(fd_, data, len, 0);
+}

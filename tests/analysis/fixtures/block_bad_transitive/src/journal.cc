@@ -1,0 +1,31 @@
+// Fixture: the blocking leaf (fwrite) is buried two calls below the
+// lock site — the blocking-under-lock checker must carry the blocking
+// witness up through AppendRecord into Commit.
+#include <cstdio>
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct Journal {
+  Mutex mu_;
+  std::FILE* file_;
+  void AppendRecord(const char* data, unsigned long len);
+  void Flush();
+  void Commit(const char* data, unsigned long len);
+};
+
+void Journal::AppendRecord(const char* data, unsigned long len) {
+  std::fwrite(data, 1, len, file_);
+}
+
+void Journal::Flush() {
+  std::fflush(file_);
+}
+
+void Journal::Commit(const char* data, unsigned long len) {
+  MutexLock lock(mu_);
+  AppendRecord(data, len);
+  Flush();
+}

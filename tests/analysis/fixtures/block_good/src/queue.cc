@@ -1,0 +1,45 @@
+// Fixture: two lawful patterns the checker must NOT flag. Take waits
+// on a CondVar that atomically releases the mutex it is handed (the
+// intended protocol), and Publish closes the lock scope before its
+// send.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+struct CondVar {
+  void Wait(Mutex& mu);
+};
+
+void CondVar::Wait(Mutex& mu) {
+  static_cast<void>(mu);
+  wait_until();
+}
+
+long send(int fd, const void* buf, unsigned long len, int flags);
+
+struct Queue {
+  Mutex mu_;
+  CondVar cv_;
+  bool empty_;
+  int fd_;
+  int head_;
+  int Take();
+  void Publish(const char* data, unsigned long len);
+};
+
+int Queue::Take() {
+  MutexLock lock(mu_);
+  while (empty_) {
+    cv_.Wait(mu_);
+  }
+  return head_;
+}
+
+void Queue::Publish(const char* data, unsigned long len) {
+  {
+    MutexLock lock(mu_);
+    head_ = static_cast<int>(len);
+  }
+  send(fd_, data, len, 0);
+}

@@ -1,0 +1,34 @@
+// Fixture: the unpolled loop sits three calls below the dispatch root
+// (Submit -> Execute -> ScanPartition -> DrainRun). The checker must
+// walk the closure and attribute the loop with its call chain.
+struct CancelToken {
+  bool ShouldStop() const;
+};
+
+struct Run {
+  bool More() const;
+  void Next();
+};
+
+void DrainRun(Run* run) {
+  while (run->More()) {
+    run->Next();
+  }
+}
+
+void ScanPartition(Run* run) {
+  DrainRun(run);
+}
+
+void Execute(Run* run) {
+  ScanPartition(run);
+}
+
+struct QueryScheduler {
+  Run* run_;
+  void Submit();
+};
+
+void QueryScheduler::Submit() {
+  Execute(run_);
+}

@@ -1,0 +1,26 @@
+// Fixture: QueryScheduler::Submit dispatches RunQuery, whose scan loop
+// neither polls the CancelToken nor carries an SJ_BOUNDED_WORK marker
+// — cancel-unpolled-loop must fire on that loop.
+struct CancelToken {
+  bool ShouldStop() const;
+};
+
+struct Cursor {
+  bool Valid() const;
+  void Advance();
+};
+
+void RunQuery(Cursor* cursor) {
+  while (cursor->Valid()) {
+    cursor->Advance();
+  }
+}
+
+struct QueryScheduler {
+  Cursor* cursor_;
+  void Submit();
+};
+
+void QueryScheduler::Submit() {
+  RunQuery(cursor_);
+}

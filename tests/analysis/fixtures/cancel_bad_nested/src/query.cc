@@ -1,0 +1,32 @@
+// Fixture: the SJ_BOUNDED_WORK marker sits in the INNER loop, so it
+// claims only that loop — the unbounded outer sweep must still fire.
+#define SJ_BOUNDED_WORK static_cast<void>(0)
+
+struct CancelToken {
+  bool ShouldStop() const;
+};
+
+struct Node {
+  Node* next;
+  bool pending;
+  void Emit();
+};
+
+void Sweep(Node* head) {
+  while (head != nullptr) {
+    while (head->pending) {
+      SJ_BOUNDED_WORK;  // claims only this inner drain loop
+      head->Emit();
+    }
+    head = head->next;
+  }
+}
+
+struct QueryScheduler {
+  Node* head_;
+  void Submit();
+};
+
+void QueryScheduler::Submit() {
+  Sweep(head_);
+}

@@ -1,0 +1,46 @@
+// Fixture: every loop reachable from dispatch is covered one of the
+// three lawful ways — a direct ShouldStop poll, a call into a
+// transitively-polling helper, or an SJ_BOUNDED_WORK marker. The
+// checker must stay silent.
+#define SJ_BOUNDED_WORK static_cast<void>(0)
+
+struct CancelToken {
+  bool ShouldStop() const;
+};
+
+struct Cursor {
+  bool Valid() const;
+  void Advance();
+};
+
+void PollingScan(Cursor* cursor, const CancelToken* cancel) {
+  while (cursor->Valid()) {
+    if (cancel->ShouldStop()) break;
+    cursor->Advance();
+  }
+}
+
+void DriveScan(Cursor* cursor, const CancelToken* cancel) {
+  while (cursor->Valid()) {
+    PollingScan(cursor, cancel);
+  }
+}
+
+void Repack(int* dst, const int* src, int count) {
+  for (int i = 0; i < count; ++i) {
+    SJ_BOUNDED_WORK;  // one result batch; the scan loop above polls
+    dst[i] = src[i];
+  }
+}
+
+struct QueryScheduler {
+  Cursor* cursor_;
+  CancelToken* cancel_;
+  int buf_[8];
+  void Submit();
+};
+
+void QueryScheduler::Submit() {
+  DriveScan(cursor_, cancel_);
+  Repack(buf_, buf_, 8);
+}

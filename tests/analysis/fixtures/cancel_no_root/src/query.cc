@@ -1,0 +1,13 @@
+// Fixture: loops exist but no QueryScheduler dispatch definition does
+// — the checker must report cancel-no-root instead of silently
+// covering nothing.
+struct Cursor {
+  bool Valid() const;
+  void Advance();
+};
+
+void RunQuery(Cursor* cursor) {
+  while (cursor->Valid()) {
+    cursor->Advance();
+  }
+}

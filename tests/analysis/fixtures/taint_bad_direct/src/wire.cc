@@ -1,0 +1,19 @@
+// Fixture: a decoder marked SJ_UNTRUSTED returns a wire-derived count
+// that flows straight into resize and a container index — the
+// wire-taint checker must report both sinks.
+#define SJ_UNTRUSTED
+#include <vector>
+
+SJ_UNTRUSTED unsigned ReadWireU32(const char* p) {
+  return static_cast<unsigned char>(p[0]);
+}
+
+void DecodePairs(const char* payload, std::vector<int>& out) {
+  unsigned count = ReadWireU32(payload);
+  out.resize(count);
+}
+
+int PickEntry(const char* payload, std::vector<int>& table) {
+  unsigned index = ReadWireU32(payload);
+  return table.at(index);
+}

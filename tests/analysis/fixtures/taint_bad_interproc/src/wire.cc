@@ -1,0 +1,20 @@
+// Fixture: the tainted length never touches a sink in the function
+// that produced it — it is handed to a helper whose memcpy is the
+// sink. The interprocedural summary must attribute the finding through
+// the helper ("via CopyInto").
+#define SJ_UNTRUSTED
+#include <cstring>
+
+SJ_UNTRUSTED unsigned ReadWireU32(const char* p) {
+  return static_cast<unsigned char>(p[0]);
+}
+
+void CopyInto(char* dst, const char* src, unsigned len) {
+  std::memcpy(dst, src, len);
+}
+
+void HandleFrame(const char* payload) {
+  char buf[16];
+  unsigned len = ReadWireU32(payload);
+  CopyInto(buf, payload, len);
+}

@@ -1,0 +1,21 @@
+// Fixture: the untrusted decoder writes the count through an
+// out-parameter, a forwarding helper returns it, and the caller feeds
+// it to reserve. Taint must survive the out-param write AND the
+// helper's return-value summary.
+#define SJ_UNTRUSTED
+#include <vector>
+
+SJ_UNTRUSTED void ReadHeader(const char* p, unsigned* count_out) {
+  *count_out = static_cast<unsigned char>(p[0]);
+}
+
+unsigned PairCount(const char* p) {
+  unsigned n = 0;
+  ReadHeader(p, &n);
+  return n;
+}
+
+void BuildTable(const char* payload, std::vector<int>& rows) {
+  unsigned n = PairCount(payload);
+  rows.reserve(n);
+}

@@ -1,0 +1,31 @@
+// Fixture: the same wire-derived flows as the taint_bad fixtures, but
+// every value passes an SJ_VALIDATES sanitizer before reaching a sink
+// — the checker must stay silent.
+#define SJ_UNTRUSTED
+#define SJ_VALIDATES
+#include <cstring>
+#include <vector>
+
+SJ_UNTRUSTED unsigned ReadWireU32(const char* p) {
+  return static_cast<unsigned char>(p[0]);
+}
+
+SJ_VALIDATES unsigned ClampCount(unsigned raw) {
+  return raw > 64 ? 64 : raw;
+}
+
+void CopyInto(char* dst, const char* src, unsigned len) {
+  std::memcpy(dst, src, len);
+}
+
+void DecodePairs(const char* payload, std::vector<int>& out) {
+  unsigned raw = ReadWireU32(payload);
+  unsigned count = ClampCount(raw);
+  out.resize(count);
+}
+
+void HandleFrame(const char* payload) {
+  char buf[128];
+  unsigned len = ClampCount(ReadWireU32(payload));
+  CopyInto(buf, payload, len);
+}

@@ -1,0 +1,11 @@
+// Fixture: no SJ_UNTRUSTED function anywhere — the checker must report
+// wire-taint-no-source instead of silently covering nothing.
+#include <vector>
+
+unsigned ReadLocalU32(const char* p) {
+  return static_cast<unsigned char>(p[0]);
+}
+
+void DecodePairs(const char* payload, std::vector<int>& out) {
+  out.resize(ReadLocalU32(payload));
+}

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/compare_bench.py — the bench regression gate.
+
+Covers the pieces a bad edit would silently break: leaf flattening
+(identity-keyed array rows), the comparison policy (exact counters,
+missing metrics, new metrics), the latency opt-in (--latency-rel-tol),
+and the ignore machinery (defaults plus --ignore), all through the real
+CLI entry point so argument plumbing is exercised too.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+
+import compare_bench  # noqa: E402
+
+
+def run_cli(argv):
+    """Runs compare_bench.main() with argv; returns (exit code, stdout)."""
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = ["compare_bench.py"] + argv
+    try:
+        with contextlib.redirect_stdout(out):
+            code = compare_bench.main()
+    finally:
+        sys.argv = old_argv
+    return code, out.getvalue()
+
+
+class FlattenTest(unittest.TestCase):
+    def test_scalars_and_nesting(self):
+        flat = compare_bench.flatten({"a": {"b": 1, "c": "x"}, "d": True})
+        self.assertEqual(flat, {"a.b": 1, "a.c": "x", "d": True})
+
+    def test_array_rows_keyed_by_strategy_identity(self):
+        """Inserting a row mid-sweep must not shift the other rows'
+        paths — rows are keyed by their identity column, not index."""
+        doc = {"rows": [{"strategy": "nested_loop", "matches": 7},
+                        {"strategy": "zorder", "matches": 9}]}
+        flat = compare_bench.flatten(doc)
+        self.assertEqual(flat["rows[nested_loop].matches"], 7)
+        self.assertEqual(flat["rows[zorder].matches"], 9)
+        doc["rows"].insert(1, {"strategy": "partitioned", "matches": 8})
+        reflat = compare_bench.flatten(doc)
+        self.assertEqual(reflat["rows[zorder].matches"], 9)
+        self.assertEqual(reflat["rows[partitioned].matches"], 8)
+
+    def test_threads_grid_and_plain_index_labels(self):
+        doc = {"sweep": [{"threads": 4, "grid": 64, "ms": 1},
+                         {"threads": 8, "ms": 2},
+                         {"n_tuples": 1000, "ms": 3},
+                         5]}
+        flat = compare_bench.flatten(doc)
+        self.assertIn("sweep[t4g64].ms", flat)
+        self.assertIn("sweep[t8].ms", flat)
+        self.assertIn("sweep[n1000].ms", flat)
+        self.assertEqual(flat["sweep[3]"], 5)
+
+
+class CompareGateTest(unittest.TestCase):
+    def make_pair(self, tmp, base_doc, fresh_doc):
+        baseline = os.path.join(tmp, "baseline.json")
+        with open(baseline, "w") as f:
+            json.dump({"benches": {base_doc["bench"]: base_doc}}, f)
+        fresh = os.path.join(tmp, "fresh.metrics.json")
+        with open(fresh, "w") as f:
+            json.dump(fresh_doc, f)
+        return baseline, fresh
+
+    def test_exact_counter_drift_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "theta_tests": 100},
+                {"bench": "b", "theta_tests": 101})
+            code, out = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 1)
+            self.assertIn("theta_tests", out)
+
+    def test_identical_run_is_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "theta_tests": 100, "ok": True},
+                {"bench": "b", "theta_tests": 100, "ok": True})
+            code, out = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 0)
+            self.assertIn("0 regression(s)", out)
+
+    def test_missing_metric_fails_new_metric_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "gone": 1},
+                {"bench": "b", "added": 2})
+            code, out = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 1)
+            self.assertIn("missing from fresh run", out)
+            self.assertIn("new metric not in baseline", out)
+
+    def test_latency_ignored_by_default_gated_on_opt_in(self):
+        base = {"bench": "b", "latency_ns": {"p50": 1000, "p90": 5000,
+                                             "p99": 9000}}
+        fresh_doc = {"bench": "b", "latency_ns": {"p50": 3000, "p90": 50000,
+                                                  "p99": 9100}}
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(tmp, base, fresh_doc)
+            # Default: absolute latency is machine-dependent — ignored.
+            code, _ = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 0)
+            # Opt-in at 50%: p50 tripled -> FAIL; p99 within tolerance;
+            # p90 stays ignored no matter how wild.
+            code, out = run_cli(["--baseline", baseline,
+                                 "--latency-rel-tol", "0.5", fresh])
+            self.assertEqual(code, 1)
+            self.assertIn("latency_ns.p50", out)
+            self.assertNotIn("latency_ns.p90", out)
+            self.assertNotIn("latency_ns.p99", out)
+
+    def test_default_ignores_cover_machine_dependent_leaves(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "wall_ns": 1, "speedup": 2.0,
+                      "peak_rss": 3},
+                {"bench": "b", "wall_ns": 100, "speedup": 9.0,
+                 "peak_rss": 300})
+            code, out = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 0, out)
+
+    def test_ignore_flag_adds_a_glob(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "flaky_counter": 1, "stable": 5},
+                {"bench": "b", "flaky_counter": 2, "stable": 5})
+            code, _ = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 1)
+            code, out = run_cli(["--baseline", baseline,
+                                 "--ignore", "*flaky*", fresh])
+            self.assertEqual(code, 0, out)
+
+    def test_warn_only_reports_but_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline, fresh = self.make_pair(
+                tmp, {"bench": "b", "count": 1},
+                {"bench": "b", "count": 2})
+            code, out = run_cli(["--baseline", baseline, "--warn-only",
+                                 fresh])
+            self.assertEqual(code, 0)
+            self.assertIn("FAIL", out)
+            self.assertIn("--warn-only", out)
+
+    def test_seed_writes_baseline(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = os.path.join(tmp, "fresh.metrics.json")
+            with open(fresh, "w") as f:
+                json.dump({"bench": "b", "count": 42}, f)
+            baseline = os.path.join(tmp, "baseline.json")
+            code, _ = run_cli(["--baseline", baseline, "--seed", fresh])
+            self.assertEqual(code, 0)
+            with open(baseline) as f:
+                seeded = json.load(f)
+            self.assertEqual(seeded["benches"]["b"]["count"], 42)
+            # The seeded baseline must gate its own artifacts cleanly.
+            code, out = run_cli(["--baseline", baseline, fresh])
+            self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

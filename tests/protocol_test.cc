@@ -265,6 +265,89 @@ TEST(ProtocolValidation, ResultReplyRejectsLengthMismatch) {
   EXPECT_FALSE(DecodeReply(MessageType::kResult, 1, payload).ok());
 }
 
+// Boundary frames around the framing limits: payload sizes 0, cap-1,
+// cap, and cap+1, the maximum request id, and a zero-pair RESULT. The
+// decoder must accept everything up to and including the cap and poison
+// the stream one byte past it.
+TEST(ProtocolBoundary, EmptyPayloadFrames) {
+  Frame frame = DecodeOne(EncodePing(1));
+  EXPECT_EQ(frame.payload.size(), 0u);
+  frame = DecodeOne(EncodeStatsRequest(2));
+  EXPECT_EQ(frame.payload.size(), 0u);
+}
+
+TEST(ProtocolBoundary, PayloadAtCapMinusOneAndAtCapRoundTrip) {
+  for (size_t size : {static_cast<size_t>(kMaxPayloadBytes) - 1,
+                      static_cast<size_t>(kMaxPayloadBytes)}) {
+    const std::string json(size, 'j');
+    Frame frame = DecodeOne(EncodeStatsReply(21, json));
+    EXPECT_EQ(frame.payload.size(), size);
+    Result<Reply> reply = DecodeReply(MessageType::kStatsReply,
+                                      frame.request_id, frame.payload);
+    ASSERT_TRUE(reply.ok()) << size;
+    EXPECT_EQ(reply.value().stats_json.size(), size);
+  }
+}
+
+TEST(ProtocolBoundary, PayloadCapPlusOnePoisonsFromTheHeaderAlone) {
+  // Hand-built header declaring kMaxPayloadBytes + 1: one past the
+  // exact boundary the eager check guards. No payload bytes follow —
+  // rejection must come from the header.
+  const uint32_t len = kMaxPayloadBytes + 1;
+  std::string wire = EncodePing(1);
+  wire[0] = static_cast<char>(len & 0xff);
+  wire[1] = static_cast<char>((len >> 8) & 0xff);
+  wire[2] = static_cast<char>((len >> 16) & 0xff);
+  wire[3] = static_cast<char>((len >> 24) & 0xff);
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(wire).ok());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(ProtocolBoundary, MaxRequestIdSurvivesRoundTrip) {
+  const uint64_t id = std::numeric_limits<uint64_t>::max();
+  Frame frame = DecodeOne(EncodePing(id));
+  EXPECT_EQ(frame.request_id, id);
+
+  JoinResult result;
+  result.matches = {{7, 8}};
+  frame = DecodeOne(EncodeResultReply(id, result));
+  Result<Reply> reply = DecodeReply(static_cast<MessageType>(frame.type),
+                                    frame.request_id, frame.payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().request_id, id);
+}
+
+TEST(ProtocolBoundary, ZeroPairResultReplyRoundTrips) {
+  JoinResult empty;
+  empty.theta_tests = 5;
+  Frame frame = DecodeOne(EncodeResultReply(3, empty));
+  Result<Reply> reply = DecodeReply(MessageType::kResult, frame.request_id,
+                                    frame.payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().result.matches.empty());
+  EXPECT_EQ(reply.value().result.theta_tests, 5);
+}
+
+TEST(ProtocolBoundary, HeaderSplitAtEveryByteReassembles) {
+  // Deliver the 16-byte header truncated at every possible split point:
+  // the partial header must yield no frame and no poison, and the
+  // remainder must complete the frame exactly once.
+  const std::string wire = EncodePing(0xABCD);
+  for (size_t cut = 1; cut < kFrameHeaderBytes; ++cut) {
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(std::string_view(wire).substr(0, cut)).ok());
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame)) << cut;
+    EXPECT_FALSE(decoder.poisoned()) << cut;
+    ASSERT_TRUE(decoder.Feed(std::string_view(wire).substr(cut)).ok());
+    ASSERT_TRUE(decoder.Next(&frame)) << cut;
+    EXPECT_EQ(frame.request_id, 0xABCDu);
+    EXPECT_FALSE(decoder.Next(&frame));
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
 TEST(ProtocolValidation, MakeWireOperatorCoversTable1AndRejectsJunk) {
   for (uint8_t code = 1; code <= 6; ++code) {
     Result<std::unique_ptr<ThetaOperator>> op = MakeWireOperator(code, 5.0);
